@@ -1,0 +1,74 @@
+//! Ablation benches: the marginal cost of each DPS mechanism.
+//!
+//! DESIGN.md calls out the design choices (Kalman filtering, frequency
+//! detection, the restore step); these benches price them — each variant's
+//! decision-cycle cost at testbed scale — complementing the quality
+//! ablation in `dps-experiments --bin ablation`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dps_bench::Churn;
+use dps_core::manager::{PowerManager, UnitLimits};
+use dps_core::{DpsConfig, DpsManager};
+use dps_sim_core::rng::RngStream;
+
+fn variant(name: &str) -> DpsConfig {
+    let base = DpsConfig::default();
+    match name {
+        "no-kalman" => base.without_kalman(),
+        "no-freq" => base.without_frequency_detection(),
+        "no-restore" => base.without_restore(),
+        _ => base,
+    }
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dps_variant_step_20_units");
+    for name in ["full", "no-kalman", "no-freq", "no-restore"] {
+        let cfg = variant(name);
+        let mut mgr: Box<dyn PowerManager> = Box::new(DpsManager::new(
+            20,
+            2200.0,
+            UnitLimits::xeon_gold_6240(),
+            cfg,
+            RngStream::new(1, "bench-ablation"),
+        ));
+        let mut churn = Churn::new(20);
+        for _ in 0..32 {
+            churn.drive(mgr.as_mut());
+        }
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| churn.drive(mgr.as_mut()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_history_length(c: &mut Criterion) {
+    // The history window is DPS's only state; its length is the paper's
+    // principal tunable (default 20, §6.5). Cost should scale ~linearly.
+    let mut group = c.benchmark_group("dps_history_length_step");
+    for &len in &[10usize, 20, 40, 80] {
+        let cfg = DpsConfig {
+            history_len: len,
+            ..DpsConfig::default()
+        };
+        let mut mgr: Box<dyn PowerManager> = Box::new(DpsManager::new(
+            20,
+            2200.0,
+            UnitLimits::xeon_gold_6240(),
+            cfg,
+            RngStream::new(2, "bench-histlen"),
+        ));
+        let mut churn = Churn::new(20);
+        for _ in 0..(len + 12) {
+            churn.drive(mgr.as_mut());
+        }
+        group.bench_function(BenchmarkId::from_parameter(len), |b| {
+            b.iter(|| churn.drive(mgr.as_mut()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_history_length);
+criterion_main!(benches);

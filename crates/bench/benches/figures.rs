@@ -1,0 +1,162 @@
+//! One bench per paper table/figure, at reduced scale.
+//!
+//! The full-resolution regeneration lives in `dps-experiments` (one binary
+//! per figure); these benches run a representative slice of each
+//! experiment so `cargo bench` both exercises every figure's pipeline and
+//! tracks its cost:
+//!
+//! * `fig1_motivational`    — the 2-node, 5-timestep toy under DPS;
+//! * `fig2_trace_generation`— LDA/Bayes/LR demand-program synthesis;
+//! * `tables_calibration`   — catalog calibration (Tables 2 & 4);
+//! * `fig4_low_utility_pair`— one LDA+Sort pair, all four managers;
+//! * `fig5_high_utility_pair` — one Bayes+GMM pair under SLURM and DPS;
+//! * `fig6_spark_npb_pair`  — one Bayes+FT pair under SLURM and DPS;
+//! * `fig7_fairness`        — fairness accounting over a pair run.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dps_bench::bench_config;
+use dps_cluster::run_pair;
+use dps_core::manager::{ManagerKind, PowerManager};
+use dps_experiments::config_from_env;
+use dps_workloads::catalog::find;
+use dps_workloads::generator::{build_program, capped_duration};
+
+fn fig1_motivational(c: &mut Criterion) {
+    c.bench_function("fig1_motivational_dps", |b| {
+        let mut exp = config_from_env();
+        exp.sim.topology = dps_rapl::Topology::new(2, 1, 1);
+        exp.sim.budget_fraction = 220.0 / 330.0;
+        b.iter(|| {
+            let mut mgr = exp.build_manager(ManagerKind::Dps);
+            let mut caps = vec![110.0; 2];
+            let demand: [[f64; 2]; 5] = [
+                [55.0, 55.0],
+                [165.0, 55.0],
+                [165.0, 110.0],
+                [165.0, 165.0],
+                [165.0, 165.0],
+            ];
+            for d in demand {
+                for _ in 0..8 {
+                    let measured = [d[0].min(caps[0]), d[1].min(caps[1])];
+                    mgr.assign_caps(&measured, &mut caps, 1.0);
+                }
+            }
+            black_box(caps)
+        });
+    });
+}
+
+fn fig2_trace_generation(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig2_trace_generation");
+    for name in ["LDA", "Bayes", "LR"] {
+        let spec = find(name).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(build_program(spec, &cfg.sim.perf, 42)));
+        });
+    }
+    group.finish();
+}
+
+fn tables_calibration(c: &mut Criterion) {
+    let cfg = bench_config();
+    let spec = find("Kmeans").unwrap();
+    let program = build_program(spec, &cfg.sim.perf, 42);
+    c.bench_function("tables_capped_duration_kmeans", |b| {
+        b.iter(|| black_box(capped_duration(&program, &cfg.sim.perf, 110.0)));
+    });
+}
+
+fn pair_bench(c: &mut Criterion, bench_name: &str, a: &str, b_name: &str, kinds: &[ManagerKind]) {
+    let cfg = bench_config();
+    let spec_a = find(a).unwrap();
+    let spec_b = find(b_name).unwrap();
+    let mut group = c.benchmark_group(bench_name);
+    group.sample_size(10);
+    for &kind in kinds {
+        group.bench_function(BenchmarkId::from_parameter(kind), |bch| {
+            bch.iter(|| black_box(run_pair(spec_a, spec_b, kind, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn fig4_low_utility_pair(c: &mut Criterion) {
+    pair_bench(
+        c,
+        "fig4_low_utility_pair",
+        "LDA",
+        "Sort",
+        &[
+            ManagerKind::Constant,
+            ManagerKind::Slurm,
+            ManagerKind::Dps,
+            ManagerKind::Oracle,
+        ],
+    );
+}
+
+fn fig5_high_utility_pair(c: &mut Criterion) {
+    pair_bench(
+        c,
+        "fig5_high_utility_pair",
+        "Bayes",
+        "GMM",
+        &[ManagerKind::Slurm, ManagerKind::Dps],
+    );
+}
+
+fn fig6_spark_npb_pair(c: &mut Criterion) {
+    pair_bench(
+        c,
+        "fig6_spark_npb_pair",
+        "Bayes",
+        "FT",
+        &[ManagerKind::Slurm, ManagerKind::Dps],
+    );
+}
+
+fn fig7_fairness(c: &mut Criterion) {
+    // Fairness accounting end-to-end: a pair run plus the Eq. 1-2 readout.
+    let cfg = bench_config();
+    let spec_a = find("LR").unwrap();
+    let spec_b = find("FT").unwrap();
+    c.bench_function("fig7_fairness_pair", |b| {
+        b.iter(|| {
+            let outcome = run_pair(spec_a, spec_b, ManagerKind::Dps, &cfg);
+            black_box(outcome.fairness)
+        });
+    });
+}
+
+fn overhead_cycle(c: &mut Criterion) {
+    // The §6.5 decision-cycle measurement also exists as a proper bench in
+    // manager_scaling.rs; this one covers the full simulator cycle (demand
+    // eval + RAPL + manager + progress) at paper topology.
+    let exp = config_from_env();
+    let spec_a = find("Bayes").unwrap();
+    let spec_b = find("CG").unwrap();
+    let program_a = build_program(spec_a, &exp.sim.perf, 1);
+    let program_b = build_program(spec_b, &exp.sim.perf, 2);
+    let mgr: Box<dyn PowerManager> = exp.build_manager(ManagerKind::Dps);
+    let rng = dps_sim_core::RngStream::new(9, "bench-cycle");
+    let mut sim =
+        dps_cluster::ClusterSim::new(exp.sim.clone(), vec![program_a, program_b], mgr, &rng);
+    c.bench_function("cluster_cycle_20_units", |b| {
+        b.iter(|| sim.cycle());
+    });
+}
+
+criterion_group!(
+    benches,
+    fig1_motivational,
+    fig2_trace_generation,
+    tables_calibration,
+    fig4_low_utility_pair,
+    fig5_high_utility_pair,
+    fig6_spark_npb_pair,
+    fig7_fairness,
+    overhead_cycle,
+);
+criterion_main!(benches);

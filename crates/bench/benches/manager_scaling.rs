@@ -1,0 +1,52 @@
+//! §6.5 controller-scaling bench: decision-cycle cost of every manager at
+//! testbed scale, and DPS/SLURM scaling toward "tens of thousands of
+//! nodes". The paper's claim is that the controller's compute stays a
+//! negligible fraction of the one-second decision period; the
+//! `Criterion` throughput lines make the per-unit cost visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dps_bench::{manager_for, Churn};
+use dps_core::manager::ManagerKind;
+
+fn bench_all_managers_testbed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("manager_step_20_units");
+    for kind in [
+        ManagerKind::Constant,
+        ManagerKind::Slurm,
+        ManagerKind::Dps,
+        ManagerKind::Oracle,
+    ] {
+        let mut mgr = manager_for(kind, 20);
+        let mut churn = Churn::new(20);
+        // Warm the histories so DPS benches its steady state.
+        for _ in 0..32 {
+            churn.drive(mgr.as_mut());
+        }
+        group.bench_function(BenchmarkId::from_parameter(kind), |b| {
+            b.iter(|| churn.drive(mgr.as_mut()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("manager_step_scaling");
+    group.sample_size(20);
+    for &n in &[20usize, 200, 2_000, 20_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        for kind in [ManagerKind::Slurm, ManagerKind::Dps] {
+            let mut mgr = manager_for(kind, n);
+            let mut churn = Churn::new(n);
+            for _ in 0..24 {
+                churn.drive(mgr.as_mut());
+            }
+            group.bench_function(BenchmarkId::new(kind.to_string(), n), |b| {
+                b.iter(|| churn.drive(mgr.as_mut()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_managers_testbed, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Per-module microbenches backing the §6.5 overhead analysis: the cost of
+//! each DPS building block per unit per decision cycle.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dps_core::budget::distribute_weighted;
+use dps_core::config::DpsConfig;
+use dps_core::history::UnitState;
+use dps_core::priority::set_priorities;
+use dps_sim_core::kalman::KalmanFilter;
+use dps_sim_core::rng::RngStream;
+use dps_sim_core::signal;
+
+fn bench_kalman(c: &mut Criterion) {
+    c.bench_function("kalman_update", |b| {
+        let mut kf = KalmanFilter::new(25.0, 4.0);
+        let mut z = 100.0;
+        b.iter(|| {
+            z = if z > 150.0 { 60.0 } else { z + 1.0 };
+            black_box(kf.update(black_box(z)))
+        });
+    });
+}
+
+fn bench_peaks(c: &mut Criterion) {
+    // A realistic 20-sample Kalman-smoothed history window.
+    let mut rng = RngStream::new(5, "bench-peaks");
+    let window: Vec<f64> = (0..20)
+        .map(|i| {
+            if (i / 4) % 2 == 0 {
+                145.0 + rng.normal(0.0, 1.0)
+            } else {
+                55.0 + rng.normal(0.0, 1.0)
+            }
+        })
+        .collect();
+    c.bench_function("count_prominent_peaks_20", |b| {
+        b.iter(|| black_box(signal::count_prominent_peaks(black_box(&window), 30.0)));
+    });
+}
+
+fn bench_derivative(c: &mut Criterion) {
+    let powers: Vec<f64> = (0..20).map(|i| 50.0 + 5.0 * i as f64).collect();
+    let durations = vec![1.0; 20];
+    c.bench_function("windowed_derivative_20", |b| {
+        b.iter(|| black_box(signal::windowed_derivative(&powers, &durations, 3)));
+    });
+}
+
+fn bench_priority_module(c: &mut Criterion) {
+    let config = DpsConfig::default();
+    let mut states: Vec<UnitState> = (0..20).map(|_| UnitState::new(&config)).collect();
+    let mut rng = RngStream::new(6, "bench-prio");
+    for state in &mut states {
+        for _ in 0..20 {
+            state.observe(rng.range(40.0..160.0), 1.0);
+        }
+    }
+    let caps = vec![110.0; 20];
+    c.bench_function("priority_module_20_units", |b| {
+        b.iter(|| set_priorities(black_box(&mut states), black_box(&caps), &config));
+    });
+}
+
+fn bench_distribute(c: &mut Criterion) {
+    let selected: Vec<usize> = (0..10).collect();
+    c.bench_function("distribute_weighted_10", |b| {
+        b.iter(|| {
+            let mut caps = vec![80.0; 20];
+            let weights: Vec<f64> = selected.iter().map(|&u| 1.0 / caps[u]).collect();
+            black_box(distribute_weighted(
+                &mut caps, &selected, &weights, 300.0, 165.0,
+            ))
+        });
+    });
+}
+
+fn bench_unit_observe(c: &mut Criterion) {
+    let config = DpsConfig::default();
+    let mut state = UnitState::new(&config);
+    let mut z = 100.0;
+    c.bench_function("unit_state_observe", |b| {
+        b.iter(|| {
+            z = if z > 150.0 { 60.0 } else { z + 3.0 };
+            black_box(state.observe(black_box(z), 1.0))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_kalman,
+    bench_peaks,
+    bench_derivative,
+    bench_priority_module,
+    bench_distribute,
+    bench_unit_observe,
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! The benches mirror the paper's evaluation at reduced scale so `cargo
+//! bench` finishes in minutes: per-module microbenches quantify the §6.5
+//! overhead claims, `manager_scaling` reproduces the controller-scaling
+//! argument, `figures` runs one representative pair per figure, and
+//! `ablation` prices each DPS mechanism.
+
+use dps_cluster::ExperimentConfig;
+use dps_core::manager::{ManagerKind, PowerManager};
+use dps_rapl::Topology;
+use dps_sim_core::rng::RngStream;
+
+/// A reduced experiment configuration for benches: paper parameters but a
+/// 2×1×2 topology, one repetition, and no measurement noise.
+pub fn bench_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper_default(42, 1);
+    cfg.sim.topology = Topology::new(2, 1, 2);
+    cfg.sim.noise = dps_rapl::NoiseModel::None;
+    cfg.max_steps = 60_000;
+    cfg
+}
+
+/// Builds a manager of `kind` for `n` units at 110 W/unit budget.
+pub fn manager_for(kind: ManagerKind, n: usize) -> Box<dyn PowerManager> {
+    let mut cfg = ExperimentConfig::paper_default(7, 1);
+    cfg.sim.topology = Topology::new(1, n, 1);
+    cfg.build_manager(kind)
+}
+
+/// A deterministic churning load driver for manager-step benches.
+pub struct Churn {
+    pub measured: Vec<f64>,
+    pub caps: Vec<f64>,
+    step: usize,
+}
+
+impl Churn {
+    /// Creates a churn of `n` units with warmed-up phases.
+    pub fn new(n: usize) -> Self {
+        let mut rng = RngStream::new(3, "bench-churn");
+        let measured = (0..n).map(|_| rng.range(40.0..160.0)).collect();
+        Self {
+            measured,
+            caps: vec![110.0; n],
+            step: 0,
+        }
+    }
+
+    /// Advances the synthetic load one cycle and drives the manager.
+    pub fn drive(&mut self, mgr: &mut dyn PowerManager) {
+        self.step += 1;
+        for (u, m) in self.measured.iter_mut().enumerate() {
+            let phase = ((self.step + u) % 20) as f64 / 20.0;
+            *m = (40.0 + 120.0 * phase).min(self.caps[u]);
+        }
+        mgr.observe_demands(&self.measured);
+        mgr.assign_caps(&self.measured, &mut self.caps, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_config_is_small() {
+        let cfg = bench_config();
+        assert_eq!(cfg.sim.topology.total_units(), 4);
+        assert_eq!(cfg.reps, 1);
+    }
+
+    #[test]
+    fn churn_drives_all_managers() {
+        for kind in [
+            ManagerKind::Constant,
+            ManagerKind::Slurm,
+            ManagerKind::Dps,
+            ManagerKind::Oracle,
+        ] {
+            let mut mgr = manager_for(kind, 8);
+            let mut churn = Churn::new(8);
+            for _ in 0..50 {
+                churn.drive(mgr.as_mut());
+            }
+            let sum: f64 = churn.caps.iter().sum();
+            assert!(sum <= mgr.total_budget() + 1e-6, "{kind}: {sum}");
+        }
+    }
+}

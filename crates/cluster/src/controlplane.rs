@@ -1,0 +1,101 @@
+//! Control-plane cost model (paper §6.5).
+//!
+//! DPS and SLURM "are implemented using the same Internet communication
+//! protocol"; per decision cycle the server exchanges 3 bytes with each
+//! node per unit, over BSD sockets with tens-of-microseconds latencies. The
+//! paper argues the controller "could handle tens of thousands of nodes
+//! with no bottleneck"; this model lets the overhead experiment reproduce
+//! that scaling argument with numbers.
+
+use dps_sim_core::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Latency/traffic model for the server↔client messaging.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControlPlaneModel {
+    /// One-way message latency per node, in seconds (paper: "tens of
+    /// microseconds").
+    pub per_node_latency: Seconds,
+    /// Payload bytes exchanged per unit per request (paper: 3 bytes).
+    pub bytes_per_unit: usize,
+    /// How many node requests the server can have in flight concurrently
+    /// (sockets are polled asynchronously; 64 is conservative for epoll).
+    pub concurrency: usize,
+}
+
+impl Default for ControlPlaneModel {
+    fn default() -> Self {
+        Self {
+            per_node_latency: 50e-6,
+            bytes_per_unit: 3,
+            concurrency: 64,
+        }
+    }
+}
+
+impl ControlPlaneModel {
+    /// Wall-clock time of one gather+scatter cycle across `nodes` nodes.
+    pub fn cycle_latency(&self, nodes: usize) -> Seconds {
+        if nodes == 0 {
+            return 0.0;
+        }
+        let waves = nodes.div_ceil(self.concurrency);
+        // Gather (read power) and scatter (set caps) are separate rounds.
+        2.0 * waves as f64 * self.per_node_latency
+    }
+
+    /// Total payload bytes per cycle for `units` units (both directions).
+    pub fn cycle_traffic(&self, units: usize) -> usize {
+        2 * units * self.bytes_per_unit
+    }
+
+    /// Fraction of a decision period consumed by communication.
+    pub fn duty_cycle(&self, nodes: usize, period: Seconds) -> f64 {
+        assert!(period > 0.0);
+        self.cycle_latency(nodes) / period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_latency_negligible() {
+        let m = ControlPlaneModel::default();
+        // 10 client nodes: well under a millisecond.
+        assert!(m.cycle_latency(10) < 1e-3);
+        assert!(m.duty_cycle(10, 1.0) < 0.001);
+    }
+
+    #[test]
+    fn thousand_nodes_few_milliseconds() {
+        // §6.5: "Scaling to 1,000 nodes would only incur a several
+        // millisecond latency".
+        let m = ControlPlaneModel::default();
+        let l = m.cycle_latency(1000);
+        assert!(l > 1e-4 && l < 10e-3, "latency {l}");
+    }
+
+    #[test]
+    fn traffic_three_bytes_per_unit() {
+        let m = ControlPlaneModel::default();
+        // §6.5: 1M units → ~3 MB each way.
+        assert_eq!(m.cycle_traffic(1_000_000), 6_000_000);
+        assert_eq!(m.cycle_traffic(20), 120);
+    }
+
+    #[test]
+    fn latency_scales_in_waves() {
+        let m = ControlPlaneModel::default();
+        assert_eq!(m.cycle_latency(1), m.cycle_latency(64));
+        assert!(m.cycle_latency(65) > m.cycle_latency(64));
+        assert_eq!(m.cycle_latency(0), 0.0);
+    }
+
+    #[test]
+    fn million_nodes_still_subsecond() {
+        let m = ControlPlaneModel::default();
+        assert!(m.cycle_latency(1_000_000) < 2.0);
+    }
+}

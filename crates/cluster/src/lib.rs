@@ -1,0 +1,39 @@
+//! Discrete-time overprovisioned-cluster simulator and experiment runner.
+//!
+//! Reproduces the paper's evaluation platform in simulation: a server node
+//! running one of the power managers and two client clusters of five
+//! dual-socket nodes each (20 power-capping units), a cluster-wide power
+//! budget of 66.7 % of TDP (110 W/socket average), a one-second decision
+//! cycle, and workload pairs running side by side — one workload per
+//! cluster, the shorter one repeating until the longer completes its
+//! repetitions.
+//!
+//! * [`sim`] — the per-cycle simulation loop tying demand → RAPL domains →
+//!   measurements → manager → caps → progress.
+//! * [`controlplane`] — the latency/traffic model of the server↔client
+//!   messaging (3 bytes per unit per cycle, BSD-socket latencies; §6.5).
+//! * [`protocol`] — the 3-byte wire frames themselves (power reports and
+//!   cap assignments in deciwatts) plus a latency-delayed link; the
+//!   simulator can optionally route its control plane through them.
+//! * [`satisfaction`] — per-cluster satisfaction (Eq. 1) and pairwise
+//!   fairness (Eq. 2) accounting.
+//! * [`logging`] — optional per-cycle logs (power, cap, priority per unit),
+//!   the records the paper's artifact emits.
+//! * [`runner`] — the experiment harness: builds a workload pair, runs it
+//!   under a chosen manager until both sides finish their repetitions, and
+//!   reports throughput times, satisfaction, and fairness.
+
+#![warn(missing_docs)]
+
+pub mod controlplane;
+pub mod logging;
+pub mod protocol;
+pub mod runner;
+pub mod satisfaction;
+pub mod sim;
+
+pub use controlplane::ControlPlaneModel;
+pub use logging::{CycleLog, CycleRecord};
+pub use runner::{run_pair, ExperimentConfig, PairOutcome, WorkloadOutcome};
+pub use satisfaction::{FairnessTracker, SatisfactionTracker};
+pub use sim::{ClusterSim, SimConfig};

@@ -1,0 +1,124 @@
+//! Per-cycle logs matching the paper artifact's records.
+//!
+//! "The experimental results also include a log of the average power during
+//! every operating cycle, the power cap set, and the priority (if DPS is
+//! running) at every operating decision for each socket" (artifact
+//! appendix). Logging is optional: full factorial sweeps disable it, the
+//! time-series figures enable it.
+
+use dps_sim_core::units::{Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// One decision cycle's record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleRecord {
+    /// Simulated time at the end of the cycle.
+    pub time: Seconds,
+    /// Measured power per unit.
+    pub power: Vec<Watts>,
+    /// Cap set per unit.
+    pub caps: Vec<Watts>,
+    /// True (uncapped) demand per unit.
+    pub demand: Vec<Watts>,
+    /// DPS priority per unit (empty for managers without priorities).
+    pub priority: Vec<bool>,
+}
+
+/// A bounded-or-unbounded cycle log.
+#[derive(Debug, Clone, Default)]
+pub struct CycleLog {
+    records: Vec<CycleRecord>,
+    enabled: bool,
+}
+
+impl CycleLog {
+    /// A disabled log: records are dropped.
+    pub fn disabled() -> Self {
+        Self {
+            records: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// An enabled log.
+    pub fn enabled() -> Self {
+        Self {
+            records: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Whether records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a record (no-op when disabled).
+    pub fn push(&mut self, record: CycleRecord) {
+        if self.enabled {
+            self.records.push(record);
+        }
+    }
+
+    /// All records so far.
+    pub fn records(&self) -> &[CycleRecord] {
+        &self.records
+    }
+
+    /// Extracts one unit's measured-power series.
+    pub fn power_series(&self, unit: usize) -> Vec<Watts> {
+        self.records.iter().map(|r| r.power[unit]).collect()
+    }
+
+    /// Extracts one unit's cap series.
+    pub fn cap_series(&self, unit: usize) -> Vec<Watts> {
+        self.records.iter().map(|r| r.caps[unit]).collect()
+    }
+
+    /// Extracts one unit's demand series.
+    pub fn demand_series(&self, unit: usize) -> Vec<Watts> {
+        self.records.iter().map(|r| r.demand[unit]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(t: f64) -> CycleRecord {
+        CycleRecord {
+            time: t,
+            power: vec![100.0, 50.0],
+            caps: vec![110.0, 110.0],
+            demand: vec![120.0, 50.0],
+            priority: vec![true, false],
+        }
+    }
+
+    #[test]
+    fn disabled_log_drops_records() {
+        let mut log = CycleLog::disabled();
+        log.push(record(1.0));
+        assert!(log.records().is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn enabled_log_keeps_records() {
+        let mut log = CycleLog::enabled();
+        log.push(record(1.0));
+        log.push(record(2.0));
+        assert_eq!(log.records().len(), 2);
+        assert_eq!(log.records()[1].time, 2.0);
+    }
+
+    #[test]
+    fn series_extraction() {
+        let mut log = CycleLog::enabled();
+        log.push(record(1.0));
+        log.push(record(2.0));
+        assert_eq!(log.power_series(0), vec![100.0, 100.0]);
+        assert_eq!(log.cap_series(1), vec![110.0, 110.0]);
+        assert_eq!(log.demand_series(0), vec![120.0, 120.0]);
+    }
+}

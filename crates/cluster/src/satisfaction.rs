@@ -1,0 +1,173 @@
+//! Satisfaction and fairness accounting (paper Eqs. 1–2).
+//!
+//! ```text
+//! satisfaction(n) = avg power under current cap / avg power under no cap
+//! fairness(i, j)  = 1 − |satisfaction(i) − satisfaction(j)|
+//! ```
+//!
+//! "Average power under no cap" is the workload's *demand*, which the
+//! simulator knows exactly; a real deployment estimates it offline. A
+//! satisfaction of 1 means the node was never meaningfully throttled.
+
+use dps_sim_core::units::Watts;
+use serde::{Deserialize, Serialize};
+
+/// Accumulates one cluster's demanded vs granted power over a lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SatisfactionTracker {
+    demanded: f64,
+    granted: f64,
+}
+
+impl SatisfactionTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one window: `demand` is the uncapped draw the workload would
+    /// have exhibited, `actual` the power it really drew. Windows with no
+    /// compute demand (idle / inter-run gaps) are skipped — an uncapped idle
+    /// socket draws idle power too, so it carries no throttling signal.
+    pub fn record(&mut self, demand: Watts, actual: Watts, idle_power: Watts) {
+        if demand <= idle_power {
+            return;
+        }
+        self.demanded += demand;
+        // Actual can exceed demand only via the idle floor; clamp so
+        // satisfaction stays in [0, 1].
+        self.granted += actual.min(demand);
+    }
+
+    /// Satisfaction over everything recorded (1.0 when nothing recorded:
+    /// a workload that never demanded power was never throttled).
+    pub fn satisfaction(&self) -> f64 {
+        if self.demanded <= 0.0 {
+            1.0
+        } else {
+            (self.granted / self.demanded).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Total demanded Watt-windows (diagnostics).
+    pub fn total_demanded(&self) -> f64 {
+        self.demanded
+    }
+
+    /// Merges another tracker (e.g. per-socket trackers into a cluster).
+    pub fn merge(&mut self, other: &SatisfactionTracker) {
+        self.demanded += other.demanded;
+        self.granted += other.granted;
+    }
+
+    /// Clears the accumulators.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Pairwise fairness between two clusters (Eq. 2).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FairnessTracker {
+    /// Tracker for cluster 0.
+    pub a: SatisfactionTracker,
+    /// Tracker for cluster 1.
+    pub b: SatisfactionTracker,
+}
+
+impl FairnessTracker {
+    /// Creates an empty tracker pair.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `1 − |sat(a) − sat(b)|`, in `[0, 1]`.
+    pub fn fairness(&self) -> f64 {
+        1.0 - (self.a.satisfaction() - self.b.satisfaction()).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IDLE: Watts = 15.0;
+
+    #[test]
+    fn never_throttled_is_fully_satisfied() {
+        let mut t = SatisfactionTracker::new();
+        for _ in 0..100 {
+            t.record(150.0, 150.0, IDLE);
+        }
+        assert_eq!(t.satisfaction(), 1.0);
+    }
+
+    #[test]
+    fn halving_power_halves_satisfaction() {
+        let mut t = SatisfactionTracker::new();
+        for _ in 0..100 {
+            t.record(160.0, 80.0, IDLE);
+        }
+        assert!((t.satisfaction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_windows_ignored() {
+        let mut t = SatisfactionTracker::new();
+        t.record(160.0, 80.0, IDLE);
+        // Idle windows (demand ≤ idle) carry no signal.
+        for _ in 0..1000 {
+            t.record(0.0, 15.0, IDLE);
+            t.record(10.0, 15.0, IDLE);
+        }
+        assert!((t.satisfaction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tracker_satisfied() {
+        assert_eq!(SatisfactionTracker::new().satisfaction(), 1.0);
+    }
+
+    #[test]
+    fn over_delivery_clamped() {
+        let mut t = SatisfactionTracker::new();
+        // Idle floor can put actual above a tiny demand.
+        t.record(20.0, 40.0, IDLE);
+        assert_eq!(t.satisfaction(), 1.0);
+    }
+
+    #[test]
+    fn merge_combines_windows() {
+        let mut a = SatisfactionTracker::new();
+        let mut b = SatisfactionTracker::new();
+        a.record(100.0, 100.0, IDLE);
+        b.record(100.0, 0.0, IDLE);
+        a.merge(&b);
+        assert!((a.satisfaction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_of_equal_satisfaction_is_one() {
+        let mut f = FairnessTracker::new();
+        f.a.record(160.0, 120.0, IDLE);
+        f.b.record(100.0, 75.0, IDLE);
+        assert!((f.fairness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_drops_with_starvation() {
+        let mut f = FairnessTracker::new();
+        f.a.record(160.0, 160.0, IDLE); // fully fed
+        f.b.record(160.0, 40.0, IDLE); // starved
+        assert!((f.fairness() - 0.25).abs() < 1e-9, "{}", f.fairness());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut t = SatisfactionTracker::new();
+        t.record(100.0, 50.0, IDLE);
+        t.reset();
+        assert_eq!(t.satisfaction(), 1.0);
+        assert_eq!(t.total_demanded(), 0.0);
+    }
+}

@@ -1,0 +1,701 @@
+//! The per-cycle cluster simulation loop.
+//!
+//! Wiring per decision cycle (period `dT`, default 1 s):
+//!
+//! 1. each cluster's job translates its current work position into a power
+//!    demand per socket (per-socket program variants);
+//! 2. the RAPL domains deliver `min(demand, cap)` (with the idle floor) and
+//!    accumulate energy;
+//! 3. node clients read the (noisy) energy counters → measurements;
+//! 4. the power manager observes the measurements (the oracle additionally
+//!    sees true demand) and rewrites the caps;
+//! 5. the new caps are programmed into the domains (they take effect next
+//!    window, as in a real deployment);
+//! 6. each cluster's job advances at the pace of its slowest socket
+//!    (barrier-synchronised data-parallel execution);
+//! 7. satisfaction trackers and the optional cycle log record the window.
+
+use crate::logging::{CycleLog, CycleRecord};
+use crate::satisfaction::SatisfactionTracker;
+use dps_core::manager::PowerManager;
+use dps_rapl::{DomainBank, DomainSpec, NoiseModel, PowerInterface, Topology};
+use dps_sim_core::rng::RngStream;
+use dps_sim_core::units::{Seconds, SimClock, Watts};
+use dps_workloads::{DemandProgram, PerfModel, RunningWorkload};
+
+/// Static simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Cluster/node/socket topology.
+    pub topology: Topology,
+    /// Per-socket power domain spec.
+    pub domain_spec: DomainSpec,
+    /// RAPL measurement noise.
+    pub noise: NoiseModel,
+    /// Power→progress model.
+    pub perf: PerfModel,
+    /// Decision period in seconds.
+    pub period: Seconds,
+    /// Cluster-wide budget as a fraction of aggregate TDP.
+    pub budget_fraction: f64,
+    /// Idle seconds between repeated runs of a workload.
+    pub idle_gap: Seconds,
+    /// Route measurements and cap assignments through the 3-byte wire
+    /// protocol ([`crate::protocol`]): values quantize to 0.1 W exactly as
+    /// they would over the testbed's sockets. Off by default (the
+    /// quantization is far below the measurement noise).
+    pub use_wire_protocol: bool,
+}
+
+impl SimConfig {
+    /// The paper's setup: 2×5×2 sockets, 165 W TDP, 66.7 % budget
+    /// (110 W/socket), 1 s decisions.
+    pub fn paper_default() -> Self {
+        Self {
+            topology: Topology::paper_testbed(),
+            domain_spec: DomainSpec::xeon_gold_6240(),
+            noise: NoiseModel::default(),
+            perf: PerfModel::paper_default(),
+            period: 1.0,
+            budget_fraction: 2.0 / 3.0,
+            idle_gap: 10.0,
+            use_wire_protocol: false,
+        }
+    }
+
+    /// The cluster-wide power budget in Watts.
+    pub fn total_budget(&self) -> Watts {
+        self.topology.total_units() as f64 * self.domain_spec.tdp * self.budget_fraction
+    }
+
+    /// Checks the configuration is physically realisable. In particular the
+    /// budget must cover every unit's minimum cap — below that no manager
+    /// can respect both the budget and the hardware floor, and silently
+    /// running anyway would fabricate results.
+    pub fn validate(&self) -> Result<(), String> {
+        self.domain_spec.validate()?;
+        if !(self.period.is_finite() && self.period > 0.0) {
+            return Err(format!("period must be positive, got {}", self.period));
+        }
+        if !(0.0 < self.budget_fraction && self.budget_fraction <= 1.0) {
+            return Err(format!(
+                "budget_fraction must be in (0,1], got {}",
+                self.budget_fraction
+            ));
+        }
+        if !(self.idle_gap.is_finite() && self.idle_gap >= 0.0) {
+            return Err(format!(
+                "idle_gap must be non-negative, got {}",
+                self.idle_gap
+            ));
+        }
+        let floor = self.domain_spec.min_cap * self.topology.total_units() as f64;
+        if self.total_budget() < floor {
+            return Err(format!(
+                "budget {:.1} W cannot cover {} units at the {:.0} W minimum cap \
+                 ({:.1} W required)",
+                self.total_budget(),
+                self.topology.total_units(),
+                self.domain_spec.min_cap,
+                floor
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Produces the demand program for run `index` of a cluster's workload —
+/// per-run realisation variance (§6.1). A fixed program is the degenerate
+/// factory that ignores the index.
+pub type ProgramFactory = Box<dyn FnMut(usize) -> DemandProgram + Send>;
+
+/// One cluster's job: the shared run state plus per-socket demand variants.
+struct ClusterJob {
+    run: RunningWorkload,
+    socket_programs: Vec<DemandProgram>,
+    /// Regenerates the program per run; `None` replays the same program.
+    factory: Option<ProgramFactory>,
+    /// Run index the current program realises.
+    realized_run: usize,
+    /// Stream for per-run socket variants.
+    variant_rng: RngStream,
+}
+
+/// Builds the per-socket demand variants for one base program.
+fn make_variants(
+    base: &DemandProgram,
+    tdp: f64,
+    per_cluster: usize,
+    rng: &RngStream,
+) -> Vec<DemandProgram> {
+    (0..per_cluster)
+        .map(|s| dps_workloads::generator::socket_variant(base, tdp, s, rng))
+        .collect()
+}
+
+/// The simulator.
+///
+/// ```
+/// use dps_cluster::{ClusterSim, ExperimentConfig};
+/// use dps_core::manager::ManagerKind;
+/// use dps_rapl::Topology;
+/// use dps_sim_core::RngStream;
+/// use dps_workloads::{DemandProgram, Phase};
+///
+/// // A downsized testbed: 2 clusters × 1 node × 2 sockets under DPS.
+/// let mut cfg = ExperimentConfig::paper_default(1, 1);
+/// cfg.sim.topology = Topology::new(2, 1, 2);
+///
+/// let hot = DemandProgram::new(vec![Phase::constant(30.0, 150.0)]);
+/// let cool = DemandProgram::new(vec![Phase::constant(30.0, 50.0)]);
+/// let mut sim = ClusterSim::new(
+///     cfg.sim.clone(),
+///     vec![hot, cool],
+///     cfg.build_manager(ManagerKind::Dps),
+///     &RngStream::new(1, "docs"),
+/// );
+///
+/// // Run until the hot cluster's job completes once.
+/// sim.run_until(10_000, |s| s.runs_completed(0) >= 1);
+/// assert_eq!(sim.runs_completed(0), 1);
+/// assert!(sim.fairness(0, 1) > 0.5);
+/// ```
+pub struct ClusterSim {
+    config: SimConfig,
+    bank: DomainBank,
+    jobs: Vec<ClusterJob>,
+    manager: Box<dyn PowerManager>,
+    clock: SimClock,
+    caps: Vec<Watts>,
+    satisfaction: Vec<SatisfactionTracker>,
+    log: CycleLog,
+    // Scratch buffers reused each cycle (steady state allocates nothing).
+    demands: Vec<Watts>,
+    measured: Vec<Watts>,
+    true_power: Vec<Watts>,
+}
+
+impl ClusterSim {
+    /// Builds a simulator running one workload per cluster under `manager`.
+    ///
+    /// `programs[c]` is cluster `c`'s base demand program; per-socket
+    /// variants are derived deterministically from `rng`. The workload
+    /// repeats with the configured idle gap.
+    ///
+    /// # Panics
+    /// Panics unless one program per cluster is supplied and the config
+    /// validates (see [`SimConfig::validate`]).
+    pub fn new(
+        config: SimConfig,
+        programs: Vec<DemandProgram>,
+        manager: Box<dyn PowerManager>,
+        rng: &RngStream,
+    ) -> Self {
+        config.validate().expect("invalid sim config");
+        assert_eq!(
+            programs.len(),
+            config.topology.clusters,
+            "one program per cluster"
+        );
+        assert_eq!(
+            manager.num_units(),
+            config.topology.total_units(),
+            "manager sized for the topology"
+        );
+        let n = config.topology.total_units();
+        let bank = DomainBank::homogeneous(n, config.domain_spec, config.noise.clone(), rng);
+
+        let jobs = programs
+            .into_iter()
+            .enumerate()
+            .map(|(c, base)| {
+                let variant_rng = rng.child(&format!("cluster/{c}/variants"));
+                let socket_programs = make_variants(
+                    &base,
+                    config.domain_spec.tdp,
+                    config.topology.units_per_cluster(),
+                    &variant_rng,
+                );
+                ClusterJob {
+                    run: RunningWorkload::repeating(base, config.perf, config.idle_gap),
+                    socket_programs,
+                    factory: None,
+                    realized_run: 0,
+                    variant_rng,
+                }
+            })
+            .collect();
+
+        let constant = dps_core::manager::constant_cap(
+            config.total_budget(),
+            n,
+            dps_core::manager::UnitLimits {
+                min_cap: config.domain_spec.min_cap,
+                max_cap: config.domain_spec.tdp,
+            },
+        );
+        let mut sim = Self {
+            caps: vec![constant; n],
+            satisfaction: (0..config.topology.clusters)
+                .map(|_| SatisfactionTracker::new())
+                .collect(),
+            log: CycleLog::disabled(),
+            demands: vec![0.0; n],
+            measured: vec![0.0; n],
+            true_power: vec![0.0; n],
+            clock: SimClock::new(config.period),
+            bank,
+            jobs,
+            manager,
+            config,
+        };
+        for u in 0..n {
+            sim.bank.set_cap(u, sim.caps[u]);
+        }
+        sim
+    }
+
+    /// Builds a simulator whose workloads regenerate per run: `factories[c]`
+    /// is called with the run index to produce each realisation of cluster
+    /// `c`'s program (run 0 is generated immediately).
+    ///
+    /// Realisations swap at run boundaries, which are only observable when
+    /// `idle_gap >= period` (the default setup). With a shorter gap the next
+    /// run can start inside the completing window, in which case it reuses
+    /// the previous realisation and the swap lands one run later.
+    ///
+    /// # Panics
+    /// Panics unless one factory per cluster is supplied (plus the
+    /// [`ClusterSim::new`] conditions).
+    pub fn with_factories(
+        config: SimConfig,
+        mut factories: Vec<ProgramFactory>,
+        manager: Box<dyn PowerManager>,
+        rng: &RngStream,
+    ) -> Self {
+        assert_eq!(
+            factories.len(),
+            config.topology.clusters,
+            "one factory per cluster"
+        );
+        let programs: Vec<DemandProgram> = factories.iter_mut().map(|f| f(0)).collect();
+        let mut sim = Self::new(config, programs, manager, rng);
+        for (job, factory) in sim.jobs.iter_mut().zip(factories) {
+            job.factory = Some(factory);
+        }
+        sim
+    }
+
+    /// Enables per-cycle logging (records every window from now on).
+    pub fn enable_logging(&mut self) {
+        self.log = CycleLog::enabled();
+    }
+
+    /// The log collected so far.
+    pub fn log(&self) -> &CycleLog {
+        &self.log
+    }
+
+    /// The sim config.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Current caps (as last assigned by the manager).
+    pub fn caps(&self) -> &[Watts] {
+        &self.caps
+    }
+
+    /// Completed run count for a cluster's workload.
+    pub fn runs_completed(&self, cluster: usize) -> usize {
+        self.jobs[cluster].run.runs_completed()
+    }
+
+    /// Completed run durations for a cluster's workload.
+    pub fn run_durations(&self, cluster: usize) -> &[Seconds] {
+        self.jobs[cluster].run.run_durations()
+    }
+
+    /// Satisfaction of a cluster so far (Eq. 1).
+    pub fn satisfaction(&self, cluster: usize) -> f64 {
+        self.satisfaction[cluster].satisfaction()
+    }
+
+    /// Fairness between two clusters so far (Eq. 2).
+    pub fn fairness(&self, i: usize, j: usize) -> f64 {
+        1.0 - (self.satisfaction(i) - self.satisfaction(j)).abs()
+    }
+
+    /// Simulated time.
+    pub fn now(&self) -> Seconds {
+        self.clock.now()
+    }
+
+    /// Elapsed decision cycles.
+    pub fn timestep(&self) -> u64 {
+        self.clock.timestep()
+    }
+
+    /// The manager's priority flags (DPS only).
+    pub fn priorities(&self) -> Option<&[bool]> {
+        self.manager.priorities()
+    }
+
+    /// Runs one decision cycle.
+    pub fn cycle(&mut self) {
+        let topo = self.config.topology;
+        let period = self.config.period;
+        let idle = self.config.domain_spec.idle_power;
+
+        // (1) Demands from job positions.
+        for (c, job) in self.jobs.iter().enumerate() {
+            let active = job.run.demand() > 0.0;
+            let pos = job.run.position();
+            let range = topo.cluster_range(c);
+            for (s, u) in range.enumerate() {
+                self.demands[u] = if active {
+                    job.socket_programs[s].demand_at(pos)
+                } else {
+                    0.0
+                };
+            }
+        }
+
+        // (2) Domains deliver power for this window.
+        let true_power = self.bank.step_all(&self.demands, period);
+        self.true_power.copy_from_slice(&true_power);
+
+        // (3) Clients read noisy measurements and report them — through the
+        // 3-byte wire frames when the protocol is enabled.
+        for u in 0..self.measured.len() {
+            let reading = self.bank.read_power(u);
+            self.measured[u] = if self.config.use_wire_protocol {
+                let frame = crate::protocol::Frame::power_report(reading);
+                crate::protocol::Frame::decode(frame.encode())
+                    .expect("own frame decodes")
+                    .watts()
+            } else {
+                reading
+            };
+        }
+
+        // (4) Manager decides.
+        self.manager.observe_demands(&self.demands);
+        self.manager
+            .assign_caps(&self.measured, &mut self.caps, period);
+
+        // (5) Program the new caps (take effect next window).
+        for (u, &cap) in self.caps.iter().enumerate() {
+            let cap = if self.config.use_wire_protocol {
+                let frame = crate::protocol::Frame::set_cap(cap);
+                crate::protocol::Frame::decode(frame.encode())
+                    .expect("own frame decodes")
+                    .watts()
+            } else {
+                cap
+            };
+            self.bank.set_cap(u, cap);
+        }
+
+        // (6) Jobs advance at the pace of their slowest socket: Spark
+        // stages and NPB iterations are barrier-synchronised, so a single
+        // starved socket stalls the whole job. This is the straggler effect
+        // the paper's readjusting module explicitly repairs ("fix any major
+        // unfairness due to the Stateless Module's random ordering",
+        // §4.3.4).
+        for (c, job) in self.jobs.iter_mut().enumerate() {
+            let range = topo.cluster_range(c);
+            let active = job.run.demand() > 0.0;
+            if active {
+                let mut rate: f64 = 1.0;
+                for u in range.clone() {
+                    rate = rate.min(self.config.perf.rate(self.demands[u], self.true_power[u]));
+                }
+                job.run.advance_with_rate(rate, period);
+            } else {
+                // Gap or pre-start: rate is irrelevant, time still passes.
+                job.run.advance_with_rate(1.0, period);
+            }
+
+            // (7) Satisfaction accounting.
+            for u in range {
+                self.satisfaction[c].record(self.demands[u], self.true_power[u], idle);
+            }
+        }
+
+        // (8) Per-run realisation swap: a completed run's successor gets a
+        // freshly generated program (and socket variants) at the run
+        // boundary.
+        let tdp = self.config.domain_spec.tdp;
+        let per_cluster = topo.units_per_cluster();
+        for job in &mut self.jobs {
+            if let Some(factory) = job.factory.as_mut() {
+                let completed = job.run.runs_completed();
+                if completed > job.realized_run && job.run.position() == 0.0 {
+                    let base = factory(completed);
+                    let run_rng = job.variant_rng.child(&format!("run{completed}"));
+                    job.socket_programs = make_variants(&base, tdp, per_cluster, &run_rng);
+                    job.run.replace_program(base);
+                    job.realized_run = completed;
+                }
+            }
+        }
+
+        if self.log.is_enabled() {
+            self.log.push(CycleRecord {
+                time: self.clock.now(),
+                power: self.measured.clone(),
+                caps: self.caps.clone(),
+                demand: self.demands.clone(),
+                priority: self
+                    .manager
+                    .priorities()
+                    .map(|p| p.to_vec())
+                    .unwrap_or_default(),
+            });
+        }
+
+        self.clock.advance();
+    }
+
+    /// Runs cycles until `stop` returns true or `max_steps` elapse. Returns
+    /// the number of cycles executed.
+    pub fn run_until(&mut self, max_steps: u64, mut stop: impl FnMut(&ClusterSim) -> bool) -> u64 {
+        let mut steps = 0;
+        while steps < max_steps && !stop(self) {
+            self.cycle();
+            steps += 1;
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_core::manager::UnitLimits;
+    use dps_core::{ConstantManager, DpsConfig, DpsManager, SlurmManager};
+    use dps_workloads::{Phase, PhaseShape};
+
+    fn flat(duration: f64, watts: f64) -> DemandProgram {
+        DemandProgram::new(vec![Phase {
+            duration,
+            shape: PhaseShape::Constant(watts),
+        }])
+    }
+
+    fn small_config() -> SimConfig {
+        SimConfig {
+            topology: Topology::new(2, 1, 2), // 4 units
+            noise: NoiseModel::None,
+            ..SimConfig::paper_default()
+        }
+    }
+
+    fn constant_mgr(cfg: &SimConfig) -> Box<dyn PowerManager> {
+        Box::new(ConstantManager::new(
+            cfg.topology.total_units(),
+            cfg.total_budget(),
+            UnitLimits {
+                min_cap: cfg.domain_spec.min_cap,
+                max_cap: cfg.domain_spec.tdp,
+            },
+        ))
+    }
+
+    #[test]
+    fn constant_caps_stay_constant() {
+        let cfg = small_config();
+        let mgr = constant_mgr(&cfg);
+        let rng = RngStream::new(1, "sim-test");
+        let mut sim = ClusterSim::new(
+            cfg.clone(),
+            vec![flat(50.0, 150.0), flat(50.0, 60.0)],
+            mgr,
+            &rng,
+        );
+        for _ in 0..30 {
+            sim.cycle();
+        }
+        for &c in sim.caps() {
+            assert!((c - 110.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn workload_completes_and_repeats() {
+        let cfg = small_config();
+        let mgr = constant_mgr(&cfg);
+        let rng = RngStream::new(2, "sim-test");
+        let mut sim = ClusterSim::new(cfg, vec![flat(20.0, 100.0), flat(30.0, 100.0)], mgr, &rng);
+        // Demand 100 < cap 110 → full speed; 20 s run + 10 s gap → 2 runs by ~65.
+        let steps = sim.run_until(200, |s| s.runs_completed(0) >= 2);
+        assert!(steps < 200, "should finish early");
+        assert_eq!(sim.runs_completed(0), 2);
+        let d = sim.run_durations(0)[0];
+        assert!((d - 20.0).abs() < 1.5, "nominal duration, got {d}");
+    }
+
+    #[test]
+    fn throttled_cluster_runs_longer() {
+        let cfg = small_config();
+        let rng = RngStream::new(3, "sim-test");
+        // Cluster 0 demands 160 W vs 110 W constant caps → stretched.
+        let mgr = constant_mgr(&cfg);
+        let mut sim = ClusterSim::new(cfg, vec![flat(50.0, 160.0), flat(50.0, 60.0)], mgr, &rng);
+        sim.run_until(400, |s| {
+            s.runs_completed(0) >= 1 && s.runs_completed(1) >= 1
+        });
+        let d_hot = sim.run_durations(0)[0];
+        let d_cool = sim.run_durations(1)[0];
+        assert!(d_hot > d_cool + 5.0, "hot {d_hot} vs cool {d_cool}");
+        assert!(sim.satisfaction(0) < 0.85, "{}", sim.satisfaction(0));
+        assert!(sim.satisfaction(1) > 0.99);
+    }
+
+    #[test]
+    fn slurm_shifts_power_to_hot_cluster() {
+        let cfg = small_config();
+        let budget = cfg.total_budget();
+        let rng = RngStream::new(4, "sim-test");
+        let mgr: Box<dyn PowerManager> = Box::new(SlurmManager::new(
+            cfg.topology.total_units(),
+            budget,
+            UnitLimits {
+                min_cap: cfg.domain_spec.min_cap,
+                max_cap: cfg.domain_spec.tdp,
+            },
+            Default::default(),
+            rng.child("mgr"),
+        ));
+        let mut sim = ClusterSim::new(cfg, vec![flat(400.0, 160.0), flat(400.0, 30.0)], mgr, &rng);
+        for _ in 0..40 {
+            sim.cycle();
+        }
+        // Hot cluster's sockets (units 0,1) should have grown past 110;
+        // idle cluster's (units 2,3) shrunk.
+        assert!(sim.caps()[0] > 130.0, "{:?}", sim.caps());
+        assert!(sim.caps()[2] < 70.0, "{:?}", sim.caps());
+    }
+
+    #[test]
+    fn dps_budget_always_respected() {
+        let cfg = small_config();
+        let budget = cfg.total_budget();
+        let rng = RngStream::new(5, "sim-test");
+        let mgr: Box<dyn PowerManager> = Box::new(DpsManager::new(
+            cfg.topology.total_units(),
+            budget,
+            UnitLimits {
+                min_cap: cfg.domain_spec.min_cap,
+                max_cap: cfg.domain_spec.tdp,
+            },
+            DpsConfig::default(),
+            rng.child("mgr"),
+        ));
+        let mut sim = ClusterSim::new(cfg, vec![flat(200.0, 160.0), flat(200.0, 150.0)], mgr, &rng);
+        for _ in 0..150 {
+            sim.cycle();
+            let sum: f64 = sim.caps().iter().sum();
+            assert!(sum <= budget + 1e-6, "cycle {}: {sum}", sim.timestep());
+        }
+    }
+
+    #[test]
+    fn logging_captures_cycles() {
+        let cfg = small_config();
+        let mgr = constant_mgr(&cfg);
+        let rng = RngStream::new(6, "sim-test");
+        let mut sim = ClusterSim::new(cfg, vec![flat(20.0, 120.0), flat(20.0, 50.0)], mgr, &rng);
+        sim.enable_logging();
+        for _ in 0..10 {
+            sim.cycle();
+        }
+        assert_eq!(sim.log().records().len(), 10);
+        let demand0 = sim.log().demand_series(0);
+        assert!(demand0.iter().all(|&d| d > 100.0), "{demand0:?}");
+    }
+
+    #[test]
+    fn fairness_perfect_when_unconstrained() {
+        let cfg = small_config();
+        let mgr = constant_mgr(&cfg);
+        let rng = RngStream::new(7, "sim-test");
+        let mut sim = ClusterSim::new(cfg, vec![flat(50.0, 90.0), flat(50.0, 70.0)], mgr, &rng);
+        for _ in 0..60 {
+            sim.cycle();
+        }
+        assert!(sim.fairness(0, 1) > 0.999, "{}", sim.fairness(0, 1));
+    }
+
+    #[test]
+    fn run_until_respects_max_steps() {
+        let cfg = small_config();
+        let mgr = constant_mgr(&cfg);
+        let rng = RngStream::new(8, "sim-test");
+        let mut sim = ClusterSim::new(
+            cfg,
+            vec![flat(1000.0, 100.0), flat(1000.0, 100.0)],
+            mgr,
+            &rng,
+        );
+        let steps = sim.run_until(25, |_| false);
+        assert_eq!(steps, 25);
+        assert_eq!(sim.timestep(), 25);
+    }
+
+    #[test]
+    fn wire_protocol_changes_nothing_material() {
+        // Same run with and without the 3-byte frames: caps differ by at
+        // most the 0.1 W quantization per hop.
+        let mut cfg_a = small_config();
+        cfg_a.noise = NoiseModel::None;
+        let mut cfg_b = cfg_a.clone();
+        cfg_b.use_wire_protocol = true;
+        let rng = RngStream::new(21, "wire-test");
+        let programs = || vec![flat(60.0, 150.0), flat(60.0, 60.0)];
+        let mut sim_a = ClusterSim::new(cfg_a.clone(), programs(), constant_mgr(&cfg_a), &rng);
+        let mut sim_b = ClusterSim::new(cfg_b.clone(), programs(), constant_mgr(&cfg_b), &rng);
+        for _ in 0..50 {
+            sim_a.cycle();
+            sim_b.cycle();
+        }
+        for (a, b) in sim_a.caps().iter().zip(sim_b.caps()) {
+            assert!((a - b).abs() <= 0.2, "{a} vs {b}");
+        }
+        assert!((sim_a.satisfaction(0) - sim_b.satisfaction(0)).abs() < 0.01);
+    }
+
+    #[test]
+    fn wire_protocol_budget_respected_with_dps() {
+        let mut cfg = small_config();
+        cfg.use_wire_protocol = true;
+        let budget = cfg.total_budget();
+        let rng = RngStream::new(22, "wire-dps");
+        let mgr: Box<dyn PowerManager> = Box::new(DpsManager::new(
+            cfg.topology.total_units(),
+            budget,
+            UnitLimits {
+                min_cap: cfg.domain_spec.min_cap,
+                max_cap: cfg.domain_spec.tdp,
+            },
+            DpsConfig::default(),
+            rng.child("mgr"),
+        ));
+        let mut sim = ClusterSim::new(cfg, vec![flat(100.0, 160.0), flat(100.0, 150.0)], mgr, &rng);
+        for _ in 0..120 {
+            sim.cycle();
+            // Wire quantization rounds caps to 0.1 W; allow that slack.
+            assert!(sim.caps().iter().sum::<f64>() <= budget + 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one program per cluster")]
+    fn program_count_mismatch_panics() {
+        let cfg = small_config();
+        let mgr = constant_mgr(&cfg);
+        let rng = RngStream::new(9, "sim-test");
+        ClusterSim::new(cfg, vec![flat(10.0, 100.0)], mgr, &rng);
+    }
+}

@@ -1,0 +1,228 @@
+//! Budget arithmetic shared by the managers.
+//!
+//! Every policy must uphold one invariant: caps sum to at most the cluster
+//! budget. The helpers here distribute Watts under per-unit ceilings (with
+//! clamp-remainder redistribution) and check the invariant.
+
+use crate::manager::UnitLimits;
+use dps_sim_core::units::Watts;
+
+/// Numerical slack tolerated on the budget invariant (Watts).
+pub const BUDGET_EPSILON: Watts = 1e-6;
+
+/// Asserts (in debug builds) that caps respect the budget and unit limits.
+pub fn debug_assert_budget(caps: &[Watts], total_budget: Watts, limits: UnitLimits) {
+    debug_assert!(
+        caps.iter().sum::<f64>() <= total_budget + BUDGET_EPSILON,
+        "caps sum {} exceeds budget {}",
+        caps.iter().sum::<f64>(),
+        total_budget
+    );
+    for (i, &c) in caps.iter().enumerate() {
+        debug_assert!(
+            c >= limits.min_cap - BUDGET_EPSILON && c <= limits.max_cap + BUDGET_EPSILON,
+            "cap[{i}] = {c} outside [{}, {}]",
+            limits.min_cap,
+            limits.max_cap
+        );
+    }
+}
+
+/// Checks the invariant, returning an error string (for release-mode tests).
+pub fn check_budget(caps: &[Watts], total_budget: Watts, limits: UnitLimits) -> Result<(), String> {
+    let sum: f64 = caps.iter().sum();
+    if sum > total_budget + BUDGET_EPSILON {
+        return Err(format!("caps sum {sum} exceeds budget {total_budget}"));
+    }
+    for (i, &c) in caps.iter().enumerate() {
+        if c < limits.min_cap - BUDGET_EPSILON || c > limits.max_cap + BUDGET_EPSILON {
+            return Err(format!(
+                "cap[{i}] = {c} outside [{}, {}]",
+                limits.min_cap, limits.max_cap
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Distributes `amount` Watts of *additional* budget across the selected
+/// units proportionally to `weights`, never pushing a cap above `max_cap`.
+/// Clamp remainders are redistributed over the remaining unsaturated units
+/// (water-filling), so the full amount is spent whenever headroom exists.
+///
+/// Returns the Watts actually assigned (≤ `amount`; less only when every
+/// selected unit hits its ceiling).
+pub fn distribute_weighted(
+    caps: &mut [Watts],
+    selected: &[usize],
+    weights: &[f64],
+    amount: Watts,
+    max_cap: Watts,
+) -> Watts {
+    assert_eq!(
+        selected.len(),
+        weights.len(),
+        "one weight per selected unit"
+    );
+    if amount <= 0.0 || selected.is_empty() {
+        return 0.0;
+    }
+    let mut remaining = amount;
+    let mut active: Vec<usize> = (0..selected.len())
+        .filter(|&k| weights[k] > 0.0 && caps[selected[k]] < max_cap - BUDGET_EPSILON)
+        .collect();
+
+    // Water-fill: at most `active.len()` rounds since each round saturates
+    // at least one unit or exhausts the remainder.
+    for _ in 0..selected.len().max(1) {
+        if remaining <= BUDGET_EPSILON || active.is_empty() {
+            break;
+        }
+        let weight_sum: f64 = active.iter().map(|&k| weights[k]).sum();
+        if weight_sum <= 0.0 {
+            break;
+        }
+        let mut next_active = Vec::with_capacity(active.len());
+        let mut spent = 0.0;
+        for &k in &active {
+            let unit = selected[k];
+            let share = remaining * weights[k] / weight_sum;
+            let headroom = max_cap - caps[unit];
+            let grant = share.min(headroom);
+            caps[unit] += grant;
+            spent += grant;
+            if caps[unit] < max_cap - BUDGET_EPSILON {
+                next_active.push(k);
+            }
+        }
+        remaining -= spent;
+        if next_active.len() == active.len() {
+            // Nobody saturated → everything distributable was distributed.
+            break;
+        }
+        active = next_active;
+    }
+    amount - remaining
+}
+
+/// Scales all caps down proportionally (toward `min_cap`) until they sum to
+/// at most `total_budget`. A numerical safety net, not a policy: managers
+/// should already respect the budget.
+pub fn enforce_budget(caps: &mut [Watts], total_budget: Watts, limits: UnitLimits) {
+    let sum: f64 = caps.iter().sum();
+    if sum <= total_budget + BUDGET_EPSILON || sum <= 0.0 {
+        return;
+    }
+    // Scale the above-minimum portion of each cap.
+    let floor_sum = limits.min_cap * caps.len() as f64;
+    let scalable = (sum - floor_sum).max(0.0);
+    let target = (total_budget - floor_sum).max(0.0);
+    let factor = if scalable > 0.0 {
+        target / scalable
+    } else {
+        0.0
+    };
+    for c in caps.iter_mut() {
+        *c = limits.min_cap + (*c - limits.min_cap).max(0.0) * factor;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIMITS: UnitLimits = UnitLimits {
+        min_cap: 40.0,
+        max_cap: 165.0,
+    };
+
+    #[test]
+    fn check_budget_accepts_valid() {
+        let caps = vec![110.0; 4];
+        assert!(check_budget(&caps, 440.0, LIMITS).is_ok());
+    }
+
+    #[test]
+    fn check_budget_rejects_over_budget() {
+        let caps = vec![120.0; 4];
+        assert!(check_budget(&caps, 440.0, LIMITS).is_err());
+    }
+
+    #[test]
+    fn check_budget_rejects_out_of_range_cap() {
+        let caps = vec![30.0, 110.0];
+        assert!(check_budget(&caps, 300.0, LIMITS).is_err());
+        let caps = vec![170.0, 40.0];
+        assert!(check_budget(&caps, 300.0, LIMITS).is_err());
+    }
+
+    #[test]
+    fn distribute_proportional_to_weights() {
+        let mut caps = vec![50.0, 50.0, 50.0];
+        let assigned = distribute_weighted(&mut caps, &[0, 1], &[1.0, 3.0], 40.0, 165.0);
+        assert!((assigned - 40.0).abs() < 1e-9);
+        assert!((caps[0] - 60.0).abs() < 1e-9);
+        assert!((caps[1] - 80.0).abs() < 1e-9);
+        assert_eq!(caps[2], 50.0, "unselected unit untouched");
+    }
+
+    #[test]
+    fn distribute_respects_ceiling_and_redistributes() {
+        let mut caps = vec![160.0, 100.0];
+        // Unit 0 can only absorb 5 W; the rest must flow to unit 1.
+        let assigned = distribute_weighted(&mut caps, &[0, 1], &[1.0, 1.0], 30.0, 165.0);
+        assert!((assigned - 30.0).abs() < 1e-9);
+        assert!((caps[0] - 165.0).abs() < 1e-9);
+        assert!((caps[1] - 125.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distribute_partial_when_everything_saturates() {
+        let mut caps = vec![160.0, 162.0];
+        let assigned = distribute_weighted(&mut caps, &[0, 1], &[1.0, 1.0], 100.0, 165.0);
+        assert!((assigned - 8.0).abs() < 1e-9, "assigned {assigned}");
+        assert_eq!(caps, vec![165.0, 165.0]);
+    }
+
+    #[test]
+    fn distribute_zero_amount_noop() {
+        let mut caps = vec![100.0];
+        assert_eq!(
+            distribute_weighted(&mut caps, &[0], &[1.0], 0.0, 165.0),
+            0.0
+        );
+        assert_eq!(caps, vec![100.0]);
+    }
+
+    #[test]
+    fn distribute_empty_selection_noop() {
+        let mut caps = vec![100.0];
+        assert_eq!(distribute_weighted(&mut caps, &[], &[], 50.0, 165.0), 0.0);
+    }
+
+    #[test]
+    fn enforce_budget_scales_down() {
+        let mut caps = vec![165.0, 165.0, 40.0];
+        enforce_budget(&mut caps, 330.0, LIMITS);
+        let sum: f64 = caps.iter().sum();
+        assert!(sum <= 330.0 + BUDGET_EPSILON, "sum {sum}");
+        // Minimum-cap unit untouched; others scaled equally.
+        assert_eq!(caps[2], 40.0);
+        assert!((caps[0] - caps[1]).abs() < 1e-9);
+        assert!(caps[0] >= 40.0);
+    }
+
+    #[test]
+    fn enforce_budget_noop_when_satisfied() {
+        let mut caps = vec![100.0, 100.0];
+        enforce_budget(&mut caps, 300.0, LIMITS);
+        assert_eq!(caps, vec![100.0, 100.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per selected unit")]
+    fn distribute_length_mismatch_panics() {
+        let mut caps = vec![100.0];
+        distribute_weighted(&mut caps, &[0], &[1.0, 2.0], 10.0, 165.0);
+    }
+}

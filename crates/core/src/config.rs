@@ -1,0 +1,299 @@
+//! Tunables for the stateless module and DPS, with the defaults used by the
+//! experiments.
+//!
+//! The paper publishes the *structure* of each module but not every constant
+//! (the artifact's `config.py` carries them). The defaults below were chosen
+//! so that on the motivational example (Fig. 1) and the workload families of
+//! Fig. 2 each module behaves as the text describes: the MIMD ramps a
+//! starved unit to its cap within a few cycles, LR/Linear trip the
+//! high-frequency detector, and LDA's 3-second 140 W rise trips the
+//! derivative detector immediately.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the stateless MIMD module (paper Alg. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MimdConfig {
+    /// Increase when `power > cap * inc_threshold` (unit is pushing against
+    /// its cap).
+    pub inc_threshold: f64,
+    /// Decrease when `power < cap * dec_threshold` (unit has headroom to
+    /// spare).
+    pub dec_threshold: f64,
+    /// Multiplicative increase factor (`inc_percentile` in the paper's
+    /// pseudocode), > 1.
+    pub inc_factor: f64,
+    /// Multiplicative decrease factor (`dec_percentile`), in (0, 1).
+    pub dec_factor: f64,
+}
+
+impl Default for MimdConfig {
+    fn default() -> Self {
+        Self {
+            inc_threshold: 0.95,
+            dec_threshold: 0.85,
+            inc_factor: 1.05,
+            dec_factor: 0.90,
+        }
+    }
+}
+
+impl MimdConfig {
+    /// Validates threshold ordering and factor ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0 < self.dec_threshold && self.dec_threshold < self.inc_threshold) {
+            return Err(format!(
+                "need 0 < dec_threshold < inc_threshold, got {} / {}",
+                self.dec_threshold, self.inc_threshold
+            ));
+        }
+        if self.inc_threshold > 1.0 {
+            return Err("inc_threshold above 1 can never trigger".into());
+        }
+        if self.inc_factor <= 1.0 {
+            return Err(format!("inc_factor must exceed 1, got {}", self.inc_factor));
+        }
+        if !(0.0 < self.dec_factor && self.dec_factor < 1.0) {
+            return Err(format!(
+                "dec_factor must be in (0,1), got {}",
+                self.dec_factor
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// All DPS tunables (paper §4.3, Algs. 2–4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DpsConfig {
+    /// Stateless-module parameters.
+    pub mimd: MimdConfig,
+    /// Length of the estimated power history per unit (the paper's default
+    /// of 20 time steps, §6.5).
+    pub history_len: usize,
+    /// Kalman process-noise variance Q (W²/step): how fast true power can
+    /// drift. High enough that 140 W/3 s application ramps are tracked.
+    pub kalman_q: f64,
+    /// Kalman measurement-noise variance R (W²): RAPL reading noise.
+    pub kalman_r: f64,
+    /// Peak prominence (W) for `count_prominent_peaks` — a power swing must
+    /// exceed this to count as a phase change.
+    pub peak_prominence: f64,
+    /// High-frequency entry: more prominent peaks than this in the history
+    /// window marks the unit high-frequency (Alg. 2 line 6). With the
+    /// default 20-step window, LR/Linear-style sub-10 s phases show 2+ peaks
+    /// per window while long-phase workloads show at most one, so the
+    /// default is 1.
+    pub pp_threshold: usize,
+    /// High-frequency exit also requires history std below this (Alg. 2
+    /// line 11).
+    pub std_threshold: f64,
+    /// Window (samples) for the first-derivative estimate (`direv_length`).
+    pub deriv_window: usize,
+    /// Derivative above this (W/s) marks a unit high priority (Alg. 2
+    /// line 17). Must sit well below the observable rise of a *capped*
+    /// unit: the MIMD floor keeps caps only ~15-20 % above a unit's
+    /// low-phase power, so a starved unit ramping into its cap shows only a
+    /// ~10-15 W rise spread across the derivative window.
+    pub deriv_inc_threshold: f64,
+    /// Derivative below this (W/s; negative) marks a unit low priority
+    /// (Alg. 2 line 20).
+    pub deriv_dec_threshold: f64,
+    /// Restore when every unit's power is below `initial_cap * this`
+    /// (Alg. 3 line 5).
+    pub restore_threshold: f64,
+    /// A unit whose power estimate is below this (W) can never be high
+    /// priority through the pinned/derivative path: any settable cap
+    /// already covers a sub-minimum draw, so extra budget cannot help it.
+    /// Set to the units' minimum cap. Without the floor, the few-Watt blip
+    /// of an idle workload starting its next run trips the derivative
+    /// detector and the deadband then holds the phantom priority.
+    pub min_active_power: f64,
+    /// A unit whose power estimate exceeds `cap * pinned_threshold` is
+    /// pinned against its cap and marked high priority — §4.4's "nodes that
+    /// need power *now*". Without it a unit parked at a tight cap has only
+    /// a few Watts of observable headroom and its demand surge would be
+    /// invisible to the derivative detector.
+    pub pinned_threshold: f64,
+    /// Leftover budget below this fraction of the total budget counts as
+    /// "no budget left" in Alg. 4, triggering equalization instead of
+    /// distribution. TDP clamping almost always strands a few Watts; without
+    /// this tolerance the equalization branch would be unreachable in
+    /// practice and high-priority units could stay grossly imbalanced.
+    pub equalize_slack: f64,
+}
+
+impl Default for DpsConfig {
+    fn default() -> Self {
+        Self {
+            mimd: MimdConfig::default(),
+            history_len: 20,
+            kalman_q: 25.0,
+            kalman_r: 4.0,
+            peak_prominence: 30.0,
+            pp_threshold: 1,
+            std_threshold: 20.0,
+            deriv_window: 3,
+            deriv_inc_threshold: 3.0,
+            deriv_dec_threshold: -3.0,
+            restore_threshold: 0.90,
+            min_active_power: 40.0,
+            pinned_threshold: 0.95,
+            equalize_slack: 0.02,
+        }
+    }
+}
+
+impl DpsConfig {
+    /// Validates all fields.
+    pub fn validate(&self) -> Result<(), String> {
+        self.mimd.validate()?;
+        if self.history_len < 2 {
+            return Err("history_len must be at least 2".into());
+        }
+        if self.kalman_q < 0.0 || self.kalman_r < 0.0 || self.kalman_q + self.kalman_r == 0.0 {
+            return Err("Kalman variances must be non-negative, not both zero".into());
+        }
+        if self.peak_prominence <= 0.0 {
+            return Err("peak_prominence must be positive".into());
+        }
+        if self.std_threshold <= 0.0 {
+            return Err("std_threshold must be positive".into());
+        }
+        if self.deriv_window < 1 || self.deriv_window >= self.history_len {
+            return Err(format!(
+                "deriv_window must be in [1, history_len), got {}",
+                self.deriv_window
+            ));
+        }
+        if self.deriv_inc_threshold <= 0.0 {
+            return Err("deriv_inc_threshold must be positive".into());
+        }
+        if self.deriv_dec_threshold >= 0.0 {
+            return Err("deriv_dec_threshold must be negative".into());
+        }
+        if !(0.0 < self.restore_threshold && self.restore_threshold <= 1.0) {
+            return Err("restore_threshold must be in (0,1]".into());
+        }
+        if !(0.0..0.5).contains(&self.equalize_slack) {
+            return Err("equalize_slack must be in [0, 0.5)".into());
+        }
+        // `INFINITY` is the documented "disabled" sentinel; NaN is rejected.
+        if self.pinned_threshold.is_nan() || self.pinned_threshold < 0.5 {
+            return Err("pinned_threshold must be at least 0.5".into());
+        }
+        if !(self.min_active_power.is_finite() && self.min_active_power >= 0.0) {
+            return Err("min_active_power must be non-negative".into());
+        }
+        Ok(())
+    }
+
+    /// A config with the Kalman filter effectively disabled (ablation:
+    /// measurements pass through, R→0).
+    pub fn without_kalman(mut self) -> Self {
+        self.kalman_r = 0.0;
+        self
+    }
+
+    /// A config with high-frequency detection disabled (ablation: the
+    /// peak-count gate never trips).
+    pub fn without_frequency_detection(mut self) -> Self {
+        self.pp_threshold = usize::MAX;
+        self
+    }
+
+    /// A config with the restore step disabled (ablation: any measurable
+    /// power at all counts as "busy", so Alg. 3 never fires).
+    pub fn without_restore(mut self) -> Self {
+        self.restore_threshold = f64::MIN_POSITIVE;
+        self
+    }
+
+    /// A config with the cap-pinned "needs power now" promotion disabled
+    /// (ablation: an infinite threshold can never be exceeded, leaving only
+    /// the derivative and frequency signals of the literal pseudocode).
+    pub fn without_pinned(mut self) -> Self {
+        self.pinned_threshold = f64::INFINITY;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert_eq!(MimdConfig::default().validate(), Ok(()));
+        assert_eq!(DpsConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn mimd_threshold_order_enforced() {
+        let bad = MimdConfig {
+            dec_threshold: 0.96,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn mimd_factor_ranges_enforced() {
+        let bad_inc = MimdConfig {
+            inc_factor: 0.9,
+            ..Default::default()
+        };
+        assert!(bad_inc.validate().is_err());
+        let bad_dec = MimdConfig {
+            dec_factor: 1.5,
+            ..Default::default()
+        };
+        assert!(bad_dec.validate().is_err());
+    }
+
+    #[test]
+    fn deriv_window_must_fit_history() {
+        let bad = DpsConfig {
+            deriv_window: 25,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn deriv_thresholds_signs_enforced() {
+        let bad = DpsConfig {
+            deriv_dec_threshold: 1.0,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad2 = DpsConfig {
+            deriv_inc_threshold: -1.0,
+            ..Default::default()
+        };
+        assert!(bad2.validate().is_err());
+    }
+
+    #[test]
+    fn ablation_constructors() {
+        let no_kf = DpsConfig::default().without_kalman();
+        assert_eq!(no_kf.kalman_r, 0.0);
+        assert_eq!(no_kf.validate(), Ok(()));
+        let no_freq = DpsConfig::default().without_frequency_detection();
+        assert_eq!(no_freq.pp_threshold, usize::MAX);
+        assert_eq!(no_freq.validate(), Ok(()));
+        let no_restore = DpsConfig::default().without_restore();
+        assert!(no_restore.restore_threshold > 0.0);
+        assert_eq!(no_restore.validate(), Ok(()));
+        let no_pinned = DpsConfig::default().without_pinned();
+        assert!(no_pinned.pinned_threshold.is_infinite());
+        assert_eq!(no_pinned.validate(), Ok(()));
+    }
+
+    #[test]
+    fn config_copy_semantics() {
+        let cfg = DpsConfig::default();
+        let copy = cfg;
+        assert_eq!(copy, cfg);
+    }
+}

@@ -1,0 +1,95 @@
+//! Constant allocation: every unit gets the same static cap.
+//!
+//! "Constant allocation systems assign an equal power budget to each node.
+//! This approach is simple to implement and clearly respects the
+//! cluster-wide power budget. However, it is rarely optimal as it cannot
+//! shift power dynamically based on demand" (§1). It is the baseline every
+//! figure normalises to — and the lower bound DPS guarantees.
+
+use crate::manager::{constant_cap, ManagerKind, PowerManager, UnitLimits};
+use dps_sim_core::units::{Seconds, Watts};
+
+/// The equal-static-cap policy.
+#[derive(Debug, Clone)]
+pub struct ConstantManager {
+    num_units: usize,
+    total_budget: Watts,
+    cap: Watts,
+}
+
+impl ConstantManager {
+    /// Creates the policy; the per-unit cap is `budget / n` clamped to the
+    /// unit limits.
+    pub fn new(num_units: usize, total_budget: Watts, limits: UnitLimits) -> Self {
+        limits
+            .check_feasible(total_budget, num_units)
+            .expect("infeasible budget");
+        let cap = constant_cap(total_budget, num_units, limits);
+        Self {
+            num_units,
+            total_budget,
+            cap,
+        }
+    }
+
+    /// The static per-unit cap.
+    pub fn cap(&self) -> Watts {
+        self.cap
+    }
+}
+
+impl PowerManager for ConstantManager {
+    fn kind(&self) -> ManagerKind {
+        ManagerKind::Constant
+    }
+
+    fn num_units(&self) -> usize {
+        self.num_units
+    }
+
+    fn total_budget(&self) -> Watts {
+        self.total_budget
+    }
+
+    fn assign_caps(&mut self, _measured: &[Watts], caps: &mut [Watts], _dt: Seconds) {
+        caps.fill(self.cap);
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_caps_equal_share() {
+        let mut m = ConstantManager::new(20, 2200.0, UnitLimits::xeon_gold_6240());
+        let mut caps = vec![0.0; 20];
+        m.assign_caps(&[50.0; 20], &mut caps, 1.0);
+        assert!(caps.iter().all(|&c| (c - 110.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn ignores_measurements() {
+        let mut m = ConstantManager::new(2, 220.0, UnitLimits::xeon_gold_6240());
+        let mut caps = vec![0.0, 0.0];
+        m.assign_caps(&[165.0, 0.0], &mut caps, 1.0);
+        assert_eq!(caps[0], caps[1]);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let m = ConstantManager::new(7, 777.0, UnitLimits::xeon_gold_6240());
+        assert!(m.cap() * 7.0 <= 777.0 + 1e-9);
+    }
+
+    #[test]
+    fn kind_and_accessors() {
+        let m = ConstantManager::new(4, 440.0, UnitLimits::xeon_gold_6240());
+        assert_eq!(m.kind(), ManagerKind::Constant);
+        assert_eq!(m.num_units(), 4);
+        assert_eq!(m.total_budget(), 440.0);
+        assert!(m.priorities().is_none());
+    }
+}

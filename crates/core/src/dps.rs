@@ -1,0 +1,385 @@
+//! The Dynamic Power Scheduler — the paper's contribution assembled.
+//!
+//! Per decision cycle (Fig. 3's control system):
+//!
+//! 1. the **stateless module** turns current power into a temporary cap
+//!    allocation (Alg. 1);
+//! 2. the **Kalman filter** absorbs measurement noise and appends the power
+//!    estimate to each unit's bounded history (§4.3.2);
+//! 3. the **priority module** classifies each unit's power dynamics —
+//!    prominent-peak frequency and windowed first derivative — into a binary
+//!    priority (Alg. 2);
+//! 4. the **cap readjusting module** restores the constant allocation when
+//!    the whole system is quiet, otherwise spends leftover budget on
+//!    high-priority units or equalizes their caps when the budget is
+//!    exhausted (Algs. 3–4), guaranteeing the constant-allocation lower
+//!    bound.
+
+use crate::budget::debug_assert_budget;
+use crate::config::DpsConfig;
+use crate::history::UnitState;
+use crate::manager::{constant_cap, ManagerKind, PowerManager, UnitLimits};
+use crate::priority::set_priorities;
+use crate::readjust::{readjust, restore};
+use crate::stateless::MimdModule;
+use dps_sim_core::rng::RngStream;
+use dps_sim_core::units::{Seconds, Watts};
+
+/// The model-free stateful power manager.
+///
+/// ```
+/// use dps_core::manager::{PowerManager, UnitLimits};
+/// use dps_core::{DpsConfig, DpsManager};
+/// use dps_sim_core::RngStream;
+///
+/// // Two sockets sharing a 220 W budget (110 W constant cap each).
+/// let mut dps = DpsManager::new(
+///     2,
+///     220.0,
+///     UnitLimits::xeon_gold_6240(),
+///     DpsConfig::default(),
+///     RngStream::new(42, "docs"),
+/// );
+/// let mut caps = vec![110.0, 110.0];
+///
+/// // Unit 0 ramps toward its cap while unit 1 idles: after a few cycles
+/// // unit 0 is high priority and holds at least the constant cap.
+/// for power in [30.0, 60.0, 95.0, 109.0, 109.0] {
+///     dps.assign_caps(&[power, 20.0], &mut caps, 1.0);
+/// }
+/// assert!(dps.priorities().unwrap()[0]);
+/// assert!(caps[0] >= 110.0);
+/// assert!(caps.iter().sum::<f64>() <= 220.0 + 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DpsManager {
+    config: DpsConfig,
+    limits: UnitLimits,
+    total_budget: Watts,
+    initial_cap: Watts,
+    mimd: MimdModule,
+    states: Vec<UnitState>,
+    rng: RngStream,
+    rng_initial: RngStream,
+    changed: Vec<bool>,
+    /// Priority snapshot exposed for logging.
+    priority_flags: Vec<bool>,
+    /// Whether the last cycle ended in a restore (exposed for tests/logs).
+    last_restored: bool,
+}
+
+impl DpsManager {
+    /// Creates the manager.
+    ///
+    /// # Panics
+    /// Panics on an invalid config.
+    pub fn new(
+        num_units: usize,
+        total_budget: Watts,
+        limits: UnitLimits,
+        config: DpsConfig,
+        rng: RngStream,
+    ) -> Self {
+        config.validate().expect("invalid DPS config");
+        limits
+            .check_feasible(total_budget, num_units)
+            .expect("infeasible budget");
+        let initial_cap = constant_cap(total_budget, num_units, limits);
+        Self {
+            mimd: MimdModule::new(config.mimd, limits, total_budget, num_units),
+            states: (0..num_units).map(|_| UnitState::new(&config)).collect(),
+            config,
+            limits,
+            total_budget,
+            initial_cap,
+            rng_initial: rng.clone(),
+            rng,
+            changed: vec![false; num_units],
+            priority_flags: vec![false; num_units],
+            last_restored: false,
+        }
+    }
+
+    /// The config in effect.
+    pub fn config(&self) -> &DpsConfig {
+        &self.config
+    }
+
+    /// The constant cap DPS restores to.
+    pub fn initial_cap(&self) -> Watts {
+        self.initial_cap
+    }
+
+    /// Which units' caps changed in the last cycle (traffic accounting).
+    pub fn changed(&self) -> &[bool] {
+        &self.changed
+    }
+
+    /// Whether the last cycle restored the constant allocation.
+    pub fn last_restored(&self) -> bool {
+        self.last_restored
+    }
+
+    /// Latest Kalman power estimates per unit (the artifact logs these).
+    pub fn estimates(&self) -> Vec<Watts> {
+        self.states.iter().map(|s| s.latest_estimate()).collect()
+    }
+
+    /// Read-only access to a unit's dynamic state (for the ablation and
+    /// overhead studies).
+    pub fn unit_state(&self, unit: usize) -> &UnitState {
+        &self.states[unit]
+    }
+}
+
+impl PowerManager for DpsManager {
+    fn kind(&self) -> ManagerKind {
+        ManagerKind::Dps
+    }
+
+    fn num_units(&self) -> usize {
+        self.states.len()
+    }
+
+    fn total_budget(&self) -> Watts {
+        self.total_budget
+    }
+
+    fn assign_caps(&mut self, measured: &[Watts], caps: &mut [Watts], dt: Seconds) {
+        assert_eq!(
+            measured.len(),
+            self.states.len(),
+            "one measurement per unit"
+        );
+
+        // (1) Stateless temporary allocation on raw current power (Fig. 3:
+        // the stateless module takes in current power directly).
+        let mut changed = std::mem::take(&mut self.changed);
+        self.mimd.apply(measured, caps, &mut changed, &mut self.rng);
+
+        // (2) Kalman-filtered estimates extend each unit's power history.
+        for (state, &z) in self.states.iter_mut().zip(measured) {
+            state.observe(z, dt);
+        }
+
+        // (3) Priorities from power dynamics (and the cap-pinned "needs
+        // power now" signal, judged against the temporary caps).
+        set_priorities(&mut self.states, caps, &self.config);
+        for (flag, state) in self.priority_flags.iter_mut().zip(&self.states) {
+            *flag = state.priority;
+        }
+
+        // (4) Restore, then readjust.
+        self.last_restored = restore(
+            measured,
+            caps,
+            &mut changed,
+            self.initial_cap,
+            self.config.restore_threshold,
+        );
+        readjust(
+            caps,
+            &mut changed,
+            &self.priority_flags,
+            self.total_budget,
+            self.limits,
+            self.last_restored,
+            self.config.equalize_slack * self.total_budget,
+        );
+
+        self.changed = changed;
+        debug_assert_budget(caps, self.total_budget, self.limits);
+    }
+
+    fn priorities(&self) -> Option<&[bool]> {
+        Some(&self.priority_flags)
+    }
+
+    fn reset(&mut self) {
+        for s in &mut self.states {
+            s.reset();
+        }
+        self.mimd.reset();
+        self.rng = self.rng_initial.clone();
+        self.changed.fill(false);
+        self.priority_flags.fill(false);
+        self.last_restored = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIMITS: UnitLimits = UnitLimits {
+        min_cap: 40.0,
+        max_cap: 165.0,
+    };
+
+    fn dps(n: usize, budget: Watts) -> DpsManager {
+        DpsManager::new(
+            n,
+            budget,
+            LIMITS,
+            DpsConfig::default(),
+            RngStream::new(3, "dps-test"),
+        )
+    }
+
+    /// Drives the manager with a closure producing per-unit power from caps
+    /// (power follows demand but never exceeds the cap).
+    fn drive(
+        m: &mut DpsManager,
+        caps: &mut [f64],
+        steps: usize,
+        demand: impl Fn(usize, usize) -> f64,
+    ) {
+        for t in 0..steps {
+            let measured: Vec<f64> = caps
+                .iter()
+                .enumerate()
+                .map(|(u, &c)| demand(t, u).min(c))
+                .collect();
+            m.assign_caps(&measured, caps, 1.0);
+        }
+    }
+
+    #[test]
+    fn quiet_system_restores_constant_caps() {
+        let mut m = dps(4, 440.0);
+        let mut caps = vec![110.0; 4];
+        drive(&mut m, &mut caps, 10, |_, _| 30.0);
+        assert!(m.last_restored());
+        assert!(caps.iter().all(|&c| (c - 110.0).abs() < 1e-9), "{caps:?}");
+    }
+
+    #[test]
+    fn riser_rescued_when_budget_exhausted() {
+        // The Fig. 1 scenario end-state: unit 0 grabbed everything, unit 1
+        // then ramps. DPS detects the rise and equalizes; SLURM cannot.
+        let mut m = dps(2, 220.0);
+        let mut caps = vec![110.0, 110.0];
+        // Phase 1: unit 0 hot, unit 1 idle → unit 0 accumulates budget.
+        drive(
+            &mut m,
+            &mut caps,
+            12,
+            |_, u| if u == 0 { 165.0 } else { 25.0 },
+        );
+        assert!(
+            caps[0] > 150.0,
+            "unit 0 should have grabbed budget: {caps:?}"
+        );
+        assert!(caps[1] < 70.0);
+        // Phase 2: unit 1 ramps hard to whatever it is allowed.
+        drive(&mut m, &mut caps, 12, |_, _| 165.0);
+        assert!(
+            (caps[1] - 110.0).abs() < 10.0,
+            "DPS must pull unit 1 back near the fair share: {caps:?}"
+        );
+        assert!(caps.iter().sum::<f64>() <= 220.0 + 1e-6);
+    }
+
+    #[test]
+    fn budget_respected_under_chaotic_load() {
+        let mut m = dps(8, 880.0);
+        let mut caps = vec![110.0; 8];
+        let mut rng = RngStream::new(77, "chaos");
+        for _ in 0..400 {
+            let measured: Vec<f64> = caps
+                .iter()
+                .map(|&c| rng.range(10.0..165.0_f64).min(c))
+                .collect();
+            m.assign_caps(&measured, &mut caps, 1.0);
+            assert!(caps.iter().sum::<f64>() <= 880.0 + 1e-6);
+            assert!(caps
+                .iter()
+                .all(|&c| (40.0 - 1e-9..=165.0 + 1e-9).contains(&c)));
+        }
+    }
+
+    #[test]
+    fn priorities_exposed_and_sized() {
+        let mut m = dps(3, 330.0);
+        let mut caps = vec![110.0; 3];
+        m.assign_caps(&[100.0, 20.0, 80.0], &mut caps, 1.0);
+        let p = m.priorities().unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn rising_unit_marked_high_priority() {
+        let mut m = dps(2, 220.0);
+        let mut caps = vec![110.0; 2];
+        // Unit 0 ramps 20 → 160 over a few cycles; unit 1 idles.
+        let ramp: [f64; 6] = [20.0, 20.0, 60.0, 105.0, 109.0, 109.0];
+        for &p in &ramp {
+            m.assign_caps(&[p.min(caps[0]), 20.0], &mut caps, 1.0);
+        }
+        assert!(m.priorities().unwrap()[0], "riser must be high priority");
+        assert!(!m.priorities().unwrap()[1], "idler must be low priority");
+    }
+
+    #[test]
+    fn estimates_follow_measurements() {
+        let mut m = dps(1, 110.0);
+        let mut caps = vec![110.0];
+        for _ in 0..20 {
+            m.assign_caps(&[100.0], &mut caps, 1.0);
+        }
+        assert!((m.estimates()[0] - 100.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn lower_bound_vs_constant_worst_case() {
+        // High-frequency antagonistic load: power flips faster than the
+        // manager reacts. DPS marks such units high priority and equalizes
+        // at ≥ the constant cap — it must never park a busy unit far below
+        // 110 W for long.
+        let mut m = dps(2, 220.0);
+        let mut caps = vec![110.0; 2];
+        let mut below_count = 0;
+        let mut steps = 0;
+        for t in 0..200 {
+            let p0: f64 = if t % 2 == 0 { 160.0 } else { 30.0 };
+            let p1: f64 = if t % 2 == 1 { 160.0 } else { 30.0 };
+            let measured = [p0.min(caps[0]), p1.min(caps[1])];
+            m.assign_caps(&measured, &mut caps, 1.0);
+            if t > 30 {
+                steps += 1;
+                if caps[0] < 100.0 || caps[1] < 100.0 {
+                    below_count += 1;
+                }
+            }
+        }
+        assert!(
+            (below_count as f64) < steps as f64 * 0.1,
+            "caps parked below fair share in {below_count}/{steps} steps"
+        );
+    }
+
+    #[test]
+    fn reset_reproduces_run() {
+        let mut m = dps(3, 330.0);
+        let mut caps_a = vec![110.0; 3];
+        let trace = [
+            [100.0, 20.0, 80.0],
+            [109.0, 25.0, 85.0],
+            [109.0, 90.0, 40.0],
+        ];
+        for step in &trace {
+            m.assign_caps(step, &mut caps_a, 1.0);
+        }
+        m.reset();
+        let mut caps_b = vec![110.0; 3];
+        for step in &trace {
+            m.assign_caps(step, &mut caps_b, 1.0);
+        }
+        assert_eq!(caps_a, caps_b);
+    }
+
+    #[test]
+    fn kind_is_dps() {
+        assert_eq!(dps(1, 110.0).kind(), ManagerKind::Dps);
+    }
+}

@@ -1,0 +1,268 @@
+//! A feedback-control baseline (PShifter-style).
+//!
+//! The paper's related work (§2.2) covers feedback-based power shifters —
+//! "PShifter: Feedback-Based Dynamic Power Shifting within HPC Jobs"
+//! (Gholkar et al., HPDC '18) and cluster-level feedback control (Wang &
+//! Chen, HPCA '08). This manager implements that archetype: a
+//! proportional–integral controller per unit drives every unit's *headroom*
+//! (cap − power) toward the cluster mean, shifting Watts from units with
+//! slack to units pressed against their caps.
+//!
+//! Like DPS it is model-free; unlike DPS it is *level*-based feedback: it
+//! reacts to the current imbalance with first-order dynamics and has no
+//! notion of where power is heading, so it trades convergence speed against
+//! oscillation through its gains.
+
+use crate::budget::{debug_assert_budget, distribute_weighted, enforce_budget, BUDGET_EPSILON};
+use crate::manager::{ManagerKind, PowerManager, UnitLimits};
+use dps_sim_core::units::{Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// PI gains and limits for the feedback manager.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackConfig {
+    /// Proportional gain on the headroom error (per cycle).
+    pub kp: f64,
+    /// Integral gain.
+    pub ki: f64,
+    /// Anti-windup clamp on the integral term (Watts).
+    pub integral_clamp: f64,
+    /// Per-cycle integral leak in (0, 1]: stale windup from a past slack
+    /// period decays away instead of grinding a now-pinned unit's cap down
+    /// forever (error is ~0 at the pin, so without the leak the integral
+    /// never unwinds).
+    pub integral_decay: f64,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        Self {
+            kp: 0.4,
+            ki: 0.05,
+            integral_clamp: 100.0,
+            integral_decay: 0.95,
+        }
+    }
+}
+
+impl FeedbackConfig {
+    /// Validates gain ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0 < self.kp && self.kp <= 1.0) {
+            return Err(format!("kp must be in (0,1], got {}", self.kp));
+        }
+        if !(0.0 <= self.ki && self.ki <= 1.0) {
+            return Err(format!("ki must be in [0,1], got {}", self.ki));
+        }
+        if self.integral_clamp <= 0.0 {
+            return Err("integral_clamp must be positive".into());
+        }
+        if !(0.0 < self.integral_decay && self.integral_decay <= 1.0) {
+            return Err("integral_decay must be in (0,1]".into());
+        }
+        Ok(())
+    }
+}
+
+/// Headroom-equalizing PI power shifter.
+///
+/// ```
+/// use dps_core::manager::{PowerManager, UnitLimits};
+/// use dps_core::{FeedbackConfig, FeedbackManager};
+///
+/// let mut fb = FeedbackManager::new(2, 220.0, UnitLimits::xeon_gold_6240(),
+///                                   FeedbackConfig::default());
+/// let mut caps = vec![110.0, 110.0];
+/// // Unit 0 pressed against its cap, unit 1 mostly idle: Watts shift.
+/// for _ in 0..10 {
+///     let measured = [caps[0] - 1.0, 30.0_f64.min(caps[1])];
+///     fb.assign_caps(&measured, &mut caps, 1.0);
+/// }
+/// assert!(caps[0] > caps[1]);
+/// assert!(caps.iter().sum::<f64>() <= 220.0 + 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FeedbackManager {
+    config: FeedbackConfig,
+    limits: UnitLimits,
+    total_budget: Watts,
+    /// Integral state per unit.
+    integral: Vec<f64>,
+}
+
+impl FeedbackManager {
+    /// Creates the manager.
+    ///
+    /// # Panics
+    /// Panics on an invalid config.
+    pub fn new(
+        num_units: usize,
+        total_budget: Watts,
+        limits: UnitLimits,
+        config: FeedbackConfig,
+    ) -> Self {
+        config.validate().expect("invalid feedback config");
+        limits
+            .check_feasible(total_budget, num_units)
+            .expect("infeasible budget");
+        Self {
+            config,
+            limits,
+            total_budget,
+            integral: vec![0.0; num_units],
+        }
+    }
+
+    /// The config in effect.
+    pub fn config(&self) -> &FeedbackConfig {
+        &self.config
+    }
+}
+
+impl PowerManager for FeedbackManager {
+    fn kind(&self) -> ManagerKind {
+        ManagerKind::Feedback
+    }
+
+    fn num_units(&self) -> usize {
+        self.integral.len()
+    }
+
+    fn total_budget(&self) -> Watts {
+        self.total_budget
+    }
+
+    fn assign_caps(&mut self, measured: &[Watts], caps: &mut [Watts], _dt: Seconds) {
+        let n = caps.len();
+        assert_eq!(measured.len(), n);
+        // Headroom per unit and the mean headroom (the setpoint).
+        let mean_headroom = caps.iter().zip(measured).map(|(c, p)| c - p).sum::<f64>() / n as f64;
+
+        for u in 0..n {
+            let error = (caps[u] - measured[u]) - mean_headroom;
+            // Positive error = this unit has above-average slack → shrink.
+            self.integral[u] = (self.integral[u] * self.config.integral_decay + error)
+                .clamp(-self.config.integral_clamp, self.config.integral_clamp);
+            let delta = self.config.kp * error + self.config.ki * self.integral[u];
+            caps[u] = self.limits.clamp(caps[u] - delta);
+        }
+        // Σerror = 0 keeps the sum invariant pre-clamp, but clamping is
+        // asymmetric: transfers clipped at the min/max caps would otherwise
+        // ratchet the allocated total away from the budget. Re-impose the
+        // budget downward, then reclaim any unallocated Watts evenly (every
+        // unit's headroom grows alike, so the controller's error signal is
+        // unaffected).
+        enforce_budget(caps, self.total_budget, self.limits);
+        let slack = self.total_budget - caps.iter().sum::<f64>();
+        if slack > BUDGET_EPSILON {
+            let all: Vec<usize> = (0..n).collect();
+            let weights = vec![1.0; n];
+            distribute_weighted(caps, &all, &weights, slack, self.limits.max_cap);
+        }
+        debug_assert_budget(caps, self.total_budget, self.limits);
+    }
+
+    fn reset(&mut self) {
+        self.integral.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIMITS: UnitLimits = UnitLimits {
+        min_cap: 40.0,
+        max_cap: 165.0,
+    };
+
+    fn manager(n: usize, budget: Watts) -> FeedbackManager {
+        FeedbackManager::new(n, budget, LIMITS, FeedbackConfig::default())
+    }
+
+    #[test]
+    fn shifts_power_toward_pressed_unit() {
+        let mut m = manager(2, 220.0);
+        let mut caps = vec![110.0, 110.0];
+        // Unit 0 pressed (headroom ~0), unit 1 slack (headroom 80).
+        for _ in 0..20 {
+            let measured = [caps[0] - 0.5, 30.0f64.min(caps[1])];
+            m.assign_caps(&measured, &mut caps, 1.0);
+        }
+        assert!(caps[0] > 140.0, "pressed unit should gain: {caps:?}");
+        assert!(caps[1] < 80.0, "slack unit should shed: {caps:?}");
+        assert!(caps.iter().sum::<f64>() <= 220.0 + 1e-6);
+    }
+
+    #[test]
+    fn balanced_load_stays_balanced() {
+        let mut m = manager(4, 440.0);
+        let mut caps = vec![110.0; 4];
+        for _ in 0..50 {
+            let measured = [100.0; 4];
+            m.assign_caps(&measured, &mut caps, 1.0);
+        }
+        for &c in &caps {
+            assert!((c - 110.0).abs() < 1.0, "{caps:?}");
+        }
+    }
+
+    #[test]
+    fn budget_respected_under_churn() {
+        let mut m = manager(6, 660.0);
+        let mut caps = vec![110.0; 6];
+        let mut rng = dps_sim_core::RngStream::new(3, "fb-churn");
+        for _ in 0..300 {
+            let measured: Vec<f64> = caps
+                .iter()
+                .map(|&c| rng.range(10.0..165.0_f64).min(c))
+                .collect();
+            m.assign_caps(&measured, &mut caps, 1.0);
+            assert!(caps.iter().sum::<f64>() <= 660.0 + 1e-6);
+            assert!(caps
+                .iter()
+                .all(|&c| (40.0 - 1e-9..=165.0 + 1e-9).contains(&c)));
+        }
+    }
+
+    #[test]
+    fn integral_clamped() {
+        let mut m = manager(2, 220.0);
+        let mut caps = vec![110.0, 110.0];
+        // Persistent asymmetry drives the integral; it must stay clamped.
+        for _ in 0..1000 {
+            m.assign_caps(&[109.0f64.min(caps[0]), 20.0], &mut caps, 1.0);
+        }
+        for &i in &m.integral {
+            assert!(i.abs() <= FeedbackConfig::default().integral_clamp + 1e-9);
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_integral() {
+        let mut m = manager(2, 220.0);
+        let mut caps = vec![110.0, 110.0];
+        m.assign_caps(&[109.0, 20.0], &mut caps, 1.0);
+        m.reset();
+        assert!(m.integral.iter().all(|&i| i == 0.0));
+    }
+
+    #[test]
+    fn kind_is_feedback() {
+        assert_eq!(manager(1, 110.0).kind(), ManagerKind::Feedback);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid feedback config")]
+    fn bad_gains_rejected() {
+        FeedbackManager::new(
+            1,
+            110.0,
+            LIMITS,
+            FeedbackConfig {
+                kp: 0.0,
+                ..Default::default()
+            },
+        );
+    }
+}

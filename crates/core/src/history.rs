@@ -1,0 +1,201 @@
+//! Per-unit state: the *only* state DPS keeps.
+//!
+//! "The state is simply the recent power usage changes, which we refer to as
+//! power dynamics" (§1). Concretely, per power-capping unit the server holds
+//! a Kalman filter, a bounded estimated-power history, the matching sample
+//! durations, the high-frequency flag and the current priority (§4.3).
+
+use crate::config::DpsConfig;
+use dps_sim_core::kalman::KalmanFilter;
+use dps_sim_core::ring::RingBuffer;
+use dps_sim_core::signal;
+use dps_sim_core::units::{Seconds, Watts};
+
+/// Dynamic state for one unit.
+#[derive(Debug, Clone)]
+pub struct UnitState {
+    /// De-noising filter over raw measurements.
+    pub filter: KalmanFilter,
+    /// Estimated power history (newest last), bounded at `history_len`.
+    pub power_history: RingBuffer<f64>,
+    /// Per-sample durations aligned with `power_history`.
+    pub duration_history: RingBuffer<f64>,
+    /// Whether the unit is currently classified high-frequency.
+    pub high_freq: bool,
+    /// Current priority (true = high).
+    pub priority: bool,
+    /// Scratch buffers reused across cycles so the steady-state decision
+    /// loop allocates nothing (the history is copied out contiguously for
+    /// the slice-based signal kernels).
+    scratch_power: Vec<f64>,
+    scratch_durations: Vec<f64>,
+}
+
+impl UnitState {
+    /// Fresh state from a config.
+    pub fn new(config: &DpsConfig) -> Self {
+        Self {
+            filter: KalmanFilter::new(config.kalman_q, config.kalman_r),
+            power_history: RingBuffer::new(config.history_len),
+            duration_history: RingBuffer::new(config.history_len),
+            high_freq: false,
+            priority: false,
+            scratch_power: Vec::with_capacity(config.history_len),
+            scratch_durations: Vec::with_capacity(config.history_len),
+        }
+    }
+
+    /// Feeds one raw measurement: Kalman-filters it and appends the estimate
+    /// to the history. Returns the estimate.
+    pub fn observe(&mut self, measured: Watts, dt: Seconds) -> Watts {
+        let estimate = self.filter.update(measured);
+        self.power_history.push(estimate);
+        self.duration_history.push(dt);
+        estimate
+    }
+
+    /// Most recent power estimate (0 before any observation).
+    pub fn latest_estimate(&self) -> Watts {
+        self.power_history.newest().copied().unwrap_or(0.0)
+    }
+
+    /// Number of prominent peaks in the current history window.
+    pub fn prominent_peak_count(&mut self, prominence: f64) -> usize {
+        self.power_history.copy_to(&mut self.scratch_power);
+        signal::count_prominent_peaks(&self.scratch_power, prominence)
+    }
+
+    /// Standard deviation of the history window (0 while empty).
+    pub fn history_std(&self) -> f64 {
+        self.power_history.std_dev().unwrap_or(0.0)
+    }
+
+    /// Windowed average first derivative over the newest `window` samples
+    /// (Alg. 2 line 16); `None` until at least 2 samples exist.
+    pub fn derivative(&mut self, window: usize) -> Option<f64> {
+        self.power_history.copy_to(&mut self.scratch_power);
+        self.duration_history.copy_to(&mut self.scratch_durations);
+        signal::windowed_derivative(&self.scratch_power, &self.scratch_durations, window)
+    }
+
+    /// Clears everything back to construction state.
+    pub fn reset(&mut self) {
+        self.filter.reset();
+        self.power_history.clear();
+        self.duration_history.clear();
+        self.high_freq = false;
+        self.priority = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> UnitState {
+        UnitState::new(&DpsConfig::default())
+    }
+
+    #[test]
+    fn observe_fills_history() {
+        let mut s = state();
+        for i in 0..25 {
+            s.observe(100.0 + i as f64, 1.0);
+        }
+        assert_eq!(s.power_history.len(), 20, "bounded at history_len");
+        assert_eq!(s.duration_history.len(), 20);
+    }
+
+    #[test]
+    fn latest_estimate_tracks_signal() {
+        let mut s = state();
+        for _ in 0..30 {
+            s.observe(120.0, 1.0);
+        }
+        assert!((s.latest_estimate() - 120.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn derivative_positive_on_ramp() {
+        let mut s = state();
+        for i in 0..10 {
+            s.observe(20.0 + 20.0 * i as f64, 1.0);
+        }
+        let d = s.derivative(3).unwrap();
+        assert!(d > 10.0, "ramp derivative {d}");
+    }
+
+    #[test]
+    fn derivative_negative_on_decay() {
+        let mut s = state();
+        for i in 0..10 {
+            s.observe(200.0 - 15.0 * i as f64, 1.0);
+        }
+        assert!(s.derivative(3).unwrap() < -10.0);
+    }
+
+    #[test]
+    fn derivative_none_without_samples() {
+        let mut s = state();
+        assert_eq!(s.derivative(3), None);
+        let mut s1 = state();
+        s1.observe(50.0, 1.0);
+        assert_eq!(s1.derivative(3), None);
+    }
+
+    #[test]
+    fn peaks_detected_on_square_wave() {
+        let mut s = state();
+        for cycle in 0..5 {
+            let _ = cycle;
+            for _ in 0..2 {
+                s.observe(150.0, 1.0);
+            }
+            for _ in 0..2 {
+                s.observe(30.0, 1.0);
+            }
+        }
+        assert!(
+            s.prominent_peak_count(30.0) >= 3,
+            "square wave should show peaks: {}",
+            s.prominent_peak_count(30.0)
+        );
+        assert!(s.history_std() > 20.0);
+    }
+
+    #[test]
+    fn flat_history_no_peaks_low_std() {
+        let mut s = state();
+        for _ in 0..20 {
+            s.observe(110.0, 1.0);
+        }
+        assert_eq!(s.prominent_peak_count(30.0), 0);
+        assert!(s.history_std() < 5.0);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut s = state();
+        for _ in 0..10 {
+            s.observe(80.0, 1.0);
+        }
+        s.high_freq = true;
+        s.priority = true;
+        s.reset();
+        assert_eq!(s.power_history.len(), 0);
+        assert!(!s.high_freq && !s.priority);
+        assert_eq!(s.latest_estimate(), 0.0);
+    }
+
+    #[test]
+    fn kalman_smooths_noise_in_history() {
+        use dps_sim_core::rng::RngStream;
+        let mut rng = RngStream::new(3, "hist");
+        let mut s = state();
+        for _ in 0..20 {
+            s.observe(110.0 + rng.normal(0.0, 2.0), 1.0);
+        }
+        // Estimated history should vary less than raw noise std.
+        assert!(s.history_std() < 2.0, "std {}", s.history_std());
+    }
+}

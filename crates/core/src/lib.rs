@@ -1,0 +1,60 @@
+//! The DPS power managers — the paper's primary contribution.
+//!
+//! Four cluster-level power managers share one interface
+//! ([`manager::PowerManager`]): every decision cycle they observe per-unit
+//! power measurements and assign per-unit power caps whose sum respects the
+//! cluster-wide budget.
+//!
+//! * [`constant`] — **Constant allocation**: every unit gets
+//!   `budget / n` forever. The robust baseline every figure normalises to.
+//! * [`stateless`] — the **stateless MIMD module** (paper Alg. 1), a
+//!   Multiplicative-Increase-Multiplicative-Decrease controller "inspired by
+//!   SLURM's power management system". Standalone it is the SLURM
+//!   comparator; inside DPS it produces the temporary allocation the
+//!   readjusting module refines.
+//! * [`dps`] — the **Dynamic Power Scheduler**: stateless module + Kalman-
+//!   filtered power history (§4.3.2) + priority module over *power dynamics*
+//!   (Alg. 2: prominent-peak frequency, windowed first derivative) + cap
+//!   restore/readjust (Algs. 3–4) that guarantees the constant-allocation
+//!   lower bound.
+//! * [`oracle`] — a perfect-knowledge allocator that sees true demand and
+//!   distributes the budget demand-proportionally (the paper's oracle for
+//!   the low-utility study).
+//!
+//! Three further baselines implement the related-work archetypes the paper
+//! positions itself against (§2): [`feedback`] (a PShifter-style PI
+//! headroom equalizer), [`predictive`] (a PoDD/PANN-lite online demand
+//! model feeding demand-proportional allocation) and [`twolevel`] (an
+//! Argo-style node→socket stateless hierarchy).
+//!
+//! Module inventory: [`config`] holds every tunable with the paper's
+//! defaults; [`history`] is the per-unit state DPS tracks (the *only* state —
+//! "the state is simply the recent power usage changes"); [`priority`],
+//! [`readjust`] implement Algs. 2–4; [`budget`] has the shared
+//! budget-arithmetic helpers and invariant checks.
+
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod config;
+pub mod constant;
+pub mod dps;
+pub mod feedback;
+pub mod history;
+pub mod manager;
+pub mod oracle;
+pub mod predictive;
+pub mod priority;
+pub mod readjust;
+pub mod stateless;
+pub mod twolevel;
+
+pub use config::{DpsConfig, MimdConfig};
+pub use constant::ConstantManager;
+pub use dps::DpsManager;
+pub use feedback::{FeedbackConfig, FeedbackManager};
+pub use manager::{ManagerKind, PowerManager, UnitLimits};
+pub use oracle::OracleManager;
+pub use predictive::{PredictiveConfig, PredictiveManager};
+pub use stateless::SlurmManager;
+pub use twolevel::TwoLevelManager;

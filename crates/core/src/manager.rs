@@ -1,0 +1,182 @@
+//! The power-manager interface.
+//!
+//! A manager is a pure control policy: per decision cycle it receives the
+//! latest per-unit power measurements and rewrites the per-unit caps. It
+//! never talks to hardware directly (the cluster crate owns that), which is
+//! what lets the same policy run against simulated RAPL here and real RAPL
+//! in a deployment.
+
+use dps_sim_core::units::{Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Static per-unit capping limits the manager must respect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitLimits {
+    /// Lowest settable cap (RAPL minimum operating power).
+    pub min_cap: Watts,
+    /// Highest settable cap (TDP).
+    pub max_cap: Watts,
+}
+
+impl UnitLimits {
+    /// The paper's socket: caps in `[40, 165]` W.
+    pub fn xeon_gold_6240() -> Self {
+        Self {
+            min_cap: 40.0,
+            max_cap: 165.0,
+        }
+    }
+
+    /// Clamps a cap into the unit's settable range.
+    #[inline]
+    pub fn clamp(&self, cap: Watts) -> Watts {
+        dps_sim_core::units::clamp_power(cap, self.min_cap, self.max_cap)
+    }
+
+    /// Checks that `total_budget` can cover `num_units` at the minimum cap —
+    /// below that no policy can satisfy both the budget and the hardware
+    /// floor, so every manager constructor enforces it.
+    pub fn check_feasible(&self, total_budget: Watts, num_units: usize) -> Result<(), String> {
+        let floor = self.min_cap * num_units as f64;
+        if total_budget + 1e-9 < floor {
+            return Err(format!(
+                "budget {total_budget:.1} W cannot cover {num_units} units at the \
+                 {:.0} W minimum cap ({floor:.1} W required)",
+                self.min_cap
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Which manager a run used — keys for result tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ManagerKind {
+    /// Equal static caps.
+    Constant,
+    /// Stateless MIMD (the SLURM power plugin comparator).
+    Slurm,
+    /// The Dynamic Power Scheduler.
+    Dps,
+    /// Perfect-knowledge demand-proportional allocation.
+    Oracle,
+    /// PShifter-style PI headroom equalizer (related-work baseline, §2.2).
+    Feedback,
+    /// PoDD/PANN-lite online demand model (related-work baseline, §2.2).
+    Predictive,
+    /// Argo-style two-level stateless manager (related-work baseline, §2.3).
+    TwoLevel,
+}
+
+impl ManagerKind {
+    /// All implemented managers, in report order.
+    pub const ALL: [ManagerKind; 7] = [
+        ManagerKind::Constant,
+        ManagerKind::Slurm,
+        ManagerKind::TwoLevel,
+        ManagerKind::Feedback,
+        ManagerKind::Predictive,
+        ManagerKind::Dps,
+        ManagerKind::Oracle,
+    ];
+}
+
+impl std::fmt::Display for ManagerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ManagerKind::Constant => "Constant",
+            ManagerKind::Slurm => "SLURM",
+            ManagerKind::Dps => "DPS",
+            ManagerKind::Oracle => "Oracle",
+            ManagerKind::Feedback => "Feedback",
+            ManagerKind::Predictive => "Predictive",
+            ManagerKind::TwoLevel => "TwoLevel",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A cluster-level power-cap policy.
+///
+/// Contract: after [`PowerManager::assign_caps`] returns, every cap lies in
+/// its unit's `[min_cap, max_cap]` and the caps sum to at most the cluster
+/// budget (up to floating-point slack). `debug_assert_budget` in
+/// [`crate::budget`] checks this in tests.
+pub trait PowerManager {
+    /// Which policy this is.
+    fn kind(&self) -> ManagerKind;
+
+    /// Number of managed units.
+    fn num_units(&self) -> usize;
+
+    /// The cluster-wide power budget in Watts.
+    fn total_budget(&self) -> Watts;
+
+    /// One decision cycle: observe `measured` (one sample per unit, the
+    /// possibly noisy average power of the last window) and rewrite `caps`
+    /// in place. `dt` is the cycle period in seconds.
+    fn assign_caps(&mut self, measured: &[Watts], caps: &mut [Watts], dt: Seconds);
+
+    /// Ground-truth demand feed for oracle-class managers; realistic
+    /// managers ignore it (default no-op). The cluster simulator calls this
+    /// before `assign_caps` every cycle.
+    fn observe_demands(&mut self, _demands: &[Watts]) {}
+
+    /// Per-unit priority flags after the last cycle (DPS logs these in the
+    /// artifact's per-cycle records); `None` for managers without priorities.
+    fn priorities(&self) -> Option<&[bool]> {
+        None
+    }
+
+    /// Resets all internal state (between repetitions).
+    fn reset(&mut self);
+}
+
+/// The equal-share cap: `budget / n`, clamped to unit limits — both the
+/// constant-allocation policy and the "initial cap" DPS restores to.
+pub fn constant_cap(total_budget: Watts, num_units: usize, limits: UnitLimits) -> Watts {
+    assert!(num_units > 0, "need at least one unit");
+    limits.clamp(total_budget / num_units as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits_clamp() {
+        let l = UnitLimits::xeon_gold_6240();
+        assert_eq!(l.clamp(200.0), 165.0);
+        assert_eq!(l.clamp(10.0), 40.0);
+        assert_eq!(l.clamp(110.0), 110.0);
+        assert_eq!(l.clamp(f64::NAN), 40.0);
+    }
+
+    #[test]
+    fn constant_cap_paper_setup() {
+        // 20 sockets × 165 W TDP at a 66.7 % budget → 110 W per socket.
+        let budget = 20.0 * 165.0 * 2.0 / 3.0;
+        let cap = constant_cap(budget, 20, UnitLimits::xeon_gold_6240());
+        assert!((cap - 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_cap_clamped_to_tdp() {
+        let cap = constant_cap(10_000.0, 2, UnitLimits::xeon_gold_6240());
+        assert_eq!(cap, 165.0);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(ManagerKind::Dps.to_string(), "DPS");
+        assert_eq!(ManagerKind::Slurm.to_string(), "SLURM");
+        assert_eq!(ManagerKind::Constant.to_string(), "Constant");
+        assert_eq!(ManagerKind::Oracle.to_string(), "Oracle");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn constant_cap_zero_units_panics() {
+        constant_cap(100.0, 0, UnitLimits::xeon_gold_6240());
+    }
+}

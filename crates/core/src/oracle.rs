@@ -1,0 +1,202 @@
+//! The oracle: a perfect model-based allocator.
+//!
+//! The paper's low-utility study compares against "an oracle" — the
+//! idealised model-based system of Fig. 1 that knows each unit's power
+//! demand and allocates accordingly. In the simulator the oracle receives
+//! the ground-truth demand each cycle (via
+//! [`crate::manager::PowerManager::observe_demands`]) and allocates:
+//!
+//! * demand fits in the budget → every unit gets its demand plus an even
+//!   share of the slack (headroom for the next phase);
+//! * demand exceeds the budget → demand-proportional scaling, i.e. every
+//!   unit receives the same *fraction* of its demand — exactly the
+//!   satisfaction-equalizing split that maximises the paper's fairness
+//!   metric (Eq. 1–2).
+
+use crate::budget::{debug_assert_budget, distribute_weighted};
+use crate::manager::{ManagerKind, PowerManager, UnitLimits};
+use dps_sim_core::units::{Seconds, Watts};
+
+/// Perfect-knowledge demand-proportional manager.
+#[derive(Debug, Clone)]
+pub struct OracleManager {
+    num_units: usize,
+    total_budget: Watts,
+    limits: UnitLimits,
+    demands: Vec<Watts>,
+}
+
+impl OracleManager {
+    /// Creates the oracle.
+    pub fn new(num_units: usize, total_budget: Watts, limits: UnitLimits) -> Self {
+        limits
+            .check_feasible(total_budget, num_units)
+            .expect("infeasible budget");
+        Self {
+            num_units,
+            total_budget,
+            limits,
+            demands: vec![0.0; num_units],
+        }
+    }
+}
+
+impl PowerManager for OracleManager {
+    fn kind(&self) -> ManagerKind {
+        ManagerKind::Oracle
+    }
+
+    fn num_units(&self) -> usize {
+        self.num_units
+    }
+
+    fn total_budget(&self) -> Watts {
+        self.total_budget
+    }
+
+    fn observe_demands(&mut self, demands: &[Watts]) {
+        self.demands.clear();
+        self.demands.extend_from_slice(demands);
+    }
+
+    fn assign_caps(&mut self, _measured: &[Watts], caps: &mut [Watts], _dt: Seconds) {
+        assert_eq!(caps.len(), self.num_units);
+        assert_eq!(
+            self.demands.len(),
+            self.num_units,
+            "oracle needs observe_demands before assign_caps"
+        );
+        let total_demand: f64 = self
+            .demands
+            .iter()
+            .map(|&d| d.max(self.limits.min_cap))
+            .sum();
+
+        if total_demand <= self.total_budget {
+            // Grant every demand, then spread the slack evenly for headroom.
+            for (cap, &d) in caps.iter_mut().zip(&self.demands) {
+                *cap = self.limits.clamp(d);
+            }
+            let slack = self.total_budget - caps.iter().sum::<f64>();
+            let all: Vec<usize> = (0..self.num_units).collect();
+            let weights = vec![1.0; self.num_units];
+            distribute_weighted(caps, &all, &weights, slack, self.limits.max_cap);
+        } else {
+            // Equal-satisfaction scaling: cap_u = demand_u × (budget share),
+            // floored at min_cap with the floor cost re-absorbed by scaling
+            // the rest (water-fill down).
+            let mut scale = self.total_budget / total_demand;
+            // Two refinement rounds are enough: min_cap floors only ever
+            // grow the fixed set.
+            for _ in 0..3 {
+                let mut floored = 0.0;
+                let mut scalable = 0.0;
+                for &d in &self.demands {
+                    let want = d.max(self.limits.min_cap) * scale;
+                    if want <= self.limits.min_cap {
+                        floored += self.limits.min_cap;
+                    } else {
+                        scalable += d.max(self.limits.min_cap);
+                    }
+                }
+                if scalable <= 0.0 {
+                    break;
+                }
+                scale = (self.total_budget - floored) / scalable;
+            }
+            for (cap, &d) in caps.iter_mut().zip(&self.demands) {
+                *cap = self
+                    .limits
+                    .clamp((d.max(self.limits.min_cap) * scale).max(self.limits.min_cap));
+            }
+        }
+        debug_assert_budget(caps, self.total_budget, self.limits);
+    }
+
+    fn reset(&mut self) {
+        self.demands.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIMITS: UnitLimits = UnitLimits {
+        min_cap: 40.0,
+        max_cap: 165.0,
+    };
+
+    fn oracle(n: usize, budget: Watts) -> OracleManager {
+        OracleManager::new(n, budget, LIMITS)
+    }
+
+    #[test]
+    fn under_budget_grants_demand_plus_headroom() {
+        let mut m = oracle(2, 220.0);
+        m.observe_demands(&[60.0, 100.0]);
+        let mut caps = vec![0.0; 2];
+        m.assign_caps(&[0.0; 2], &mut caps, 1.0);
+        assert!(caps[0] >= 60.0 && caps[1] >= 100.0, "{caps:?}");
+        let sum: f64 = caps.iter().sum();
+        assert!((sum - 220.0).abs() < 1e-6, "slack fully distributed: {sum}");
+    }
+
+    #[test]
+    fn over_budget_scales_proportionally() {
+        let mut m = oracle(2, 220.0);
+        m.observe_demands(&[160.0, 120.0]);
+        let mut caps = vec![0.0; 2];
+        m.assign_caps(&[0.0; 2], &mut caps, 1.0);
+        // Equal satisfaction: caps proportional to demand.
+        let r0 = caps[0] / 160.0;
+        let r1 = caps[1] / 120.0;
+        assert!((r0 - r1).abs() < 1e-6, "satisfaction must match: {caps:?}");
+        assert!((caps.iter().sum::<f64>() - 220.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_cap_floor_respected() {
+        let mut m = oracle(3, 150.0);
+        m.observe_demands(&[160.0, 5.0, 5.0]);
+        let mut caps = vec![0.0; 3];
+        m.assign_caps(&[0.0; 3], &mut caps, 1.0);
+        assert!(caps.iter().all(|&c| c >= 40.0 - 1e-9), "{caps:?}");
+        assert!(caps.iter().sum::<f64>() <= 150.0 + 1e-6);
+    }
+
+    #[test]
+    fn equal_demands_equal_caps() {
+        let mut m = oracle(4, 440.0);
+        m.observe_demands(&[150.0; 4]);
+        let mut caps = vec![0.0; 4];
+        m.assign_caps(&[0.0; 4], &mut caps, 1.0);
+        for c in &caps {
+            assert!((c - 110.0).abs() < 1e-6, "{caps:?}");
+        }
+    }
+
+    #[test]
+    fn tdp_clamps_headroom() {
+        let mut m = oracle(2, 400.0);
+        m.observe_demands(&[50.0, 50.0]);
+        let mut caps = vec![0.0; 2];
+        m.assign_caps(&[0.0; 2], &mut caps, 1.0);
+        assert!(caps.iter().all(|&c| c <= 165.0 + 1e-9));
+    }
+
+    #[test]
+    fn fig1_end_state_balanced() {
+        // Fig. 1 T4: both nodes demand max; the perfect model splits evenly.
+        let mut m = oracle(2, 220.0);
+        m.observe_demands(&[165.0, 165.0]);
+        let mut caps = vec![0.0; 2];
+        m.assign_caps(&[0.0; 2], &mut caps, 1.0);
+        assert!((caps[0] - 110.0).abs() < 1e-6 && (caps[1] - 110.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kind_is_oracle() {
+        assert_eq!(oracle(1, 110.0).kind(), ManagerKind::Oracle);
+    }
+}

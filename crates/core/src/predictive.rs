@@ -1,0 +1,314 @@
+//! A model-based baseline (PoDD/PANN-lite).
+//!
+//! The paper's related work (§2.2) covers managers that *model* workload
+//! power demand and allocate against predictions — PowerShift (offline
+//! models), PoDD (online models), PANN (neural allocation). This manager
+//! implements the archetype with the cheapest credible demand model: per
+//! unit it learns the workload's demand profile online as
+//!
+//! * an EWMA of power observed while *unconstrained* (below the cap, power
+//!   equals demand), and
+//! * a slowly decaying **historical peak** — the model's memory that this
+//!   unit's application has hot phases even when it is currently quiet.
+//!
+//! It then allocates the budget demand-proportionally against the
+//! *predicted* demand (the oracle's rule, with the model substituted for
+//! ground truth). Its failure modes are exactly the paper's critique of
+//! model-based systems: predictions lag workload changes, and a unit whose
+//! history misrepresents its future (new phase structure, first-ever hot
+//! phase) is misallocated until the model catches up.
+
+use crate::budget::{debug_assert_budget, distribute_weighted};
+use crate::manager::{ManagerKind, PowerManager, UnitLimits};
+use dps_sim_core::units::{Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Tunables for the online demand model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictiveConfig {
+    /// EWMA smoothing factor for unconstrained power, in (0, 1].
+    pub ewma_alpha: f64,
+    /// Per-cycle decay of the historical peak, in (0, 1]. 0.999 forgets a
+    /// peak with a ~17-minute half-life at 1 s cycles.
+    pub peak_decay: f64,
+    /// Power above `cap × this` counts as constrained (demand unobservable).
+    pub pinned_threshold: f64,
+}
+
+impl Default for PredictiveConfig {
+    fn default() -> Self {
+        Self {
+            ewma_alpha: 0.3,
+            peak_decay: 0.999,
+            pinned_threshold: 0.95,
+        }
+    }
+}
+
+impl PredictiveConfig {
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0 < self.ewma_alpha && self.ewma_alpha <= 1.0) {
+            return Err("ewma_alpha must be in (0,1]".into());
+        }
+        if !(0.0 < self.peak_decay && self.peak_decay <= 1.0) {
+            return Err("peak_decay must be in (0,1]".into());
+        }
+        if !(0.5..=1.0).contains(&self.pinned_threshold) {
+            return Err("pinned_threshold must be in [0.5,1]".into());
+        }
+        Ok(())
+    }
+}
+
+/// Per-unit learned demand model.
+#[derive(Debug, Clone, Default)]
+struct DemandModel {
+    ewma: Option<f64>,
+    peak: f64,
+}
+
+impl DemandModel {
+    /// Updates the model with one observation and returns the predicted
+    /// demand.
+    fn observe(&mut self, measured: Watts, cap: Watts, cfg: &PredictiveConfig) -> Watts {
+        let constrained = measured > cap * cfg.pinned_threshold;
+        if !constrained {
+            // Unconstrained: power is demand; learn from it.
+            self.ewma = Some(match self.ewma {
+                None => measured,
+                Some(prev) => cfg.ewma_alpha * measured + (1.0 - cfg.ewma_alpha) * prev,
+            });
+        }
+        self.peak = (self.peak * cfg.peak_decay).max(measured);
+        let base = self.ewma.unwrap_or(measured);
+        if constrained {
+            // Demand is at least the cap; the model believes the unit wants
+            // what it has historically wanted when hot.
+            self.peak.max(cap)
+        } else {
+            // Anticipate recurring hot phases: blend the quiet-time demand
+            // with the remembered peak.
+            base.max(0.5 * self.peak)
+        }
+    }
+}
+
+/// Model-based demand-proportional allocator.
+///
+/// ```
+/// use dps_core::manager::{PowerManager, UnitLimits};
+/// use dps_core::{PredictiveConfig, PredictiveManager};
+///
+/// let mut m = PredictiveManager::new(2, 220.0, UnitLimits::xeon_gold_6240(),
+///                                    PredictiveConfig::default());
+/// let mut caps = vec![110.0, 110.0];
+/// // The model learns unit 0 demands ~100 W and unit 1 ~30 W...
+/// for _ in 0..20 {
+///     m.assign_caps(&[100.0_f64.min(caps[0]), 30.0_f64.min(caps[1])], &mut caps, 1.0);
+/// }
+/// // ...and allocates against the prediction.
+/// assert!(m.predicted()[0] > m.predicted()[1]);
+/// assert!(caps[0] > caps[1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PredictiveManager {
+    config: PredictiveConfig,
+    limits: UnitLimits,
+    total_budget: Watts,
+    models: Vec<DemandModel>,
+    /// Scratch buffer of predicted demands.
+    predicted: Vec<Watts>,
+}
+
+impl PredictiveManager {
+    /// Creates the manager.
+    ///
+    /// # Panics
+    /// Panics on an invalid config.
+    pub fn new(
+        num_units: usize,
+        total_budget: Watts,
+        limits: UnitLimits,
+        config: PredictiveConfig,
+    ) -> Self {
+        config.validate().expect("invalid predictive config");
+        limits
+            .check_feasible(total_budget, num_units)
+            .expect("infeasible budget");
+        Self {
+            config,
+            limits,
+            total_budget,
+            models: vec![DemandModel::default(); num_units],
+            predicted: vec![0.0; num_units],
+        }
+    }
+
+    /// Latest predicted demands (diagnostics).
+    pub fn predicted(&self) -> &[Watts] {
+        &self.predicted
+    }
+}
+
+impl PowerManager for PredictiveManager {
+    fn kind(&self) -> ManagerKind {
+        ManagerKind::Predictive
+    }
+
+    fn num_units(&self) -> usize {
+        self.models.len()
+    }
+
+    fn total_budget(&self) -> Watts {
+        self.total_budget
+    }
+
+    fn assign_caps(&mut self, measured: &[Watts], caps: &mut [Watts], _dt: Seconds) {
+        let n = caps.len();
+        assert_eq!(measured.len(), n);
+        for u in 0..n {
+            self.predicted[u] = self.models[u]
+                .observe(measured[u], caps[u], &self.config)
+                .clamp(0.0, self.limits.max_cap);
+        }
+        // Oracle rule against predictions: everyone floored at min_cap,
+        // remaining budget split proportional to predicted demand above the
+        // floor, clamp-spill redistributed.
+        let floor = self.limits.min_cap;
+        for c in caps.iter_mut() {
+            *c = floor;
+        }
+        let spendable = self.total_budget - floor * n as f64;
+        if spendable > 0.0 {
+            let selected: Vec<usize> = (0..n).collect();
+            let weights: Vec<f64> = self
+                .predicted
+                .iter()
+                .map(|&d| (d - floor).max(1.0))
+                .collect();
+            distribute_weighted(caps, &selected, &weights, spendable, self.limits.max_cap);
+        }
+        debug_assert_budget(caps, self.total_budget, self.limits);
+    }
+
+    fn reset(&mut self) {
+        for m in &mut self.models {
+            *m = DemandModel::default();
+        }
+        self.predicted.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIMITS: UnitLimits = UnitLimits {
+        min_cap: 40.0,
+        max_cap: 165.0,
+    };
+
+    fn manager(n: usize, budget: Watts) -> PredictiveManager {
+        PredictiveManager::new(n, budget, LIMITS, PredictiveConfig::default())
+    }
+
+    #[test]
+    fn learns_unconstrained_demand() {
+        let mut m = manager(2, 220.0);
+        let mut caps = vec![110.0, 110.0];
+        for _ in 0..30 {
+            m.assign_caps(
+                &[100.0f64.min(caps[0]), 30.0f64.min(caps[1])],
+                &mut caps,
+                1.0,
+            );
+        }
+        // Predicted demands should separate the hot and cold units.
+        assert!(m.predicted()[0] > 80.0, "{:?}", m.predicted());
+        assert!(m.predicted()[1] < 60.0);
+        assert!(caps[0] > caps[1], "{caps:?}");
+    }
+
+    #[test]
+    fn remembers_hot_phase_through_quiet_period() {
+        let mut m = manager(2, 220.0);
+        let mut caps = vec![110.0, 110.0];
+        // Unit 0 runs hot for a while...
+        for _ in 0..30 {
+            m.assign_caps(
+                &[150.0f64.min(caps[0]), 80.0f64.min(caps[1])],
+                &mut caps,
+                1.0,
+            );
+        }
+        // ...then goes quiet. The model keeps allocating it a premium.
+        for _ in 0..10 {
+            m.assign_caps(&[50.0, 80.0f64.min(caps[1])], &mut caps, 1.0);
+        }
+        assert!(
+            m.predicted()[0] > 60.0,
+            "peak memory should persist: {:?}",
+            m.predicted()
+        );
+        assert!(
+            m.predicted()[0] > m.predicted()[1] - 25.0,
+            "history premium should keep unit 0 competitive: {:?}",
+            m.predicted()
+        );
+    }
+
+    #[test]
+    fn budget_respected_always() {
+        let mut m = manager(5, 550.0);
+        let mut caps = vec![110.0; 5];
+        let mut rng = dps_sim_core::RngStream::new(4, "pred-churn");
+        for _ in 0..300 {
+            let measured: Vec<f64> = caps
+                .iter()
+                .map(|&c| rng.range(10.0..165.0_f64).min(c))
+                .collect();
+            m.assign_caps(&measured, &mut caps, 1.0);
+            assert!(caps.iter().sum::<f64>() <= 550.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn stale_model_misallocates_new_phase() {
+        // The model-based brittleness: unit 1's first-ever hot phase gets a
+        // poor allocation because history says it is cold.
+        let mut m = manager(2, 220.0);
+        let mut caps = vec![110.0, 110.0];
+        for _ in 0..60 {
+            m.assign_caps(&[150.0f64.min(caps[0]), 25.0], &mut caps, 1.0);
+        }
+        let starved_cap = caps[1];
+        // Unit 1 suddenly wants everything; its first capped cycle.
+        m.assign_caps(
+            &[150.0f64.min(caps[0]), 165.0f64.min(caps[1])],
+            &mut caps,
+            1.0,
+        );
+        assert!(
+            caps[1] < starved_cap + 25.0,
+            "model should lag the phase change: {starved_cap} -> {}",
+            caps[1]
+        );
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let mut m = manager(1, 110.0);
+        let mut caps = vec![110.0];
+        for _ in 0..20 {
+            m.assign_caps(&[100.0], &mut caps, 1.0);
+        }
+        m.reset();
+        assert_eq!(m.predicted()[0], 0.0);
+    }
+
+    #[test]
+    fn kind_is_predictive() {
+        assert_eq!(manager(1, 110.0).kind(), ManagerKind::Predictive);
+    }
+}

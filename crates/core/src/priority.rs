@@ -1,0 +1,287 @@
+//! The priority module (paper Alg. 2).
+//!
+//! Classifies every unit's *power dynamics* into a binary priority:
+//!
+//! 1. **Frequency gate.** A unit whose history shows more prominent peaks
+//!    than `pp_threshold` is marked *high-frequency* and pinned high
+//!    priority — its phases change faster than the manager can react, so DPS
+//!    "assumes they are in need of extra power" (§4.4). It leaves the
+//!    high-frequency class only when both the peak count *and* the history
+//!    standard deviation drop below their thresholds (the std check catches
+//!    fast-changing power that happens to produce few formal peaks).
+//! 2. **Cap-pinned promotion.** A low-frequency unit whose power estimate
+//!    presses against its cap (`estimate > cap × pinned_threshold`) is high
+//!    priority — §4.4's "nodes that **need power now**". A capped unit's
+//!    observable power cannot rise above its cap, so without this signal a
+//!    starved unit's demand surge is invisible to the derivative detector;
+//!    conversely a cap cut by DPS's own equalization reads as a power fall
+//!    even though the unit still demands maximum power.
+//! 3. **Derivative classification.** Remaining units are classified by the
+//!    windowed first derivative: above `deriv_inc_threshold` → high
+//!    priority (power rising — "will likely need power in the near
+//!    future"); below `deriv_dec_threshold` → low priority (power
+//!    falling); in between the priority is *kept* — "after the power
+//!    change, the unit's priority should be kept unchanged until the power
+//!    changes again".
+
+use crate::config::DpsConfig;
+use crate::history::UnitState;
+use dps_sim_core::units::Watts;
+
+/// Applies Alg. 2 to every unit's state in place. `caps` are the caps
+/// currently in force (before this cycle's readjustment).
+pub fn set_priorities(states: &mut [UnitState], caps: &[Watts], config: &DpsConfig) {
+    debug_assert_eq!(states.len(), caps.len());
+    for (state, &cap) in states.iter_mut().zip(caps) {
+        let pp_count = state.prominent_peak_count(config.peak_prominence);
+
+        if !state.high_freq {
+            if pp_count > config.pp_threshold {
+                state.high_freq = true;
+                state.priority = true;
+                continue;
+            }
+        } else if pp_count < config.pp_threshold && state.history_std() < config.std_threshold {
+            state.high_freq = false;
+            state.priority = false;
+            continue;
+        }
+
+        if !state.high_freq {
+            // A draw below the minimum settable cap is satisfied by any
+            // cap: such a unit never needs extra budget.
+            if state.latest_estimate() < config.min_active_power {
+                state.priority = false;
+                continue;
+            }
+            // Need power now: pinned against the cap.
+            if state.latest_estimate() > cap * config.pinned_threshold {
+                state.priority = true;
+                continue;
+            }
+            // Will need power soon / no longer needs it: the derivative.
+            let Some(deriv) = state.derivative(config.deriv_window) else {
+                continue;
+            };
+            if deriv > config.deriv_inc_threshold {
+                state.priority = true;
+            } else if deriv < config.deriv_dec_threshold {
+                state.priority = false;
+            }
+            // Otherwise: hold the previous priority.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> DpsConfig {
+        DpsConfig::default()
+    }
+
+    fn fresh(config: &DpsConfig) -> UnitState {
+        UnitState::new(config)
+    }
+
+    fn feed(state: &mut UnitState, powers: &[f64]) {
+        for &p in powers {
+            state.observe(p, 1.0);
+        }
+    }
+
+    #[test]
+    fn rising_power_sets_high_priority() {
+        let cfg = config();
+        let mut s = fresh(&cfg);
+        // Fast LDA-style rise: 20 → 160 W over 3 s.
+        feed(&mut s, &[20.0, 20.0, 20.0, 65.0, 110.0, 160.0]);
+        set_priorities(std::slice::from_mut(&mut s), &[165.0], &cfg);
+        assert!(s.priority, "fast riser must be high priority");
+        assert!(!s.high_freq);
+    }
+
+    #[test]
+    fn falling_power_sets_low_priority() {
+        let cfg = config();
+        let mut s = fresh(&cfg);
+        s.priority = true; // was high
+        feed(&mut s, &[160.0, 160.0, 130.0, 100.0, 70.0]);
+        set_priorities(std::slice::from_mut(&mut s), &[165.0], &cfg);
+        assert!(!s.priority, "fast faller must drop priority");
+    }
+
+    #[test]
+    fn priority_held_in_deadband() {
+        let cfg = config();
+        // Stable high power after a rise: derivative ~0 → hold.
+        let mut s = fresh(&cfg);
+        s.priority = true;
+        feed(&mut s, &[158.0, 159.0, 158.5, 159.5, 159.0]);
+        set_priorities(std::slice::from_mut(&mut s), &[165.0], &cfg);
+        assert!(s.priority, "priority kept until power changes again");
+
+        // Same flat trace with prior low priority stays low.
+        let mut s2 = fresh(&cfg);
+        s2.priority = false;
+        feed(&mut s2, &[58.0, 59.0, 58.5, 59.5, 59.0]);
+        set_priorities(std::slice::from_mut(&mut s2), &[165.0], &cfg);
+        assert!(!s2.priority);
+    }
+
+    #[test]
+    fn high_frequency_unit_pinned_high() {
+        let cfg = config();
+        let mut s = fresh(&cfg);
+        // LR-style square wave fills the 20-sample window with many peaks.
+        for _ in 0..4 {
+            feed(&mut s, &[150.0, 150.0, 30.0, 30.0, 150.0]);
+        }
+        set_priorities(std::slice::from_mut(&mut s), &[165.0], &cfg);
+        assert!(s.high_freq, "square wave must be detected high-frequency");
+        assert!(s.priority);
+    }
+
+    #[test]
+    fn high_frequency_exit_requires_calm_and_low_std() {
+        let cfg = config();
+        let mut s = fresh(&cfg);
+        s.high_freq = true;
+        s.priority = true;
+        // History turns flat: few peaks AND low std → exit high-frequency.
+        feed(&mut s, &[80.0; 20]);
+        set_priorities(std::slice::from_mut(&mut s), &[165.0], &cfg);
+        assert!(!s.high_freq);
+        assert!(!s.priority);
+    }
+
+    #[test]
+    fn high_frequency_exit_blocked_by_high_std() {
+        let cfg = config();
+        let mut s = fresh(&cfg);
+        s.high_freq = true;
+        s.priority = true;
+        // A monotone climb shows zero prominent peaks (below the threshold)
+        // but a large std — the std check keeps the unit classified
+        // high-frequency (Alg. 2's "sometimes the number of prominent peaks
+        // can fall below the threshold yet power is still changing").
+        feed(
+            &mut s,
+            &[
+                30.0, 30.0, 40.0, 55.0, 75.0, 95.0, 115.0, 135.0, 150.0, 160.0,
+            ],
+        );
+        assert_eq!(s.prominent_peak_count(cfg.peak_prominence), 0);
+        set_priorities(std::slice::from_mut(&mut s), &[165.0], &cfg);
+        assert!(s.high_freq, "high std must block the exit");
+        assert!(s.priority);
+    }
+
+    #[test]
+    fn derivative_skipped_for_high_frequency_units() {
+        let cfg = config();
+        let mut s = fresh(&cfg);
+        s.high_freq = true;
+        s.priority = true;
+        // Ends falling hard — but high-frequency units keep priority even
+        // while their instantaneous derivative is negative.
+        for _ in 0..3 {
+            feed(&mut s, &[150.0, 30.0, 150.0, 30.0]);
+        }
+        feed(&mut s, &[150.0, 100.0, 40.0]);
+        set_priorities(std::slice::from_mut(&mut s), &[165.0], &cfg);
+        assert!(
+            s.priority,
+            "high-frequency unit must not be demoted by derivative"
+        );
+    }
+
+    #[test]
+    fn idle_restart_blip_not_promoted() {
+        let cfg = config();
+        let mut s = fresh(&cfg);
+        // A low-power workload's next run starting: 15 → 27 W. A steep
+        // *relative* rise, but the unit draws less than any settable cap —
+        // it must not become high priority.
+        feed(&mut s, &[15.0, 15.0, 15.0, 27.0, 27.5, 27.0]);
+        set_priorities(std::slice::from_mut(&mut s), &[110.0], &cfg);
+        assert!(!s.priority, "sub-min-cap blip must not promote");
+        // And the phantom priority cannot be held either.
+        let mut s2 = fresh(&cfg);
+        s2.priority = true;
+        feed(&mut s2, &[27.0, 27.5, 27.0, 27.5, 27.0]);
+        set_priorities(std::slice::from_mut(&mut s2), &[110.0], &cfg);
+        assert!(!s2.priority, "sub-min-cap draw must drop priority");
+    }
+
+    #[test]
+    fn pinned_at_cap_promoted_to_high() {
+        let cfg = config();
+        let mut s = fresh(&cfg);
+        // Flat power right at a tight 65 W cap: no derivative signal at all,
+        // but the unit visibly needs power now.
+        feed(&mut s, &[64.0, 64.5, 64.0, 64.5, 64.0]);
+        set_priorities(std::slice::from_mut(&mut s), &[65.0], &cfg);
+        assert!(s.priority, "cap-pinned unit must be high priority");
+    }
+
+    #[test]
+    fn cap_cut_fall_does_not_demote_pinned_unit() {
+        let cfg = config();
+        let mut s = fresh(&cfg);
+        s.priority = true;
+        // Equalization cut the cap 150 → 110; power follows and then sits
+        // at the new cap. The fall is cap-induced, not demand-induced: the
+        // pinned check must keep the unit high priority.
+        feed(&mut s, &[150.0, 150.0, 150.0, 110.0, 110.0, 110.0]);
+        set_priorities(std::slice::from_mut(&mut s), &[110.0], &cfg);
+        assert!(s.priority, "cap-induced fall must not demote");
+    }
+
+    #[test]
+    fn genuine_fall_below_cap_still_demotes() {
+        let cfg = config();
+        let mut s = fresh(&cfg);
+        s.priority = true;
+        // Demand genuinely collapsed: power drops far below the cap.
+        feed(&mut s, &[150.0, 150.0, 120.0, 80.0, 50.0]);
+        set_priorities(std::slice::from_mut(&mut s), &[165.0], &cfg);
+        assert!(!s.priority);
+    }
+
+    #[test]
+    fn empty_history_untouched() {
+        let cfg = config();
+        let mut s = fresh(&cfg);
+        set_priorities(std::slice::from_mut(&mut s), &[165.0], &cfg);
+        assert!(!s.priority);
+        assert!(!s.high_freq);
+    }
+
+    #[test]
+    fn mixed_population_classified_independently() {
+        let cfg = config();
+        let mut states = vec![fresh(&cfg), fresh(&cfg), fresh(&cfg)];
+        feed(&mut states[0], &[20.0, 20.0, 80.0, 140.0, 160.0]); // riser
+        feed(&mut states[1], &[160.0, 150.0, 100.0, 60.0, 40.0]); // faller
+        for _ in 0..4 {
+            feed(&mut states[2], &[150.0, 30.0, 150.0, 30.0, 150.0]); // jitterbug
+        }
+        set_priorities(&mut states, &[165.0, 165.0, 165.0], &cfg);
+        assert!(states[0].priority);
+        assert!(!states[1].priority);
+        assert!(states[2].priority && states[2].high_freq);
+    }
+
+    #[test]
+    fn frequency_detection_disabled_by_ablation() {
+        let cfg = config().without_frequency_detection();
+        let mut s = fresh(&cfg);
+        for _ in 0..4 {
+            feed(&mut s, &[150.0, 30.0, 150.0, 30.0, 150.0]);
+        }
+        set_priorities(std::slice::from_mut(&mut s), &[165.0], &cfg);
+        assert!(!s.high_freq, "ablated config must never trip the gate");
+    }
+}

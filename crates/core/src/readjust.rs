@@ -1,0 +1,333 @@
+//! The cap-readjusting module (paper Algs. 3 and 4).
+//!
+//! Runs after the stateless module and refines its temporary allocation
+//! using the priorities:
+//!
+//! * **Restore** (Alg. 3): if *no* unit is consuming meaningfully against
+//!   the constant cap, every cap snaps back to the constant cap — "such
+//!   restoration makes sure there is headroom for any unit's incoming
+//!   tasks".
+//! * **Readjust** (Alg. 4):
+//!   * leftover budget is assigned to high-priority units with weights
+//!     inversely proportional to their current caps ("units with lower caps
+//!     currently will get allocated more additional budget");
+//!   * with no leftover budget, the caps of all high-priority units are
+//!     **equalized** at their mean — forcing "a relatively high
+//!     instantaneous fairness" and repairing the stateless module's
+//!     random-order inequities. Low-priority units are untouched, and since
+//!     they cannot have gained budget, the equalized cap is never below the
+//!     constant cap — the lower-bound guarantee.
+
+use crate::budget::{debug_assert_budget, distribute_weighted, BUDGET_EPSILON};
+use crate::manager::UnitLimits;
+use dps_sim_core::units::Watts;
+
+/// Alg. 3: restores every cap to `initial_cap` when no unit's power exceeds
+/// `initial_cap * restore_threshold`. Returns whether restoration happened.
+pub fn restore(
+    measured: &[Watts],
+    caps: &mut [Watts],
+    changed: &mut [bool],
+    initial_cap: Watts,
+    restore_threshold: f64,
+) -> bool {
+    let busy = measured
+        .iter()
+        .any(|&p| p > initial_cap * restore_threshold);
+    if busy {
+        return false;
+    }
+    for (cap, flag) in caps.iter_mut().zip(changed.iter_mut()) {
+        if (*cap - initial_cap).abs() > BUDGET_EPSILON {
+            *cap = initial_cap;
+            *flag = true;
+        }
+    }
+    true
+}
+
+/// Alg. 4: spends leftover budget on high-priority units (weights ∝ 1/cap)
+/// or, when what is left is negligible (below `equalize_below` Watts),
+/// equalizes the high-priority caps at their mean.
+///
+/// `restored` short-circuits the whole pass (Alg. 4 line 3).
+pub fn readjust(
+    caps: &mut [Watts],
+    changed: &mut [bool],
+    priorities: &[bool],
+    total_budget: Watts,
+    limits: UnitLimits,
+    restored: bool,
+    equalize_below: Watts,
+) {
+    if restored {
+        return;
+    }
+    let high: Vec<usize> = (0..caps.len()).filter(|&u| priorities[u]).collect();
+    if high.is_empty() {
+        return;
+    }
+
+    let avail = total_budget - caps.iter().sum::<f64>();
+    if avail > equalize_below.max(BUDGET_EPSILON) {
+        // Lower-capped units weighted heavier: weight ∝ 1/cap (caps have a
+        // positive floor at min_cap so the weights are finite).
+        let weights: Vec<f64> = high.iter().map(|&u| 1.0 / caps[u].max(1.0)).collect();
+        let before: Vec<f64> = high.iter().map(|&u| caps[u]).collect();
+        distribute_weighted(caps, &high, &weights, avail, limits.max_cap);
+        for (k, &u) in high.iter().enumerate() {
+            if (caps[u] - before[k]).abs() > BUDGET_EPSILON {
+                changed[u] = true;
+            }
+        }
+    } else {
+        // Equalize all high-priority caps at their mean (Alg. 4 l.19-29).
+        let budget_high: f64 = high.iter().map(|&u| caps[u]).sum();
+        let equal = limits.clamp(budget_high / high.len() as f64);
+        for &u in &high {
+            if (caps[u] - equal).abs() > BUDGET_EPSILON {
+                caps[u] = equal;
+                changed[u] = true;
+            }
+        }
+    }
+    debug_assert_budget(caps, total_budget, limits);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIMITS: UnitLimits = UnitLimits {
+        min_cap: 40.0,
+        max_cap: 165.0,
+    };
+    const INITIAL: Watts = 110.0;
+
+    #[test]
+    fn restore_when_all_quiet() {
+        let measured = [30.0, 50.0, 20.0];
+        let mut caps = [165.0, 45.0, 120.0];
+        let mut changed = [false; 3];
+        let restored = restore(&measured, &mut caps, &mut changed, INITIAL, 0.90);
+        assert!(restored);
+        assert_eq!(caps, [INITIAL; 3]);
+        assert_eq!(changed, [true, true, true]);
+    }
+
+    #[test]
+    fn no_restore_when_any_unit_busy() {
+        let measured = [30.0, 105.0, 20.0]; // 105 > 110*0.90
+        let mut caps = [165.0, 45.0, 120.0];
+        let mut changed = [false; 3];
+        assert!(!restore(&measured, &mut caps, &mut changed, INITIAL, 0.90));
+        assert_eq!(caps, [165.0, 45.0, 120.0]);
+        assert_eq!(changed, [false; 3]);
+    }
+
+    #[test]
+    fn restore_skips_already_initial_caps() {
+        let measured = [10.0, 10.0];
+        let mut caps = [INITIAL, 80.0];
+        let mut changed = [false; 2];
+        restore(&measured, &mut caps, &mut changed, INITIAL, 0.90);
+        assert!(!changed[0], "unchanged cap not flagged");
+        assert!(changed[1]);
+    }
+
+    #[test]
+    fn readjust_skipped_after_restore() {
+        let mut caps = [110.0, 110.0];
+        let mut changed = [false; 2];
+        readjust(
+            &mut caps,
+            &mut changed,
+            &[true, true],
+            220.0,
+            LIMITS,
+            true,
+            0.0,
+        );
+        assert_eq!(caps, [110.0, 110.0]);
+    }
+
+    #[test]
+    fn leftover_budget_flows_to_high_priority() {
+        // Budget 330, caps sum 250 → 80 leftover; only unit 1 is high.
+        let mut caps = [110.0, 80.0, 60.0];
+        let mut changed = [false; 3];
+        readjust(
+            &mut caps,
+            &mut changed,
+            &[false, true, false],
+            330.0,
+            LIMITS,
+            false,
+            0.0,
+        );
+        assert!(
+            (caps[1] - 160.0).abs() < 1e-9,
+            "unit 1 gets all 80: {}",
+            caps[1]
+        );
+        assert_eq!(caps[0], 110.0);
+        assert_eq!(caps[2], 60.0);
+        assert_eq!(changed, [false, true, false]);
+    }
+
+    #[test]
+    fn lower_caps_weighted_heavier() {
+        // Two high-priority units at 50 and 100 W; 90 W leftover.
+        // Weights 1/50 : 1/100 = 2 : 1 → grants 60 and 30.
+        let mut caps = [50.0, 100.0];
+        let mut changed = [false; 2];
+        readjust(
+            &mut caps,
+            &mut changed,
+            &[true, true],
+            240.0,
+            LIMITS,
+            false,
+            0.0,
+        );
+        assert!((caps[0] - 110.0).abs() < 1e-9, "{:?}", caps);
+        assert!((caps[1] - 130.0).abs() < 1e-9, "{:?}", caps);
+    }
+
+    #[test]
+    fn leftover_respects_tdp_with_spill() {
+        // Unit 0 nearly saturated: most of the leftover spills to unit 1.
+        let mut caps = [160.0, 60.0];
+        let mut changed = [false; 2];
+        readjust(
+            &mut caps,
+            &mut changed,
+            &[true, true],
+            280.0,
+            LIMITS,
+            false,
+            0.0,
+        );
+        assert!(caps[0] <= 165.0 + 1e-9);
+        let sum: f64 = caps.iter().sum();
+        assert!((sum - 280.0).abs() < 1e-6, "full budget spent: {sum}");
+    }
+
+    #[test]
+    fn exhausted_budget_equalizes_high_priority() {
+        // No leftover: the two high-priority units (150, 70) equalize at 110;
+        // the low-priority unit keeps its cap.
+        let mut caps = [150.0, 70.0, 110.0];
+        let mut changed = [false; 3];
+        readjust(
+            &mut caps,
+            &mut changed,
+            &[true, true, false],
+            330.0,
+            LIMITS,
+            false,
+            0.0,
+        );
+        assert_eq!(caps, [110.0, 110.0, 110.0]);
+        assert_eq!(changed, [true, true, false]);
+    }
+
+    #[test]
+    fn equalization_preserves_budget() {
+        let mut caps = [165.0, 45.0, 110.0, 120.0];
+        let total: f64 = caps.iter().sum();
+        let mut changed = [false; 4];
+        readjust(
+            &mut caps,
+            &mut changed,
+            &[true, true, false, true],
+            total,
+            LIMITS,
+            false,
+            0.0,
+        );
+        let new_total: f64 = caps.iter().sum();
+        assert!((new_total - total).abs() < 1e-6);
+        // (165+45+120)/3 = 110.
+        assert_eq!(caps[0], 110.0);
+        assert_eq!(caps[1], 110.0);
+        assert_eq!(caps[3], 110.0);
+    }
+
+    #[test]
+    fn lower_bound_guarantee_after_equalization() {
+        // Lemma from §4.3.4: when the budget is exhausted, low-priority
+        // units hold at most the constant cap each (they cannot have gained
+        // budget), so the equalized high-priority cap is ≥ the constant cap.
+        let n = 4;
+        let budget = 440.0; // constant cap 110
+                            // Worst case consistent with the invariant: low units at 110.
+        let mut caps = [110.0, 110.0, 150.0, 70.0];
+        let mut changed = [false; 4];
+        readjust(
+            &mut caps,
+            &mut changed,
+            &[false, false, true, true],
+            budget,
+            LIMITS,
+            false,
+            0.0,
+        );
+        let constant = budget / n as f64;
+        assert!(caps[2] >= constant - 1e-9);
+        assert!(caps[3] >= constant - 1e-9);
+    }
+
+    #[test]
+    fn negligible_leftover_triggers_equalization() {
+        // 4 W leftover on a 330 W budget with a 10 W slack: treated as
+        // exhausted → equalize instead of dripping Watts into the imbalance.
+        let mut caps = [160.0, 60.0, 106.0];
+        let mut changed = [false; 3];
+        readjust(
+            &mut caps,
+            &mut changed,
+            &[true, true, false],
+            330.0,
+            LIMITS,
+            false,
+            10.0,
+        );
+        assert_eq!(caps[0], 110.0);
+        assert_eq!(caps[1], 110.0);
+        assert_eq!(caps[2], 106.0);
+    }
+
+    #[test]
+    fn leftover_above_slack_still_distributed() {
+        let mut caps = [100.0, 100.0];
+        let mut changed = [false; 2];
+        readjust(
+            &mut caps,
+            &mut changed,
+            &[true, true],
+            240.0,
+            LIMITS,
+            false,
+            10.0,
+        );
+        let sum: f64 = caps.iter().sum();
+        assert!((sum - 240.0).abs() < 1e-6, "40 W leftover spent: {sum}");
+    }
+
+    #[test]
+    fn no_high_priority_units_noop() {
+        let mut caps = [80.0, 90.0];
+        let mut changed = [false; 2];
+        readjust(
+            &mut caps,
+            &mut changed,
+            &[false, false],
+            300.0,
+            LIMITS,
+            false,
+            0.0,
+        );
+        assert_eq!(caps, [80.0, 90.0]);
+    }
+}

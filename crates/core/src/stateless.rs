@@ -1,0 +1,325 @@
+//! The stateless MIMD module (paper Alg. 1) and the SLURM comparator.
+//!
+//! A Multiplicative-Increase-Multiplicative-Decrease controller "inspired by
+//! SLURM's power management system": units consuming well below their cap
+//! have the cap multiplicatively decreased (to no lower than their current
+//! power); units pushing against their cap get a multiplicative increase,
+//! funded by whatever budget the decrease loop freed, visited **in random
+//! order** "so that no unit has priority in increasing the cap over others".
+//!
+//! Standalone (wrapped in [`SlurmManager`]) this is the paper's SLURM
+//! baseline; inside [`crate::dps::DpsManager`] it produces the temporary
+//! allocation that the cap-readjusting module then refines.
+
+use crate::budget::{debug_assert_budget, BUDGET_EPSILON};
+use crate::config::MimdConfig;
+use crate::manager::{ManagerKind, PowerManager, UnitLimits};
+use dps_sim_core::rng::RngStream;
+use dps_sim_core::units::{Seconds, Watts};
+
+/// The reusable stateless controller.
+#[derive(Debug, Clone)]
+pub struct MimdModule {
+    config: MimdConfig,
+    limits: UnitLimits,
+    total_budget: Watts,
+    /// Scratch visit order, reused across cycles to avoid allocation.
+    order: Vec<usize>,
+}
+
+impl MimdModule {
+    /// Creates the module.
+    ///
+    /// # Panics
+    /// Panics on an invalid config.
+    pub fn new(
+        config: MimdConfig,
+        limits: UnitLimits,
+        total_budget: Watts,
+        num_units: usize,
+    ) -> Self {
+        config.validate().expect("invalid MIMD config");
+        Self {
+            config,
+            limits,
+            total_budget,
+            order: (0..num_units).collect(),
+        }
+    }
+
+    /// The module's configuration.
+    pub fn config(&self) -> &MimdConfig {
+        &self.config
+    }
+
+    /// Restores construction state. The visit-order scratch is shuffled in
+    /// place every cycle; replaying an RNG stream against a leftover
+    /// permutation would break reset-reproducibility, so it must return to
+    /// the identity order.
+    pub fn reset(&mut self) {
+        for (i, slot) in self.order.iter_mut().enumerate() {
+            *slot = i;
+        }
+    }
+
+    /// One cycle of Alg. 1: rewrites `caps` from `measured`, marking changed
+    /// units in `changed`. The increase loop visits units in a random order
+    /// drawn from `rng`.
+    pub fn apply(
+        &mut self,
+        measured: &[Watts],
+        caps: &mut [Watts],
+        changed: &mut [bool],
+        rng: &mut RngStream,
+    ) {
+        let n = caps.len();
+        assert!(measured.len() == n && changed.len() == n, "length mismatch");
+        changed.fill(false);
+
+        // First loop: decrease caps of units with headroom (Alg. 1 l.5-8).
+        for u in 0..n {
+            if measured[u] < caps[u] * self.config.dec_threshold {
+                // "decreased by a percentage or to its current power" —
+                // never raised (noise can place power slightly above cap).
+                let target = measured[u].max(caps[u] * self.config.dec_factor);
+                let new = self.limits.clamp(target.min(caps[u]));
+                if new < caps[u] - BUDGET_EPSILON {
+                    caps[u] = new;
+                    changed[u] = true;
+                }
+            }
+        }
+
+        // Second loop: spend the freed budget on capped units, random order
+        // (Alg. 1 l.9-14).
+        let mut avail = self.total_budget - caps.iter().sum::<f64>();
+        rng.shuffle(&mut self.order);
+        for k in 0..n {
+            if avail <= BUDGET_EPSILON {
+                break;
+            }
+            let u = self.order[k];
+            if measured[u] > caps[u] * self.config.inc_threshold {
+                let desired = (caps[u] * self.config.inc_factor).min(self.limits.max_cap);
+                let new = desired.min(caps[u] + avail);
+                if new > caps[u] + BUDGET_EPSILON {
+                    avail -= new - caps[u];
+                    caps[u] = new;
+                    changed[u] = true;
+                }
+            }
+        }
+
+        debug_assert_budget(caps, self.total_budget, self.limits);
+    }
+}
+
+/// The SLURM power-plugin comparator: the stateless module as a complete
+/// manager.
+#[derive(Debug, Clone)]
+pub struct SlurmManager {
+    module: MimdModule,
+    num_units: usize,
+    rng: RngStream,
+    rng_initial: RngStream,
+    changed: Vec<bool>,
+}
+
+impl SlurmManager {
+    /// Creates the manager with caps expected to start at the constant cap
+    /// (the cluster simulator initialises caps; SLURM itself keeps no cap
+    /// state beyond what the hardware holds).
+    pub fn new(
+        num_units: usize,
+        total_budget: Watts,
+        limits: UnitLimits,
+        config: MimdConfig,
+        rng: RngStream,
+    ) -> Self {
+        limits
+            .check_feasible(total_budget, num_units)
+            .expect("infeasible budget");
+        Self {
+            module: MimdModule::new(config, limits, total_budget, num_units),
+            num_units,
+            rng_initial: rng.clone(),
+            rng,
+            changed: vec![false; num_units],
+        }
+    }
+
+    /// Which units changed caps in the last cycle (control-plane traffic
+    /// accounting).
+    pub fn changed(&self) -> &[bool] {
+        &self.changed
+    }
+}
+
+impl PowerManager for SlurmManager {
+    fn kind(&self) -> ManagerKind {
+        ManagerKind::Slurm
+    }
+
+    fn num_units(&self) -> usize {
+        self.num_units
+    }
+
+    fn total_budget(&self) -> Watts {
+        self.module.total_budget
+    }
+
+    fn assign_caps(&mut self, measured: &[Watts], caps: &mut [Watts], _dt: Seconds) {
+        let mut changed = std::mem::take(&mut self.changed);
+        self.module
+            .apply(measured, caps, &mut changed, &mut self.rng);
+        self.changed = changed;
+    }
+
+    fn reset(&mut self) {
+        self.module.reset();
+        self.rng = self.rng_initial.clone();
+        self.changed.fill(false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIMITS: UnitLimits = UnitLimits {
+        min_cap: 40.0,
+        max_cap: 165.0,
+    };
+
+    fn slurm(n: usize, budget: Watts) -> SlurmManager {
+        SlurmManager::new(
+            n,
+            budget,
+            LIMITS,
+            MimdConfig::default(),
+            RngStream::new(1, "slurm-test"),
+        )
+    }
+
+    #[test]
+    fn decreases_idle_unit() {
+        let mut m = slurm(2, 220.0);
+        let mut caps = vec![110.0, 110.0];
+        // Unit 0 idles at 20 W → cap multiplicatively decreases toward 40.
+        m.assign_caps(&[20.0, 108.0], &mut caps, 1.0);
+        assert!(caps[0] < 110.0, "idle unit cap should drop: {}", caps[0]);
+        assert!(caps[0] >= 40.0);
+    }
+
+    #[test]
+    fn increases_capped_unit_with_freed_budget() {
+        let mut m = slurm(2, 220.0);
+        let mut caps = vec![110.0, 110.0];
+        // Unit 0 idle, unit 1 pinned at its cap.
+        for _ in 0..10 {
+            let measured = [20.0, caps[1] * 0.999];
+            m.assign_caps(&measured, &mut caps, 1.0);
+        }
+        assert!(caps[1] > 140.0, "capped unit should grow: {}", caps[1]);
+        assert!(caps[0] <= 45.0, "idle unit should shrink: {}", caps[0]);
+        assert!(caps.iter().sum::<f64>() <= 220.0 + 1e-6);
+    }
+
+    #[test]
+    fn cap_never_exceeds_tdp() {
+        let mut m = slurm(2, 400.0);
+        let mut caps = vec![110.0, 110.0];
+        for _ in 0..50 {
+            let measured = [caps[0] * 0.999, caps[1] * 0.999];
+            m.assign_caps(&measured, &mut caps, 1.0);
+        }
+        assert!(caps.iter().all(|&c| c <= 165.0 + 1e-9));
+    }
+
+    #[test]
+    fn no_change_in_deadband() {
+        let mut m = slurm(1, 110.0);
+        let mut caps = vec![110.0];
+        // Power between dec (0.85) and inc (0.95) thresholds: no action.
+        m.assign_caps(&[99.0], &mut caps, 1.0);
+        assert_eq!(caps[0], 110.0);
+        assert!(!m.changed()[0]);
+    }
+
+    #[test]
+    fn decrease_floors_at_current_power() {
+        let cfg = MimdConfig {
+            dec_factor: 0.5,
+            ..Default::default()
+        };
+        // Budget of exactly 80 W: after the decrease floors the cap at the
+        // current power, the increase loop has no budget to spend, isolating
+        // the floor behaviour.
+        let mut m = SlurmManager::new(1, 80.0, LIMITS, cfg, RngStream::new(2, "t"));
+        let mut caps = vec![110.0];
+        // Power 80 < 110*0.85; half-cap would be 55 < 80 → floor at 80.
+        m.assign_caps(&[80.0], &mut caps, 1.0);
+        assert!((caps[0] - 80.0).abs() < 1e-9, "cap {}", caps[0]);
+    }
+
+    #[test]
+    fn budget_invariant_under_stress() {
+        let mut m = slurm(8, 880.0);
+        let mut caps = vec![110.0; 8];
+        let mut rng = RngStream::new(9, "stress");
+        for _ in 0..500 {
+            let measured: Vec<f64> = caps.iter().map(|&c| rng.range(0.0..c * 1.01)).collect();
+            m.assign_caps(&measured, &mut caps, 1.0);
+            assert!(caps.iter().sum::<f64>() <= 880.0 + 1e-6);
+            assert!(caps
+                .iter()
+                .all(|&c| (40.0 - 1e-9..=165.0 + 1e-9).contains(&c)));
+        }
+    }
+
+    #[test]
+    fn greedy_starvation_pathology() {
+        // The motivating failure (Fig. 1): unit 0 grabs the whole surplus
+        // first; when unit 1 later ramps up, no budget is left and the
+        // stateless controller cannot give it any — both sit at their caps.
+        let mut m = slurm(2, 220.0);
+        let mut caps = vec![110.0, 110.0];
+        // Phase 1: unit 0 hot, unit 1 idle.
+        for _ in 0..15 {
+            m.assign_caps(&[caps[0] * 0.999, 20.0], &mut caps, 1.0);
+        }
+        assert!(caps[0] > 160.0, "unit 0 should own the budget: {}", caps[0]);
+        let starved_cap = caps[1];
+        assert!(starved_cap < 60.0);
+        // Phase 2: unit 1 ramps to its cap — both units now report at-cap
+        // power, so unit 1 can only absorb the few Watts of slack and stays
+        // far below the fair 110 W share while unit 0 keeps the lion's part.
+        for _ in 0..15 {
+            m.assign_caps(&[caps[0] * 0.999, caps[1] * 0.999], &mut caps, 1.0);
+        }
+        assert!(
+            caps[1] < 70.0,
+            "stateless cannot rescue the late unit back to fair share: {}",
+            caps[1]
+        );
+        assert!(caps[0] > 150.0, "early unit keeps its grab: {}", caps[0]);
+        let _ = starved_cap;
+    }
+
+    #[test]
+    fn random_order_varies_but_reset_restores() {
+        let mut m = slurm(4, 200.0);
+        let mut caps_a = vec![50.0; 4];
+        // All four want increases but budget allows none fully; order matters.
+        m.assign_caps(&[50.0; 4], &mut caps_a, 1.0);
+        m.reset();
+        let mut caps_b = vec![50.0; 4];
+        m.assign_caps(&[50.0; 4], &mut caps_b, 1.0);
+        assert_eq!(caps_a, caps_b, "reset must restore the RNG stream");
+    }
+
+    #[test]
+    fn kind_is_slurm() {
+        assert_eq!(slurm(1, 110.0).kind(), ManagerKind::Slurm);
+    }
+}

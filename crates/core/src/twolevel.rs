@@ -1,0 +1,308 @@
+//! A hierarchical two-level stateless baseline (Argo-style).
+//!
+//! The paper's related work (§2.3) cites the Argo project's "conclave-node
+//! two-level stateless power management system" (Ellsworth et al.): a
+//! top-level controller divides the cluster budget among *nodes*, and a
+//! per-node controller divides each node's budget among its sockets. Both
+//! levels here are stateless: the node level runs the same MIMD rule as the
+//! SLURM baseline on aggregate node power; the socket level splits the node
+//! budget proportionally to socket power (floored at the minimum cap).
+//!
+//! The two-level split localises decisions (a real deployment gains fault
+//! isolation and lower controller fan-out) but inherits — twice — the
+//! stateless inability to anticipate, which is why it belongs in the
+//! baseline set.
+
+use crate::budget::{debug_assert_budget, BUDGET_EPSILON};
+use crate::config::MimdConfig;
+use crate::manager::{ManagerKind, PowerManager, UnitLimits};
+use dps_sim_core::rng::RngStream;
+use dps_sim_core::units::{Seconds, Watts};
+
+/// Two-level (node → socket) stateless manager.
+///
+/// ```
+/// use dps_core::manager::{PowerManager, UnitLimits};
+/// use dps_core::{MimdConfig, TwoLevelManager};
+/// use dps_sim_core::RngStream;
+///
+/// // Four sockets in two nodes sharing 440 W.
+/// let mut m = TwoLevelManager::new(4, 2, 440.0, UnitLimits::xeon_gold_6240(),
+///                                  MimdConfig::default(), RngStream::new(1, "docs"));
+/// let mut caps = vec![110.0; 4];
+/// // Node 0 hot, node 1 idle: the top level shifts budget between nodes.
+/// for _ in 0..20 {
+///     let measured = [caps[0] * 0.99, caps[1] * 0.99, 20.0, 20.0];
+///     m.assign_caps(&measured, &mut caps, 1.0);
+/// }
+/// assert!(m.node_budgets()[0] > m.node_budgets()[1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoLevelManager {
+    config: MimdConfig,
+    limits: UnitLimits,
+    total_budget: Watts,
+    sockets_per_node: usize,
+    num_units: usize,
+    /// Per-node budgets maintained by the top-level controller.
+    node_budgets: Vec<Watts>,
+    rng: RngStream,
+    rng_initial: RngStream,
+    /// Scratch: node visit order.
+    order: Vec<usize>,
+}
+
+impl TwoLevelManager {
+    /// Creates the manager for `num_units` sockets grouped into nodes of
+    /// `sockets_per_node`.
+    ///
+    /// # Panics
+    /// Panics if `num_units` is not a multiple of `sockets_per_node`, or on
+    /// an invalid config.
+    pub fn new(
+        num_units: usize,
+        sockets_per_node: usize,
+        total_budget: Watts,
+        limits: UnitLimits,
+        config: MimdConfig,
+        rng: RngStream,
+    ) -> Self {
+        config.validate().expect("invalid MIMD config");
+        limits
+            .check_feasible(total_budget, num_units)
+            .expect("infeasible budget");
+        assert!(
+            sockets_per_node > 0 && num_units.is_multiple_of(sockets_per_node),
+            "units ({num_units}) must fill whole nodes of {sockets_per_node}"
+        );
+        let nodes = num_units / sockets_per_node;
+        Self {
+            config,
+            limits,
+            total_budget,
+            sockets_per_node,
+            num_units,
+            node_budgets: vec![total_budget / nodes as f64; nodes],
+            rng_initial: rng.clone(),
+            rng,
+            order: (0..nodes).collect(),
+        }
+    }
+
+    /// Current per-node budgets (diagnostics).
+    pub fn node_budgets(&self) -> &[Watts] {
+        &self.node_budgets
+    }
+
+    fn node_count(&self) -> usize {
+        self.node_budgets.len()
+    }
+}
+
+impl PowerManager for TwoLevelManager {
+    fn kind(&self) -> ManagerKind {
+        ManagerKind::TwoLevel
+    }
+
+    fn num_units(&self) -> usize {
+        self.num_units
+    }
+
+    fn total_budget(&self) -> Watts {
+        self.total_budget
+    }
+
+    fn assign_caps(&mut self, measured: &[Watts], caps: &mut [Watts], _dt: Seconds) {
+        let spn = self.sockets_per_node;
+        let nodes = self.node_count();
+        let node_max = self.limits.max_cap * spn as f64;
+
+        // Invariant maintained throughout: Σ caps(node) ≤ node_budget and
+        // Σ node_budgets ≤ total_budget, hence Σ caps ≤ total_budget.
+
+        // (1) Bottom-level decrease: every socket with slack releases cap
+        // (floored at its measured power), shrinking its node's usage.
+        for u in 0..caps.len() {
+            if measured[u] < caps[u] * self.config.dec_threshold {
+                let target = measured[u].max(caps[u] * self.config.dec_factor);
+                caps[u] = self.limits.clamp(target.min(caps[u]));
+            }
+        }
+
+        // (2) Top-level decrease: a node's budget follows its retained caps
+        // down (never below them, so the invariant holds).
+        let node_used: Vec<f64> = (0..nodes)
+            .map(|k| caps[k * spn..(k + 1) * spn].iter().sum())
+            .collect();
+        for (budget, &used) in self.node_budgets.iter_mut().zip(&node_used) {
+            let shrunk = (*budget * self.config.dec_factor).max(used);
+            if shrunk < *budget {
+                *budget = shrunk;
+            }
+        }
+
+        // (3) Top-level increase: nodes with a pinned socket bid for the
+        // released budget, in random order (the node controller aggregates
+        // its sockets' requests).
+        let node_pinned: Vec<bool> = (0..nodes)
+            .map(|k| {
+                (k * spn..(k + 1) * spn).any(|u| measured[u] > caps[u] * self.config.inc_threshold)
+            })
+            .collect();
+        let mut avail = self.total_budget - self.node_budgets.iter().sum::<f64>();
+        self.rng.shuffle(&mut self.order);
+        for idx in 0..nodes {
+            if avail <= BUDGET_EPSILON {
+                break;
+            }
+            let k = self.order[idx];
+            if node_pinned[k] {
+                let desired = (self.node_budgets[k] * self.config.inc_factor).min(node_max);
+                let new = desired.min(self.node_budgets[k] + avail);
+                if new > self.node_budgets[k] + BUDGET_EPSILON {
+                    avail -= new - self.node_budgets[k];
+                    self.node_budgets[k] = new;
+                }
+            }
+        }
+
+        // (4) Bottom-level increase: each node spends its budget headroom on
+        // its own pinned sockets. The visit order rotates per cycle so no
+        // socket index holds a standing priority (the node-level analogue
+        // of the SLURM random order).
+        for k in 0..nodes {
+            let range = k * spn..(k + 1) * spn;
+            let mut node_avail = self.node_budgets[k] - caps[range.clone()].iter().sum::<f64>();
+            let offset = (self.rng.next_u64() as usize) % spn;
+            for i in 0..spn {
+                let u = k * spn + (i + offset) % spn;
+                if node_avail <= BUDGET_EPSILON {
+                    break;
+                }
+                if measured[u] > caps[u] * self.config.inc_threshold {
+                    let desired = (caps[u] * self.config.inc_factor).min(self.limits.max_cap);
+                    let new = desired.min(caps[u] + node_avail);
+                    if new > caps[u] + BUDGET_EPSILON {
+                        node_avail -= new - caps[u];
+                        caps[u] = new;
+                    }
+                }
+            }
+        }
+        debug_assert_budget(caps, self.total_budget, self.limits);
+    }
+
+    fn reset(&mut self) {
+        let nodes = self.node_count();
+        self.node_budgets.fill(self.total_budget / nodes as f64);
+        for (i, slot) in self.order.iter_mut().enumerate() {
+            *slot = i;
+        }
+        self.rng = self.rng_initial.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIMITS: UnitLimits = UnitLimits {
+        min_cap: 40.0,
+        max_cap: 165.0,
+    };
+
+    fn manager(units: usize, spn: usize, budget: Watts) -> TwoLevelManager {
+        TwoLevelManager::new(
+            units,
+            spn,
+            budget,
+            LIMITS,
+            MimdConfig::default(),
+            RngStream::new(8, "twolevel-test"),
+        )
+    }
+
+    #[test]
+    fn node_budgets_start_equal() {
+        let m = manager(8, 2, 880.0);
+        assert_eq!(m.node_budgets(), &[220.0; 4]);
+    }
+
+    #[test]
+    fn hot_node_gains_budget_from_idle_node() {
+        let mut m = manager(4, 2, 440.0);
+        let mut caps = vec![110.0; 4];
+        for _ in 0..20 {
+            // Node 0 (units 0-1) hot at its caps; node 1 idle.
+            let measured = [caps[0] * 0.999, caps[1] * 0.999, 20.0, 20.0];
+            m.assign_caps(&measured, &mut caps, 1.0);
+        }
+        assert!(m.node_budgets()[0] > 260.0, "{:?}", m.node_budgets());
+        assert!(m.node_budgets()[1] < 180.0);
+        assert!(caps[0] > 120.0 && caps[2] < 60.0, "{caps:?}");
+    }
+
+    #[test]
+    fn socket_split_proportional_within_node() {
+        let mut m = manager(2, 2, 220.0);
+        let mut caps = vec![110.0; 2];
+        // One node; socket 0 draws 3× socket 1.
+        for _ in 0..10 {
+            let measured = [90.0f64.min(caps[0]), 30.0f64.min(caps[1])];
+            m.assign_caps(&measured, &mut caps, 1.0);
+        }
+        assert!(caps[0] > caps[1] + 20.0, "{caps:?}");
+        let sum: f64 = caps.iter().sum();
+        assert!(sum <= 220.0 + 1e-6);
+    }
+
+    #[test]
+    fn budget_respected_under_churn() {
+        let mut m = manager(12, 2, 1320.0);
+        let mut caps = vec![110.0; 12];
+        let mut rng = RngStream::new(5, "tl-churn");
+        for _ in 0..300 {
+            let measured: Vec<f64> = caps
+                .iter()
+                .map(|&c| rng.range(10.0..165.0_f64).min(c))
+                .collect();
+            m.assign_caps(&measured, &mut caps, 1.0);
+            assert!(caps.iter().sum::<f64>() <= 1320.0 + 1e-6);
+            assert!(caps
+                .iter()
+                .all(|&c| (40.0 - 1e-9..=165.0 + 1e-9).contains(&c)));
+        }
+    }
+
+    #[test]
+    fn reset_restores_equal_budgets_and_rng() {
+        let mut m = manager(4, 2, 440.0);
+        let mut caps_a = vec![110.0; 4];
+        for _ in 0..5 {
+            m.assign_caps(&[109.0, 109.0, 20.0, 20.0], &mut caps_a, 1.0);
+        }
+        m.reset();
+        assert_eq!(m.node_budgets(), &[220.0, 220.0]);
+        let mut caps_b = vec![110.0; 4];
+        for _ in 0..5 {
+            m.assign_caps(&[109.0, 109.0, 20.0, 20.0], &mut caps_b, 1.0);
+        }
+        m.reset();
+        let mut caps_c = vec![110.0; 4];
+        for _ in 0..5 {
+            m.assign_caps(&[109.0, 109.0, 20.0, 20.0], &mut caps_c, 1.0);
+        }
+        assert_eq!(caps_b, caps_c, "reset must be reproducible");
+    }
+
+    #[test]
+    #[should_panic(expected = "whole nodes")]
+    fn partial_nodes_rejected() {
+        manager(5, 2, 550.0);
+    }
+
+    #[test]
+    fn kind_is_twolevel() {
+        assert_eq!(manager(2, 2, 220.0).kind(), ManagerKind::TwoLevel);
+    }
+}

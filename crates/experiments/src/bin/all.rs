@@ -1,0 +1,42 @@
+//! The artifact's `run_experiment.sh` equivalent: regenerates every table
+//! and figure in sequence. With `DPS_QUICK=1` this is the artifact's "toy
+//! example" mode (reps = 2).
+
+use std::process::Command;
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let binaries = [
+        // The paper's tables and figures...
+        "fig1",
+        "fig2",
+        "tables",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "overhead",
+        "ablation",
+        // ...and the extension studies (see DESIGN.md).
+        "baselines",
+        "sweep",
+        "mix",
+        "scale",
+        "dram",
+    ];
+    for bin in binaries {
+        let path = exe_dir.join(bin);
+        println!("\n================ {bin} ================\n");
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(status.code().unwrap_or(1));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Extension study: DPS against the full related-work baseline set.
+//!
+//! Beyond the paper's own comparators (constant, SLURM, oracle), this runs
+//! the three §2 archetypes implemented in `dps-core` — the Argo-style
+//! two-level stateless hierarchy, the PShifter-style PI feedback shifter,
+//! and the PoDD/PANN-lite online demand model — on one representative pair
+//! per evaluation regime.
+
+use dps_core::manager::ManagerKind;
+use dps_experiments::{banner, config_from_env, pct, run_grid, threads_from_env};
+use dps_workloads::catalog::find;
+
+fn main() {
+    let config = config_from_env();
+    banner("Baselines: all managers, one pair per regime", &config);
+
+    let pairs = vec![
+        (find("LDA").unwrap(), find("Sort").unwrap()), // low utility
+        (find("Bayes").unwrap(), find("GMM").unwrap()), // high utility
+        (find("GMM").unwrap(), find("EP").unwrap()),   // Spark x NPB
+        (find("LR").unwrap(), find("FT").unwrap()),    // high frequency both sides
+    ];
+    let managers = [
+        ManagerKind::Slurm,
+        ManagerKind::TwoLevel,
+        ManagerKind::Feedback,
+        ManagerKind::Predictive,
+        ManagerKind::Dps,
+        ManagerKind::Oracle,
+    ];
+
+    let cells = run_grid(&pairs, &managers, &config, threads_from_env());
+
+    for (p, (a, b)) in pairs.iter().enumerate() {
+        println!("--- {} + {}", a.name, b.name);
+        let mut table = dps_metrics::Table::new(vec![
+            "manager".into(),
+            "speedup A".into(),
+            "speedup B".into(),
+            "pair".into(),
+            "fairness".into(),
+        ]);
+        for (m, _) in managers.iter().enumerate() {
+            let cell = &cells[p * managers.len() + m];
+            table.row(vec![
+                cell.outcome.manager.to_string(),
+                pct(cell.speedup_a()),
+                pct(cell.speedup_b()),
+                pct(cell.pair_speedup()),
+                format!("{:.3}", cell.outcome.fairness),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+
+    println!("Reading guide: the oracle bounds what any manager can achieve; DPS");
+    println!("matches it in low utility and dominates the stateless family (SLURM,");
+    println!("TwoLevel — near-identical at 2 sockets/node) under contention.");
+    println!("Predictive performs like the paper says model-based systems do —");
+    println!("near-optimal once its model has seen the phases — at the deployment");
+    println!("cost DPS avoids. Feedback (PI headroom equalization, PShifter-style)");
+    println!("shines within a cooperative low-utility mix but fails across");
+    println!("competing jobs: each dip of a phase-rich job lets the controller");
+    println!("confiscate its caps, and with every unit pinned the error signal");
+    println!("goes silent, freezing the starvation — the local optimum §2.3 says");
+    println!("level-based managers cannot escape.");
+}

@@ -1,0 +1,80 @@
+//! Diagnostic: per-cycle trace of one pair under one manager.
+//!
+//! Prints cluster-mean demand/power/cap and priority counts so cap dynamics
+//! can be inspected. Usage:
+//!
+//! ```text
+//! debug_trace [workload_a] [workload_b] [manager] [seconds]
+//! ```
+
+use dps_cluster::ClusterSim;
+use dps_core::manager::ManagerKind;
+use dps_experiments::config_from_env;
+use dps_sim_core::rng::RngStream;
+use dps_workloads::{build_program, catalog};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name_a = args.get(1).map(String::as_str).unwrap_or("GMM");
+    let name_b = args.get(2).map(String::as_str).unwrap_or("EP");
+    let manager_name = args.get(3).map(String::as_str).unwrap_or("DPS");
+    let seconds: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(300);
+
+    let config = config_from_env();
+    let kind = match manager_name.to_ascii_lowercase().as_str() {
+        "constant" => ManagerKind::Constant,
+        "slurm" => ManagerKind::Slurm,
+        "oracle" => ManagerKind::Oracle,
+        _ => ManagerKind::Dps,
+    };
+
+    let spec_a = catalog::find(name_a).expect("workload a");
+    let spec_b = catalog::find(name_b).expect("workload b");
+    let pair_rng = RngStream::new(config.seed, &format!("pair/{}+{}", name_a, name_b));
+    let program_a = build_program(spec_a, &config.sim.perf, 1001);
+    let program_b = build_program(spec_b, &config.sim.perf, 1002);
+
+    let manager = config.build_manager(kind);
+    let mut sim = ClusterSim::new(
+        config.sim.clone(),
+        vec![program_a, program_b],
+        manager,
+        &pair_rng.child("sim"),
+    );
+    sim.enable_logging();
+
+    println!("# t  dA  pA  cA  hiA | dB  pB  cB  hiB | sum(caps)");
+    for t in 0..seconds {
+        sim.cycle();
+        let rec = sim.log().records().last().unwrap().clone();
+        let topo = sim.config().topology;
+        let half = topo.units_per_cluster();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let da = mean(&rec.demand[..half]);
+        let db = mean(&rec.demand[half..]);
+        let pa = mean(&rec.power[..half]);
+        let pb = mean(&rec.power[half..]);
+        let ca = mean(&rec.caps[..half]);
+        let cb = mean(&rec.caps[half..]);
+        let (hia, hib) = if rec.priority.is_empty() {
+            (0, 0)
+        } else {
+            (
+                rec.priority[..half].iter().filter(|&&p| p).count(),
+                rec.priority[half..].iter().filter(|&&p| p).count(),
+            )
+        };
+        if t % 5 == 0 {
+            println!(
+                "{t:4}  {da:5.1} {pa:5.1} {ca:5.1} {hia:2} | {db:5.1} {pb:5.1} {cb:5.1} {hib:2} | {:6.0}",
+                rec.caps.iter().sum::<f64>()
+            );
+        }
+    }
+    println!(
+        "# satisfaction A={:.3} B={:.3} fairness={:.3}",
+        sim.satisfaction(0),
+        sim.satisfaction(1),
+        sim.fairness(0, 1)
+    );
+}

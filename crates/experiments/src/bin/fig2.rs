@@ -1,0 +1,109 @@
+//! Figure 2: power phases of LDA, Bayes and LR.
+//!
+//! Prints each application's uncapped demand trace (downsampled) plus the
+//! three §3.1 observations quantified: phase-duration diversity, peak-power
+//! diversity, and first-derivative diversity.
+
+use dps_experiments::config_from_env;
+use dps_sim_core::signal;
+use dps_workloads::{build_program, catalog};
+
+fn sparkline(values: &[f64], lo: f64, hi: f64) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    values
+        .iter()
+        .map(|&v| {
+            let f = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+            GLYPHS[(f * 7.0).round() as usize]
+        })
+        .collect()
+}
+
+fn main() {
+    let config = config_from_env();
+    println!("=== Figure 2: power phases for different applications ===\n");
+
+    for name in ["LDA", "Bayes", "LR"] {
+        let spec = catalog::find(name).unwrap();
+        let program = build_program(spec, &config.sim.perf, config.seed);
+        let trace = program.sample(1.0);
+        let values = trace.values();
+
+        println!(
+            "--- {name}: {:.0} s uncapped, peak {:.0} W, {:.1}% above 110 W (table: {:.1}%)",
+            program.total_work(),
+            program.peak_demand(),
+            100.0 * program.fraction_above(110.0),
+            100.0 * spec.frac_above_110,
+        );
+
+        // Downsampled trace, 4-second buckets, 75 chars per line chunk.
+        let ds: Vec<f64> = values
+            .chunks(4)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect();
+        for chunk in ds.chunks(75) {
+            println!("  {}", sparkline(chunk, 0.0, 165.0));
+        }
+
+        // Observation 1: phase-duration diversity.
+        let high_phases: Vec<f64> = program
+            .phases()
+            .iter()
+            .filter(|p| p.shape.peak() > 110.0)
+            .map(|p| p.duration)
+            .collect();
+        let longest = high_phases.iter().cloned().fold(0.0, f64::max);
+        let shortest = high_phases.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "  high-power phases: {} (durations {shortest:.1}-{longest:.1} s)",
+            high_phases.len()
+        );
+
+        // Observation 2: peak diversity.
+        let peaks: Vec<f64> = program
+            .phases()
+            .iter()
+            .filter(|p| p.shape.peak() > 110.0)
+            .map(|p| p.shape.peak())
+            .collect();
+        let peak_lo = peaks.iter().cloned().fold(f64::INFINITY, f64::min);
+        let peak_hi = peaks.iter().cloned().fold(0.0, f64::max);
+        println!("  phase peak power range: {peak_lo:.0}-{peak_hi:.0} W");
+
+        // Observation 3: derivative diversity over the sampled trace.
+        let derivs: Vec<f64> = values.windows(2).map(|w| w[1] - w[0]).collect();
+        let max_rise = derivs.iter().cloned().fold(0.0, f64::max);
+        let max_fall = derivs.iter().cloned().fold(0.0, f64::min);
+        println!("  first derivative range: {max_fall:+.1} to {max_rise:+.1} W/s");
+
+        // Prominent-peak frequency (what DPS's priority module counts).
+        let pp = signal::count_prominent_peaks(values, 30.0);
+        println!(
+            "  prominent peaks (30 W prominence): {pp} over {:.0} s ({:.2} per 20 s window)",
+            program.total_work(),
+            pp as f64 * 20.0 / program.total_work()
+        );
+
+        // The same trace through the measured-trace phase segmenter (the
+        // §3.1 analysis a deployment would run on RAPL logs).
+        if let Some(r) = dps_sim_core::phases::report(values, 1.0, 30.0) {
+            println!(
+                "  segmented phases: {} (durations {:.0}-{:.0} s, mean {:.0} s; peaks \
+                 {:.0}-{:.0} W; steps {:+.0}..{:+.0} W/s)\n",
+                r.phase_count,
+                r.duration_min,
+                r.duration_max,
+                r.duration_mean,
+                r.peak_min,
+                r.peak_max,
+                r.max_fall,
+                r.max_rise,
+            );
+        }
+    }
+
+    println!("Expected shape (paper §3.1): LDA has long phases with fast rises and");
+    println!("slow decays; Bayes has medium phases with diverse peaks; LR has many");
+    println!("phases shorter than 10 s (high-frequency power changes).");
+}

@@ -1,0 +1,117 @@
+//! Figure 7: fairness of the two high-utility workload groups.
+//!
+//! Re-runs the Spark high-utility and Spark×NPB grids under SLURM and DPS
+//! and summarises the distribution of per-pair fairness (Eq. 2) — the
+//! paper's box plot.
+//!
+//! Paper shape: DPS mean fairness ≈ 0.97 (high utility) and ≈ 0.96
+//! (Spark×NPB); SLURM ≈ 0.75 and ≈ 0.71; DPS is higher for every workload.
+
+use dps_core::manager::ManagerKind;
+use dps_experiments::{banner, config_from_env, grids, run_grid, threads_from_env, CellResult};
+use dps_metrics::DistributionSummary;
+use dps_sim_core::stats;
+
+fn summarise(title: &str, cells: &[CellResult]) {
+    println!("--- {title}");
+    let mut table = dps_metrics::Table::new(vec![
+        "Manager".into(),
+        "mean".into(),
+        "min".into(),
+        "q1".into(),
+        "median".into(),
+        "q3".into(),
+        "max".into(),
+    ]);
+    let mut means = Vec::new();
+    for kind in [ManagerKind::Slurm, ManagerKind::Dps] {
+        let fairness: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.outcome.manager == kind)
+            .map(|c| c.outcome.fairness)
+            .collect();
+        let d = DistributionSummary::from_values(&fairness).expect("non-empty");
+        table.row_f64(
+            &kind.to_string(),
+            &[d.mean, d.min, d.q1, d.median, d.q3, d.max],
+            3,
+        );
+        means.push((kind, d.mean));
+    }
+    println!("{}", table.render());
+
+    // Per-pair comparison: fraction of pairs where DPS is fairer.
+    let mut dps_by_pair = std::collections::BTreeMap::new();
+    let mut slurm_by_pair = std::collections::BTreeMap::new();
+    for c in cells {
+        let key = (c.a.clone(), c.b.clone());
+        match c.outcome.manager {
+            ManagerKind::Dps => {
+                dps_by_pair.insert(key, c.outcome.fairness);
+            }
+            ManagerKind::Slurm => {
+                slurm_by_pair.insert(key, c.outcome.fairness);
+            }
+            _ => {}
+        }
+    }
+    let mut wins = 0;
+    let mut total = 0;
+    let mut gains = Vec::new();
+    for (key, &d) in &dps_by_pair {
+        if let Some(&s) = slurm_by_pair.get(key) {
+            total += 1;
+            if d >= s {
+                wins += 1;
+            }
+            if s > 0.0 {
+                gains.push(d / s - 1.0);
+            }
+        }
+    }
+    println!(
+        "DPS fairness ≥ SLURM on {wins}/{total} pairs; relative gain {:.1}% to {:.1}% (mean {:.1}%)\n",
+        100.0 * stats::min(&gains).unwrap_or(f64::NAN),
+        100.0 * stats::max(&gains).unwrap_or(f64::NAN),
+        100.0 * stats::mean(&gains).unwrap_or(f64::NAN),
+    );
+}
+
+/// §6.4's closing observation: "a general positive correlation between
+/// fairness and harmonic mean performance" — Pearson r over all (pair,
+/// manager) points of a grid.
+fn correlation(cells: &[CellResult]) -> Option<f64> {
+    let mut fairness = Vec::new();
+    let mut speedup = Vec::new();
+    for c in cells {
+        let s = c.pair_speedup();
+        if s.is_finite() {
+            fairness.push(c.outcome.fairness);
+            speedup.push(s);
+        }
+    }
+    stats::pearson(&fairness, &speedup)
+}
+
+fn main() {
+    let config = config_from_env();
+    banner("Figure 7: fairness distributions", &config);
+    let managers = [ManagerKind::Slurm, ManagerKind::Dps];
+    let threads = threads_from_env();
+
+    let high = run_grid(&grids::spark_high_utility(), &managers, &config, threads);
+    summarise("Spark high utility (49 pairs)", &high);
+
+    let npb = run_grid(&grids::spark_npb(), &managers, &config, threads);
+    summarise("Spark x NPB (56 pairs)", &npb);
+
+    println!(
+        "fairness ↔ pair-hmean-performance Pearson r: high-utility {:+.3}, Spark×NPB {:+.3}",
+        correlation(&high).unwrap_or(f64::NAN),
+        correlation(&npb).unwrap_or(f64::NAN),
+    );
+
+    println!("Expected shape (paper Fig. 7 / §6.4): DPS ≈ 0.96-0.97 mean fairness,");
+    println!("SLURM ≈ 0.71-0.75; DPS is at least as fair on essentially every pair,");
+    println!("and fairness correlates positively with harmonic-mean performance.");
+}

@@ -1,0 +1,128 @@
+//! §6.5: overhead analysis.
+//!
+//! Three claims to reproduce:
+//!
+//! 1. the controller's per-cycle compute cost is tiny and scales linearly —
+//!    "less than 0.5% average CPU usage on the controller node" and "the
+//!    controller could handle tens of thousands of nodes";
+//! 2. the per-unit state (20-step history) stays cache-resident even at
+//!    scale — "several megabytes" for tens of thousands of nodes;
+//! 3. communication dominates the turnaround but remains milliseconds at
+//!    1,000 nodes and ~3 MB of traffic per 1 M nodes.
+//!
+//! Compute cost is measured directly (wall-clock over many decision
+//! cycles); communication comes from the control-plane model.
+
+use dps_cluster::ControlPlaneModel;
+use dps_core::manager::{PowerManager, UnitLimits};
+use dps_core::{DpsConfig, DpsManager, MimdConfig, SlurmManager};
+use dps_experiments::{banner, config_from_env};
+use dps_sim_core::rng::RngStream;
+use std::time::Instant;
+
+/// Measures the mean per-cycle wall time of a manager over `iters` cycles
+/// with a churning synthetic load.
+fn measure(mut mgr: Box<dyn PowerManager>, n: usize, iters: usize) -> f64 {
+    let mut caps = vec![110.0; n];
+    let mut measured = vec![100.0; n];
+    let mut rng = RngStream::new(7, "overhead-load");
+    // Warm up histories first.
+    for _ in 0..32 {
+        for (u, m) in measured.iter_mut().enumerate() {
+            *m = (60.0 + 50.0 * ((u % 7) as f64 / 7.0) + rng.normal(0.0, 8.0)).clamp(15.0, 165.0);
+        }
+        mgr.assign_caps(&measured, &mut caps, 1.0);
+    }
+    let start = Instant::now();
+    for i in 0..iters {
+        // Deterministic churn without per-iteration RNG cost dominating.
+        for (u, m) in measured.iter_mut().enumerate() {
+            let phase = ((i + u) % 20) as f64 / 20.0;
+            *m = (40.0 + 120.0 * phase).min(caps[u]);
+        }
+        mgr.assign_caps(&measured, &mut caps, 1.0);
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+fn main() {
+    let config = config_from_env();
+    banner("Section 6.5: overhead analysis", &config);
+    let limits = UnitLimits::xeon_gold_6240();
+
+    println!("Controller compute cost per decision cycle (measured):\n");
+    let mut table = dps_metrics::Table::new(vec![
+        "units".into(),
+        "SLURM (us)".into(),
+        "DPS (us)".into(),
+        "DPS duty cycle @1s".into(),
+        "history bytes".into(),
+    ]);
+    for &n in &[20usize, 200, 2_000, 20_000] {
+        let budget = n as f64 * 110.0;
+        let iters = (200_000 / n).clamp(20, 5_000);
+        let slurm = measure(
+            Box::new(SlurmManager::new(
+                n,
+                budget,
+                limits,
+                MimdConfig::default(),
+                RngStream::new(1, "ov-slurm"),
+            )),
+            n,
+            iters,
+        );
+        let dps_cfg = DpsConfig::default();
+        let dps = measure(
+            Box::new(DpsManager::new(
+                n,
+                budget,
+                limits,
+                dps_cfg,
+                RngStream::new(1, "ov-dps"),
+            )),
+            n,
+            iters,
+        );
+        // Per-unit history: power + duration ring of history_len f64s.
+        let state_bytes = n * dps_cfg.history_len * 8 * 2;
+        table.row(vec![
+            n.to_string(),
+            format!("{:.1}", slurm * 1e6),
+            format!("{:.1}", dps * 1e6),
+            format!("{:.4}%", dps * 100.0),
+            format!("{}", state_bytes),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("Control-plane model (per decision cycle):\n");
+    let cp = ControlPlaneModel::default();
+    let mut net = dps_metrics::Table::new(vec![
+        "nodes".into(),
+        "latency (ms)".into(),
+        "traffic (bytes, 2 sockets/node)".into(),
+    ]);
+    for &nodes in &[10usize, 100, 1_000, 10_000, 1_000_000] {
+        net.row(vec![
+            nodes.to_string(),
+            format!("{:.3}", cp.cycle_latency(nodes) * 1e3),
+            format!("{}", cp.cycle_traffic(nodes * 2)),
+        ]);
+    }
+    println!("{}", net.render());
+
+    println!("Deployment overhead: DPS needs one full history window before its");
+    println!(
+        "dynamics are informative — {} s at the default 1 s period (paper: \"at",
+        DpsConfig::default().history_len
+    );
+    println!("most the time of the range of estimated power history ... defaulted at");
+    println!("20 seconds\"); SLURM is functional immediately. Both are negligible");
+    println!("against cluster lifetimes.");
+    println!();
+    println!("Expected shape (paper §6.5): DPS's extra cost over SLURM is a small");
+    println!("constant factor; both are microseconds per cycle at testbed scale; the");
+    println!("duty cycle stays well under 0.5% even at tens of thousands of units;");
+    println!("communication, not computation, dominates turnaround.");
+}

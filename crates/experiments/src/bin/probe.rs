@@ -1,0 +1,46 @@
+//! Quick diagnostic probe: runs a handful of representative pairs under all
+//! managers and prints the speedup shapes. Not a paper figure — a fast
+//! sanity check that the reproduction's qualitative results hold before
+//! running the full grids.
+
+use dps_core::manager::ManagerKind;
+use dps_experiments::{banner, config_from_env, pct, run_grid, threads_from_env};
+use dps_workloads::catalog::find;
+
+fn main() {
+    let mut config = config_from_env();
+    config.reps = config.reps.min(3);
+    banner("probe: representative pairs, all managers", &config);
+
+    let pairs = vec![
+        // Low utility: mid paired with low.
+        (find("LDA").unwrap(), find("Sort").unwrap()),
+        (find("LR").unwrap(), find("Wordcount").unwrap()),
+        // High utility: mid paired with the high-power GMM.
+        (find("Kmeans").unwrap(), find("GMM").unwrap()),
+        (find("LDA").unwrap(), find("GMM").unwrap()),
+        // Spark × NPB.
+        (find("GMM").unwrap(), find("EP").unwrap()),
+        (find("Bayes").unwrap(), find("LU").unwrap()),
+    ];
+    let managers = [ManagerKind::Slurm, ManagerKind::Dps, ManagerKind::Oracle];
+
+    let cells = run_grid(&pairs, &managers, &config, threads_from_env());
+
+    println!(
+        "{:<10} {:<10} {:<8} {:>9} {:>9} {:>9} {:>9}",
+        "A", "B", "manager", "speedupA", "speedupB", "pair", "fairness"
+    );
+    for cell in &cells {
+        println!(
+            "{:<10} {:<10} {:<8} {:>9} {:>9} {:>9} {:>9.3}",
+            cell.a,
+            cell.b,
+            cell.outcome.manager.to_string(),
+            pct(cell.speedup_a()),
+            pct(cell.speedup_b()),
+            pct(cell.pair_speedup()),
+            cell.outcome.fairness,
+        );
+    }
+}

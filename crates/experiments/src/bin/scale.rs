@@ -1,0 +1,71 @@
+//! Extension study: does the result survive scale?
+//!
+//! §6.5 argues the DPS *controller* scales to tens of thousands of nodes;
+//! this experiment checks that the *decision quality* scales too. The
+//! GMM+EP pair runs on progressively larger clusters (the paper's 2×5×2
+//! testbed up to 2×100×2 = 400 sockets) and reports each manager's pair
+//! speedup, fairness, and the simulator's wall-clock cost per simulated
+//! second.
+
+use dps_cluster::run_pair;
+use dps_core::manager::ManagerKind;
+use dps_experiments::{banner, config_from_env, parallel_map, pct, threads_from_env};
+use dps_rapl::Topology;
+use dps_workloads::catalog::find;
+use std::time::Instant;
+
+fn main() {
+    let mut base = config_from_env();
+    base.reps = base.reps.min(3); // scale is the variable here, not variance
+    banner("Scale sweep: GMM + EP from 20 to 400 sockets", &base);
+
+    let nodes_per_cluster = [5usize, 10, 25, 50, 100];
+    let managers = [ManagerKind::Slurm, ManagerKind::Dps];
+
+    let tasks: Vec<(usize, ManagerKind)> = nodes_per_cluster
+        .iter()
+        .flat_map(|&n| managers.iter().map(move |&m| (n, m)))
+        .collect();
+    let results: Vec<(f64, f64, f64)> = parallel_map(threads_from_env(), &tasks, |&(n, kind)| {
+        let mut cfg = base.clone();
+        cfg.sim.topology = Topology::new(2, n, 2);
+        let a = find("GMM").unwrap();
+        let b = find("EP").unwrap();
+        let start = Instant::now();
+        let baseline = run_pair(a, b, ManagerKind::Constant, &cfg);
+        let out = run_pair(a, b, kind, &cfg);
+        let wall = start.elapsed().as_secs_f64();
+        let sim_seconds = (baseline.steps + out.steps) as f64 * cfg.sim.period;
+        (
+            out.pair_speedup(baseline.a.hmean_duration(), baseline.b.hmean_duration()),
+            out.fairness,
+            wall / sim_seconds * 1e6, // µs of wall time per simulated second
+        )
+    });
+
+    let mut table = dps_metrics::Table::new(vec![
+        "sockets".into(),
+        "SLURM pair".into(),
+        "SLURM fair".into(),
+        "DPS pair".into(),
+        "DPS fair".into(),
+        "us/sim-s".into(),
+    ]);
+    for (i, &n) in nodes_per_cluster.iter().enumerate() {
+        let slurm = results[i * 2];
+        let dps = results[i * 2 + 1];
+        table.row(vec![
+            (2 * n * 2).to_string(),
+            pct(slurm.0),
+            format!("{:.3}", slurm.1),
+            pct(dps.0),
+            format!("{:.3}", dps.1),
+            format!("{:.0}", dps.2),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Expected shape: the DPS-over-SLURM gap and the fairness gap persist");
+    println!("at every scale (the mechanisms are per-unit and cluster-aggregate,");
+    println!("not tied to the testbed's 20 sockets); simulation cost grows roughly");
+    println!("linearly with socket count.");
+}

@@ -1,0 +1,358 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Each binary regenerates one of the paper's tables or figures. This
+//! library holds what they share: environment-configurable experiment
+//! parameters, the pair grids of §5.2, a parallel grid runner, and the
+//! speedup bookkeeping of the artifact appendix ("the speedup of a workload
+//! in a pair ... is calculated as the baseline divided by the workload's
+//! harmonic mean throughput time in that group", with the baseline taken
+//! from the constant-allocation runs).
+//!
+//! Environment knobs (all optional):
+//!
+//! * `DPS_SEED`   — master seed (default 42).
+//! * `DPS_REPS`   — repetitions per workload pair (default 10, the paper's
+//!   "repeated at least 10 times"). Set small (e.g. 2) for quick runs.
+//! * `DPS_QUICK`  — if set, forces `reps = 2` (the artifact's toy mode).
+//! * `DPS_THREADS`— worker threads for grid runs (default: all cores).
+
+#![warn(missing_docs)]
+
+use dps_cluster::{run_pair, ExperimentConfig, PairOutcome};
+use dps_core::manager::ManagerKind;
+use dps_metrics::GroupedSeries;
+use dps_sim_core::stats;
+use dps_workloads::catalog::{low_power_spark, mid_high_spark, npb, WorkloadSpec};
+
+/// One (pair, manager) grid cell result, with its constant baseline.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Cluster 0's workload name.
+    pub a: String,
+    /// Cluster 1's workload name.
+    pub b: String,
+    /// Outcome under the cell's manager.
+    pub outcome: PairOutcome,
+    /// Constant-allocation baseline hmean durations for (a, b).
+    pub baseline_a: f64,
+    /// See `baseline_a`.
+    pub baseline_b: f64,
+}
+
+impl CellResult {
+    /// Speedup of workload `a` over the constant baseline.
+    pub fn speedup_a(&self) -> f64 {
+        self.outcome.speedup_a(self.baseline_a)
+    }
+
+    /// Speedup of workload `b` over the constant baseline.
+    pub fn speedup_b(&self) -> f64 {
+        self.outcome.speedup_b(self.baseline_b)
+    }
+
+    /// Harmonic mean of the pair's speedups.
+    pub fn pair_speedup(&self) -> f64 {
+        self.outcome.pair_speedup(self.baseline_a, self.baseline_b)
+    }
+}
+
+/// Builds the experiment configuration from the environment.
+pub fn config_from_env() -> ExperimentConfig {
+    let seed = std::env::var("DPS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let mut reps = std::env::var("DPS_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    if std::env::var("DPS_QUICK").is_ok() {
+        reps = 2;
+    }
+    ExperimentConfig::paper_default(seed, reps)
+}
+
+/// Worker-thread count from the environment (default: all cores).
+pub fn threads_from_env() -> usize {
+    std::env::var("DPS_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+        .max(1)
+}
+
+/// The three pair grids of §5.2.
+pub mod grids {
+    use super::*;
+
+    /// Spark low utility: each mid/high workload paired with each low-power
+    /// workload (7 × 4 = 28 pairs).
+    pub fn spark_low_utility() -> Vec<(&'static WorkloadSpec, &'static WorkloadSpec)> {
+        let mut pairs = Vec::new();
+        for a in mid_high_spark() {
+            for b in low_power_spark() {
+                pairs.push((a, b));
+            }
+        }
+        pairs
+    }
+
+    /// Spark high utility: mid/high × mid/high (7 × 7 = 49 pairs).
+    pub fn spark_high_utility() -> Vec<(&'static WorkloadSpec, &'static WorkloadSpec)> {
+        let mut pairs = Vec::new();
+        for a in mid_high_spark() {
+            for b in mid_high_spark() {
+                pairs.push((a, b));
+            }
+        }
+        pairs
+    }
+
+    /// Spark × NPB: every mid/high Spark workload with every NPB workload
+    /// (7 × 8 = 56 pairs).
+    pub fn spark_npb() -> Vec<(&'static WorkloadSpec, &'static WorkloadSpec)> {
+        let mut pairs = Vec::new();
+        for a in mid_high_spark() {
+            for b in npb() {
+                pairs.push((a, b));
+            }
+        }
+        pairs
+    }
+}
+
+/// Runs a full grid: every pair under the constant baseline plus every
+/// manager in `managers`, in parallel across `threads` workers. Returns one
+/// [`CellResult`] per (pair, manager).
+pub fn run_grid(
+    pairs: &[(&'static WorkloadSpec, &'static WorkloadSpec)],
+    managers: &[ManagerKind],
+    config: &ExperimentConfig,
+    threads: usize,
+) -> Vec<CellResult> {
+    // Task list: baseline first per pair, then each manager. To keep the
+    // parallel schedule simple, each task computes its own baseline run —
+    // the constant run is cheap relative to the grid and the runs are
+    // deterministic, so recomputation is exact.
+    #[derive(Clone, Copy)]
+    struct Task {
+        pair_idx: usize,
+        kind: ManagerKind,
+    }
+    let tasks: Vec<Task> = (0..pairs.len())
+        .flat_map(|pair_idx| managers.iter().map(move |&kind| Task { pair_idx, kind }))
+        .collect();
+
+    // Baselines computed once per pair, in parallel.
+    let baselines: Vec<(f64, f64)> = parallel_map(threads, pairs, |&(a, b)| {
+        let outcome = run_pair(a, b, ManagerKind::Constant, config);
+        (outcome.a.hmean_duration(), outcome.b.hmean_duration())
+    });
+
+    parallel_map(threads, &tasks, |task| {
+        let (a, b) = pairs[task.pair_idx];
+        let outcome = run_pair(a, b, task.kind, config);
+        let (baseline_a, baseline_b) = baselines[task.pair_idx];
+        CellResult {
+            a: a.name.to_string(),
+            b: b.name.to_string(),
+            outcome,
+            baseline_a,
+            baseline_b,
+        }
+    })
+}
+
+/// Simple static-partition parallel map over a slice (scoped threads;
+/// results keep input order).
+pub fn parallel_map<T: Sync, R: Send>(
+    threads: usize,
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(n).max(1);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+
+    std::thread::scope(|scope| {
+        for (slot_chunk, item_chunk) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.expect("slot filled"))
+        .collect()
+}
+
+/// Accumulates grid cells into a per-`a`-workload speedup series (the
+/// Fig. 4 / 5(a) / 6(a) shape): group = workload `a`, series = manager,
+/// value = workload `a`'s own speedup (`pair` = false) or the pair's
+/// harmonic-mean speedup (`pair` = true).
+pub fn group_by_a(cells: &[CellResult], pair: bool) -> GroupedSeries {
+    let mut g = GroupedSeries::new();
+    for cell in cells {
+        let v = if pair {
+            cell.pair_speedup()
+        } else {
+            cell.speedup_a()
+        };
+        if v.is_finite() {
+            g.push(&cell.a, &cell.outcome.manager.to_string(), v);
+        }
+    }
+    g
+}
+
+/// Like [`group_by_a`] but grouped by workload `b` (Fig. 6(b)).
+pub fn group_by_b(cells: &[CellResult], pair: bool) -> GroupedSeries {
+    let mut g = GroupedSeries::new();
+    for cell in cells {
+        let v = if pair {
+            cell.pair_speedup()
+        } else {
+            cell.speedup_b()
+        };
+        if v.is_finite() {
+            g.push(&cell.b, &cell.outcome.manager.to_string(), v);
+        }
+    }
+    g
+}
+
+/// Renders a grouped speedup table with one column per manager plus a mean
+/// row, matching the bar charts' content.
+pub fn render_speedup_table(series: &GroupedSeries, managers: &[ManagerKind]) -> String {
+    let mut headers = vec!["Workload".to_string()];
+    headers.extend(managers.iter().map(|m| m.to_string()));
+    let mut table = dps_metrics::Table::new(headers);
+    for group in series.groups().to_vec() {
+        let values: Vec<f64> = managers
+            .iter()
+            .map(|m| series.hmean(&group, &m.to_string()).unwrap_or(f64::NAN))
+            .collect();
+        table.row_f64(&group, &values, 3);
+    }
+    let means: Vec<f64> = managers
+        .iter()
+        .map(|m| {
+            series
+                .mean_of_group_hmeans(&m.to_string())
+                .unwrap_or(f64::NAN)
+        })
+        .collect();
+    table.row_f64("MEAN", &means, 3);
+    table.render()
+}
+
+/// Renders the grouped speedups as an ASCII bar chart anchored at 1.0 (the
+/// constant baseline) — the figures' visual shape in a terminal.
+pub fn render_speedup_bars(series: &GroupedSeries, managers: &[ManagerKind]) -> String {
+    let mut chart = dps_metrics::BarChart::new(1.0, 24);
+    for group in series.groups() {
+        for m in managers {
+            if let Some(v) = series.hmean(group, &m.to_string()) {
+                chart.bar(group, &m.to_string(), v);
+            }
+        }
+    }
+    chart.render()
+}
+
+/// Mean-of-pairs fairness per manager across grid cells.
+pub fn fairness_by_manager(cells: &[CellResult]) -> GroupedSeries {
+    let mut g = GroupedSeries::new();
+    for cell in cells {
+        g.push(
+            &cell.outcome.manager.to_string(),
+            "fairness",
+            cell.outcome.fairness,
+        );
+    }
+    g
+}
+
+/// Standard banner for experiment binaries.
+pub fn banner(title: &str, config: &ExperimentConfig) {
+    println!("=== {title} ===");
+    println!(
+        "seed={} reps={} topology={}x{}x{} budget={:.0} W ({:.1} W/socket)",
+        config.seed,
+        config.reps,
+        config.sim.topology.clusters,
+        config.sim.topology.nodes_per_cluster,
+        config.sim.topology.sockets_per_node,
+        config.sim.total_budget(),
+        config.sim.total_budget() / config.sim.topology.total_units() as f64,
+    );
+    println!();
+}
+
+/// Summary helper: percentage gain string from a speedup.
+pub fn pct(speedup: f64) -> String {
+    format!("{:+.1}%", (speedup - 1.0) * 100.0)
+}
+
+/// Hmean of a slice with NaN filtering (for report summaries).
+pub fn clean_hmean(values: &[f64]) -> f64 {
+    let clean: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    stats::harmonic_mean(&clean).unwrap_or(f64::NAN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_match_paper_counts() {
+        assert_eq!(grids::spark_low_utility().len(), 28);
+        assert_eq!(grids::spark_high_utility().len(), 49);
+        assert_eq!(grids::spark_npb().len(), 56);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map(7, &items, |&x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<u32> = parallel_map(4, &[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_single_thread() {
+        let items = [1, 2, 3];
+        assert_eq!(parallel_map(1, &items, |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn pct_formats_sign() {
+        assert_eq!(pct(1.08), "+8.0%");
+        assert_eq!(pct(0.92), "-8.0%");
+    }
+
+    #[test]
+    fn clean_hmean_filters_nan() {
+        let v = [1.0, f64::NAN, 4.0];
+        assert!((clean_hmean(&v) - 1.6).abs() < 1e-12);
+        assert!(clean_hmean(&[f64::NAN]).is_nan());
+    }
+}

@@ -1,0 +1,141 @@
+//! Horizontal ASCII bar charts — the figures' bar plots, in a terminal.
+//!
+//! The paper's Figs. 4–6 are grouped bar charts of speedups around 1.0;
+//! [`BarChart`] renders that shape: one row per (group, series) with a bar
+//! anchored at a baseline value, growing right for gains and left for
+//! losses.
+
+/// A grouped horizontal bar chart anchored at a baseline.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    baseline: f64,
+    width: usize,
+    rows: Vec<(String, String, f64)>,
+}
+
+impl BarChart {
+    /// Creates a chart anchored at `baseline` (bars show the deviation from
+    /// it) with the given half-width in characters per side.
+    pub fn new(baseline: f64, width: usize) -> Self {
+        assert!(width >= 4, "width must be at least 4");
+        Self {
+            baseline,
+            width,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one bar.
+    pub fn bar(&mut self, group: &str, series: &str, value: f64) -> &mut Self {
+        self.rows
+            .push((group.to_string(), series.to_string(), value));
+        self
+    }
+
+    /// Renders the chart. The scale adapts to the largest deviation.
+    pub fn render(&self) -> String {
+        if self.rows.is_empty() {
+            return String::new();
+        }
+        let max_dev = self
+            .rows
+            .iter()
+            .map(|(_, _, v)| (v - self.baseline).abs())
+            .fold(0.0, f64::max)
+            .max(1e-9);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(g, s, _)| g.len() + s.len() + 1)
+            .max()
+            .unwrap_or(8);
+
+        let mut out = String::new();
+        for (group, series, value) in &self.rows {
+            let dev = value - self.baseline;
+            let cells = ((dev.abs() / max_dev) * self.width as f64).round() as usize;
+            let (left, right) = if dev < 0.0 {
+                (
+                    format!("{:>w$}", "▇".repeat(cells), w = self.width),
+                    " ".repeat(self.width),
+                )
+            } else {
+                (
+                    " ".repeat(self.width),
+                    format!("{:<w$}", "▇".repeat(cells), w = self.width),
+                )
+            };
+            let label = format!("{group} {series}");
+            out.push_str(&format!("{label:<label_w$} {left}|{right} {value:.3}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_gains_right_losses_left() {
+        let mut c = BarChart::new(1.0, 10);
+        c.bar("LDA", "DPS", 1.10);
+        c.bar("LDA", "SLURM", 0.90);
+        let s = c.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let (gain, loss) = (lines[0], lines[1]);
+        // The gain bar sits after the axis, the loss bar before it. Compare
+        // char positions (the bar glyph is multi-byte).
+        let axis_pos = |l: &str| l.chars().position(|c| c == '|').unwrap();
+        assert_eq!(axis_pos(gain), axis_pos(loss), "axes align");
+        let split = |l: &str| -> (String, String) {
+            let p = axis_pos(l);
+            (l.chars().take(p).collect(), l.chars().skip(p).collect())
+        };
+        let (g_left, g_right) = split(gain);
+        let (l_left, _) = split(loss);
+        assert!(g_right.contains('▇'));
+        assert!(!g_left.contains('▇'));
+        assert!(l_left.contains('▇'));
+    }
+
+    #[test]
+    fn scale_adapts_to_largest_deviation() {
+        let mut c = BarChart::new(1.0, 10);
+        c.bar("a", "x", 1.05);
+        c.bar("b", "x", 1.50); // 10 cells
+        let s = c.render();
+        let lines: Vec<&str> = s.lines().collect();
+        let count = |l: &str| l.matches('▇').count();
+        assert_eq!(count(lines[1]), 10);
+        assert_eq!(count(lines[0]), 1); // 0.05/0.50 × 10 = 1
+    }
+
+    #[test]
+    fn value_printed_per_row() {
+        let mut c = BarChart::new(1.0, 6);
+        c.bar("g", "s", 1.234);
+        assert!(c.render().contains("1.234"));
+    }
+
+    #[test]
+    fn empty_chart_renders_empty() {
+        assert_eq!(BarChart::new(1.0, 8).render(), "");
+    }
+
+    #[test]
+    fn exact_baseline_has_no_bar() {
+        let mut c = BarChart::new(1.0, 8);
+        c.bar("g", "s", 1.0);
+        c.bar("h", "s", 1.2);
+        let s = c.render();
+        assert_eq!(s.lines().next().unwrap().matches('▇').count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be at least 4")]
+    fn tiny_width_rejected() {
+        BarChart::new(1.0, 2);
+    }
+}

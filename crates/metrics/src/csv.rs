@@ -1,0 +1,105 @@
+//! Minimal CSV writing for experiment artifacts.
+//!
+//! The paper's artifact ships plotting scripts fed by CSV logs; this module
+//! lets the experiment binaries dump the same data shapes (grouped series,
+//! per-cycle traces) without external dependencies. Only the small CSV
+//! subset we emit is implemented: comma separation, RFC-4180 quoting of
+//! fields containing commas/quotes/newlines.
+
+use crate::series::GroupedSeries;
+use std::fmt::Write as _;
+
+/// Quotes a field per RFC 4180 when needed.
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Renders rows of string fields as CSV.
+pub fn render<R, F>(header: &[&str], rows: R) -> String
+where
+    R: IntoIterator<Item = F>,
+    F: IntoIterator<Item = String>,
+{
+    let mut out = String::new();
+    let header_line: Vec<String> = header.iter().map(|h| quote(h)).collect();
+    out.push_str(&header_line.join(","));
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row.into_iter().map(|c| quote(&c)).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a [`GroupedSeries`] long-form: one row per observation
+/// (`group,series,value`).
+pub fn grouped_series_long(g: &GroupedSeries, series_names: &[&str]) -> String {
+    let mut out = String::new();
+    out.push_str("group,series,value\n");
+    for group in g.groups() {
+        for &series in series_names {
+            if let Some(values) = g.values(group, series) {
+                for v in values {
+                    let _ = writeln!(out, "{},{},{v}", quote(group), quote(series));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders a uniformly-sampled trace (`time,value` pairs).
+pub fn trace(times: &[f64], values: &[f64]) -> String {
+    debug_assert_eq!(times.len(), values.len());
+    let mut out = String::from("time,value\n");
+    for (t, v) in times.iter().zip(values) {
+        let _ = writeln!(out, "{t},{v}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_plain_rows() {
+        let csv = render(&["a", "b"], vec![vec!["1".to_string(), "2".to_string()]]);
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn quotes_commas_and_quotes() {
+        let csv = render(
+            &["name"],
+            vec![vec!["x,y".to_string()], vec!["say \"hi\"".to_string()]],
+        );
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn grouped_series_long_form() {
+        let mut g = GroupedSeries::new();
+        g.push("LDA", "DPS", 1.05);
+        g.push("LDA", "SLURM", 0.97);
+        g.push("LR", "DPS", 1.02);
+        let csv = grouped_series_long(&g, &["SLURM", "DPS"]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "group,series,value");
+        assert_eq!(lines.len(), 4);
+        assert!(lines.contains(&"LDA,DPS,1.05"));
+        assert!(lines.contains(&"LR,DPS,1.02"));
+    }
+
+    #[test]
+    fn trace_format() {
+        let csv = trace(&[0.0, 1.0], &[110.0, 109.5]);
+        assert_eq!(csv, "time,value\n0,110\n1,109.5\n");
+    }
+}

@@ -1,0 +1,25 @@
+//! Result aggregation and reporting for the DPS experiments.
+//!
+//! The experiment binaries turn raw pair outcomes into exactly the rows and
+//! series the paper's figures plot. This crate holds the domain-neutral
+//! pieces:
+//!
+//! * [`table`] — fixed-width ASCII table rendering for terminal reports.
+//! * [`series`] — grouped metric series (workload × manager), speedup
+//!   arithmetic, harmonic-mean summaries, and distribution summaries for the
+//!   fairness box plot (Fig. 7).
+//! * [`csv`] — dependency-free CSV rendering so experiment binaries can dump
+//!   plot-ready data files, like the artifact's logs.
+//! * [`bars`] — horizontal ASCII bar charts anchored at a baseline, the
+//!   terminal rendition of the paper's grouped speedup plots.
+
+#![warn(missing_docs)]
+
+pub mod bars;
+pub mod csv;
+pub mod series;
+pub mod table;
+
+pub use bars::BarChart;
+pub use series::{DistributionSummary, GroupedSeries};
+pub use table::Table;

@@ -1,0 +1,203 @@
+//! Grouped metric series and distribution summaries.
+//!
+//! The figures aggregate pair outcomes two ways: **grouped bar series**
+//! (per-workload harmonic-mean speedup per manager — Figs. 4–6) and
+//! **distribution summaries** (the fairness box plot — Fig. 7). Both are
+//! plain data transformations, independent of where the numbers came from.
+
+use dps_sim_core::stats;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A set of named groups (e.g. workloads), each holding one value list per
+/// named series (e.g. manager).
+///
+/// ```
+/// use dps_metrics::GroupedSeries;
+/// let mut g = GroupedSeries::new();
+/// g.push("LDA", "DPS", 1.05);
+/// g.push("LDA", "DPS", 1.07);
+/// g.push("LDA", "SLURM", 0.91);
+/// assert!((g.hmean("LDA", "DPS").unwrap() - 1.0599).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroupedSeries {
+    // BTreeMap keeps report ordering deterministic.
+    data: BTreeMap<String, BTreeMap<String, Vec<f64>>>,
+    /// Insertion order of groups (report rows follow first-seen order).
+    group_order: Vec<String>,
+}
+
+impl GroupedSeries {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one observation.
+    pub fn push(&mut self, group: &str, series: &str, value: f64) {
+        if !self.data.contains_key(group) {
+            self.group_order.push(group.to_string());
+        }
+        self.data
+            .entry(group.to_string())
+            .or_default()
+            .entry(series.to_string())
+            .or_default()
+            .push(value);
+    }
+
+    /// Group names in first-insertion order.
+    pub fn groups(&self) -> &[String] {
+        &self.group_order
+    }
+
+    /// Raw values for a (group, series) cell.
+    pub fn values(&self, group: &str, series: &str) -> Option<&[f64]> {
+        self.data.get(group)?.get(series).map(|v| v.as_slice())
+    }
+
+    /// Harmonic mean of a cell.
+    pub fn hmean(&self, group: &str, series: &str) -> Option<f64> {
+        stats::harmonic_mean(self.values(group, series)?)
+    }
+
+    /// Arithmetic mean of a cell.
+    pub fn mean(&self, group: &str, series: &str) -> Option<f64> {
+        stats::mean(self.values(group, series)?)
+    }
+
+    /// Maximum of a cell.
+    pub fn max(&self, group: &str, series: &str) -> Option<f64> {
+        stats::max(self.values(group, series)?)
+    }
+
+    /// Minimum of a cell.
+    pub fn min(&self, group: &str, series: &str) -> Option<f64> {
+        stats::min(self.values(group, series)?)
+    }
+
+    /// Mean across all groups of the per-group harmonic means for one
+    /// series (the paper's "mean X %" summaries).
+    pub fn mean_of_group_hmeans(&self, series: &str) -> Option<f64> {
+        let per_group: Vec<f64> = self
+            .group_order
+            .iter()
+            .filter_map(|g| self.hmean(g, series))
+            .collect();
+        stats::mean(&per_group)
+    }
+
+    /// All values of one series pooled across groups.
+    pub fn pooled(&self, series: &str) -> Vec<f64> {
+        let mut out = Vec::new();
+        for g in &self.group_order {
+            if let Some(v) = self.values(g, series) {
+                out.extend_from_slice(v);
+            }
+        }
+        out
+    }
+}
+
+/// Five-number summary (plus mean) for distribution plots like Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistributionSummary {
+    /// Smallest observation.
+    pub min: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl DistributionSummary {
+    /// Summarises a sample; `None` when empty.
+    pub fn from_values(values: &[f64]) -> Option<Self> {
+        Some(Self {
+            min: stats::min(values)?,
+            q1: stats::percentile(values, 25.0)?,
+            median: stats::median(values)?,
+            q3: stats::percentile(values, 75.0)?,
+            max: stats::max(values)?,
+            mean: stats::mean(values)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut g = GroupedSeries::new();
+        g.push("Kmeans", "DPS", 1.02);
+        g.push("Kmeans", "SLURM", 0.89);
+        g.push("LDA", "DPS", 1.05);
+        assert_eq!(g.groups(), &["Kmeans".to_string(), "LDA".to_string()]);
+        assert_eq!(g.values("Kmeans", "DPS"), Some(&[1.02][..]));
+        assert_eq!(g.values("Kmeans", "Oracle"), None);
+        assert_eq!(g.values("GMM", "DPS"), None);
+    }
+
+    #[test]
+    fn group_order_is_insertion_order() {
+        let mut g = GroupedSeries::new();
+        g.push("Zeta", "M", 1.0);
+        g.push("Alpha", "M", 1.0);
+        g.push("Zeta", "M", 2.0); // does not re-register
+        assert_eq!(g.groups(), &["Zeta".to_string(), "Alpha".to_string()]);
+    }
+
+    #[test]
+    fn hmean_matches_stats() {
+        let mut g = GroupedSeries::new();
+        g.push("w", "m", 1.0);
+        g.push("w", "m", 2.0);
+        g.push("w", "m", 4.0);
+        assert!((g.hmean("w", "m").unwrap() - 12.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_group_hmeans() {
+        let mut g = GroupedSeries::new();
+        g.push("a", "m", 1.0);
+        g.push("b", "m", 2.0);
+        // hmean of single value is the value; mean of {1, 2} = 1.5.
+        assert!((g.mean_of_group_hmeans("m").unwrap() - 1.5).abs() < 1e-12);
+        assert_eq!(g.mean_of_group_hmeans("missing"), None);
+    }
+
+    #[test]
+    fn pooled_collects_across_groups() {
+        let mut g = GroupedSeries::new();
+        g.push("a", "m", 1.0);
+        g.push("b", "m", 2.0);
+        g.push("b", "other", 99.0);
+        assert_eq!(g.pooled("m"), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn distribution_summary_quartiles() {
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let d = DistributionSummary::from_values(&values).unwrap();
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.median, 3.0);
+        assert_eq!(d.max, 5.0);
+        assert_eq!(d.mean, 3.0);
+        assert_eq!(d.q1, 2.0);
+        assert_eq!(d.q3, 4.0);
+    }
+
+    #[test]
+    fn distribution_summary_empty_none() {
+        assert_eq!(DistributionSummary::from_values(&[]), None);
+    }
+}

@@ -1,0 +1,188 @@
+//! Fixed-width ASCII tables for terminal experiment reports.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (names).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple table builder.
+///
+/// ```
+/// use dps_metrics::Table;
+/// let mut t = Table::new(vec!["Workload".into(), "Speedup".into()]);
+/// t.row(vec!["LDA".into(), "1.052".into()]);
+/// let s = t.render();
+/// assert!(s.contains("Workload"));
+/// assert!(s.contains("LDA"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    aligns: Vec<Align>,
+}
+
+impl Table {
+    /// Creates a table with headers; the first column is left-aligned and
+    /// the rest right-aligned (override with [`Table::align`]).
+    ///
+    /// # Panics
+    /// Panics if `headers` is empty (a zero-column table cannot render).
+    pub fn new(headers: Vec<String>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Self {
+            headers,
+            rows: Vec::new(),
+            aligns,
+        }
+    }
+
+    /// Overrides one column's alignment.
+    pub fn align(&mut self, column: usize, align: Align) -> &mut Self {
+        self.aligns[column] = align;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Convenience: a row from a name and f64 values with fixed precision.
+    pub fn row_f64(&mut self, name: &str, values: &[f64], precision: usize) -> &mut Self {
+        let mut cells = Vec::with_capacity(values.len() + 1);
+        cells.push(name.to_string());
+        for v in values {
+            cells.push(format!("{v:.precision$}"));
+        }
+        self.row(cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders to a string with a header separator.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                let pad = widths[i] - cell.len();
+                match self.aligns[i] {
+                    Align::Left => {
+                        line.push_str(cell);
+                        line.extend(std::iter::repeat_n(' ', pad));
+                    }
+                    Align::Right => {
+                        line.extend(std::iter::repeat_n(' ', pad));
+                        line.push_str(cell);
+                    }
+                }
+            }
+            // Trailing spaces are noise in terminals and diffs.
+            line.trim_end().to_string()
+        };
+
+        let mut out = String::new();
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.extend(std::iter::repeat_n('-', total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["Name".into(), "Value".into()]);
+        t.row(vec!["a".into(), "1.0".into()]);
+        t.row(vec!["longer-name".into(), "12.5".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Right-aligned numbers end at the same column.
+        assert!(lines[2].ends_with("1.0"));
+        assert!(lines[3].ends_with("12.5"));
+        // Left-aligned names start at column 0.
+        assert!(lines[2].starts_with('a'));
+        assert!(lines[3].starts_with("longer-name"));
+    }
+
+    #[test]
+    fn row_f64_formats_precision() {
+        let mut t = Table::new(vec!["W".into(), "X".into(), "Y".into()]);
+        t.row_f64("k", &[1.23456, 2.0], 3);
+        let s = t.render();
+        assert!(s.contains("1.235"), "{s}");
+        assert!(s.contains("2.000"));
+    }
+
+    #[test]
+    fn header_separator_spans_width() {
+        let mut t = Table::new(vec!["AB".into(), "CD".into()]);
+        t.row(vec!["x".into(), "y".into()]);
+        let s = t.render();
+        let sep = s.lines().nth(1).unwrap();
+        assert!(sep.chars().all(|c| c == '-'));
+        assert_eq!(sep.len(), s.lines().next().unwrap().len());
+    }
+
+    #[test]
+    fn empty_table_headers_only() {
+        let t = Table::new(vec!["H".into()]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width must match headers")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["A".into(), "B".into()]);
+        t.row(vec!["only-one".into()]);
+    }
+}

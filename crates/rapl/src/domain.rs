@@ -1,0 +1,317 @@
+//! One simulated power-capping unit (a socket package).
+//!
+//! A [`PowerDomain`] enforces its cap the way RAPL's long-term power limit
+//! does on a one-second control window: average power over the window never
+//! exceeds the cap (RAPL reacts in milliseconds, far below the manager's
+//! decision period, so within a window enforcement is effectively exact —
+//! the paper relies on "in all cases ... the power caps are respected",
+//! §6). Demand above the cap is clipped; the clipping ratio is what the
+//! workload model uses to slow progress.
+
+use crate::counter::{EnergyCounter, EnergyReader};
+use crate::noise::NoiseModel;
+use dps_sim_core::rng::RngStream;
+use dps_sim_core::units::{clamp_power, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Static capabilities of a power domain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DomainSpec {
+    /// Thermal design power: the maximum settable cap (165 W per socket on
+    /// the paper's Xeon Gold 6240 testbed).
+    pub tdp: Watts,
+    /// Lowest operational cap RAPL will honour.
+    pub min_cap: Watts,
+    /// Idle draw: power consumed even when demand is zero (uncore, DRAM
+    /// refresh, leakage). Actual power never falls below this.
+    pub idle_power: Watts,
+}
+
+impl DomainSpec {
+    /// The paper's socket: 165 W TDP. Minimum cap and idle power are not
+    /// published; 40 W / 15 W are representative of Cascade Lake sockets.
+    pub fn xeon_gold_6240() -> Self {
+        Self {
+            tdp: 165.0,
+            min_cap: 40.0,
+            idle_power: 15.0,
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.tdp.is_finite() && self.tdp > 0.0) {
+            return Err(format!("tdp must be positive, got {}", self.tdp));
+        }
+        if !(self.min_cap.is_finite() && self.min_cap >= 0.0 && self.min_cap <= self.tdp) {
+            return Err(format!(
+                "min_cap must be in [0, tdp], got {} (tdp {})",
+                self.min_cap, self.tdp
+            ));
+        }
+        if !(self.idle_power.is_finite() && self.idle_power >= 0.0 && self.idle_power <= self.tdp) {
+            return Err(format!(
+                "idle_power must be in [0, tdp], got {}",
+                self.idle_power
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DomainSpec {
+    fn default() -> Self {
+        Self::xeon_gold_6240()
+    }
+}
+
+/// Simulated power-capping unit.
+///
+/// Drive it with [`PowerDomain::step`] once per control window, then read the
+/// (noisy) measurement with [`PowerDomain::measure`]:
+///
+/// ```
+/// use dps_rapl::{DomainSpec, NoiseModel, PowerDomain};
+/// use dps_sim_core::RngStream;
+/// let rng = RngStream::new(0, "doc");
+/// let mut d = PowerDomain::new(DomainSpec::xeon_gold_6240(), NoiseModel::None, rng);
+/// d.set_cap(110.0);
+/// let actual = d.step(160.0, 1.0); // demand 160 W, capped at 110 W
+/// assert_eq!(actual, 110.0);
+/// assert_eq!(d.measure(), 110.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerDomain {
+    spec: DomainSpec,
+    cap: Watts,
+    counter: EnergyCounter,
+    reader: EnergyReader,
+    noise: NoiseModel,
+    rng: RngStream,
+    now: Seconds,
+    /// True average power over the last completed window.
+    last_actual: Watts,
+    /// Most recent noisy measurement handed out.
+    last_measured: Watts,
+}
+
+impl PowerDomain {
+    /// Creates a domain with its cap initially at TDP (uncapped).
+    ///
+    /// # Panics
+    /// Panics if the spec is inconsistent.
+    pub fn new(spec: DomainSpec, noise: NoiseModel, rng: RngStream) -> Self {
+        spec.validate().expect("invalid domain spec");
+        let counter = EnergyCounter::new();
+        let reader = EnergyReader::new(counter.unit());
+        Self {
+            spec,
+            cap: spec.tdp,
+            counter,
+            reader,
+            noise,
+            rng,
+            now: 0.0,
+            last_actual: 0.0,
+            last_measured: 0.0,
+        }
+    }
+
+    /// The domain's static spec.
+    #[inline]
+    pub fn spec(&self) -> &DomainSpec {
+        &self.spec
+    }
+
+    /// Currently programmed cap.
+    #[inline]
+    pub fn cap(&self) -> Watts {
+        self.cap
+    }
+
+    /// Programs a new cap, clamped into `[min_cap, tdp]` the way the RAPL
+    /// driver clamps out-of-range requests. Returns the effective cap.
+    pub fn set_cap(&mut self, cap: Watts) -> Watts {
+        self.cap = clamp_power(cap, self.spec.min_cap, self.spec.tdp);
+        self.cap
+    }
+
+    /// Advances one control window of length `dt`: the workload demands
+    /// `demand` Watts; the domain delivers
+    /// `min(max(demand, idle), cap)`... except idle draw is physical and is
+    /// never capped below (RAPL cannot turn off leakage). Returns the true
+    /// average power over the window.
+    pub fn step(&mut self, demand: Watts, dt: Seconds) -> Watts {
+        debug_assert!(dt > 0.0, "window must have positive duration");
+        let demand = demand.max(0.0);
+        // Physical floor: the package draws idle power regardless of load.
+        let wanted = demand.max(self.spec.idle_power);
+        let actual = wanted
+            .min(self.cap)
+            .max(self.spec.idle_power.min(self.spec.tdp));
+        self.counter.accumulate(actual, dt);
+        self.now += dt;
+        self.last_actual = actual;
+        actual
+    }
+
+    /// Samples the energy counter and returns a noisy average-power
+    /// measurement for the last window — what the node client reports to the
+    /// power manager. Falls back to the last true power if the reader has no
+    /// baseline yet (first call).
+    pub fn measure(&mut self) -> Watts {
+        let truth = self
+            .reader
+            .sample(self.counter.raw(), self.now)
+            .unwrap_or(self.last_actual);
+        self.last_measured = self.noise.apply(truth, &mut self.rng);
+        self.last_measured
+    }
+
+    /// True power over the last window (ground truth — used by the oracle
+    /// and by satisfaction accounting, never by realistic managers).
+    #[inline]
+    pub fn true_power(&self) -> Watts {
+        self.last_actual
+    }
+
+    /// The most recent measurement handed out by [`PowerDomain::measure`].
+    #[inline]
+    pub fn last_measurement(&self) -> Watts {
+        self.last_measured
+    }
+
+    /// Simulated time at the end of the last completed window.
+    #[inline]
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// The fraction of demanded power actually granted in the last window
+    /// (1.0 when uncapped or idle). The workload model scales progress by
+    /// this ratio.
+    pub fn grant_ratio(&self, demand: Watts) -> f64 {
+        if demand <= self.spec.idle_power {
+            return 1.0;
+        }
+        (self.last_actual / demand).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain(noise: NoiseModel) -> PowerDomain {
+        PowerDomain::new(
+            DomainSpec::xeon_gold_6240(),
+            noise,
+            RngStream::new(42, "domain-test"),
+        )
+    }
+
+    #[test]
+    fn uncapped_power_follows_demand() {
+        let mut d = domain(NoiseModel::None);
+        assert_eq!(d.step(120.0, 1.0), 120.0);
+        assert_eq!(d.step(60.0, 1.0), 60.0);
+    }
+
+    #[test]
+    fn cap_clips_demand() {
+        let mut d = domain(NoiseModel::None);
+        d.set_cap(110.0);
+        assert_eq!(d.step(160.0, 1.0), 110.0);
+        assert_eq!(d.step(90.0, 1.0), 90.0);
+    }
+
+    #[test]
+    fn idle_floor_always_drawn() {
+        let mut d = domain(NoiseModel::None);
+        d.set_cap(110.0);
+        assert_eq!(d.step(0.0, 1.0), 15.0);
+        // Even a cap below idle cannot push power under the physical floor;
+        // set_cap also clamps to min_cap=40 first.
+        d.set_cap(0.0);
+        assert_eq!(d.cap(), 40.0);
+        assert_eq!(d.step(0.0, 1.0), 15.0);
+    }
+
+    #[test]
+    fn set_cap_clamps_to_spec() {
+        let mut d = domain(NoiseModel::None);
+        assert_eq!(d.set_cap(500.0), 165.0);
+        assert_eq!(d.set_cap(10.0), 40.0);
+        assert_eq!(d.set_cap(f64::NAN), 40.0);
+    }
+
+    #[test]
+    fn measurement_matches_truth_without_noise() {
+        let mut d = domain(NoiseModel::None);
+        d.set_cap(110.0);
+        d.step(160.0, 1.0);
+        assert!((d.measure() - 110.0).abs() < 0.01);
+        d.step(50.0, 1.0);
+        assert!((d.measure() - 50.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn measurement_noise_applied() {
+        let mut d = domain(NoiseModel::Gaussian { std_dev: 2.0 });
+        d.set_cap(110.0);
+        let mut diffs = Vec::new();
+        for _ in 0..500 {
+            d.step(160.0, 1.0);
+            diffs.push((d.measure() - 110.0).abs());
+        }
+        let mean_abs = diffs.iter().sum::<f64>() / diffs.len() as f64;
+        // E|N(0,2)| ≈ 1.6; definitely non-zero, definitely below 3.
+        assert!(mean_abs > 0.5 && mean_abs < 3.0, "mean abs err {mean_abs}");
+    }
+
+    #[test]
+    fn caps_respected_over_long_run() {
+        // The paper's safety claim: power caps are respected in all cases.
+        let mut d = domain(NoiseModel::None);
+        d.set_cap(90.0);
+        for i in 0..1000 {
+            let demand = 50.0 + (i % 140) as f64;
+            let actual = d.step(demand, 1.0);
+            assert!(actual <= d.cap() + 1e-9, "step {i}: {actual} > cap");
+        }
+    }
+
+    #[test]
+    fn grant_ratio_reflects_throttling() {
+        let mut d = domain(NoiseModel::None);
+        d.set_cap(80.0);
+        d.step(160.0, 1.0);
+        assert!((d.grant_ratio(160.0) - 0.5).abs() < 1e-12);
+        d.set_cap(165.0);
+        d.step(160.0, 1.0);
+        assert_eq!(d.grant_ratio(160.0), 1.0);
+        // Idle demand is always fully granted.
+        d.step(0.0, 1.0);
+        assert_eq!(d.grant_ratio(0.0), 1.0);
+    }
+
+    #[test]
+    fn negative_demand_treated_as_idle() {
+        let mut d = domain(NoiseModel::None);
+        assert_eq!(d.step(-50.0, 1.0), 15.0);
+    }
+
+    #[test]
+    fn clock_advances_with_steps() {
+        let mut d = domain(NoiseModel::None);
+        d.step(100.0, 0.5);
+        d.step(100.0, 0.5);
+        assert!((d.now() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_measure_without_step_is_zero() {
+        let mut d = domain(NoiseModel::None);
+        assert_eq!(d.measure(), 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! DRAM power domains and package↔DRAM coupling.
+//!
+//! The paper's related work (§2.1) cites Sarood et al. (CLUSTER '13):
+//! "Optimizing power allocation to CPU and memory subsystems in
+//! overprovisioned HPC systems" — RAPL also exposes a per-socket DRAM
+//! domain, and a cluster budget that must cover both subsystems poses a
+//! split question: reserving DRAM's TDP wastes Watts the memory never
+//! draws, while under-reserving throttles memory bandwidth.
+//!
+//! This module supplies the substrate: a DRAM [`DomainSpec`] preset, an
+//! activity-coupled demand model (DRAM draw rises with package activity),
+//! and the throughput penalty of capping DRAM below its demand. The
+//! `dram` experiment binary uses it to reproduce Sarood's qualitative
+//! result inside this reproduction's pipeline.
+
+use crate::domain::DomainSpec;
+use dps_sim_core::units::Watts;
+use serde::{Deserialize, Serialize};
+
+/// A per-socket DDR4 DRAM domain: ~36 W TDP, a few Watts of refresh floor.
+pub fn ddr4_spec() -> DomainSpec {
+    DomainSpec {
+        tdp: 36.0,
+        min_cap: 8.0,
+        idle_power: 3.0,
+    }
+}
+
+/// Linear activity coupling between package and DRAM demand.
+///
+/// Memory traffic scales with core activity to first order:
+/// `dram_demand = base + coeff × (pkg_demand − pkg_idle)`, clamped to the
+/// DRAM TDP. The defaults put a fully-loaded 165 W package at ~30 W of
+/// DRAM — in line with measured DDR4 server draws.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramModel {
+    /// Draw at package idle (refresh + standby).
+    pub base: Watts,
+    /// Additional DRAM Watts per package Watt above idle.
+    pub coeff: f64,
+    /// Package idle power the coupling is anchored at.
+    pub pkg_idle: Watts,
+    /// The DRAM domain being modelled.
+    pub spec_tdp: Watts,
+}
+
+impl Default for DramModel {
+    fn default() -> Self {
+        Self {
+            base: 4.0,
+            coeff: 0.18,
+            pkg_idle: 15.0,
+            spec_tdp: ddr4_spec().tdp,
+        }
+    }
+}
+
+impl DramModel {
+    /// DRAM demand for a given package demand.
+    pub fn demand(&self, pkg_demand: Watts) -> Watts {
+        let active = (pkg_demand - self.pkg_idle).max(0.0);
+        (self.base + self.coeff * active).min(self.spec_tdp)
+    }
+
+    /// Progress-rate multiplier when DRAM is capped at `dram_cap` while
+    /// demanding `dram_demand`: memory-bandwidth throttling slows the
+    /// socket roughly in proportion to the unmet DRAM fraction above the
+    /// base draw (refresh power does no work).
+    pub fn throttle_factor(&self, dram_demand: Watts, dram_cap: Watts) -> f64 {
+        let useful_demand = (dram_demand - self.base).max(0.0);
+        if useful_demand <= 0.0 {
+            return 1.0;
+        }
+        let granted = (dram_cap.min(dram_demand) - self.base).max(0.0);
+        (granted / useful_demand).clamp(0.05, 1.0)
+    }
+
+    /// A static DRAM reservation with `margin` headroom over the demand the
+    /// model predicts at `typical_pkg` Watts — Sarood's informed split,
+    /// versus reserving the DRAM TDP outright.
+    pub fn informed_reservation(&self, typical_pkg: Watts, margin: f64) -> Watts {
+        assert!(margin >= 0.0, "margin must be non-negative");
+        (self.demand(typical_pkg) * (1.0 + margin)).min(self.spec_tdp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr4_spec_is_valid() {
+        assert!(ddr4_spec().validate().is_ok());
+        assert!(
+            ddr4_spec().tdp < 165.0,
+            "DRAM draws far less than a package"
+        );
+    }
+
+    #[test]
+    fn demand_scales_with_package_activity() {
+        let m = DramModel::default();
+        let idle = m.demand(15.0);
+        let half = m.demand(90.0);
+        let full = m.demand(165.0);
+        assert_eq!(idle, 4.0);
+        assert!(idle < half && half < full, "{idle} {half} {full}");
+        assert!((full - 31.0).abs() < 0.1, "full-load DRAM ≈ 31 W: {full}");
+    }
+
+    #[test]
+    fn demand_clamped_at_tdp() {
+        let m = DramModel {
+            coeff: 10.0,
+            ..Default::default()
+        };
+        assert_eq!(m.demand(165.0), 36.0);
+    }
+
+    #[test]
+    fn uncapped_dram_no_throttle() {
+        let m = DramModel::default();
+        let d = m.demand(160.0);
+        assert_eq!(m.throttle_factor(d, 36.0), 1.0);
+        assert_eq!(m.throttle_factor(d, d), 1.0);
+    }
+
+    #[test]
+    fn halving_useful_dram_roughly_halves_progress() {
+        let m = DramModel::default();
+        let demand = m.demand(160.0); // ~30 W, ~26 useful
+        let cap = m.base + (demand - m.base) / 2.0;
+        let f = m.throttle_factor(demand, cap);
+        assert!((f - 0.5).abs() < 1e-9, "{f}");
+    }
+
+    #[test]
+    fn throttle_floor_prevents_deadlock() {
+        let m = DramModel::default();
+        assert!(m.throttle_factor(30.0, 0.0) >= 0.05);
+    }
+
+    #[test]
+    fn idle_dram_never_throttled() {
+        let m = DramModel::default();
+        assert_eq!(m.throttle_factor(4.0, 4.0), 1.0);
+        assert_eq!(m.throttle_factor(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn informed_reservation_between_typical_and_tdp() {
+        let m = DramModel::default();
+        let r = m.informed_reservation(110.0, 0.15);
+        assert!(r > m.demand(110.0));
+        assert!(
+            r < m.spec_tdp,
+            "reservation {r} should undercut the 36 W TDP"
+        );
+    }
+
+    #[test]
+    fn reservation_clamped_at_tdp() {
+        let m = DramModel::default();
+        assert_eq!(m.informed_reservation(165.0, 5.0), 36.0);
+    }
+}

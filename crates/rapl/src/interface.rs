@@ -1,0 +1,189 @@
+//! The hardware abstraction power managers are written against.
+//!
+//! Paper §4.2: "Although DPS uses RAPL to read power and set the power caps,
+//! it is not tied to the RAPL interface. DPS only needs to interact with the
+//! hardware in these two ways and it can be implemented with any interface
+//! with these functionalities." [`PowerInterface`] is exactly those two
+//! operations (plus the static limits a controller must know to clamp its
+//! decisions), implemented here by a bank of simulated [`PowerDomain`]s and
+//! implementable on real hardware by an MSR- or sysfs-backed type.
+
+use crate::domain::{DomainSpec, PowerDomain};
+use crate::noise::NoiseModel;
+use dps_sim_core::rng::RngStream;
+use dps_sim_core::units::{Seconds, Watts};
+
+/// Read-power / set-cap abstraction over a fixed set of power-capping units,
+/// indexed densely `0..num_units()`.
+pub trait PowerInterface {
+    /// Number of power-capping units.
+    fn num_units(&self) -> usize;
+
+    /// Reads the (possibly noisy) average power of unit `unit` over the last
+    /// control window.
+    fn read_power(&mut self, unit: usize) -> Watts;
+
+    /// Programs a power cap; the implementation clamps to its own limits and
+    /// returns the effective cap.
+    fn set_cap(&mut self, unit: usize, cap: Watts) -> Watts;
+
+    /// The currently programmed cap.
+    fn cap(&self, unit: usize) -> Watts;
+
+    /// Maximum settable cap (TDP) of the unit.
+    fn max_cap(&self, unit: usize) -> Watts;
+
+    /// Minimum settable cap of the unit.
+    fn min_cap(&self, unit: usize) -> Watts;
+}
+
+/// A bank of simulated domains behind the [`PowerInterface`] trait.
+///
+/// The cluster simulator drives demand into the bank each window via
+/// [`DomainBank::step_all`]; managers then read power and set caps through
+/// the trait, exactly as they would against real RAPL.
+#[derive(Debug, Clone)]
+pub struct DomainBank {
+    domains: Vec<PowerDomain>,
+}
+
+impl DomainBank {
+    /// Creates `n` identical domains with per-domain noise RNG streams
+    /// derived from `rng`.
+    pub fn homogeneous(n: usize, spec: DomainSpec, noise: NoiseModel, rng: &RngStream) -> Self {
+        let domains = (0..n)
+            .map(|i| PowerDomain::new(spec, noise.clone(), rng.child(&format!("domain/{i}"))))
+            .collect();
+        Self { domains }
+    }
+
+    /// Advances every domain one window with the given per-unit demands;
+    /// returns the true power of each unit.
+    ///
+    /// # Panics
+    /// Panics if `demands.len() != num_units()`.
+    pub fn step_all(&mut self, demands: &[Watts], dt: Seconds) -> Vec<Watts> {
+        assert_eq!(
+            demands.len(),
+            self.domains.len(),
+            "one demand per domain required"
+        );
+        self.domains
+            .iter_mut()
+            .zip(demands)
+            .map(|(d, &demand)| d.step(demand, dt))
+            .collect()
+    }
+
+    /// Direct access to a domain (satisfaction accounting needs ground truth).
+    pub fn domain(&self, unit: usize) -> &PowerDomain {
+        &self.domains[unit]
+    }
+
+    /// Mutable access to a domain.
+    pub fn domain_mut(&mut self, unit: usize) -> &mut PowerDomain {
+        &mut self.domains[unit]
+    }
+
+    /// All current caps, densely indexed.
+    pub fn caps(&self) -> Vec<Watts> {
+        self.domains.iter().map(|d| d.cap()).collect()
+    }
+}
+
+impl PowerInterface for DomainBank {
+    fn num_units(&self) -> usize {
+        self.domains.len()
+    }
+
+    fn read_power(&mut self, unit: usize) -> Watts {
+        self.domains[unit].measure()
+    }
+
+    fn set_cap(&mut self, unit: usize, cap: Watts) -> Watts {
+        self.domains[unit].set_cap(cap)
+    }
+
+    fn cap(&self, unit: usize) -> Watts {
+        self.domains[unit].cap()
+    }
+
+    fn max_cap(&self, unit: usize) -> Watts {
+        self.domains[unit].spec().tdp
+    }
+
+    fn min_cap(&self, unit: usize) -> Watts {
+        self.domains[unit].spec().min_cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank(n: usize) -> DomainBank {
+        DomainBank::homogeneous(
+            n,
+            DomainSpec::xeon_gold_6240(),
+            NoiseModel::None,
+            &RngStream::new(7, "bank-test"),
+        )
+    }
+
+    #[test]
+    fn bank_has_requested_units() {
+        let b = bank(20);
+        assert_eq!(b.num_units(), 20);
+        assert_eq!(b.caps().len(), 20);
+    }
+
+    #[test]
+    fn step_all_returns_true_powers() {
+        let mut b = bank(3);
+        b.set_cap(1, 100.0);
+        let powers = b.step_all(&[50.0, 160.0, 0.0], 1.0);
+        assert_eq!(powers, vec![50.0, 100.0, 15.0]);
+    }
+
+    #[test]
+    fn read_power_after_step() {
+        let mut b = bank(2);
+        b.step_all(&[120.0, 80.0], 1.0);
+        assert!((b.read_power(0) - 120.0).abs() < 0.01);
+        assert!((b.read_power(1) - 80.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn trait_limits_match_spec() {
+        let b = bank(1);
+        assert_eq!(b.max_cap(0), 165.0);
+        assert_eq!(b.min_cap(0), 40.0);
+    }
+
+    #[test]
+    fn set_cap_via_trait_clamps() {
+        let mut b = bank(1);
+        assert_eq!(PowerInterface::set_cap(&mut b, 0, 1000.0), 165.0);
+        assert_eq!(b.cap(0), 165.0);
+    }
+
+    #[test]
+    fn per_domain_noise_streams_differ() {
+        let mut b = DomainBank::homogeneous(
+            2,
+            DomainSpec::xeon_gold_6240(),
+            NoiseModel::Gaussian { std_dev: 3.0 },
+            &RngStream::new(1, "noisy-bank"),
+        );
+        b.step_all(&[110.0, 110.0], 1.0);
+        let m0 = b.read_power(0);
+        let m1 = b.read_power(1);
+        assert_ne!(m0, m1, "independent noise streams expected");
+    }
+
+    #[test]
+    #[should_panic(expected = "one demand per domain")]
+    fn step_all_length_mismatch_panics() {
+        bank(2).step_all(&[1.0], 1.0);
+    }
+}

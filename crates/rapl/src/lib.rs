@@ -1,0 +1,40 @@
+//! Simulated RAPL (Running Average Power Limit) substrate.
+//!
+//! The DPS paper interacts with hardware only two ways: **reading power** and
+//! **setting power caps**, both through Intel RAPL at socket granularity
+//! (paper §4.2: "DPS only needs to interact with the hardware in these two
+//! ways and it can be implemented with any interface with these
+//! functionalities"). This crate provides that interface backed by a
+//! simulation instead of MSRs:
+//!
+//! * [`counter`] — a wrap-around energy counter mimicking the
+//!   `MSR_PKG_ENERGY_STATUS` register (32-bit, ~15.3 µJ units), plus a reader
+//!   that handles wraps, so the power-from-energy path is exercised the same
+//!   way a real deployment would exercise it.
+//! * [`noise`] — measurement-noise models. The paper "assume[s]
+//!   pessimistically that RAPL bares certain measurement noise" and feeds a
+//!   Kalman filter; the default model is additive Gaussian noise.
+//! * [`domain`] — [`PowerDomain`]: one power-capping unit (a socket). Caps
+//!   are enforced on the control window like RAPL's running-average limit;
+//!   actual power is `min(demand, cap)` with an optional first-order slew.
+//! * [`topology`] — clusters / nodes / sockets and flat unit indexing
+//!   matching the paper's 2-cluster × 5-node × 2-socket testbed.
+//! * [`dram`] — the per-socket DRAM domain and its activity coupling to the
+//!   package (the Sarood et al. CPU/memory split from the related work).
+//! * [`interface`] — the [`PowerInterface`] trait power managers are written
+//!   against (read power, set cap), implemented by the simulation.
+
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod domain;
+pub mod dram;
+pub mod interface;
+pub mod noise;
+pub mod topology;
+
+pub use counter::{EnergyCounter, EnergyReader};
+pub use domain::{DomainSpec, PowerDomain};
+pub use interface::{DomainBank, PowerInterface};
+pub use noise::NoiseModel;
+pub use topology::{Topology, UnitId};

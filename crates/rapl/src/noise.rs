@@ -1,0 +1,138 @@
+//! Measurement-noise models for simulated RAPL readings.
+//!
+//! The paper: "Although RAPL has been verified by previous work to deliver
+//! reliably high accuracy, noise exists in power usage traces and we further
+//! assume pessimistically that RAPL bares certain measurement noise.
+//! Therefore we assume the exact power is not known, but is a hidden variable
+//! that must be estimated from these noisy measurements" (§4.3). The DPS
+//! Kalman filter exists to absorb exactly this noise, so the substrate must
+//! be able to inject it.
+
+use dps_sim_core::rng::RngStream;
+use dps_sim_core::units::Watts;
+use serde::{Deserialize, Serialize};
+
+/// A measurement-noise model applied to true power before the manager sees it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NoiseModel {
+    /// Perfect measurements (useful for oracle runs and unit tests).
+    None,
+    /// Additive zero-mean Gaussian noise with the given standard deviation in
+    /// Watts. Khan et al. (TOMPECS '18) report RAPL errors of a few percent;
+    /// the experiments default to ~1.5 W on a 110 W signal.
+    Gaussian {
+        /// Standard deviation in Watts.
+        std_dev: Watts,
+    },
+    /// Gaussian noise plus quantization to the reader's resolution, modelling
+    /// coarse energy units on a short read interval.
+    QuantizedGaussian {
+        /// Standard deviation in Watts.
+        std_dev: Watts,
+        /// Quantization step in Watts.
+        step: Watts,
+    },
+}
+
+impl Default for NoiseModel {
+    /// The experiments' default: 1.5 W Gaussian.
+    fn default() -> Self {
+        NoiseModel::Gaussian { std_dev: 1.5 }
+    }
+}
+
+impl NoiseModel {
+    /// Applies the model to a true power value. Measurements are clamped at
+    /// zero: a power meter never reports negative draw.
+    pub fn apply(&self, truth: Watts, rng: &mut RngStream) -> Watts {
+        match *self {
+            NoiseModel::None => truth,
+            NoiseModel::Gaussian { std_dev } => (truth + rng.normal(0.0, std_dev)).max(0.0),
+            NoiseModel::QuantizedGaussian { std_dev, step } => {
+                let noisy = (truth + rng.normal(0.0, std_dev)).max(0.0);
+                if step > 0.0 {
+                    (noisy / step).round() * step
+                } else {
+                    noisy
+                }
+            }
+        }
+    }
+
+    /// The model's measurement variance (R for the Kalman filter).
+    /// Quantization contributes `step²/12` (uniform quantization noise).
+    pub fn variance(&self) -> f64 {
+        match *self {
+            NoiseModel::None => 0.0,
+            NoiseModel::Gaussian { std_dev } => std_dev * std_dev,
+            NoiseModel::QuantizedGaussian { std_dev, step } => {
+                std_dev * std_dev + step * step / 12.0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity() {
+        let mut rng = RngStream::new(1, "noise");
+        assert_eq!(NoiseModel::None.apply(123.4, &mut rng), 123.4);
+        assert_eq!(NoiseModel::None.variance(), 0.0);
+    }
+
+    #[test]
+    fn gaussian_statistics() {
+        let mut rng = RngStream::new(2, "noise");
+        let model = NoiseModel::Gaussian { std_dev: 2.0 };
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| model.apply(110.0, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 110.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+        assert!((model.variance() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurements_never_negative() {
+        let mut rng = RngStream::new(3, "noise");
+        let model = NoiseModel::Gaussian { std_dev: 50.0 };
+        for _ in 0..1000 {
+            assert!(model.apply(5.0, &mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn quantization_snaps_to_grid() {
+        let mut rng = RngStream::new(4, "noise");
+        let model = NoiseModel::QuantizedGaussian {
+            std_dev: 0.0,
+            step: 0.5,
+        };
+        for truth in [110.1, 110.2, 110.3] {
+            let m = model.apply(truth, &mut rng);
+            let snapped = (m / 0.5).round() * 0.5;
+            assert!((m - snapped).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantized_variance_includes_quantization_term() {
+        let model = NoiseModel::QuantizedGaussian {
+            std_dev: 1.0,
+            step: 1.2,
+        };
+        assert!((model.variance() - (1.0 + 1.44 / 12.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_mild_gaussian() {
+        match NoiseModel::default() {
+            NoiseModel::Gaussian { std_dev } => assert!(std_dev > 0.0 && std_dev < 5.0),
+            other => panic!("unexpected default {other:?}"),
+        }
+    }
+}

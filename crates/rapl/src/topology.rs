@@ -1,0 +1,212 @@
+//! Cluster topology: clusters of nodes of power-capping units (sockets).
+//!
+//! The paper's testbed is 10 client nodes forming **two clusters of five
+//! dual-socket nodes** (plus a server node that runs the controller and is
+//! not capped). Power capping is at socket granularity, so the manageable
+//! unit set is 2 × 5 × 2 = 20 sockets. The flat unit index below is the
+//! identifier the control plane ships around (3 bytes per unit per cycle,
+//! §6.5).
+
+use serde::{Deserialize, Serialize};
+
+/// Hierarchical identity of one power-capping unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UnitId {
+    /// Which workload cluster the unit belongs to.
+    pub cluster: usize,
+    /// Node index within the cluster.
+    pub node: usize,
+    /// Socket index within the node.
+    pub socket: usize,
+}
+
+impl std::fmt::Display for UnitId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}n{}s{}", self.cluster, self.node, self.socket)
+    }
+}
+
+/// A regular cluster topology.
+///
+/// ```
+/// use dps_rapl::Topology;
+/// let topo = Topology::paper_testbed();
+/// assert_eq!(topo.total_units(), 20);
+/// assert_eq!(topo.units_per_cluster(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of workload clusters run side by side.
+    pub clusters: usize,
+    /// Nodes per cluster.
+    pub nodes_per_cluster: usize,
+    /// Power-capping units (sockets) per node.
+    pub sockets_per_node: usize,
+}
+
+impl Topology {
+    /// Creates a topology; every dimension must be non-zero.
+    pub fn new(clusters: usize, nodes_per_cluster: usize, sockets_per_node: usize) -> Self {
+        assert!(
+            clusters > 0 && nodes_per_cluster > 0 && sockets_per_node > 0,
+            "all topology dimensions must be non-zero"
+        );
+        Self {
+            clusters,
+            nodes_per_cluster,
+            sockets_per_node,
+        }
+    }
+
+    /// The paper's evaluation platform: 2 clusters × 5 nodes × 2 sockets.
+    pub fn paper_testbed() -> Self {
+        Self::new(2, 5, 2)
+    }
+
+    /// Total power-capping units.
+    pub fn total_units(&self) -> usize {
+        self.clusters * self.nodes_per_cluster * self.sockets_per_node
+    }
+
+    /// Units in one cluster.
+    pub fn units_per_cluster(&self) -> usize {
+        self.nodes_per_cluster * self.sockets_per_node
+    }
+
+    /// Flattens a [`UnitId`] into a dense index in `[0, total_units)`.
+    /// Cluster-major, then node, then socket — so one cluster's units are
+    /// contiguous.
+    pub fn flatten(&self, id: UnitId) -> usize {
+        debug_assert!(self.contains(id), "unit {id} out of topology bounds");
+        (id.cluster * self.nodes_per_cluster + id.node) * self.sockets_per_node + id.socket
+    }
+
+    /// Inverse of [`Topology::flatten`].
+    pub fn unflatten(&self, index: usize) -> UnitId {
+        debug_assert!(index < self.total_units());
+        let socket = index % self.sockets_per_node;
+        let node_global = index / self.sockets_per_node;
+        let node = node_global % self.nodes_per_cluster;
+        let cluster = node_global / self.nodes_per_cluster;
+        UnitId {
+            cluster,
+            node,
+            socket,
+        }
+    }
+
+    /// Whether the id is inside this topology.
+    pub fn contains(&self, id: UnitId) -> bool {
+        id.cluster < self.clusters
+            && id.node < self.nodes_per_cluster
+            && id.socket < self.sockets_per_node
+    }
+
+    /// Iterates all unit ids in flat order.
+    pub fn iter_units(&self) -> impl Iterator<Item = UnitId> + '_ {
+        (0..self.total_units()).map(move |i| self.unflatten(i))
+    }
+
+    /// Flat index range `[lo, hi)` of one cluster's units.
+    pub fn cluster_range(&self, cluster: usize) -> std::ops::Range<usize> {
+        assert!(cluster < self.clusters, "cluster {cluster} out of range");
+        let per = self.units_per_cluster();
+        cluster * per..(cluster + 1) * per
+    }
+
+    /// Which cluster a flat unit index belongs to.
+    pub fn cluster_of(&self, flat_index: usize) -> usize {
+        debug_assert!(flat_index < self.total_units());
+        flat_index / self.units_per_cluster()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_dimensions() {
+        let t = Topology::paper_testbed();
+        assert_eq!(t.clusters, 2);
+        assert_eq!(t.total_units(), 20);
+        assert_eq!(t.units_per_cluster(), 10);
+    }
+
+    #[test]
+    fn flatten_unflatten_roundtrip() {
+        let t = Topology::new(3, 4, 2);
+        for i in 0..t.total_units() {
+            let id = t.unflatten(i);
+            assert_eq!(t.flatten(id), i);
+            assert!(t.contains(id));
+        }
+    }
+
+    #[test]
+    fn cluster_units_contiguous() {
+        let t = Topology::paper_testbed();
+        let range = t.cluster_range(1);
+        assert_eq!(range, 10..20);
+        for i in range {
+            assert_eq!(t.unflatten(i).cluster, 1);
+            assert_eq!(t.cluster_of(i), 1);
+        }
+        for i in t.cluster_range(0) {
+            assert_eq!(t.cluster_of(i), 0);
+        }
+    }
+
+    #[test]
+    fn iter_units_covers_all_exactly_once() {
+        let t = Topology::new(2, 3, 2);
+        let ids: Vec<UnitId> = t.iter_units().collect();
+        assert_eq!(ids.len(), 12);
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 12);
+    }
+
+    #[test]
+    fn contains_rejects_out_of_range() {
+        let t = Topology::new(1, 2, 2);
+        assert!(!t.contains(UnitId {
+            cluster: 1,
+            node: 0,
+            socket: 0
+        }));
+        assert!(!t.contains(UnitId {
+            cluster: 0,
+            node: 2,
+            socket: 0
+        }));
+        assert!(!t.contains(UnitId {
+            cluster: 0,
+            node: 0,
+            socket: 2
+        }));
+    }
+
+    #[test]
+    fn display_format() {
+        let id = UnitId {
+            cluster: 1,
+            node: 3,
+            socket: 0,
+        };
+        assert_eq!(id.to_string(), "c1n3s0");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-zero")]
+    fn zero_dimension_rejected() {
+        Topology::new(0, 5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cluster_range_bounds_checked() {
+        Topology::new(2, 2, 2).cluster_range(2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the simulated RAPL substrate.
+
+use dps_rapl::{DomainSpec, EnergyCounter, EnergyReader, NoiseModel, PowerDomain, Topology};
+use dps_sim_core::rng::RngStream;
+use proptest::prelude::*;
+
+proptest! {
+    /// The reader recovers the average power fed into the counter for any
+    /// sequence of windows, including across counter wraps.
+    #[test]
+    fn reader_recovers_power(
+        windows in prop::collection::vec((0.0f64..300.0, 0.1f64..5.0), 1..200),
+    ) {
+        let mut hw = EnergyCounter::new();
+        let mut reader = EnergyReader::new(hw.unit());
+        let mut now = 0.0;
+        reader.sample(hw.raw(), now);
+        for (power, dt) in windows {
+            hw.accumulate(power, dt);
+            now += dt;
+            let measured = reader.sample(hw.raw(), now).unwrap();
+            // Quantization error: one counter unit over the window.
+            let tolerance = hw.unit() / dt + 1e-9;
+            prop_assert!(
+                (measured - power).abs() <= tolerance,
+                "measured {measured} vs {power} (tol {tolerance})"
+            );
+        }
+    }
+
+    /// Delivered power is always within [idle, cap-or-idle-max] and never
+    /// exceeds demand when demand is above idle.
+    #[test]
+    fn domain_power_envelope(
+        demands in prop::collection::vec(0.0f64..250.0, 1..100),
+        cap in 0.0f64..300.0,
+    ) {
+        let spec = DomainSpec::xeon_gold_6240();
+        let mut d = PowerDomain::new(spec, NoiseModel::None, RngStream::new(1, "prop"));
+        let effective_cap = d.set_cap(cap);
+        prop_assert!(effective_cap >= spec.min_cap && effective_cap <= spec.tdp);
+        for demand in demands {
+            let actual = d.step(demand, 1.0);
+            prop_assert!(actual >= spec.idle_power - 1e-9);
+            prop_assert!(actual <= effective_cap.max(spec.idle_power) + 1e-9);
+            if demand > spec.idle_power {
+                prop_assert!(actual <= demand + 1e-9);
+            }
+        }
+    }
+
+    /// Energy conservation through the measurement path: with no noise,
+    /// window-by-window measurements integrate to the same energy as the
+    /// true delivered powers.
+    #[test]
+    fn domain_measurements_integrate_to_delivered_energy(
+        demands in prop::collection::vec(0.0f64..200.0, 1..50),
+    ) {
+        let spec = DomainSpec::xeon_gold_6240();
+        let mut d = PowerDomain::new(spec, NoiseModel::None, RngStream::new(2, "prop"));
+        d.set_cap(120.0);
+        let mut true_joules = 0.0;
+        let mut measured_joules = 0.0;
+        for demand in demands {
+            true_joules += d.step(demand, 1.0);
+            measured_joules += d.measure();
+        }
+        prop_assert!(
+            (true_joules - measured_joules).abs() < 0.001 * (1.0 + true_joules),
+            "{true_joules} vs {measured_joules}"
+        );
+    }
+
+    /// Noise is zero-mean in aggregate: long-run average of measurements
+    /// approaches true power.
+    #[test]
+    fn noise_zero_mean(std_dev in 0.1f64..8.0, truth in 50.0f64..160.0) {
+        let model = NoiseModel::Gaussian { std_dev };
+        let mut rng = RngStream::new(7, "prop-noise");
+        let n = 4000;
+        let mean: f64 = (0..n).map(|_| model.apply(truth, &mut rng)).sum::<f64>() / n as f64;
+        prop_assert!((mean - truth).abs() < 5.0 * std_dev / (n as f64).sqrt() + 0.05);
+    }
+
+    /// Topology flatten/unflatten is a bijection for arbitrary shapes.
+    #[test]
+    fn topology_bijection(c in 1usize..5, n in 1usize..8, s in 1usize..4) {
+        let topo = Topology::new(c, n, s);
+        let mut seen = vec![false; topo.total_units()];
+        for id in topo.iter_units() {
+            let flat = topo.flatten(id);
+            prop_assert!(!seen[flat], "duplicate flat index {flat}");
+            seen[flat] = true;
+            prop_assert_eq!(topo.unflatten(flat), id);
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    /// Cluster ranges partition the flat index space.
+    #[test]
+    fn cluster_ranges_partition(c in 1usize..6, n in 1usize..6, s in 1usize..4) {
+        let topo = Topology::new(c, n, s);
+        let mut covered = 0;
+        for cluster in 0..c {
+            let range = topo.cluster_range(cluster);
+            covered += range.len();
+            for i in range {
+                prop_assert_eq!(topo.cluster_of(i), cluster);
+            }
+        }
+        prop_assert_eq!(covered, topo.total_units());
+    }
+}

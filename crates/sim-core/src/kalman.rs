@@ -1,0 +1,238 @@
+//! One-dimensional Kalman filter.
+//!
+//! DPS "incorporates a Kalman Filter that takes the (potentially noisy) power
+//! measurements and updates the estimated power history" (paper §4.3.2,
+//! citing Welch & Bishop's standard formulation). The state is scalar power;
+//! the process model is a random walk (power is locally predictable — the
+//! paper's inertia observation), so the filter reduces to:
+//!
+//! ```text
+//! predict:  x̂⁻ = x̂          P⁻ = P + Q
+//! update:   K  = P⁻/(P⁻+R)   x̂ = x̂⁻ + K(z − x̂⁻)   P = (1−K)P⁻
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Scalar Kalman filter with random-walk process model.
+///
+/// ```
+/// use dps_sim_core::KalmanFilter;
+/// let mut kf = KalmanFilter::new(1.0, 4.0);
+/// let est = kf.update(100.0);
+/// // The first update adopts the measurement (infinite prior uncertainty).
+/// assert!((est - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KalmanFilter {
+    /// Process-noise variance Q: how much the true power may drift per step.
+    process_variance: f64,
+    /// Measurement-noise variance R: RAPL reading noise.
+    measurement_variance: f64,
+    /// Current state estimate x̂ (`None` until the first measurement).
+    estimate: Option<f64>,
+    /// Estimation-error variance P.
+    error_variance: f64,
+    /// Kalman gain from the most recent update (for diagnostics/tests).
+    last_gain: f64,
+}
+
+impl KalmanFilter {
+    /// Creates a filter with process-noise variance `process_variance` (Q)
+    /// and measurement-noise variance `measurement_variance` (R).
+    ///
+    /// # Panics
+    /// Panics if either variance is negative or non-finite, or if both are
+    /// zero (the gain would be undefined).
+    pub fn new(process_variance: f64, measurement_variance: f64) -> Self {
+        assert!(
+            process_variance.is_finite() && process_variance >= 0.0,
+            "Q must be finite and non-negative"
+        );
+        assert!(
+            measurement_variance.is_finite() && measurement_variance >= 0.0,
+            "R must be finite and non-negative"
+        );
+        assert!(
+            process_variance > 0.0 || measurement_variance > 0.0,
+            "Q and R cannot both be zero"
+        );
+        Self {
+            process_variance,
+            measurement_variance,
+            estimate: None,
+            error_variance: 0.0,
+            last_gain: 0.0,
+        }
+    }
+
+    /// Feeds a measurement `z`, returning the updated estimate.
+    ///
+    /// The first measurement initialises the state directly (equivalent to an
+    /// infinite prior variance), as is standard when no prior is available.
+    pub fn update(&mut self, z: f64) -> f64 {
+        match self.estimate {
+            None => {
+                self.estimate = Some(z);
+                self.error_variance = self.measurement_variance;
+                self.last_gain = 1.0;
+                z
+            }
+            Some(x) => {
+                // Predict: random walk keeps x̂, inflates P by Q.
+                let p_prior = self.error_variance + self.process_variance;
+                // Update.
+                let k = p_prior / (p_prior + self.measurement_variance);
+                let x_new = x + k * (z - x);
+                self.error_variance = (1.0 - k) * p_prior;
+                self.estimate = Some(x_new);
+                self.last_gain = k;
+                x_new
+            }
+        }
+    }
+
+    /// Current estimate; `None` before the first measurement.
+    #[inline]
+    pub fn estimate(&self) -> Option<f64> {
+        self.estimate
+    }
+
+    /// Current estimation-error variance P.
+    #[inline]
+    pub fn error_variance(&self) -> f64 {
+        self.error_variance
+    }
+
+    /// Kalman gain applied at the most recent update.
+    #[inline]
+    pub fn last_gain(&self) -> f64 {
+        self.last_gain
+    }
+
+    /// Resets the filter to its unmeasured state.
+    pub fn reset(&mut self) {
+        self.estimate = None;
+        self.error_variance = 0.0;
+        self.last_gain = 0.0;
+    }
+
+    /// Steady-state gain for this (Q, R) pair: the fixed point of the gain
+    /// recursion, `K∞ = (√(Q² + 4QR) + Q) / (√(Q² + 4QR) + Q + 2R)`.
+    pub fn steady_state_gain(&self) -> f64 {
+        let q = self.process_variance;
+        let r = self.measurement_variance;
+        if r == 0.0 {
+            return 1.0;
+        }
+        let disc = (q * q + 4.0 * q * r).sqrt();
+        (disc + q) / (disc + q + 2.0 * r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_update_adopts_measurement() {
+        let mut kf = KalmanFilter::new(0.5, 2.0);
+        assert_eq!(kf.estimate(), None);
+        assert_eq!(kf.update(55.5), 55.5);
+        assert_eq!(kf.estimate(), Some(55.5));
+        assert_eq!(kf.last_gain(), 1.0);
+    }
+
+    #[test]
+    fn constant_signal_converges_exactly() {
+        let mut kf = KalmanFilter::new(0.1, 5.0);
+        let mut est = 0.0;
+        for _ in 0..200 {
+            est = kf.update(110.0);
+        }
+        assert!((est - 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_constant_estimate_tighter_than_raw() {
+        use crate::rng::RngStream;
+        let mut rng = RngStream::new(17, "kalman-test");
+        let truth = 120.0;
+        let noise_std = 5.0;
+        let mut kf = KalmanFilter::new(0.05, noise_std * noise_std);
+        let mut errs_raw = Vec::new();
+        let mut errs_kf = Vec::new();
+        for _ in 0..2000 {
+            let z = truth + rng.normal(0.0, noise_std);
+            let est = kf.update(z);
+            errs_raw.push((z - truth).abs());
+            errs_kf.push((est - truth).abs());
+        }
+        // Skip the convergence transient.
+        let mean = |v: &[f64]| v[100..].iter().sum::<f64>() / (v.len() - 100) as f64;
+        assert!(
+            mean(&errs_kf) < 0.5 * mean(&errs_raw),
+            "kf {} vs raw {}",
+            mean(&errs_kf),
+            mean(&errs_raw)
+        );
+    }
+
+    #[test]
+    fn tracks_step_change() {
+        // With non-trivial Q the filter must follow a 20→160 W step within a
+        // few samples — power dynamics depend on not over-smoothing edges.
+        let mut kf = KalmanFilter::new(25.0, 4.0);
+        for _ in 0..20 {
+            kf.update(20.0);
+        }
+        let mut est = 0.0;
+        for _ in 0..4 {
+            est = kf.update(160.0);
+        }
+        assert!(est > 140.0, "filter lagging: {est}");
+    }
+
+    #[test]
+    fn gain_converges_to_steady_state() {
+        let mut kf = KalmanFilter::new(1.0, 10.0);
+        for _ in 0..500 {
+            kf.update(100.0);
+        }
+        let expected = kf.steady_state_gain();
+        assert!(
+            (kf.last_gain() - expected).abs() < 1e-6,
+            "gain {} vs steady {}",
+            kf.last_gain(),
+            expected
+        );
+    }
+
+    #[test]
+    fn zero_measurement_noise_passthrough() {
+        let mut kf = KalmanFilter::new(1.0, 0.0);
+        kf.update(10.0);
+        assert_eq!(kf.update(99.0), 99.0);
+        assert_eq!(kf.steady_state_gain(), 1.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut kf = KalmanFilter::new(1.0, 1.0);
+        kf.update(50.0);
+        kf.reset();
+        assert_eq!(kf.estimate(), None);
+        assert_eq!(kf.update(70.0), 70.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot both be zero")]
+    fn both_zero_variances_rejected() {
+        KalmanFilter::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "R must be finite")]
+    fn negative_r_rejected() {
+        KalmanFilter::new(1.0, -1.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Simulation substrate for the DPS reproduction.
+//!
+//! This crate holds the domain-neutral building blocks shared by every other
+//! crate in the workspace:
+//!
+//! * [`units`] — physical quantities (`Watts`, `Joules`, `Seconds`) and the
+//!   discrete simulation clock.
+//! * [`rng`] — deterministic, labelled RNG streams so every experiment is
+//!   bit-reproducible.
+//! * [`ring`] — fixed-capacity ring buffer used for the bounded power
+//!   histories DPS keeps per power-capping unit.
+//! * [`series`] — time series container with windowing and resampling.
+//! * [`stats`] — summary statistics (mean, std, harmonic mean, percentiles)
+//!   plus streaming Welford accumulation.
+//! * [`signal`] — signal processing for *power dynamics*: prominent-peak
+//!   detection (Palshikar-style prominence), derivative estimation and
+//!   smoothing.
+//! * [`phases`] — hysteresis phase segmentation of measured power traces
+//!   and the §3.1 diversity report (duration / peak / derivative ranges).
+//! * [`kalman`] — the 1-dimensional Kalman filter DPS uses to de-noise RAPL
+//!   power measurements (paper §4.3.2).
+
+#![warn(missing_docs)]
+
+pub mod kalman;
+pub mod phases;
+pub mod ring;
+pub mod rng;
+pub mod series;
+pub mod signal;
+pub mod stats;
+pub mod units;
+
+pub use kalman::KalmanFilter;
+pub use ring::RingBuffer;
+pub use rng::RngStream;
+pub use series::TimeSeries;
+pub use stats::OnlineStats;
+pub use units::{Joules, Seconds, SimClock, Timestep, Watts};

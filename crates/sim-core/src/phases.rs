@@ -1,0 +1,233 @@
+//! Phase segmentation of measured power traces.
+//!
+//! §3.1 characterises workloads by their *power phases* — stretches of
+//! roughly stable power separated by rises and falls — and reports their
+//! duration, peak and derivative diversity. This module recovers those
+//! phases from a sampled trace (measured, not ground truth): a hysteresis
+//! segmenter splits the trace wherever power moves more than a threshold
+//! away from the running phase level, and summary statistics quantify the
+//! three §3.1 observations for any trace.
+
+use crate::stats;
+use crate::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// One detected phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSegment {
+    /// Index of the first sample.
+    pub start: usize,
+    /// Number of samples (≥ 1).
+    pub len: usize,
+    /// Mean power over the phase.
+    pub mean_power: f64,
+    /// Peak power within the phase.
+    pub peak_power: f64,
+}
+
+impl PhaseSegment {
+    /// Phase duration given the trace's sampling period.
+    pub fn duration(&self, period: Seconds) -> Seconds {
+        self.len as f64 * period
+    }
+}
+
+/// Segments a trace into phases: a new phase starts whenever a sample
+/// deviates from the current phase's running mean by more than
+/// `threshold` Watts (hysteresis: the running mean adapts within a phase,
+/// so slow drift does not split it, while a step change does).
+///
+/// Returns at least one segment for a non-empty trace.
+pub fn segment(trace: &[f64], threshold: f64) -> Vec<PhaseSegment> {
+    assert!(threshold > 0.0, "threshold must be positive");
+    let mut out = Vec::new();
+    if trace.is_empty() {
+        return out;
+    }
+    let mut start = 0usize;
+    let mut sum = trace[0];
+    let mut peak = trace[0];
+    for (i, &v) in trace.iter().enumerate().skip(1) {
+        let len = i - start;
+        let mean = sum / len as f64;
+        if (v - mean).abs() > threshold {
+            out.push(PhaseSegment {
+                start,
+                len,
+                mean_power: mean,
+                peak_power: peak,
+            });
+            start = i;
+            sum = v;
+            peak = v;
+        } else {
+            sum += v;
+            peak = peak.max(v);
+        }
+    }
+    let len = trace.len() - start;
+    out.push(PhaseSegment {
+        start,
+        len,
+        mean_power: sum / len as f64,
+        peak_power: peak,
+    });
+    out
+}
+
+/// The three §3.1 diversity observations, quantified for one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseReport {
+    /// Number of detected phases.
+    pub phase_count: usize,
+    /// Shortest/mean/longest phase duration in seconds.
+    pub duration_min: Seconds,
+    /// See `duration_min`.
+    pub duration_mean: Seconds,
+    /// See `duration_min`.
+    pub duration_max: Seconds,
+    /// Lowest/highest phase peak power among high phases (above the
+    /// segmentation threshold over the trace minimum).
+    pub peak_min: f64,
+    /// See `peak_min`.
+    pub peak_max: f64,
+    /// Largest single-step rise in the trace (W per sample).
+    pub max_rise: f64,
+    /// Largest single-step fall in the trace (negative, W per sample).
+    pub max_fall: f64,
+}
+
+/// Builds a [`PhaseReport`] for a trace sampled at `period` seconds.
+/// Returns `None` for traces shorter than 2 samples.
+pub fn report(trace: &[f64], period: Seconds, threshold: f64) -> Option<PhaseReport> {
+    if trace.len() < 2 {
+        return None;
+    }
+    let segments = segment(trace, threshold);
+    let durations: Vec<f64> = segments.iter().map(|s| s.duration(period)).collect();
+    let floor = stats::min(trace)? + threshold;
+    let peaks: Vec<f64> = segments
+        .iter()
+        .map(|s| s.peak_power)
+        .filter(|&p| p > floor)
+        .collect();
+    let steps: Vec<f64> = trace.windows(2).map(|w| w[1] - w[0]).collect();
+    Some(PhaseReport {
+        phase_count: segments.len(),
+        duration_min: stats::min(&durations)?,
+        duration_mean: stats::mean(&durations)?,
+        duration_max: stats::max(&durations)?,
+        peak_min: stats::min(&peaks).unwrap_or(0.0),
+        peak_max: stats::max(&peaks).unwrap_or(0.0),
+        max_rise: stats::max(&steps)?.max(0.0),
+        max_fall: stats::min(&steps)?.min(0.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_wave(high: f64, low: f64, half_period: usize, cycles: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        for _ in 0..cycles {
+            out.extend(std::iter::repeat_n(high, half_period));
+            out.extend(std::iter::repeat_n(low, half_period));
+        }
+        out
+    }
+
+    #[test]
+    fn flat_trace_is_one_phase() {
+        let segs = segment(&[110.0; 50], 30.0);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].len, 50);
+        assert_eq!(segs[0].mean_power, 110.0);
+    }
+
+    #[test]
+    fn square_wave_splits_per_level() {
+        let trace = square_wave(150.0, 50.0, 10, 3);
+        let segs = segment(&trace, 30.0);
+        assert_eq!(segs.len(), 6, "{segs:?}");
+        for (i, s) in segs.iter().enumerate() {
+            assert_eq!(s.len, 10);
+            let expected = if i % 2 == 0 { 150.0 } else { 50.0 };
+            assert_eq!(s.mean_power, expected);
+        }
+    }
+
+    #[test]
+    fn slow_drift_does_not_split() {
+        // 0.5 W/sample drift: the running mean tracks it within a 30 W
+        // threshold for a long time.
+        let trace: Vec<f64> = (0..60).map(|i| 100.0 + 0.5 * i as f64).collect();
+        let segs = segment(&trace, 30.0);
+        assert_eq!(segs.len(), 1, "{segs:?}");
+    }
+
+    #[test]
+    fn step_change_splits() {
+        let mut trace = vec![60.0; 20];
+        trace.extend(vec![140.0; 20]);
+        let segs = segment(&trace, 30.0);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[1].start, 20);
+    }
+
+    #[test]
+    fn segments_partition_the_trace() {
+        let trace = square_wave(160.0, 40.0, 7, 4);
+        let segs = segment(&trace, 25.0);
+        let mut covered = 0;
+        for s in &segs {
+            assert_eq!(s.start, covered);
+            covered += s.len;
+        }
+        assert_eq!(covered, trace.len());
+    }
+
+    #[test]
+    fn noise_below_threshold_ignored() {
+        use crate::rng::RngStream;
+        let mut rng = RngStream::new(5, "phase-noise");
+        let trace: Vec<f64> = (0..200).map(|_| 110.0 + rng.normal(0.0, 2.0)).collect();
+        let segs = segment(&trace, 30.0);
+        assert_eq!(segs.len(), 1);
+    }
+
+    #[test]
+    fn report_quantifies_diversity() {
+        // Two short high phases at different peaks plus one long low phase.
+        let mut trace = vec![50.0; 40];
+        trace.extend(vec![150.0; 5]);
+        trace.extend(vec![50.0; 40]);
+        trace.extend(vec![120.0; 15]);
+        trace.extend(vec![50.0; 40]);
+        let r = report(&trace, 1.0, 30.0).unwrap();
+        assert_eq!(r.phase_count, 5);
+        assert_eq!(r.duration_min, 5.0);
+        assert_eq!(r.duration_max, 40.0);
+        assert_eq!(r.peak_min, 120.0);
+        assert_eq!(r.peak_max, 150.0);
+        assert_eq!(r.max_rise, 100.0);
+        assert_eq!(r.max_fall, -100.0);
+    }
+
+    #[test]
+    fn report_none_for_tiny_trace() {
+        assert_eq!(report(&[1.0], 1.0, 30.0), None);
+        assert_eq!(report(&[], 1.0, 30.0), None);
+    }
+
+    #[test]
+    fn empty_trace_no_segments() {
+        assert!(segment(&[], 30.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_rejected() {
+        segment(&[1.0], 0.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Fixed-capacity ring buffer.
+//!
+//! DPS keeps a bounded *estimated power history* per power-capping unit
+//! (default 20 steps, §6.5: "the power history can easily fit in the
+//! last-level cache even scaled to tens of thousands of nodes"). The ring
+//! buffer never allocates after construction, so the controller's steady
+//! state is allocation-free.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-capacity FIFO ring buffer; pushing beyond capacity evicts the
+/// oldest element.
+///
+/// Indexing is oldest-first: `buf[0]` is the oldest retained sample and
+/// `buf[len-1]` the newest, matching the paper's `power_history[-1]`
+/// (newest) / `power_history[-k]` (k-th newest) notation via [`RingBuffer::from_newest`].
+///
+/// ```
+/// use dps_sim_core::RingBuffer;
+/// let mut h = RingBuffer::new(3);
+/// for p in [10.0, 20.0, 30.0, 40.0] { h.push(p); }
+/// assert_eq!(h.as_vec(), vec![20.0, 30.0, 40.0]);
+/// assert_eq!(h.from_newest(0), Some(&40.0));
+/// assert_eq!(h.from_newest(2), Some(&20.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RingBuffer<T> {
+    items: Vec<T>,
+    head: usize,
+    capacity: usize,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates an empty buffer holding at most `capacity` elements.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        Self {
+            items: Vec::with_capacity(capacity),
+            head: 0,
+            capacity,
+        }
+    }
+
+    /// Maximum number of retained elements.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently retained elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the buffer has reached capacity (pushes now evict).
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Appends an element, evicting and returning the oldest one when full.
+    pub fn push(&mut self, value: T) -> Option<T> {
+        if self.items.len() < self.capacity {
+            self.items.push(value);
+            None
+        } else {
+            let evicted = std::mem::replace(&mut self.items[self.head], value);
+            self.head = (self.head + 1) % self.capacity;
+            Some(evicted)
+        }
+    }
+
+    /// Oldest-first access: `get(0)` is the oldest retained element.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if index >= self.items.len() {
+            return None;
+        }
+        let physical = (self.head + index) % self.capacity.min(self.items.len().max(1));
+        // Before the buffer wraps, head is 0 and physical == index; after it
+        // wraps, items.len() == capacity so the modulus is exact.
+        self.items.get(physical)
+    }
+
+    /// Newest-first access: `from_newest(0)` is the most recent element,
+    /// mirroring the paper's Python-style `history[-1-k]` indexing.
+    #[inline]
+    pub fn from_newest(&self, k: usize) -> Option<&T> {
+        let len = self.items.len();
+        if k >= len {
+            None
+        } else {
+            self.get(len - 1 - k)
+        }
+    }
+
+    /// The most recent element.
+    #[inline]
+    pub fn newest(&self) -> Option<&T> {
+        self.from_newest(0)
+    }
+
+    /// The oldest retained element.
+    #[inline]
+    pub fn oldest(&self) -> Option<&T> {
+        self.get(0)
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        (0..self.items.len()).filter_map(move |i| self.get(i))
+    }
+
+    /// Removes all elements, keeping capacity.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.head = 0;
+    }
+}
+
+impl<T: Clone> RingBuffer<T> {
+    /// Copies the contents oldest-first into a `Vec`.
+    pub fn as_vec(&self) -> Vec<T> {
+        self.iter().cloned().collect()
+    }
+
+    /// Copies the contents oldest-first into `out`, reusing its capacity —
+    /// the allocation-free variant for per-cycle hot paths.
+    pub fn copy_to(&self, out: &mut Vec<T>) {
+        out.clear();
+        out.extend(self.iter().cloned());
+    }
+}
+
+impl RingBuffer<f64> {
+    /// Mean of the retained values; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        Some(self.iter().sum::<f64>() / self.len() as f64)
+    }
+
+    /// Population standard deviation of the retained values; `None` when empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / self.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Sum over the newest `k` elements (fewer if the buffer is shorter).
+    pub fn sum_newest(&self, k: usize) -> f64 {
+        (0..k.min(self.len()))
+            .filter_map(|i| self.from_newest(i))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_until_full_then_evict() {
+        let mut b = RingBuffer::new(3);
+        assert_eq!(b.push(1), None);
+        assert_eq!(b.push(2), None);
+        assert_eq!(b.push(3), None);
+        assert!(b.is_full());
+        assert_eq!(b.push(4), Some(1));
+        assert_eq!(b.push(5), Some(2));
+        assert_eq!(b.as_vec(), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn oldest_first_indexing_before_wrap() {
+        let mut b = RingBuffer::new(4);
+        b.push(10);
+        b.push(20);
+        assert_eq!(b.get(0), Some(&10));
+        assert_eq!(b.get(1), Some(&20));
+        assert_eq!(b.get(2), None);
+    }
+
+    #[test]
+    fn oldest_first_indexing_after_wrap() {
+        let mut b = RingBuffer::new(3);
+        for v in 0..7 {
+            b.push(v);
+        }
+        assert_eq!(b.as_vec(), vec![4, 5, 6]);
+        assert_eq!(b.oldest(), Some(&4));
+        assert_eq!(b.newest(), Some(&6));
+    }
+
+    #[test]
+    fn newest_first_indexing() {
+        let mut b = RingBuffer::new(5);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            b.push(v);
+        }
+        assert_eq!(b.from_newest(0), Some(&4.0));
+        assert_eq!(b.from_newest(3), Some(&1.0));
+        assert_eq!(b.from_newest(4), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = RingBuffer::new(2);
+        b.push(1);
+        b.push(2);
+        b.push(3);
+        b.clear();
+        assert!(b.is_empty());
+        b.push(9);
+        assert_eq!(b.as_vec(), vec![9]);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let mut b = RingBuffer::new(4);
+        assert_eq!(b.mean(), None);
+        assert_eq!(b.std_dev(), None);
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            b.push(v);
+        }
+        // retained: [5,5,7,9] → mean 6.5
+        assert_eq!(b.mean(), Some(6.5));
+        let std = b.std_dev().unwrap();
+        assert!((std - 1.6583).abs() < 1e-3, "std {std}");
+    }
+
+    #[test]
+    fn sum_newest_partial() {
+        let mut b = RingBuffer::new(10);
+        for v in [1.0, 2.0, 3.0] {
+            b.push(v);
+        }
+        assert_eq!(b.sum_newest(2), 5.0);
+        assert_eq!(b.sum_newest(99), 6.0);
+        assert_eq!(b.sum_newest(0), 0.0);
+    }
+
+    #[test]
+    fn iter_matches_as_vec() {
+        let mut b = RingBuffer::new(3);
+        for v in 0..10 {
+            b.push(v);
+        }
+        let via_iter: Vec<i32> = b.iter().cloned().collect();
+        assert_eq!(via_iter, b.as_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        RingBuffer::<f64>::new(0);
+    }
+
+    #[test]
+    fn capacity_one_always_newest() {
+        let mut b = RingBuffer::new(1);
+        for v in 0..5 {
+            b.push(v);
+        }
+        assert_eq!(b.as_vec(), vec![4]);
+        assert_eq!(b.oldest(), b.newest());
+    }
+}

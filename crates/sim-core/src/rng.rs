@@ -1,0 +1,245 @@
+//! Deterministic, labelled RNG streams.
+//!
+//! Every stochastic element of the reproduction — workload demand traces,
+//! RAPL measurement noise, the MIMD controller's randomized increase order —
+//! draws from its own stream derived from `(experiment seed, label)`. This
+//! makes every figure and table bit-reproducible while keeping streams
+//! statistically independent: changing how many random numbers one component
+//! consumes never perturbs another component.
+//!
+//! The generator is `splitmix64` for stream derivation (it is a full-period
+//! mixer, so any label hash yields a well-distributed seed) feeding
+//! `xoshiro256**`-style state via [`rand::rngs::StdRng`].
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Mixes a 64-bit value with the splitmix64 finalizer.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a label string, used to derive per-component streams.
+#[inline]
+fn fnv1a(label: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in label.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A deterministic random stream identified by `(seed, label)`.
+///
+/// ```
+/// use dps_sim_core::RngStream;
+/// let mut a = RngStream::new(42, "rapl-noise/node0/socket1");
+/// let mut b = RngStream::new(42, "rapl-noise/node0/socket1");
+/// assert_eq!(a.next_u64(), b.next_u64()); // same stream → same values
+/// let mut c = RngStream::new(42, "rapl-noise/node0/socket0");
+/// assert_ne!(a.next_u64(), c.next_u64()); // different label → different stream
+/// ```
+#[derive(Debug, Clone)]
+pub struct RngStream {
+    rng: StdRng,
+    seed: u64,
+    label_hash: u64,
+}
+
+impl RngStream {
+    /// Creates a stream for `(seed, label)`.
+    pub fn new(seed: u64, label: &str) -> Self {
+        let label_hash = fnv1a(label);
+        let mixed = splitmix64(seed ^ splitmix64(label_hash));
+        Self {
+            rng: StdRng::seed_from_u64(mixed),
+            seed,
+            label_hash,
+        }
+    }
+
+    /// Derives a child stream; `child("x")` from the same parent is always the
+    /// same stream, and distinct child labels give independent streams.
+    pub fn child(&self, label: &str) -> Self {
+        let child_hash = self.label_hash ^ splitmix64(fnv1a(label));
+        let mixed = splitmix64(self.seed ^ splitmix64(child_hash));
+        Self {
+            rng: StdRng::seed_from_u64(mixed),
+            seed: self.seed,
+            label_hash: child_hash,
+        }
+    }
+
+    /// The experiment seed this stream was derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform sample from a range (e.g. `0..10`, `0.5..=1.5`).
+    #[inline]
+    pub fn range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.rng.gen_range(range)
+    }
+
+    /// Standard normal sample via Box–Muller (avoids pulling in
+    /// `rand_distr`; two uniforms per pair, one discarded for simplicity —
+    /// this is not a hot path).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        debug_assert!(std_dev >= 0.0, "std_dev must be non-negative");
+        if std_dev == 0.0 {
+            return mean;
+        }
+        // u1 in (0,1] so ln(u1) is finite.
+        let u1: f64 = 1.0 - self.rng.gen::<f64>();
+        let u2: f64 = self.rng.gen::<f64>();
+        let mag = (-2.0 * u1.ln()).sqrt();
+        mean + std_dev * mag * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen::<f64>() < p.clamp(0.0, 1.0)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        // Manual Fisher–Yates keeps us off rand's SliceRandom trait so the
+        // shuffle order is pinned to this implementation, not rand's.
+        for i in (1..items.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples a log-normal-ish "jitter" multiplier `exp(N(0, sigma))`,
+    /// useful for run-to-run duration variance in workload models.
+    pub fn jitter(&mut self, sigma: f64) -> f64 {
+        self.normal(0.0, sigma).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_label_same_stream() {
+        let mut a = RngStream::new(7, "alpha");
+        let mut b = RngStream::new(7, "alpha");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = RngStream::new(7, "alpha");
+        let mut b = RngStream::new(8, "alpha");
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams should diverge, {same} collisions");
+    }
+
+    #[test]
+    fn different_label_different_stream() {
+        let mut a = RngStream::new(7, "alpha");
+        let mut b = RngStream::new(7, "beta");
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn child_streams_are_deterministic_and_independent() {
+        let parent = RngStream::new(11, "root");
+        let mut c1 = parent.child("x");
+        let mut c1b = parent.child("x");
+        let mut c2 = parent.child("y");
+        assert_eq!(c1.next_u64(), c1b.next_u64());
+        let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut s = RngStream::new(3, "u");
+        for _ in 0..1000 {
+            let x = s.uniform();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_moments_roughly_correct() {
+        let mut s = RngStream::new(5, "n");
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| s.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_zero_std_is_constant() {
+        let mut s = RngStream::new(5, "n0");
+        assert_eq!(s.normal(42.0, 0.0), 42.0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut s = RngStream::new(9, "shuffle");
+        let mut items: Vec<u32> = (0..50).collect();
+        s.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_deterministic() {
+        let mut a = RngStream::new(9, "shuffle");
+        let mut b = RngStream::new(9, "shuffle");
+        let mut va: Vec<u32> = (0..20).collect();
+        let mut vb: Vec<u32> = (0..20).collect();
+        a.shuffle(&mut va);
+        b.shuffle(&mut vb);
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut s = RngStream::new(1, "c");
+        assert!(!(0..100).any(|_| s.chance(0.0)));
+        assert!((0..100).all(|_| s.chance(1.0)));
+    }
+
+    #[test]
+    fn jitter_positive() {
+        let mut s = RngStream::new(1, "j");
+        for _ in 0..100 {
+            assert!(s.jitter(0.3) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Uniformly-sampled time series.
+//!
+//! Power traces in this reproduction are sampled on the controller's fixed
+//! period, so a series is a start time, a period, and a dense value vector.
+//! This keeps the hot logging path allocation-cheap (a push is a `Vec` push)
+//! and makes windowed statistics trivial.
+
+use crate::stats;
+use crate::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// A uniformly sampled series of `f64` values.
+///
+/// ```
+/// use dps_sim_core::TimeSeries;
+/// let mut ts = TimeSeries::new(1.0);
+/// ts.extend([10.0, 20.0, 30.0]);
+/// assert_eq!(ts.len(), 3);
+/// assert_eq!(ts.time_at(2), 2.0);
+/// assert_eq!(ts.value_at_time(1.2), Some(20.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    period: Seconds,
+    start: Seconds,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with sampling period `period` starting at t=0.
+    ///
+    /// # Panics
+    /// Panics unless `period` is positive and finite.
+    pub fn new(period: Seconds) -> Self {
+        Self::starting_at(period, 0.0)
+    }
+
+    /// Creates an empty series with the given start time.
+    pub fn starting_at(period: Seconds, start: Seconds) -> Self {
+        assert!(
+            period.is_finite() && period > 0.0,
+            "series period must be positive, got {period}"
+        );
+        Self {
+            period,
+            start,
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds a series from existing samples.
+    pub fn from_values(period: Seconds, values: Vec<f64>) -> Self {
+        let mut ts = Self::new(period);
+        ts.values = values;
+        ts
+    }
+
+    /// Sampling period in seconds.
+    #[inline]
+    pub fn period(&self) -> Seconds {
+        self.period
+    }
+
+    /// Time of the first sample.
+    #[inline]
+    pub fn start(&self) -> Seconds {
+        self.start
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series has no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Appends one sample.
+    #[inline]
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Appends samples from an iterator.
+    pub fn extend(&mut self, values: impl IntoIterator<Item = f64>) {
+        self.values.extend(values);
+    }
+
+    /// Raw sample slice.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Timestamp of sample `i`.
+    #[inline]
+    pub fn time_at(&self, i: usize) -> Seconds {
+        self.start + i as Seconds * self.period
+    }
+
+    /// Duration covered by the series (`len * period`).
+    pub fn duration(&self) -> Seconds {
+        self.values.len() as Seconds * self.period
+    }
+
+    /// Sample-and-hold lookup: the value of the sample whose interval
+    /// contains `t`; `None` if `t` precedes the series or exceeds it.
+    pub fn value_at_time(&self, t: Seconds) -> Option<f64> {
+        if t < self.start {
+            return None;
+        }
+        let idx = ((t - self.start) / self.period).floor() as usize;
+        self.values.get(idx).copied()
+    }
+
+    /// Iterates `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Seconds, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| (self.time_at(i), *v))
+    }
+
+    /// Mean of all samples.
+    pub fn mean(&self) -> Option<f64> {
+        stats::mean(&self.values)
+    }
+
+    /// Population standard deviation of all samples.
+    pub fn std_dev(&self) -> Option<f64> {
+        stats::std_dev(&self.values)
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        stats::max(&self.values)
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        stats::min(&self.values)
+    }
+
+    /// Fraction of samples strictly above `threshold` (the paper classifies
+    /// workloads by "% time above 110 W", Table 2).
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().filter(|v| **v > threshold).count() as f64 / self.values.len() as f64
+    }
+
+    /// Sub-series covering sample indices `[lo, hi)`.
+    pub fn slice(&self, lo: usize, hi: usize) -> TimeSeries {
+        let hi = hi.min(self.values.len());
+        let lo = lo.min(hi);
+        TimeSeries {
+            period: self.period,
+            start: self.time_at(lo),
+            values: self.values[lo..hi].to_vec(),
+        }
+    }
+
+    /// Resamples to a new period with sample-and-hold semantics, covering the
+    /// same duration.
+    pub fn resample(&self, new_period: Seconds) -> TimeSeries {
+        assert!(new_period.is_finite() && new_period > 0.0);
+        let mut out = TimeSeries::starting_at(new_period, self.start);
+        if self.is_empty() {
+            return out;
+        }
+        let n = (self.duration() / new_period).ceil() as usize;
+        for i in 0..n {
+            let t = self.start + i as Seconds * new_period;
+            // Sample-and-hold: last sample extends to the series' end.
+            let v = self
+                .value_at_time(t)
+                .unwrap_or_else(|| *self.values.last().expect("non-empty"));
+            out.push(v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series() {
+        let ts = TimeSeries::new(1.0);
+        assert!(ts.is_empty());
+        assert_eq!(ts.duration(), 0.0);
+        assert_eq!(ts.mean(), None);
+        assert_eq!(ts.value_at_time(0.0), None);
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut ts = TimeSeries::new(0.5);
+        ts.extend([1.0, 2.0, 3.0]);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.duration(), 1.5);
+        assert_eq!(ts.value_at_time(0.0), Some(1.0));
+        assert_eq!(ts.value_at_time(0.49), Some(1.0));
+        assert_eq!(ts.value_at_time(0.5), Some(2.0));
+        assert_eq!(ts.value_at_time(1.4), Some(3.0));
+        assert_eq!(ts.value_at_time(1.51), None);
+        assert_eq!(ts.value_at_time(-0.1), None);
+    }
+
+    #[test]
+    fn start_offset_respected() {
+        let mut ts = TimeSeries::starting_at(1.0, 10.0);
+        ts.extend([5.0, 6.0]);
+        assert_eq!(ts.time_at(0), 10.0);
+        assert_eq!(ts.value_at_time(9.0), None);
+        assert_eq!(ts.value_at_time(10.5), Some(5.0));
+        assert_eq!(ts.value_at_time(11.0), Some(6.0));
+    }
+
+    #[test]
+    fn fraction_above_counts_strictly() {
+        let ts = TimeSeries::from_values(1.0, vec![100.0, 110.0, 120.0, 130.0]);
+        assert!((ts.fraction_above(110.0) - 0.5).abs() < 1e-12);
+        assert_eq!(ts.fraction_above(1000.0), 0.0);
+        assert_eq!(ts.fraction_above(0.0), 1.0);
+    }
+
+    #[test]
+    fn slice_bounds_clamped() {
+        let ts = TimeSeries::from_values(1.0, vec![0.0, 1.0, 2.0, 3.0]);
+        let s = ts.slice(1, 3);
+        assert_eq!(s.values(), &[1.0, 2.0]);
+        assert_eq!(s.start(), 1.0);
+        let oob = ts.slice(3, 100);
+        assert_eq!(oob.values(), &[3.0]);
+        let inverted = ts.slice(5, 2);
+        assert!(inverted.is_empty());
+    }
+
+    #[test]
+    fn resample_downsamples_with_hold() {
+        let ts = TimeSeries::from_values(1.0, vec![1.0, 2.0, 3.0, 4.0]);
+        let r = ts.resample(2.0);
+        assert_eq!(r.values(), &[1.0, 3.0]);
+        assert_eq!(r.period(), 2.0);
+    }
+
+    #[test]
+    fn resample_upsamples_with_hold() {
+        let ts = TimeSeries::from_values(1.0, vec![1.0, 2.0]);
+        let r = ts.resample(0.5);
+        assert_eq!(r.values(), &[1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn iter_yields_time_value() {
+        let ts = TimeSeries::from_values(2.0, vec![7.0, 8.0]);
+        let pairs: Vec<(f64, f64)> = ts.iter().collect();
+        assert_eq!(pairs, vec![(0.0, 7.0), (2.0, 8.0)]);
+    }
+
+    #[test]
+    fn summary_stats() {
+        let ts = TimeSeries::from_values(1.0, vec![10.0, 20.0, 30.0]);
+        assert_eq!(ts.mean(), Some(20.0));
+        assert_eq!(ts.min(), Some(10.0));
+        assert_eq!(ts.max(), Some(30.0));
+    }
+}

@@ -1,0 +1,292 @@
+//! Signal processing for *power dynamics*.
+//!
+//! The DPS priority module (paper Alg. 2) classifies each unit's recent power
+//! history by (1) the number of **prominent peaks** — a time-series peak
+//! detection in the style of Palshikar [32] / scipy's `find_peaks` with a
+//! prominence threshold — and (2) the windowed **first derivative**
+//! (paper Eq. 3 generalised over `direv_length` samples). Both primitives
+//! live here, independent of controller policy, so they can be tested and
+//! benchmarked in isolation.
+
+/// A detected local maximum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Index of the peak sample.
+    pub index: usize,
+    /// Peak height (the sample value).
+    pub height: f64,
+    /// Topographic prominence: height above the higher of the two lowest
+    /// saddles separating this peak from higher terrain (or the signal
+    /// boundary).
+    pub prominence: f64,
+}
+
+/// Finds all strict local maxima. Plateaus count once, at the plateau's
+/// midpoint (matching scipy's `find_peaks` plateau handling closely enough
+/// for power traces, which are noisy and rarely perfectly flat).
+fn local_maxima(signal: &[f64]) -> Vec<usize> {
+    let n = signal.len();
+    let mut peaks = Vec::new();
+    let mut i = 1;
+    while i + 1 < n {
+        if signal[i] > signal[i - 1] {
+            // Walk any plateau of equal values.
+            let plateau_start = i;
+            while i + 1 < n && signal[i + 1] == signal[i] {
+                i += 1;
+            }
+            if i + 1 < n && signal[i + 1] < signal[i] {
+                peaks.push((plateau_start + i) / 2);
+            }
+        }
+        i += 1;
+    }
+    peaks
+}
+
+/// Computes the prominence of the peak at `idx` following scipy's algorithm:
+/// scan outward on each side until a sample strictly higher than the peak (or
+/// the boundary), take the minimum over each scanned span, and subtract the
+/// larger of the two minima from the peak height.
+fn prominence_of(signal: &[f64], idx: usize) -> f64 {
+    let height = signal[idx];
+
+    let mut left_min = height;
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        if signal[i] > height {
+            break;
+        }
+        left_min = left_min.min(signal[i]);
+    }
+
+    let mut right_min = height;
+    let mut j = idx;
+    while j + 1 < signal.len() {
+        j += 1;
+        if signal[j] > height {
+            break;
+        }
+        right_min = right_min.min(signal[j]);
+    }
+
+    height - left_min.max(right_min)
+}
+
+/// Detects peaks with prominence `>= min_prominence`, sorted by index.
+///
+/// ```
+/// use dps_sim_core::signal::find_prominent_peaks;
+/// // A 160 W spike between 20 W valleys is one very prominent peak.
+/// let trace = [20.0, 160.0, 20.0, 25.0, 22.0, 160.0, 20.0];
+/// let peaks = find_prominent_peaks(&trace, 50.0);
+/// assert_eq!(peaks.len(), 2);
+/// assert_eq!(peaks[0].index, 1);
+/// ```
+pub fn find_prominent_peaks(signal: &[f64], min_prominence: f64) -> Vec<Peak> {
+    local_maxima(signal)
+        .into_iter()
+        .map(|index| Peak {
+            index,
+            height: signal[index],
+            prominence: prominence_of(signal, index),
+        })
+        .filter(|p| p.prominence >= min_prominence)
+        .collect()
+}
+
+/// Counts prominent peaks (the paper's `count_prominent_peaks`).
+pub fn count_prominent_peaks(signal: &[f64], min_prominence: f64) -> usize {
+    find_prominent_peaks(signal, min_prominence).len()
+}
+
+/// Windowed average first derivative, the paper's Eq. 3 generalised to a
+/// window (Alg. 2 line 16):
+/// `(newest - sample window-1 steps back) / elapsed-time`.
+///
+/// `durations` holds the per-sample time deltas aligned with `signal`
+/// (`durations[i]` is the time between samples `i-1` and `i`). Returns `None`
+/// when fewer than 2 samples or the elapsed time is non-positive.
+pub fn windowed_derivative(signal: &[f64], durations: &[f64], window: usize) -> Option<f64> {
+    if signal.len() < 2 || window < 1 {
+        return None;
+    }
+    let w = window.min(signal.len() - 1);
+    let newest = *signal.last()?;
+    let oldest = signal[signal.len() - 1 - w];
+    let dt: f64 = durations[durations.len().saturating_sub(w)..].iter().sum();
+    if dt <= 0.0 {
+        return None;
+    }
+    Some((newest - oldest) / dt)
+}
+
+/// One-step derivative with uniform period `dt` (paper Eq. 3).
+pub fn step_derivative(current: f64, previous: f64, dt: f64) -> f64 {
+    debug_assert!(dt > 0.0);
+    (current - previous) / dt
+}
+
+/// Centered moving average with window `2*half + 1`, edges truncated.
+pub fn moving_average(signal: &[f64], half: usize) -> Vec<f64> {
+    let n = signal.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        let mean = signal[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        out.push(mean);
+    }
+    out
+}
+
+/// Exponential moving average with smoothing factor `alpha` in `(0, 1]`.
+pub fn exponential_moving_average(signal: &[f64], alpha: f64) -> Vec<f64> {
+    assert!(
+        (0.0..=1.0).contains(&alpha) && alpha > 0.0,
+        "alpha in (0,1]"
+    );
+    let mut out = Vec::with_capacity(signal.len());
+    let mut state = None;
+    for &x in signal {
+        let next = match state {
+            None => x,
+            Some(prev) => alpha * x + (1.0 - alpha) * prev,
+        };
+        out.push(next);
+        state = Some(next);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_peaks_in_monotone_signal() {
+        let rising: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(count_prominent_peaks(&rising, 0.0), 0);
+        let falling: Vec<f64> = (0..10).map(|i| (10 - i) as f64).collect();
+        assert_eq!(count_prominent_peaks(&falling, 0.0), 0);
+    }
+
+    #[test]
+    fn single_peak_prominence_is_height_above_higher_valley() {
+        let signal = [10.0, 50.0, 20.0];
+        let peaks = find_prominent_peaks(&signal, 0.0);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].index, 1);
+        // Left min 10, right min 20 → prominence 50 - max(10,20) = 30.
+        assert_eq!(peaks[0].prominence, 30.0);
+    }
+
+    #[test]
+    fn prominence_threshold_filters() {
+        let signal = [0.0, 100.0, 80.0, 85.0, 20.0, 100.0, 0.0];
+        // index 3 is a small bump (prominence 5); indices 1 and 5 are major.
+        assert_eq!(count_prominent_peaks(&signal, 10.0), 2);
+        assert_eq!(count_prominent_peaks(&signal, 1.0), 3);
+    }
+
+    #[test]
+    fn plateau_counts_once() {
+        let signal = [0.0, 5.0, 5.0, 5.0, 0.0];
+        let peaks = find_prominent_peaks(&signal, 0.0);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].index, 2);
+    }
+
+    #[test]
+    fn boundary_samples_never_peaks() {
+        let signal = [100.0, 1.0, 100.0];
+        assert_eq!(count_prominent_peaks(&signal, 0.0), 0);
+    }
+
+    #[test]
+    fn interior_peak_between_higher_terrain() {
+        // Peak at 4 (height 60) sits between two higher 100s; its prominence
+        // is measured against the saddles at 20 and 30 → 60 - 30 = 30.
+        let signal = [100.0, 20.0, 60.0, 30.0, 100.0];
+        let peaks = find_prominent_peaks(&signal, 0.0);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].prominence, 30.0);
+    }
+
+    #[test]
+    fn high_frequency_square_wave_many_peaks() {
+        // LR-style fast phases: 150/30 alternation → a peak per cycle.
+        let mut signal = Vec::new();
+        for _ in 0..8 {
+            signal.extend_from_slice(&[30.0, 150.0, 30.0]);
+        }
+        let count = count_prominent_peaks(&signal, 50.0);
+        assert!(count >= 7, "expected many peaks, got {count}");
+    }
+
+    #[test]
+    fn windowed_derivative_basic() {
+        let signal = [10.0, 20.0, 40.0];
+        let durations = [1.0, 1.0, 1.0];
+        // window 1: (40-20)/1 = 20
+        assert_eq!(windowed_derivative(&signal, &durations, 1), Some(20.0));
+        // window 2: (40-10)/2 = 15
+        assert_eq!(windowed_derivative(&signal, &durations, 2), Some(15.0));
+    }
+
+    #[test]
+    fn windowed_derivative_clamps_window() {
+        let signal = [10.0, 30.0];
+        let durations = [1.0, 1.0];
+        assert_eq!(windowed_derivative(&signal, &durations, 10), Some(20.0));
+    }
+
+    #[test]
+    fn windowed_derivative_degenerate() {
+        assert_eq!(windowed_derivative(&[1.0], &[1.0], 1), None);
+        assert_eq!(windowed_derivative(&[], &[], 1), None);
+        assert_eq!(windowed_derivative(&[1.0, 2.0], &[0.0, 0.0], 1), None);
+    }
+
+    #[test]
+    fn step_derivative_sign() {
+        assert_eq!(step_derivative(160.0, 20.0, 1.0), 140.0);
+        assert_eq!(step_derivative(20.0, 160.0, 2.0), -70.0);
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let signal = [0.0, 10.0, 0.0, 10.0, 0.0];
+        let smoothed = moving_average(&signal, 1);
+        assert_eq!(smoothed.len(), signal.len());
+        assert_eq!(smoothed[0], 5.0); // truncated window [0,10]
+        assert!((smoothed[2] - 20.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moving_average_zero_half_is_identity() {
+        let signal = [1.0, 2.0, 3.0];
+        assert_eq!(moving_average(&signal, 0), signal.to_vec());
+    }
+
+    #[test]
+    fn ema_converges_to_constant() {
+        let signal = vec![10.0; 50];
+        let out = exponential_moving_average(&signal, 0.3);
+        assert!((out.last().unwrap() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ema_first_sample_passthrough() {
+        let out = exponential_moving_average(&[42.0, 0.0], 0.5);
+        assert_eq!(out[0], 42.0);
+        assert_eq!(out[1], 21.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha in (0,1]")]
+    fn ema_rejects_zero_alpha() {
+        exponential_moving_average(&[1.0], 0.0);
+    }
+}

@@ -1,0 +1,340 @@
+//! Summary statistics used throughout the evaluation.
+//!
+//! The paper reports *harmonic mean* performance (throughput-time) gains and
+//! fairness distributions; this module provides those aggregations plus a
+//! streaming Welford accumulator for per-cycle logging without retaining
+//! every sample.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Population standard deviation; `None` for an empty slice.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    let var = values.iter().map(|x| (x - m).powi(2)).sum::<f64>() / values.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Harmonic mean of strictly positive values; `None` if empty or any value
+/// is `<= 0` (a zero throughput time is meaningless and would make the
+/// harmonic mean degenerate).
+pub fn harmonic_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| *v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    let recip_sum: f64 = values.iter().map(|v| 1.0 / v).sum();
+    Some(values.len() as f64 / recip_sum)
+}
+
+/// Geometric mean of strictly positive values.
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| *v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Linear-interpolated percentile (`q` in `[0, 100]`); `None` when empty.
+///
+/// Matches numpy's default (`linear`) interpolation so the fairness
+/// distribution plots line up with the paper's tooling.
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=100.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (50th percentile).
+pub fn median(values: &[f64]) -> Option<f64> {
+    percentile(values, 50.0)
+}
+
+/// Minimum of a slice, ignoring nothing; `None` when empty.
+pub fn min(values: &[f64]) -> Option<f64> {
+    values.iter().copied().fold(None, |acc, v| match acc {
+        None => Some(v),
+        Some(a) => Some(a.min(v)),
+    })
+}
+
+/// Maximum of a slice; `None` when empty.
+pub fn max(values: &[f64]) -> Option<f64> {
+    values.iter().copied().fold(None, |acc, v| match acc {
+        None => Some(v),
+        Some(a) => Some(a.max(v)),
+    })
+}
+
+/// Pearson correlation coefficient between two equal-length samples;
+/// `None` when lengths differ, fewer than 2 points, or either sample is
+/// constant (undefined correlation).
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let mx = mean(x)?;
+    let my = mean(y)?;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx).powi(2);
+        vy += (b - my).powi(2);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long runs (hours of one-second samples), used by
+/// the per-socket satisfaction bookkeeping and overhead measurements.
+///
+/// ```
+/// use dps_sim_core::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] { s.push(x); }
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.count(), 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 when empty).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 when fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (`+inf` when empty).
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (`-inf` when empty).
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_empty_none() {
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+    }
+
+    #[test]
+    fn harmonic_mean_basic() {
+        // hmean(1, 2, 4) = 3 / (1 + 0.5 + 0.25) = 12/7
+        let h = harmonic_mean(&[1.0, 2.0, 4.0]).unwrap();
+        assert!((h - 12.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_rejects_nonpositive() {
+        assert_eq!(harmonic_mean(&[1.0, 0.0]), None);
+        assert_eq!(harmonic_mean(&[1.0, -2.0]), None);
+        assert_eq!(harmonic_mean(&[]), None);
+    }
+
+    #[test]
+    fn harmonic_le_geometric_le_arithmetic() {
+        let v = [2.0, 3.0, 10.0, 7.0];
+        let h = harmonic_mean(&v).unwrap();
+        let g = geometric_mean(&v).unwrap();
+        let a = mean(&v).unwrap();
+        assert!(h <= g + 1e-12 && g <= a + 1e-12, "h={h} g={g} a={a}");
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 100.0), Some(4.0));
+        assert_eq!(percentile(&v, 50.0), Some(2.5));
+        assert_eq!(median(&v), Some(2.5));
+    }
+
+    #[test]
+    fn percentile_invalid_q() {
+        assert_eq!(percentile(&[1.0], -1.0), None);
+        assert_eq!(percentile(&[1.0], 101.0), None);
+    }
+
+    #[test]
+    fn min_max_basic() {
+        let v = [3.0, -1.0, 7.0];
+        assert_eq!(min(&v), Some(-1.0));
+        assert_eq!(max(&v), Some(7.0));
+        assert_eq!(min(&[]), None);
+    }
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y_pos: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+        let y_neg: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &y_pos).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &y_neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0]), None);
+        assert_eq!(pearson(&[5.0, 5.0], &[1.0, 2.0]), None, "constant sample");
+    }
+
+    #[test]
+    fn pearson_bounded() {
+        let x = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0];
+        let y = [2.0, 7.0, 1.0, 8.0, 2.0, 8.0, 1.0];
+        let r = pearson(&x, &y).unwrap();
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn online_stats_matches_batch() {
+        let values = [4.0, 7.0, 13.0, 16.0];
+        let mut s = OnlineStats::new();
+        for v in values {
+            s.push(v);
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - mean(&values).unwrap()).abs() < 1e-12);
+        assert!((s.std_dev() - std_dev(&values).unwrap()).abs() < 1e-12);
+        assert_eq!(s.min(), 4.0);
+        assert_eq!(s.max(), 16.0);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_combined() {
+        let a_vals = [1.0, 2.0, 3.0];
+        let b_vals = [10.0, 20.0];
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        a_vals.iter().for_each(|v| a.push(*v));
+        b_vals.iter().for_each(|v| b.push(*v));
+        let mut combined = OnlineStats::new();
+        a_vals
+            .iter()
+            .chain(b_vals.iter())
+            .for_each(|v| combined.push(*v));
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert!((a.mean() - combined.mean()).abs() < 1e-12);
+        assert!((a.variance() - combined.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_stats_merge_with_empty() {
+        let mut a = OnlineStats::new();
+        a.push(5.0);
+        let empty = OnlineStats::new();
+        let snapshot = a.clone();
+        a.merge(&empty);
+        assert_eq!(a, snapshot);
+        let mut e = OnlineStats::new();
+        e.merge(&snapshot);
+        assert_eq!(e, snapshot);
+    }
+}

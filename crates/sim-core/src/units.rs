@@ -1,0 +1,150 @@
+//! Physical quantities and the discrete simulation clock.
+//!
+//! The DPS control loop is a fixed-period discrete-time loop (the paper uses
+//! a one-second decision cycle, §6.5). All power management code in this
+//! workspace is written against [`Timestep`] indices and converts to wall
+//! clock seconds only through [`SimClock`].
+
+use serde::{Deserialize, Serialize};
+
+/// Power in Watts. Plain `f64` alias: power values flow through tight loops
+/// and arithmetic-heavy controllers, where a newtype would add friction
+/// without catching the realistic bug class (all quantities here are Watts).
+pub type Watts = f64;
+
+/// Energy in Joules.
+pub type Joules = f64;
+
+/// Durations and wall-clock times in seconds.
+pub type Seconds = f64;
+
+/// A discrete controller timestep index (the paper's `t`).
+pub type Timestep = u64;
+
+/// Discrete simulation clock with a fixed step period (`dT` in the paper's
+/// Table 1).
+///
+/// ```
+/// use dps_sim_core::SimClock;
+/// let mut clock = SimClock::new(1.0);
+/// assert_eq!(clock.now(), 0.0);
+/// clock.advance();
+/// clock.advance();
+/// assert_eq!(clock.timestep(), 2);
+/// assert_eq!(clock.now(), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimClock {
+    step: Timestep,
+    period: Seconds,
+}
+
+impl SimClock {
+    /// Creates a clock with the given step period in seconds.
+    ///
+    /// # Panics
+    /// Panics if `period` is not strictly positive and finite.
+    pub fn new(period: Seconds) -> Self {
+        assert!(
+            period.is_finite() && period > 0.0,
+            "clock period must be positive and finite, got {period}"
+        );
+        Self { step: 0, period }
+    }
+
+    /// The current timestep index.
+    #[inline]
+    pub fn timestep(&self) -> Timestep {
+        self.step
+    }
+
+    /// The step period `dT` in seconds.
+    #[inline]
+    pub fn period(&self) -> Seconds {
+        self.period
+    }
+
+    /// Current simulated wall-clock time in seconds.
+    #[inline]
+    pub fn now(&self) -> Seconds {
+        self.step as Seconds * self.period
+    }
+
+    /// Advances the clock by one step and returns the new timestep index.
+    #[inline]
+    pub fn advance(&mut self) -> Timestep {
+        self.step += 1;
+        self.step
+    }
+
+    /// Converts a wall-clock duration to a (rounded-up) number of steps.
+    pub fn steps_for(&self, duration: Seconds) -> Timestep {
+        (duration / self.period).ceil().max(0.0) as Timestep
+    }
+}
+
+/// Clamps a power value into `[lo, hi]`, tolerating NaN by returning `lo`.
+///
+/// Controllers divide by caps and demands; a NaN escaping into a cap would
+/// poison the whole cluster allocation, so the clamp is defensive.
+#[inline]
+pub fn clamp_power(value: Watts, lo: Watts, hi: Watts) -> Watts {
+    if value.is_nan() {
+        lo
+    } else {
+        value.clamp(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let clock = SimClock::new(0.5);
+        assert_eq!(clock.timestep(), 0);
+        assert_eq!(clock.now(), 0.0);
+        assert_eq!(clock.period(), 0.5);
+    }
+
+    #[test]
+    fn clock_advances_by_period() {
+        let mut clock = SimClock::new(0.25);
+        for _ in 0..8 {
+            clock.advance();
+        }
+        assert_eq!(clock.timestep(), 8);
+        assert!((clock.now() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steps_for_rounds_up() {
+        let clock = SimClock::new(1.0);
+        assert_eq!(clock.steps_for(0.0), 0);
+        assert_eq!(clock.steps_for(0.1), 1);
+        assert_eq!(clock.steps_for(1.0), 1);
+        assert_eq!(clock.steps_for(1.5), 2);
+        assert_eq!(clock.steps_for(10.0), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock period must be positive")]
+    fn zero_period_rejected() {
+        SimClock::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock period must be positive")]
+    fn nan_period_rejected() {
+        SimClock::new(f64::NAN);
+    }
+
+    #[test]
+    fn clamp_power_basics() {
+        assert_eq!(clamp_power(50.0, 0.0, 165.0), 50.0);
+        assert_eq!(clamp_power(-3.0, 0.0, 165.0), 0.0);
+        assert_eq!(clamp_power(400.0, 0.0, 165.0), 165.0);
+        assert_eq!(clamp_power(f64::NAN, 10.0, 165.0), 10.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Property tests for the simulation substrate.
+
+use dps_sim_core::{signal, stats, KalmanFilter, RingBuffer, TimeSeries};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+proptest! {
+    /// RingBuffer behaves exactly like a capacity-bounded VecDeque.
+    #[test]
+    fn ring_buffer_matches_vecdeque_model(
+        capacity in 1usize..16,
+        ops in prop::collection::vec(any::<i32>(), 0..200),
+    ) {
+        let mut ring = RingBuffer::new(capacity);
+        let mut model: VecDeque<i32> = VecDeque::new();
+        for v in ops {
+            let evicted = ring.push(v);
+            model.push_back(v);
+            let expected_evicted = if model.len() > capacity {
+                model.pop_front()
+            } else {
+                None
+            };
+            prop_assert_eq!(evicted, expected_evicted);
+            prop_assert_eq!(ring.len(), model.len());
+            prop_assert_eq!(ring.oldest(), model.front());
+            prop_assert_eq!(ring.newest(), model.back());
+            // Full content equality, oldest-first.
+            let ring_vec = ring.as_vec();
+            let model_vec: Vec<i32> = model.iter().cloned().collect();
+            prop_assert_eq!(ring_vec, model_vec);
+        }
+    }
+
+    /// Newest-first indexing is the mirror of oldest-first indexing.
+    #[test]
+    fn ring_buffer_from_newest_mirrors_get(
+        capacity in 1usize..12,
+        values in prop::collection::vec(any::<u16>(), 1..60),
+    ) {
+        let mut ring = RingBuffer::new(capacity);
+        for v in values {
+            ring.push(v);
+        }
+        let n = ring.len();
+        for k in 0..n {
+            prop_assert_eq!(ring.from_newest(k), ring.get(n - 1 - k));
+        }
+        prop_assert_eq!(ring.from_newest(n), None);
+    }
+
+    /// The Kalman estimate is always within the range of observed
+    /// measurements (it is a convex combination for the random-walk model).
+    #[test]
+    fn kalman_estimate_within_measurement_hull(
+        q in 0.01f64..100.0,
+        r in 0.01f64..100.0,
+        measurements in prop::collection::vec(0.0f64..200.0, 1..100),
+    ) {
+        let mut kf = KalmanFilter::new(q, r);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &z in &measurements {
+            lo = lo.min(z);
+            hi = hi.max(z);
+            let est = kf.update(z);
+            prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "{est} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// The Kalman gain stays in (0, 1] and the error variance stays
+    /// non-negative and bounded.
+    #[test]
+    fn kalman_gain_and_variance_bounded(
+        q in 0.01f64..50.0,
+        r in 0.01f64..50.0,
+        measurements in prop::collection::vec(0.0f64..200.0, 2..80),
+    ) {
+        let mut kf = KalmanFilter::new(q, r);
+        for &z in &measurements {
+            kf.update(z);
+            prop_assert!(kf.last_gain() > 0.0 && kf.last_gain() <= 1.0);
+            prop_assert!(kf.error_variance() >= 0.0);
+            prop_assert!(kf.error_variance() <= q + r + 1e-9);
+        }
+    }
+
+    /// Peak count is invariant under constant offsets and never exceeds
+    /// half the signal length (peaks need a valley between them).
+    #[test]
+    fn peak_count_offset_invariant_and_bounded(
+        signal in prop::collection::vec(0.0f64..165.0, 3..60),
+        offset in -100.0f64..100.0,
+        prominence in 1.0f64..60.0,
+    ) {
+        let count = signal::count_prominent_peaks(&signal, prominence);
+        let shifted: Vec<f64> = signal.iter().map(|v| v + offset).collect();
+        prop_assert_eq!(signal::count_prominent_peaks(&shifted, prominence), count);
+        prop_assert!(count <= signal.len() / 2);
+    }
+
+    /// Raising the prominence threshold never finds more peaks.
+    #[test]
+    fn peak_count_monotone_in_prominence(
+        signal in prop::collection::vec(0.0f64..165.0, 3..60),
+        p1 in 1.0f64..80.0,
+        p2 in 1.0f64..80.0,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(
+            signal::count_prominent_peaks(&signal, hi)
+                <= signal::count_prominent_peaks(&signal, lo)
+        );
+    }
+
+    /// Every reported peak's prominence is honest: at least the threshold,
+    /// at most the signal's total range.
+    #[test]
+    fn peak_prominences_within_signal_range(
+        signal in prop::collection::vec(0.0f64..165.0, 3..60),
+    ) {
+        let range = stats::max(&signal).unwrap() - stats::min(&signal).unwrap();
+        for peak in signal::find_prominent_peaks(&signal, 5.0) {
+            prop_assert!(peak.prominence >= 5.0);
+            prop_assert!(peak.prominence <= range + 1e-9);
+            prop_assert_eq!(peak.height, signal[peak.index]);
+        }
+    }
+
+    /// Mean inequality chain holds for arbitrary positive samples.
+    #[test]
+    fn mean_inequality_chain(values in prop::collection::vec(0.1f64..1000.0, 1..50)) {
+        let h = stats::harmonic_mean(&values).unwrap();
+        let g = stats::geometric_mean(&values).unwrap();
+        let a = stats::mean(&values).unwrap();
+        prop_assert!(h <= g + 1e-9 && g <= a + 1e-9, "h={h} g={g} a={a}");
+    }
+
+    /// Percentiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn percentiles_monotone(
+        values in prop::collection::vec(-1000.0f64..1000.0, 1..50),
+        q1 in 0.0f64..100.0,
+        q2 in 0.0f64..100.0,
+    ) {
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let p_lo = stats::percentile(&values, lo_q).unwrap();
+        let p_hi = stats::percentile(&values, hi_q).unwrap();
+        prop_assert!(p_lo <= p_hi + 1e-9);
+        prop_assert!(p_lo >= stats::min(&values).unwrap() - 1e-9);
+        prop_assert!(p_hi <= stats::max(&values).unwrap() + 1e-9);
+    }
+
+    /// Welford accumulation matches batch statistics for any sample.
+    #[test]
+    fn online_stats_matches_batch(values in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let mut online = stats::OnlineStats::new();
+        for &v in &values {
+            online.push(v);
+        }
+        let batch_mean = stats::mean(&values).unwrap();
+        let batch_std = stats::std_dev(&values).unwrap();
+        prop_assert!((online.mean() - batch_mean).abs() < 1e-6 * (1.0 + batch_mean.abs()));
+        prop_assert!((online.std_dev() - batch_std).abs() < 1e-6 * (1.0 + batch_std));
+    }
+
+    /// Time-series sample-and-hold lookup agrees with direct indexing.
+    #[test]
+    fn series_lookup_consistent(
+        values in prop::collection::vec(0.0f64..165.0, 1..50),
+        period in 0.1f64..5.0,
+        frac in 0.0f64..1.0,
+    ) {
+        let ts = TimeSeries::from_values(period, values.clone());
+        let idx = ((values.len() - 1) as f64 * frac) as usize;
+        let t = idx as f64 * period + period * 0.5;
+        prop_assert_eq!(ts.value_at_time(t), Some(values[idx]));
+    }
+
+    /// Resampling preserves the series' mean approximately when the new
+    /// period divides the old one exactly.
+    #[test]
+    fn resample_integer_upsample_preserves_values(
+        values in prop::collection::vec(0.0f64..165.0, 1..30),
+        k in 1usize..5,
+    ) {
+        let ts = TimeSeries::from_values(1.0, values.clone());
+        let up = ts.resample(1.0 / k as f64);
+        prop_assert_eq!(up.len(), values.len() * k);
+        for (i, &v) in values.iter().enumerate() {
+            for j in 0..k {
+                prop_assert_eq!(up.values()[i * k + j], v);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Phase segmentation always partitions the trace: contiguous,
+    /// non-overlapping, covering every sample.
+    #[test]
+    fn phase_segments_partition(
+        trace in prop::collection::vec(0.0f64..165.0, 1..200),
+        threshold in 5.0f64..80.0,
+    ) {
+        let segments = dps_sim_core::phases::segment(&trace, threshold);
+        prop_assert!(!segments.is_empty());
+        let mut covered = 0usize;
+        for s in &segments {
+            prop_assert_eq!(s.start, covered);
+            prop_assert!(s.len >= 1);
+            covered += s.len;
+            // Phase statistics are bounded by the trace values.
+            prop_assert!(s.peak_power <= 165.0 + 1e-9);
+            prop_assert!(s.mean_power <= s.peak_power + 1e-9);
+        }
+        prop_assert_eq!(covered, trace.len());
+    }
+
+    /// A threshold wider than the signal's full range yields exactly one
+    /// phase (nothing can deviate far enough from the running mean to
+    /// split). Note: phase count is NOT monotone in the threshold in
+    /// general — absorbing a sample shifts the running mean, which can
+    /// change where later splits land.
+    #[test]
+    fn threshold_above_range_is_one_phase(
+        trace in prop::collection::vec(0.0f64..165.0, 2..150),
+    ) {
+        let segments = dps_sim_core::phases::segment(&trace, 200.0);
+        prop_assert_eq!(segments.len(), 1);
+    }
+
+    /// The report's duration stats are consistent with the segment count.
+    #[test]
+    fn phase_report_durations_consistent(
+        trace in prop::collection::vec(0.0f64..165.0, 2..150),
+        period in 0.5f64..4.0,
+    ) {
+        let r = dps_sim_core::phases::report(&trace, period, 30.0).unwrap();
+        prop_assert!(r.duration_min <= r.duration_mean + 1e-9);
+        prop_assert!(r.duration_mean <= r.duration_max + 1e-9);
+        let total = trace.len() as f64 * period;
+        prop_assert!((r.duration_mean * r.phase_count as f64 - total).abs() < 1e-6);
+        prop_assert!(r.max_rise >= 0.0 && r.max_fall <= 0.0);
+    }
+}

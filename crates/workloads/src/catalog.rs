@@ -1,0 +1,304 @@
+//! The published workload catalog (paper Tables 2, 3 and 4).
+//!
+//! Each entry carries the statistics the paper reports: mean throughput time
+//! under the constant 110 W/socket allocation, the data size, the power
+//! class, and the fraction of time spent above 110 W. The generator uses
+//! these to synthesize demand programs whose statistics match.
+
+use serde::{Deserialize, Serialize};
+
+/// Which benchmark suite a workload comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// HiBench Spark machine-learning / micro workloads.
+    Spark,
+    /// NAS Parallel Benchmarks.
+    Npb,
+}
+
+/// The paper's power classification (Table 2 / §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PowerClass {
+    /// `< 10%` of time above 110 W; runs with 1 executor × 8 cores.
+    Low,
+    /// `> 10%` of time above 110 W; 48 executors × 8 cores.
+    Mid,
+    /// `> 2/3` of time above 110 W; 48 executors × 8 cores.
+    High,
+}
+
+/// One catalog entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Workload name as the paper prints it.
+    pub name: &'static str,
+    /// Originating suite.
+    pub suite: Suite,
+    /// Input data size in GB (Tables 2 and 4).
+    pub data_size_gb: f64,
+    /// Mean throughput time in seconds under the constant 110 W cap.
+    pub duration_110w: f64,
+    /// Power class.
+    pub class: PowerClass,
+    /// Fraction of (uncapped) time above 110 W, `[0, 1]`.
+    pub frac_above_110: f64,
+}
+
+impl WorkloadSpec {
+    /// Whether this workload is "phase-rich" (Spark) or sustained (NPB).
+    pub fn is_sustained(&self) -> bool {
+        self.suite == Suite::Npb
+    }
+}
+
+/// Table 2: Spark benchmark workloads.
+pub const SPARK_WORKLOADS: &[WorkloadSpec] = &[
+    WorkloadSpec {
+        name: "Wordcount",
+        suite: Suite::Spark,
+        data_size_gb: 3.1,
+        duration_110w: 44.36,
+        class: PowerClass::Low,
+        frac_above_110: 0.0018,
+    },
+    WorkloadSpec {
+        name: "Sort",
+        suite: Suite::Spark,
+        data_size_gb: 0.3135,
+        duration_110w: 38.48,
+        class: PowerClass::Low,
+        frac_above_110: 0.0010,
+    },
+    WorkloadSpec {
+        name: "Terasort",
+        suite: Suite::Spark,
+        data_size_gb: 3.0,
+        duration_110w: 54.53,
+        class: PowerClass::Low,
+        frac_above_110: 0.0007,
+    },
+    WorkloadSpec {
+        name: "Repartition",
+        suite: Suite::Spark,
+        data_size_gb: 3.0,
+        duration_110w: 44.92,
+        class: PowerClass::Low,
+        frac_above_110: 0.0020,
+    },
+    WorkloadSpec {
+        name: "Kmeans",
+        suite: Suite::Spark,
+        data_size_gb: 224.4,
+        duration_110w: 1467.08,
+        class: PowerClass::Mid,
+        frac_above_110: 0.4758,
+    },
+    WorkloadSpec {
+        name: "LDA",
+        suite: Suite::Spark,
+        data_size_gb: 4.1,
+        duration_110w: 1254.12,
+        class: PowerClass::Mid,
+        frac_above_110: 0.5154,
+    },
+    WorkloadSpec {
+        name: "Linear",
+        suite: Suite::Spark,
+        data_size_gb: 745.1,
+        duration_110w: 928.36,
+        class: PowerClass::Mid,
+        frac_above_110: 0.1453,
+    },
+    WorkloadSpec {
+        name: "LR",
+        suite: Suite::Spark,
+        data_size_gb: 52.2,
+        duration_110w: 499.37,
+        class: PowerClass::Mid,
+        frac_above_110: 0.1669,
+    },
+    WorkloadSpec {
+        name: "Bayes",
+        suite: Suite::Spark,
+        data_size_gb: 70.1,
+        duration_110w: 342.18,
+        class: PowerClass::Mid,
+        frac_above_110: 0.3320,
+    },
+    WorkloadSpec {
+        name: "RF",
+        suite: Suite::Spark,
+        data_size_gb: 32.8,
+        duration_110w: 415.71,
+        class: PowerClass::Mid,
+        frac_above_110: 0.3578,
+    },
+    WorkloadSpec {
+        name: "GMM",
+        suite: Suite::Spark,
+        data_size_gb: 8.6,
+        duration_110w: 2432.43,
+        class: PowerClass::High,
+        frac_above_110: 0.6896,
+    },
+];
+
+/// Table 4: NAS Parallel Benchmark applications. All are high-power: the
+/// paper measures "over 99% of the time power is above 110 W".
+pub const NPB_WORKLOADS: &[WorkloadSpec] = &[
+    WorkloadSpec {
+        name: "BT",
+        suite: Suite::Npb,
+        data_size_gb: 247.1,
+        duration_110w: 3509.29,
+        class: PowerClass::High,
+        frac_above_110: 0.995,
+    },
+    WorkloadSpec {
+        name: "CG",
+        suite: Suite::Npb,
+        data_size_gb: 21.8,
+        duration_110w: 1839.00,
+        class: PowerClass::High,
+        frac_above_110: 0.995,
+    },
+    WorkloadSpec {
+        name: "EP",
+        suite: Suite::Npb,
+        data_size_gb: 4096.0,
+        duration_110w: 6019.07,
+        class: PowerClass::High,
+        frac_above_110: 0.995,
+    },
+    WorkloadSpec {
+        name: "FT",
+        suite: Suite::Npb,
+        data_size_gb: 400.0,
+        duration_110w: 152.83,
+        class: PowerClass::High,
+        frac_above_110: 0.995,
+    },
+    WorkloadSpec {
+        name: "IS",
+        suite: Suite::Npb,
+        data_size_gb: 128.0,
+        duration_110w: 416.80,
+        class: PowerClass::High,
+        frac_above_110: 0.995,
+    },
+    WorkloadSpec {
+        name: "LU",
+        suite: Suite::Npb,
+        data_size_gb: 296.5,
+        duration_110w: 1895.89,
+        class: PowerClass::High,
+        frac_above_110: 0.995,
+    },
+    WorkloadSpec {
+        name: "MG",
+        suite: Suite::Npb,
+        data_size_gb: 400.0,
+        duration_110w: 143.82,
+        class: PowerClass::High,
+        frac_above_110: 0.995,
+    },
+    WorkloadSpec {
+        name: "SP",
+        suite: Suite::Npb,
+        data_size_gb: 494.2,
+        duration_110w: 3563.23,
+        class: PowerClass::High,
+        frac_above_110: 0.995,
+    },
+];
+
+/// Looks up any workload by (case-insensitive) name across both suites.
+pub fn find(name: &str) -> Option<&'static WorkloadSpec> {
+    SPARK_WORKLOADS
+        .iter()
+        .chain(NPB_WORKLOADS.iter())
+        .find(|w| w.name.eq_ignore_ascii_case(name))
+}
+
+/// All low-power Spark workloads (the "micro" applications).
+pub fn low_power_spark() -> Vec<&'static WorkloadSpec> {
+    SPARK_WORKLOADS
+        .iter()
+        .filter(|w| w.class == PowerClass::Low)
+        .collect()
+}
+
+/// All mid- and high-power Spark workloads (the 7 ML applications).
+pub fn mid_high_spark() -> Vec<&'static WorkloadSpec> {
+    SPARK_WORKLOADS
+        .iter()
+        .filter(|w| w.class != PowerClass::Low)
+        .collect()
+}
+
+/// All NPB workloads.
+pub fn npb() -> Vec<&'static WorkloadSpec> {
+    NPB_WORKLOADS.iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_sizes_match_paper() {
+        assert_eq!(SPARK_WORKLOADS.len(), 11);
+        assert_eq!(NPB_WORKLOADS.len(), 8);
+        assert_eq!(low_power_spark().len(), 4);
+        assert_eq!(mid_high_spark().len(), 7);
+    }
+
+    #[test]
+    fn classification_consistent_with_fraction() {
+        for w in SPARK_WORKLOADS {
+            match w.class {
+                PowerClass::Low => assert!(w.frac_above_110 < 0.10, "{}", w.name),
+                PowerClass::Mid => assert!(
+                    w.frac_above_110 >= 0.10 && w.frac_above_110 <= 2.0 / 3.0,
+                    "{}",
+                    w.name
+                ),
+                PowerClass::High => assert!(w.frac_above_110 > 2.0 / 3.0, "{}", w.name),
+            }
+        }
+        for w in NPB_WORKLOADS {
+            assert_eq!(w.class, PowerClass::High);
+            assert!(w.frac_above_110 > 0.99);
+        }
+    }
+
+    #[test]
+    fn find_is_case_insensitive_and_cross_suite() {
+        assert_eq!(find("gmm").unwrap().name, "GMM");
+        assert_eq!(find("ep").unwrap().suite, Suite::Npb);
+        assert_eq!(find("nonexistent"), None);
+    }
+
+    #[test]
+    fn gmm_is_only_high_power_spark() {
+        let high: Vec<_> = SPARK_WORKLOADS
+            .iter()
+            .filter(|w| w.class == PowerClass::High)
+            .collect();
+        assert_eq!(high.len(), 1);
+        assert_eq!(high[0].name, "GMM");
+    }
+
+    #[test]
+    fn durations_positive() {
+        for w in SPARK_WORKLOADS.iter().chain(NPB_WORKLOADS) {
+            assert!(w.duration_110w > 0.0, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn npb_sustained_spark_not() {
+        assert!(find("BT").unwrap().is_sustained());
+        assert!(!find("LDA").unwrap().is_sustained());
+    }
+}

@@ -1,0 +1,44 @@
+//! Workload substrate: phase-based power-demand models calibrated to the
+//! DPS paper's benchmark tables.
+//!
+//! The paper evaluates on 11 Apache Spark (HiBench) applications and 8 NAS
+//! Parallel Benchmarks (Tables 2–4). Neither stack can run here, so this
+//! crate reproduces what the power managers actually *see* and *affect*:
+//!
+//! 1. **Demand traces.** Each workload is a [`phase::DemandProgram`] — power
+//!    demand as a function of *work position* (the paper's "power demand" is
+//!    "the power consumption that an application would exhibit without a
+//!    cap", §3.1). Programs are generated per workload family with seeded
+//!    randomness reproducing the published phase structure: long/short/mixed
+//!    phase durations, diverse peaks, diverse first derivatives (Fig. 2).
+//! 2. **A power→performance model.** When a socket is granted less power
+//!    than it demands, progress slows ([`perf::PerfModel`]); the workload's
+//!    wall-clock trace stretches, which is exactly the *throughput time*
+//!    metric the paper reports.
+//! 3. **A calibrated catalog.** [`catalog`] carries the published per-
+//!    workload statistics (duration under the constant 110 W cap, power
+//!    class, % time above 110 W); [`generator`] synthesizes programs and
+//!    [`generator::calibrate`] rescales total work so the simulated duration
+//!    under a constant 110 W cap matches the published duration.
+//! 4. **A runtime.** [`runtime::RunningWorkload`] advances a program under
+//!    per-window power grants, supports back-to-back repeated runs with idle
+//!    gaps (how the testbed keeps the paired cluster busy), and logs the
+//!    per-run throughput times.
+//! 5. **Trace playback.** [`playback`] turns recorded `time,value` power
+//!    logs (e.g. real RAPL traces) into demand programs, so the whole
+//!    pipeline can replay measured workloads instead of synthetic ones.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod generator;
+pub mod perf;
+pub mod phase;
+pub mod playback;
+pub mod runtime;
+
+pub use catalog::{PowerClass, Suite, WorkloadSpec};
+pub use generator::build_program;
+pub use perf::PerfModel;
+pub use phase::{DemandProgram, Phase, PhaseShape};
+pub use runtime::RunningWorkload;

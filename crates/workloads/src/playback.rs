@@ -1,0 +1,183 @@
+//! Demand-trace playback: run a *recorded* power trace as a workload.
+//!
+//! The synthetic generators reproduce the paper's published statistics, but
+//! a deployment that has real RAPL logs (e.g. the CSV files written by the
+//! `trace` experiment binary, or logs from the original artifact) can
+//! replay them directly: each sample becomes a constant demand phase, and
+//! the resulting [`DemandProgram`] plugs into everything else — the
+//! simulator, the calibration helpers, the managers.
+
+use crate::phase::{DemandProgram, Phase};
+use dps_sim_core::units::{Seconds, Watts};
+
+/// Builds a program holding each sampled demand for `period` seconds.
+///
+/// # Panics
+/// Panics if `values` is empty or `period` is not positive.
+pub fn program_from_samples(period: Seconds, values: &[Watts]) -> DemandProgram {
+    assert!(!values.is_empty(), "need at least one sample");
+    assert!(
+        period.is_finite() && period > 0.0,
+        "period must be positive"
+    );
+    // Merge equal consecutive samples into one phase: recorded traces are
+    // long and flat stretches are common.
+    let mut phases: Vec<Phase> = Vec::new();
+    for &v in values {
+        let v = v.max(0.0);
+        match phases.last_mut() {
+            Some(last) if matches!(last.shape, crate::phase::PhaseShape::Constant(w) if w == v) => {
+                last.duration += period;
+            }
+            _ => phases.push(Phase::constant(period, v)),
+        }
+    }
+    DemandProgram::new(phases)
+}
+
+/// Parses a `time,value` CSV (header optional) into sample pairs.
+///
+/// Accepts the exact format `dps-metrics::csv::trace` writes. Returns an
+/// error naming the offending line for anything malformed.
+pub fn parse_trace_csv(text: &str) -> Result<Vec<(Seconds, Watts)>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Skip a header row.
+        if idx == 0 && line.chars().next().is_some_and(|c| c.is_alphabetic()) {
+            continue;
+        }
+        let mut parts = line.splitn(2, ',');
+        let t = parts
+            .next()
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .ok_or_else(|| format!("line {}: bad time in {line:?}", idx + 1))?;
+        let v = parts
+            .next()
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .ok_or_else(|| format!("line {}: bad value in {line:?}", idx + 1))?;
+        if !t.is_finite() || !v.is_finite() {
+            return Err(format!("line {}: non-finite sample", idx + 1));
+        }
+        out.push((t, v));
+    }
+    if out.is_empty() {
+        return Err("trace contains no samples".into());
+    }
+    Ok(out)
+}
+
+/// Parses a `time,value` CSV and builds a playback program. The sampling
+/// period is inferred from the median time delta; samples must be in
+/// ascending time order.
+pub fn program_from_csv(text: &str) -> Result<DemandProgram, String> {
+    let samples = parse_trace_csv(text)?;
+    if samples.len() == 1 {
+        return Ok(program_from_samples(1.0, &[samples[0].1]));
+    }
+    let mut deltas: Vec<f64> = samples.windows(2).map(|w| w[1].0 - w[0].0).collect();
+    if deltas.iter().any(|&d| d <= 0.0) {
+        return Err("trace times must be strictly increasing".into());
+    }
+    deltas.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let period = deltas[deltas.len() / 2];
+    let values: Vec<f64> = samples.iter().map(|&(_, v)| v).collect();
+    Ok(program_from_samples(period, &values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_become_phases() {
+        let p = program_from_samples(1.0, &[50.0, 50.0, 120.0, 50.0]);
+        assert_eq!(p.total_work(), 4.0);
+        assert_eq!(p.demand_at(0.5), 50.0);
+        assert_eq!(p.demand_at(2.5), 120.0);
+        assert_eq!(p.demand_at(3.5), 50.0);
+        // Equal neighbours merged.
+        assert_eq!(p.phases().len(), 3);
+    }
+
+    #[test]
+    fn negative_samples_clamped() {
+        let p = program_from_samples(1.0, &[-5.0]);
+        assert_eq!(p.demand_at(0.5), 0.0);
+    }
+
+    #[test]
+    fn csv_roundtrip_with_metrics_writer() {
+        let times: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let values: Vec<f64> = (0..10).map(|i| 50.0 + 10.0 * (i % 3) as f64).collect();
+        let csv = dps_metrics_csv_stub::trace(&times, &values);
+        let p = program_from_csv(&csv).unwrap();
+        assert_eq!(p.total_work(), 10.0);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(p.demand_at(i as f64 + 0.5), v, "sample {i}");
+        }
+    }
+
+    /// `dps-metrics` is not a dependency of this crate; replicate its
+    /// two-column trace format locally for the roundtrip test.
+    mod dps_metrics_csv_stub {
+        pub fn trace(times: &[f64], values: &[f64]) -> String {
+            let mut out = String::from("time,value\n");
+            for (t, v) in times.iter().zip(values) {
+                out.push_str(&format!("{t},{v}\n"));
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn header_optional() {
+        let with = "time,value\n0,100\n1,110\n";
+        let without = "0,100\n1,110\n";
+        assert_eq!(
+            program_from_csv(with).unwrap(),
+            program_from_csv(without).unwrap()
+        );
+    }
+
+    #[test]
+    fn malformed_lines_reported() {
+        assert!(parse_trace_csv("0,abc\n").unwrap_err().contains("line 1"));
+        assert!(parse_trace_csv("xyz\n1,2\n").is_ok(), "header skipped");
+        assert!(parse_trace_csv("1\n").unwrap_err().contains("bad value"));
+        assert!(parse_trace_csv("").is_err());
+        assert!(parse_trace_csv("0,inf\n")
+            .unwrap_err()
+            .contains("non-finite"));
+    }
+
+    #[test]
+    fn non_monotone_times_rejected() {
+        assert!(program_from_csv("0,1\n2,2\n1,3\n").is_err());
+        assert!(program_from_csv("0,1\n0,2\n").is_err());
+    }
+
+    #[test]
+    fn period_inferred_from_median_delta() {
+        // 0.5 s sampling with one glitchy gap: median still 0.5.
+        let csv = "0,10\n0.5,20\n1.0,30\n1.5,40\n3.5,50\n";
+        let p = program_from_csv(csv).unwrap();
+        assert!((p.total_work() - 2.5).abs() < 1e-9);
+        assert_eq!(p.demand_at(0.75), 20.0);
+    }
+
+    #[test]
+    fn playback_runs_in_simulator_types() {
+        use crate::perf::PerfModel;
+        use crate::runtime::RunningWorkload;
+        let p = program_from_samples(1.0, &[120.0; 30]);
+        let mut w = RunningWorkload::once(p, PerfModel::paper_default());
+        for _ in 0..30 {
+            w.advance(165.0, 1.0);
+        }
+        assert!(w.is_done());
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: cap a two-cluster simulated testbed with DPS.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's experiment setup in a few lines: a workload pair from
+//! the catalog, the Dynamic Power Scheduler, and a run that reports
+//! throughput times, satisfaction and fairness.
+
+use dps_suite::cluster::{run_pair, ExperimentConfig};
+use dps_suite::core::manager::ManagerKind;
+use dps_suite::workloads::catalog;
+
+fn main() {
+    // The paper's setup: 2 clusters × 5 nodes × 2 sockets, 165 W TDP,
+    // 66.7 % cluster-wide budget (110 W/socket), 1 s decisions.
+    let config = ExperimentConfig::paper_default(/* seed */ 1, /* reps */ 2);
+
+    // Pick a workload per cluster from the built-in catalog (Tables 2 & 4).
+    let bayes = catalog::find("Bayes").expect("catalog entry");
+    let gmm = catalog::find("GMM").expect("catalog entry");
+
+    // Run the pair under constant allocation (the baseline) and under DPS.
+    let baseline = run_pair(bayes, gmm, ManagerKind::Constant, &config);
+    let dps = run_pair(bayes, gmm, ManagerKind::Dps, &config);
+
+    println!("workload pair: {} + {}", baseline.a.name, baseline.b.name);
+    println!(
+        "constant 110 W: {} runs at hmean {:.1} s / {:.1} s",
+        config.reps,
+        baseline.a.hmean_duration(),
+        baseline.b.hmean_duration()
+    );
+    println!(
+        "DPS:            {} runs at hmean {:.1} s / {:.1} s",
+        config.reps,
+        dps.a.hmean_duration(),
+        dps.b.hmean_duration()
+    );
+    println!(
+        "speedups over constant: {:+.1}% / {:+.1}% (pair hmean {:+.1}%)",
+        100.0 * (dps.speedup_a(baseline.a.hmean_duration()) - 1.0),
+        100.0 * (dps.speedup_b(baseline.b.hmean_duration()) - 1.0),
+        100.0 * (dps.pair_speedup(baseline.a.hmean_duration(), baseline.b.hmean_duration()) - 1.0),
+    );
+    println!(
+        "satisfaction: {:.3} / {:.3}; fairness {:.3}",
+        dps.a.satisfaction, dps.b.satisfaction, dps.fairness
+    );
+}

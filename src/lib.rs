@@ -1,0 +1,11 @@
+//! Umbrella crate for the DPS reproduction suite.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! a single dependency.
+
+pub use dps_cluster as cluster;
+pub use dps_core as core;
+pub use dps_metrics as metrics;
+pub use dps_rapl as rapl;
+pub use dps_sim_core as sim_core;
+pub use dps_workloads as workloads;

@@ -1,0 +1,132 @@
+//! The paper's headline guarantees as integration tests.
+//!
+//! * DPS "ensures the same lower-bound performance as constant allocation"
+//!   (§4.1): on every tested pair DPS's pair harmonic-mean speedup over the
+//!   constant baseline stays above 1 minus a small transient tolerance.
+//! * In the Spark×NPB regime DPS outperforms SLURM (§6.3).
+//! * In the low-utility regime all dynamic managers beat constant
+//!   allocation (§6.1).
+
+use dps_suite::cluster::{run_pair, ExperimentConfig};
+use dps_suite::core::manager::ManagerKind;
+use dps_suite::rapl::Topology;
+use dps_suite::workloads::catalog;
+
+fn config(seed: u64, reps: usize) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper_default(seed, reps);
+    // Smaller topology for test runtime; the managers' logic is unchanged.
+    cfg.sim.topology = Topology::new(2, 2, 2);
+    cfg
+}
+
+fn speedups(a: &str, b: &str, kind: ManagerKind, cfg: &ExperimentConfig) -> (f64, f64, f64) {
+    let spec_a = catalog::find(a).unwrap();
+    let spec_b = catalog::find(b).unwrap();
+    let baseline = run_pair(spec_a, spec_b, ManagerKind::Constant, cfg);
+    let out = run_pair(spec_a, spec_b, kind, cfg);
+    let (ba, bb) = (baseline.a.hmean_duration(), baseline.b.hmean_duration());
+    (
+        out.speedup_a(ba),
+        out.speedup_b(bb),
+        out.pair_speedup(ba, bb),
+    )
+}
+
+#[test]
+fn dps_never_meaningfully_below_constant() {
+    // A spread of regimes: low utility, high utility, Spark×NPB,
+    // high-frequency, sustained×sustained.
+    let pairs = [
+        ("LDA", "Sort"),
+        ("LR", "Wordcount"),
+        ("Kmeans", "GMM"),
+        ("Bayes", "GMM"),
+        ("GMM", "EP"),
+        ("LR", "FT"),
+        ("RF", "LU"),
+    ];
+    for (a, b) in pairs {
+        let cfg = config(3, 2);
+        let (_, _, pair) = speedups(a, b, ManagerKind::Dps, &cfg);
+        assert!(
+            pair > 0.98,
+            "{a}+{b}: DPS pair speedup {pair:.3} violates the lower bound"
+        );
+    }
+}
+
+#[test]
+fn dps_beats_slurm_on_spark_npb() {
+    for (a, b) in [("GMM", "EP"), ("Bayes", "LU"), ("Kmeans", "BT")] {
+        let cfg = config(5, 2);
+        let (_, _, dps) = speedups(a, b, ManagerKind::Dps, &cfg);
+        let (_, _, slurm) = speedups(a, b, ManagerKind::Slurm, &cfg);
+        assert!(
+            dps > slurm + 0.01,
+            "{a}+{b}: DPS {dps:.3} should clearly beat SLURM {slurm:.3}"
+        );
+    }
+}
+
+#[test]
+fn slurm_pair_falls_below_constant_on_spark_npb() {
+    // The failure mode that motivates DPS: SLURM's greedy allocation makes
+    // the *pair* slower than doing nothing.
+    let cfg = config(5, 2);
+    let (_, _, slurm) = speedups("Bayes", "LU", ManagerKind::Slurm, &cfg);
+    assert!(
+        slurm < 1.0,
+        "SLURM pair speedup {slurm:.3} should fall below constant on Bayes+LU"
+    );
+}
+
+#[test]
+fn dynamic_managers_beat_constant_in_low_utility() {
+    let cfg = config(7, 2);
+    for kind in [ManagerKind::Dps, ManagerKind::Oracle] {
+        let (a, _, _) = speedups("LDA", "Sort", kind, &cfg);
+        assert!(
+            a > 1.02,
+            "{kind}: LDA paired with Sort should speed up, got {a:.3}"
+        );
+    }
+}
+
+#[test]
+fn oracle_close_to_best_in_low_utility() {
+    // The oracle is the ceiling in the low-utility regime: DPS must land
+    // within a few percent of it *on average* (the paper reports
+    // near-identical mean bars; individual pairs vary). Aggregate LDA's
+    // Fig. 4 row — its four low-power pairings — at the paper topology.
+    let cfg = ExperimentConfig::paper_default(9, 1);
+    let partners = ["Wordcount", "Sort", "Terasort", "Repartition"];
+    let mean = |kind: ManagerKind| -> f64 {
+        partners
+            .iter()
+            .map(|b| speedups("LDA", b, kind, &cfg).0)
+            .sum::<f64>()
+            / partners.len() as f64
+    };
+    let oracle_a = mean(ManagerKind::Oracle);
+    let dps_a = mean(ManagerKind::Dps);
+    assert!(
+        dps_a > oracle_a - 0.05,
+        "DPS {dps_a:.3} should be within 5% of oracle {oracle_a:.3} on average"
+    );
+}
+
+#[test]
+fn dps_fairness_exceeds_slurm_under_contention() {
+    let cfg = config(13, 2);
+    let spec_a = catalog::find("GMM").unwrap();
+    let spec_b = catalog::find("SP").unwrap();
+    let dps = run_pair(spec_a, spec_b, ManagerKind::Dps, &cfg);
+    let slurm = run_pair(spec_a, spec_b, ManagerKind::Slurm, &cfg);
+    assert!(
+        dps.fairness > slurm.fairness + 0.05,
+        "DPS fairness {:.3} vs SLURM {:.3}",
+        dps.fairness,
+        slurm.fairness
+    );
+    assert!(dps.fairness > 0.85, "DPS fairness {:.3}", dps.fairness);
+}

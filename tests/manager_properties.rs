@@ -1,0 +1,182 @@
+//! Property tests on the managers driven directly (no cluster simulator):
+//! arbitrary measurement sequences can never break the budget, the limits,
+//! or determinism-after-reset.
+
+use dps_suite::core::budget::check_budget;
+use dps_suite::core::manager::{ManagerKind, PowerManager, UnitLimits};
+use dps_suite::core::{
+    ConstantManager, DpsConfig, DpsManager, FeedbackConfig, FeedbackManager, MimdConfig,
+    PredictiveConfig, PredictiveManager, SlurmManager, TwoLevelManager,
+};
+use dps_suite::sim_core::RngStream;
+use proptest::prelude::*;
+
+const LIMITS: UnitLimits = UnitLimits {
+    min_cap: 40.0,
+    max_cap: 165.0,
+};
+
+fn build(kind: ManagerKind, n: usize, budget: f64, seed: u64) -> Box<dyn PowerManager> {
+    let rng = RngStream::new(seed, "prop-mgr");
+    match kind {
+        ManagerKind::Constant => Box::new(ConstantManager::new(n, budget, LIMITS)),
+        ManagerKind::Slurm => Box::new(SlurmManager::new(
+            n,
+            budget,
+            LIMITS,
+            MimdConfig::default(),
+            rng,
+        )),
+        ManagerKind::Dps => Box::new(DpsManager::new(
+            n,
+            budget,
+            LIMITS,
+            DpsConfig::default(),
+            rng,
+        )),
+        ManagerKind::Feedback => Box::new(FeedbackManager::new(
+            n,
+            budget,
+            LIMITS,
+            FeedbackConfig::default(),
+        )),
+        ManagerKind::Predictive => Box::new(PredictiveManager::new(
+            n,
+            budget,
+            LIMITS,
+            PredictiveConfig::default(),
+        )),
+        // One socket per node keeps any unit count valid in the harness.
+        ManagerKind::TwoLevel => Box::new(TwoLevelManager::new(
+            n,
+            1,
+            budget,
+            LIMITS,
+            MimdConfig::default(),
+            rng,
+        )),
+        ManagerKind::Oracle => unreachable!("oracle needs demand feeds"),
+    }
+}
+
+/// Managers exercised by the arbitrary-measurement invariant harness.
+const REALISTIC: [ManagerKind; 6] = [
+    ManagerKind::Constant,
+    ManagerKind::Slurm,
+    ManagerKind::Dps,
+    ManagerKind::Feedback,
+    ManagerKind::Predictive,
+    ManagerKind::TwoLevel,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary bounded measurement traces: budget and limits hold on
+    /// every cycle for every realistic manager.
+    #[test]
+    fn arbitrary_measurements_cannot_break_invariants(
+        n in 1usize..12,
+        kind_idx in 0usize..REALISTIC.len(),
+        trace in prop::collection::vec(prop::collection::vec(0.0f64..200.0, 1..12), 1..60),
+        seed in 0u64..100,
+    ) {
+        let kind = REALISTIC[kind_idx];
+        let budget = n as f64 * 110.0;
+        let mut mgr = build(kind, n, budget, seed);
+        let mut caps = vec![110.0; n];
+        for step in &trace {
+            // Cycle the measurement vector to the unit count.
+            let measured: Vec<f64> = (0..n).map(|u| step[u % step.len()]).collect();
+            mgr.assign_caps(&measured, &mut caps, 1.0);
+            check_budget(&caps, budget, LIMITS)
+                .map_err(|e| TestCaseError::fail(format!("{kind}: {e}")))?;
+        }
+    }
+
+    /// Reset really does restore the initial state: replaying the same
+    /// trace gives the same caps.
+    #[test]
+    fn reset_is_a_true_reset(
+        trace in prop::collection::vec(0.0f64..170.0, 5..40),
+        seed in 0u64..100,
+    ) {
+        let n = 4;
+        let mut mgr = build(ManagerKind::Dps, n, 440.0, seed);
+        let run = |mgr: &mut Box<dyn PowerManager>| {
+            let mut caps = vec![110.0; n];
+            for &p in &trace {
+                let measured = vec![p.min(caps[0]), (p * 0.5).min(caps[1]), 30.0, 150.0f64.min(caps[3])];
+                mgr.assign_caps(&measured, &mut caps, 1.0);
+            }
+            caps
+        };
+        let first = run(&mut mgr);
+        mgr.reset();
+        let second = run(&mut mgr);
+        prop_assert_eq!(first, second);
+    }
+
+    /// DPS with *zero* leftover budget and all units equal: caps stay at
+    /// the constant cap (no spurious churn on a balanced saturated system).
+    #[test]
+    fn balanced_saturated_system_stays_balanced(steps in 5usize..60) {
+        let n = 6;
+        let mut mgr = build(ManagerKind::Dps, n, 660.0, 3);
+        let mut caps = vec![110.0; n];
+        for _ in 0..steps {
+            let measured = vec![109.5; n];
+            mgr.assign_caps(&measured, &mut caps, 1.0);
+        }
+        for &c in &caps {
+            prop_assert!((c - 110.0).abs() < 1.0, "caps drifted: {caps:?}");
+        }
+    }
+
+    /// The DPS priority vector always matches the unit count and the
+    /// restore flag is coherent with it.
+    #[test]
+    fn dps_priorities_well_formed(
+        trace in prop::collection::vec(0.0f64..170.0, 1..30),
+    ) {
+        let n = 5;
+        let mut mgr = DpsManager::new(n, 550.0, LIMITS, DpsConfig::default(), RngStream::new(1, "p"));
+        let mut caps = vec![110.0; n];
+        for &p in &trace {
+            let measured: Vec<f64> = (0..n).map(|u| (p + u as f64 * 7.0) % 170.0).collect();
+            let measured: Vec<f64> = measured.iter().zip(&caps).map(|(m, c)| m.min(*c)).collect();
+            mgr.assign_caps(&measured, &mut caps, 1.0);
+            prop_assert_eq!(mgr.priorities().unwrap().len(), n);
+        }
+    }
+}
+
+#[test]
+fn oracle_equal_satisfaction_property() {
+    // For any over-budget demand vector, the oracle's caps give every unit
+    // (whose demand is above min-cap) the same demand fraction.
+    use dps_suite::core::OracleManager;
+    let mut rng = RngStream::new(17, "oracle-prop");
+    for _ in 0..200 {
+        let n = 6;
+        let mut mgr = OracleManager::new(n, 500.0, LIMITS);
+        let demands: Vec<f64> = (0..n).map(|_| rng.range(60.0..165.0)).collect();
+        if demands.iter().sum::<f64>() <= 500.0 {
+            continue;
+        }
+        mgr.observe_demands(&demands);
+        let mut caps = vec![0.0; n];
+        mgr.assign_caps(&vec![0.0; n], &mut caps, 1.0);
+        let fracs: Vec<f64> = caps
+            .iter()
+            .zip(&demands)
+            .filter(|(c, d)| **c > LIMITS.min_cap + 1e-6 && **d > LIMITS.min_cap)
+            .map(|(c, d)| c / d)
+            .collect();
+        if fracs.len() > 1 {
+            let lo = fracs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = fracs.iter().cloned().fold(0.0, f64::max);
+            assert!(hi - lo < 1e-6, "satisfaction fractions differ: {fracs:?}");
+        }
+    }
+}

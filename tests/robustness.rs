@@ -1,0 +1,202 @@
+//! Failure injection and edge-of-envelope behaviour: extreme measurement
+//! noise, infeasible budgets, idle systems, degenerate topologies.
+
+use dps_suite::cluster::{ClusterSim, ExperimentConfig, SimConfig};
+use dps_suite::core::manager::ManagerKind;
+use dps_suite::rapl::{NoiseModel, Topology};
+use dps_suite::sim_core::RngStream;
+use dps_suite::workloads::{build_program, catalog, DemandProgram, Phase};
+
+fn small(seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper_default(seed, 1);
+    cfg.sim.topology = Topology::new(2, 1, 2);
+    cfg
+}
+
+fn flat(duration: f64, watts: f64) -> DemandProgram {
+    DemandProgram::new(vec![Phase::constant(duration, watts)])
+}
+
+#[test]
+fn extreme_noise_never_breaks_budget_or_crashes() {
+    // 25 W noise on a 110 W signal: every manager must stay within budget
+    // and the simulation must complete.
+    for kind in [ManagerKind::Slurm, ManagerKind::Dps, ManagerKind::Feedback] {
+        let mut cfg = small(3);
+        cfg.sim.noise = NoiseModel::Gaussian { std_dev: 25.0 };
+        let a = build_program(catalog::find("Bayes").unwrap(), &cfg.sim.perf, 1);
+        let b = build_program(catalog::find("FT").unwrap(), &cfg.sim.perf, 2);
+        let budget = cfg.sim.total_budget();
+        let mut sim = ClusterSim::new(
+            cfg.sim.clone(),
+            vec![a, b],
+            cfg.build_manager(kind),
+            &RngStream::new(3, "noise-extreme"),
+        );
+        for _ in 0..500 {
+            sim.cycle();
+            assert!(
+                sim.caps().iter().sum::<f64>() <= budget + 1e-6,
+                "{kind} broke the budget under extreme noise"
+            );
+        }
+    }
+}
+
+#[test]
+fn dps_with_extreme_noise_still_beats_badly_wrong_outcomes() {
+    // Quality degrades gracefully: even at 15 W noise a contended pair
+    // under DPS stays within 10% of the constant baseline.
+    let mut cfg = small(7);
+    cfg.sim.noise = NoiseModel::Gaussian { std_dev: 15.0 };
+    let gmm = catalog::find("GMM").unwrap();
+    let ep = catalog::find("EP").unwrap();
+    let baseline = dps_suite::cluster::run_pair(gmm, ep, ManagerKind::Constant, &cfg);
+    let dps = dps_suite::cluster::run_pair(gmm, ep, ManagerKind::Dps, &cfg);
+    let pair = dps.pair_speedup(baseline.a.hmean_duration(), baseline.b.hmean_duration());
+    assert!(pair > 0.90, "DPS under extreme noise: {pair:.3}");
+}
+
+#[test]
+#[should_panic(expected = "cannot cover")]
+fn infeasible_budget_rejected_loudly() {
+    let mut sim_cfg = SimConfig::paper_default();
+    sim_cfg.budget_fraction = 0.2; // 33 W/socket < 40 W minimum cap
+    sim_cfg.validate().unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+#[should_panic(expected = "infeasible budget")]
+fn cluster_sim_refuses_invalid_config() {
+    // The manager constructor rejects the infeasible budget before
+    // ClusterSim::new even gets to validate the sim config.
+    let mut cfg = small(1);
+    cfg.sim.budget_fraction = 0.1;
+    let a = flat(10.0, 100.0);
+    let b = flat(10.0, 100.0);
+    ClusterSim::new(
+        cfg.sim.clone(),
+        vec![a, b],
+        cfg.build_manager(ManagerKind::Constant),
+        &RngStream::new(1, "invalid"),
+    );
+}
+
+#[test]
+fn budget_fraction_one_means_never_throttled() {
+    let mut cfg = small(9);
+    cfg.sim.budget_fraction = 1.0; // every socket can hold TDP
+    cfg.sim.noise = NoiseModel::None;
+    let a = build_program(catalog::find("GMM").unwrap(), &cfg.sim.perf, 4);
+    let uncapped_duration =
+        dps_suite::workloads::generator::capped_duration(&a, &cfg.sim.perf, 165.0);
+    let b = flat(50.0, 60.0);
+    let mut sim = ClusterSim::new(
+        cfg.sim.clone(),
+        vec![a, b],
+        cfg.build_manager(ManagerKind::Dps),
+        &RngStream::new(9, "full-budget"),
+    );
+    sim.run_until(20_000, |s| s.runs_completed(0) >= 1);
+    let d = sim.run_durations(0)[0];
+    assert!(
+        (d - uncapped_duration).abs() / uncapped_duration < 0.03,
+        "GMM at full budget should run uncapped: {d} vs {uncapped_duration}"
+    );
+    assert!(sim.satisfaction(0) > 0.99);
+}
+
+#[test]
+fn fully_idle_system_restores_and_stays_satisfied() {
+    let cfg = small(11);
+    let mut sim = ClusterSim::new(
+        cfg.sim.clone(),
+        vec![flat(100.0, 5.0), flat(100.0, 5.0)],
+        cfg.build_manager(ManagerKind::Dps),
+        &RngStream::new(11, "idle"),
+    );
+    for _ in 0..150 {
+        sim.cycle();
+    }
+    // Idle demand below the idle floor is always "satisfied".
+    assert_eq!(sim.satisfaction(0), 1.0);
+    assert_eq!(sim.fairness(0, 1), 1.0);
+    // DPS should be parked at the constant allocation.
+    for &c in sim.caps() {
+        assert!((c - 110.0).abs() < 1e-6, "{:?}", sim.caps());
+    }
+}
+
+#[test]
+fn single_cluster_topology_supported() {
+    let mut cfg = small(13);
+    cfg.sim.topology = Topology::new(1, 2, 2);
+    let a = build_program(catalog::find("LDA").unwrap(), &cfg.sim.perf, 5);
+    let mut sim = ClusterSim::new(
+        cfg.sim.clone(),
+        vec![a],
+        cfg.build_manager(ManagerKind::Dps),
+        &RngStream::new(13, "single"),
+    );
+    for _ in 0..200 {
+        sim.cycle();
+    }
+    assert!(sim.satisfaction(0) > 0.0);
+    assert_eq!(sim.fairness(0, 0), 1.0, "self-fairness is unity");
+}
+
+#[test]
+fn concatenated_job_queue_runs_through() {
+    // A mixed job queue flattened into one program (Ellsworth-style job
+    // throughput setup): all jobs complete and throughput time is the
+    // makespan.
+    let cfg = small(15);
+    let perf = cfg.sim.perf;
+    let jobs: Vec<DemandProgram> = ["Sort", "Bayes", "Wordcount"]
+        .iter()
+        .map(|n| build_program(catalog::find(n).unwrap(), &perf, 8))
+        .collect();
+    let queue = DemandProgram::concat(&jobs, 10.0, 20.0);
+    let total_work = queue.total_work();
+    let mut sim = ClusterSim::new(
+        cfg.sim.clone(),
+        vec![queue, flat(50.0, 60.0)],
+        cfg.build_manager(ManagerKind::Dps),
+        &RngStream::new(15, "queue"),
+    );
+    sim.run_until(30_000, |s| s.runs_completed(0) >= 1);
+    assert_eq!(sim.runs_completed(0), 1);
+    let makespan = sim.run_durations(0)[0];
+    assert!(
+        makespan >= total_work * 0.95 && makespan < total_work * 1.5,
+        "makespan {makespan} vs work {total_work}"
+    );
+}
+
+#[test]
+fn quantized_noise_model_supported_end_to_end() {
+    let mut cfg = small(17);
+    cfg.sim.noise = NoiseModel::QuantizedGaussian {
+        std_dev: 1.5,
+        step: 0.5,
+    };
+    let a = build_program(catalog::find("RF").unwrap(), &cfg.sim.perf, 6);
+    let b = flat(60.0, 70.0);
+    let mut sim = ClusterSim::new(
+        cfg.sim.clone(),
+        vec![a, b],
+        cfg.build_manager(ManagerKind::Dps),
+        &RngStream::new(17, "quantized"),
+    );
+    sim.enable_logging();
+    for _ in 0..100 {
+        sim.cycle();
+    }
+    // Measurements snap to the 0.5 W grid.
+    for rec in sim.log().records() {
+        for &p in &rec.power {
+            let snapped = (p / 0.5).round() * 0.5;
+            assert!((p - snapped).abs() < 1e-9, "unquantized measurement {p}");
+        }
+    }
+}

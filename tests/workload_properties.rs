@@ -1,0 +1,154 @@
+//! Property tests on the workload substrate: demand programs, the
+//! power→performance model, and run bookkeeping conserve what they must.
+
+use dps_suite::workloads::{
+    build_program, catalog, DemandProgram, PerfModel, Phase, RunningWorkload,
+};
+use proptest::prelude::*;
+
+/// Strategy for arbitrary (but valid) demand programs.
+fn program_strategy() -> impl Strategy<Value = DemandProgram> {
+    prop::collection::vec(
+        (0.5f64..60.0, 0.0f64..165.0, 0.0f64..165.0, any::<bool>()),
+        1..12,
+    )
+    .prop_map(|phases| {
+        DemandProgram::new(
+            phases
+                .into_iter()
+                .map(|(dur, a, b, ramp)| {
+                    if ramp {
+                        Phase::ramp(dur, a, b)
+                    } else {
+                        Phase::constant(dur, a)
+                    }
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn demand_bounded_by_phase_levels(program in program_strategy(), t in -10.0f64..500.0) {
+        let d = program.demand_at(t);
+        prop_assert!(d >= 0.0);
+        prop_assert!(d <= program.peak_demand() + 1e-9);
+    }
+
+    #[test]
+    fn total_work_is_sum_of_durations(program in program_strategy()) {
+        let sum: f64 = program.phases().iter().map(|p| p.duration).sum();
+        prop_assert!((program.total_work() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_scaling_preserves_demand_levels(
+        program in program_strategy(),
+        factor in 0.1f64..10.0,
+        frac in 0.0f64..1.0,
+    ) {
+        let scaled = program.scale_work(factor);
+        prop_assert!((scaled.total_work() - program.total_work() * factor).abs() < 1e-6);
+        // Demand at the same *relative* position is preserved.
+        let t = program.total_work() * frac * 0.999;
+        let d0 = program.demand_at(t);
+        let d1 = scaled.demand_at(t * factor);
+        prop_assert!((d0 - d1).abs() < 1e-6, "{d0} vs {d1}");
+    }
+
+    #[test]
+    fn perf_rate_monotone_and_bounded(
+        demand in 0.0f64..165.0,
+        g1 in 0.0f64..165.0,
+        g2 in 0.0f64..165.0,
+        alpha in 0.3f64..1.0,
+    ) {
+        let m = PerfModel::new(alpha, 15.0);
+        let (lo, hi) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
+        let r_lo = m.rate(demand, lo);
+        let r_hi = m.rate(demand, hi);
+        prop_assert!(r_lo <= r_hi + 1e-12, "monotonicity");
+        prop_assert!(r_hi <= 1.0 + 1e-12);
+        prop_assert!(r_lo > 0.0, "progress never stalls completely");
+    }
+
+    #[test]
+    fn grant_for_rate_is_right_inverse(
+        demand in 30.0f64..165.0,
+        target in 0.05f64..1.0,
+        alpha in 0.3f64..1.0,
+    ) {
+        let m = PerfModel::new(alpha, 15.0);
+        let grant = m.grant_for_rate(demand, target);
+        let achieved = m.rate(demand, grant);
+        // Below the floor the inverse saturates; otherwise it's exact.
+        prop_assert!(achieved >= target - 1e-6, "{achieved} < {target}");
+    }
+
+    #[test]
+    fn run_durations_scale_with_rate(
+        work in 5.0f64..100.0,
+        rate in 0.1f64..1.0,
+    ) {
+        let program = DemandProgram::new(vec![Phase::constant(work, 100.0)]);
+        let mut w = RunningWorkload::once(program, PerfModel::linear(0.0));
+        let mut guard = 0;
+        while !w.is_done() && guard < 100_000 {
+            w.advance_with_rate(rate, 1.0);
+            guard += 1;
+        }
+        prop_assert!(w.is_done());
+        let expected = work / rate;
+        let got = w.run_durations()[0];
+        prop_assert!((got - expected).abs() < 1.0 + 1e-9, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn progress_conserved_across_windows(
+        work in 5.0f64..60.0,
+        splits in prop::collection::vec(0.05f64..1.0, 1..50),
+    ) {
+        // However the windows are sliced, total progressed work equals the
+        // program's total work at completion.
+        let program = DemandProgram::new(vec![Phase::constant(work, 120.0)]);
+        let mut w = RunningWorkload::once(program, PerfModel::linear(0.0));
+        let mut progressed = 0.0;
+        'outer: loop {
+            for &rate in &splits {
+                if w.is_done() {
+                    break 'outer;
+                }
+                progressed += w.advance_with_rate(rate, 1.0);
+            }
+            if w.elapsed() > 100_000.0 {
+                break;
+            }
+        }
+        prop_assert!(w.is_done());
+        prop_assert!((progressed - work).abs() < 1e-6, "{progressed} vs {work}");
+    }
+}
+
+#[test]
+fn every_catalog_workload_calibrates() {
+    // Multiple seeds: calibration must hold for any realisation.
+    let perf = PerfModel::paper_default();
+    for spec in catalog::SPARK_WORKLOADS
+        .iter()
+        .chain(catalog::NPB_WORKLOADS)
+    {
+        for seed in [10, 20, 30] {
+            let program = build_program(spec, &perf, seed);
+            let d = dps_suite::workloads::generator::capped_duration(&program, &perf, 110.0);
+            let rel = (d - spec.duration_110w).abs() / spec.duration_110w;
+            assert!(
+                rel < 0.01,
+                "{} seed {seed}: {d} vs {}",
+                spec.name,
+                spec.duration_110w
+            );
+            assert!(program.peak_demand() <= 165.0 + 1e-9, "{}", spec.name);
+        }
+    }
+}
