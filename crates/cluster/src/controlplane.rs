@@ -49,10 +49,15 @@ impl ControlPlaneModel {
         2 * units * self.bytes_per_unit
     }
 
-    /// Fraction of a decision period consumed by communication.
+    /// Fraction of a decision period consumed by communication. A
+    /// non-positive (or non-finite) period means decisions are continuous
+    /// — there is no idle time between rounds — so the communication duty
+    /// cycle saturates at 1.0 rather than dividing by zero.
     pub fn duty_cycle(&self, nodes: usize, period: Seconds) -> f64 {
-        assert!(period > 0.0);
-        self.cycle_latency(nodes) / period
+        if !(period.is_finite() && period > 0.0) {
+            return 1.0;
+        }
+        (self.cycle_latency(nodes) / period).min(1.0)
     }
 }
 
@@ -66,6 +71,18 @@ mod tests {
         // 10 client nodes: well under a millisecond.
         assert!(m.cycle_latency(10) < 1e-3);
         assert!(m.duty_cycle(10, 1.0) < 0.001);
+    }
+
+    #[test]
+    fn degenerate_period_saturates_duty_cycle() {
+        let m = ControlPlaneModel::default();
+        // Non-positive or non-finite periods mean no idle time between
+        // decision rounds: duty cycle 1.0, not a panic or a division blowup.
+        assert_eq!(m.duty_cycle(10, 0.0), 1.0);
+        assert_eq!(m.duty_cycle(10, -1.0), 1.0);
+        assert_eq!(m.duty_cycle(10, f64::NAN), 1.0);
+        // And a period shorter than the comm latency is fully consumed.
+        assert_eq!(m.duty_cycle(1000, 1e-9), 1.0);
     }
 
     #[test]

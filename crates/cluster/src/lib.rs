@@ -12,9 +12,11 @@
 //!   measurements → manager → caps → progress.
 //! * [`controlplane`] — the latency/traffic model of the server↔client
 //!   messaging (3 bytes per unit per cycle, BSD-socket latencies; §6.5).
-//! * [`protocol`] — the 3-byte wire frames themselves (power reports and
-//!   cap assignments in deciwatts) plus a latency-delayed link; the
-//!   simulator can optionally route its control plane through them.
+//! * [`protocol`] — the 3-byte wire frames (re-exported from `dps-ctrl`,
+//!   which also provides the full framed control plane with lossy links,
+//!   node agents and a budget-safe controller). The simulator selects
+//!   between the direct, quantized and framed planes via
+//!   [`sim::ControlPlaneMode`].
 //! * [`satisfaction`] — per-cluster satisfaction (Eq. 1) and pairwise
 //!   fairness (Eq. 2) accounting.
 //! * [`logging`] — optional per-cycle logs (power, cap, priority per unit),
@@ -36,4 +38,4 @@ pub use controlplane::ControlPlaneModel;
 pub use logging::{CycleLog, CycleRecord};
 pub use runner::{run_pair, ExperimentConfig, PairOutcome, WorkloadOutcome};
 pub use satisfaction::{FairnessTracker, SatisfactionTracker};
-pub use sim::{ClusterSim, SimConfig};
+pub use sim::{ClusterSim, ControlPlaneMode, SimConfig};

@@ -18,10 +18,34 @@
 use crate::logging::{CycleLog, CycleRecord};
 use crate::satisfaction::SatisfactionTracker;
 use dps_core::manager::PowerManager;
+use dps_ctrl::{CtrlStats, FramedConfig, FramedControlPlane};
 use dps_rapl::{DomainBank, DomainSpec, NoiseModel, PowerInterface, Topology};
 use dps_sim_core::rng::RngStream;
 use dps_sim_core::units::{Seconds, SimClock, Watts};
 use dps_workloads::{DemandProgram, PerfModel, RunningWorkload};
+
+/// How measurements and cap assignments travel between the manager and the
+/// units. See the "Control-plane modes" section of `DESIGN.md`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum ControlPlaneMode {
+    /// Instantaneous, lossless shared-memory exchange: the manager reads
+    /// measurements and writes caps as plain f64s. The default — the
+    /// quantization below is far under the measurement noise.
+    #[default]
+    Direct,
+    /// Values round-trip through the 3-byte wire frames
+    /// ([`crate::protocol`]) and quantize to 0.1 W exactly as they would
+    /// over the testbed's sockets, but transport is still instantaneous
+    /// and lossless.
+    Quantized,
+    /// The full framed control plane ([`dps_ctrl`]): polls, reports, cap
+    /// assignments and acks travel as frames on per-node lossy links with
+    /// latency, drops, corruption and a fault schedule; the controller
+    /// keeps hold-last telemetry and the budget-safety invariant. With a
+    /// zero-fault link this reproduces [`ControlPlaneMode::Quantized`]
+    /// bit for bit.
+    Framed(FramedConfig),
+}
 
 /// Static simulation parameters.
 #[derive(Debug, Clone)]
@@ -40,11 +64,8 @@ pub struct SimConfig {
     pub budget_fraction: f64,
     /// Idle seconds between repeated runs of a workload.
     pub idle_gap: Seconds,
-    /// Route measurements and cap assignments through the 3-byte wire
-    /// protocol ([`crate::protocol`]): values quantize to 0.1 W exactly as
-    /// they would over the testbed's sockets. Off by default (the
-    /// quantization is far below the measurement noise).
-    pub use_wire_protocol: bool,
+    /// How manager and units exchange measurements and caps.
+    pub control_plane: ControlPlaneMode,
 }
 
 impl SimConfig {
@@ -59,8 +80,13 @@ impl SimConfig {
             period: 1.0,
             budget_fraction: 2.0 / 3.0,
             idle_gap: 10.0,
-            use_wire_protocol: false,
+            control_plane: ControlPlaneMode::Direct,
         }
+    }
+
+    /// Nodes across all clusters (the framed control plane's agent count).
+    pub fn total_nodes(&self) -> usize {
+        self.topology.clusters * self.topology.nodes_per_cluster
     }
 
     /// The cluster-wide power budget in Watts.
@@ -99,6 +125,9 @@ impl SimConfig {
                 self.domain_spec.min_cap,
                 floor
             ));
+        }
+        if let ControlPlaneMode::Framed(framed) = &self.control_plane {
+            framed.validate(self.total_nodes(), self.period)?;
         }
         Ok(())
     }
@@ -169,6 +198,9 @@ pub struct ClusterSim {
     caps: Vec<Watts>,
     satisfaction: Vec<SatisfactionTracker>,
     log: CycleLog,
+    /// The framed control plane; present iff the mode is
+    /// [`ControlPlaneMode::Framed`].
+    plane: Option<FramedControlPlane>,
     // Scratch buffers reused each cycle (steady state allocates nothing).
     demands: Vec<Watts>,
     measured: Vec<Watts>,
@@ -226,15 +258,25 @@ impl ClusterSim {
             })
             .collect();
 
-        let constant = dps_core::manager::constant_cap(
-            config.total_budget(),
-            n,
-            dps_core::manager::UnitLimits {
-                min_cap: config.domain_spec.min_cap,
-                max_cap: config.domain_spec.tdp,
-            },
-        );
+        let limits = dps_core::manager::UnitLimits {
+            min_cap: config.domain_spec.min_cap,
+            max_cap: config.domain_spec.tdp,
+        };
+        let constant = dps_core::manager::constant_cap(config.total_budget(), n, limits);
+        let plane = match &config.control_plane {
+            ControlPlaneMode::Framed(framed) => Some(FramedControlPlane::new(
+                config.total_nodes(),
+                config.topology.sockets_per_node,
+                config.total_budget(),
+                limits,
+                constant,
+                framed.clone(),
+                &rng.child("ctrl"),
+            )),
+            _ => None,
+        };
         let mut sim = Self {
+            plane,
             caps: vec![constant; n],
             satisfaction: (0..config.topology.clusters)
                 .map(|_| SatisfactionTracker::new())
@@ -341,6 +383,17 @@ impl ClusterSim {
         self.manager.priorities()
     }
 
+    /// The framed control plane, when one is running
+    /// ([`ControlPlaneMode::Framed`]); `None` in the other modes.
+    pub fn control_plane(&self) -> Option<&FramedControlPlane> {
+        self.plane.as_ref()
+    }
+
+    /// Control-plane statistics (framed mode only).
+    pub fn control_plane_stats(&self) -> Option<CtrlStats> {
+        self.plane.as_ref().map(|p| p.stats())
+    }
+
     /// Runs one decision cycle.
     pub fn cycle(&mut self) {
         let topo = self.config.topology;
@@ -365,36 +418,56 @@ impl ClusterSim {
         let true_power = self.bank.step_all(&self.demands, period);
         self.true_power.copy_from_slice(&true_power);
 
-        // (3) Clients read noisy measurements and report them — through the
-        // 3-byte wire frames when the protocol is enabled.
-        for u in 0..self.measured.len() {
-            let reading = self.bank.read_power(u);
-            self.measured[u] = if self.config.use_wire_protocol {
-                let frame = crate::protocol::Frame::power_report(reading);
-                crate::protocol::Frame::decode(frame.encode())
-                    .expect("own frame decodes")
-                    .watts()
-            } else {
-                reading
-            };
-        }
-
-        // (4) Manager decides.
-        self.manager.observe_demands(&self.demands);
-        self.manager
-            .assign_caps(&self.measured, &mut self.caps, period);
-
-        // (5) Program the new caps (take effect next window).
-        for (u, &cap) in self.caps.iter().enumerate() {
-            let cap = if self.config.use_wire_protocol {
-                let frame = crate::protocol::Frame::set_cap(cap);
-                crate::protocol::Frame::decode(frame.encode())
-                    .expect("own frame decodes")
-                    .watts()
-            } else {
-                cap
-            };
-            self.bank.set_cap(u, cap);
+        // (3)–(5) Measurements travel to the manager and caps travel back,
+        // through whichever control plane the config selects.
+        let quantized = self.config.control_plane == ControlPlaneMode::Quantized;
+        if let Some(plane) = self.plane.as_mut() {
+            // Framed: raw readings go to the node agents; the manager sees
+            // the controller's hold-last telemetry, and the domains get
+            // whatever caps the agents actually acknowledged.
+            for u in 0..self.measured.len() {
+                self.measured[u] = self.bank.read_power(u);
+            }
+            self.manager.observe_demands(&self.demands);
+            plane.run_cycle(
+                self.clock.now(),
+                period,
+                &self.measured,
+                self.manager.as_mut(),
+                &mut self.caps,
+            );
+            self.measured.copy_from_slice(plane.telemetry());
+            for (u, &cap) in plane.applied_caps().iter().enumerate() {
+                self.bank.set_cap(u, cap);
+            }
+        } else {
+            // Direct/quantized: instantaneous exchange, optionally
+            // round-tripped through the 3-byte wire frames.
+            for u in 0..self.measured.len() {
+                let reading = self.bank.read_power(u);
+                self.measured[u] = if quantized {
+                    let frame = crate::protocol::Frame::power_report(reading);
+                    crate::protocol::Frame::decode(frame.encode())
+                        .expect("own frame decodes")
+                        .watts()
+                } else {
+                    reading
+                };
+            }
+            self.manager.observe_demands(&self.demands);
+            self.manager
+                .assign_caps(&self.measured, &mut self.caps, period);
+            for (u, &cap) in self.caps.iter().enumerate() {
+                let cap = if quantized {
+                    let frame = crate::protocol::Frame::set_cap(cap);
+                    crate::protocol::Frame::decode(frame.encode())
+                        .expect("own frame decodes")
+                        .watts()
+                } else {
+                    cap
+                };
+                self.bank.set_cap(u, cap);
+            }
         }
 
         // (6) Jobs advance at the pace of their slowest socket: Spark
@@ -651,7 +724,7 @@ mod tests {
         let mut cfg_a = small_config();
         cfg_a.noise = NoiseModel::None;
         let mut cfg_b = cfg_a.clone();
-        cfg_b.use_wire_protocol = true;
+        cfg_b.control_plane = ControlPlaneMode::Quantized;
         let rng = RngStream::new(21, "wire-test");
         let programs = || vec![flat(60.0, 150.0), flat(60.0, 60.0)];
         let mut sim_a = ClusterSim::new(cfg_a.clone(), programs(), constant_mgr(&cfg_a), &rng);
@@ -669,7 +742,7 @@ mod tests {
     #[test]
     fn wire_protocol_budget_respected_with_dps() {
         let mut cfg = small_config();
-        cfg.use_wire_protocol = true;
+        cfg.control_plane = ControlPlaneMode::Quantized;
         let budget = cfg.total_budget();
         let rng = RngStream::new(22, "wire-dps");
         let mgr: Box<dyn PowerManager> = Box::new(DpsManager::new(

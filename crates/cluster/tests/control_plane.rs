@@ -1,0 +1,138 @@
+//! Integration tests for the framed control plane inside the full cluster
+//! simulation: zero-fault equivalence with the quantized mode, and budget
+//! safety under injected faults.
+
+use dps_cluster::{ClusterSim, ControlPlaneMode, ExperimentConfig};
+use dps_core::manager::ManagerKind;
+use dps_ctrl::{wire_slack, FaultEvent, FramedConfig};
+use dps_rapl::{NoiseModel, Topology};
+use dps_sim_core::RngStream;
+use dps_workloads::{DemandProgram, Phase, PhaseShape};
+
+fn flat(duration: f64, watts: f64) -> DemandProgram {
+    DemandProgram::new(vec![Phase {
+        duration,
+        shape: PhaseShape::Constant(watts),
+    }])
+}
+
+/// A small but non-trivial setup: 2 clusters × 2 nodes × 2 sockets, one
+/// hot and one cool workload, DPS managing.
+fn sim_with(mode: ControlPlaneMode, seed: u64) -> ClusterSim {
+    let mut cfg = ExperimentConfig::paper_default(seed, 1);
+    cfg.sim.topology = Topology::new(2, 2, 2);
+    cfg.sim.noise = NoiseModel::None;
+    cfg.sim.control_plane = mode;
+    let programs = vec![flat(300.0, 150.0), flat(300.0, 60.0)];
+    ClusterSim::new(
+        cfg.sim.clone(),
+        programs,
+        cfg.build_manager(ManagerKind::Dps),
+        &RngStream::new(seed, "ctrl-integration"),
+    )
+}
+
+/// The acceptance equivalence: under a zero-fault link the framed plane
+/// reproduces the quantized mode bit for bit — same caps, same telemetry,
+/// same satisfaction, cycle by cycle.
+#[test]
+fn framed_zero_fault_matches_quantized_bit_for_bit() {
+    let mut quantized = sim_with(ControlPlaneMode::Quantized, 42);
+    let mut framed = sim_with(ControlPlaneMode::Framed(FramedConfig::default()), 42);
+    for cycle in 0..200 {
+        quantized.cycle();
+        framed.cycle();
+        assert_eq!(
+            quantized.caps(),
+            framed.caps(),
+            "caps diverged at cycle {cycle}"
+        );
+    }
+    assert_eq!(quantized.satisfaction(0), framed.satisfaction(0));
+    assert_eq!(quantized.satisfaction(1), framed.satisfaction(1));
+    assert_eq!(quantized.runs_completed(0), framed.runs_completed(0));
+    let stats = framed.control_plane_stats().expect("framed mode has stats");
+    assert_eq!(stats.frames_dropped, 0);
+    assert_eq!(stats.gather_misses, 0);
+    assert_eq!(stats.retries, 0);
+    assert_eq!(stats.worst_budget_excess, 0.0);
+}
+
+/// The acceptance robustness run: 5 % frame drop plus one node crashing
+/// and rejoining. The run completes without panics and the sum of caps
+/// actually applied on controller-live nodes never exceeds the cluster
+/// budget (plus deciwatt quantization slack) at any step.
+#[test]
+fn framed_survives_drops_and_crash_within_budget() {
+    let mut config = FramedConfig::default();
+    config.link.drop_prob = 0.05;
+    config.faults.push(FaultEvent::Crash {
+        node: 1,
+        at: 40.0,
+        until: 110.0,
+    });
+    let mut sim = sim_with(ControlPlaneMode::Framed(config), 7);
+    let budget = sim.config().total_budget();
+    let n = sim.config().topology.total_units();
+
+    let mut saw_stale = false;
+    for _ in 0..250 {
+        sim.cycle();
+        let plane = sim.control_plane().expect("framed mode");
+        let live_sum = plane.live_applied_sum();
+        assert!(
+            live_sum <= budget + wire_slack(n),
+            "live applied caps {live_sum} exceed budget {budget} at t={}",
+            sim.now()
+        );
+        saw_stale |= !plane.node_live(1);
+    }
+    assert!(saw_stale, "the crashed node was demoted at some point");
+
+    let stats = sim.control_plane_stats().unwrap();
+    assert!(stats.frames_dropped > 0, "drops actually happened");
+    assert!(stats.retries > 0, "retries were exercised");
+    assert_eq!(stats.stale_transitions, 1);
+    assert_eq!(stats.readmissions, 1, "crashed node rejoined");
+    assert_eq!(stats.worst_budget_excess, 0.0, "belief never broke budget");
+    let plane = sim.control_plane().unwrap();
+    assert!(plane.node_live(1), "node live again at the end");
+}
+
+/// Stale-node budget actually flows to the live nodes: while a node is
+/// down, someone else's cap grows past the constant split.
+#[test]
+fn reclaimed_budget_reaches_live_nodes() {
+    let mut config = FramedConfig::default();
+    config.faults.push(FaultEvent::Crash {
+        node: 3,
+        at: 20.0,
+        until: 160.0,
+    });
+    let mut sim = sim_with(ControlPlaneMode::Framed(config), 9);
+    let mut max_live_cap: f64 = 0.0;
+    for _ in 0..150 {
+        sim.cycle();
+        let plane = sim.control_plane().unwrap();
+        if !plane.node_live(3) {
+            for u in 0..4 {
+                max_live_cap = max_live_cap.max(plane.applied_caps()[u]);
+            }
+        }
+    }
+    assert!(
+        max_live_cap > 111.0,
+        "a live unit should exceed the 110 W split, saw {max_live_cap}"
+    );
+    let stats = sim.control_plane_stats().unwrap();
+    assert!(stats.reclaimed_watt_cycles > 0.0);
+}
+
+/// An invalid framed configuration is rejected by SimConfig validation.
+#[test]
+#[should_panic(expected = "invalid sim config")]
+fn slow_framed_link_rejected() {
+    let mut config = FramedConfig::default();
+    config.link.latency = 0.5; // half the decision period one-way
+    sim_with(ControlPlaneMode::Framed(config), 1);
+}

@@ -192,10 +192,21 @@ mod tests {
         use dps_sim_core::rng::RngStream;
         let mut rng = RngStream::new(3, "hist");
         let mut s = state();
+        let mut raw = Vec::new();
         for _ in 0..20 {
-            s.observe(110.0 + rng.normal(0.0, 2.0), 1.0);
+            let sample = 110.0 + rng.normal(0.0, 2.0);
+            raw.push(sample);
+            s.observe(sample, 1.0);
         }
-        // Estimated history should vary less than raw noise std.
-        assert!(s.history_std() < 2.0, "std {}", s.history_std());
+        // The estimated history must vary less than the raw samples do —
+        // compare against the realised sample std rather than the nominal
+        // noise std, so the assertion is not sensitive to the particular
+        // 20-draw realisation.
+        let raw_std = dps_sim_core::stats::std_dev(&raw).unwrap();
+        assert!(
+            s.history_std() < raw_std,
+            "smoothed std {} vs raw std {raw_std}",
+            s.history_std()
+        );
     }
 }

@@ -1,0 +1,180 @@
+//! The per-node client agent.
+//!
+//! One agent runs on every compute node and owns the node's RAPL
+//! interface for the control plane: it answers [`Frame::Poll`] requests
+//! with power reports and applies [`Frame::SetCap`] assignments,
+//! acknowledging the cap it actually programmed. The agent is
+//! deliberately dumb — all policy lives in the controller — but it
+//! encodes the two safety behaviours the cluster relies on:
+//!
+//! * **Hold through silence.** A cap stays programmed until replaced.
+//!   Losing contact with the controller never changes the node's power
+//!   draw (the hardware keeps the last value even if the agent itself
+//!   dies).
+//! * **Boot at the floor.** A (re)starting agent programs the minimum cap
+//!   on all its units before answering traffic, so a rejoining node is
+//!   always safe to readmit once its floor assignment is acknowledged.
+
+use crate::frame::Frame;
+use dps_core::manager::UnitLimits;
+use dps_sim_core::units::Watts;
+
+/// The control-plane daemon of one node.
+#[derive(Debug, Clone)]
+pub struct NodeAgent {
+    /// First flat unit index this agent owns.
+    unit_base: usize,
+    /// Caps currently programmed into the node's units. Indexed by local
+    /// unit (0..units_per_node); survives agent crashes — this models the
+    /// hardware registers, which outlive the daemon.
+    caps: Vec<Watts>,
+    /// Hardware capping limits (known locally; used to sanity-clamp
+    /// requested caps, which bounds the damage of a corrupted payload).
+    limits: UnitLimits,
+    /// Whether the daemon is running.
+    up: bool,
+}
+
+impl NodeAgent {
+    /// An agent owning flat units `unit_base .. unit_base + n_units`, with
+    /// `initial_cap` programmed (the cluster's boot-time constant split).
+    pub fn new(unit_base: usize, n_units: usize, initial_cap: Watts, limits: UnitLimits) -> Self {
+        Self {
+            unit_base,
+            caps: vec![limits.clamp(initial_cap); n_units],
+            limits,
+            up: true,
+        }
+    }
+
+    /// Whether the daemon is running.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Caps currently programmed (local unit order). Valid even while the
+    /// daemon is down — hardware holds the last programmed values.
+    pub fn caps(&self) -> &[Watts] {
+        &self.caps
+    }
+
+    /// Kills the daemon. Programmed caps stay in the hardware.
+    pub fn crash(&mut self) {
+        self.up = false;
+    }
+
+    /// Restarts the daemon. Every unit is programmed to the floor cap
+    /// before the agent answers any traffic: the controller's readmission
+    /// reserve assumes exactly this.
+    pub fn reboot(&mut self) {
+        self.up = true;
+        for cap in &mut self.caps {
+            *cap = self.limits.min_cap;
+        }
+    }
+
+    /// Handles one incoming frame addressed to flat unit `unit`, given the
+    /// node's current raw power readings (indexed by flat unit). Returns
+    /// the response frame to send back, if any. A down agent (or a frame
+    /// for a unit this agent does not own) is silent.
+    pub fn handle(&mut self, unit: u32, frame: Frame, readings: &[Watts]) -> Option<Frame> {
+        if !self.up {
+            return None;
+        }
+        let local = (unit as usize).checked_sub(self.unit_base)?;
+        if local >= self.caps.len() {
+            return None;
+        }
+        match frame {
+            Frame::Poll { .. } => Some(Frame::power_report(readings[unit as usize])),
+            Frame::SetCap { deciwatts } => {
+                let requested = Frame::SetCap { deciwatts }.watts();
+                let applied = self.limits.clamp(requested);
+                self.caps[local] = applied;
+                Some(Frame::cap_ack(applied))
+            }
+            // Server-bound frames make no sense here; drop them (they can
+            // only appear via corruption flipping a tag into another valid
+            // tag).
+            Frame::PowerReport { .. } | Frame::CapAck { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> UnitLimits {
+        UnitLimits {
+            min_cap: 40.0,
+            max_cap: 165.0,
+        }
+    }
+
+    fn agent() -> NodeAgent {
+        NodeAgent::new(4, 2, 110.0, limits())
+    }
+
+    #[test]
+    fn poll_reports_unit_reading() {
+        let mut a = agent();
+        let mut readings = vec![0.0; 8];
+        readings[5] = 123.45;
+        let resp = a.handle(5, Frame::Poll { seq: 1 }, &readings).unwrap();
+        assert_eq!(resp, Frame::power_report(123.45));
+    }
+
+    #[test]
+    fn set_cap_applies_and_acks() {
+        let mut a = agent();
+        let resp = a.handle(4, Frame::set_cap(95.3), &[0.0; 8]).unwrap();
+        assert_eq!(resp, Frame::cap_ack(95.3));
+        assert!((a.caps()[0] - 95.3).abs() < 1e-9);
+        assert!((a.caps()[1] - 110.0).abs() < 1e-9, "other unit untouched");
+    }
+
+    #[test]
+    fn corrupted_cap_clamped_to_limits() {
+        let mut a = agent();
+        // A corrupted payload asking for 6000 W gets clamped to TDP, and
+        // the ack reports the clamped value so the controller notices.
+        let resp = a.handle(4, Frame::set_cap(6000.0), &[0.0; 8]).unwrap();
+        assert_eq!(resp, Frame::cap_ack(165.0));
+        assert_eq!(a.caps()[0], 165.0);
+    }
+
+    #[test]
+    fn down_agent_is_silent_but_holds_caps() {
+        let mut a = agent();
+        a.handle(4, Frame::set_cap(90.0), &[0.0; 8]);
+        a.crash();
+        assert!(a.handle(4, Frame::Poll { seq: 0 }, &[0.0; 8]).is_none());
+        assert!(a.handle(4, Frame::set_cap(50.0), &[0.0; 8]).is_none());
+        assert!((a.caps()[0] - 90.0).abs() < 1e-9, "hardware holds the cap");
+    }
+
+    #[test]
+    fn reboot_programs_floor() {
+        let mut a = agent();
+        a.handle(4, Frame::set_cap(150.0), &[0.0; 8]);
+        a.crash();
+        a.reboot();
+        assert!(a.is_up());
+        assert_eq!(a.caps(), &[40.0, 40.0]);
+    }
+
+    #[test]
+    fn foreign_units_ignored() {
+        let mut a = agent();
+        assert!(a.handle(3, Frame::Poll { seq: 0 }, &[0.0; 8]).is_none());
+        assert!(a.handle(6, Frame::set_cap(50.0), &[0.0; 8]).is_none());
+    }
+
+    #[test]
+    fn server_bound_frames_dropped() {
+        let mut a = agent();
+        assert!(a.handle(4, Frame::power_report(10.0), &[0.0; 8]).is_none());
+        assert!(a.handle(4, Frame::cap_ack(10.0), &[0.0; 8]).is_none());
+    }
+}

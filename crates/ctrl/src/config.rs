@@ -1,0 +1,141 @@
+//! Configuration of the framed control plane.
+
+use crate::fault::FaultSchedule;
+use crate::link::LinkConfig;
+use dps_sim_core::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the framed (request/response) control plane.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FramedConfig {
+    /// Fault characteristics of every link direction (all node links share
+    /// one configuration; per-node asymmetry comes from the fault
+    /// schedule).
+    pub link: LinkConfig,
+    /// Timing/retry/staleness policy.
+    pub policy: RetryPolicy,
+    /// Timed fault windows for this run.
+    pub faults: FaultSchedule,
+}
+
+/// Timeout, retry and staleness policy of the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Seconds the controller waits for a response before retrying.
+    pub timeout: Seconds,
+    /// Retries per request after the first attempt.
+    pub max_retries: u32,
+    /// Multiplier applied to the timeout after each retry (≥ 1).
+    pub backoff: f64,
+    /// Consecutive fully-missed gather cycles after which a node is
+    /// declared stale (the `k` of the staleness policy).
+    pub stale_after: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            // 100× the default 50 µs one-way latency: far past any jitter,
+            // still 1/200th of the 1 s decision period even after retries.
+            timeout: 5e-3,
+            max_retries: 2,
+            backoff: 2.0,
+            stale_after: 3,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deadline extension for attempt `attempt` (0 = first retry).
+    pub fn timeout_for_attempt(&self, attempt: u32) -> Seconds {
+        self.timeout * self.backoff.powi(attempt.min(16) as i32)
+    }
+}
+
+impl FramedConfig {
+    /// Checks the configuration is coherent for a topology of `n_nodes`
+    /// nodes under decision period `period`.
+    pub fn validate(&self, n_nodes: usize, period: Seconds) -> Result<(), String> {
+        self.link.validate()?;
+        self.faults.validate(n_nodes)?;
+        let p = &self.policy;
+        if !(p.timeout.is_finite() && p.timeout > 0.0) {
+            return Err(format!("timeout must be positive, got {}", p.timeout));
+        }
+        if !(p.backoff.is_finite() && p.backoff >= 1.0) {
+            return Err(format!("backoff must be >= 1, got {}", p.backoff));
+        }
+        if p.stale_after == 0 {
+            return Err("stale_after must be at least 1".to_string());
+        }
+        // The believed-cap safety argument relies on frames not straddling
+        // whole decision cycles: a SetCap from one epoch must not arrive
+        // after a later epoch's floor assignment. Keeping worst-case
+        // transit well inside the period guarantees that ordering.
+        let worst_transit = self.link.latency + self.link.jitter;
+        if worst_transit * 10.0 > period {
+            return Err(format!(
+                "latency+jitter ({worst_transit} s) must stay below a tenth \
+                 of the decision period ({period} s)"
+            ));
+        }
+        if p.timeout >= period {
+            return Err(format!(
+                "timeout {} s must be below the decision period {period} s",
+                p.timeout
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert!(FramedConfig::default().validate(10, 1.0).is_ok());
+    }
+
+    #[test]
+    fn backoff_grows_timeouts() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.timeout_for_attempt(0), 5e-3);
+        assert_eq!(p.timeout_for_attempt(1), 10e-3);
+        assert_eq!(p.timeout_for_attempt(2), 20e-3);
+    }
+
+    #[test]
+    fn slow_links_rejected_against_period() {
+        let mut cfg = FramedConfig::default();
+        cfg.link.latency = 0.2;
+        assert!(cfg.validate(4, 1.0).is_err());
+        assert!(cfg.validate(4, 10.0).is_ok());
+    }
+
+    #[test]
+    fn degenerate_policy_rejected() {
+        let mut cfg = FramedConfig::default();
+        cfg.policy.stale_after = 0;
+        assert!(cfg.validate(1, 1.0).is_err());
+        let mut cfg = FramedConfig::default();
+        cfg.policy.backoff = 0.5;
+        assert!(cfg.validate(1, 1.0).is_err());
+        let mut cfg = FramedConfig::default();
+        cfg.policy.timeout = 2.0;
+        assert!(cfg.validate(1, 1.0).is_err());
+    }
+
+    #[test]
+    fn fault_schedule_validated_against_topology() {
+        let mut cfg = FramedConfig::default();
+        cfg.faults.push(crate::fault::FaultEvent::Crash {
+            node: 9,
+            at: 0.0,
+            until: 1.0,
+        });
+        assert!(cfg.validate(4, 1.0).is_err());
+        assert!(cfg.validate(10, 1.0).is_ok());
+    }
+}

@@ -1,0 +1,554 @@
+//! The server-side controller bookkeeping.
+//!
+//! This module is the pure decision core of the framed control plane: it
+//! tracks what each node last reported (hold-last telemetry), which nodes
+//! are live or stale, and — the part everything else bends around — a
+//! *believed-applied* cap per unit that is maintained pessimistically
+//! high, so that
+//!
+//! > **the sum of caps believed applied on live nodes never exceeds the
+//! > cluster budget** (plus the deciwatt quantization slack of
+//! > [`wire_slack`]).
+//!
+//! The rules that make the invariant hold:
+//!
+//! * A sent cap *raises* the believed value immediately (the assignment
+//!   may land even if its ack is lost); an acknowledged cap *replaces* it.
+//!   Lowering therefore only takes effect on ack, raising at send time —
+//!   belief always errs high.
+//! * Raises are granted one unit at a time against the live believed sum,
+//!   after lowers have been given the chance to complete (the plane's
+//!   two-phase scatter).
+//! * A node missing `stale_after` consecutive gathers is declared stale:
+//!   its budget share above the per-unit floor is reclaimed for live
+//!   nodes, and the floor itself stays reserved. A stale node is readmitted
+//!   only after acknowledging floor caps, which is exactly what the
+//!   reserve guarantees fits — so readmission can never break the budget,
+//!   whether the node crashed (rebooting agents program the floor) or was
+//!   merely partitioned (the floor assignment lands when the partition
+//!   heals, before readmission).
+//!
+//! Transport, timing and retries live in [`crate::plane`]; nothing here
+//! touches a link.
+
+use crate::frame::{wire_slack, Frame};
+use crate::stats::CtrlStats;
+use dps_core::manager::UnitLimits;
+use dps_sim_core::units::Watts;
+
+/// Controller-side cluster state.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    n_nodes: usize,
+    units_per_node: usize,
+    budget: Watts,
+    limits: UnitLimits,
+    stale_after: u32,
+    /// The floor cap as it comes back over the wire (min_cap quantized).
+    floor_wire: Watts,
+
+    /// Hold-last power telemetry per unit.
+    telemetry: Vec<Watts>,
+    /// Cap believed applied per unit (pessimistically high).
+    believed: Vec<Watts>,
+    /// Liveness per node.
+    live: Vec<bool>,
+    /// Consecutive fully-missed gather cycles per node.
+    misses: Vec<u32>,
+    /// Per-epoch: unit reported this gather.
+    reported: Vec<bool>,
+    /// Per-epoch: unit acknowledged a floor cap (readmission evidence).
+    floor_acked: Vec<bool>,
+
+    gather_misses: u64,
+    stale_transitions: u64,
+    readmissions: u64,
+    raises_deferred: u64,
+    reclaimed_watt_cycles: f64,
+    cycles: u64,
+    worst_budget_excess: Watts,
+}
+
+impl Controller {
+    /// A controller for `n_nodes × units_per_node` units under `budget`,
+    /// with `initial_cap` programmed everywhere (the cluster's boot
+    /// constant split).
+    pub fn new(
+        n_nodes: usize,
+        units_per_node: usize,
+        budget: Watts,
+        limits: UnitLimits,
+        initial_cap: Watts,
+    ) -> Self {
+        let n = n_nodes * units_per_node;
+        assert!(n > 0, "topology must have at least one unit");
+        limits
+            .check_feasible(budget, n)
+            .expect("budget covers the floor");
+        Self {
+            n_nodes,
+            units_per_node,
+            budget,
+            limits,
+            stale_after: 1,
+            floor_wire: Frame::set_cap(limits.min_cap).watts(),
+            telemetry: vec![0.0; n],
+            believed: vec![limits.clamp(initial_cap); n],
+            live: vec![true; n_nodes],
+            misses: vec![0; n_nodes],
+            reported: vec![false; n],
+            floor_acked: vec![false; n],
+            gather_misses: 0,
+            stale_transitions: 0,
+            readmissions: 0,
+            raises_deferred: 0,
+            reclaimed_watt_cycles: 0.0,
+            cycles: 0,
+            worst_budget_excess: 0.0,
+        }
+    }
+
+    /// Sets the staleness threshold (consecutive missed gathers).
+    pub fn set_stale_after(&mut self, k: u32) {
+        assert!(k >= 1, "stale_after must be at least 1");
+        self.stale_after = k;
+    }
+
+    fn node_of(&self, unit: usize) -> usize {
+        unit / self.units_per_node
+    }
+
+    fn node_units(&self, node: usize) -> std::ops::Range<usize> {
+        node * self.units_per_node..(node + 1) * self.units_per_node
+    }
+
+    /// Starts a gather→decide→scatter epoch.
+    pub fn begin_epoch(&mut self) {
+        self.reported.fill(false);
+        self.floor_acked.fill(false);
+    }
+
+    /// Records a power report for a unit (updates hold-last telemetry).
+    pub fn record_report(&mut self, unit: usize, watts: Watts) {
+        self.telemetry[unit] = watts;
+        self.reported[unit] = true;
+    }
+
+    /// Has the unit reported this epoch?
+    pub fn unit_reported(&self, unit: usize) -> bool {
+        self.reported[unit]
+    }
+
+    /// Closes the gather phase: updates per-node miss counters and demotes
+    /// nodes that crossed the staleness threshold.
+    pub fn end_gather(&mut self) {
+        for node in 0..self.n_nodes {
+            let complete = self.node_units(node).all(|u| self.reported[u]);
+            if complete {
+                self.misses[node] = 0;
+            } else {
+                self.misses[node] = self.misses[node].saturating_add(1);
+                self.gather_misses += 1;
+                if self.live[node] && self.misses[node] >= self.stale_after {
+                    self.live[node] = false;
+                    self.stale_transitions += 1;
+                }
+            }
+        }
+    }
+
+    /// Hold-last telemetry (what the manager sees). Units on stale nodes
+    /// keep their last known value — the staleness policy is "hold, don't
+    /// zero": a missing report says nothing about the node's power.
+    pub fn telemetry(&self) -> &[Watts] {
+        &self.telemetry
+    }
+
+    /// Liveness of a node.
+    pub fn node_live(&self, node: usize) -> bool {
+        self.live[node]
+    }
+
+    /// Number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.live.iter().filter(|l| **l).count()
+    }
+
+    /// Rewrites the manager's proposals for the cluster's actual health:
+    /// every unit on a non-live node is pinned to the floor cap (the
+    /// readmission reserve), and the budget thereby freed is redistributed
+    /// to live units proportionally to their proposals, clamped at the
+    /// unit maximum. With every node live this is the identity.
+    pub fn postprocess(&mut self, proposals: &mut [Watts]) {
+        debug_assert_eq!(proposals.len(), self.believed.len());
+        let floor = self.limits.min_cap;
+        let mut spare = 0.0;
+        let mut live_sum = 0.0;
+        let mut live_units = 0usize;
+        for (u, p) in proposals.iter_mut().enumerate() {
+            if self.live[self.node_of(u)] {
+                live_sum += *p;
+                live_units += 1;
+            } else {
+                spare += (*p - floor).max(0.0);
+                *p = floor;
+            }
+        }
+        if spare <= 0.0 || live_units == 0 {
+            return;
+        }
+        self.reclaimed_watt_cycles += spare;
+        // One proportional pass; whatever the max-cap clamp refuses is
+        // simply left unspent (the safe direction).
+        for (u, p) in proposals.iter_mut().enumerate() {
+            if self.live[self.node_of(u)] {
+                let share = if live_sum > 0.0 {
+                    spare * (*p / live_sum)
+                } else {
+                    spare / live_units as f64
+                };
+                *p = self.limits.clamp(*p + share);
+            }
+        }
+    }
+
+    /// Believed-applied caps per unit.
+    pub fn believed(&self) -> &[Watts] {
+        &self.believed
+    }
+
+    /// Sum of believed-applied caps over live nodes' units.
+    pub fn live_believed_sum(&self) -> Watts {
+        self.believed
+            .iter()
+            .enumerate()
+            .filter(|(u, _)| self.live[self.node_of(*u)])
+            .map(|(_, b)| *b)
+            .sum()
+    }
+
+    /// Records that a cap assignment was put on the wire. Belief only
+    /// moves *up* here: a raise must be counted the moment it might land,
+    /// while a lower counts only once acknowledged.
+    pub fn note_cap_sent(&mut self, unit: usize, watts: Watts) {
+        self.believed[unit] = self.believed[unit].max(watts);
+    }
+
+    /// Records an acknowledged cap whose value matches the assignment the
+    /// plane last sent for the unit — the agent's word for what is now
+    /// programmed.
+    pub fn note_cap_acked(&mut self, unit: usize, watts: Watts) {
+        self.believed[unit] = watts;
+        if (watts - self.floor_wire).abs() < 1e-9 {
+            self.floor_acked[unit] = true;
+        }
+    }
+
+    /// Records an acknowledgement that did *not* match what was sent (a
+    /// corrupted assignment the agent applied anyway) after retries ran
+    /// out. Belief absorbs the reported value pessimistically.
+    pub fn note_unexpected_applied(&mut self, unit: usize, watts: Watts) {
+        self.believed[unit] = self.believed[unit].max(watts);
+    }
+
+    /// Asks permission to raise `unit` to `target` (wire-quantized Watts).
+    /// Granting updates the believed cap immediately; refusal (the raise
+    /// would push the live believed sum past budget) leaves state
+    /// untouched and is counted.
+    pub fn grant_raise(&mut self, unit: usize, target: Watts) -> bool {
+        let headroom = self.budget + wire_slack(self.believed.len());
+        let sum = self.live_believed_sum() - self.believed[unit] + target;
+        if sum <= headroom {
+            self.believed[unit] = self.believed[unit].max(target);
+            true
+        } else {
+            self.raises_deferred += 1;
+            false
+        }
+    }
+
+    /// Closes the epoch: readmits stale nodes whose every unit
+    /// acknowledged a floor cap this epoch, then checks the budget-safety
+    /// invariant. Returns true when the invariant held.
+    pub fn end_epoch(&mut self) -> bool {
+        for node in 0..self.n_nodes {
+            if !self.live[node] && self.node_units(node).all(|u| self.floor_acked[u]) {
+                self.live[node] = true;
+                self.misses[node] = 0;
+                for u in self.node_units(node) {
+                    self.believed[u] = self.floor_wire;
+                }
+                self.readmissions += 1;
+            }
+        }
+        self.cycles += 1;
+        // No assert here: under payload corruption a rogue cap the agent
+        // confirmed can push belief past budget until the corrective
+        // re-send lands — the controller's job is to *observe* that
+        // honestly and repair it, and callers decide how to react.
+        let excess = self.live_believed_sum() - (self.budget + wire_slack(self.believed.len()));
+        if excess > self.worst_budget_excess {
+            self.worst_budget_excess = excess;
+        }
+        excess <= 0.0
+    }
+
+    /// Folds the controller's counters into a stats record.
+    pub fn fill_stats(&self, stats: &mut CtrlStats) {
+        stats.gather_misses = self.gather_misses;
+        stats.stale_transitions = self.stale_transitions;
+        stats.readmissions = self.readmissions;
+        stats.raises_deferred = self.raises_deferred;
+        stats.reclaimed_watt_cycles = self.reclaimed_watt_cycles;
+        stats.cycles = self.cycles;
+        stats.worst_budget_excess = self.worst_budget_excess;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> UnitLimits {
+        UnitLimits {
+            min_cap: 40.0,
+            max_cap: 165.0,
+        }
+    }
+
+    /// 2 nodes × 2 units, 440 W budget, 110 W everywhere.
+    fn ctrl() -> Controller {
+        let mut c = Controller::new(2, 2, 440.0, limits(), 110.0);
+        c.set_stale_after(2);
+        c
+    }
+
+    fn full_gather(c: &mut Controller, watts: Watts) {
+        c.begin_epoch();
+        for u in 0..4 {
+            c.record_report(u, watts);
+        }
+        c.end_gather();
+    }
+
+    #[test]
+    fn full_reports_keep_everyone_live() {
+        let mut c = ctrl();
+        for _ in 0..5 {
+            full_gather(&mut c, 100.0);
+            assert!(c.node_live(0) && c.node_live(1));
+            c.end_epoch();
+        }
+        assert_eq!(c.live_count(), 2);
+    }
+
+    #[test]
+    fn k_misses_demote_a_node() {
+        let mut c = ctrl();
+        // Node 1 goes silent; k = 2.
+        c.begin_epoch();
+        c.record_report(0, 100.0);
+        c.record_report(1, 100.0);
+        c.end_gather();
+        assert!(c.node_live(1), "one miss is not enough");
+        c.end_epoch();
+        c.begin_epoch();
+        c.record_report(0, 100.0);
+        c.record_report(1, 100.0);
+        c.end_gather();
+        assert!(!c.node_live(1), "second consecutive miss demotes");
+    }
+
+    #[test]
+    fn partial_report_counts_as_miss() {
+        let mut c = ctrl();
+        for _ in 0..2 {
+            c.begin_epoch();
+            c.record_report(0, 100.0);
+            c.record_report(1, 100.0);
+            c.record_report(2, 100.0); // unit 3 missing
+            c.end_gather();
+            c.end_epoch();
+        }
+        assert!(!c.node_live(1));
+    }
+
+    #[test]
+    fn intermittent_misses_do_not_demote() {
+        let mut c = ctrl();
+        for round in 0..6 {
+            c.begin_epoch();
+            c.record_report(0, 100.0);
+            c.record_report(1, 100.0);
+            if round % 2 == 0 {
+                c.record_report(2, 100.0);
+                c.record_report(3, 100.0);
+            }
+            c.end_gather();
+            c.end_epoch();
+        }
+        assert!(c.node_live(1), "alternating misses never reach k=2");
+    }
+
+    #[test]
+    fn telemetry_holds_last_value_through_silence() {
+        let mut c = ctrl();
+        full_gather(&mut c, 123.0);
+        c.end_epoch();
+        c.begin_epoch();
+        c.record_report(0, 80.0);
+        c.end_gather();
+        assert_eq!(c.telemetry()[0], 80.0);
+        assert_eq!(c.telemetry()[3], 123.0, "held through the miss");
+    }
+
+    #[test]
+    fn postprocess_identity_when_all_live() {
+        let mut c = ctrl();
+        let mut p = vec![120.0, 100.0, 115.0, 105.0];
+        let expect = p.clone();
+        c.postprocess(&mut p);
+        assert_eq!(p, expect);
+    }
+
+    #[test]
+    fn postprocess_reclaims_stale_budget_above_floor() {
+        let mut c = ctrl();
+        for _ in 0..2 {
+            c.begin_epoch();
+            c.record_report(0, 100.0);
+            c.record_report(1, 100.0);
+            c.end_gather();
+            c.end_epoch();
+        }
+        assert!(!c.node_live(1));
+        let mut p = vec![110.0, 110.0, 110.0, 110.0];
+        c.postprocess(&mut p);
+        assert_eq!(p[2], 40.0);
+        assert_eq!(p[3], 40.0);
+        // 2 × 70 W reclaimed, split proportionally over the live pair,
+        // clamped at 165 W.
+        assert!((p[0] - 165.0).abs() < 1e-9, "{p:?}");
+        assert!((p[1] - 165.0).abs() < 1e-9);
+        assert!(p.iter().sum::<f64>() <= 440.0 + 1e-9);
+    }
+
+    #[test]
+    fn believed_rises_on_send_falls_on_ack() {
+        let mut c = ctrl();
+        c.begin_epoch();
+        // Lower: belief stays high until acked.
+        c.note_cap_sent(0, 80.0);
+        assert_eq!(c.believed()[0], 110.0);
+        c.note_cap_acked(0, 80.0);
+        assert_eq!(c.believed()[0], 80.0);
+        // Raise: belief moves at grant time, before any ack. The sum is
+        // back at 440 = budget, which the slack admits.
+        assert!(c.grant_raise(0, 110.0));
+        assert_eq!(c.believed()[0], 110.0);
+    }
+
+    #[test]
+    fn grant_raise_enforces_budget() {
+        let mut c = ctrl();
+        // Believed sits at 4 × 110 = 440 = budget. Raising anyone without
+        // a completed lower must be refused.
+        assert!(!c.grant_raise(0, 140.0));
+        assert_eq!(c.believed()[0], 110.0);
+        // After a lower completes, the freed headroom admits the raise.
+        c.note_cap_acked(1, 80.0);
+        assert!(c.grant_raise(0, 140.0));
+        let mut stats = CtrlStats::default();
+        c.fill_stats(&mut stats);
+        assert_eq!(stats.raises_deferred, 1);
+    }
+
+    #[test]
+    fn stale_node_excluded_from_live_sum() {
+        let mut c = ctrl();
+        for _ in 0..2 {
+            c.begin_epoch();
+            c.record_report(0, 100.0);
+            c.record_report(1, 100.0);
+            c.end_gather();
+            c.end_epoch();
+        }
+        assert_eq!(c.live_believed_sum(), 220.0);
+        // The freed 220 W admits big raises on the live node.
+        assert!(c.grant_raise(0, 165.0));
+        assert!(c.grant_raise(1, 165.0));
+    }
+
+    #[test]
+    fn readmission_requires_full_floor_ack() {
+        let mut c = ctrl();
+        for _ in 0..2 {
+            c.begin_epoch();
+            c.record_report(0, 100.0);
+            c.record_report(1, 100.0);
+            c.end_gather();
+            c.end_epoch();
+        }
+        assert!(!c.node_live(1));
+        // One unit acks floor — not enough.
+        c.begin_epoch();
+        c.end_gather();
+        c.note_cap_acked(2, 40.0);
+        c.end_epoch();
+        assert!(!c.node_live(1));
+        // Both units ack floor — readmitted at floor belief.
+        c.begin_epoch();
+        c.end_gather();
+        c.note_cap_acked(2, 40.0);
+        c.note_cap_acked(3, 40.0);
+        assert!(c.end_epoch());
+        assert!(c.node_live(1));
+        assert_eq!(c.believed()[2], 40.0);
+        assert_eq!(c.believed()[3], 40.0);
+        let mut stats = CtrlStats::default();
+        c.fill_stats(&mut stats);
+        assert_eq!(stats.readmissions, 1);
+    }
+
+    #[test]
+    fn readmission_after_reclaim_never_breaks_budget() {
+        let mut c = ctrl();
+        // Demote node 1, reclaim its budget into node 0's raises.
+        for _ in 0..2 {
+            c.begin_epoch();
+            c.record_report(0, 100.0);
+            c.record_report(1, 100.0);
+            c.end_gather();
+            c.end_epoch();
+        }
+        c.begin_epoch();
+        c.record_report(0, 100.0);
+        c.record_report(1, 100.0);
+        c.end_gather();
+        assert!(c.grant_raise(0, 165.0));
+        assert!(c.grant_raise(1, 165.0));
+        c.note_cap_acked(0, 165.0);
+        c.note_cap_acked(1, 165.0);
+        // Node 1 comes back: floor acks on both units.
+        c.note_cap_acked(2, 40.0);
+        c.note_cap_acked(3, 40.0);
+        assert!(c.end_epoch(), "330 + 80 = 410 <= 440");
+        assert!(c.node_live(1));
+        assert!(c.live_believed_sum() <= 440.0 + wire_slack(4));
+    }
+
+    #[test]
+    fn unexpected_applied_raises_belief_only() {
+        let mut c = ctrl();
+        c.note_unexpected_applied(0, 150.0);
+        assert_eq!(c.believed()[0], 150.0);
+        c.note_unexpected_applied(0, 90.0);
+        assert_eq!(c.believed()[0], 150.0, "belief never drops without ack");
+    }
+
+    #[test]
+    #[should_panic(expected = "budget covers the floor")]
+    fn infeasible_budget_rejected() {
+        Controller::new(2, 2, 100.0, limits(), 40.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Deterministic fault schedules for control-plane experiments.
+//!
+//! A [`FaultSchedule`] is a list of timed fault windows — agent crashes
+//! with later rejoin, bidirectional network partitions, and corruption
+//! bursts — evaluated against simulated time at each decision-cycle
+//! boundary. Schedules are plain data (no randomness of their own; the
+//! *effects* of a fault on traffic come from the seeded links), so a fault
+//! scenario is exactly reproducible and composable with any seed.
+
+use dps_sim_core::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// One timed fault window. All windows are half-open `[at, until)` in
+/// simulated seconds and are sampled at decision-cycle boundaries: a fault
+/// is in effect for every cycle whose start time falls inside the window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// The node's control agent crashes at `at` and reboots at `until`.
+    /// The power hardware keeps its last programmed caps while the daemon
+    /// is down; on reboot the agent programs the safe floor cap before
+    /// answering traffic.
+    Crash {
+        /// Affected node.
+        node: usize,
+        /// Crash time.
+        at: Seconds,
+        /// Reboot time.
+        until: Seconds,
+    },
+    /// Bidirectional partition: frames sent to or from the node during the
+    /// window are discarded (frames already in flight still arrive).
+    Partition {
+        /// Affected node.
+        node: usize,
+        /// Partition start.
+        at: Seconds,
+        /// Partition heal.
+        until: Seconds,
+    },
+    /// Corruption burst: the node's links corrupt frames with `prob`
+    /// additional probability during the window.
+    CorruptBurst {
+        /// Affected node.
+        node: usize,
+        /// Burst start.
+        at: Seconds,
+        /// Burst end.
+        until: Seconds,
+        /// Additional per-frame corruption probability.
+        prob: f64,
+    },
+}
+
+impl FaultEvent {
+    fn window(&self) -> (usize, Seconds, Seconds) {
+        match *self {
+            FaultEvent::Crash { node, at, until }
+            | FaultEvent::Partition { node, at, until }
+            | FaultEvent::CorruptBurst {
+                node, at, until, ..
+            } => (node, at, until),
+        }
+    }
+}
+
+/// A deterministic list of fault windows.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// The empty schedule (no faults).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A schedule from a list of events.
+    pub fn new(events: Vec<FaultEvent>) -> Self {
+        Self { events }
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: FaultEvent) {
+        self.events.push(event);
+    }
+
+    /// The scheduled events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Is the node's agent crashed at time `t`?
+    pub fn crashed(&self, node: usize, t: Seconds) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e, FaultEvent::Crash { .. }) && {
+                let (n, at, until) = e.window();
+                n == node && at <= t && t < until
+            }
+        })
+    }
+
+    /// Is the node partitioned from the controller at time `t`?
+    pub fn partitioned(&self, node: usize, t: Seconds) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e, FaultEvent::Partition { .. }) && {
+                let (n, at, until) = e.window();
+                n == node && at <= t && t < until
+            }
+        })
+    }
+
+    /// The strongest corruption boost active for the node at time `t`
+    /// (0 when no burst is active).
+    pub fn corrupt_boost(&self, node: usize, t: Seconds) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::CorruptBurst {
+                    node: n,
+                    at,
+                    until,
+                    prob,
+                } if n == node && at <= t && t < until => Some(prob),
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Checks windows are well-formed and node indices fit the topology.
+    pub fn validate(&self, n_nodes: usize) -> Result<(), String> {
+        for e in &self.events {
+            let (node, at, until) = e.window();
+            if node >= n_nodes {
+                return Err(format!("fault names node {node}, only {n_nodes} exist"));
+            }
+            if !(at.is_finite() && until.is_finite() && at >= 0.0 && until > at) {
+                return Err(format!("fault window [{at}, {until}) is not well-formed"));
+            }
+            if let FaultEvent::CorruptBurst { prob, .. } = *e {
+                if !(prob.is_finite() && (0.0..=1.0).contains(&prob)) {
+                    return Err(format!("corrupt burst prob must be in [0,1], got {prob}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule() -> FaultSchedule {
+        FaultSchedule::new(vec![
+            FaultEvent::Crash {
+                node: 1,
+                at: 10.0,
+                until: 20.0,
+            },
+            FaultEvent::Partition {
+                node: 0,
+                at: 5.0,
+                until: 8.0,
+            },
+            FaultEvent::CorruptBurst {
+                node: 1,
+                at: 30.0,
+                until: 40.0,
+                prob: 0.25,
+            },
+        ])
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let s = schedule();
+        assert!(!s.crashed(1, 9.99));
+        assert!(s.crashed(1, 10.0));
+        assert!(s.crashed(1, 19.99));
+        assert!(!s.crashed(1, 20.0));
+    }
+
+    #[test]
+    fn faults_are_per_node() {
+        let s = schedule();
+        assert!(!s.crashed(0, 15.0));
+        assert!(s.partitioned(0, 6.0));
+        assert!(!s.partitioned(1, 6.0));
+    }
+
+    #[test]
+    fn corrupt_boost_max_over_bursts() {
+        let mut s = schedule();
+        s.push(FaultEvent::CorruptBurst {
+            node: 1,
+            at: 35.0,
+            until: 38.0,
+            prob: 0.9,
+        });
+        assert_eq!(s.corrupt_boost(1, 31.0), 0.25);
+        assert_eq!(s.corrupt_boost(1, 36.0), 0.9);
+        assert_eq!(s.corrupt_boost(1, 50.0), 0.0);
+    }
+
+    #[test]
+    fn validate_catches_bad_windows() {
+        let s = schedule();
+        assert!(s.validate(2).is_ok());
+        assert!(s.validate(1).is_err(), "node 1 out of range");
+        let bad = FaultSchedule::new(vec![FaultEvent::Crash {
+            node: 0,
+            at: 5.0,
+            until: 5.0,
+        }]);
+        assert!(bad.validate(1).is_err(), "empty window");
+        let neg = FaultSchedule::new(vec![FaultEvent::CorruptBurst {
+            node: 0,
+            at: 0.0,
+            until: 1.0,
+            prob: 1.5,
+        }]);
+        assert!(neg.validate(1).is_err());
+    }
+
+    #[test]
+    fn empty_schedule_is_quiet() {
+        let s = FaultSchedule::none();
+        assert!(s.is_empty());
+        assert!(!s.crashed(0, 0.0));
+        assert!(!s.partitioned(0, 0.0));
+        assert_eq!(s.corrupt_boost(0, 0.0), 0.0);
+        assert!(s.validate(0).is_ok());
+    }
+}

@@ -1,0 +1,735 @@
+//! The framed control plane: a discrete-event gather→decide→scatter loop.
+//!
+//! [`FramedControlPlane`] owns the server-side [`Controller`], one
+//! [`NodeAgent`] per node, and a pair of [`LossyLink`]s (down = controller
+//! → node, up = node → controller) per node. One call to
+//! [`FramedControlPlane::run_cycle`] plays out a full decision cycle in
+//! simulated time:
+//!
+//! 1. **Faults** scheduled for this cycle take effect (crash/reboot,
+//!    partition, corruption burst).
+//! 2. **Gather** — the controller polls every unit (stale nodes included,
+//!    so a healed node is noticed), with per-node timeouts and bounded
+//!    backoff retries, inside an event loop that advances time to the next
+//!    frame delivery or deadline.
+//! 3. **Decide** — the power manager runs on the hold-last telemetry; the
+//!    controller then pins non-live nodes to the floor and redistributes
+//!    the reclaimed budget.
+//! 4. **Scatter** — two phases: lower-or-equal assignments go out first
+//!    and are awaited, then raises are granted one at a time against the
+//!    believed live cap sum. Assignments are retried on timeout and on
+//!    mismatched acknowledgements.
+//! 5. **Close** — stale nodes that acknowledged floor caps are readmitted
+//!    and the budget-safety invariant is checked.
+//!
+//! Everything is deterministic per seed: link randomness comes from
+//! dedicated [`RngStream`] children and the event loop breaks time ties in
+//! node/sequence order.
+
+use crate::agent::NodeAgent;
+use crate::config::{FramedConfig, RetryPolicy};
+use crate::controller::Controller;
+use crate::fault::FaultSchedule;
+use crate::frame::{watts_to_wire, Frame, DELIVERY_EPSILON};
+use crate::link::LossyLink;
+use crate::stats::CtrlStats;
+use dps_core::manager::{PowerManager, UnitLimits};
+use dps_sim_core::rng::RngStream;
+use dps_sim_core::units::{Seconds, Watts};
+
+/// Safety bound on event-loop iterations within one phase; generous —
+/// traffic per cycle is O(units × retries).
+const MAX_EVENTS: usize = 1_000_000;
+
+/// A cap assignment awaiting acknowledgement.
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    wire: u16,
+    deadline: Seconds,
+    retries_left: u32,
+    attempt: u32,
+}
+
+/// The framed control plane for one cluster.
+#[derive(Debug)]
+pub struct FramedControlPlane {
+    policy: RetryPolicy,
+    faults: FaultSchedule,
+    n_nodes: usize,
+    units_per_node: usize,
+    controller: Controller,
+    agents: Vec<NodeAgent>,
+    down: Vec<LossyLink>,
+    up: Vec<LossyLink>,
+    /// Raw power readings snapshot the agents answer polls from.
+    readings: Vec<Watts>,
+    /// Flat mirror of the agents' programmed caps, refreshed per cycle.
+    applied: Vec<Watts>,
+    /// Per-unit outstanding cap assignment.
+    outstanding: Vec<Option<Outstanding>>,
+    /// Last cap intentionally sent per unit (wire deciwatts) — what a
+    /// stray acknowledgement is compared against to spot rogue caps.
+    last_sent: Vec<u16>,
+    // Per-node gather state.
+    node_deadline: Vec<Seconds>,
+    node_retries_left: Vec<u32>,
+    node_attempt: Vec<u32>,
+    node_done: Vec<bool>,
+    /// Scratch: units deferred to the raise phase.
+    raises: Vec<usize>,
+    retries: u64,
+    epoch: u64,
+}
+
+impl FramedControlPlane {
+    /// Builds the plane for `n_nodes × units_per_node` units under
+    /// `budget`, all units starting at `initial_cap`. Link streams derive
+    /// from `rng`, so two planes built from equal streams replay identical
+    /// loss patterns.
+    pub fn new(
+        n_nodes: usize,
+        units_per_node: usize,
+        budget: Watts,
+        limits: UnitLimits,
+        initial_cap: Watts,
+        config: FramedConfig,
+        rng: &RngStream,
+    ) -> Self {
+        config
+            .faults
+            .validate(n_nodes)
+            .expect("fault schedule fits topology");
+        let n = n_nodes * units_per_node;
+        let mut controller = Controller::new(n_nodes, units_per_node, budget, limits, initial_cap);
+        controller.set_stale_after(config.policy.stale_after);
+        let agents = (0..n_nodes)
+            .map(|node| NodeAgent::new(node * units_per_node, units_per_node, initial_cap, limits))
+            .collect();
+        let link = |dir: &str, node: usize| {
+            LossyLink::new(config.link, rng.child(&format!("link/{dir}/{node}")))
+        };
+        Self {
+            policy: config.policy,
+            faults: config.faults,
+            n_nodes,
+            units_per_node,
+            controller,
+            agents,
+            down: (0..n_nodes).map(|n| link("down", n)).collect(),
+            up: (0..n_nodes).map(|n| link("up", n)).collect(),
+            readings: vec![0.0; n],
+            applied: vec![limits.clamp(initial_cap); n],
+            outstanding: vec![None; n],
+            last_sent: vec![watts_to_wire(limits.clamp(initial_cap)); n],
+            node_deadline: vec![0.0; n_nodes],
+            node_retries_left: vec![0; n_nodes],
+            node_attempt: vec![0; n_nodes],
+            node_done: vec![false; n_nodes],
+            raises: Vec::with_capacity(n),
+            retries: 0,
+            epoch: 0,
+        }
+    }
+
+    /// Runs one decision cycle starting at `now` with decision period
+    /// `period`. `readings` are the units' raw power readings for the
+    /// closing window; `manager` decides on the controller's telemetry;
+    /// `proposals` receives the manager's (post-processed) cap proposals.
+    /// Returns whether the budget-safety invariant held at cycle close.
+    pub fn run_cycle(
+        &mut self,
+        now: Seconds,
+        period: Seconds,
+        readings: &[Watts],
+        manager: &mut dyn PowerManager,
+        proposals: &mut [Watts],
+    ) -> bool {
+        assert_eq!(readings.len(), self.readings.len());
+        assert_eq!(proposals.len(), self.readings.len());
+        self.epoch += 1;
+        let deadline = now + period;
+
+        self.apply_faults(now);
+        self.readings.copy_from_slice(readings);
+
+        self.controller.begin_epoch();
+        let t = self.gather(now, deadline);
+        self.controller.end_gather();
+
+        manager.assign_caps(self.controller.telemetry(), proposals, period);
+        self.controller.postprocess(proposals);
+
+        self.scatter(t, deadline, proposals);
+        let ok = self.controller.end_epoch();
+
+        for node in 0..self.n_nodes {
+            let base = node * self.units_per_node;
+            self.applied[base..base + self.units_per_node]
+                .copy_from_slice(self.agents[node].caps());
+        }
+        ok
+    }
+
+    /// Applies the fault schedule as of cycle start `now`.
+    fn apply_faults(&mut self, now: Seconds) {
+        for node in 0..self.n_nodes {
+            let crashed = self.faults.crashed(node, now);
+            if crashed && self.agents[node].is_up() {
+                self.agents[node].crash();
+            } else if !crashed && !self.agents[node].is_up() {
+                self.agents[node].reboot();
+            }
+            let partitioned = self.faults.partitioned(node, now);
+            self.down[node].set_partitioned(partitioned);
+            self.up[node].set_partitioned(partitioned);
+            let boost = self.faults.corrupt_boost(node, now);
+            self.down[node].set_corrupt_boost(boost);
+            self.up[node].set_corrupt_boost(boost);
+        }
+    }
+
+    /// Delivers everything due at `t` on every link, feeding agents and
+    /// controller. Node order breaks simultaneous-delivery ties.
+    fn pump(&mut self, t: Seconds) {
+        for node in 0..self.n_nodes {
+            for (unit, maybe) in self.down[node].deliver(t) {
+                let Some(frame) = maybe else { continue };
+                if let Some(resp) = self.agents[node].handle(unit, frame, &self.readings) {
+                    self.up[node].send(t, unit, resp);
+                }
+            }
+            for (unit, maybe) in self.up[node].deliver(t) {
+                match maybe {
+                    Some(Frame::PowerReport { deciwatts }) => {
+                        self.controller
+                            .record_report(unit as usize, Frame::PowerReport { deciwatts }.watts());
+                    }
+                    Some(Frame::CapAck { deciwatts }) => self.on_ack(t, unit as usize, deciwatts),
+                    // Client-bound frames on the up link can only be
+                    // corruption artifacts; drop them.
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Handles an acknowledged cap for `unit` carrying `dw` deciwatts.
+    fn on_ack(&mut self, t: Seconds, unit: usize, dw: u16) {
+        let Some(mut out) = self.outstanding[unit] else {
+            // No assignment pending: a duplicate, a late ack of a resolved
+            // assignment, or the agent confirming a *rogue* cap — a
+            // corrupted frame that decoded as a valid SetCap the
+            // controller never sent (unauthenticated 3-byte frames cannot
+            // prevent this). Belief absorbs the value upward (a no-op for
+            // duplicates, where belief is already at or above it), and a
+            // rogue value triggers an immediate corrective re-send of the
+            // intended cap.
+            self.controller
+                .note_unexpected_applied(unit, Frame::CapAck { deciwatts: dw }.watts());
+            if dw != self.last_sent[unit] {
+                let intended = self.last_sent[unit];
+                self.retries += 1;
+                self.outstanding[unit] = Some(Outstanding {
+                    wire: intended,
+                    deadline: t + self.policy.timeout,
+                    retries_left: self.policy.max_retries,
+                    attempt: 0,
+                });
+                let node = unit / self.units_per_node;
+                self.down[node].send(
+                    t,
+                    unit as u32,
+                    Frame::SetCap {
+                        deciwatts: intended,
+                    },
+                );
+            }
+            return;
+        };
+        if out.wire == dw {
+            self.outstanding[unit] = None;
+            self.controller
+                .note_cap_acked(unit, Frame::CapAck { deciwatts: dw }.watts());
+        } else if out.retries_left > 0 {
+            // The agent applied something else (corrupted assignment):
+            // re-send the intended value.
+            out.retries_left -= 1;
+            out.attempt += 1;
+            out.deadline = t + self.policy.timeout_for_attempt(out.attempt);
+            self.retries += 1;
+            let node = unit / self.units_per_node;
+            self.down[node].send(
+                t,
+                unit as u32,
+                Frame::SetCap {
+                    deciwatts: out.wire,
+                },
+            );
+            self.outstanding[unit] = Some(out);
+        } else {
+            // Out of retries: accept reality, pessimistically.
+            self.outstanding[unit] = None;
+            self.controller
+                .note_unexpected_applied(unit, Frame::CapAck { deciwatts: dw }.watts());
+        }
+    }
+
+    /// The earliest pending event across links and the given deadlines.
+    fn next_event(&self, extra_deadlines: impl Iterator<Item = Seconds>) -> Seconds {
+        let mut next = f64::INFINITY;
+        for node in 0..self.n_nodes {
+            if let Some(due) = self.down[node].next_due() {
+                next = next.min(due);
+            }
+            if let Some(due) = self.up[node].next_due() {
+                next = next.min(due);
+            }
+        }
+        for d in extra_deadlines {
+            next = next.min(d);
+        }
+        next
+    }
+
+    /// Polls every unit and runs the gather event loop until every node
+    /// either reported fully or exhausted its retries, or `deadline`
+    /// passes. Returns the simulated time gather ended.
+    fn gather(&mut self, start: Seconds, deadline: Seconds) -> Seconds {
+        let seq = (self.epoch & 0xFFFF) as u16;
+        for node in 0..self.n_nodes {
+            let base = node * self.units_per_node;
+            for local in 0..self.units_per_node {
+                self.down[node].send(start, (base + local) as u32, Frame::Poll { seq });
+            }
+            self.node_deadline[node] = start + self.policy.timeout;
+            self.node_retries_left[node] = self.policy.max_retries;
+            self.node_attempt[node] = 0;
+            self.node_done[node] = false;
+        }
+
+        let mut t = start;
+        for _ in 0..MAX_EVENTS {
+            for node in 0..self.n_nodes {
+                if !self.node_done[node] && self.node_units_reported(node) {
+                    self.node_done[node] = true;
+                }
+            }
+            if self.node_done.iter().all(|d| *d) {
+                break;
+            }
+            let next = self.next_event(
+                (0..self.n_nodes)
+                    .filter(|n| !self.node_done[*n])
+                    .map(|n| self.node_deadline[n]),
+            );
+            if next > deadline + DELIVERY_EPSILON {
+                t = deadline;
+                break;
+            }
+            t = next.max(t);
+            self.pump(t);
+            for node in 0..self.n_nodes {
+                if self.node_done[node] || self.node_units_reported(node) {
+                    continue;
+                }
+                if self.node_deadline[node] <= t + DELIVERY_EPSILON {
+                    if self.node_retries_left[node] > 0 {
+                        self.node_retries_left[node] -= 1;
+                        self.node_attempt[node] += 1;
+                        let base = node * self.units_per_node;
+                        for local in 0..self.units_per_node {
+                            let unit = base + local;
+                            if !self.controller.unit_reported(unit) {
+                                self.down[node].send(t, unit as u32, Frame::Poll { seq });
+                                self.retries += 1;
+                            }
+                        }
+                        self.node_deadline[node] =
+                            t + self.policy.timeout_for_attempt(self.node_attempt[node]);
+                    } else {
+                        self.node_done[node] = true;
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    fn node_units_reported(&self, node: usize) -> bool {
+        let base = node * self.units_per_node;
+        (base..base + self.units_per_node).all(|u| self.controller.unit_reported(u))
+    }
+
+    /// Two-phase cap distribution. Phase one sends every lower-or-equal
+    /// assignment (plus the floor to non-live nodes) and waits for acks;
+    /// phase two grants raises against the believed live sum.
+    fn scatter(&mut self, start: Seconds, deadline: Seconds, proposals: &[Watts]) {
+        self.raises.clear();
+        for (unit, &proposal) in proposals.iter().enumerate() {
+            let node = unit / self.units_per_node;
+            let target = Frame::set_cap(proposal).watts();
+            if !self.controller.node_live(node) || target <= self.controller.believed()[unit] + 1e-9
+            {
+                self.send_set_cap(start, unit, proposal);
+            } else {
+                self.raises.push(unit);
+            }
+        }
+        let t = self.settle(start, deadline);
+
+        let raises = std::mem::take(&mut self.raises);
+        for &unit in &raises {
+            let target = Frame::set_cap(proposals[unit]).watts();
+            if self.controller.grant_raise(unit, target) {
+                self.send_set_cap(t, unit, proposals[unit]);
+            }
+        }
+        self.raises = raises;
+        self.settle(t, deadline);
+    }
+
+    /// Puts one cap assignment on the wire and registers it for acks.
+    fn send_set_cap(&mut self, t: Seconds, unit: usize, watts: Watts) {
+        let frame = Frame::set_cap(watts);
+        let Frame::SetCap { deciwatts } = frame else {
+            unreachable!()
+        };
+        self.outstanding[unit] = Some(Outstanding {
+            wire: deciwatts,
+            deadline: t + self.policy.timeout,
+            retries_left: self.policy.max_retries,
+            attempt: 0,
+        });
+        self.last_sent[unit] = deciwatts;
+        let node = unit / self.units_per_node;
+        self.down[node].send(t, unit as u32, frame);
+    }
+
+    /// Runs the event loop until every outstanding assignment resolved
+    /// (acked or out of retries) or `deadline` passes. Returns the time it
+    /// ended.
+    fn settle(&mut self, start: Seconds, deadline: Seconds) -> Seconds {
+        let mut t = start;
+        for _ in 0..MAX_EVENTS {
+            if self.outstanding.iter().all(|o| o.is_none()) {
+                break;
+            }
+            let next = self.next_event(self.outstanding.iter().flatten().map(|o| o.deadline));
+            if next > deadline + DELIVERY_EPSILON {
+                t = deadline;
+                for o in &mut self.outstanding {
+                    // Past the cycle boundary: give up. Belief stays
+                    // pessimistic (raises were counted at send).
+                    *o = None;
+                }
+                break;
+            }
+            t = next.max(t);
+            self.pump(t);
+            for unit in 0..self.outstanding.len() {
+                let Some(mut out) = self.outstanding[unit] else {
+                    continue;
+                };
+                if out.deadline <= t + DELIVERY_EPSILON {
+                    if out.retries_left > 0 {
+                        out.retries_left -= 1;
+                        out.attempt += 1;
+                        out.deadline = t + self.policy.timeout_for_attempt(out.attempt);
+                        self.retries += 1;
+                        let node = unit / self.units_per_node;
+                        self.down[node].send(
+                            t,
+                            unit as u32,
+                            Frame::SetCap {
+                                deciwatts: out.wire,
+                            },
+                        );
+                        self.outstanding[unit] = Some(out);
+                    } else {
+                        self.outstanding[unit] = None;
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Caps actually programmed in the units' hardware (flat unit order),
+    /// as of the last cycle.
+    pub fn applied_caps(&self) -> &[Watts] {
+        &self.applied
+    }
+
+    /// The controller's hold-last telemetry.
+    pub fn telemetry(&self) -> &[Watts] {
+        self.controller.telemetry()
+    }
+
+    /// The controller's liveness view of a node.
+    pub fn node_live(&self, node: usize) -> bool {
+        self.controller.node_live(node)
+    }
+
+    /// Whether the node's agent daemon is actually running.
+    pub fn agent_up(&self, node: usize) -> bool {
+        self.agents[node].is_up()
+    }
+
+    /// Ground truth for the safety invariant: the sum of caps *actually
+    /// programmed* on nodes the controller considers live.
+    pub fn live_applied_sum(&self) -> Watts {
+        (0..self.n_nodes)
+            .filter(|n| self.controller.node_live(*n))
+            .flat_map(|n| self.agents[n].caps())
+            .sum()
+    }
+
+    /// The controller's believed version of [`Self::live_applied_sum`].
+    pub fn live_believed_sum(&self) -> Watts {
+        self.controller.live_believed_sum()
+    }
+
+    /// Decision cycles run so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Aggregated statistics (links + controller + retries).
+    pub fn stats(&self) -> CtrlStats {
+        let mut stats = CtrlStats::default();
+        for node in 0..self.n_nodes {
+            stats.absorb_link(self.down[node].counters());
+            stats.absorb_link(self.up[node].counters());
+        }
+        self.controller.fill_stats(&mut stats);
+        stats.retries = self.retries;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultEvent;
+    use crate::frame::wire_slack;
+    use dps_core::manager::{constant_cap, ManagerKind};
+
+    const PERIOD: Seconds = 1.0;
+
+    fn limits() -> UnitLimits {
+        UnitLimits {
+            min_cap: 40.0,
+            max_cap: 165.0,
+        }
+    }
+
+    /// A trivial manager: proposes a fixed pattern each cycle.
+    struct FixedManager {
+        caps: Vec<Watts>,
+        budget: Watts,
+    }
+
+    impl PowerManager for FixedManager {
+        fn kind(&self) -> ManagerKind {
+            ManagerKind::Constant
+        }
+        fn num_units(&self) -> usize {
+            self.caps.len()
+        }
+        fn total_budget(&self) -> Watts {
+            self.budget
+        }
+        fn assign_caps(&mut self, _measured: &[Watts], caps: &mut [Watts], _dt: Seconds) {
+            caps.copy_from_slice(&self.caps);
+        }
+        fn reset(&mut self) {}
+    }
+
+    fn plane(n_nodes: usize, upn: usize, config: FramedConfig) -> FramedControlPlane {
+        let budget = (n_nodes * upn) as f64 * 110.0;
+        FramedControlPlane::new(
+            n_nodes,
+            upn,
+            budget,
+            limits(),
+            constant_cap(budget, n_nodes * upn, limits()),
+            config,
+            &RngStream::new(11, "plane-test"),
+        )
+    }
+
+    /// Runs cycles `start .. start + cycles` (simulated time keeps going
+    /// across calls so fault windows line up). With `strict` — correct for
+    /// every fault mix except payload corruption, which can forge caps no
+    /// controller can pre-authorize — asserts the believed-cap invariant
+    /// and its applied-cap ground truth each cycle.
+    fn run(
+        plane: &mut FramedControlPlane,
+        manager: &mut FixedManager,
+        start: usize,
+        cycles: usize,
+        strict: bool,
+    ) {
+        let n = manager.num_units();
+        let mut proposals = vec![0.0; n];
+        let readings = vec![90.0; n];
+        for c in start..start + cycles {
+            let now = c as f64 * PERIOD;
+            let ok = plane.run_cycle(now, PERIOD, &readings, manager, &mut proposals);
+            if strict {
+                assert!(ok, "believed-cap invariant broke at cycle {c}");
+                let truth = plane.live_applied_sum();
+                assert!(
+                    truth <= manager.budget + wire_slack(n),
+                    "applied caps {truth} exceed budget at cycle {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faultless_cycle_converges_to_targets() {
+        let mut p = plane(2, 2, FramedConfig::default());
+        let mut m = FixedManager {
+            caps: vec![150.0, 70.0, 120.0, 100.0],
+            budget: 440.0,
+        };
+        run(&mut p, &mut m, 0, 3, true);
+        for (a, want) in p.applied_caps().iter().zip(&m.caps) {
+            assert!((a - want).abs() < 1e-9, "{a} vs {want}");
+        }
+        assert_eq!(p.telemetry(), &[90.0; 4]);
+        let stats = p.stats();
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.gather_misses, 0);
+        assert_eq!(stats.frames_dropped, 0);
+    }
+
+    #[test]
+    fn lossy_links_still_converge_and_stay_safe() {
+        let mut config = FramedConfig::default();
+        config.link.drop_prob = 0.1;
+        let mut p = plane(2, 2, config);
+        let mut m = FixedManager {
+            caps: vec![150.0, 70.0, 120.0, 100.0],
+            budget: 440.0,
+        };
+        run(&mut p, &mut m, 0, 30, true);
+        let stats = p.stats();
+        assert!(stats.frames_dropped > 0, "losses actually happened");
+        assert!(stats.retries > 0, "retries covered the losses");
+        // With retries over 30 cycles the targets land anyway.
+        for (a, want) in p.applied_caps().iter().zip(&m.caps) {
+            assert!((a - want).abs() < 1e-9, "{a} vs {want}");
+        }
+    }
+
+    #[test]
+    fn crash_demotes_then_floor_readmits() {
+        let mut config = FramedConfig::default();
+        config.faults.push(FaultEvent::Crash {
+            node: 1,
+            at: 2.0,
+            until: 6.0,
+        });
+        let mut p = plane(2, 2, config);
+        let mut m = FixedManager {
+            caps: vec![110.0; 4],
+            budget: 440.0,
+        };
+        run(&mut p, &mut m, 0, 2, true);
+        assert!(p.node_live(1));
+        // Crash at t=2; stale after 3 missed cycles → demoted by t=4.
+        run(&mut p, &mut m, 2, 4, true);
+        assert!(!p.agent_up(1));
+        assert!(!p.node_live(1), "node demoted while down");
+        // Live node got the reclaimed budget.
+        assert!(p.applied_caps()[0] > 110.0 + 1.0);
+        // Reboot at t=6; floor ack readmits within a cycle or two.
+        run(&mut p, &mut m, 6, 3, true);
+        assert!(p.agent_up(1));
+        assert!(p.node_live(1), "rebooted node readmitted");
+        assert_eq!(p.stats().stale_transitions, 1);
+        assert_eq!(p.stats().readmissions, 1);
+        // And the caps relax back toward the symmetric split.
+        run(&mut p, &mut m, 9, 3, true);
+        for a in p.applied_caps() {
+            assert!((a - 110.0).abs() < 1e-9, "{:?}", p.applied_caps());
+        }
+    }
+
+    #[test]
+    fn partition_heals_without_agent_restart() {
+        let mut config = FramedConfig::default();
+        config.faults.push(FaultEvent::Partition {
+            node: 0,
+            at: 1.0,
+            until: 7.0,
+        });
+        let mut p = plane(2, 2, config);
+        let mut m = FixedManager {
+            caps: vec![110.0; 4],
+            budget: 440.0,
+        };
+        run(&mut p, &mut m, 0, 6, true);
+        assert!(p.agent_up(0), "partition never kills the daemon");
+        assert!(!p.node_live(0));
+        // Partitioned node still holds its last caps (hold through
+        // silence).
+        assert!((p.applied_caps()[0] - 110.0).abs() < 1e-9);
+        run(&mut p, &mut m, 6, 4, true);
+        assert!(p.node_live(0), "healed partition readmits via floor ack");
+    }
+
+    #[test]
+    fn corrupt_burst_survived() {
+        let mut config = FramedConfig::default();
+        config.faults.push(FaultEvent::CorruptBurst {
+            node: 0,
+            at: 2.0,
+            until: 10.0,
+            prob: 0.3,
+        });
+        let mut p = plane(2, 2, config);
+        let mut m = FixedManager {
+            caps: vec![130.0, 90.0, 120.0, 100.0],
+            budget: 440.0,
+        };
+        // Non-strict through the burst: a corrupted frame can forge a
+        // SetCap no controller can pre-authorize; the plane's job is to
+        // detect (stray acks) and repair (corrective re-sends) it.
+        run(&mut p, &mut m, 0, 12, false);
+        // Clean cycles after the burst: fully repaired and safe again.
+        run(&mut p, &mut m, 12, 4, true);
+        assert!(p.stats().frames_corrupted > 0);
+        assert!(p.stats().frames_undecodable > 0, "decode-None path hit");
+        for (a, want) in p.applied_caps().iter().zip(&m.caps) {
+            assert!((a - want).abs() < 1e-9, "{a} vs {want}");
+        }
+        assert!(p.live_believed_sum() <= m.budget + wire_slack(4));
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let build = || {
+            let mut config = FramedConfig::default();
+            config.link.drop_prob = 0.15;
+            config.link.jitter = 20e-6;
+            plane(2, 2, config)
+        };
+        let mut a = build();
+        let mut b = build();
+        let mut ma = FixedManager {
+            caps: vec![150.0, 70.0, 120.0, 100.0],
+            budget: 440.0,
+        };
+        let mut mb = FixedManager {
+            caps: ma.caps.clone(),
+            budget: 440.0,
+        };
+        run(&mut a, &mut ma, 0, 20, false);
+        run(&mut b, &mut mb, 0, 20, false);
+        assert_eq!(a.applied_caps(), b.applied_caps());
+        assert_eq!(a.stats(), b.stats());
+    }
+}

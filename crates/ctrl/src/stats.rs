@@ -1,0 +1,93 @@
+//! Aggregated control-plane statistics.
+
+use crate::link::LinkCounters;
+use dps_sim_core::units::Watts;
+
+/// Counters accumulated by a framed control plane over a run. Transport
+/// counters aggregate both directions of every node link; the rest come
+/// from the controller's bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CtrlStats {
+    /// Frames handed to the transport (both directions).
+    pub frames_sent: u64,
+    /// Frames delivered to a receiver.
+    pub frames_delivered: u64,
+    /// Frames lost to the random drop roll.
+    pub frames_dropped: u64,
+    /// Frames discarded because a partition was active.
+    pub frames_blocked: u64,
+    /// Frames whose bytes were corrupted in flight.
+    pub frames_corrupted: u64,
+    /// Delivered frames that failed to decode.
+    pub frames_undecodable: u64,
+    /// Extra copies created by duplication.
+    pub frames_duplicated: u64,
+    /// Requests re-sent after a timeout or a mismatched acknowledgement.
+    pub retries: u64,
+    /// Node-cycles in which gather ended without a full report.
+    pub gather_misses: u64,
+    /// Live → stale transitions.
+    pub stale_transitions: u64,
+    /// Stale → live readmissions.
+    pub readmissions: u64,
+    /// Raise assignments deferred by the budget-headroom check.
+    pub raises_deferred: u64,
+    /// Cumulative budget reclaimed from non-live nodes (Watt-cycles:
+    /// Watts summed over decision cycles).
+    pub reclaimed_watt_cycles: f64,
+    /// Decision cycles executed.
+    pub cycles: u64,
+    /// Worst observed excess of the live believed-cap sum over budget +
+    /// wire slack (should stay 0; nonzero means the safety invariant broke).
+    pub worst_budget_excess: Watts,
+}
+
+impl CtrlStats {
+    /// Folds one link direction's counters into the transport totals.
+    pub fn absorb_link(&mut self, c: LinkCounters) {
+        self.frames_sent += c.sent;
+        self.frames_delivered += c.delivered;
+        self.frames_dropped += c.dropped;
+        self.frames_blocked += c.blocked;
+        self.frames_corrupted += c.corrupted;
+        self.frames_undecodable += c.undecodable;
+        self.frames_duplicated += c.duplicated;
+    }
+
+    /// Fraction of sent frames that were delivered (1.0 when nothing was
+    /// sent).
+    pub fn delivery_rate(&self) -> f64 {
+        if self.frames_sent == 0 {
+            1.0
+        } else {
+            self.frames_delivered as f64 / self.frames_sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut s = CtrlStats::default();
+        let c = LinkCounters {
+            sent: 10,
+            delivered: 8,
+            dropped: 2,
+            ..Default::default()
+        };
+        s.absorb_link(c);
+        s.absorb_link(c);
+        assert_eq!(s.frames_sent, 20);
+        assert_eq!(s.frames_delivered, 16);
+        assert_eq!(s.frames_dropped, 4);
+        assert!((s.delivery_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delivery_rate_defined_when_idle() {
+        assert_eq!(CtrlStats::default().delivery_rate(), 1.0);
+    }
+}

@@ -14,7 +14,7 @@
 //!   packages get the reclaimed Watts without memory throttling.
 //!
 //! Expected shape (Sarood's result): the profiled split wins, the naive
-//! one loses — "using the same peak power limit for all [subsystems] leads
+//! one loses — "using the same peak power limit for all \[subsystems\] leads
 //! to sub-optimal application performance", but the split must follow the
 //! measured subsystem demand.
 

@@ -11,7 +11,7 @@
 //!   `MSR_PKG_ENERGY_STATUS` register (32-bit, ~15.3 µJ units), plus a reader
 //!   that handles wraps, so the power-from-energy path is exercised the same
 //!   way a real deployment would exercise it.
-//! * [`noise`] — measurement-noise models. The paper "assume[s]
+//! * [`noise`] — measurement-noise models. The paper "assume\[s\]
 //!   pessimistically that RAPL bares certain measurement noise" and feeds a
 //!   Kalman filter; the default model is additive Gaussian noise.
 //! * [`domain`] — [`PowerDomain`]: one power-capping unit (a socket). Caps

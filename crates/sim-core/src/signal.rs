@@ -2,7 +2,7 @@
 //!
 //! The DPS priority module (paper Alg. 2) classifies each unit's recent power
 //! history by (1) the number of **prominent peaks** — a time-series peak
-//! detection in the style of Palshikar [32] / scipy's `find_peaks` with a
+//! detection in the style of Palshikar \[32\] / scipy's `find_peaks` with a
 //! prominence threshold — and (2) the windowed **first derivative**
 //! (paper Eq. 3 generalised over `direv_length` samples). Both primitives
 //! live here, independent of controller policy, so they can be tested and

@@ -260,7 +260,7 @@ fn build_phased_spark(spec: &WorkloadSpec, rng: &mut RngStream) -> DemandProgram
 /// Simulated duration of a program executed alone under a constant cap.
 ///
 /// Numerically integrates `dt = dpos / rate(demand(pos), min(demand, cap))`
-/// at [`CALIBRATION_STEP`] resolution.
+/// at `CALIBRATION_STEP` resolution.
 pub fn capped_duration(program: &DemandProgram, perf: &PerfModel, cap: Watts) -> Seconds {
     let total = program.total_work();
     let mut duration = 0.0;

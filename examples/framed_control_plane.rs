@@ -1,0 +1,85 @@
+//! Framed control plane: run DPS over a faulty wire and watch it cope.
+//!
+//! ```text
+//! cargo run --release --example framed_control_plane
+//! ```
+//!
+//! Switches the cluster simulation from the ideal shared-memory exchange
+//! to the framed control plane: every measurement and cap assignment is a
+//! 3-byte frame on a lossy link, a node crashes mid-run and rejoins, and
+//! the controller keeps the cluster inside its power budget throughout
+//! (stale nodes' budget is reclaimed and returned on readmission).
+
+use dps_suite::cluster::{ClusterSim, ControlPlaneMode, ExperimentConfig};
+use dps_suite::core::manager::ManagerKind;
+use dps_suite::ctrl::{FaultEvent, FramedConfig};
+use dps_suite::rapl::Topology;
+use dps_suite::sim_core::RngStream;
+use dps_suite::workloads::{DemandProgram, Phase};
+
+fn main() {
+    // A small testbed: 2 clusters × 2 nodes × 2 sockets (8 units), one
+    // hot cluster (throttled by the budget) and one cool.
+    let mut config = ExperimentConfig::paper_default(/* seed */ 7, /* reps */ 1);
+    config.sim.topology = Topology::new(2, 2, 2);
+
+    // The wire: 50 µs latency, 2 % frame drop, and node 1 crashes at
+    // t = 60 s, rebooting at t = 150 s.
+    let mut framed = FramedConfig::default();
+    framed.link.drop_prob = 0.02;
+    framed.faults.push(FaultEvent::Crash {
+        node: 1,
+        at: 60.0,
+        until: 150.0,
+    });
+    config.sim.control_plane = ControlPlaneMode::Framed(framed);
+
+    let programs = vec![
+        DemandProgram::new(vec![Phase::constant(240.0, 150.0)]),
+        DemandProgram::new(vec![Phase::constant(240.0, 60.0)]),
+    ];
+    let mut sim = ClusterSim::new(
+        config.sim.clone(),
+        programs,
+        config.build_manager(ManagerKind::Dps),
+        &RngStream::new(config.seed, "framed-example"),
+    );
+
+    let budget = sim.config().total_budget();
+    println!("budget {budget:.0} W over 8 units; node 1 crashes at t=60 s\n");
+    for step in 0..240 {
+        sim.cycle();
+        if step % 30 == 29 {
+            let plane = sim.control_plane().expect("framed mode");
+            let live: Vec<usize> = (0..4).filter(|&n| plane.node_live(n)).collect();
+            // The all-nodes sum can exceed the budget while a node is
+            // down: its hardware holds the last programmed caps ("hold
+            // through silence") while its budget share is reclaimed for
+            // the live nodes. The safety invariant is over the *live* sum.
+            println!(
+                "t={:>3.0} s  live nodes {:?}  applied W: live {:>6.1} / all {:>6.1}  \
+                 hot satisfaction {:.3}",
+                sim.now(),
+                live,
+                plane.live_applied_sum(),
+                plane.applied_caps().iter().sum::<f64>(),
+                sim.satisfaction(0),
+            );
+        }
+    }
+
+    let stats = sim.control_plane_stats().expect("framed mode");
+    println!(
+        "\nwire: {} frames, {:.1}% delivered, {} retries; \
+         {} stale transition(s), {} readmission(s)",
+        stats.frames_sent,
+        100.0 * stats.delivery_rate(),
+        stats.retries,
+        stats.stale_transitions,
+        stats.readmissions,
+    );
+    println!(
+        "worst believed-cap excess over budget: {:.2} W (0 = invariant held)",
+        stats.worst_budget_excess
+    );
+}

@@ -1,0 +1,112 @@
+//! Case configuration and the deterministic per-case RNG.
+
+/// Sentinel error string used by `prop_assume!` to signal a rejected
+/// (skipped) case rather than a failure.
+pub const REJECT_SENTINEL: &str = "__proptest_stub_reject__";
+
+/// Explicit case-failure value for `Result`-style property bodies
+/// (`.map_err(|e| TestCaseError::fail(...))?`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure carrying `reason`.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self(reason.into())
+    }
+
+    /// A rejection (the case is skipped, not failed).
+    pub fn reject(_reason: impl Into<String>) -> Self {
+        Self(REJECT_SENTINEL.to_string())
+    }
+}
+
+impl From<TestCaseError> for String {
+    fn from(e: TestCaseError) -> String {
+        e.0
+    }
+}
+
+/// Runner configuration (subset: only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Accepted for compatibility; unused (no shrinking in the stand-in).
+    pub max_shrink_iters: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Deterministic splitmix64 generator seeded from `(property name, case)`.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn fnv1a(label: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in label.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+impl TestRng {
+    /// The RNG for one case of one named property.
+    pub fn for_case(property: &str, case: u32) -> Self {
+        Self {
+            state: splitmix64(fnv1a(property) ^ splitmix64(u64::from(case))),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    pub fn int_in(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo <= hi, "empty integer range");
+        let span = (hi - lo + 1) as u128;
+        lo + (self.next_u64() as u128 % span) as i128
+    }
+}

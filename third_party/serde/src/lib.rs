@@ -1,0 +1,28 @@
+//! Minimal offline stand-in for `serde` (see `third_party/README.md`).
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` so that its public
+//! types advertise serializability; nothing serializes at runtime. The
+//! traits here are markers and the derives are no-ops.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub mod de {
+    //! Deserialization half (markers only).
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    //! Serialization half (markers only).
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

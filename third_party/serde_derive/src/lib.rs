@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the serde stand-in.
+//!
+//! They accept (and ignore) `#[serde(...)]` attributes and expand to
+//! nothing: the stand-in traits are markers, so there is nothing to
+//! implement.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
