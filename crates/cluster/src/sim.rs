@@ -17,9 +17,10 @@
 
 use crate::logging::{CycleLog, CycleRecord};
 use crate::satisfaction::SatisfactionTracker;
+use dps_core::guard::HealthState;
 use dps_core::manager::PowerManager;
 use dps_ctrl::{CtrlStats, FramedConfig, FramedControlPlane};
-use dps_rapl::{DomainBank, DomainSpec, NoiseModel, PowerInterface, Topology};
+use dps_rapl::{DomainBank, DomainSpec, NoiseModel, PowerInterface, Topology, UnitFaultSchedule};
 use dps_sim_core::rng::RngStream;
 use dps_sim_core::units::{Seconds, SimClock, Watts};
 use dps_workloads::{DemandProgram, PerfModel, RunningWorkload};
@@ -66,6 +67,9 @@ pub struct SimConfig {
     pub idle_gap: Seconds,
     /// How manager and units exchange measurements and caps.
     pub control_plane: ControlPlaneMode,
+    /// Scripted sensor/actuator faults injected at the RAPL substrate
+    /// (empty = fault-free hardware).
+    pub sensor_faults: UnitFaultSchedule,
 }
 
 impl SimConfig {
@@ -81,6 +85,7 @@ impl SimConfig {
             budget_fraction: 2.0 / 3.0,
             idle_gap: 10.0,
             control_plane: ControlPlaneMode::Direct,
+            sensor_faults: UnitFaultSchedule::none(),
         }
     }
 
@@ -129,6 +134,7 @@ impl SimConfig {
         if let ControlPlaneMode::Framed(framed) = &self.control_plane {
             framed.validate(self.total_nodes(), self.period)?;
         }
+        self.sensor_faults.validate(self.topology.total_units())?;
         Ok(())
     }
 }
@@ -205,6 +211,11 @@ pub struct ClusterSim {
     demands: Vec<Watts>,
     measured: Vec<Watts>,
     true_power: Vec<Watts>,
+    applied: Vec<Watts>,
+    /// Checkpoint the manager every N cycles (watchdog); `None` disables.
+    watchdog_every: Option<u64>,
+    /// Latest watchdog snapshot, if the manager supports checkpointing.
+    last_checkpoint: Option<Vec<u8>>,
 }
 
 impl ClusterSim {
@@ -235,7 +246,10 @@ impl ClusterSim {
             "manager sized for the topology"
         );
         let n = config.topology.total_units();
-        let bank = DomainBank::homogeneous(n, config.domain_spec, config.noise.clone(), rng);
+        let mut bank = DomainBank::homogeneous(n, config.domain_spec, config.noise.clone(), rng);
+        if !config.sensor_faults.is_empty() {
+            bank.set_faults(config.sensor_faults.clone(), rng);
+        }
 
         let jobs = programs
             .into_iter()
@@ -285,6 +299,9 @@ impl ClusterSim {
             demands: vec![0.0; n],
             measured: vec![0.0; n],
             true_power: vec![0.0; n],
+            applied: vec![0.0; n],
+            watchdog_every: None,
+            last_checkpoint: None,
             clock: SimClock::new(config.period),
             bank,
             jobs,
@@ -394,6 +411,67 @@ impl ClusterSim {
         self.plane.as_ref().map(|p| p.stats())
     }
 
+    /// Per-unit caps actually in force at the hardware after the last
+    /// cycle's programming (the readback that write verification sees).
+    /// Diverges from [`ClusterSim::caps`] exactly when actuator faults are
+    /// swallowing or mangling writes.
+    pub fn applied_caps(&self) -> &[Watts] {
+        &self.applied
+    }
+
+    /// Per-unit telemetry health as judged by the manager's guard; `None`
+    /// for managers without health gating.
+    pub fn health(&self) -> Option<&[HealthState]> {
+        self.manager.health()
+    }
+
+    /// Cumulative guard counters; `None` for managers without health gating.
+    pub fn guard_stats(&self) -> Option<dps_core::GuardStats> {
+        self.manager.guard_stats()
+    }
+
+    /// Enables the controller watchdog: every `every_cycles` cycles the
+    /// manager is checkpointed (if it supports it; see
+    /// [`PowerManager::checkpoint`]). The latest snapshot is what
+    /// [`ClusterSim::crash_and_restore`] resumes from.
+    ///
+    /// # Panics
+    /// Panics if `every_cycles` is 0.
+    pub fn enable_watchdog(&mut self, every_cycles: u64) {
+        assert!(every_cycles > 0, "watchdog period must be positive");
+        self.watchdog_every = Some(every_cycles);
+    }
+
+    /// The latest watchdog snapshot, when one has been taken.
+    pub fn last_checkpoint(&self) -> Option<&[u8]> {
+        self.last_checkpoint.as_deref()
+    }
+
+    /// Simulates a controller crash-and-restart: the running manager is
+    /// dropped (all its in-memory state lost) and replaced by `fresh` — a
+    /// newly constructed manager with the same configuration — which is
+    /// restored from the latest watchdog snapshot before taking over.
+    ///
+    /// Returns an error (leaving the old manager in place) if no snapshot
+    /// has been taken, the snapshot fails validation, or `fresh` has the
+    /// wrong shape.
+    pub fn crash_and_restore(&mut self, mut fresh: Box<dyn PowerManager>) -> Result<(), String> {
+        if fresh.num_units() != self.config.topology.total_units() {
+            return Err(format!(
+                "replacement manager has {} units, topology has {}",
+                fresh.num_units(),
+                self.config.topology.total_units()
+            ));
+        }
+        let snap = self
+            .last_checkpoint
+            .as_ref()
+            .ok_or_else(|| "no watchdog checkpoint to restore from".to_string())?;
+        fresh.restore(snap)?;
+        self.manager = fresh;
+        Ok(())
+    }
+
     /// Runs one decision cycle.
     pub fn cycle(&mut self) {
         let topo = self.config.topology;
@@ -470,6 +548,16 @@ impl ClusterSim {
             }
         }
 
+        // (5b) Write verification: read the programmed caps back from the
+        // hardware and hand them to the manager. A telemetry-guarded
+        // manager compares them against its requests to catch silently
+        // dropped, clamped or delayed cap writes; other managers ignore
+        // the call (default no-op).
+        for u in 0..self.applied.len() {
+            self.applied[u] = self.bank.domain(u).cap();
+        }
+        self.manager.observe_applied(&self.applied);
+
         // (6) Jobs advance at the pace of their slowest socket: Spark
         // stages and NPB iterations are barrier-synchronised, so a single
         // starved socket stalls the whole job. This is the straggler effect
@@ -526,6 +614,16 @@ impl ClusterSim {
                     .map(|p| p.to_vec())
                     .unwrap_or_default(),
             });
+        }
+
+        // (9) Watchdog: periodically snapshot the manager so a crashed
+        // controller can be restored (see `crash_and_restore`).
+        if let Some(every) = self.watchdog_every {
+            if (self.clock.timestep() + 1).is_multiple_of(every) {
+                if let Some(snap) = self.manager.checkpoint() {
+                    self.last_checkpoint = Some(snap);
+                }
+            }
         }
 
         self.clock.advance();
@@ -770,5 +868,161 @@ mod tests {
         let mgr = constant_mgr(&cfg);
         let rng = RngStream::new(9, "sim-test");
         ClusterSim::new(cfg, vec![flat(10.0, 100.0)], mgr, &rng);
+    }
+
+    // ---- sensor/actuator fault + guard + watchdog wiring ----
+
+    use dps_core::GuardConfig;
+    use dps_rapl::{ActuatorFault, SensorFault, UnitFaultEvent};
+
+    fn guarded_dps(cfg: &SimConfig, rng: &RngStream) -> Box<dyn PowerManager> {
+        Box::new(DpsManager::with_guard(
+            cfg.topology.total_units(),
+            cfg.total_budget(),
+            UnitLimits {
+                min_cap: cfg.domain_spec.min_cap,
+                max_cap: cfg.domain_spec.tdp,
+            },
+            DpsConfig::default(),
+            GuardConfig {
+                // Noise-free telemetry looks "stuck" to the zero-variance
+                // detector; disable it and rely on the value gates.
+                stuck_window: 0,
+                quarantine_after: 2,
+                probation_after: 3,
+                readmit_after: 4,
+                ..Default::default()
+            },
+            rng.child("mgr"),
+        ))
+    }
+
+    #[test]
+    fn sensor_fault_schedule_reaches_the_bank() {
+        let mut cfg = small_config();
+        cfg.sensor_faults = UnitFaultSchedule::new(vec![UnitFaultEvent::sensor(
+            0,
+            5.0,
+            15.0,
+            SensorFault::Dropout,
+        )]);
+        cfg.validate().unwrap();
+        let mgr = constant_mgr(&cfg);
+        let rng = RngStream::new(31, "fault-wire");
+        let mut sim = ClusterSim::new(cfg, vec![flat(50.0, 100.0), flat(50.0, 100.0)], mgr, &rng);
+        sim.enable_logging();
+        for _ in 0..20 {
+            sim.cycle();
+        }
+        let series = sim.log().power_series(0);
+        // Readings inside [5, 15) are NaN, outside they are finite.
+        assert!(series[2].is_finite(), "{series:?}");
+        assert!(series[8].is_nan(), "{series:?}");
+        assert!(series[17].is_finite(), "{series:?}");
+    }
+
+    #[test]
+    fn guarded_dps_quarantines_dropout_and_respects_budget() {
+        let mut cfg = small_config();
+        cfg.sensor_faults = UnitFaultSchedule::new(vec![UnitFaultEvent::sensor(
+            0,
+            10.0,
+            40.0,
+            SensorFault::Dropout,
+        )]);
+        let budget = cfg.total_budget();
+        let rng = RngStream::new(32, "guard-sim");
+        let mgr = guarded_dps(&cfg, &rng);
+        let mut sim = ClusterSim::new(cfg, vec![flat(200.0, 160.0), flat(200.0, 150.0)], mgr, &rng);
+        let mut quarantined_seen = false;
+        for _ in 0..80 {
+            sim.cycle();
+            assert!(
+                sim.caps().iter().sum::<f64>() <= budget + 1e-6,
+                "cycle {}: {:?}",
+                sim.timestep(),
+                sim.caps()
+            );
+            let health = sim.health().expect("guarded manager reports health");
+            if health[0].is_isolated() {
+                quarantined_seen = true;
+            }
+        }
+        assert!(quarantined_seen, "dropout unit was never isolated");
+        // Long after the window the unit must be healthy again.
+        assert_eq!(sim.health().unwrap()[0], HealthState::Healthy);
+    }
+
+    #[test]
+    fn actuator_drop_writes_diverge_applied_from_requested() {
+        let mut cfg = small_config();
+        cfg.sensor_faults = UnitFaultSchedule::new(vec![UnitFaultEvent::actuator(
+            0,
+            0.0,
+            1000.0,
+            ActuatorFault::DropWrites,
+        )]);
+        let rng = RngStream::new(33, "act-wire");
+        let mgr = guarded_dps(&cfg, &rng);
+        // Hot demand everywhere: DPS wants to move unit 0's cap, but the
+        // write never lands; the readback must expose the stale cap.
+        let mut sim = ClusterSim::new(cfg, vec![flat(200.0, 160.0), flat(200.0, 30.0)], mgr, &rng);
+        let mut diverged = false;
+        for _ in 0..60 {
+            sim.cycle();
+            if (sim.applied_caps()[0] - sim.caps()[0]).abs() > 1.0 {
+                diverged = true;
+            }
+            // Honest units' readbacks track their requests.
+            assert!((sim.applied_caps()[2] - sim.caps()[2]).abs() < 0.5);
+        }
+        assert!(diverged, "dropped writes never showed up in the readback");
+    }
+
+    #[test]
+    fn watchdog_restore_resumes_identical_trajectory() {
+        // Checkpoint every cycle, crash after 30, restore a fresh manager
+        // from the snapshot: the remaining trajectory must match an
+        // uninterrupted twin bit for bit (fault-free plant, shared seed).
+        let cfg = small_config();
+        let budget = cfg.total_budget();
+        let rng = RngStream::new(34, "watchdog");
+        let programs = || vec![flat(300.0, 160.0), flat(300.0, 140.0)];
+        let mut crashed = ClusterSim::new(cfg.clone(), programs(), guarded_dps(&cfg, &rng), &rng);
+        let mut twin = ClusterSim::new(cfg.clone(), programs(), guarded_dps(&cfg, &rng), &rng);
+        crashed.enable_watchdog(1);
+        for _ in 0..30 {
+            crashed.cycle();
+            twin.cycle();
+        }
+        crashed
+            .crash_and_restore(guarded_dps(&cfg, &rng))
+            .expect("restore from watchdog snapshot");
+        for _ in 0..40 {
+            crashed.cycle();
+            twin.cycle();
+            assert_eq!(crashed.caps(), twin.caps(), "t={}", crashed.timestep());
+            assert!(crashed.caps().iter().sum::<f64>() <= budget + 1e-6);
+        }
+    }
+
+    #[test]
+    fn crash_without_snapshot_is_rejected() {
+        let cfg = small_config();
+        let rng = RngStream::new(35, "watchdog-none");
+        let mut sim = ClusterSim::new(
+            cfg.clone(),
+            vec![flat(50.0, 100.0), flat(50.0, 100.0)],
+            guarded_dps(&cfg, &rng),
+            &rng,
+        );
+        // Watchdog never enabled → no snapshot → restore must fail and the
+        // incumbent manager keeps running.
+        for _ in 0..5 {
+            sim.cycle();
+        }
+        let err = sim.crash_and_restore(guarded_dps(&cfg, &rng)).unwrap_err();
+        assert!(err.contains("no watchdog checkpoint"), "{err}");
+        sim.cycle(); // still functional
     }
 }

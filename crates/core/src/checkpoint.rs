@@ -1,0 +1,312 @@
+//! Controller checkpoint/restore: a hand-rolled binary codec.
+//!
+//! A production DPS server is a long-running daemon; if it crashes, the
+//! restarted controller must resume from its last snapshot *without ever
+//! exceeding the budget* and converge back to the trajectory an
+//! uninterrupted run would have taken. The snapshot covers everything
+//! dynamic in [`crate::DpsManager`]: the RNG stream position (the stateless
+//! module's random visit order is part of the control law), the shuffled
+//! visit-order permutation itself, every unit's Kalman filter and bounded
+//! power history, the priority flags, and the telemetry guard's health
+//! machines and cap beliefs.
+//!
+//! The format is deliberately dependency-free: little-endian fixed-width
+//! fields behind a magic/version header, sealed with an FNV-1a checksum so
+//! a torn or bit-flipped snapshot is rejected instead of half-applied
+//! (restoring from corrupted state is how a crashed controller turns into a
+//! budget violation). Restore targets must be constructed with the same
+//! shape (unit count, budget, config) as the checkpointed manager —
+//! construction parameters are *not* serialized, only verified via the
+//! shape fields in the header.
+
+/// Snapshot format magic: `"DPSC"` as a little-endian u32.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"DPSC");
+/// Current snapshot format version.
+pub const VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Little-endian binary writer for snapshot payloads.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Starts a payload with the magic/version header already written.
+    pub fn new() -> Self {
+        let mut w = Self { buf: Vec::new() };
+        w.put_u32(MAGIC);
+        w.put_u32(VERSION);
+        w
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `bool` as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f64` by bit pattern (NaN payloads round-trip exactly).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed `f64` slice.
+    pub fn put_f64_slice(&mut self, vs: &[f64]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+
+    /// Seals the payload with its FNV-1a checksum and returns the bytes.
+    pub fn seal(mut self) -> Vec<u8> {
+        let sum = fnv1a(&self.buf);
+        self.put_u64(sum);
+        self.buf
+    }
+}
+
+/// Little-endian binary reader over a sealed snapshot.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Opens a sealed snapshot: verifies length, checksum, magic and
+    /// version before any field is decoded.
+    pub fn open(bytes: &'a [u8]) -> Result<Self, String> {
+        if bytes.len() < 16 {
+            return Err(format!("snapshot truncated: {} bytes", bytes.len()));
+        }
+        let (payload, sum_bytes) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+        let computed = fnv1a(payload);
+        if stored != computed {
+            return Err(format!(
+                "snapshot checksum mismatch: stored {stored:#x}, computed {computed:#x}"
+            ));
+        }
+        let mut r = Self {
+            buf: payload,
+            pos: 0,
+        };
+        let magic = r.get_u32()?;
+        if magic != MAGIC {
+            return Err(format!("bad snapshot magic {magic:#x}"));
+        }
+        let version = r.get_u32()?;
+        if version != VERSION {
+            return Err(format!(
+                "unsupported snapshot version {version} (expected {VERSION})"
+            ));
+        }
+        Ok(r)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.buf.len() {
+            return Err(format!(
+                "snapshot underrun: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `bool`, rejecting anything but 0 or 1.
+    pub fn get_bool(&mut self) -> Result<bool, String> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(format!("invalid bool byte {b:#x}")),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `usize` (stored as `u64`), rejecting values above
+    /// `usize::MAX` on 32-bit hosts.
+    pub fn get_usize(&mut self) -> Result<usize, String> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| format!("length {v} overflows usize"))
+    }
+
+    /// Reads an `f64` by bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a length-prefixed `f64` vector, with `max_len` guarding
+    /// against a corrupted length field allocating gigabytes.
+    pub fn get_f64_vec(&mut self, max_len: usize) -> Result<Vec<f64>, String> {
+        let len = self.get_usize()?;
+        if len > max_len {
+            return Err(format!("slice length {len} exceeds bound {max_len}"));
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.get_f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Whether every payload byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Errors unless the payload was consumed exactly.
+    pub fn finish(self) -> Result<(), String> {
+        if self.is_exhausted() {
+            Ok(())
+        } else {
+            Err(format!(
+                "snapshot has {} trailing payload bytes",
+                self.buf.len() - self.pos
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_field_types() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX);
+        w.put_usize(42);
+        w.put_f64(-1.5e300);
+        w.put_f64(f64::NAN);
+        w.put_f64_slice(&[1.0, 2.5, -3.25]);
+        let bytes = w.seal();
+
+        let mut r = ByteReader::open(&bytes).unwrap();
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert!(!r.get_bool().unwrap());
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_usize().unwrap(), 42);
+        assert_eq!(r.get_f64().unwrap(), -1.5e300);
+        assert!(r.get_f64().unwrap().is_nan());
+        assert_eq!(r.get_f64_vec(10).unwrap(), vec![1.0, 2.5, -3.25]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn bit_flip_rejected_by_checksum() {
+        let mut w = ByteWriter::new();
+        w.put_u64(123);
+        let mut bytes = w.seal();
+        for i in 0..bytes.len() {
+            let mut copy = bytes.clone();
+            copy[i] ^= 0x10;
+            assert!(
+                ByteReader::open(&copy).is_err(),
+                "flip at byte {i} must be caught"
+            );
+        }
+        // The pristine snapshot still opens.
+        bytes.truncate(bytes.len());
+        ByteReader::open(&bytes).unwrap();
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_f64_slice(&[1.0; 8]);
+        let bytes = w.seal();
+        for cut in 0..bytes.len() {
+            assert!(ByteReader::open(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_rejected() {
+        let mut w = ByteWriter { buf: Vec::new() };
+        w.put_u32(0x1234_5678);
+        w.put_u32(VERSION);
+        assert!(ByteReader::open(&w.seal()).unwrap_err().contains("magic"));
+
+        let mut w = ByteWriter { buf: Vec::new() };
+        w.put_u32(MAGIC);
+        w.put_u32(VERSION + 1);
+        assert!(ByteReader::open(&w.seal()).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn underrun_and_trailing_bytes_detected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(5);
+        let bytes = w.seal();
+        let mut r = ByteReader::open(&bytes).unwrap();
+        assert!(r.get_u64().is_err(), "reading past the payload must fail");
+
+        let r = ByteReader::open(&bytes).unwrap();
+        assert!(r.finish().is_err(), "unread payload must be flagged");
+    }
+
+    #[test]
+    fn bounded_vec_rejects_corrupt_length() {
+        let mut w = ByteWriter::new();
+        w.put_usize(1_000_000);
+        let bytes = w.seal();
+        let mut r = ByteReader::open(&bytes).unwrap();
+        assert!(r.get_f64_vec(64).is_err());
+    }
+}

@@ -16,13 +16,16 @@
 //!    bound.
 
 use crate::budget::debug_assert_budget;
+use crate::checkpoint::{ByteReader, ByteWriter};
 use crate::config::DpsConfig;
+use crate::guard::{GuardConfig, GuardStats, HealthState, TelemetryGuard};
 use crate::history::UnitState;
 use crate::manager::{constant_cap, ManagerKind, PowerManager, UnitLimits};
 use crate::priority::set_priorities;
 use crate::readjust::{readjust, restore};
 use crate::stateless::MimdModule;
-use dps_sim_core::rng::RngStream;
+use dps_sim_core::ring::RingBuffer;
+use dps_sim_core::rng::{RngStream, RngStreamState};
 use dps_sim_core::units::{Seconds, Watts};
 
 /// The model-free stateful power manager.
@@ -66,6 +69,11 @@ pub struct DpsManager {
     priority_flags: Vec<bool>,
     /// Whether the last cycle ended in a restore (exposed for tests/logs).
     last_restored: bool,
+    /// Optional telemetry guard (sensor sanitation, health gating, write
+    /// verification). `None` reproduces the unguarded paper pipeline.
+    guard: Option<TelemetryGuard>,
+    /// Scratch for the sanitized measurement slice.
+    scratch_measured: Vec<Watts>,
 }
 
 impl DpsManager {
@@ -97,7 +105,43 @@ impl DpsManager {
             changed: vec![false; num_units],
             priority_flags: vec![false; num_units],
             last_restored: false,
+            guard: None,
+            scratch_measured: Vec::with_capacity(num_units),
         }
+    }
+
+    /// Creates the manager with a [`TelemetryGuard`] in front of its
+    /// measurement and cap streams (sensor sanitation, per-unit health
+    /// gating with quarantine/readmission, and actuator write verification
+    /// when the cluster loop feeds readbacks to
+    /// [`PowerManager::observe_applied`]).
+    ///
+    /// # Panics
+    /// Panics on an invalid config (manager or guard).
+    pub fn with_guard(
+        num_units: usize,
+        total_budget: Watts,
+        limits: UnitLimits,
+        config: DpsConfig,
+        guard: GuardConfig,
+        rng: RngStream,
+    ) -> Self {
+        let mut m = Self::new(num_units, total_budget, limits, config, rng);
+        if guard.enabled {
+            m.guard = Some(TelemetryGuard::new(
+                num_units,
+                total_budget,
+                limits,
+                m.initial_cap,
+                guard,
+            ));
+        }
+        m
+    }
+
+    /// The telemetry guard, when one is attached.
+    pub fn guard(&self) -> Option<&TelemetryGuard> {
+        self.guard.as_ref()
     }
 
     /// The config in effect.
@@ -130,6 +174,142 @@ impl DpsManager {
     pub fn unit_state(&self, unit: usize) -> &UnitState {
         &self.states[unit]
     }
+
+    /// Serializes every piece of dynamic state (see [`crate::checkpoint`]).
+    fn write_snapshot(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        // Shape fields: verified (not applied) on restore.
+        w.put_usize(self.states.len());
+        w.put_f64(self.total_budget);
+        let rs = self.rng.state();
+        w.put_u64(rs.seed);
+        w.put_u64(rs.label_hash);
+        w.put_u64(rs.draws);
+        w.put_bool(self.last_restored);
+        for &c in &self.changed {
+            w.put_bool(c);
+        }
+        for &p in &self.priority_flags {
+            w.put_bool(p);
+        }
+        for &o in self.mimd.order() {
+            w.put_usize(o);
+        }
+        for s in &self.states {
+            let (est, variance, gain) = s.filter.state();
+            w.put_bool(est.is_some());
+            w.put_f64(est.unwrap_or(0.0));
+            w.put_f64(variance);
+            w.put_f64(gain);
+            w.put_f64_slice(&s.power_history.as_vec());
+            w.put_f64_slice(&s.duration_history.as_vec());
+            w.put_bool(s.high_freq);
+            w.put_bool(s.priority);
+        }
+        match &self.guard {
+            Some(g) => {
+                w.put_bool(true);
+                g.encode(&mut w);
+            }
+            None => w.put_bool(false),
+        }
+        w.seal()
+    }
+
+    /// Restores a [`DpsManager::write_snapshot`] blob onto a manager
+    /// constructed with the same shape (unit count, budget, config, guard
+    /// presence). All-or-nothing: on any decode or validation error the
+    /// manager is left untouched.
+    fn read_snapshot(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = ByteReader::open(bytes)?;
+        let n = r.get_usize()?;
+        if n != self.states.len() {
+            return Err(format!(
+                "snapshot has {n} units, manager has {}",
+                self.states.len()
+            ));
+        }
+        let budget = r.get_f64()?;
+        if budget.to_bits() != self.total_budget.to_bits() {
+            return Err(format!(
+                "snapshot budget {budget} W differs from manager budget {} W",
+                self.total_budget
+            ));
+        }
+        let rng_state = RngStreamState {
+            seed: r.get_u64()?,
+            label_hash: r.get_u64()?,
+            draws: r.get_u64()?,
+        };
+        let last_restored = r.get_bool()?;
+        let mut changed = vec![false; n];
+        for c in changed.iter_mut() {
+            *c = r.get_bool()?;
+        }
+        let mut priority_flags = vec![false; n];
+        for p in priority_flags.iter_mut() {
+            *p = r.get_bool()?;
+        }
+        let mut order = vec![0usize; n];
+        for o in order.iter_mut() {
+            *o = r.get_usize()?;
+        }
+        // Decode unit states into clones; commit only after full success.
+        let mut new_states = self.states.clone();
+        for s in new_states.iter_mut() {
+            let has_est = r.get_bool()?;
+            let est = r.get_f64()?;
+            let variance = r.get_f64()?;
+            let gain = r.get_f64()?;
+            s.filter
+                .restore_state(has_est.then_some(est), variance, gain)?;
+            let cap = s.power_history.capacity();
+            let powers = r.get_f64_vec(cap)?;
+            let durations = r.get_f64_vec(cap)?;
+            if powers.len() != durations.len() {
+                return Err(format!(
+                    "history lengths diverge: {} powers, {} durations",
+                    powers.len(),
+                    durations.len()
+                ));
+            }
+            s.power_history = RingBuffer::new(cap);
+            s.duration_history = RingBuffer::new(cap);
+            for v in powers {
+                s.power_history.push(v);
+            }
+            for v in durations {
+                s.duration_history.push(v);
+            }
+            s.high_freq = r.get_bool()?;
+            s.priority = r.get_bool()?;
+        }
+        let guard_present = r.get_bool()?;
+        let new_guard = match (&self.guard, guard_present) {
+            (Some(g), true) => {
+                let mut g2 = g.clone();
+                g2.decode(&mut r)?;
+                Some(g2)
+            }
+            (None, false) => None,
+            (have, _) => {
+                return Err(format!(
+                    "guard presence mismatch: snapshot {guard_present}, manager {}",
+                    have.is_some()
+                ))
+            }
+        };
+        r.finish()?;
+        self.mimd.restore_order(&order)?;
+        // Infallible from here: commit.
+        self.rng = RngStream::restore(rng_state);
+        self.last_restored = last_restored;
+        self.changed = changed;
+        self.priority_flags = priority_flags;
+        self.states = new_states;
+        self.guard = new_guard;
+        Ok(())
+    }
 }
 
 impl PowerManager for DpsManager {
@@ -152,6 +332,18 @@ impl PowerManager for DpsManager {
             "one measurement per unit"
         );
 
+        // (0) Telemetry guard: gate the raw measurements and advance the
+        // per-unit health machines. The rest of the pipeline sees only the
+        // sanitized stream.
+        let mut scratch = std::mem::take(&mut self.scratch_measured);
+        let measured: &[Watts] = if let Some(g) = self.guard.as_mut() {
+            scratch.clear();
+            scratch.extend_from_slice(g.sanitize(measured));
+            &scratch
+        } else {
+            measured
+        };
+
         // (1) Stateless temporary allocation on raw current power (Fig. 3:
         // the stateless module takes in current power directly).
         let mut changed = std::mem::take(&mut self.changed);
@@ -163,10 +355,21 @@ impl PowerManager for DpsManager {
         }
 
         // (3) Priorities from power dynamics (and the cap-pinned "needs
-        // power now" signal, judged against the temporary caps).
+        // power now" signal, judged against the temporary caps). Isolated
+        // units surrender their priority so readjust never feeds them.
         set_priorities(&mut self.states, caps, &self.config);
+        if let Some(g) = self.guard.as_ref() {
+            for (u, state) in self.states.iter_mut().enumerate() {
+                if g.is_isolated(u) {
+                    state.priority = false;
+                }
+            }
+        }
         for (flag, state) in self.priority_flags.iter_mut().zip(&self.states) {
             *flag = state.priority;
+        }
+        if let Some(g) = self.guard.as_mut() {
+            g.pin_caps(caps, &mut changed);
         }
 
         // (4) Restore, then readjust.
@@ -187,12 +390,41 @@ impl PowerManager for DpsManager {
             self.config.equalize_slack * self.total_budget,
         );
 
+        // (5) Believed-cap budget enforcement and request bookkeeping for
+        // the next write verification.
+        if let Some(g) = self.guard.as_mut() {
+            g.finish_cycle(caps, &mut changed);
+        }
+
         self.changed = changed;
+        self.scratch_measured = scratch;
         debug_assert_budget(caps, self.total_budget, self.limits);
     }
 
     fn priorities(&self) -> Option<&[bool]> {
         Some(&self.priority_flags)
+    }
+
+    fn observe_applied(&mut self, applied: &[Watts]) {
+        if let Some(g) = self.guard.as_mut() {
+            g.observe_applied(applied);
+        }
+    }
+
+    fn health(&self) -> Option<&[HealthState]> {
+        self.guard.as_ref().map(|g| g.health())
+    }
+
+    fn guard_stats(&self) -> Option<GuardStats> {
+        self.guard.as_ref().map(|g| *g.stats())
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        Some(self.write_snapshot())
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), String> {
+        self.read_snapshot(snapshot)
     }
 
     fn reset(&mut self) {
@@ -204,6 +436,9 @@ impl PowerManager for DpsManager {
         self.changed.fill(false);
         self.priority_flags.fill(false);
         self.last_restored = false;
+        if let Some(g) = self.guard.as_mut() {
+            g.reset();
+        }
     }
 }
 
@@ -381,5 +616,188 @@ mod tests {
     #[test]
     fn kind_is_dps() {
         assert_eq!(dps(1, 110.0).kind(), ManagerKind::Dps);
+    }
+
+    /// A deterministic wiggly demand so guard stuck detection stays quiet.
+    fn wiggly(t: usize, u: usize, base: f64) -> f64 {
+        base + 0.3 * (((t + 3 * u) % 7) as f64 - 3.0)
+    }
+
+    fn dps_guarded(n: usize, budget: Watts) -> DpsManager {
+        DpsManager::with_guard(
+            n,
+            budget,
+            LIMITS,
+            DpsConfig::default(),
+            crate::guard::GuardConfig {
+                stuck_window: 5,
+                quarantine_after: 2,
+                probation_after: 3,
+                readmit_after: 4,
+                ..Default::default()
+            },
+            RngStream::new(11, "dps-guard-test"),
+        )
+    }
+
+    #[test]
+    fn guarded_manager_quarantines_dropout_and_keeps_budget() {
+        let mut m = dps_guarded(3, 330.0);
+        let mut caps = vec![110.0; 3];
+        for t in 0..10 {
+            let z = [
+                wiggly(t, 0, 100.0),
+                wiggly(t, 1, 100.0),
+                wiggly(t, 2, 100.0),
+            ];
+            m.assign_caps(&z, &mut caps, 1.0);
+        }
+        // Unit 0's sensor drops out.
+        for t in 10..20 {
+            let z = [f64::NAN, wiggly(t, 1, 100.0), wiggly(t, 2, 100.0)];
+            m.assign_caps(&z, &mut caps, 1.0);
+            assert!(caps.iter().sum::<f64>() <= 330.0 + 1e-6);
+        }
+        let health = m.health().unwrap();
+        assert_eq!(health[0], HealthState::Quarantined);
+        assert_eq!(health[1], HealthState::Healthy);
+        assert!(
+            (caps[0] - 110.0).abs() < 1e-6,
+            "pinned at fallback: {caps:?}"
+        );
+        // Healthy units keep the constant-allocation lower bound.
+        assert!(
+            caps[1] >= 110.0 - 1e-6 && caps[2] >= 110.0 - 1e-6,
+            "{caps:?}"
+        );
+        assert!(!m.priorities().unwrap()[0], "quarantined loses priority");
+    }
+
+    #[test]
+    fn guarded_manager_readmits_after_recovery() {
+        let mut m = dps_guarded(2, 220.0);
+        let mut caps = vec![110.0; 2];
+        for t in 0..8 {
+            m.assign_caps(&[wiggly(t, 0, 90.0), wiggly(t, 1, 90.0)], &mut caps, 1.0);
+        }
+        for t in 8..14 {
+            m.assign_caps(&[f64::NAN, wiggly(t, 1, 90.0)], &mut caps, 1.0);
+        }
+        assert_eq!(m.health().unwrap()[0], HealthState::Quarantined);
+        // Sensor heals: probation_after=3 + readmit_after=4 clean cycles.
+        for t in 14..40 {
+            m.assign_caps(&[wiggly(t, 0, 90.0), wiggly(t, 1, 90.0)], &mut caps, 1.0);
+        }
+        assert_eq!(m.health().unwrap()[0], HealthState::Healthy);
+        assert_eq!(m.guard().unwrap().stats().readmissions, 1);
+    }
+
+    #[test]
+    fn unguarded_manager_matches_guard_free_behaviour() {
+        // A guarded manager on clean telemetry must reproduce the unguarded
+        // trajectory exactly (the guard only gates, never filters).
+        let mut a = dps(2, 220.0);
+        let mut b = DpsManager::with_guard(
+            2,
+            220.0,
+            LIMITS,
+            DpsConfig::default(),
+            crate::guard::GuardConfig::default(),
+            RngStream::new(3, "dps-test"),
+        );
+        let mut caps_a = vec![110.0; 2];
+        let mut caps_b = vec![110.0; 2];
+        for t in 0..60 {
+            let z = [wiggly(t, 0, 100.0), wiggly(t, 1, 40.0)];
+            a.assign_caps(&z, &mut caps_a, 1.0);
+            b.assign_caps(&z, &mut caps_b, 1.0);
+            assert_eq!(caps_a, caps_b, "cycle {t}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_identical_trajectory() {
+        let mut a = dps(3, 330.0);
+        let mut caps_a = vec![110.0; 3];
+        for t in 0..25 {
+            let z = [
+                wiggly(t, 0, 140.0).min(caps_a[0]),
+                wiggly(t, 1, 60.0),
+                wiggly(t, 2, 100.0).min(caps_a[2]),
+            ];
+            a.assign_caps(&z, &mut caps_a, 1.0);
+        }
+        let snap = a.checkpoint().unwrap();
+        // The "crashed and restarted" controller: a fresh manager with the
+        // same construction parameters, fed the snapshot.
+        let mut b = dps(3, 330.0);
+        b.restore(&snap).unwrap();
+        let mut caps_b = caps_a.clone();
+        for t in 25..80 {
+            let z = [
+                wiggly(t, 0, 140.0).min(caps_a[0]),
+                wiggly(t, 1, 60.0),
+                wiggly(t, 2, 100.0).min(caps_a[2]),
+            ];
+            a.assign_caps(&z, &mut caps_a, 1.0);
+            b.assign_caps(&z, &mut caps_b, 1.0);
+            assert_eq!(caps_a, caps_b, "diverged at cycle {t}");
+            assert_eq!(a.priorities(), b.priorities(), "cycle {t}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_preserves_guard_health() {
+        let mut a = dps_guarded(2, 220.0);
+        let mut caps = vec![110.0; 2];
+        for t in 0..6 {
+            a.assign_caps(&[wiggly(t, 0, 90.0), wiggly(t, 1, 90.0)], &mut caps, 1.0);
+        }
+        for t in 6..12 {
+            a.assign_caps(&[f64::NAN, wiggly(t, 1, 90.0)], &mut caps, 1.0);
+        }
+        assert_eq!(a.health().unwrap()[0], HealthState::Quarantined);
+        let snap = a.checkpoint().unwrap();
+        let mut b = dps_guarded(2, 220.0);
+        b.restore(&snap).unwrap();
+        assert_eq!(b.health().unwrap(), a.health().unwrap());
+        assert_eq!(b.guard().unwrap().stats(), a.guard().unwrap().stats());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_shape() {
+        let mut a = dps(2, 220.0);
+        let mut caps = vec![110.0; 2];
+        a.assign_caps(&[100.0, 50.0], &mut caps, 1.0);
+        let snap = a.checkpoint().unwrap();
+        assert!(dps(3, 330.0).restore(&snap).unwrap_err().contains("units"));
+        assert!(dps(2, 200.0).restore(&snap).unwrap_err().contains("budget"));
+        // Guard presence must match too.
+        assert!(dps_guarded(2, 220.0)
+            .restore(&snap)
+            .unwrap_err()
+            .contains("guard"));
+    }
+
+    #[test]
+    fn restore_rejects_corruption_and_leaves_manager_untouched() {
+        let mut a = dps(2, 220.0);
+        let mut caps = vec![110.0; 2];
+        for t in 0..10 {
+            a.assign_caps(&[wiggly(t, 0, 100.0), wiggly(t, 1, 30.0)], &mut caps, 1.0);
+        }
+        let mut snap = a.checkpoint().unwrap();
+        let mid = snap.len() / 2;
+        snap[mid] ^= 0xFF;
+        let mut b = dps(2, 220.0);
+        let mut caps_b = vec![110.0; 2];
+        b.assign_caps(&[100.0, 30.0], &mut caps_b, 1.0);
+        let before = b.checkpoint().unwrap();
+        assert!(b.restore(&snap).is_err());
+        assert_eq!(
+            b.checkpoint().unwrap(),
+            before,
+            "failed restore must not mutate"
+        );
     }
 }

@@ -1,0 +1,997 @@
+//! Telemetry health gating: the guard in front of the Kalman history.
+//!
+//! Real RAPL deployments see sensors that stick, drop out, drift, or return
+//! garbage, and cap writes that are silently dropped by firmware. DPS's
+//! pipeline (stateless MIMD → Kalman history → priorities → readjust) trusts
+//! its measurements; a single stuck 160 W reading would pin a dead socket
+//! "high priority" forever and starve honest units. This module wraps the
+//! manager with:
+//!
+//! * **measurement sanitation** — non-finite rejection, a plausibility range
+//!   gate (catches corrupted-counter decodes that are kilowatts out of
+//!   range), and an innovation gate on the jump from the last accepted
+//!   sample (catches isolated spike bursts);
+//! * **stuck-sensor detection** — a zero-variance window over the raw
+//!   readings (real sensors carry noise; a frozen value is a fault);
+//! * **actuator write verification** — the cluster loop reads the applied
+//!   caps back after programming and feeds them to
+//!   [`TelemetryGuard::observe_applied`]; a mismatch beyond the verify
+//!   tolerance marks the actuator suspect;
+//! * a per-unit **health state machine**
+//!   `Healthy → Suspect → Quarantined → Probation → Healthy`: quarantined
+//!   and probation units fall back to the constant-allocation cap (the
+//!   paper's lower bound) and surrender their priority, so the freed budget
+//!   flows to healthy units through the ordinary readjust pass;
+//! * a **believed-cap budget invariant** — for units whose actuator is
+//!   suspect, the guard accounts `max(requested, last readback)` against the
+//!   budget and shrinks healthy units' caps if needed, so the *applied* caps
+//!   sum stays within budget even while a rogue actuator ignores writes.
+//!
+//! Degradation guarantees (see DESIGN.md for the taxonomy):
+//!
+//! * sensor faults never violate the budget, and healthy units keep the
+//!   constant-allocation lower bound;
+//! * dropped / delayed cap writes keep Σ applied ≤ budget every cycle
+//!   (beliefs only ever over-estimate the in-force cap);
+//! * cap writes clamped *upwards* by faulty firmware can exceed the budget
+//!   for at most the one cycle before the first readback exposes them, after
+//!   which healthy units are shrunk to compensate — budget safety is
+//!   restored at the cost of the fairness floor, which is the right trade
+//!   when hardware is actively lying.
+
+use crate::manager::UnitLimits;
+use dps_sim_core::ring::RingBuffer;
+use dps_sim_core::units::Watts;
+use serde::{Deserialize, Serialize};
+
+/// Per-unit health as judged by the telemetry guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Telemetry and actuation look sane.
+    Healthy,
+    /// At least one recent bad cycle; full trust pending a clean streak.
+    Suspect,
+    /// Persistent fault: unit pinned at the fallback cap, priority revoked.
+    Quarantined,
+    /// Fault cleared; unit stays pinned until a sustained clean streak.
+    Probation,
+}
+
+impl HealthState {
+    /// Whether the unit is isolated (pinned at the fallback cap, no
+    /// priority): quarantined or on probation.
+    #[inline]
+    pub fn is_isolated(self) -> bool {
+        matches!(self, HealthState::Quarantined | HealthState::Probation)
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Suspect => "suspect",
+            HealthState::Quarantined => "quarantined",
+            HealthState::Probation => "probation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tuning for the telemetry guard. All thresholds are deliberately coarse:
+/// the guard is a tripwire against *implausible* telemetry, not a second
+/// filter — the Kalman filter already owns ordinary noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GuardConfig {
+    /// Master switch; `false` reproduces the unguarded paper pipeline.
+    pub enabled: bool,
+    /// Readings below `-range_margin` W are rejected (true power is
+    /// non-negative; the margin tolerates zero-mean measurement noise).
+    pub range_margin: Watts,
+    /// Readings above `max_cap * range_factor` are rejected. Corrupted
+    /// energy-counter decodes land orders of magnitude out of range.
+    pub range_factor: f64,
+    /// Reject a reading that jumps more than this from the last accepted
+    /// sample. Must stay above the largest legitimate one-cycle swing
+    /// (idle → TDP ≈ 165 W on the paper's sockets), so it only catches
+    /// spikes well outside the physical envelope.
+    pub innovation_limit: Watts,
+    /// Consecutive raw readings that must be byte-identical (within
+    /// [`GuardConfig::stuck_epsilon`]) to declare the sensor stuck.
+    /// `0` disables stuck detection (required when measurements are
+    /// noise-free, e.g. `NoiseModel::None`, where repeats are legitimate).
+    pub stuck_window: usize,
+    /// Spread below which a full window counts as zero-variance.
+    pub stuck_epsilon: Watts,
+    /// Consecutive bad cycles before a suspect unit is quarantined.
+    pub quarantine_after: u32,
+    /// Consecutive clean cycles a quarantined unit needs to enter probation.
+    pub probation_after: u32,
+    /// Consecutive clean cycles on probation before full readmission.
+    pub readmit_after: u32,
+    /// Write-verification tolerance: readback may differ from the request by
+    /// this much before the actuator is flagged (must absorb control-plane
+    /// quantization, e.g. the 0.1 W framed-wire grid).
+    pub verify_epsilon: Watts,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            range_margin: 5.0,
+            range_factor: 1.5,
+            innovation_limit: 200.0,
+            stuck_window: 8,
+            stuck_epsilon: 1e-6,
+            quarantine_after: 3,
+            probation_after: 5,
+            readmit_after: 10,
+            verify_epsilon: 0.5,
+        }
+    }
+}
+
+impl GuardConfig {
+    /// Validates threshold consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.range_margin.is_finite() && self.range_margin >= 0.0) {
+            return Err(format!(
+                "range_margin must be >= 0, got {}",
+                self.range_margin
+            ));
+        }
+        if !(self.range_factor.is_finite() && self.range_factor >= 1.0) {
+            return Err(format!(
+                "range_factor must be >= 1, got {}",
+                self.range_factor
+            ));
+        }
+        if !(self.innovation_limit.is_finite() && self.innovation_limit > 0.0) {
+            return Err(format!(
+                "innovation_limit must be positive, got {}",
+                self.innovation_limit
+            ));
+        }
+        if !(self.stuck_epsilon.is_finite() && self.stuck_epsilon >= 0.0) {
+            return Err(format!(
+                "stuck_epsilon must be >= 0, got {}",
+                self.stuck_epsilon
+            ));
+        }
+        if self.quarantine_after == 0 || self.probation_after == 0 || self.readmit_after == 0 {
+            return Err("state-machine streaks must be >= 1".into());
+        }
+        if !(self.verify_epsilon.is_finite() && self.verify_epsilon >= 0.0) {
+            return Err(format!(
+                "verify_epsilon must be >= 0, got {}",
+                self.verify_epsilon
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Counters the guard accumulates over a run (experiment tables report
+/// these per fault class).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuardStats {
+    /// Measurements rejected by the non-finite / range / innovation gates.
+    pub rejected_samples: u64,
+    /// Cycles on which a zero-variance window tripped stuck detection.
+    pub stuck_trips: u64,
+    /// Cap-write readbacks that disagreed with the request.
+    pub write_mismatches: u64,
+    /// Transitions into `Quarantined`.
+    pub quarantine_entries: u64,
+    /// Transitions from `Probation` back to `Healthy`.
+    pub readmissions: u64,
+    /// Cycles on which believed caps exceeded the budget even after
+    /// shrinking every honest unit to its floor (rogue actuators hold more
+    /// than the guard can compensate for).
+    pub saturated_cycles: u64,
+}
+
+/// Per-unit detector and state-machine bookkeeping.
+#[derive(Debug, Clone)]
+struct UnitHealth {
+    state: HealthState,
+    bad_streak: u32,
+    good_streak: u32,
+    /// Last accepted measurement — substituted for rejected readings.
+    held: Watts,
+    has_held: bool,
+    /// Recent finite raw readings for zero-variance stuck detection.
+    recent: RingBuffer<f64>,
+    /// Verdict from the last cap-write readback, consumed next cycle.
+    actuator_bad: bool,
+    /// Actuator currently distrusted (set on mismatch, cleared on a clean
+    /// readback) — gates the believed-cap budget accounting.
+    actuator_suspect: bool,
+}
+
+impl UnitHealth {
+    fn new(stuck_window: usize) -> Self {
+        Self {
+            state: HealthState::Healthy,
+            bad_streak: 0,
+            good_streak: 0,
+            held: 0.0,
+            has_held: false,
+            recent: RingBuffer::new(stuck_window.max(1)),
+            actuator_bad: false,
+            actuator_suspect: false,
+        }
+    }
+}
+
+/// The telemetry guard wrapping one manager's measurement and cap streams.
+///
+/// Lifecycle per decision cycle (driven by [`crate::DpsManager`]):
+///
+/// 1. [`TelemetryGuard::sanitize`] — gate the raw measurements, advance each
+///    unit's health machine (folding in last cycle's readback verdict);
+/// 2. the ordinary DPS pipeline runs on the sanitized measurements;
+/// 3. [`TelemetryGuard::pin_caps`] — isolated units are pinned at the
+///    fallback cap, reclaiming from healthy units above it if the sum would
+///    exceed the budget;
+/// 4. [`TelemetryGuard::finish_cycle`] — believed-cap budget enforcement and
+///    request bookkeeping for the next write verification;
+/// 5. after the cluster loop programs the caps it reads them back and calls
+///    [`TelemetryGuard::observe_applied`].
+#[derive(Debug, Clone)]
+pub struct TelemetryGuard {
+    config: GuardConfig,
+    limits: UnitLimits,
+    total_budget: Watts,
+    /// The constant-allocation cap isolated units fall back to.
+    fallback_cap: Watts,
+    units: Vec<UnitHealth>,
+    /// Mirror of `units[..].state` for the slice-returning accessor.
+    health: Vec<HealthState>,
+    sanitized: Vec<Watts>,
+    /// Caps requested last cycle (what write verification checks against).
+    requested: Vec<Watts>,
+    /// Upper bound on the cap currently in force per unit.
+    believed: Vec<Watts>,
+    /// No readback has arrived yet: trust requests (write verification and
+    /// believed-cap enforcement stay off so a guard-wrapped manager driven
+    /// without readbacks behaves exactly like the paper pipeline).
+    has_readback: bool,
+    stats: GuardStats,
+}
+
+impl TelemetryGuard {
+    /// Creates a guard for `num_units` units sharing `total_budget`.
+    ///
+    /// # Panics
+    /// Panics on an invalid config.
+    pub fn new(
+        num_units: usize,
+        total_budget: Watts,
+        limits: UnitLimits,
+        fallback_cap: Watts,
+        config: GuardConfig,
+    ) -> Self {
+        config.validate().expect("invalid guard config");
+        Self {
+            config,
+            limits,
+            total_budget,
+            fallback_cap,
+            units: (0..num_units)
+                .map(|_| UnitHealth::new(config.stuck_window))
+                .collect(),
+            health: vec![HealthState::Healthy; num_units],
+            sanitized: vec![0.0; num_units],
+            requested: vec![f64::NAN; num_units],
+            believed: vec![fallback_cap; num_units],
+            has_readback: false,
+            stats: GuardStats::default(),
+        }
+    }
+
+    /// The config in effect.
+    pub fn config(&self) -> &GuardConfig {
+        &self.config
+    }
+
+    /// Current per-unit health states.
+    pub fn health(&self) -> &[HealthState] {
+        &self.health
+    }
+
+    /// Whether `unit` is currently isolated (pinned, no priority).
+    #[inline]
+    pub fn is_isolated(&self, unit: usize) -> bool {
+        self.units[unit].state.is_isolated()
+    }
+
+    /// Run counters.
+    pub fn stats(&self) -> &GuardStats {
+        &self.stats
+    }
+
+    /// Gates one cycle of measurements. Rejected readings are replaced by
+    /// the unit's last accepted value (skip-and-hold, matching the history
+    /// layer's own non-finite policy). Also advances the health state
+    /// machine with this cycle's verdict (sensor gates + stuck detection +
+    /// last readback's write-verification result).
+    pub fn sanitize(&mut self, measured: &[Watts]) -> &[Watts] {
+        assert_eq!(measured.len(), self.units.len(), "one reading per unit");
+        if !self.config.enabled {
+            self.sanitized.copy_from_slice(measured);
+            return &self.sanitized;
+        }
+        let hi = self.limits.max_cap * self.config.range_factor;
+        let lo = -self.config.range_margin;
+        for (u, unit) in self.units.iter_mut().enumerate() {
+            let raw = measured[u];
+            // Fold in the actuator verdict from the last readback.
+            let mut bad = std::mem::take(&mut unit.actuator_bad);
+
+            // Sensor gates: non-finite, plausibility range, innovation.
+            let sensor_ok = raw.is_finite()
+                && raw >= lo
+                && raw <= hi
+                && !(unit.has_held && (raw - unit.held).abs() > self.config.innovation_limit);
+            if !sensor_ok {
+                bad = true;
+                self.stats.rejected_samples += 1;
+            }
+
+            // Stuck detection on the raw (finite) stream: plausible but
+            // frozen values pass the gates yet betray a dead sensor.
+            if raw.is_finite() && self.config.stuck_window > 0 {
+                unit.recent.push(raw);
+                if unit.recent.len() == self.config.stuck_window {
+                    let mut mn = f64::INFINITY;
+                    let mut mx = f64::NEG_INFINITY;
+                    for &v in unit.recent.iter() {
+                        mn = mn.min(v);
+                        mx = mx.max(v);
+                    }
+                    if mx - mn <= self.config.stuck_epsilon {
+                        bad = true;
+                        self.stats.stuck_trips += 1;
+                    }
+                }
+            }
+
+            self.sanitized[u] = if sensor_ok {
+                unit.held = raw;
+                unit.has_held = true;
+                raw
+            } else {
+                unit.held // 0.0 before the first accepted sample
+            };
+
+            // Advance the health state machine.
+            if bad {
+                unit.bad_streak += 1;
+                unit.good_streak = 0;
+                match unit.state {
+                    HealthState::Healthy | HealthState::Suspect => {
+                        if unit.bad_streak >= self.config.quarantine_after {
+                            unit.state = HealthState::Quarantined;
+                            self.stats.quarantine_entries += 1;
+                        } else {
+                            unit.state = HealthState::Suspect;
+                        }
+                    }
+                    HealthState::Probation => unit.state = HealthState::Quarantined,
+                    HealthState::Quarantined => {}
+                }
+            } else {
+                unit.good_streak += 1;
+                unit.bad_streak = 0;
+                match unit.state {
+                    HealthState::Healthy => {}
+                    HealthState::Suspect => unit.state = HealthState::Healthy,
+                    HealthState::Quarantined => {
+                        if unit.good_streak >= self.config.probation_after {
+                            unit.state = HealthState::Probation;
+                            unit.good_streak = 0;
+                        }
+                    }
+                    HealthState::Probation => {
+                        if unit.good_streak >= self.config.readmit_after {
+                            unit.state = HealthState::Healthy;
+                            self.stats.readmissions += 1;
+                        }
+                    }
+                }
+            }
+            self.health[u] = unit.state;
+        }
+        &self.sanitized
+    }
+
+    /// Pins every isolated unit at the fallback cap. If pinning pushes the
+    /// sum over the budget, the overshoot is reclaimed proportionally from
+    /// healthy units holding more than the fallback — which always suffices
+    /// (`n * fallback <= budget`) and never pushes a healthy unit below the
+    /// constant-allocation lower bound.
+    pub fn pin_caps(&mut self, caps: &mut [Watts], changed: &mut [bool]) {
+        if !self.config.enabled {
+            return;
+        }
+        let eps = crate::budget::BUDGET_EPSILON;
+        let mut any_isolated = false;
+        for (u, unit) in self.units.iter().enumerate() {
+            if unit.state.is_isolated() && (caps[u] - self.fallback_cap).abs() > eps {
+                caps[u] = self.fallback_cap;
+                changed[u] = true;
+                any_isolated = true;
+            } else if unit.state.is_isolated() {
+                any_isolated = true;
+            }
+        }
+        if !any_isolated {
+            return;
+        }
+        let need = caps.iter().sum::<f64>() - self.total_budget;
+        if need <= eps {
+            return;
+        }
+        // Reclaim proportionally from healthy headroom above the fallback.
+        let headroom: f64 = self
+            .units
+            .iter()
+            .enumerate()
+            .filter(|(_, unit)| !unit.state.is_isolated())
+            .map(|(u, _)| (caps[u] - self.fallback_cap).max(0.0))
+            .sum();
+        if headroom <= 0.0 {
+            return; // cannot happen while pins only raise toward fallback
+        }
+        let scale = (need / headroom).min(1.0);
+        for (u, unit) in self.units.iter().enumerate() {
+            if unit.state.is_isolated() {
+                continue;
+            }
+            let give = (caps[u] - self.fallback_cap).max(0.0) * scale;
+            if give > eps {
+                caps[u] -= give;
+                changed[u] = true;
+            }
+        }
+    }
+
+    /// End-of-cycle bookkeeping: enforce the believed-cap budget (suspect
+    /// actuators are accounted at `max(request, last readback)`; honest
+    /// units shrink to compensate, first to the fallback cap, then toward
+    /// the hardware floor) and record the requests for the next write
+    /// verification.
+    pub fn finish_cycle(&mut self, caps: &mut [Watts], changed: &mut [bool]) {
+        if !self.config.enabled {
+            return;
+        }
+        let eps = crate::budget::BUDGET_EPSILON;
+        if self.has_readback {
+            let believed_sum: f64 = self
+                .units
+                .iter()
+                .enumerate()
+                .map(|(u, unit)| {
+                    if unit.actuator_suspect {
+                        caps[u].max(self.believed[u])
+                    } else {
+                        caps[u]
+                    }
+                })
+                .sum();
+            let mut excess = believed_sum - self.total_budget;
+            if excess > eps {
+                // Pass 1: shrink honest units above the fallback cap.
+                excess -= shrink_proportionally(caps, changed, excess, self.fallback_cap, |u| {
+                    !self.units[u].actuator_suspect
+                });
+            }
+            if excess > eps {
+                // Pass 2: shrink every honest unit toward the hardware floor.
+                excess -= shrink_proportionally(caps, changed, excess, self.limits.min_cap, |u| {
+                    !self.units[u].actuator_suspect
+                });
+            }
+            if excess > eps {
+                self.stats.saturated_cycles += 1;
+            }
+        }
+        for (u, unit) in self.units.iter().enumerate() {
+            self.requested[u] = caps[u];
+            self.believed[u] = if unit.actuator_suspect {
+                self.believed[u].max(caps[u])
+            } else {
+                caps[u]
+            };
+        }
+    }
+
+    /// Write verification: `applied` is the per-unit cap read back from the
+    /// hardware after programming. A readback that disagrees with the
+    /// request beyond the verify tolerance marks the actuator suspect and
+    /// counts as a bad cycle for the health machine; a clean readback
+    /// restores actuation trust (the health machine still demands its
+    /// probation streak before un-pinning the unit).
+    pub fn observe_applied(&mut self, applied: &[Watts]) {
+        if !self.config.enabled {
+            return;
+        }
+        assert_eq!(applied.len(), self.units.len(), "one readback per unit");
+        self.has_readback = true;
+        for (u, unit) in self.units.iter_mut().enumerate() {
+            let got = applied[u];
+            if !got.is_finite() {
+                // A garbage readback is itself actuator evidence.
+                unit.actuator_bad = true;
+                unit.actuator_suspect = true;
+                self.stats.write_mismatches += 1;
+                continue;
+            }
+            let req = self.requested[u];
+            if req.is_finite() && (got - req).abs() > self.config.verify_epsilon {
+                unit.actuator_bad = true;
+                unit.actuator_suspect = true;
+                self.stats.write_mismatches += 1;
+                // The in-force cap is whichever is higher: what the hardware
+                // admits to, or the request that may still land late.
+                self.believed[u] = got.max(req);
+            } else {
+                unit.actuator_suspect = false;
+                self.believed[u] = got;
+            }
+        }
+    }
+
+    /// Serializes the guard's dynamic state into a snapshot payload.
+    pub(crate) fn encode(&self, w: &mut crate::checkpoint::ByteWriter) {
+        w.put_bool(self.has_readback);
+        for v in [
+            self.stats.rejected_samples,
+            self.stats.stuck_trips,
+            self.stats.write_mismatches,
+            self.stats.quarantine_entries,
+            self.stats.readmissions,
+            self.stats.saturated_cycles,
+        ] {
+            w.put_u64(v);
+        }
+        for unit in &self.units {
+            w.put_u8(match unit.state {
+                HealthState::Healthy => 0,
+                HealthState::Suspect => 1,
+                HealthState::Quarantined => 2,
+                HealthState::Probation => 3,
+            });
+            w.put_u32(unit.bad_streak);
+            w.put_u32(unit.good_streak);
+            w.put_f64(unit.held);
+            w.put_bool(unit.has_held);
+            w.put_f64_slice(&unit.recent.as_vec());
+            w.put_bool(unit.actuator_bad);
+            w.put_bool(unit.actuator_suspect);
+        }
+        w.put_f64_slice(&self.requested);
+        w.put_f64_slice(&self.believed);
+    }
+
+    /// Restores dynamic state from a snapshot payload written by
+    /// [`TelemetryGuard::encode`] onto a guard with the same shape.
+    pub(crate) fn decode(
+        &mut self,
+        r: &mut crate::checkpoint::ByteReader<'_>,
+    ) -> Result<(), String> {
+        let n = self.units.len();
+        self.has_readback = r.get_bool()?;
+        self.stats = GuardStats {
+            rejected_samples: r.get_u64()?,
+            stuck_trips: r.get_u64()?,
+            write_mismatches: r.get_u64()?,
+            quarantine_entries: r.get_u64()?,
+            readmissions: r.get_u64()?,
+            saturated_cycles: r.get_u64()?,
+        };
+        let ring_cap = self.config.stuck_window.max(1);
+        for u in 0..n {
+            let state = match r.get_u8()? {
+                0 => HealthState::Healthy,
+                1 => HealthState::Suspect,
+                2 => HealthState::Quarantined,
+                3 => HealthState::Probation,
+                b => return Err(format!("invalid health-state byte {b:#x}")),
+            };
+            let bad_streak = r.get_u32()?;
+            let good_streak = r.get_u32()?;
+            let held = r.get_f64()?;
+            let has_held = r.get_bool()?;
+            let recent_vals = r.get_f64_vec(ring_cap)?;
+            let mut recent = RingBuffer::new(ring_cap);
+            for v in recent_vals {
+                recent.push(v);
+            }
+            let unit = &mut self.units[u];
+            unit.state = state;
+            unit.bad_streak = bad_streak;
+            unit.good_streak = good_streak;
+            unit.held = held;
+            unit.has_held = has_held;
+            unit.recent = recent;
+            unit.actuator_bad = r.get_bool()?;
+            unit.actuator_suspect = r.get_bool()?;
+            self.health[u] = state;
+        }
+        let requested = r.get_f64_vec(n)?;
+        let believed = r.get_f64_vec(n)?;
+        if requested.len() != n || believed.len() != n {
+            return Err(format!(
+                "cap-belief vectors sized {}/{} for {n} units",
+                requested.len(),
+                believed.len()
+            ));
+        }
+        self.requested = requested;
+        self.believed = believed;
+        Ok(())
+    }
+
+    /// Resets all detector and belief state (between repetitions).
+    pub fn reset(&mut self) {
+        let window = self.config.stuck_window;
+        for unit in &mut self.units {
+            *unit = UnitHealth::new(window);
+        }
+        self.health.fill(HealthState::Healthy);
+        self.sanitized.fill(0.0);
+        self.requested.fill(f64::NAN);
+        self.believed.fill(self.fallback_cap);
+        self.has_readback = false;
+        self.stats = GuardStats::default();
+    }
+}
+
+/// Shrinks `caps[u]` toward `floor` for units selected by `keep`,
+/// proportionally to their headroom above the floor, until `amount` Watts
+/// are recovered or the headroom is exhausted. Returns the Watts recovered.
+fn shrink_proportionally(
+    caps: &mut [Watts],
+    changed: &mut [bool],
+    amount: Watts,
+    floor: Watts,
+    keep: impl Fn(usize) -> bool,
+) -> Watts {
+    let eps = crate::budget::BUDGET_EPSILON;
+    let headroom: f64 = (0..caps.len())
+        .filter(|&u| keep(u))
+        .map(|u| (caps[u] - floor).max(0.0))
+        .sum();
+    if headroom <= eps {
+        return 0.0;
+    }
+    let scale = (amount / headroom).min(1.0);
+    let mut recovered = 0.0;
+    for u in 0..caps.len() {
+        if !keep(u) {
+            continue;
+        }
+        let give = (caps[u] - floor).max(0.0) * scale;
+        if give > eps {
+            caps[u] -= give;
+            changed[u] = true;
+            recovered += give;
+        }
+    }
+    recovered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIMITS: UnitLimits = UnitLimits {
+        min_cap: 40.0,
+        max_cap: 165.0,
+    };
+
+    fn guard(n: usize, cfg: GuardConfig) -> TelemetryGuard {
+        TelemetryGuard::new(n, 110.0 * n as f64, LIMITS, 110.0, cfg)
+    }
+
+    fn cfg() -> GuardConfig {
+        GuardConfig {
+            stuck_window: 4,
+            quarantine_after: 2,
+            probation_after: 2,
+            readmit_after: 3,
+            ..GuardConfig::default()
+        }
+    }
+
+    /// Feeds `reading` with a deterministic wiggle so stuck detection stays
+    /// quiet on healthy units.
+    fn wiggle(base: f64, t: usize) -> f64 {
+        base + 0.2 * ((t % 5) as f64 - 2.0)
+    }
+
+    #[test]
+    fn clean_stream_stays_healthy_and_untouched() {
+        let mut g = guard(2, cfg());
+        for t in 0..50 {
+            let m = [wiggle(100.0, t), wiggle(60.0, t + 3)];
+            let s = g.sanitize(&m).to_vec();
+            assert_eq!(s, m, "sanitized must equal raw for clean input");
+        }
+        assert_eq!(g.health(), &[HealthState::Healthy; 2]);
+        assert_eq!(g.stats().rejected_samples, 0);
+    }
+
+    #[test]
+    fn non_finite_readings_are_held_and_quarantine() {
+        let mut g = guard(1, cfg());
+        g.sanitize(&[95.0]);
+        for i in 0..4 {
+            let s = g.sanitize(&[f64::NAN]);
+            assert_eq!(s[0], 95.0, "cycle {i}: hold last accepted value");
+        }
+        assert_eq!(g.health()[0], HealthState::Quarantined);
+        assert!(g.is_isolated(0));
+    }
+
+    #[test]
+    fn range_gate_rejects_corrupted_counter_decodes() {
+        let mut g = guard(1, cfg());
+        g.sanitize(&[110.0]);
+        let s = g.sanitize(&[262_144.0]); // corrupted-counter scale
+        assert_eq!(s[0], 110.0);
+        assert_eq!(g.health()[0], HealthState::Suspect);
+        assert_eq!(g.stats().rejected_samples, 1);
+    }
+
+    #[test]
+    fn single_clean_cycle_clears_suspect() {
+        let mut g = guard(1, cfg());
+        g.sanitize(&[100.0]);
+        g.sanitize(&[-900.0]);
+        assert_eq!(g.health()[0], HealthState::Suspect);
+        g.sanitize(&[101.0]);
+        assert_eq!(g.health()[0], HealthState::Healthy);
+    }
+
+    #[test]
+    fn legitimate_full_swing_passes_innovation_gate() {
+        let mut g = guard(1, cfg());
+        g.sanitize(&[15.0]);
+        let s = g.sanitize(&[165.0]); // idle → TDP in one cycle is physical
+        assert_eq!(s[0], 165.0);
+        assert_eq!(g.health()[0], HealthState::Healthy);
+    }
+
+    #[test]
+    fn spike_beyond_innovation_limit_rejected() {
+        let mut g = guard(1, cfg());
+        g.sanitize(&[30.0]);
+        let s = g.sanitize(&[245.0]); // +215 jump: beyond any physical swing
+        assert_eq!(s[0], 30.0);
+        assert_eq!(g.stats().rejected_samples, 1);
+    }
+
+    #[test]
+    fn stuck_sensor_detected_by_zero_variance_window() {
+        let mut g = guard(1, cfg());
+        for t in 0..3 {
+            g.sanitize(&[wiggle(90.0, t)]);
+        }
+        // Frozen at a perfectly plausible value.
+        for _ in 0..6 {
+            g.sanitize(&[120.0]);
+        }
+        assert_eq!(g.health()[0], HealthState::Quarantined);
+        assert!(g.stats().stuck_trips > 0);
+    }
+
+    #[test]
+    fn stuck_detection_disabled_with_zero_window() {
+        let mut g = guard(
+            1,
+            GuardConfig {
+                stuck_window: 0,
+                ..cfg()
+            },
+        );
+        for _ in 0..50 {
+            g.sanitize(&[120.0]);
+        }
+        assert_eq!(g.health()[0], HealthState::Healthy);
+    }
+
+    #[test]
+    fn quarantine_then_probation_then_readmission() {
+        let mut g = guard(1, cfg());
+        g.sanitize(&[100.0]);
+        for _ in 0..3 {
+            g.sanitize(&[f64::INFINITY]);
+        }
+        assert_eq!(g.health()[0], HealthState::Quarantined);
+        // probation_after=2 clean cycles → Probation (still isolated).
+        for t in 0..2 {
+            g.sanitize(&[wiggle(100.0, t)]);
+        }
+        assert_eq!(g.health()[0], HealthState::Probation);
+        assert!(g.is_isolated(0));
+        // readmit_after=3 more clean cycles → Healthy.
+        for t in 2..5 {
+            g.sanitize(&[wiggle(100.0, t)]);
+        }
+        assert_eq!(g.health()[0], HealthState::Healthy);
+        assert_eq!(g.stats().readmissions, 1);
+    }
+
+    #[test]
+    fn bad_cycle_during_probation_returns_to_quarantine() {
+        let mut g = guard(1, cfg());
+        g.sanitize(&[100.0]);
+        for _ in 0..3 {
+            g.sanitize(&[f64::NAN]);
+        }
+        for t in 0..2 {
+            g.sanitize(&[wiggle(100.0, t)]);
+        }
+        assert_eq!(g.health()[0], HealthState::Probation);
+        g.sanitize(&[f64::NAN]);
+        assert_eq!(g.health()[0], HealthState::Quarantined);
+    }
+
+    #[test]
+    fn pin_caps_reclaims_from_healthy_above_fallback() {
+        let mut g = guard(3, cfg());
+        // Quarantine unit 0.
+        g.sanitize(&[100.0, 100.0, 100.0]);
+        for _ in 0..3 {
+            g.sanitize(&[f64::NAN, wiggle(100.0, 1), wiggle(100.0, 2)]);
+        }
+        assert!(g.is_isolated(0));
+        // MIMD left unit 0 low and unit 1 holding the grabbed budget.
+        let mut caps = [45.0, 165.0, 110.0];
+        let mut changed = [false; 3];
+        g.pin_caps(&mut caps, &mut changed);
+        assert_eq!(caps[0], 110.0, "isolated unit pinned at fallback");
+        // Sum was 45+165+110=320 ≤ 330; pin pushes to 385 → 55 reclaimed
+        // from unit 1 (the only healthy unit above fallback).
+        assert!((caps[1] - 110.0).abs() < 1e-9, "{caps:?}");
+        assert!((caps[2] - 110.0).abs() < 1e-9, "{caps:?}");
+        assert!(caps.iter().sum::<f64>() <= 330.0 + 1e-9);
+        assert!(caps[1] >= 110.0 - 1e-9, "healthy never below fallback");
+    }
+
+    #[test]
+    fn write_mismatch_marks_actuator_suspect_and_feeds_state_machine() {
+        let mut g = guard(2, cfg());
+        let mut caps = [110.0, 110.0];
+        let mut changed = [false; 2];
+        g.sanitize(&[wiggle(100.0, 0), wiggle(100.0, 1)]);
+        g.finish_cycle(&mut caps, &mut changed);
+        // Hardware silently kept unit 0 at 165 W.
+        g.observe_applied(&[165.0, 110.0]);
+        assert_eq!(g.stats().write_mismatches, 1);
+        // Next sanitize consumes the verdict: unit 0 goes suspect.
+        g.sanitize(&[wiggle(100.0, 2), wiggle(100.0, 3)]);
+        assert_eq!(g.health()[0], HealthState::Suspect);
+        assert_eq!(g.health()[1], HealthState::Healthy);
+    }
+
+    #[test]
+    fn believed_budget_shrinks_honest_units_under_rogue_actuator() {
+        let mut g = guard(2, cfg());
+        let mut caps = [110.0, 110.0];
+        let mut changed = [false; 2];
+        g.sanitize(&[wiggle(100.0, 0), wiggle(100.0, 1)]);
+        g.finish_cycle(&mut caps, &mut changed);
+        // Unit 0's actuator is stuck at 165 W and ignores the 110 W request.
+        g.observe_applied(&[165.0, 110.0]);
+        g.sanitize(&[wiggle(100.0, 2), wiggle(100.0, 3)]);
+        let mut caps = [110.0, 110.0];
+        let mut changed = [false; 2];
+        g.finish_cycle(&mut caps, &mut changed);
+        // Believed: unit 0 at 165 (readback), unit 1 honest at its request.
+        // 165 + caps[1] ≤ 220 → unit 1 shrunk to 55.
+        assert_eq!(caps[0], 110.0, "keep requesting the fallback");
+        assert!(
+            caps[1] <= 55.0 + 1e-9,
+            "honest unit absorbs the excess: {caps:?}"
+        );
+        assert!(caps[1] >= LIMITS.min_cap - 1e-9);
+    }
+
+    #[test]
+    fn clean_readback_restores_actuation_trust() {
+        let mut g = guard(2, cfg());
+        let mut caps = [110.0, 110.0];
+        let mut changed = [false; 2];
+        g.sanitize(&[wiggle(100.0, 0), wiggle(100.0, 1)]);
+        g.finish_cycle(&mut caps, &mut changed);
+        g.observe_applied(&[165.0, 110.0]); // mismatch
+        g.sanitize(&[wiggle(100.0, 2), wiggle(100.0, 3)]);
+        let mut caps = [110.0, 110.0];
+        g.finish_cycle(&mut caps, &mut [false; 2]);
+        g.observe_applied(&[caps[0], 110.0]); // write landed: trust restored
+        g.sanitize(&[wiggle(100.0, 4), wiggle(100.0, 5)]);
+        let mut caps = [110.0, 110.0];
+        g.finish_cycle(&mut caps, &mut [false; 2]);
+        assert_eq!(
+            caps,
+            [110.0, 110.0],
+            "no believed-cap shrinking once trusted"
+        );
+    }
+
+    #[test]
+    fn quantized_readback_within_tolerance_is_clean() {
+        let mut g = guard(1, cfg());
+        let mut caps = [110.04];
+        g.sanitize(&[100.0]);
+        g.finish_cycle(&mut caps, &mut [false]);
+        g.observe_applied(&[110.0]); // 0.04 W rounding ≪ verify_epsilon
+        g.sanitize(&[100.2]);
+        assert_eq!(g.health()[0], HealthState::Healthy);
+        assert_eq!(g.stats().write_mismatches, 0);
+    }
+
+    #[test]
+    fn disabled_guard_is_transparent() {
+        let mut g = guard(
+            2,
+            GuardConfig {
+                enabled: false,
+                ..cfg()
+            },
+        );
+        let m = [f64::NAN, 500.0];
+        let s = g.sanitize(&m);
+        assert!(s[0].is_nan());
+        assert_eq!(s[1], 500.0);
+        let mut caps = [160.0, 60.0];
+        let mut changed = [false; 2];
+        g.pin_caps(&mut caps, &mut changed);
+        g.finish_cycle(&mut caps, &mut changed);
+        assert_eq!(caps, [160.0, 60.0]);
+        assert_eq!(changed, [false; 2]);
+    }
+
+    #[test]
+    fn reset_clears_all_state() {
+        let mut g = guard(1, cfg());
+        g.sanitize(&[100.0]);
+        for _ in 0..3 {
+            g.sanitize(&[f64::NAN]);
+        }
+        assert!(g.is_isolated(0));
+        g.reset();
+        assert_eq!(g.health()[0], HealthState::Healthy);
+        assert_eq!(g.stats(), &GuardStats::default());
+        let s = g.sanitize(&[80.0]);
+        assert_eq!(s[0], 80.0);
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        assert!(GuardConfig {
+            range_factor: 0.5,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+        assert!(GuardConfig {
+            quarantine_after: 0,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+        assert!(GuardConfig {
+            verify_epsilon: -1.0,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+        assert!(cfg().validate().is_ok());
+    }
+}

@@ -47,7 +47,21 @@ impl UnitState {
 
     /// Feeds one raw measurement: Kalman-filters it and appends the estimate
     /// to the history. Returns the estimate.
+    ///
+    /// Non-finite measurements (a dropped-out or corrupted sensor) are
+    /// skip-and-hold: the filter is left untouched and the previous estimate
+    /// is re-held into the history, so the window stays aligned with
+    /// wall-clock time and derivatives read ≈ 0 through the outage instead
+    /// of the whole history turning NaN.
     pub fn observe(&mut self, measured: Watts, dt: Seconds) -> Watts {
+        if !measured.is_finite() {
+            let held = self.latest_estimate();
+            if !self.power_history.is_empty() {
+                self.power_history.push(held);
+                self.duration_history.push(dt);
+            }
+            return held;
+        }
         let estimate = self.filter.update(measured);
         self.power_history.push(estimate);
         self.duration_history.push(dt);
@@ -185,6 +199,35 @@ mod tests {
         assert_eq!(s.power_history.len(), 0);
         assert!(!s.high_freq && !s.priority);
         assert_eq!(s.latest_estimate(), 0.0);
+    }
+
+    #[test]
+    fn non_finite_observation_skips_and_holds() {
+        let mut s = state();
+        for _ in 0..10 {
+            s.observe(100.0, 1.0);
+        }
+        let held = s.latest_estimate();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(s.observe(bad, 1.0), held, "estimate held through {bad}");
+        }
+        // The whole history must stay finite and the derivative must read
+        // flat through the outage, not NaN.
+        s.power_history.copy_to(&mut s.scratch_power);
+        assert!(s.scratch_power.iter().all(|v| v.is_finite()));
+        assert_eq!(s.latest_estimate(), held);
+        let d = s.derivative(3).unwrap();
+        assert!(d.abs() < 1e-9, "derivative through outage: {d}");
+        // Recovery: a finite sample resumes normal filtering.
+        assert!(s.observe(101.0, 1.0).is_finite());
+    }
+
+    #[test]
+    fn non_finite_first_observation_is_ignored() {
+        let mut s = state();
+        assert_eq!(s.observe(f64::NAN, 1.0), 0.0);
+        assert_eq!(s.power_history.len(), 0, "no sample recorded");
+        assert_eq!(s.observe(90.0, 1.0), 90.0, "first real sample adopted");
     }
 
     #[test]

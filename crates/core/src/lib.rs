@@ -31,15 +31,20 @@
 //! defaults; [`history`] is the per-unit state DPS tracks (the *only* state —
 //! "the state is simply the recent power usage changes"); [`priority`],
 //! [`readjust`] implement Algs. 2–4; [`budget`] has the shared
-//! budget-arithmetic helpers and invariant checks.
+//! budget-arithmetic helpers and invariant checks; [`guard`] adds the
+//! telemetry health gate (sensor sanitation, quarantine/readmission state
+//! machine, actuator write verification); [`checkpoint`] serializes the DPS
+//! manager for crash recovery.
 
 #![warn(missing_docs)]
 
 pub mod budget;
+pub mod checkpoint;
 pub mod config;
 pub mod constant;
 pub mod dps;
 pub mod feedback;
+pub mod guard;
 pub mod history;
 pub mod manager;
 pub mod oracle;
@@ -53,6 +58,7 @@ pub use config::{DpsConfig, MimdConfig};
 pub use constant::ConstantManager;
 pub use dps::DpsManager;
 pub use feedback::{FeedbackConfig, FeedbackManager};
+pub use guard::{GuardConfig, GuardStats, HealthState, TelemetryGuard};
 pub use manager::{ManagerKind, PowerManager, UnitLimits};
 pub use oracle::OracleManager;
 pub use predictive::{PredictiveConfig, PredictiveManager};

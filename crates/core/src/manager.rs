@@ -6,6 +6,7 @@
 //! what lets the same policy run against simulated RAPL here and real RAPL
 //! in a deployment.
 
+use crate::guard::{GuardStats, HealthState};
 use dps_sim_core::units::{Seconds, Watts};
 use serde::{Deserialize, Serialize};
 
@@ -126,6 +127,37 @@ pub trait PowerManager {
     /// artifact's per-cycle records); `None` for managers without priorities.
     fn priorities(&self) -> Option<&[bool]> {
         None
+    }
+
+    /// Cap readback after programming: `applied` is the per-unit cap the
+    /// hardware reports to be in force. The cluster loop calls this right
+    /// after writing the caps so managers with write verification (the
+    /// telemetry guard) can detect silently dropped or mangled writes.
+    /// Default no-op for managers that trust their actuators.
+    fn observe_applied(&mut self, _applied: &[Watts]) {}
+
+    /// Per-unit telemetry health after the last cycle; `None` for managers
+    /// without health gating.
+    fn health(&self) -> Option<&[HealthState]> {
+        None
+    }
+
+    /// Cumulative guard counters (rejected samples, quarantines, ...);
+    /// `None` for managers without health gating.
+    fn guard_stats(&self) -> Option<GuardStats> {
+        None
+    }
+
+    /// Serializes the manager's dynamic state for crash recovery; `None`
+    /// for managers without checkpoint support.
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores dynamic state from a [`PowerManager::checkpoint`] blob.
+    /// Default: unsupported.
+    fn restore(&mut self, _snapshot: &[u8]) -> Result<(), String> {
+        Err("this manager does not support checkpoint/restore".into())
     }
 
     /// Resets all internal state (between repetitions).

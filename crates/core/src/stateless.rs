@@ -52,6 +52,34 @@ impl MimdModule {
         &self.config
     }
 
+    /// The current visit-order permutation (checkpoint state: the shuffle
+    /// mutates it in place, so replaying the RNG stream after a restore
+    /// needs the permutation it left behind).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Restores a visit order captured with [`MimdModule::order`]. Must be
+    /// a permutation of `0..num_units`.
+    pub fn restore_order(&mut self, order: &[usize]) -> Result<(), String> {
+        if order.len() != self.order.len() {
+            return Err(format!(
+                "order length {} does not match {} units",
+                order.len(),
+                self.order.len()
+            ));
+        }
+        let mut seen = vec![false; order.len()];
+        for &u in order {
+            if u >= order.len() || seen[u] {
+                return Err(format!("not a permutation: {order:?}"));
+            }
+            seen[u] = true;
+        }
+        self.order.copy_from_slice(order);
+        Ok(())
+    }
+
     /// Restores construction state. The visit-order scratch is shuffled in
     /// place every cycle; replaying an RNG stream against a leftover
     /// permutation would break reset-reproducibility, so it must return to

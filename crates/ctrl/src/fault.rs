@@ -8,6 +8,7 @@
 //! scenario is exactly reproducible and composable with any seed.
 
 use dps_sim_core::units::Seconds;
+use dps_sim_core::window::TimeWindow;
 use serde::{Deserialize, Serialize};
 
 /// One timed fault window. All windows are half-open `[at, until)` in
@@ -52,13 +53,16 @@ pub enum FaultEvent {
 }
 
 impl FaultEvent {
-    fn window(&self) -> (usize, Seconds, Seconds) {
+    /// The affected node and activity window, in the shared
+    /// [`TimeWindow`] vocabulary (same half-open semantics as the
+    /// sensor/actuator schedules in `dps-rapl`).
+    fn window(&self) -> (usize, TimeWindow) {
         match *self {
             FaultEvent::Crash { node, at, until }
             | FaultEvent::Partition { node, at, until }
             | FaultEvent::CorruptBurst {
                 node, at, until, ..
-            } => (node, at, until),
+            } => (node, TimeWindow::new(at, until)),
         }
     }
 }
@@ -99,8 +103,8 @@ impl FaultSchedule {
     pub fn crashed(&self, node: usize, t: Seconds) -> bool {
         self.events.iter().any(|e| {
             matches!(e, FaultEvent::Crash { .. }) && {
-                let (n, at, until) = e.window();
-                n == node && at <= t && t < until
+                let (n, w) = e.window();
+                n == node && w.contains(t)
             }
         })
     }
@@ -109,8 +113,8 @@ impl FaultSchedule {
     pub fn partitioned(&self, node: usize, t: Seconds) -> bool {
         self.events.iter().any(|e| {
             matches!(e, FaultEvent::Partition { .. }) && {
-                let (n, at, until) = e.window();
-                n == node && at <= t && t < until
+                let (n, w) = e.window();
+                n == node && w.contains(t)
             }
         })
     }
@@ -126,7 +130,7 @@ impl FaultSchedule {
                     at,
                     until,
                     prob,
-                } if n == node && at <= t && t < until => Some(prob),
+                } if n == node && TimeWindow::new(at, until).contains(t) => Some(prob),
                 _ => None,
             })
             .fold(0.0, f64::max)
@@ -135,13 +139,11 @@ impl FaultSchedule {
     /// Checks windows are well-formed and node indices fit the topology.
     pub fn validate(&self, n_nodes: usize) -> Result<(), String> {
         for e in &self.events {
-            let (node, at, until) = e.window();
+            let (node, w) = e.window();
             if node >= n_nodes {
                 return Err(format!("fault names node {node}, only {n_nodes} exist"));
             }
-            if !(at.is_finite() && until.is_finite() && at >= 0.0 && until > at) {
-                return Err(format!("fault window [{at}, {until}) is not well-formed"));
-            }
+            w.validate().map_err(|e| format!("fault window: {e}"))?;
             if let FaultEvent::CorruptBurst { prob, .. } = *e {
                 if !(prob.is_finite() && (0.0..=1.0).contains(&prob)) {
                     return Err(format!("corrupt burst prob must be in [0,1], got {prob}"));

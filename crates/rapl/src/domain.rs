@@ -187,6 +187,13 @@ impl PowerDomain {
         self.now
     }
 
+    /// Resolution of the underlying energy counter in Joules per count
+    /// (needed to decode corrupted counter deltas into powers).
+    #[inline]
+    pub fn energy_unit(&self) -> f64 {
+        self.counter.unit()
+    }
+
     /// The fraction of demanded power actually granted in the last window
     /// (1.0 when uncapped or idle). The workload model scales progress by
     /// this ratio.

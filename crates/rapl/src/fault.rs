@@ -1,0 +1,516 @@
+//! Sensor and actuator fault injection for the simulated RAPL substrate.
+//!
+//! The paper's evaluation assumes RAPL itself is honest: readings carry only
+//! zero-mean noise and every cap write lands. Real fleets see worse — stuck
+//! telemetry, dropped samples, drifting calibration, firmware that silently
+//! ignores limit writes. This module scripts those failures per unit as
+//! half-open [`TimeWindow`]s (the same vocabulary as `dps-ctrl`'s wire-fault
+//! schedule, so one experiment can compose wire, sensor and actuator faults
+//! on a single timeline):
+//!
+//! * [`SensorFault`] corrupts what [`read_power`] returns — *after* the
+//!   configured [`NoiseModel`](crate::noise::NoiseModel) is applied, so
+//!   faults compose with ordinary measurement noise.
+//! * [`ActuatorFault`] corrupts what [`set_cap`] does — silently, in that
+//!   the *return value* is exactly what a healthy write would have returned;
+//!   only a readback of the programmed cap can expose the lie.
+//!
+//! Everything is seeded: the spike/corruption draws come from per-unit
+//! [`RngStream`] children, so a schedule replays bit-identically.
+//!
+//! [`read_power`]: crate::interface::PowerInterface::read_power
+//! [`set_cap`]: crate::interface::PowerInterface::set_cap
+
+use dps_sim_core::rng::RngStream;
+use dps_sim_core::units::{Seconds, Watts};
+use dps_sim_core::window::TimeWindow;
+
+/// A sensor-side fault: corrupts power readings while its window is active.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SensorFault {
+    /// The reading is pinned at a constant value (frozen telemetry).
+    StuckAt {
+        /// The value every read reports.
+        value: Watts,
+    },
+    /// The sample is absent: reads return NaN.
+    Dropout,
+    /// Slow calibration drift: the reading gains `rate · (t − window start)`
+    /// Watts of offset, growing over the window.
+    Drift {
+        /// Drift rate in Watts per second (may be negative).
+        rate: f64,
+    },
+    /// Intermittent spikes: with probability `prob` per read, `magnitude`
+    /// Watts (signed) is added to the reading.
+    SpikeBurst {
+        /// Spike amplitude added to the reading when triggered.
+        magnitude: Watts,
+        /// Per-read trigger probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Energy-counter corruption: with probability `prob` per read, the
+    /// reading is replaced by what a random 32-bit counter delta would
+    /// decode to over the window — typically an absurdly large power, the
+    /// signature of a corrupted or backwards-jumping `MSR_PKG_ENERGY_STATUS`.
+    CounterCorrupt {
+        /// Per-read corruption probability in `[0, 1]`.
+        prob: f64,
+    },
+}
+
+/// An actuator-side fault: corrupts cap writes while its window is active.
+///
+/// All variants are *silent*: the write returns the value a healthy RAPL
+/// driver would have returned, and only reading the programmed cap back
+/// reveals what actually happened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ActuatorFault {
+    /// Cap writes are dropped: the previously programmed cap stays in force.
+    DropWrites,
+    /// Cap writes are clamped into `[floor, ceil]` before being applied
+    /// (firmware refusing to leave a range).
+    ClampWrites {
+        /// Lowest cap the faulty firmware will program.
+        floor: Watts,
+        /// Highest cap the faulty firmware will program.
+        ceil: Watts,
+    },
+    /// Cap writes land, but only `delay` seconds after they were issued.
+    DelayWrites {
+        /// Latency between the write and the cap taking effect.
+        delay: Seconds,
+    },
+}
+
+/// Either side of the fault taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UnitFault {
+    /// Telemetry-path fault.
+    Sensor(SensorFault),
+    /// Cap-write-path fault.
+    Actuator(ActuatorFault),
+}
+
+/// One scripted fault: a unit, an activity window, and what goes wrong.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitFaultEvent {
+    /// Flat unit index the fault targets.
+    pub unit: usize,
+    /// Half-open `[at, until)` activity window, sampled at cycle boundaries.
+    pub window: TimeWindow,
+    /// The fault in force during the window.
+    pub fault: UnitFault,
+}
+
+impl UnitFaultEvent {
+    /// Builds a sensor-fault event.
+    pub fn sensor(unit: usize, at: Seconds, until: Seconds, fault: SensorFault) -> Self {
+        Self {
+            unit,
+            window: TimeWindow::new(at, until),
+            fault: UnitFault::Sensor(fault),
+        }
+    }
+
+    /// Builds an actuator-fault event.
+    pub fn actuator(unit: usize, at: Seconds, until: Seconds, fault: ActuatorFault) -> Self {
+        Self {
+            unit,
+            window: TimeWindow::new(at, until),
+            fault: UnitFault::Actuator(fault),
+        }
+    }
+
+    fn validate_params(&self) -> Result<(), String> {
+        match self.fault {
+            UnitFault::Sensor(SensorFault::StuckAt { value }) => {
+                if !value.is_finite() {
+                    return Err(format!("StuckAt value must be finite: {value}"));
+                }
+            }
+            UnitFault::Sensor(SensorFault::Drift { rate }) => {
+                if !rate.is_finite() {
+                    return Err(format!("Drift rate must be finite: {rate}"));
+                }
+            }
+            UnitFault::Sensor(SensorFault::SpikeBurst { magnitude, prob }) => {
+                if !magnitude.is_finite() {
+                    return Err(format!("SpikeBurst magnitude must be finite: {magnitude}"));
+                }
+                if !(0.0..=1.0).contains(&prob) {
+                    return Err(format!("SpikeBurst prob must be in [0,1]: {prob}"));
+                }
+            }
+            UnitFault::Sensor(SensorFault::CounterCorrupt { prob }) => {
+                if !(0.0..=1.0).contains(&prob) {
+                    return Err(format!("CounterCorrupt prob must be in [0,1]: {prob}"));
+                }
+            }
+            UnitFault::Sensor(SensorFault::Dropout) => {}
+            UnitFault::Actuator(ActuatorFault::ClampWrites { floor, ceil }) => {
+                if !floor.is_finite() || !ceil.is_finite() || floor > ceil {
+                    return Err(format!(
+                        "ClampWrites needs finite floor <= ceil: [{floor}, {ceil}]"
+                    ));
+                }
+            }
+            UnitFault::Actuator(ActuatorFault::DelayWrites { delay }) => {
+                if !(delay.is_finite() && delay > 0.0) {
+                    return Err(format!("DelayWrites delay must be positive: {delay}"));
+                }
+            }
+            UnitFault::Actuator(ActuatorFault::DropWrites) => {}
+        }
+        Ok(())
+    }
+}
+
+/// A scripted set of per-unit sensor/actuator faults.
+///
+/// When several sensor faults are simultaneously active on one unit they are
+/// applied in schedule order (each transforming the previous reading). When
+/// several actuator faults overlap, the first active event in schedule order
+/// wins.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UnitFaultSchedule {
+    events: Vec<UnitFaultEvent>,
+}
+
+impl UnitFaultSchedule {
+    /// The empty schedule — fault-free hardware.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builds a schedule from scripted events.
+    pub fn new(events: Vec<UnitFaultEvent>) -> Self {
+        Self { events }
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, event: UnitFaultEvent) {
+        self.events.push(event);
+    }
+
+    /// All scripted events.
+    pub fn events(&self) -> &[UnitFaultEvent] {
+        &self.events
+    }
+
+    /// Whether the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Checks every event targets a real unit, has a well-formed window, and
+    /// carries sane parameters.
+    pub fn validate(&self, n_units: usize) -> Result<(), String> {
+        for event in &self.events {
+            if event.unit >= n_units {
+                return Err(format!(
+                    "fault targets unit {} but only {n_units} exist",
+                    event.unit
+                ));
+            }
+            event.window.validate()?;
+            event.validate_params()?;
+        }
+        Ok(())
+    }
+
+    /// Applies every sensor fault active on `unit` at time `t` to `reading`,
+    /// in schedule order. `dt` is the measurement window length and
+    /// `counter_unit` the energy-counter resolution in Joules (used to decode
+    /// a corrupted counter delta into a power). Probabilistic faults draw
+    /// from `rng`.
+    pub fn corrupt_reading(
+        &self,
+        unit: usize,
+        t: Seconds,
+        reading: Watts,
+        dt: Seconds,
+        counter_unit: f64,
+        rng: &mut RngStream,
+    ) -> Watts {
+        let mut value = reading;
+        for event in &self.events {
+            if event.unit != unit || !event.window.contains(t) {
+                continue;
+            }
+            let UnitFault::Sensor(fault) = event.fault else {
+                continue;
+            };
+            value = match fault {
+                SensorFault::StuckAt { value: pinned } => pinned,
+                SensorFault::Dropout => f64::NAN,
+                SensorFault::Drift { rate } => value + rate * (t - event.window.at),
+                SensorFault::SpikeBurst { magnitude, prob } => {
+                    if rng.chance(prob) {
+                        value + magnitude
+                    } else {
+                        value
+                    }
+                }
+                SensorFault::CounterCorrupt { prob } => {
+                    if rng.chance(prob) {
+                        // A corrupted or backwards-jumping 32-bit counter
+                        // wraps into an arbitrary delta; decode it the way
+                        // the reader would.
+                        let delta = rng.next_u64() & 0xFFFF_FFFF;
+                        delta as f64 * counter_unit / dt.max(1e-9)
+                    } else {
+                        value
+                    }
+                }
+            };
+        }
+        value
+    }
+
+    /// The actuator fault in force on `unit` at time `t`, if any (first
+    /// active event in schedule order wins).
+    pub fn actuator(&self, unit: usize, t: Seconds) -> Option<ActuatorFault> {
+        self.events.iter().find_map(|event| match event.fault {
+            UnitFault::Actuator(fault) if event.unit == unit && event.window.contains(t) => {
+                Some(fault)
+            }
+            _ => None,
+        })
+    }
+
+    /// Whether any *sensor* fault is active on `unit` at `t` (used by tests
+    /// and experiments to bracket fault windows).
+    pub fn sensor_active(&self, unit: usize, t: Seconds) -> bool {
+        self.events.iter().any(|event| {
+            event.unit == unit
+                && event.window.contains(t)
+                && matches!(event.fault, UnitFault::Sensor(_))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> RngStream {
+        RngStream::new(7, "fault-test")
+    }
+
+    #[test]
+    fn empty_schedule_passes_readings_through() {
+        let schedule = UnitFaultSchedule::none();
+        let mut r = rng();
+        assert_eq!(
+            schedule.corrupt_reading(0, 5.0, 101.5, 1.0, 61e-6, &mut r),
+            101.5
+        );
+        assert_eq!(schedule.actuator(0, 5.0), None);
+        assert!(schedule.is_empty());
+    }
+
+    #[test]
+    fn stuck_at_pins_reading_inside_window_only() {
+        let schedule = UnitFaultSchedule::new(vec![UnitFaultEvent::sensor(
+            1,
+            10.0,
+            20.0,
+            SensorFault::StuckAt { value: 55.0 },
+        )]);
+        let mut r = rng();
+        assert_eq!(
+            schedule.corrupt_reading(1, 9.9, 120.0, 1.0, 61e-6, &mut r),
+            120.0
+        );
+        assert_eq!(
+            schedule.corrupt_reading(1, 10.0, 120.0, 1.0, 61e-6, &mut r),
+            55.0
+        );
+        assert_eq!(
+            schedule.corrupt_reading(1, 19.9, 80.0, 1.0, 61e-6, &mut r),
+            55.0
+        );
+        assert_eq!(
+            schedule.corrupt_reading(1, 20.0, 80.0, 1.0, 61e-6, &mut r),
+            80.0
+        );
+        // Other units untouched.
+        assert_eq!(
+            schedule.corrupt_reading(0, 15.0, 120.0, 1.0, 61e-6, &mut r),
+            120.0
+        );
+    }
+
+    #[test]
+    fn dropout_yields_nan() {
+        let schedule = UnitFaultSchedule::new(vec![UnitFaultEvent::sensor(
+            0,
+            0.0,
+            5.0,
+            SensorFault::Dropout,
+        )]);
+        let mut r = rng();
+        assert!(schedule
+            .corrupt_reading(0, 1.0, 99.0, 1.0, 61e-6, &mut r)
+            .is_nan());
+    }
+
+    #[test]
+    fn drift_grows_linearly_from_window_start() {
+        let schedule = UnitFaultSchedule::new(vec![UnitFaultEvent::sensor(
+            0,
+            100.0,
+            200.0,
+            SensorFault::Drift { rate: 0.5 },
+        )]);
+        let mut r = rng();
+        let at_start = schedule.corrupt_reading(0, 100.0, 90.0, 1.0, 61e-6, &mut r);
+        let later = schedule.corrupt_reading(0, 140.0, 90.0, 1.0, 61e-6, &mut r);
+        assert!((at_start - 90.0).abs() < 1e-12);
+        assert!((later - 110.0).abs() < 1e-12, "drift after 40 s: {later}");
+    }
+
+    #[test]
+    fn spike_burst_respects_probability_and_seed() {
+        let schedule = UnitFaultSchedule::new(vec![UnitFaultEvent::sensor(
+            0,
+            0.0,
+            1e9,
+            SensorFault::SpikeBurst {
+                magnitude: 300.0,
+                prob: 0.25,
+            },
+        )]);
+        let run = |seed| {
+            let mut r = RngStream::new(seed, "spikes");
+            (0..4000)
+                .map(|i| schedule.corrupt_reading(0, i as f64, 100.0, 1.0, 61e-6, &mut r))
+                .collect::<Vec<_>>()
+        };
+        let a = run(1);
+        let spikes = a.iter().filter(|&&v| v > 200.0).count();
+        assert!(
+            (600..=1400).contains(&spikes),
+            "~25% of 4000 reads should spike, got {spikes}"
+        );
+        assert_eq!(a, run(1), "same seed replays the same spikes");
+    }
+
+    #[test]
+    fn counter_corruption_produces_wild_but_decodable_readings() {
+        let schedule = UnitFaultSchedule::new(vec![UnitFaultEvent::sensor(
+            0,
+            0.0,
+            1e9,
+            SensorFault::CounterCorrupt { prob: 1.0 },
+        )]);
+        let unit = 61e-6;
+        let mut r = rng();
+        for i in 0..100 {
+            let v = schedule.corrupt_reading(0, i as f64, 100.0, 1.0, unit, &mut r);
+            assert!(v.is_finite() && v >= 0.0);
+            assert!(v <= (u32::MAX as f64) * unit + 1e-9, "bounded by wrap span");
+        }
+    }
+
+    #[test]
+    fn overlapping_sensor_faults_compose_in_schedule_order() {
+        let schedule = UnitFaultSchedule::new(vec![
+            UnitFaultEvent::sensor(0, 0.0, 10.0, SensorFault::StuckAt { value: 70.0 }),
+            UnitFaultEvent::sensor(0, 0.0, 10.0, SensorFault::Drift { rate: 1.0 }),
+        ]);
+        let mut r = rng();
+        // Stuck pins to 70, then drift adds t-at on top.
+        assert_eq!(
+            schedule.corrupt_reading(0, 4.0, 123.0, 1.0, 61e-6, &mut r),
+            74.0
+        );
+    }
+
+    #[test]
+    fn first_active_actuator_fault_wins() {
+        let schedule = UnitFaultSchedule::new(vec![
+            UnitFaultEvent::actuator(2, 5.0, 15.0, ActuatorFault::DropWrites),
+            UnitFaultEvent::actuator(2, 0.0, 20.0, ActuatorFault::DelayWrites { delay: 2.0 }),
+        ]);
+        assert_eq!(
+            schedule.actuator(2, 3.0),
+            Some(ActuatorFault::DelayWrites { delay: 2.0 })
+        );
+        assert_eq!(schedule.actuator(2, 7.0), Some(ActuatorFault::DropWrites));
+        assert_eq!(
+            schedule.actuator(2, 19.0),
+            Some(ActuatorFault::DelayWrites { delay: 2.0 })
+        );
+        assert_eq!(schedule.actuator(2, 25.0), None);
+        assert_eq!(schedule.actuator(0, 7.0), None);
+    }
+
+    #[test]
+    fn validate_catches_bad_events() {
+        let mut ok = UnitFaultSchedule::none();
+        ok.push(UnitFaultEvent::sensor(0, 1.0, 2.0, SensorFault::Dropout));
+        assert!(ok.validate(4).is_ok());
+
+        let unit_oob = UnitFaultSchedule::new(vec![UnitFaultEvent::sensor(
+            9,
+            1.0,
+            2.0,
+            SensorFault::Dropout,
+        )]);
+        assert!(unit_oob.validate(4).is_err());
+
+        let bad_window = UnitFaultSchedule::new(vec![UnitFaultEvent::sensor(
+            0,
+            5.0,
+            5.0,
+            SensorFault::Dropout,
+        )]);
+        assert!(bad_window.validate(4).is_err());
+
+        let bad_prob = UnitFaultSchedule::new(vec![UnitFaultEvent::sensor(
+            0,
+            1.0,
+            2.0,
+            SensorFault::SpikeBurst {
+                magnitude: 10.0,
+                prob: 1.5,
+            },
+        )]);
+        assert!(bad_prob.validate(4).is_err());
+
+        let bad_clamp = UnitFaultSchedule::new(vec![UnitFaultEvent::actuator(
+            0,
+            1.0,
+            2.0,
+            ActuatorFault::ClampWrites {
+                floor: 100.0,
+                ceil: 50.0,
+            },
+        )]);
+        assert!(bad_clamp.validate(4).is_err());
+
+        let bad_delay = UnitFaultSchedule::new(vec![UnitFaultEvent::actuator(
+            0,
+            1.0,
+            2.0,
+            ActuatorFault::DelayWrites { delay: 0.0 },
+        )]);
+        assert!(bad_delay.validate(4).is_err());
+    }
+
+    #[test]
+    fn sensor_active_brackets_windows() {
+        let schedule = UnitFaultSchedule::new(vec![
+            UnitFaultEvent::sensor(0, 3.0, 6.0, SensorFault::Dropout),
+            UnitFaultEvent::actuator(1, 0.0, 9.0, ActuatorFault::DropWrites),
+        ]);
+        assert!(schedule.sensor_active(0, 4.0));
+        assert!(!schedule.sensor_active(0, 6.0));
+        assert!(
+            !schedule.sensor_active(1, 4.0),
+            "actuator faults don't count"
+        );
+    }
+}

@@ -9,9 +9,10 @@
 //! implementable on real hardware by an MSR- or sysfs-backed type.
 
 use crate::domain::{DomainSpec, PowerDomain};
+use crate::fault::{ActuatorFault, UnitFaultSchedule};
 use crate::noise::NoiseModel;
 use dps_sim_core::rng::RngStream;
-use dps_sim_core::units::{Seconds, Watts};
+use dps_sim_core::units::{clamp_power, Seconds, Watts};
 
 /// Read-power / set-cap abstraction over a fixed set of power-capping units,
 /// indexed densely `0..num_units()`.
@@ -42,9 +43,25 @@ pub trait PowerInterface {
 /// The cluster simulator drives demand into the bank each window via
 /// [`DomainBank::step_all`]; managers then read power and set caps through
 /// the trait, exactly as they would against real RAPL.
+///
+/// An optional [`UnitFaultSchedule`] corrupts the two trait operations:
+/// sensor faults transform what [`PowerInterface::read_power`] returns
+/// (after the noise model), actuator faults subvert what
+/// [`PowerInterface::set_cap`] programs — silently, so only a readback via
+/// [`PowerInterface::cap`] shows the truth.
 #[derive(Debug, Clone)]
 pub struct DomainBank {
     domains: Vec<PowerDomain>,
+    faults: UnitFaultSchedule,
+    /// Per-unit streams for probabilistic faults (spikes, corruption).
+    fault_rngs: Vec<RngStream>,
+    /// End time of the last completed window — when reads and writes happen.
+    now: Seconds,
+    /// Length of the last completed window (for decoding counter deltas).
+    last_dt: Seconds,
+    /// Delayed cap writes still in flight: `(applies_at, cap)` per unit, in
+    /// issue order.
+    pending_writes: Vec<Vec<(Seconds, Watts)>>,
 }
 
 impl DomainBank {
@@ -54,11 +71,40 @@ impl DomainBank {
         let domains = (0..n)
             .map(|i| PowerDomain::new(spec, noise.clone(), rng.child(&format!("domain/{i}"))))
             .collect();
-        Self { domains }
+        Self {
+            domains,
+            faults: UnitFaultSchedule::none(),
+            fault_rngs: Vec::new(),
+            now: 0.0,
+            last_dt: 1.0,
+            pending_writes: vec![Vec::new(); n],
+        }
+    }
+
+    /// Installs a sensor/actuator fault schedule. Per-unit fault RNG streams
+    /// are derived from `rng` (children `fault/{i}`), independent of the
+    /// noise streams, so adding faults never perturbs the noise realisation.
+    ///
+    /// # Panics
+    /// Panics if the schedule fails [`UnitFaultSchedule::validate`].
+    pub fn set_faults(&mut self, faults: UnitFaultSchedule, rng: &RngStream) {
+        faults
+            .validate(self.domains.len())
+            .expect("invalid fault schedule");
+        self.fault_rngs = (0..self.domains.len())
+            .map(|i| rng.child(&format!("fault/{i}")))
+            .collect();
+        self.faults = faults;
+    }
+
+    /// The installed fault schedule (empty when fault-free).
+    pub fn fault_schedule(&self) -> &UnitFaultSchedule {
+        &self.faults
     }
 
     /// Advances every domain one window with the given per-unit demands;
-    /// returns the true power of each unit.
+    /// returns the true power of each unit. Delayed cap writes whose latency
+    /// has elapsed are applied before the window runs.
     ///
     /// # Panics
     /// Panics if `demands.len() != num_units()`.
@@ -68,11 +114,24 @@ impl DomainBank {
             self.domains.len(),
             "one demand per domain required"
         );
-        self.domains
+        let now = self.now;
+        for (unit, pending) in self.pending_writes.iter_mut().enumerate() {
+            // Due writes land in issue order, so when several have matured
+            // the most recently issued one wins — like a slow MSR queue.
+            for &(_, cap) in pending.iter().filter(|&&(due, _)| due <= now) {
+                self.domains[unit].set_cap(cap);
+            }
+            pending.retain(|&(due, _)| due > now);
+        }
+        let powers: Vec<Watts> = self
+            .domains
             .iter_mut()
             .zip(demands)
             .map(|(d, &demand)| d.step(demand, dt))
-            .collect()
+            .collect();
+        self.now += dt;
+        self.last_dt = dt;
+        powers
     }
 
     /// Direct access to a domain (satisfaction accounting needs ground truth).
@@ -97,11 +156,38 @@ impl PowerInterface for DomainBank {
     }
 
     fn read_power(&mut self, unit: usize) -> Watts {
-        self.domains[unit].measure()
+        let measured = self.domains[unit].measure();
+        if self.faults.is_empty() {
+            return measured;
+        }
+        self.faults.corrupt_reading(
+            unit,
+            self.now,
+            measured,
+            self.last_dt,
+            self.domains[unit].energy_unit(),
+            &mut self.fault_rngs[unit],
+        )
     }
 
     fn set_cap(&mut self, unit: usize, cap: Watts) -> Watts {
-        self.domains[unit].set_cap(cap)
+        let Some(fault) = self.faults.actuator(unit, self.now) else {
+            return self.domains[unit].set_cap(cap);
+        };
+        // Silent faults: return what a healthy driver would have returned
+        // (the request clamped to spec limits), whatever actually happened.
+        let spec = *self.domains[unit].spec();
+        let honest = clamp_power(cap, spec.min_cap, spec.tdp);
+        match fault {
+            ActuatorFault::DropWrites => {}
+            ActuatorFault::ClampWrites { floor, ceil } => {
+                self.domains[unit].set_cap(honest.clamp(floor, ceil));
+            }
+            ActuatorFault::DelayWrites { delay } => {
+                self.pending_writes[unit].push((self.now + delay, honest));
+            }
+        }
+        honest
     }
 
     fn cap(&self, unit: usize) -> Watts {
@@ -185,5 +271,124 @@ mod tests {
     #[should_panic(expected = "one demand per domain")]
     fn step_all_length_mismatch_panics() {
         bank(2).step_all(&[1.0], 1.0);
+    }
+
+    use crate::fault::{ActuatorFault, SensorFault, UnitFaultEvent, UnitFaultSchedule};
+
+    fn faulty_bank(n: usize, events: Vec<UnitFaultEvent>) -> DomainBank {
+        let mut b = bank(n);
+        b.set_faults(
+            UnitFaultSchedule::new(events),
+            &RngStream::new(3, "bank-faults"),
+        );
+        b
+    }
+
+    #[test]
+    fn sensor_fault_corrupts_reads_only_in_window() {
+        let mut b = faulty_bank(
+            2,
+            vec![UnitFaultEvent::sensor(
+                0,
+                2.0,
+                4.0,
+                SensorFault::StuckAt { value: 33.0 },
+            )],
+        );
+        for t in 0..6 {
+            b.step_all(&[100.0, 100.0], 1.0);
+            let m0 = b.read_power(0);
+            let now = t as f64 + 1.0; // reads happen at the window's end time
+            if (2.0..4.0).contains(&now) {
+                assert_eq!(m0, 33.0, "stuck inside window (t={now})");
+            } else {
+                assert!((m0 - 100.0).abs() < 0.01, "clean outside window (t={now})");
+            }
+            assert!((b.read_power(1) - 100.0).abs() < 0.01, "other unit clean");
+        }
+    }
+
+    #[test]
+    fn dropped_cap_writes_lie_in_return_but_not_in_readback() {
+        let mut b = faulty_bank(
+            1,
+            vec![UnitFaultEvent::actuator(
+                0,
+                0.0,
+                100.0,
+                ActuatorFault::DropWrites,
+            )],
+        );
+        let before = b.cap(0);
+        let returned = b.set_cap(0, 90.0);
+        assert_eq!(returned, 90.0, "silent fault returns the honest value");
+        assert_eq!(b.cap(0), before, "readback exposes the dropped write");
+        // And the cap actually in force still clips power.
+        let powers = b.step_all(&[160.0], 1.0);
+        assert_eq!(powers[0], before.min(160.0));
+    }
+
+    #[test]
+    fn delayed_cap_writes_land_after_latency() {
+        let mut b = faulty_bank(
+            1,
+            vec![UnitFaultEvent::actuator(
+                0,
+                0.0,
+                100.0,
+                ActuatorFault::DelayWrites { delay: 2.0 },
+            )],
+        );
+        b.set_cap(0, 80.0); // issued at t=0, lands at t=2
+        b.step_all(&[160.0], 1.0); // window [0,1): old cap
+        assert_eq!(b.cap(0), 165.0);
+        b.step_all(&[160.0], 1.0); // window [1,2): old cap
+        assert_eq!(b.cap(0), 165.0);
+        let powers = b.step_all(&[160.0], 1.0); // window [2,3): new cap in force
+        assert_eq!(b.cap(0), 80.0);
+        assert_eq!(powers[0], 80.0);
+    }
+
+    #[test]
+    fn clamped_cap_writes_apply_the_clamped_value() {
+        let mut b = faulty_bank(
+            1,
+            vec![UnitFaultEvent::actuator(
+                0,
+                0.0,
+                100.0,
+                ActuatorFault::ClampWrites {
+                    floor: 120.0,
+                    ceil: 165.0,
+                },
+            )],
+        );
+        let returned = b.set_cap(0, 60.0);
+        assert_eq!(returned, 60.0, "honest return");
+        assert_eq!(b.cap(0), 120.0, "firmware refused to go below its floor");
+    }
+
+    #[test]
+    fn faults_do_not_perturb_noise_realisation() {
+        let noise = NoiseModel::Gaussian { std_dev: 2.0 };
+        let seed = RngStream::new(11, "iso");
+        let mut clean =
+            DomainBank::homogeneous(1, DomainSpec::xeon_gold_6240(), noise.clone(), &seed);
+        let mut faulty = DomainBank::homogeneous(1, DomainSpec::xeon_gold_6240(), noise, &seed);
+        // A fault on this unit that never fires a draw-free transform.
+        faulty.set_faults(
+            UnitFaultSchedule::new(vec![UnitFaultEvent::sensor(
+                0,
+                1000.0,
+                2000.0,
+                SensorFault::Dropout,
+            )]),
+            &RngStream::new(12, "iso-faults"),
+        );
+        for _ in 0..50 {
+            clean.step_all(&[120.0], 1.0);
+            faulty.step_all(&[120.0], 1.0);
+            assert_eq!(clean.read_power(0), faulty.read_power(0));
+        }
     }
 }

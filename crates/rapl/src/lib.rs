@@ -23,18 +23,24 @@
 //!   package (the Sarood et al. CPU/memory split from the related work).
 //! * [`interface`] — the [`PowerInterface`] trait power managers are written
 //!   against (read power, set cap), implemented by the simulation.
+//! * [`fault`] — scripted sensor faults (stuck / dropout / drift / spikes /
+//!   counter corruption) and silent actuator faults (dropped, clamped or
+//!   delayed cap writes), composable with the noise model and applied by
+//!   [`DomainBank`] behind the same [`PowerInterface`].
 
 #![warn(missing_docs)]
 
 pub mod counter;
 pub mod domain;
 pub mod dram;
+pub mod fault;
 pub mod interface;
 pub mod noise;
 pub mod topology;
 
 pub use counter::{EnergyCounter, EnergyReader};
 pub use domain::{DomainSpec, PowerDomain};
+pub use fault::{ActuatorFault, SensorFault, UnitFault, UnitFaultEvent, UnitFaultSchedule};
 pub use interface::{DomainBank, PowerInterface};
 pub use noise::NoiseModel;
 pub use topology::{Topology, UnitId};

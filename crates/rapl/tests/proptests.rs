@@ -1,5 +1,6 @@
 //! Property tests for the simulated RAPL substrate.
 
+use dps_rapl::counter::DEFAULT_ENERGY_UNIT;
 use dps_rapl::{DomainSpec, EnergyCounter, EnergyReader, NoiseModel, PowerDomain, Topology};
 use dps_sim_core::rng::RngStream;
 use proptest::prelude::*;
@@ -25,6 +26,62 @@ proptest! {
                 (measured - power).abs() <= tolerance,
                 "measured {measured} vs {power} (tol {tolerance})"
             );
+        }
+    }
+
+    /// A corrupted or backwards-jumping counter can never panic the reader
+    /// or produce NaN/negative power: whatever raw values arrive (including
+    /// garbage above the 32-bit range), every decoded power is finite,
+    /// non-negative and bounded by one full counter wrap over the window.
+    #[test]
+    fn reader_survives_arbitrary_raw_sequences(
+        reads in prop::collection::vec((any::<u64>(), 0.001f64..10.0), 1..100),
+    ) {
+        let unit = DEFAULT_ENERGY_UNIT;
+        let mut r = EnergyReader::new(unit);
+        let mut now = 0.0;
+        for (raw, dt) in reads {
+            now += dt;
+            if let Some(p) = r.sample(raw, now) {
+                prop_assert!(p.is_finite(), "power must be finite, got {p}");
+                prop_assert!(p >= 0.0, "power must be non-negative, got {p}");
+                let wrap_bound = (1u64 << 32) as f64 * unit / dt;
+                prop_assert!(p <= wrap_bound + 1e-9, "{p} exceeds wrap span {wrap_bound}");
+            }
+        }
+    }
+
+    /// One corrupted raw read in an otherwise honest stream perturbs at most
+    /// the two samples that difference against it; from the next honest read
+    /// on, the reader recovers the true power exactly.
+    #[test]
+    fn reader_recovers_after_one_corrupted_read(
+        corrupt_at in 2usize..40,
+        corrupt_raw in any::<u64>(),
+        extra in 2usize..40,
+    ) {
+        let truth = 120.0;
+        let mut hw = EnergyCounter::new();
+        let mut r = EnergyReader::new(hw.unit());
+        r.sample(hw.raw(), 0.0);
+        for i in 1..corrupt_at + extra {
+            hw.accumulate(truth, 1.0);
+            let raw = if i == corrupt_at { corrupt_raw } else { hw.raw() };
+            let p = r.sample(raw, i as f64);
+            // The read of the corrupted value and the first read after it
+            // (differencing against the corrupted baseline) may be wild but
+            // must stay finite and non-negative; all others must be exact up
+            // to quantization.
+            match p {
+                Some(p) => {
+                    prop_assert!(p.is_finite() && p >= 0.0);
+                    if i != corrupt_at && i != corrupt_at + 1 {
+                        let tol = hw.unit() + 1e-9;
+                        prop_assert!((p - truth).abs() <= tol, "step {i}: {p} vs {truth}");
+                    }
+                }
+                None => prop_assert!(false, "time advanced, sample expected"),
+            }
         }
     }
 

@@ -69,7 +69,15 @@ impl KalmanFilter {
     ///
     /// The first measurement initialises the state directly (equivalent to an
     /// infinite prior variance), as is standard when no prior is available.
+    ///
+    /// Non-finite measurements (NaN, ±∞ — e.g. a dropped-out sensor) are
+    /// rejected without touching the state: the filter holds its previous
+    /// estimate rather than poisoning it, returning that estimate (0 if no
+    /// measurement has ever arrived).
     pub fn update(&mut self, z: f64) -> f64 {
+        if !z.is_finite() {
+            return self.estimate.unwrap_or(0.0);
+        }
         match self.estimate {
             None => {
                 self.estimate = Some(z);
@@ -114,6 +122,41 @@ impl KalmanFilter {
         self.estimate = None;
         self.error_variance = 0.0;
         self.last_gain = 0.0;
+    }
+
+    /// Snapshot of the dynamic state `(estimate, error variance, last gain)`
+    /// for checkpointing. The (Q, R) parameters are construction state and
+    /// are not included.
+    #[inline]
+    pub fn state(&self) -> (Option<f64>, f64, f64) {
+        (self.estimate, self.error_variance, self.last_gain)
+    }
+
+    /// Restores a snapshot taken with [`KalmanFilter::state`] onto a filter
+    /// constructed with the same (Q, R).
+    pub fn restore_state(
+        &mut self,
+        estimate: Option<f64>,
+        error_variance: f64,
+        last_gain: f64,
+    ) -> Result<(), String> {
+        if let Some(x) = estimate {
+            if !x.is_finite() {
+                return Err(format!("estimate must be finite, got {x}"));
+            }
+        }
+        if !(error_variance.is_finite() && error_variance >= 0.0) {
+            return Err(format!(
+                "error variance must be finite and non-negative, got {error_variance}"
+            ));
+        }
+        if !(last_gain.is_finite() && (0.0..=1.0).contains(&last_gain)) {
+            return Err(format!("gain must lie in [0, 1], got {last_gain}"));
+        }
+        self.estimate = estimate;
+        self.error_variance = error_variance;
+        self.last_gain = last_gain;
+        Ok(())
     }
 
     /// Steady-state gain for this (Q, R) pair: the fixed point of the gain
@@ -222,6 +265,24 @@ mod tests {
         kf.reset();
         assert_eq!(kf.estimate(), None);
         assert_eq!(kf.update(70.0), 70.0);
+    }
+
+    #[test]
+    fn non_finite_measurements_are_held_not_propagated() {
+        let mut kf = KalmanFilter::new(1.0, 4.0);
+        assert_eq!(kf.update(f64::NAN), 0.0, "no prior: neutral 0");
+        assert_eq!(kf.estimate(), None, "NaN must not initialise the filter");
+        kf.update(80.0);
+        let before = (kf.estimate(), kf.error_variance(), kf.last_gain());
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(kf.update(bad), 80.0, "hold previous estimate");
+        }
+        assert_eq!(
+            (kf.estimate(), kf.error_variance(), kf.last_gain()),
+            before,
+            "rejected samples must not touch any state"
+        );
+        assert!(kf.update(82.0).is_finite());
     }
 
     #[test]

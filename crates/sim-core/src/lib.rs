@@ -19,6 +19,9 @@
 //!   and the §3.1 diversity report (duration / peak / derivative ranges).
 //! * [`kalman`] — the 1-dimensional Kalman filter DPS uses to de-noise RAPL
 //!   power measurements (paper §4.3.2).
+//! * [`window`] — half-open time windows, the shared vocabulary for the
+//!   fault schedules in `dps-ctrl` (wire faults) and `dps-rapl`
+//!   (sensor/actuator faults).
 
 #![warn(missing_docs)]
 
@@ -30,10 +33,12 @@ pub mod series;
 pub mod signal;
 pub mod stats;
 pub mod units;
+pub mod window;
 
 pub use kalman::KalmanFilter;
 pub use ring::RingBuffer;
-pub use rng::RngStream;
+pub use rng::{RngStream, RngStreamState};
 pub use series::TimeSeries;
 pub use stats::OnlineStats;
 pub use units::{Joules, Seconds, SimClock, Timestep, Watts};
+pub use window::TimeWindow;

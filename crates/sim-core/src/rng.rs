@@ -35,6 +35,45 @@ fn fnv1a(label: &str) -> u64 {
     hash
 }
 
+/// Wraps the backing generator and counts every 64-bit draw, so a stream's
+/// exact position can be captured and replayed for checkpoint/restore.
+///
+/// Every sampling path (uniform floats, ranges, shuffles, byte fills) bottoms
+/// out in [`RngCore::next_u64`] here, so the draw count alone pins the
+/// generator state: replaying `draws` calls on a fresh generator derived from
+/// the same `(seed, label_hash)` reproduces it bit-for-bit.
+#[derive(Debug, Clone)]
+struct CountingRng {
+    rng: StdRng,
+    draws: u64,
+}
+
+impl RngCore for CountingRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.rng.next_u64()
+    }
+}
+
+/// The replayable position of an [`RngStream`]: the derivation inputs plus
+/// how many 64-bit values have been consumed. [`RngStream::restore`] turns
+/// this back into a live stream at the identical position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RngStreamState {
+    /// Experiment seed the stream was derived from.
+    pub seed: u64,
+    /// Mixed label hash identifying the stream (including child derivations).
+    pub label_hash: u64,
+    /// Number of 64-bit draws consumed so far.
+    pub draws: u64,
+}
+
 /// A deterministic random stream identified by `(seed, label)`.
 ///
 /// ```
@@ -47,38 +86,57 @@ fn fnv1a(label: &str) -> u64 {
 /// ```
 #[derive(Debug, Clone)]
 pub struct RngStream {
-    rng: StdRng,
+    rng: CountingRng,
     seed: u64,
     label_hash: u64,
 }
 
 impl RngStream {
-    /// Creates a stream for `(seed, label)`.
-    pub fn new(seed: u64, label: &str) -> Self {
-        let label_hash = fnv1a(label);
+    fn from_parts(seed: u64, label_hash: u64) -> Self {
         let mixed = splitmix64(seed ^ splitmix64(label_hash));
         Self {
-            rng: StdRng::seed_from_u64(mixed),
+            rng: CountingRng {
+                rng: StdRng::seed_from_u64(mixed),
+                draws: 0,
+            },
             seed,
             label_hash,
         }
     }
 
+    /// Creates a stream for `(seed, label)`.
+    pub fn new(seed: u64, label: &str) -> Self {
+        Self::from_parts(seed, fnv1a(label))
+    }
+
     /// Derives a child stream; `child("x")` from the same parent is always the
     /// same stream, and distinct child labels give independent streams.
     pub fn child(&self, label: &str) -> Self {
-        let child_hash = self.label_hash ^ splitmix64(fnv1a(label));
-        let mixed = splitmix64(self.seed ^ splitmix64(child_hash));
-        Self {
-            rng: StdRng::seed_from_u64(mixed),
-            seed: self.seed,
-            label_hash: child_hash,
-        }
+        Self::from_parts(self.seed, self.label_hash ^ splitmix64(fnv1a(label)))
     }
 
     /// The experiment seed this stream was derived from.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Captures the stream's replayable position.
+    pub fn state(&self) -> RngStreamState {
+        RngStreamState {
+            seed: self.seed,
+            label_hash: self.label_hash,
+            draws: self.rng.draws,
+        }
+    }
+
+    /// Rebuilds a stream at exactly the position captured by [`Self::state`],
+    /// by re-deriving the generator and replaying the recorded draws.
+    pub fn restore(state: RngStreamState) -> Self {
+        let mut stream = Self::from_parts(state.seed, state.label_hash);
+        for _ in 0..state.draws {
+            stream.next_u64();
+        }
+        stream
     }
 
     /// Next raw 64-bit value.
@@ -233,6 +291,33 @@ mod tests {
         let mut s = RngStream::new(1, "c");
         assert!(!(0..100).any(|_| s.chance(0.0)));
         assert!((0..100).all(|_| s.chance(1.0)));
+    }
+
+    #[test]
+    fn state_restore_resumes_identically() {
+        let mut original = RngStream::new(21, "ckpt");
+        // Consume through every sampling path so the count covers them all.
+        original.uniform();
+        original.normal(5.0, 2.0);
+        original.range(0..100);
+        let mut scratch: Vec<u32> = (0..9).collect();
+        original.shuffle(&mut scratch);
+        original.chance(0.5);
+        let state = original.state();
+        let mut restored = RngStream::restore(state);
+        assert_eq!(restored.state(), state);
+        for _ in 0..100 {
+            assert_eq!(original.next_u64(), restored.next_u64());
+        }
+    }
+
+    #[test]
+    fn child_state_restores_without_parent() {
+        let parent = RngStream::new(5, "root");
+        let mut child = parent.child("inner");
+        child.uniform();
+        let mut restored = RngStream::restore(child.state());
+        assert_eq!(child.next_u64(), restored.next_u64());
     }
 
     #[test]

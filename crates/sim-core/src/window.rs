@@ -1,0 +1,75 @@
+//! Half-open time windows — the shared vocabulary for fault schedules.
+//!
+//! Both the control-plane fault schedule (`dps-ctrl`: crashes, partitions,
+//! corruption bursts) and the sensor/actuator fault schedule (`dps-rapl`:
+//! stuck readings, dropped cap writes, …) script their events as half-open
+//! `[at, until)` windows sampled at cycle boundaries. Keeping the window type
+//! here lets one experiment compose wire faults and sensor faults against the
+//! same timeline without either crate depending on the other.
+
+use crate::units::Seconds;
+
+/// A half-open activity window `[at, until)` on the simulation timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeWindow {
+    /// Start of the window (inclusive).
+    pub at: Seconds,
+    /// End of the window (exclusive).
+    pub until: Seconds,
+}
+
+impl TimeWindow {
+    /// Builds a window covering `[at, until)`.
+    pub fn new(at: Seconds, until: Seconds) -> Self {
+        Self { at, until }
+    }
+
+    /// Whether `t` falls inside the window.
+    #[inline]
+    pub fn contains(&self, t: Seconds) -> bool {
+        t >= self.at && t < self.until
+    }
+
+    /// Window length in seconds.
+    pub fn duration(&self) -> Seconds {
+        self.until - self.at
+    }
+
+    /// Checks the window is well-formed: finite, non-negative start, and a
+    /// strictly positive duration.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.at.is_finite() || !self.until.is_finite() {
+            return Err(format!("window bounds must be finite: {self:?}"));
+        }
+        if self.at < 0.0 {
+            return Err(format!("window start must be >= 0: {self:?}"));
+        }
+        if self.until <= self.at {
+            return Err(format!("window must have positive duration: {self:?}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_open_semantics() {
+        let w = TimeWindow::new(2.0, 5.0);
+        assert!(!w.contains(1.999));
+        assert!(w.contains(2.0));
+        assert!(w.contains(4.999));
+        assert!(!w.contains(5.0));
+        assert_eq!(w.duration(), 3.0);
+    }
+
+    #[test]
+    fn validate_rejects_malformed() {
+        assert!(TimeWindow::new(0.0, 1.0).validate().is_ok());
+        assert!(TimeWindow::new(-1.0, 1.0).validate().is_err());
+        assert!(TimeWindow::new(3.0, 3.0).validate().is_err());
+        assert!(TimeWindow::new(0.0, f64::NAN).validate().is_err());
+    }
+}

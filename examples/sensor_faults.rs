@@ -1,0 +1,102 @@
+//! Sensor faults: watch the telemetry guard quarantine and readmit a unit.
+//!
+//! ```text
+//! cargo run --release --example sensor_faults
+//! ```
+//!
+//! One socket's power sensor freezes mid-run (reads pin at 95 W while the
+//! unit actually idles). An unguarded controller would keep allocating to
+//! the phantom load; the guarded DPS manager notices the zero-variance
+//! readings, quarantines the unit at its constant-allocation fallback cap,
+//! redistributes the freed budget, and readmits the unit once real
+//! telemetry returns — all without the cluster ever exceeding its budget.
+
+use dps_suite::cluster::{ClusterSim, ExperimentConfig};
+use dps_suite::core::manager::{PowerManager, UnitLimits};
+use dps_suite::core::{DpsManager, GuardConfig, HealthState};
+use dps_suite::rapl::{SensorFault, Topology, UnitFaultEvent, UnitFaultSchedule};
+use dps_suite::sim_core::RngStream;
+use dps_suite::workloads::{DemandProgram, Phase};
+
+fn main() {
+    // A small testbed: 2 clusters × 2 nodes × 2 sockets (8 units), one
+    // hot cluster (throttled by the budget) and one cool.
+    let mut config = ExperimentConfig::paper_default(/* seed */ 7, /* reps */ 1);
+    config.sim.topology = Topology::new(2, 2, 2);
+
+    // Unit 0's sensor freezes at 95 W from t = 60 s to t = 160 s.
+    config.sim.sensor_faults = UnitFaultSchedule::new(vec![UnitFaultEvent::sensor(
+        0,
+        60.0,
+        160.0,
+        SensorFault::StuckAt { value: 95.0 },
+    )]);
+    config.sim.validate().expect("valid config");
+
+    let n = config.sim.topology.total_units();
+    let budget = config.sim.total_budget();
+    let limits = UnitLimits {
+        min_cap: config.sim.domain_spec.min_cap,
+        max_cap: config.sim.domain_spec.tdp,
+    };
+    // Impatient guard settings so the demo fits in 240 cycles; production
+    // deployments would keep the defaults.
+    let guard = GuardConfig {
+        stuck_window: 6,
+        quarantine_after: 2,
+        probation_after: 5,
+        readmit_after: 10,
+        ..GuardConfig::default()
+    };
+    let manager: Box<dyn PowerManager> = Box::new(DpsManager::with_guard(
+        n,
+        budget,
+        limits,
+        Default::default(),
+        guard,
+        RngStream::new(config.seed, "manager/DPS"),
+    ));
+
+    let programs = vec![
+        DemandProgram::new(vec![Phase::constant(240.0, 150.0)]),
+        DemandProgram::new(vec![Phase::constant(240.0, 60.0)]),
+    ];
+    let mut sim = ClusterSim::new(
+        config.sim.clone(),
+        programs,
+        manager,
+        &RngStream::new(config.seed, "sensor-faults-example"),
+    );
+
+    println!("budget {budget:.0} W over {n} units; unit 0's sensor sticks at t=60..160 s\n");
+    let mut last_state = HealthState::Healthy;
+    for _ in 0..240 {
+        sim.cycle();
+        let health = sim.health().expect("guarded manager");
+        let state = health[0];
+        if state != last_state {
+            println!(
+                "t={:>3.0} s  unit 0: {last_state} -> {state}  (cap {:>5.1} W, cluster sum {:>6.1} W)",
+                sim.now(),
+                sim.caps()[0],
+                sim.caps().iter().sum::<f64>(),
+            );
+            last_state = state;
+        }
+        assert!(
+            sim.caps().iter().sum::<f64>() <= budget + 1e-6,
+            "budget invariant must hold under the fault"
+        );
+    }
+
+    let stats = sim.guard_stats().expect("guarded manager");
+    println!(
+        "\nguard: {} samples rejected, {} stuck trip(s), {} quarantine(s), {} readmission(s)",
+        stats.rejected_samples, stats.stuck_trips, stats.quarantine_entries, stats.readmissions
+    );
+    println!(
+        "hot-cluster satisfaction {:.3}, cool {:.3}; budget held every cycle",
+        sim.satisfaction(0),
+        sim.satisfaction(1)
+    );
+}
