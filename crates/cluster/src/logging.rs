@@ -6,6 +6,7 @@
 //! appendix). Logging is optional: full factorial sweeps disable it, the
 //! time-series figures enable it.
 
+use dps_sched::SchedEvent;
 use dps_sim_core::units::{Seconds, Watts};
 use serde::{Deserialize, Serialize};
 
@@ -22,6 +23,12 @@ pub struct CycleRecord {
     pub demand: Vec<Watts>,
     /// DPS priority per unit (empty for managers without priorities).
     pub priority: Vec<bool>,
+    /// Jobs waiting in the scheduler queue this cycle (0 without a
+    /// scheduler).
+    pub queue_depth: usize,
+    /// Scheduler lifecycle events that fired this cycle (empty without a
+    /// scheduler).
+    pub events: Vec<SchedEvent>,
 }
 
 /// A bounded-or-unbounded cycle log.
@@ -79,6 +86,35 @@ impl CycleLog {
     pub fn demand_series(&self, unit: usize) -> Vec<Watts> {
         self.records.iter().map(|r| r.demand[unit]).collect()
     }
+
+    /// Extracts the scheduler queue-depth series.
+    pub fn queue_depth_series(&self) -> Vec<usize> {
+        self.records.iter().map(|r| r.queue_depth).collect()
+    }
+
+    /// All scheduler events across the logged cycles, in firing order.
+    pub fn sched_events(&self) -> Vec<SchedEvent> {
+        self.records
+            .iter()
+            .flat_map(|r| r.events.iter().cloned())
+            .collect()
+    }
+
+    /// Scheduler events as string rows (`time,job,nodes,event`), ready for
+    /// a CSV writer such as `dps_metrics::csv::render`.
+    pub fn sched_event_rows(&self) -> Vec<Vec<String>> {
+        self.sched_events()
+            .iter()
+            .map(|e| {
+                vec![
+                    format!("{}", e.time),
+                    e.job.to_string(),
+                    e.nodes.to_string(),
+                    e.kind.to_string(),
+                ]
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +128,13 @@ mod tests {
             caps: vec![110.0, 110.0],
             demand: vec![120.0, 50.0],
             priority: vec![true, false],
+            queue_depth: 3,
+            events: vec![SchedEvent {
+                time: t,
+                job: 7,
+                nodes: 2,
+                kind: dps_sched::SchedEventKind::Started,
+            }],
         }
     }
 
@@ -120,5 +163,22 @@ mod tests {
         assert_eq!(log.power_series(0), vec![100.0, 100.0]);
         assert_eq!(log.cap_series(1), vec![110.0, 110.0]);
         assert_eq!(log.demand_series(0), vec![120.0, 120.0]);
+        assert_eq!(log.queue_depth_series(), vec![3, 3]);
+        let events = log.sched_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].job, 7);
+        assert_eq!(events[1].time, 2.0);
+    }
+
+    #[test]
+    fn event_rows_are_csv_ready() {
+        let mut log = CycleLog::enabled();
+        log.push(record(1.5));
+        let rows = log.sched_event_rows();
+        let expected: Vec<Vec<String>> = vec![["1.5", "7", "2", "started"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()];
+        assert_eq!(rows, expected);
     }
 }

@@ -21,9 +21,10 @@ use dps_core::guard::HealthState;
 use dps_core::manager::PowerManager;
 use dps_ctrl::{CtrlStats, FramedConfig, FramedControlPlane};
 use dps_rapl::{DomainBank, DomainSpec, NoiseModel, PowerInterface, Topology, UnitFaultSchedule};
+use dps_sched::{JobRecord, JobScheduler, SchedConfig};
 use dps_sim_core::rng::RngStream;
 use dps_sim_core::units::{Seconds, SimClock, Watts};
-use dps_workloads::{DemandProgram, PerfModel, RunningWorkload};
+use dps_workloads::{DemandProgram, PerfModel, Phase, RunningWorkload};
 
 /// How measurements and cap assignments travel between the manager and the
 /// units. See the "Control-plane modes" section of `DESIGN.md`.
@@ -70,6 +71,11 @@ pub struct SimConfig {
     /// Scripted sensor/actuator faults injected at the RAPL substrate
     /// (empty = fault-free hardware).
     pub sensor_faults: UnitFaultSchedule,
+    /// Optional power-aware job scheduler ([`dps_sched`]): jobs arrive over
+    /// time, occupy whole nodes, and drive unit churn. `None` (the default)
+    /// keeps the classic one-workload-per-cluster pinning, bit-identical to
+    /// pre-scheduler behaviour. Consumed by [`ClusterSim::with_scheduler`].
+    pub scheduler: Option<SchedConfig>,
 }
 
 impl SimConfig {
@@ -86,6 +92,7 @@ impl SimConfig {
             idle_gap: 10.0,
             control_plane: ControlPlaneMode::Direct,
             sensor_faults: UnitFaultSchedule::none(),
+            scheduler: None,
         }
     }
 
@@ -135,6 +142,9 @@ impl SimConfig {
             framed.validate(self.total_nodes(), self.period)?;
         }
         self.sensor_faults.validate(self.topology.total_units())?;
+        if let Some(sched) = &self.scheduler {
+            sched.validate()?;
+        }
         Ok(())
     }
 }
@@ -154,6 +164,27 @@ struct ClusterJob {
     realized_run: usize,
     /// Stream for per-run socket variants.
     variant_rng: RngStream,
+}
+
+/// One scheduled job currently running on its allocated sockets
+/// (scheduler mode).
+struct ActiveJob {
+    id: usize,
+    run: RunningWorkload,
+    socket_programs: Vec<DemandProgram>,
+    /// Global unit indices the job occupies (whole nodes).
+    units: Vec<usize>,
+}
+
+/// Scheduler-mode state: the queue plus the realised running jobs.
+struct SchedState {
+    scheduler: JobScheduler,
+    jobs: Vec<ActiveJob>,
+    /// Per-unit occupancy, mirrored to the manager on change.
+    occupied: Vec<bool>,
+    enforce_walltime: bool,
+    /// Stream deriving each job's program realisation and socket variants.
+    job_rng: RngStream,
 }
 
 /// Builds the per-socket demand variants for one base program.
@@ -216,6 +247,8 @@ pub struct ClusterSim {
     watchdog_every: Option<u64>,
     /// Latest watchdog snapshot, if the manager supports checkpointing.
     last_checkpoint: Option<Vec<u8>>,
+    /// Scheduler-mode state; `None` in the classic pinned-workload mode.
+    sched: Option<SchedState>,
 }
 
 impl ClusterSim {
@@ -302,6 +335,7 @@ impl ClusterSim {
             applied: vec![0.0; n],
             watchdog_every: None,
             last_checkpoint: None,
+            sched: None,
             clock: SimClock::new(config.period),
             bank,
             jobs,
@@ -342,6 +376,79 @@ impl ClusterSim {
         for (job, factory) in sim.jobs.iter_mut().zip(factories) {
             job.factory = Some(factory);
         }
+        sim
+    }
+
+    /// Builds a simulator in **scheduler mode**: instead of one pinned
+    /// workload per cluster, jobs arrive over time (per
+    /// `config.scheduler`, which must be `Some`), are admitted by the
+    /// FIFO + EASY-backfill queue under node *and* power-reservation
+    /// constraints, and occupy whole nodes while they run. Job starts,
+    /// finishes and evictions drive unit churn: the manager learns about
+    /// occupancy flips through [`PowerManager::observe_membership`].
+    ///
+    /// The arrival trace is realised from `rng.child("sched/arrivals")`, so
+    /// two managers built from the same `rng` face the identical job
+    /// sequence.
+    ///
+    /// The pinned-mode accessors tied to cluster workloads
+    /// ([`ClusterSim::runs_completed`], [`ClusterSim::run_durations`])
+    /// have no jobs to report on in this mode and panic if indexed.
+    ///
+    /// # Panics
+    /// Panics when `config.scheduler` is `None`, the config does not
+    /// validate, or the arrival trace contains a job that could never fit
+    /// the cluster.
+    pub fn with_scheduler(
+        config: SimConfig,
+        manager: Box<dyn PowerManager>,
+        rng: &RngStream,
+    ) -> Self {
+        let sched_cfg = config
+            .scheduler
+            .clone()
+            .expect("SimConfig::scheduler must be Some for scheduler mode");
+        config.validate().expect("invalid sim config");
+        let n = config.topology.total_units();
+        let budget = config.total_budget();
+        let share = budget / n as f64;
+        let mut arrival_rng = rng.child("sched/arrivals");
+        let trace = sched_cfg.arrivals.generate(
+            config.total_nodes(),
+            config.domain_spec.tdp,
+            share,
+            sched_cfg.walltime_factor,
+            &mut arrival_rng,
+        );
+        let scheduler = JobScheduler::new(
+            trace,
+            config.total_nodes(),
+            config.topology.sockets_per_node,
+            budget,
+            sched_cfg.backfill,
+        )
+        .expect("arrival trace must fit the cluster");
+
+        // Reuse the pinned-mode construction for the plant and control
+        // plumbing, then swap the placeholder workloads out for scheduler
+        // state (an idle cluster until jobs land).
+        let mut base_cfg = config;
+        base_cfg.scheduler = None;
+        let placeholder: Vec<DemandProgram> = (0..base_cfg.topology.clusters)
+            .map(|_| DemandProgram::new(vec![Phase::constant(1.0, 0.0)]))
+            .collect();
+        let mut sim = Self::new(base_cfg, placeholder, manager, rng);
+        sim.config.scheduler = Some(sched_cfg.clone());
+        sim.jobs.clear();
+        let occupied = vec![false; n];
+        sim.manager.observe_membership(&occupied);
+        sim.sched = Some(SchedState {
+            scheduler,
+            jobs: Vec::new(),
+            occupied,
+            enforce_walltime: sched_cfg.enforce_walltime,
+            job_rng: rng.child("sched/jobs"),
+        });
         sim
     }
 
@@ -398,6 +505,33 @@ impl ClusterSim {
     /// The manager's priority flags (DPS only).
     pub fn priorities(&self) -> Option<&[bool]> {
         self.manager.priorities()
+    }
+
+    /// The job scheduler, when running in scheduler mode.
+    pub fn scheduler(&self) -> Option<&JobScheduler> {
+        self.sched.as_ref().map(|s| &s.scheduler)
+    }
+
+    /// Per-unit occupancy in scheduler mode; `None` in pinned mode (where
+    /// every unit hosts its cluster's workload for the whole run).
+    pub fn occupied_units(&self) -> Option<&[bool]> {
+        self.sched.as_ref().map(|s| s.occupied.as_slice())
+    }
+
+    /// Retired job records in scheduler mode (empty in pinned mode).
+    pub fn job_records(&self) -> &[JobRecord] {
+        self.sched
+            .as_ref()
+            .map(|s| s.scheduler.records())
+            .unwrap_or(&[])
+    }
+
+    /// True when the scheduler has no arrivals, queued, or running jobs
+    /// left (always false in pinned mode).
+    pub fn scheduler_drained(&self) -> bool {
+        self.sched
+            .as_ref()
+            .is_some_and(|s| s.scheduler.is_drained())
     }
 
     /// The framed control plane, when one is running
@@ -472,23 +606,97 @@ impl ClusterSim {
         Ok(())
     }
 
+    /// Start-of-cycle scheduler phase: evict walltime overruns, admit due
+    /// arrivals, realise newly started jobs on their sockets, and report
+    /// occupancy flips to the manager (before it assigns caps).
+    fn sched_begin(&mut self, st: &mut SchedState) {
+        let now = self.clock.now();
+        let mut membership_dirty = false;
+
+        if st.enforce_walltime {
+            for id in st.scheduler.overrunning(now) {
+                st.scheduler.evict(id, now);
+                if let Some(pos) = st.jobs.iter().position(|j| j.id == id) {
+                    for &u in &st.jobs[pos].units {
+                        st.occupied[u] = false;
+                    }
+                    st.jobs.swap_remove(pos);
+                    membership_dirty = true;
+                }
+            }
+        }
+
+        let tdp = self.config.domain_spec.tdp;
+        let spk = self.config.topology.sockets_per_node;
+        for started in st.scheduler.tick(now) {
+            // Each job gets its own program realisation (run-to-run
+            // variance) and per-socket variants, all derived from the
+            // job id so every manager sees the identical workload.
+            let mut job_rng = st.job_rng.child(&format!("job{}", started.id));
+            let seed = job_rng.next_u64();
+            let base = dps_workloads::build_program(&started.spec, &self.config.perf, seed);
+            let units: Vec<usize> = started
+                .nodes
+                .iter()
+                .flat_map(|&node| node * spk..(node + 1) * spk)
+                .collect();
+            let socket_programs: Vec<DemandProgram> = (0..units.len())
+                .map(|s| dps_workloads::generator::socket_variant(&base, tdp, s, &job_rng))
+                .collect();
+            for &u in &units {
+                st.occupied[u] = true;
+            }
+            membership_dirty = true;
+            st.jobs.push(ActiveJob {
+                id: started.id,
+                run: RunningWorkload::once(base, self.config.perf),
+                socket_programs,
+                units,
+            });
+        }
+
+        if membership_dirty {
+            self.manager.observe_membership(&st.occupied);
+        }
+    }
+
     /// Runs one decision cycle.
     pub fn cycle(&mut self) {
         let topo = self.config.topology;
         let period = self.config.period;
         let idle = self.config.domain_spec.idle_power;
 
+        // (0) Scheduler phase (scheduler mode only). Taken out of `self`
+        // for the duration of the cycle to keep the borrows disjoint.
+        let mut sched = self.sched.take();
+        if let Some(st) = sched.as_mut() {
+            self.sched_begin(st);
+        }
+
         // (1) Demands from job positions.
-        for (c, job) in self.jobs.iter().enumerate() {
-            let active = job.run.demand() > 0.0;
-            let pos = job.run.position();
-            let range = topo.cluster_range(c);
-            for (s, u) in range.enumerate() {
-                self.demands[u] = if active {
-                    job.socket_programs[s].demand_at(pos)
-                } else {
-                    0.0
-                };
+        if let Some(st) = sched.as_ref() {
+            // Scheduler mode: unoccupied sockets demand nothing.
+            self.demands.fill(0.0);
+            for job in &st.jobs {
+                if job.run.demand() > 0.0 {
+                    let pos = job.run.position();
+                    for (k, &u) in job.units.iter().enumerate() {
+                        self.demands[u] = job.socket_programs[k].demand_at(pos);
+                    }
+                }
+            }
+        } else {
+            for (c, job) in self.jobs.iter().enumerate() {
+                let active = job.run.demand() > 0.0;
+                let pos = job.run.position();
+                let range = topo.cluster_range(c);
+                for (s, u) in range.enumerate() {
+                    self.demands[u] = if active {
+                        job.socket_programs[s].demand_at(pos)
+                    } else {
+                        0.0
+                    };
+                }
             }
         }
 
@@ -564,23 +772,65 @@ impl ClusterSim {
         // the paper's readjusting module explicitly repairs ("fix any major
         // unfairness due to the Stateless Module's random ordering",
         // §4.3.4).
-        for (c, job) in self.jobs.iter_mut().enumerate() {
-            let range = topo.cluster_range(c);
-            let active = job.run.demand() > 0.0;
-            if active {
-                let mut rate: f64 = 1.0;
-                for u in range.clone() {
-                    rate = rate.min(self.config.perf.rate(self.demands[u], self.true_power[u]));
+        if let Some(st) = sched.as_mut() {
+            // Scheduler mode: the same barrier rule per scheduled job, over
+            // its allocated sockets. Completions retire through the queue
+            // (freeing nodes and power reservation) and flip occupancy.
+            let end = self.clock.now() + period;
+            let mut membership_dirty = false;
+            let mut i = 0;
+            while i < st.jobs.len() {
+                let job = &mut st.jobs[i];
+                if job.run.demand() > 0.0 {
+                    let mut rate: f64 = 1.0;
+                    for &u in &job.units {
+                        rate = rate.min(self.config.perf.rate(self.demands[u], self.true_power[u]));
+                    }
+                    job.run.advance_with_rate(rate, period);
+                } else {
+                    job.run.advance_with_rate(1.0, period);
                 }
-                job.run.advance_with_rate(rate, period);
-            } else {
-                // Gap or pre-start: rate is irrelevant, time still passes.
-                job.run.advance_with_rate(1.0, period);
+                if job.run.is_done() {
+                    st.scheduler.finish(job.id, end);
+                    for &u in &st.jobs[i].units {
+                        st.occupied[u] = false;
+                    }
+                    st.jobs.swap_remove(i);
+                    membership_dirty = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if membership_dirty {
+                self.manager.observe_membership(&st.occupied);
             }
 
-            // (7) Satisfaction accounting.
-            for u in range {
-                self.satisfaction[c].record(self.demands[u], self.true_power[u], idle);
+            // (7) Satisfaction accounting (idle sockets demand 0 and are
+            // counted as satisfied, same as a pinned workload's gap).
+            for c in 0..topo.clusters {
+                for u in topo.cluster_range(c) {
+                    self.satisfaction[c].record(self.demands[u], self.true_power[u], idle);
+                }
+            }
+        } else {
+            for (c, job) in self.jobs.iter_mut().enumerate() {
+                let range = topo.cluster_range(c);
+                let active = job.run.demand() > 0.0;
+                if active {
+                    let mut rate: f64 = 1.0;
+                    for u in range.clone() {
+                        rate = rate.min(self.config.perf.rate(self.demands[u], self.true_power[u]));
+                    }
+                    job.run.advance_with_rate(rate, period);
+                } else {
+                    // Gap or pre-start: rate is irrelevant, time still passes.
+                    job.run.advance_with_rate(1.0, period);
+                }
+
+                // (7) Satisfaction accounting.
+                for u in range {
+                    self.satisfaction[c].record(self.demands[u], self.true_power[u], idle);
+                }
             }
         }
 
@@ -602,6 +852,12 @@ impl ClusterSim {
             }
         }
 
+        // Scheduler events are drained every cycle even when logging is
+        // off, so an unlogged run cannot accumulate them unboundedly.
+        let (queue_depth, events) = match sched.as_mut() {
+            Some(st) => (st.scheduler.queue_depth(), st.scheduler.take_events()),
+            None => (0, Vec::new()),
+        };
         if self.log.is_enabled() {
             self.log.push(CycleRecord {
                 time: self.clock.now(),
@@ -613,6 +869,8 @@ impl ClusterSim {
                     .priorities()
                     .map(|p| p.to_vec())
                     .unwrap_or_default(),
+                queue_depth,
+                events,
             });
         }
 
@@ -626,6 +884,7 @@ impl ClusterSim {
             }
         }
 
+        self.sched = sched;
         self.clock.advance();
     }
 

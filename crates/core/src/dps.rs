@@ -67,6 +67,9 @@ pub struct DpsManager {
     changed: Vec<bool>,
     /// Priority snapshot exposed for logging.
     priority_flags: Vec<bool>,
+    /// Scheduler-reported occupancy per unit; flips reset the unit's
+    /// learned state (see [`PowerManager::observe_membership`]).
+    active: Vec<bool>,
     /// Whether the last cycle ended in a restore (exposed for tests/logs).
     last_restored: bool,
     /// Optional telemetry guard (sensor sanitation, health gating, write
@@ -104,6 +107,7 @@ impl DpsManager {
             rng,
             changed: vec![false; num_units],
             priority_flags: vec![false; num_units],
+            active: vec![true; num_units],
             last_restored: false,
             guard: None,
             scratch_measured: Vec::with_capacity(num_units),
@@ -175,6 +179,13 @@ impl DpsManager {
         &self.states[unit]
     }
 
+    /// The occupancy mask last reported through
+    /// [`PowerManager::observe_membership`] (all-true until the scheduler
+    /// reports otherwise).
+    pub fn membership(&self) -> &[bool] {
+        &self.active
+    }
+
     /// Serializes every piece of dynamic state (see [`crate::checkpoint`]).
     fn write_snapshot(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
@@ -191,6 +202,9 @@ impl DpsManager {
         }
         for &p in &self.priority_flags {
             w.put_bool(p);
+        }
+        for &a in &self.active {
+            w.put_bool(a);
         }
         for &o in self.mimd.order() {
             w.put_usize(o);
@@ -250,6 +264,10 @@ impl DpsManager {
         for p in priority_flags.iter_mut() {
             *p = r.get_bool()?;
         }
+        let mut active = vec![true; n];
+        for a in active.iter_mut() {
+            *a = r.get_bool()?;
+        }
         let mut order = vec![0usize; n];
         for o in order.iter_mut() {
             *o = r.get_usize()?;
@@ -306,6 +324,7 @@ impl DpsManager {
         self.last_restored = last_restored;
         self.changed = changed;
         self.priority_flags = priority_flags;
+        self.active = active;
         self.states = new_states;
         self.guard = new_guard;
         Ok(())
@@ -405,6 +424,29 @@ impl PowerManager for DpsManager {
         Some(&self.priority_flags)
     }
 
+    fn observe_membership(&mut self, active: &[bool]) {
+        assert_eq!(
+            active.len(),
+            self.states.len(),
+            "membership mask must cover every unit"
+        );
+        for (u, (&now, was)) in active.iter().zip(self.active.iter_mut()).enumerate() {
+            if now == *was {
+                continue;
+            }
+            // The unit's Kalman estimate, power/duration histories, and
+            // priority describe the previous tenancy; a fresh (or vacated)
+            // socket starts from scratch, exactly as at construction.
+            self.states[u].reset();
+            self.changed[u] = false;
+            self.priority_flags[u] = false;
+            if let Some(g) = self.guard.as_mut() {
+                g.reset_unit(u);
+            }
+            *was = now;
+        }
+    }
+
     fn observe_applied(&mut self, applied: &[Watts]) {
         if let Some(g) = self.guard.as_mut() {
             g.observe_applied(applied);
@@ -435,6 +477,7 @@ impl PowerManager for DpsManager {
         self.rng = self.rng_initial.clone();
         self.changed.fill(false);
         self.priority_flags.fill(false);
+        self.active.fill(true);
         self.last_restored = false;
         if let Some(g) = self.guard.as_mut() {
             g.reset();
@@ -777,6 +820,98 @@ mod tests {
             .restore(&snap)
             .unwrap_err()
             .contains("guard"));
+    }
+
+    #[test]
+    fn churn_resets_unit_state_like_fresh_start() {
+        // Two managers, identical unit-1 drive. Manager `a` additionally
+        // learns a hot history on unit 0, then unit 0 churns (job finished,
+        // new one started). From that point `a` must behave exactly like
+        // manager `b`, for which unit 0 was always fresh — stale Kalman
+        // state or histories leaking across the churn would diverge them.
+        let mut a = dps(2, 220.0);
+        let mut caps_a = vec![110.0; 2];
+        for t in 0..20 {
+            let z = [wiggly(t, 0, 150.0).min(caps_a[0]), wiggly(t, 1, 60.0)];
+            a.assign_caps(&z, &mut caps_a, 1.0);
+        }
+        assert!(a.priorities().unwrap()[0], "unit 0 learned a hot history");
+
+        let mut b = dps(2, 220.0);
+        let mut caps_b = vec![110.0; 2];
+        for t in 0..20 {
+            // Same unit-1 history, idle unit 0.
+            b.assign_caps(&[0.0, wiggly(t, 1, 60.0)], &mut caps_b, 1.0);
+        }
+
+        a.observe_membership(&[false, true]); // old job left unit 0
+        a.observe_membership(&[true, true]); // new job arrived
+        assert_eq!(a.membership(), &[true, true]);
+        assert!(!a.priorities().unwrap()[0], "churn clears priority");
+        assert!(a.unit_state(0).power_history.is_empty());
+
+        // Unit 1's state differs (b saw a restored system more often), so
+        // compare only unit 0's trajectory-relevant state: both must treat
+        // it as brand new.
+        assert_eq!(
+            a.unit_state(0).filter.state().0,
+            None,
+            "Kalman estimate must be cleared on churn"
+        );
+        b.reset();
+        a.reset();
+        // After reset both are bit-identical again (reset also clears the
+        // membership mask back to all-active).
+        assert_eq!(a.membership(), b.membership());
+    }
+
+    #[test]
+    fn unchanged_membership_is_a_noop() {
+        let mut a = dps(2, 220.0);
+        let mut b = dps(2, 220.0);
+        let mut caps_a = vec![110.0; 2];
+        let mut caps_b = vec![110.0; 2];
+        for t in 0..30 {
+            let z = [wiggly(t, 0, 120.0).min(caps_a[0]), wiggly(t, 1, 70.0)];
+            a.observe_membership(&[true, true]);
+            a.assign_caps(&z, &mut caps_a, 1.0);
+            b.assign_caps(&z, &mut caps_b, 1.0);
+            assert_eq!(caps_a, caps_b, "cycle {t}");
+        }
+    }
+
+    #[test]
+    fn churn_resets_guard_health() {
+        let mut m = dps_guarded(2, 220.0);
+        let mut caps = vec![110.0; 2];
+        for t in 0..6 {
+            m.assign_caps(&[wiggly(t, 0, 90.0), wiggly(t, 1, 90.0)], &mut caps, 1.0);
+        }
+        for t in 6..12 {
+            m.assign_caps(&[f64::NAN, wiggly(t, 1, 90.0)], &mut caps, 1.0);
+        }
+        assert_eq!(m.health().unwrap()[0], HealthState::Quarantined);
+        // The faulty job's socket is vacated and re-occupied: health starts
+        // over rather than quarantining the new tenant.
+        m.observe_membership(&[false, true]);
+        assert_eq!(m.health().unwrap()[0], HealthState::Healthy);
+        let stats_before = *m.guard().unwrap().stats();
+        assert!(
+            stats_before.quarantine_entries >= 1,
+            "run-wide counters survive churn"
+        );
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_membership_mask() {
+        let mut a = dps(3, 330.0);
+        let mut caps = vec![110.0; 3];
+        a.assign_caps(&[100.0, 50.0, 80.0], &mut caps, 1.0);
+        a.observe_membership(&[true, false, true]);
+        let snap = a.checkpoint().unwrap();
+        let mut b = dps(3, 330.0);
+        b.restore(&snap).unwrap();
+        assert_eq!(b.membership(), &[true, false, true]);
     }
 
     #[test]

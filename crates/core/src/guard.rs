@@ -635,6 +635,20 @@ impl TelemetryGuard {
         Ok(())
     }
 
+    /// Resets one unit's health machine to a fresh `Healthy` state (unit
+    /// churn: a socket joining or leaving scheduler management). The old
+    /// occupant's streaks, held sample, and actuator suspicion describe a
+    /// job that is gone; the believed cap falls back to the constant
+    /// allocation until the next readback. Cumulative [`GuardStats`] are
+    /// deliberately kept — they count run-wide incidents, not tenancies.
+    pub fn reset_unit(&mut self, unit: usize) {
+        self.units[unit] = UnitHealth::new(self.config.stuck_window);
+        self.health[unit] = HealthState::Healthy;
+        self.sanitized[unit] = 0.0;
+        self.requested[unit] = f64::NAN;
+        self.believed[unit] = self.fallback_cap;
+    }
+
     /// Resets all detector and belief state (between repetitions).
     pub fn reset(&mut self) {
         let window = self.config.stuck_window;

@@ -123,6 +123,14 @@ pub trait PowerManager {
     /// before `assign_caps` every cycle.
     fn observe_demands(&mut self, _demands: &[Watts]) {}
 
+    /// Occupancy update from the scheduler layer: `active[u]` says whether
+    /// unit `u` currently hosts a job. Called whenever membership changes
+    /// (jobs starting, finishing, or evicted), before the cycle's
+    /// `assign_caps`. Stateful managers should drop per-unit learned state
+    /// for units whose occupancy flipped — the unit's power dynamics belong
+    /// to a different (or no) job now. Default no-op for stateless managers.
+    fn observe_membership(&mut self, _active: &[bool]) {}
+
     /// Per-unit priority flags after the last cycle (DPS logs these in the
     /// artifact's per-cycle records); `None` for managers without priorities.
     fn priorities(&self) -> Option<&[bool]> {

@@ -1,0 +1,181 @@
+//! Power-aware job scheduling: DPS vs MIMD vs constant under churn.
+//!
+//! The paper evaluates managers on pinned workload pairs; this experiment
+//! asks what adaptive reallocation buys a *batch queue*. A seeded Poisson
+//! stream of catalog jobs flows through the EASY-backfill scheduler
+//! ([`dps_sched`]); every manager sees the identical arrival trace, so the
+//! only difference is how fast jobs run under each manager's caps — which
+//! shows up as makespan, bounded slowdown, and node utilization. DPS's
+//! demand-aware caps let busy sockets run closer to TDP, so jobs finish
+//! sooner and the queue drains earlier than under the uniform-share
+//! baselines.
+//!
+//! Along the way the run re-asserts the scheduler-mode budget invariant:
+//! at every cycle the sum of caps applied to *occupied* units stays within
+//! the cluster budget.
+//!
+//! `DPS_QUICK=1` shortens the trace for CI smoke coverage.
+
+use dps_cluster::{ClusterSim, ExperimentConfig};
+use dps_core::manager::ManagerKind;
+use dps_experiments::{banner, config_from_env};
+use dps_metrics::csv;
+use dps_metrics::jobs::{bounded_slowdowns, makespan, percentile, utilization};
+use dps_metrics::Table;
+use dps_rapl::Topology;
+use dps_sched::{JobOutcome, SchedConfig};
+use dps_sim_core::RngStream;
+
+/// One manager's job-level results.
+struct SchedOutcome {
+    completed: usize,
+    evicted: usize,
+    makespan: f64,
+    mean_slowdown: f64,
+    p95_slowdown: f64,
+    utilization: f64,
+    worst_margin: f64,
+}
+
+fn run(config: &ExperimentConfig, kind: ManagerKind) -> SchedOutcome {
+    let slowdown_bound = config
+        .sim
+        .scheduler
+        .as_ref()
+        .expect("scheduler configured")
+        .slowdown_bound;
+    let budget = config.sim.total_budget();
+    let total_nodes = config.sim.total_nodes();
+    // One shared rng label: every manager gets the identical arrival trace
+    // and per-job workload realisations.
+    let rng = RngStream::new(config.seed, "sched-experiment");
+    let mut sim = ClusterSim::with_scheduler(config.sim.clone(), config.build_manager(kind), &rng);
+    sim.enable_logging();
+
+    let mut worst_margin = f64::NEG_INFINITY;
+    let max_cycles = 2_000_000u64;
+    for _ in 0..max_cycles {
+        sim.cycle();
+        // Budget invariant on occupied units, every cycle.
+        let occupied = sim.occupied_units().expect("scheduler mode");
+        let occupied_sum: f64 = sim
+            .caps()
+            .iter()
+            .zip(occupied)
+            .filter(|&(_, &occ)| occ)
+            .map(|(&cap, _)| cap)
+            .sum();
+        worst_margin = worst_margin.max(occupied_sum - budget);
+        assert!(
+            occupied_sum <= budget + 1e-6,
+            "occupied caps {occupied_sum:.2} W exceed budget {budget:.2} W"
+        );
+        if sim.scheduler_drained() {
+            break;
+        }
+    }
+    assert!(sim.scheduler_drained(), "queue failed to drain");
+
+    // Artifact-style CSV dump of the DPS run's scheduler activity.
+    if kind == ManagerKind::Dps {
+        std::fs::create_dir_all("results").expect("create results dir");
+        let events = csv::render(
+            &["time", "job", "nodes", "event"],
+            sim.log().sched_event_rows(),
+        );
+        std::fs::write("results/sched_events.csv", events).expect("write events csv");
+        let times: Vec<f64> = sim.log().records().iter().map(|r| r.time).collect();
+        let depths: Vec<f64> = sim
+            .log()
+            .queue_depth_series()
+            .iter()
+            .map(|&d| d as f64)
+            .collect();
+        std::fs::write("results/sched_queue_depth.csv", csv::trace(&times, &depths))
+            .expect("write queue-depth csv");
+        println!("wrote results/sched_events.csv and results/sched_queue_depth.csv (DPS run)\n");
+    }
+
+    let records = sim.job_records();
+    let completed: Vec<_> = records
+        .iter()
+        .filter(|r| r.outcome == JobOutcome::Completed)
+        .collect();
+    let times: Vec<(f64, f64, f64)> = completed
+        .iter()
+        .map(|r| (r.arrival, r.start, r.end))
+        .collect();
+    let slowdowns = bounded_slowdowns(&times, slowdown_bound);
+    let span = makespan(&times).unwrap_or(0.0);
+    let busy: f64 = completed.iter().map(|r| r.nodes as f64 * r.runtime()).sum();
+    SchedOutcome {
+        completed: completed.len(),
+        evicted: records
+            .iter()
+            .filter(|r| r.outcome == JobOutcome::Evicted)
+            .count(),
+        makespan: span,
+        mean_slowdown: slowdowns.iter().sum::<f64>() / slowdowns.len().max(1) as f64,
+        p95_slowdown: percentile(&slowdowns, 95.0).unwrap_or(1.0),
+        utilization: utilization(busy, total_nodes, span),
+        worst_margin,
+    }
+}
+
+fn main() {
+    let (jobs, mean_interarrival) = if std::env::var("DPS_QUICK").is_ok() {
+        (12, 400.0)
+    } else {
+        (60, 300.0)
+    };
+    let mut config = config_from_env();
+    // A small partition: 2 clusters × 4 nodes × 2 sockets. Jobs span 1–4
+    // nodes, so the queue sees real packing pressure.
+    config.sim.topology = Topology::new(2, 4, 2);
+    config.sim.scheduler = Some(SchedConfig::default_poisson(jobs, mean_interarrival));
+    banner("Power-aware job scheduling (EASY backfill, 2x4x2)", &config);
+    println!("{jobs} Poisson jobs (mean interarrival {mean_interarrival:.0} s), identical trace per manager\n");
+
+    let kinds = [ManagerKind::Constant, ManagerKind::Slurm, ManagerKind::Dps];
+    let mut table = Table::new(vec![
+        "Manager".into(),
+        "Done".into(),
+        "Evicted".into(),
+        "Makespan (s)".into(),
+        "Mean bsld".into(),
+        "p95 bsld".into(),
+        "Util".into(),
+        "Worst margin (W)".into(),
+    ]);
+    let mut spans = Vec::new();
+    for kind in kinds {
+        let out = run(&config, kind);
+        spans.push((kind, out.makespan));
+        table.row(vec![
+            kind.to_string(),
+            out.completed.to_string(),
+            out.evicted.to_string(),
+            format!("{:.0}", out.makespan),
+            format!("{:.2}", out.mean_slowdown),
+            format!("{:.2}", out.p95_slowdown),
+            format!("{:.3}", out.utilization),
+            format!("{:+.2}", out.worst_margin),
+        ]);
+    }
+    println!("{}", table.render());
+
+    if let (Some((_, constant)), Some((_, dps))) = (
+        spans.iter().find(|(k, _)| *k == ManagerKind::Constant),
+        spans.iter().find(|(k, _)| *k == ManagerKind::Dps),
+    ) {
+        println!(
+            "makespan: DPS vs constant {:+.1}%",
+            (constant / dps - 1.0) * 100.0
+        );
+    }
+    println!();
+    println!("Expected shape: all managers retire the same trace (budget margins stay");
+    println!("negative — occupied caps never exceed the budget). DPS steers watts to");
+    println!("occupied, demand-heavy sockets, so jobs run closer to full speed and the");
+    println!("queue drains no later than under uniform-share MIMD or constant caps.");
+}

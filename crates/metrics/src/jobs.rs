@@ -1,0 +1,123 @@
+//! Job-level summaries for scheduler experiments.
+//!
+//! The `sched` experiment compares power managers under an identical job
+//! arrival trace; what differs is how fast jobs run under each manager's
+//! caps, which shows up in the classic batch-scheduling metrics computed
+//! here: makespan, bounded slowdown, and node utilization. The inputs are
+//! plain `(arrival, start, end)` triples so this module stays free of any
+//! scheduler dependency.
+
+use crate::series::DistributionSummary;
+
+/// One finished job's timeline: `(arrival, start, end)` in seconds, with
+/// `arrival <= start <= end`.
+pub type JobTimes = (f64, f64, f64);
+
+/// Makespan: the latest end time across jobs (the fleet finishes when the
+/// last job does). `None` for an empty set.
+pub fn makespan(jobs: &[JobTimes]) -> Option<f64> {
+    jobs.iter().map(|&(_, _, end)| end).reduce(f64::max)
+}
+
+/// Bounded slowdown of one job: `(end − arrival) / max(end − start, bound)`,
+/// floored at 1. The `bound` (conventionally 10 s) stops near-instant jobs
+/// from reporting astronomical slowdowns out of scheduling noise.
+pub fn bounded_slowdown(times: JobTimes, bound: f64) -> f64 {
+    let (arrival, start, end) = times;
+    let runtime = (end - start).max(bound);
+    ((end - arrival) / runtime).max(1.0)
+}
+
+/// Bounded slowdowns of a job set, in input order.
+pub fn bounded_slowdowns(jobs: &[JobTimes], bound: f64) -> Vec<f64> {
+    jobs.iter().map(|&t| bounded_slowdown(t, bound)).collect()
+}
+
+/// Five-number summary (plus mean) of a job set's bounded slowdowns,
+/// reusing [`DistributionSummary`]. `None` for an empty set.
+pub fn slowdown_summary(jobs: &[JobTimes], bound: f64) -> Option<DistributionSummary> {
+    DistributionSummary::from_values(&bounded_slowdowns(jobs, bound))
+}
+
+/// The `p`-th percentile (0–100) by linear interpolation, matching the
+/// quartile rule [`DistributionSummary`] uses. `None` for an empty set.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Node utilization over a horizon: busy node-seconds (Σ nodes × runtime)
+/// divided by `total_nodes × horizon`. Exceeds 1.0 only on inconsistent
+/// inputs.
+pub fn utilization(busy_node_seconds: f64, total_nodes: usize, horizon: f64) -> f64 {
+    if total_nodes == 0 || horizon <= 0.0 {
+        return 0.0;
+    }
+    busy_node_seconds / (total_nodes as f64 * horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const JOBS: [JobTimes; 3] = [
+        (0.0, 0.0, 100.0),  // ran immediately: slowdown 1
+        (10.0, 50.0, 90.0), // waited 40, ran 40: slowdown 2
+        (20.0, 95.0, 97.0), // short job, bounded runtime
+    ];
+
+    #[test]
+    fn makespan_is_last_end() {
+        assert_eq!(makespan(&JOBS), Some(100.0));
+        assert_eq!(makespan(&[]), None);
+    }
+
+    #[test]
+    fn slowdown_basic_cases() {
+        assert_eq!(bounded_slowdown(JOBS[0], 10.0), 1.0);
+        assert_eq!(bounded_slowdown(JOBS[1], 10.0), 2.0);
+        // (97-20)/max(2,10) = 7.7 — the bound keeps it sane.
+        assert!((bounded_slowdown(JOBS[2], 10.0) - 7.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_floored_at_one() {
+        // end − arrival < bound: ratio would be < 1 without the floor.
+        assert_eq!(bounded_slowdown((0.0, 0.0, 3.0), 10.0), 1.0);
+    }
+
+    #[test]
+    fn summary_reuses_distribution_summary() {
+        let s = slowdown_summary(&JOBS, 10.0).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert!((s.max - 7.7).abs() < 1e-12);
+        assert!(s.mean > 1.0 && s.mean < s.max);
+        assert!(slowdown_summary(&[], 10.0).is_none());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 100.0), Some(4.0));
+        assert_eq!(percentile(&v, 50.0), Some(2.5));
+        assert!((percentile(&v, 95.0).unwrap() - 3.85).abs() < 1e-12);
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn utilization_fractions() {
+        // 2 nodes busy for 50 s of a 100 s horizon on a 4-node cluster.
+        assert_eq!(utilization(2.0 * 50.0, 4, 100.0), 0.25);
+        assert_eq!(utilization(10.0, 0, 100.0), 0.0);
+        assert_eq!(utilization(10.0, 4, 0.0), 0.0);
+    }
+}

@@ -12,11 +12,14 @@
 //!   plot-ready data files, like the artifact's logs.
 //! * [`bars`] — horizontal ASCII bar charts anchored at a baseline, the
 //!   terminal rendition of the paper's grouped speedup plots.
+//! * [`jobs`] — job-level batch-scheduling summaries (makespan, bounded
+//!   slowdown, utilization) for the scheduler experiments.
 
 #![warn(missing_docs)]
 
 pub mod bars;
 pub mod csv;
+pub mod jobs;
 pub mod series;
 pub mod table;
 

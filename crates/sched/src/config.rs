@@ -1,0 +1,77 @@
+//! Scheduler configuration consumed by the cluster simulator.
+
+use crate::arrivals::ArrivalSpec;
+use dps_sim_core::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Knobs for the power-aware scheduler layer
+/// (`SimConfig::scheduler: Option<SchedConfig>`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedConfig {
+    /// The arrival process (realised once per run from the experiment seed,
+    /// so it is identical across managers).
+    pub arrivals: ArrivalSpec,
+    /// Enable EASY backfill. With `false` the queue is strict FIFO: nothing
+    /// starts while the head cannot.
+    pub backfill: bool,
+    /// Evict jobs whose wall-clock runtime exceeds their requested
+    /// walltime (the batch-system contract). With `false` jobs run to
+    /// completion regardless — useful for isolating manager throughput
+    /// effects from eviction effects.
+    pub enforce_walltime: bool,
+    /// Requested walltime = catalog `duration_110w` × this factor for
+    /// generated (Poisson) arrivals. Modestly above 1.0: headroom for
+    /// power-cap throttling, but badly-starved runs still overrun.
+    pub walltime_factor: f64,
+    /// The bounded-slowdown runtime floor τ (seconds); short jobs'
+    /// slowdowns are computed against `max(runtime, τ)` so sub-second jobs
+    /// do not dominate the distribution. 10 s is the conventional choice.
+    pub slowdown_bound: Seconds,
+}
+
+impl SchedConfig {
+    /// A small default: Poisson arrivals over the Spark catalog, EASY
+    /// backfill, walltime enforcement, and the conventional 10 s slowdown
+    /// bound.
+    pub fn default_poisson(count: usize, mean_interarrival: Seconds) -> Self {
+        Self {
+            arrivals: ArrivalSpec::default_poisson(count, mean_interarrival),
+            backfill: true,
+            enforce_walltime: true,
+            walltime_factor: 1.6,
+            slowdown_bound: 10.0,
+        }
+    }
+
+    /// Checks the configuration is internally consistent.
+    pub fn validate(&self) -> Result<(), String> {
+        self.arrivals.validate()?;
+        if !(self.walltime_factor.is_finite() && self.walltime_factor > 0.0) {
+            return Err(format!("bad walltime_factor {}", self.walltime_factor));
+        }
+        if !(self.slowdown_bound.is_finite() && self.slowdown_bound > 0.0) {
+            return Err(format!("bad slowdown_bound {}", self.slowdown_bound));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        SchedConfig::default_poisson(10, 30.0).validate().unwrap();
+    }
+
+    #[test]
+    fn bad_factor_rejected() {
+        let mut cfg = SchedConfig::default_poisson(10, 30.0);
+        cfg.walltime_factor = 0.0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SchedConfig::default_poisson(10, 30.0);
+        cfg.slowdown_bound = f64::NAN;
+        assert!(cfg.validate().is_err());
+    }
+}

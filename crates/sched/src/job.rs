@@ -1,0 +1,214 @@
+//! Jobs, lifecycle records and scheduler events.
+//!
+//! A [`JobRequest`] is what a user submits to the batch system: a workload
+//! from the catalog, a node count, a requested walltime, and the per-socket
+//! power reservation the admission test charges against the cluster budget.
+//! The scheduler turns requests into [`JobRecord`]s as they run, and emits
+//! [`SchedEvent`]s the cycle log can replay.
+
+use dps_sim_core::units::{Seconds, Watts};
+use dps_workloads::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// One submitted job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRequest {
+    /// Submission identifier (unique within a trace).
+    pub id: usize,
+    /// The workload the job runs (demand program realised at start time).
+    pub spec: WorkloadSpec,
+    /// Submission time in seconds.
+    pub arrival: Seconds,
+    /// Requested node count (each node contributes `sockets_per_node`
+    /// power-capping units).
+    pub nodes: usize,
+    /// Requested walltime; the scheduler may evict the job once its
+    /// wall-clock runtime exceeds this.
+    pub walltime: Seconds,
+    /// Conservative per-socket power reservation charged against the
+    /// cluster budget at admission.
+    pub reserve_per_socket: Watts,
+}
+
+impl JobRequest {
+    /// Total power reservation: sockets × per-socket reserve.
+    pub fn reservation(&self, sockets_per_node: usize) -> Watts {
+        (self.nodes * sockets_per_node) as f64 * self.reserve_per_socket
+    }
+
+    /// Sanity checks independent of any cluster (cluster-relative checks
+    /// live in [`crate::queue::JobScheduler::new`]).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err(format!("job {}: node count must be positive", self.id));
+        }
+        if !(self.arrival.is_finite() && self.arrival >= 0.0) {
+            return Err(format!("job {}: bad arrival {}", self.id, self.arrival));
+        }
+        if !(self.walltime.is_finite() && self.walltime > 0.0) {
+            return Err(format!("job {}: bad walltime {}", self.id, self.walltime));
+        }
+        if !(self.reserve_per_socket.is_finite() && self.reserve_per_socket > 0.0) {
+            return Err(format!(
+                "job {}: bad reservation {}",
+                self.id, self.reserve_per_socket
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Where a job ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// Ran to completion.
+    Completed,
+    /// Killed for exceeding its requested walltime.
+    Evicted,
+}
+
+/// The lifecycle of one finished (or evicted) job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Submission identifier.
+    pub id: usize,
+    /// Workload name.
+    pub name: String,
+    /// Node count the job occupied.
+    pub nodes: usize,
+    /// Submission time.
+    pub arrival: Seconds,
+    /// Time the job started running.
+    pub start: Seconds,
+    /// Time the job finished or was evicted.
+    pub end: Seconds,
+    /// Requested walltime.
+    pub walltime: Seconds,
+    /// How the job ended.
+    pub outcome: JobOutcome,
+}
+
+impl JobRecord {
+    /// Queue wait time.
+    pub fn wait(&self) -> Seconds {
+        self.start - self.arrival
+    }
+
+    /// Wall-clock runtime.
+    pub fn runtime(&self) -> Seconds {
+        self.end - self.start
+    }
+}
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedEventKind {
+    /// The job entered the queue.
+    Arrived,
+    /// The job started on its allocated nodes.
+    Started,
+    /// The job completed.
+    Finished,
+    /// The job was killed for overrunning its walltime.
+    Evicted,
+}
+
+impl std::fmt::Display for SchedEventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SchedEventKind::Arrived => "arrived",
+            SchedEventKind::Started => "started",
+            SchedEventKind::Finished => "finished",
+            SchedEventKind::Evicted => "evicted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One scheduler lifecycle event (recorded by the cycle log).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedEvent {
+    /// Simulated time of the event.
+    pub time: Seconds,
+    /// Job submission identifier.
+    pub job: usize,
+    /// Node count involved.
+    pub nodes: usize,
+    /// What happened.
+    pub kind: SchedEventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_workloads::catalog;
+
+    fn request() -> JobRequest {
+        JobRequest {
+            id: 0,
+            spec: catalog::find("Sort").unwrap().clone(),
+            arrival: 0.0,
+            nodes: 2,
+            walltime: 100.0,
+            reserve_per_socket: 110.0,
+        }
+    }
+
+    #[test]
+    fn reservation_scales_with_sockets() {
+        let r = request();
+        assert_eq!(r.reservation(2), 4.0 * 110.0);
+        assert_eq!(r.reservation(1), 2.0 * 110.0);
+    }
+
+    #[test]
+    fn record_derived_times() {
+        let rec = JobRecord {
+            id: 1,
+            name: "Sort".into(),
+            nodes: 2,
+            arrival: 5.0,
+            start: 12.0,
+            end: 50.0,
+            walltime: 100.0,
+            outcome: JobOutcome::Completed,
+        };
+        assert_eq!(rec.wait(), 7.0);
+        assert_eq!(rec.runtime(), 38.0);
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        assert!(request().validate().is_ok());
+        assert!(JobRequest {
+            nodes: 0,
+            ..request()
+        }
+        .validate()
+        .is_err());
+        assert!(JobRequest {
+            walltime: 0.0,
+            ..request()
+        }
+        .validate()
+        .is_err());
+        assert!(JobRequest {
+            arrival: -1.0,
+            ..request()
+        }
+        .validate()
+        .is_err());
+        assert!(JobRequest {
+            reserve_per_socket: f64::NAN,
+            ..request()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn event_kind_display() {
+        assert_eq!(SchedEventKind::Started.to_string(), "started");
+        assert_eq!(SchedEventKind::Evicted.to_string(), "evicted");
+    }
+}

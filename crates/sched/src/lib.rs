@@ -1,0 +1,37 @@
+//! Power-aware job scheduling and cluster occupancy for the DPS suite.
+//!
+//! The paper assumes SLURM already decided *which* jobs run *where* — its
+//! MIMD baseline literally is the SLURM power plugin — and every simulated
+//! experiment so far pinned a fixed job set to sockets for the whole run.
+//! This crate adds the layer above the power managers:
+//!
+//! * [`job`] — job requests (node count, walltime, conservative power
+//!   reservation), lifecycle records, and scheduler events;
+//! * [`arrivals`] — seeded arrival streams (Poisson over the workload
+//!   catalog, or an explicit trace) that are identical across managers, so
+//!   DPS/MIMD/constant comparisons share the arrival realisation;
+//! * [`queue`] — a deterministic FIFO + EASY-backfill queue whose admission
+//!   test enforces **both** node availability and a per-job power
+//!   reservation against the cluster budget, with the classic EASY
+//!   guarantee that backfilled jobs never delay the queue head;
+//! * [`config`] — the [`SchedConfig`] knob block the cluster simulator
+//!   consumes (`SimConfig::scheduler: Option<SchedConfig>`).
+//!
+//! Job starts and finishes drive **unit churn**: sockets join DPS
+//! management when a job lands on them and leave when it finishes or is
+//! evicted. The power managers are told through
+//! `PowerManager::observe_membership`, and DPS resets the churned units'
+//! Kalman filters and histories instead of reasoning over a dead job's
+//! power dynamics.
+
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod config;
+pub mod job;
+pub mod queue;
+
+pub use arrivals::ArrivalSpec;
+pub use config::SchedConfig;
+pub use job::{JobOutcome, JobRecord, JobRequest, SchedEvent, SchedEventKind};
+pub use queue::{JobScheduler, StartedJob};

@@ -1,0 +1,182 @@
+//! Property tests for the scheduler invariants the issue pins down:
+//!
+//! 1. node capacity is never oversubscribed (no socket hosts two jobs);
+//! 2. the sum of power reservations never exceeds the budget at any
+//!    admission;
+//! 3. EASY backfill never delays the queue head: once a head blocks and a
+//!    shadow time is computed, the head starts by that shadow (given
+//!    runtimes bounded by walltimes).
+
+use dps_sched::{JobOutcome, JobRequest, JobScheduler};
+use dps_workloads::catalog;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+const TOTAL_NODES: usize = 4;
+const SOCKETS_PER_NODE: usize = 2;
+const BUDGET: f64 = 800.0;
+
+/// A randomly drawn job: (arrival, nodes, walltime, reserve/socket,
+/// runtime-as-fraction-of-walltime).
+type RawJob = (f64, usize, f64, f64, f64);
+
+fn raw_job(max_runtime_frac: f64) -> impl Strategy<Value = RawJob> {
+    (
+        0.0f64..300.0,
+        1usize..=TOTAL_NODES,
+        5.0f64..200.0,
+        // ≤ 100 W/socket keeps even a whole-cluster job under the budget.
+        40.0f64..100.0,
+        0.1f64..max_runtime_frac,
+    )
+}
+
+/// Sorts raw jobs by arrival and turns them into requests with stable ids.
+/// Returns the trace plus each job's true runtime keyed by id.
+fn build_trace(raw: Vec<RawJob>) -> (Vec<JobRequest>, HashMap<usize, f64>) {
+    let spec = catalog::find("Sort").unwrap().clone();
+    let mut raw = raw;
+    raw.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let mut runtimes = HashMap::new();
+    let trace = raw
+        .into_iter()
+        .enumerate()
+        .map(|(id, (arrival, nodes, walltime, rsv, frac))| {
+            runtimes.insert(id, walltime * frac);
+            JobRequest {
+                id,
+                spec: spec.clone(),
+                arrival,
+                nodes,
+                walltime,
+                reserve_per_socket: rsv,
+            }
+        })
+        .collect();
+    (trace, runtimes)
+}
+
+/// Drives the scheduler to drain event-by-event (arrivals, completions,
+/// walltime expiries), checking the node and power invariants at every
+/// step. Jobs whose runtime exceeds their walltime are evicted, like the
+/// simulator does. Returns the scheduler in its drained state for post-hoc
+/// assertions.
+fn drive(
+    trace: Vec<JobRequest>,
+    runtimes: &HashMap<usize, f64>,
+    backfill: bool,
+) -> Result<JobScheduler, String> {
+    const EPS: f64 = 1e-9;
+    let n_jobs = trace.len();
+    let arrivals: Vec<f64> = trace.iter().map(|j| j.arrival).collect(); // sorted
+    let mut s = JobScheduler::new(trace, TOTAL_NODES, SOCKETS_PER_NODE, BUDGET, backfill).unwrap();
+    let mut held: HashMap<usize, Vec<usize>> = HashMap::new(); // id → nodes
+    let mut ends: HashMap<usize, f64> = HashMap::new(); // id → finish time
+    let mut expiries: HashMap<usize, f64> = HashMap::new(); // id → start + walltime
+    let mut t = 0.0f64;
+    let mut steps = 0usize;
+    while !s.is_drained() {
+        steps += 1;
+        prop_assert!(steps < 10 * n_jobs + 100, "scheduler failed to drain");
+        // Completions first, then evictions, then admissions — the order
+        // the simulator uses (finish at window end, evict at window start).
+        let done: Vec<usize> = ends
+            .iter()
+            .filter(|&(_, &end)| end <= t + EPS)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in done {
+            ends.remove(&id);
+            expiries.remove(&id);
+            held.remove(&id);
+            s.finish(id, t);
+        }
+        for id in s.overrunning(t) {
+            ends.remove(&id);
+            expiries.remove(&id);
+            held.remove(&id);
+            s.evict(id, t);
+        }
+        for started in s.tick(t) {
+            // Invariant 1: no node is handed to two live jobs.
+            let in_use: HashSet<usize> = held.values().flatten().copied().collect();
+            for &node in &started.nodes {
+                prop_assert!(node < TOTAL_NODES, "node index out of range");
+                prop_assert!(!in_use.contains(&node), "node {node} double-booked");
+            }
+            ends.insert(started.id, t + runtimes[&started.id]);
+            expiries.insert(started.id, t + started.walltime);
+            held.insert(started.id, started.nodes);
+        }
+        // Invariant 2: reservations never exceed the budget.
+        prop_assert!(
+            s.reserved_power() <= BUDGET + 1e-6,
+            "reserved {} W over budget at t={t}",
+            s.reserved_power()
+        );
+        // Node bookkeeping agrees with ours.
+        let held_nodes: usize = held.values().map(Vec::len).sum();
+        prop_assert_eq!(s.free_nodes(), TOTAL_NODES - held_nodes);
+        // Jump to the next event: an arrival, a completion, or a walltime
+        // expiry — whichever comes first.
+        let next = arrivals
+            .iter()
+            .chain(ends.values())
+            .chain(expiries.values())
+            .copied()
+            .filter(|&e| e > t + EPS)
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(next.is_finite() || s.is_drained(), "stalled at t={t}");
+        t = next;
+    }
+    prop_assert_eq!(s.records().len(), n_jobs, "every job retires");
+    Ok(s)
+}
+
+proptest! {
+    /// Node and power invariants hold for arbitrary traces, with and
+    /// without backfill, including walltime overruns (runtime can exceed
+    /// walltime, forcing evictions).
+    #[test]
+    fn capacity_and_budget_never_violated(
+        raw in prop::collection::vec(raw_job(1.5), 1..25),
+        backfill in any::<bool>(),
+    ) {
+        let (trace, runtimes) = build_trace(raw);
+        drive(trace, &runtimes, backfill)?;
+    }
+
+    /// The EASY guarantee: with runtimes bounded by walltimes, a blocked
+    /// head starts no later than the shadow time computed when it first
+    /// blocked — backfilled jobs never push it back.
+    #[test]
+    fn backfill_never_delays_the_head(
+        raw in prop::collection::vec(raw_job(1.0), 1..25),
+    ) {
+        let (trace, runtimes) = build_trace(raw);
+        let s = drive(trace, &runtimes, true)?;
+        for &(id, shadow) in s.head_guarantees() {
+            let rec = s
+                .records()
+                .iter()
+                .find(|r| r.id == id)
+                .expect("guaranteed job retired");
+            prop_assert!(
+                rec.start <= shadow + 1e-6,
+                "job {id} started at {} past its shadow {shadow}",
+                rec.start
+            );
+        }
+    }
+
+    /// Without walltime overruns every job completes; nothing is evicted.
+    #[test]
+    fn bounded_runtimes_never_evict(
+        raw in prop::collection::vec(raw_job(1.0), 1..15),
+        backfill in any::<bool>(),
+    ) {
+        let (trace, runtimes) = build_trace(raw);
+        let s = drive(trace, &runtimes, backfill)?;
+        prop_assert!(s.records().iter().all(|r| r.outcome == JobOutcome::Completed));
+    }
+}
