@@ -5,7 +5,8 @@
 //! `Criterion` throughput lines make the per-unit cost visible.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dps_bench::{manager_for, Churn};
+use dps_bench::{dps_manager_with_mode, manager_for, Churn};
+use dps_core::config::StatsMode;
 use dps_core::manager::ManagerKind;
 
 fn bench_all_managers_testbed(c: &mut Criterion) {
@@ -48,5 +49,37 @@ fn bench_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_all_managers_testbed, bench_scaling);
+/// Incremental rolling statistics vs the pre-optimization full-window
+/// rescan, at the unit counts the scaling claim quotes. The wall-clock
+/// evidence for the speedup table lives in the `scale` experiment
+/// (`results/BENCH_manager_scaling.json`); this group keeps both paths
+/// under Criterion so regressions in either show up in `cargo bench`.
+fn bench_stats_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dps_step_stats_mode");
+    group.sample_size(10);
+    for &n in &[64usize, 1_024, 16_384] {
+        group.throughput(Throughput::Elements(n as u64));
+        for (label, mode) in [
+            ("incremental", StatsMode::Incremental),
+            ("rescan", StatsMode::Rescan),
+        ] {
+            let mut mgr = dps_manager_with_mode(n, mode);
+            let mut churn = Churn::new(n);
+            for _ in 0..24 {
+                churn.drive(&mut mgr);
+            }
+            group.bench_function(BenchmarkId::new(label, n), |b| {
+                b.iter(|| churn.drive(&mut mgr));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_all_managers_testbed,
+    bench_scaling,
+    bench_stats_modes
+);
 criterion_main!(benches);

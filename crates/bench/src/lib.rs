@@ -7,7 +7,9 @@
 //! `ablation` prices each DPS mechanism.
 
 use dps_cluster::ExperimentConfig;
+use dps_core::config::StatsMode;
 use dps_core::manager::{ManagerKind, PowerManager};
+use dps_core::DpsManager;
 use dps_rapl::Topology;
 use dps_sim_core::rng::RngStream;
 
@@ -26,6 +28,18 @@ pub fn manager_for(kind: ManagerKind, n: usize) -> Box<dyn PowerManager> {
     let mut cfg = ExperimentConfig::paper_default(7, 1);
     cfg.sim.topology = Topology::new(1, n, 1);
     cfg.build_manager(kind)
+}
+
+/// Builds a DPS manager for `n` units with an explicit statistics mode —
+/// `Rescan` is the pre-optimization O(window) reference path, `Incremental`
+/// the rolling-accumulator path; the `manager_scaling` bench compares them.
+pub fn dps_manager_with_mode(n: usize, mode: StatsMode) -> DpsManager {
+    let mut cfg = ExperimentConfig::paper_default(7, 1);
+    cfg.sim.topology = Topology::new(1, n, 1);
+    cfg.dps = cfg.dps.with_stats_mode(mode);
+    let budget = cfg.sim.total_budget();
+    let limits = cfg.limits();
+    DpsManager::new(n, budget, limits, cfg.dps, RngStream::new(7, "manager/DPS"))
 }
 
 /// A deterministic churning load driver for manager-step benches.

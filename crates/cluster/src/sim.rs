@@ -701,8 +701,8 @@ impl ClusterSim {
         }
 
         // (2) Domains deliver power for this window.
-        let true_power = self.bank.step_all(&self.demands, period);
-        self.true_power.copy_from_slice(&true_power);
+        self.bank
+            .step_all_into(&self.demands, period, &mut self.true_power);
 
         // (3)–(5) Measurements travel to the manager and caps travel back,
         // through whichever control plane the config selects.
@@ -878,8 +878,11 @@ impl ClusterSim {
         // controller can be restored (see `crash_and_restore`).
         if let Some(every) = self.watchdog_every {
             if (self.clock.timestep() + 1).is_multiple_of(every) {
-                if let Some(snap) = self.manager.checkpoint() {
-                    self.last_checkpoint = Some(snap);
+                // Reuse the previous snapshot's allocation; a manager without
+                // checkpoint support leaves the old snapshot (if any) in place.
+                let mut buf = self.last_checkpoint.take().unwrap_or_default();
+                if self.manager.checkpoint_into(&mut buf) || !buf.is_empty() {
+                    self.last_checkpoint = Some(buf);
                 }
             }
         }

@@ -45,6 +45,14 @@ pub fn check_budget(caps: &[Watts], total_budget: Watts, limits: UnitLimits) -> 
     Ok(())
 }
 
+/// Reusable index buffers for [`distribute_weighted_into`], so the
+/// per-cycle water-filling never allocates in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct DistributeScratch {
+    active: Vec<usize>,
+    next_active: Vec<usize>,
+}
+
 /// Distributes `amount` Watts of *additional* budget across the selected
 /// units proportionally to `weights`, never pushing a cap above `max_cap`.
 /// Clamp remainders are redistributed over the remaining unsaturated units
@@ -52,12 +60,13 @@ pub fn check_budget(caps: &[Watts], total_budget: Watts, limits: UnitLimits) -> 
 ///
 /// Returns the Watts actually assigned (≤ `amount`; less only when every
 /// selected unit hits its ceiling).
-pub fn distribute_weighted(
+pub fn distribute_weighted_into(
     caps: &mut [Watts],
     selected: &[usize],
     weights: &[f64],
     amount: Watts,
     max_cap: Watts,
+    scratch: &mut DistributeScratch,
 ) -> Watts {
     assert_eq!(
         selected.len(),
@@ -68,9 +77,15 @@ pub fn distribute_weighted(
         return 0.0;
     }
     let mut remaining = amount;
-    let mut active: Vec<usize> = (0..selected.len())
-        .filter(|&k| weights[k] > 0.0 && caps[selected[k]] < max_cap - BUDGET_EPSILON)
-        .collect();
+    let DistributeScratch {
+        active,
+        next_active,
+    } = scratch;
+    active.clear();
+    active.extend(
+        (0..selected.len())
+            .filter(|&k| weights[k] > 0.0 && caps[selected[k]] < max_cap - BUDGET_EPSILON),
+    );
 
     // Water-fill: at most `active.len()` rounds since each round saturates
     // at least one unit or exhausts the remainder.
@@ -82,9 +97,9 @@ pub fn distribute_weighted(
         if weight_sum <= 0.0 {
             break;
         }
-        let mut next_active = Vec::with_capacity(active.len());
+        next_active.clear();
         let mut spent = 0.0;
-        for &k in &active {
+        for &k in active.iter() {
             let unit = selected[k];
             let share = remaining * weights[k] / weight_sum;
             let headroom = max_cap - caps[unit];
@@ -100,9 +115,22 @@ pub fn distribute_weighted(
             // Nobody saturated → everything distributable was distributed.
             break;
         }
-        active = next_active;
+        std::mem::swap(active, next_active);
     }
     amount - remaining
+}
+
+/// Allocating convenience wrapper over [`distribute_weighted_into`] for the
+/// baseline managers, whose cycle cost is not under study.
+pub fn distribute_weighted(
+    caps: &mut [Watts],
+    selected: &[usize],
+    weights: &[f64],
+    amount: Watts,
+    max_cap: Watts,
+) -> Watts {
+    let mut scratch = DistributeScratch::default();
+    distribute_weighted_into(caps, selected, weights, amount, max_cap, &mut scratch)
 }
 
 /// Scales all caps down proportionally (toward `min_cap`) until they sum to

@@ -21,8 +21,11 @@
 
 /// Snapshot format magic: `"DPSC"` as a little-endian u32.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"DPSC");
-/// Current snapshot format version.
-pub const VERSION: u32 = 1;
+/// Current snapshot format version. v2 added the per-unit rolling-statistic
+/// accumulator internals (sum/sumsq/offset/resync-clock) and the
+/// stats-mode flag, so a restored controller's incremental statistics
+/// continue the checkpointed trajectory bit-exactly.
+pub const VERSION: u32 = 2;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -45,7 +48,14 @@ pub struct ByteWriter {
 impl ByteWriter {
     /// Starts a payload with the magic/version header already written.
     pub fn new() -> Self {
-        let mut w = Self { buf: Vec::new() };
+        Self::reusing(Vec::new())
+    }
+
+    /// Starts a payload reusing `buf`'s allocation (contents are cleared) —
+    /// for periodic checkpointers that must not churn the heap.
+    pub fn reusing(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        let mut w = Self { buf };
         w.put_u32(MAGIC);
         w.put_u32(VERSION);
         w

@@ -63,6 +63,20 @@ impl MimdConfig {
     }
 }
 
+/// How the per-unit power-dynamics statistics (peak count, std,
+/// derivative) are computed each decision cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StatsMode {
+    /// Rolling accumulators maintained on `observe`: O(1) amortized per
+    /// unit per cycle (see `dps_sim_core::rolling`). The default.
+    #[default]
+    Incremental,
+    /// Full-window recompute per cycle through the slice-based signal
+    /// kernels — the pre-optimization reference path, kept as the
+    /// equivalence oracle and benchmark baseline.
+    Rescan,
+}
+
 /// All DPS tunables (paper §4.3, Algs. 2–4).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DpsConfig {
@@ -121,6 +135,15 @@ pub struct DpsConfig {
     /// this tolerance the equalization branch would be unreachable in
     /// practice and high-priority units could stay grossly imbalanced.
     pub equalize_slack: f64,
+    /// How the dynamics statistics are computed (incremental accumulators
+    /// vs full-window rescan). Decision trajectories are identical either
+    /// way; only the per-cycle cost differs.
+    pub stats_mode: StatsMode,
+    /// Unit count at or above which the observe/classify phase runs on
+    /// worker threads, when the crate is compiled with the `parallel`
+    /// feature. Below the threshold (and always without the feature) the
+    /// sequential loop is used; results are bit-identical either way.
+    pub parallel_threshold: usize,
 }
 
 impl Default for DpsConfig {
@@ -140,6 +163,8 @@ impl Default for DpsConfig {
             min_active_power: 40.0,
             pinned_threshold: 0.95,
             equalize_slack: 0.02,
+            stats_mode: StatsMode::default(),
+            parallel_threshold: 256,
         }
     }
 }
@@ -206,6 +231,14 @@ impl DpsConfig {
     /// power at all counts as "busy", so Alg. 3 never fires).
     pub fn without_restore(mut self) -> Self {
         self.restore_threshold = f64::MIN_POSITIVE;
+        self
+    }
+
+    /// The same config with `stats_mode` replaced — convenience for the
+    /// equivalence tests and benchmarks that pit [`StatsMode::Incremental`]
+    /// against the [`StatsMode::Rescan`] reference path.
+    pub fn with_stats_mode(mut self, mode: StatsMode) -> Self {
+        self.stats_mode = mode;
         self
     }
 

@@ -15,14 +15,14 @@
 //!    exhausted (Algs. 3–4), guaranteeing the constant-allocation lower
 //!    bound.
 
-use crate::budget::debug_assert_budget;
+use crate::budget::{debug_assert_budget, enforce_budget};
 use crate::checkpoint::{ByteReader, ByteWriter};
-use crate::config::DpsConfig;
+use crate::config::{DpsConfig, StatsMode};
 use crate::guard::{GuardConfig, GuardStats, HealthState, TelemetryGuard};
 use crate::history::UnitState;
 use crate::manager::{constant_cap, ManagerKind, PowerManager, UnitLimits};
-use crate::priority::set_priorities;
-use crate::readjust::{readjust, restore};
+use crate::priority::classify_unit;
+use crate::readjust::{readjust, restore, ReadjustScratch};
 use crate::stateless::MimdModule;
 use dps_sim_core::ring::RingBuffer;
 use dps_sim_core::rng::{RngStream, RngStreamState};
@@ -77,6 +77,10 @@ pub struct DpsManager {
     guard: Option<TelemetryGuard>,
     /// Scratch for the sanitized measurement slice.
     scratch_measured: Vec<Watts>,
+    /// Reusable buffers for the readjustment pass.
+    scratch_readjust: ReadjustScratch,
+    /// Indices of caps repaired by the non-finite-cap guard this cycle.
+    scratch_repaired: Vec<usize>,
 }
 
 impl DpsManager {
@@ -111,6 +115,8 @@ impl DpsManager {
             last_restored: false,
             guard: None,
             scratch_measured: Vec::with_capacity(num_units),
+            scratch_readjust: ReadjustScratch::default(),
+            scratch_repaired: Vec::new(),
         }
     }
 
@@ -186,9 +192,68 @@ impl DpsManager {
         &self.active
     }
 
+    /// Fused per-unit observe + classify phase. Every unit's Kalman update,
+    /// history append and dynamics classification touches only that unit's
+    /// state, so the loop is embarrassingly parallel; with the `parallel`
+    /// feature and at least `parallel_threshold` units it is chunked across
+    /// worker threads. The per-unit arithmetic is identical on both paths,
+    /// so the results are bit-identical by construction.
+    fn observe_and_classify(&mut self, measured: &[Watts], caps: &[Watts], dt: Seconds) {
+        #[cfg(feature = "parallel")]
+        if self.states.len() >= self.config.parallel_threshold {
+            self.observe_and_classify_parallel(measured, caps, dt);
+            return;
+        }
+        let config = self.config;
+        for (state, (&z, &cap)) in self.states.iter_mut().zip(measured.iter().zip(caps)) {
+            state.observe(z, dt);
+            classify_unit(state, cap, &config);
+        }
+    }
+
+    /// The threaded variant of [`DpsManager::observe_and_classify`]:
+    /// contiguous chunks of units handed to scoped worker threads. At least
+    /// two workers are spawned so the threaded path is genuinely exercised
+    /// even on single-core hosts (the phase is only entered above the
+    /// configured unit-count threshold, where the spawn cost is noise).
+    #[cfg(feature = "parallel")]
+    fn observe_and_classify_parallel(&mut self, measured: &[Watts], caps: &[Watts], dt: Seconds) {
+        let config = self.config;
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(2)
+            .min(self.states.len());
+        let chunk = self.states.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for ((states, zs), cs) in self
+                .states
+                .chunks_mut(chunk)
+                .zip(measured.chunks(chunk))
+                .zip(caps.chunks(chunk))
+            {
+                scope.spawn(move || {
+                    for (state, (&z, &cap)) in states.iter_mut().zip(zs.iter().zip(cs)) {
+                        state.observe(z, dt);
+                        classify_unit(state, cap, &config);
+                    }
+                });
+            }
+        });
+    }
+
     /// Serializes every piece of dynamic state (see [`crate::checkpoint`]).
     fn write_snapshot(&self) -> Vec<u8> {
-        let mut w = ByteWriter::new();
+        let mut out = Vec::new();
+        self.write_snapshot_into(&mut out);
+        out
+    }
+
+    /// [`DpsManager::write_snapshot`] into a caller-provided buffer whose
+    /// allocation is reused — the watchdog path checkpoints every few
+    /// cycles and must not churn the heap.
+    fn write_snapshot_into(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::reusing(std::mem::take(out));
         // Shape fields: verified (not applied) on restore.
         w.put_usize(self.states.len());
         w.put_f64(self.total_budget);
@@ -197,6 +262,9 @@ impl DpsManager {
         w.put_u64(rs.label_hash);
         w.put_u64(rs.draws);
         w.put_bool(self.last_restored);
+        // v2: whether the per-unit rolling-accumulator internals below are
+        // live (Incremental mode) or stale placeholders (Rescan mode).
+        w.put_bool(self.config.stats_mode == StatsMode::Incremental);
         for &c in &self.changed {
             w.put_bool(c);
         }
@@ -219,6 +287,16 @@ impl DpsManager {
             w.put_f64_slice(&s.duration_history.as_vec());
             w.put_bool(s.high_freq);
             w.put_bool(s.priority);
+            // v2: the rolling-moment internals are path-dependent (the
+            // drifted sums and the resync clock cannot be rebuilt from the
+            // window), so they are persisted; the peak runs and cached
+            // derivative are pure functions of the window and are rebuilt
+            // on restore.
+            let (sum, sumsq, offset, until_resync) = s.moments_state();
+            w.put_f64(sum);
+            w.put_f64(sumsq);
+            w.put_f64(offset);
+            w.put_u32(until_resync);
         }
         match &self.guard {
             Some(g) => {
@@ -227,7 +305,7 @@ impl DpsManager {
             }
             None => w.put_bool(false),
         }
-        w.seal()
+        *out = w.seal();
     }
 
     /// Restores a [`DpsManager::write_snapshot`] blob onto a manager
@@ -256,6 +334,7 @@ impl DpsManager {
             draws: r.get_u64()?,
         };
         let last_restored = r.get_bool()?;
+        let snapshot_incremental = r.get_bool()?;
         let mut changed = vec![false; n];
         for c in changed.iter_mut() {
             *c = r.get_bool()?;
@@ -301,6 +380,20 @@ impl DpsManager {
             }
             s.high_freq = r.get_bool()?;
             s.priority = r.get_bool()?;
+            let m_sum = r.get_f64()?;
+            let m_sumsq = r.get_f64()?;
+            let m_offset = r.get_f64()?;
+            let m_until = r.get_u32()?;
+            // Exact rebuild first (peak runs, cached derivative, moments),
+            // then — when both the snapshot and this manager run the
+            // incremental path — overwrite the moments with the persisted
+            // internals so the restored controller continues the
+            // checkpointed drift trajectory bit-exactly instead of
+            // diverging from an uninterrupted run.
+            s.rebuild_stats();
+            if snapshot_incremental && self.config.stats_mode == StatsMode::Incremental {
+                s.restore_moments(m_sum, m_sumsq, m_offset, m_until);
+            }
         }
         let guard_present = r.get_bool()?;
         let new_guard = match (&self.guard, guard_present) {
@@ -351,7 +444,25 @@ impl PowerManager for DpsManager {
             "one measurement per unit"
         );
 
-        // (0) Telemetry guard: gate the raw measurements and advance the
+        // (0a) Repair non-finite caps before any module consumes them: a
+        // faulted actuator path can hand back NaN/∞ readbacks as the caps
+        // "in force", and a single NaN poisons every budget sum downstream
+        // (the MIMD's freed-budget accounting, Alg. 4's available budget
+        // and equalization mean). Repaired units restart from the constant
+        // cap; if the substitutions overshoot the budget, the proportional
+        // safety net pulls everything back under it.
+        self.scratch_repaired.clear();
+        for (u, cap) in caps.iter_mut().enumerate() {
+            if !cap.is_finite() {
+                *cap = self.initial_cap;
+                self.scratch_repaired.push(u);
+            }
+        }
+        if !self.scratch_repaired.is_empty() {
+            enforce_budget(caps, self.total_budget, self.limits);
+        }
+
+        // (0b) Telemetry guard: gate the raw measurements and advance the
         // per-unit health machines. The rest of the pipeline sees only the
         // sanitized stream.
         let mut scratch = std::mem::take(&mut self.scratch_measured);
@@ -367,16 +478,18 @@ impl PowerManager for DpsManager {
         // the stateless module takes in current power directly).
         let mut changed = std::mem::take(&mut self.changed);
         self.mimd.apply(measured, caps, &mut changed, &mut self.rng);
-
-        // (2) Kalman-filtered estimates extend each unit's power history.
-        for (state, &z) in self.states.iter_mut().zip(measured) {
-            state.observe(z, dt);
+        for &u in &self.scratch_repaired {
+            changed[u] = true;
         }
 
-        // (3) Priorities from power dynamics (and the cap-pinned "needs
-        // power now" signal, judged against the temporary caps). Isolated
-        // units surrender their priority so readjust never feeds them.
-        set_priorities(&mut self.states, caps, &self.config);
+        // (2)+(3) Kalman-filtered estimates extend each unit's power
+        // history, and the priority module classifies the unit's dynamics
+        // (including the cap-pinned "needs power now" signal, judged
+        // against the temporary caps). The two are fused per unit because
+        // units are independent here — which also makes this the phase that
+        // runs on worker threads at scale (`parallel` feature). Isolated
+        // units then surrender their priority so readjust never feeds them.
+        self.observe_and_classify(measured, caps, dt);
         if let Some(g) = self.guard.as_ref() {
             for (u, state) in self.states.iter_mut().enumerate() {
                 if g.is_isolated(u) {
@@ -407,6 +520,7 @@ impl PowerManager for DpsManager {
             self.limits,
             self.last_restored,
             self.config.equalize_slack * self.total_budget,
+            &mut self.scratch_readjust,
         );
 
         // (5) Believed-cap budget enforcement and request bookkeeping for
@@ -463,6 +577,11 @@ impl PowerManager for DpsManager {
 
     fn checkpoint(&self) -> Option<Vec<u8>> {
         Some(self.write_snapshot())
+    }
+
+    fn checkpoint_into(&self, out: &mut Vec<u8>) -> bool {
+        self.write_snapshot_into(out);
+        true
     }
 
     fn restore(&mut self, snapshot: &[u8]) -> Result<(), String> {
@@ -912,6 +1031,98 @@ mod tests {
         let mut b = dps(3, 330.0);
         b.restore(&snap).unwrap();
         assert_eq!(b.membership(), &[true, false, true]);
+    }
+
+    #[test]
+    fn non_finite_caps_repaired_before_decision() {
+        // A faulted actuator readback can hand the controller NaN/∞ as the
+        // caps "in force". One poisoned entry must not leak into the budget
+        // sums: the unit restarts from the constant cap, its changed flag is
+        // raised, and every output is finite and budget-respecting.
+        let mut m = dps(4, 440.0);
+        let mut caps = vec![110.0; 4];
+        drive(&mut m, &mut caps, 15, |t, u| wiggly(t, u, 120.0));
+
+        for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            caps[1] = poison;
+            caps[3] = f64::NAN;
+            let measured = [130.0, 90.0, 120.0, 80.0];
+            m.assign_caps(&measured, &mut caps, 1.0);
+            assert!(
+                caps.iter().all(|c| c.is_finite()),
+                "caps still poisoned: {caps:?}"
+            );
+            assert!(caps.iter().sum::<f64>() <= 440.0 + 1e-6);
+            assert!(caps
+                .iter()
+                .all(|&c| (LIMITS.min_cap - 1e-9..=LIMITS.max_cap + 1e-9).contains(&c)));
+            assert!(m.changed()[1], "repaired unit must be flagged as changed");
+            assert!(m.changed()[3], "repaired unit must be flagged as changed");
+        }
+
+        // The repair leaves the statistics pipeline healthy: further cycles
+        // classify from finite state.
+        drive(&mut m, &mut caps, 30, |t, u| wiggly(t, u, 140.0));
+        for u in 0..4 {
+            assert!(m.unit_state(u).history_std().is_finite());
+            assert!(m.unit_state(u).latest_estimate().is_finite());
+        }
+    }
+
+    #[test]
+    fn churn_resets_incremental_accumulators() {
+        // A vacated-and-reoccupied socket must present brand-new statistics:
+        // rolling moments, the peak tracker, and the cached derivative all
+        // reset alongside the histories, so the new tenant is classified
+        // from its own samples only.
+        let mut m = dps(2, 220.0);
+        let mut caps = vec![110.0; 2];
+        drive(&mut m, &mut caps, 25, |t, u| wiggly(t, u, 90.0));
+        assert!(
+            m.unit_state(0).history_std() > 0.0,
+            "precondition: unit 0 accumulated variance"
+        );
+
+        m.observe_membership(&[false, true]);
+        m.observe_membership(&[true, true]);
+
+        let fresh = UnitState::new(m.config());
+        let churned = m.unit_state(0);
+        assert_eq!(churned.moments_state(), fresh.moments_state());
+        assert_eq!(churned.history_std(), 0.0);
+        assert_eq!(churned.latest_estimate(), 0.0);
+        // Unit 1 kept its learned state untouched.
+        assert!(m.unit_state(1).history_std() > 0.0);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_phase_is_bit_identical_to_sequential() {
+        // Force the threaded observe/classify path (threshold 1) against a
+        // default manager whose unit count stays below the threshold: same
+        // inputs, bit-identical caps on every cycle.
+        let mk = |threshold: usize| {
+            let config = DpsConfig {
+                parallel_threshold: threshold,
+                ..DpsConfig::default()
+            };
+            DpsManager::new(8, 880.0, LIMITS, config, RngStream::new(3, "dps-test"))
+        };
+        let mut seq = mk(usize::MAX);
+        let mut par = mk(1);
+        let mut caps_seq = vec![110.0; 8];
+        let mut caps_par = vec![110.0; 8];
+        let mut rng = RngStream::new(91, "par-equiv");
+        for t in 0..200 {
+            let measured: Vec<f64> = caps_seq
+                .iter()
+                .map(|&c| rng.range(20.0..165.0_f64).min(c))
+                .collect();
+            seq.assign_caps(&measured, &mut caps_seq, 1.0);
+            par.assign_caps(&measured, &mut caps_par, 1.0);
+            assert_eq!(caps_seq, caps_par, "parallel phase diverged at cycle {t}");
+            assert_eq!(seq.priorities(), par.priorities());
+        }
     }
 
     #[test]

@@ -4,10 +4,19 @@
 //! power dynamics" (§1). Concretely, per power-capping unit the server holds
 //! a Kalman filter, a bounded estimated-power history, the matching sample
 //! durations, the high-frequency flag and the current priority (§4.3).
+//!
+//! The dynamics statistics the priority module reads each cycle — prominent
+//! peak count, history standard deviation, windowed derivative — are
+//! maintained *incrementally* on `observe` (rolling moments with periodic
+//! exact resync, a run-length peak structure, a cached derivative), so a
+//! decision cycle no longer rescans `history_len` samples per unit. The
+//! original full-window recompute survives as [`StatsMode::Rescan`] — both
+//! the equivalence oracle for tests and the benchmark baseline.
 
-use crate::config::DpsConfig;
+use crate::config::{DpsConfig, StatsMode};
 use dps_sim_core::kalman::KalmanFilter;
 use dps_sim_core::ring::RingBuffer;
+use dps_sim_core::rolling::{PeakTracker, RollingMoments};
 use dps_sim_core::signal;
 use dps_sim_core::units::{Seconds, Watts};
 
@@ -24,8 +33,20 @@ pub struct UnitState {
     pub high_freq: bool,
     /// Current priority (true = high).
     pub priority: bool,
-    /// Scratch buffers reused across cycles so the steady-state decision
-    /// loop allocates nothing (the history is copied out contiguously for
+    /// Statistics strategy (frozen at construction from the config).
+    mode: StatsMode,
+    /// Peak prominence threshold (from the config, so reads need no args).
+    peak_prominence: f64,
+    /// Derivative window in samples (from the config).
+    deriv_window: usize,
+    /// Rolling Σx/Σx² over `power_history`.
+    moments: RollingMoments,
+    /// Run-length prominent-peak structure over `power_history`.
+    peaks: PeakTracker,
+    /// Windowed derivative refreshed on every observe.
+    cached_deriv: Option<f64>,
+    /// Scratch buffers reused across cycles so the rescan path allocates
+    /// nothing in steady state (the history is copied out contiguously for
     /// the slice-based signal kernels).
     scratch_power: Vec<f64>,
     scratch_durations: Vec<f64>,
@@ -40,6 +61,12 @@ impl UnitState {
             duration_history: RingBuffer::new(config.history_len),
             high_freq: false,
             priority: false,
+            mode: config.stats_mode,
+            peak_prominence: config.peak_prominence,
+            deriv_window: config.deriv_window,
+            moments: RollingMoments::new(config.history_len),
+            peaks: PeakTracker::new(config.peak_prominence),
+            cached_deriv: None,
             scratch_power: Vec::with_capacity(config.history_len),
             scratch_durations: Vec::with_capacity(config.history_len),
         }
@@ -57,15 +84,24 @@ impl UnitState {
         if !measured.is_finite() {
             let held = self.latest_estimate();
             if !self.power_history.is_empty() {
-                self.power_history.push(held);
-                self.duration_history.push(dt);
+                self.record(held, dt);
             }
             return held;
         }
         let estimate = self.filter.update(measured);
-        self.power_history.push(estimate);
-        self.duration_history.push(dt);
+        self.record(estimate, dt);
         estimate
+    }
+
+    /// Appends one estimate and keeps the incremental statistics current.
+    fn record(&mut self, estimate: f64, dt: Seconds) {
+        let evicted = self.power_history.push(estimate);
+        self.duration_history.push(dt);
+        if self.mode == StatsMode::Incremental {
+            self.moments.push(estimate, evicted, &self.power_history);
+            self.peaks.push(estimate, evicted);
+            self.cached_deriv = self.compute_derivative();
+        }
     }
 
     /// Most recent power estimate (0 before any observation).
@@ -74,22 +110,92 @@ impl UnitState {
     }
 
     /// Number of prominent peaks in the current history window.
-    pub fn prominent_peak_count(&mut self, prominence: f64) -> usize {
-        self.power_history.copy_to(&mut self.scratch_power);
-        signal::count_prominent_peaks(&self.scratch_power, prominence)
+    pub fn prominent_peak_count(&mut self) -> usize {
+        match self.mode {
+            StatsMode::Incremental => self.peaks.count(),
+            StatsMode::Rescan => self.rescan_peak_count(),
+        }
     }
 
     /// Standard deviation of the history window (0 while empty).
     pub fn history_std(&self) -> f64 {
+        match self.mode {
+            StatsMode::Incremental => self.moments.std_dev().unwrap_or(0.0),
+            StatsMode::Rescan => self.rescan_std(),
+        }
+    }
+
+    /// Windowed average first derivative over the newest `deriv_window`
+    /// samples (Alg. 2 line 16); `None` until at least 2 samples exist.
+    pub fn derivative(&mut self) -> Option<f64> {
+        match self.mode {
+            StatsMode::Incremental => self.cached_deriv,
+            StatsMode::Rescan => self.rescan_derivative(),
+        }
+    }
+
+    /// Reference peak count via the full-window slice kernel — the
+    /// pre-optimization path, kept as the equivalence oracle.
+    pub fn rescan_peak_count(&mut self) -> usize {
+        self.power_history.copy_to(&mut self.scratch_power);
+        signal::count_prominent_peaks(&self.scratch_power, self.peak_prominence)
+    }
+
+    /// Reference standard deviation via a full-window two-pass recompute.
+    pub fn rescan_std(&self) -> f64 {
         self.power_history.std_dev().unwrap_or(0.0)
     }
 
-    /// Windowed average first derivative over the newest `window` samples
-    /// (Alg. 2 line 16); `None` until at least 2 samples exist.
-    pub fn derivative(&mut self, window: usize) -> Option<f64> {
+    /// Reference derivative via the full-window slice kernel.
+    pub fn rescan_derivative(&mut self) -> Option<f64> {
         self.power_history.copy_to(&mut self.scratch_power);
         self.duration_history.copy_to(&mut self.scratch_durations);
-        signal::windowed_derivative(&self.scratch_power, &self.scratch_durations, window)
+        signal::windowed_derivative(
+            &self.scratch_power,
+            &self.scratch_durations,
+            self.deriv_window,
+        )
+    }
+
+    /// The windowed derivative straight off the rings, summing the
+    /// durations oldest-to-newest so the result is bit-identical to
+    /// [`signal::windowed_derivative`] over the copied-out window.
+    fn compute_derivative(&self) -> Option<f64> {
+        let len = self.power_history.len();
+        if len < 2 || self.deriv_window < 1 {
+            return None;
+        }
+        let w = self.deriv_window.min(len - 1);
+        let newest = *self.power_history.newest()?;
+        let oldest = *self.power_history.get(len - 1 - w)?;
+        let mut dt = 0.0;
+        for i in (len - w)..len {
+            dt += *self.duration_history.get(i)?;
+        }
+        if dt <= 0.0 {
+            return None;
+        }
+        Some((newest - oldest) / dt)
+    }
+
+    /// Rebuilds every derived statistic exactly from the current window
+    /// contents — used after a restore writes the histories wholesale.
+    pub fn rebuild_stats(&mut self) {
+        self.moments.resync(&self.power_history);
+        self.peaks.rebuild(self.power_history.iter().copied());
+        self.cached_deriv = self.compute_derivative();
+    }
+
+    /// Path-dependent accumulator internals for the checkpoint codec.
+    pub(crate) fn moments_state(&self) -> (f64, f64, f64, u32) {
+        self.moments.state()
+    }
+
+    /// Restores checkpointed accumulator internals (after the histories
+    /// have been written and [`UnitState::rebuild_stats`] has run).
+    pub(crate) fn restore_moments(&mut self, sum: f64, sumsq: f64, offset: f64, until_resync: u32) {
+        self.moments
+            .restore_state(sum, sumsq, offset, until_resync, self.power_history.len());
     }
 
     /// Clears everything back to construction state.
@@ -99,6 +205,9 @@ impl UnitState {
         self.duration_history.clear();
         self.high_freq = false;
         self.priority = false;
+        self.moments.clear();
+        self.peaks.clear();
+        self.cached_deriv = None;
     }
 }
 
@@ -135,7 +244,7 @@ mod tests {
         for i in 0..10 {
             s.observe(20.0 + 20.0 * i as f64, 1.0);
         }
-        let d = s.derivative(3).unwrap();
+        let d = s.derivative().unwrap();
         assert!(d > 10.0, "ramp derivative {d}");
     }
 
@@ -145,16 +254,16 @@ mod tests {
         for i in 0..10 {
             s.observe(200.0 - 15.0 * i as f64, 1.0);
         }
-        assert!(s.derivative(3).unwrap() < -10.0);
+        assert!(s.derivative().unwrap() < -10.0);
     }
 
     #[test]
     fn derivative_none_without_samples() {
         let mut s = state();
-        assert_eq!(s.derivative(3), None);
+        assert_eq!(s.derivative(), None);
         let mut s1 = state();
         s1.observe(50.0, 1.0);
-        assert_eq!(s1.derivative(3), None);
+        assert_eq!(s1.derivative(), None);
     }
 
     #[test]
@@ -170,9 +279,9 @@ mod tests {
             }
         }
         assert!(
-            s.prominent_peak_count(30.0) >= 3,
+            s.prominent_peak_count() >= 3,
             "square wave should show peaks: {}",
-            s.prominent_peak_count(30.0)
+            s.prominent_peak_count()
         );
         assert!(s.history_std() > 20.0);
     }
@@ -183,7 +292,7 @@ mod tests {
         for _ in 0..20 {
             s.observe(110.0, 1.0);
         }
-        assert_eq!(s.prominent_peak_count(30.0), 0);
+        assert_eq!(s.prominent_peak_count(), 0);
         assert!(s.history_std() < 5.0);
     }
 
@@ -199,6 +308,11 @@ mod tests {
         assert_eq!(s.power_history.len(), 0);
         assert!(!s.high_freq && !s.priority);
         assert_eq!(s.latest_estimate(), 0.0);
+        // The incremental accumulators must be as fresh as the histories —
+        // a stale rolling sum would poison the next tenancy's statistics.
+        assert_eq!(s.prominent_peak_count(), 0);
+        assert_eq!(s.history_std(), 0.0);
+        assert_eq!(s.derivative(), None);
     }
 
     #[test]
@@ -216,7 +330,7 @@ mod tests {
         s.power_history.copy_to(&mut s.scratch_power);
         assert!(s.scratch_power.iter().all(|v| v.is_finite()));
         assert_eq!(s.latest_estimate(), held);
-        let d = s.derivative(3).unwrap();
+        let d = s.derivative().unwrap();
         assert!(d.abs() < 1e-9, "derivative through outage: {d}");
         // Recovery: a finite sample resumes normal filtering.
         assert!(s.observe(101.0, 1.0).is_finite());
@@ -251,5 +365,71 @@ mod tests {
             "smoothed std {} vs raw std {raw_std}",
             s.history_std()
         );
+    }
+
+    /// The incremental statistics must agree with the rescan oracle at
+    /// every step of a long noisy stream, including through NaN outages.
+    #[test]
+    fn incremental_matches_rescan_oracle_stepwise() {
+        use dps_sim_core::rng::RngStream;
+        let mut rng = RngStream::new(9, "equiv");
+        let mut s = state();
+        for step in 0..600 {
+            let sample = if step % 37 == 13 {
+                f64::NAN // sensor dropout
+            } else {
+                70.0 + rng.range(0.0..90.0)
+            };
+            s.observe(sample, 1.0);
+            assert_eq!(
+                s.prominent_peak_count(),
+                s.rescan_peak_count(),
+                "peak count diverged at step {step}"
+            );
+            let inc_std = s.history_std();
+            let ref_std = s.rescan_std();
+            assert!(
+                (inc_std - ref_std).abs() < 1e-9,
+                "std diverged at step {step}: {inc_std} vs {ref_std}"
+            );
+            // The cached derivative is computed with the same summation
+            // order as the slice kernel, so it must match bit-exactly.
+            assert_eq!(s.derivative(), s.rescan_derivative(), "step {step}");
+        }
+    }
+
+    /// Rescan mode serves the same statistics through the public API.
+    #[test]
+    fn rescan_mode_matches_incremental_values() {
+        let cfg = DpsConfig::default();
+        let mut inc = UnitState::new(&cfg);
+        let mut res = UnitState::new(&cfg.with_stats_mode(crate::config::StatsMode::Rescan));
+        for step in 0..120 {
+            let sample = 60.0 + 50.0 * (((step % 9) as f64 - 4.0) / 4.0);
+            inc.observe(sample, 1.0);
+            res.observe(sample, 1.0);
+            assert_eq!(inc.prominent_peak_count(), res.prominent_peak_count());
+            assert!((inc.history_std() - res.history_std()).abs() < 1e-9);
+            assert_eq!(inc.derivative(), res.derivative());
+        }
+    }
+
+    #[test]
+    fn rebuild_stats_recovers_after_history_surgery() {
+        let mut s = state();
+        for i in 0..30 {
+            s.observe(40.0 + (i % 6) as f64 * 22.0, 1.0);
+        }
+        let peak_count = s.prominent_peak_count();
+        let deriv = s.derivative();
+        // Simulate a restore: wipe the accumulators, then rebuild from the
+        // (untouched) histories.
+        s.moments.clear();
+        s.peaks.clear();
+        s.cached_deriv = None;
+        s.rebuild_stats();
+        assert_eq!(s.prominent_peak_count(), peak_count);
+        assert_eq!(s.derivative(), deriv);
+        assert!((s.history_std() - s.rescan_std()).abs() < 1e-12);
     }
 }

@@ -162,6 +162,21 @@ pub trait PowerManager {
         None
     }
 
+    /// Serializes into a caller-provided buffer, reusing its allocation —
+    /// the periodic-watchdog variant of [`PowerManager::checkpoint`].
+    /// Returns `false` (leaving `out` untouched) for managers without
+    /// checkpoint support. The default delegates to `checkpoint`;
+    /// checkpointing managers should override it allocation-free.
+    fn checkpoint_into(&self, out: &mut Vec<u8>) -> bool {
+        match self.checkpoint() {
+            Some(snap) => {
+                *out = snap;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Restores dynamic state from a [`PowerManager::checkpoint`] blob.
     /// Default: unsupported.
     fn restore(&mut self, _snapshot: &[u8]) -> Result<(), String> {

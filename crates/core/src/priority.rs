@@ -28,48 +28,56 @@ use crate::config::DpsConfig;
 use crate::history::UnitState;
 use dps_sim_core::units::Watts;
 
+/// Applies Alg. 2 to one unit's state in place. `cap` is the cap currently
+/// in force (before this cycle's readjustment). Units are classified
+/// independently of each other, which is what lets the manager's fused
+/// observe/classify phase run them on worker threads.
+pub fn classify_unit(state: &mut UnitState, cap: Watts, config: &DpsConfig) {
+    let pp_count = state.prominent_peak_count();
+
+    if !state.high_freq {
+        if pp_count > config.pp_threshold {
+            state.high_freq = true;
+            state.priority = true;
+            return;
+        }
+    } else if pp_count < config.pp_threshold && state.history_std() < config.std_threshold {
+        state.high_freq = false;
+        state.priority = false;
+        return;
+    }
+
+    if !state.high_freq {
+        // A draw below the minimum settable cap is satisfied by any
+        // cap: such a unit never needs extra budget.
+        if state.latest_estimate() < config.min_active_power {
+            state.priority = false;
+            return;
+        }
+        // Need power now: pinned against the cap.
+        if state.latest_estimate() > cap * config.pinned_threshold {
+            state.priority = true;
+            return;
+        }
+        // Will need power soon / no longer needs it: the derivative.
+        let Some(deriv) = state.derivative() else {
+            return;
+        };
+        if deriv > config.deriv_inc_threshold {
+            state.priority = true;
+        } else if deriv < config.deriv_dec_threshold {
+            state.priority = false;
+        }
+        // Otherwise: hold the previous priority.
+    }
+}
+
 /// Applies Alg. 2 to every unit's state in place. `caps` are the caps
 /// currently in force (before this cycle's readjustment).
 pub fn set_priorities(states: &mut [UnitState], caps: &[Watts], config: &DpsConfig) {
     debug_assert_eq!(states.len(), caps.len());
     for (state, &cap) in states.iter_mut().zip(caps) {
-        let pp_count = state.prominent_peak_count(config.peak_prominence);
-
-        if !state.high_freq {
-            if pp_count > config.pp_threshold {
-                state.high_freq = true;
-                state.priority = true;
-                continue;
-            }
-        } else if pp_count < config.pp_threshold && state.history_std() < config.std_threshold {
-            state.high_freq = false;
-            state.priority = false;
-            continue;
-        }
-
-        if !state.high_freq {
-            // A draw below the minimum settable cap is satisfied by any
-            // cap: such a unit never needs extra budget.
-            if state.latest_estimate() < config.min_active_power {
-                state.priority = false;
-                continue;
-            }
-            // Need power now: pinned against the cap.
-            if state.latest_estimate() > cap * config.pinned_threshold {
-                state.priority = true;
-                continue;
-            }
-            // Will need power soon / no longer needs it: the derivative.
-            let Some(deriv) = state.derivative(config.deriv_window) else {
-                continue;
-            };
-            if deriv > config.deriv_inc_threshold {
-                state.priority = true;
-            } else if deriv < config.deriv_dec_threshold {
-                state.priority = false;
-            }
-            // Otherwise: hold the previous priority.
-        }
+        classify_unit(state, cap, config);
     }
 }
 
@@ -172,7 +180,7 @@ mod tests {
                 30.0, 30.0, 40.0, 55.0, 75.0, 95.0, 115.0, 135.0, 150.0, 160.0,
             ],
         );
-        assert_eq!(s.prominent_peak_count(cfg.peak_prominence), 0);
+        assert_eq!(s.prominent_peak_count(), 0);
         set_priorities(std::slice::from_mut(&mut s), &[165.0], &cfg);
         assert!(s.high_freq, "high std must block the exit");
         assert!(s.priority);

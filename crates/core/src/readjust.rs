@@ -18,9 +18,22 @@
 //!     they cannot have gained budget, the equalized cap is never below the
 //!     constant cap — the lower-bound guarantee.
 
-use crate::budget::{debug_assert_budget, distribute_weighted, BUDGET_EPSILON};
+use crate::budget::{
+    debug_assert_budget, distribute_weighted_into, DistributeScratch, BUDGET_EPSILON,
+};
 use crate::manager::UnitLimits;
 use dps_sim_core::units::Watts;
+
+/// Reusable buffers for [`readjust`] so the per-cycle pass allocates
+/// nothing in steady state. One instance lives in the manager and is
+/// threaded through every cycle.
+#[derive(Debug, Clone, Default)]
+pub struct ReadjustScratch {
+    high: Vec<usize>,
+    weights: Vec<f64>,
+    before: Vec<f64>,
+    distribute: DistributeScratch,
+}
 
 /// Alg. 3: restores every cap to `initial_cap` when no unit's power exceeds
 /// `initial_cap * restore_threshold`. Returns whether restoration happened.
@@ -51,6 +64,7 @@ pub fn restore(
 /// equalizes the high-priority caps at their mean.
 ///
 /// `restored` short-circuits the whole pass (Alg. 4 line 3).
+#[allow(clippy::too_many_arguments)] // mirrors Alg. 4's parameter list plus the reusable scratch
 pub fn readjust(
     caps: &mut [Watts],
     changed: &mut [bool],
@@ -59,11 +73,26 @@ pub fn readjust(
     limits: UnitLimits,
     restored: bool,
     equalize_below: Watts,
+    scratch: &mut ReadjustScratch,
 ) {
     if restored {
         return;
     }
-    let high: Vec<usize> = (0..caps.len()).filter(|&u| priorities[u]).collect();
+    // Non-finite caps would poison the budget sums and the 1/cap weights
+    // below; the manager repairs them before any module runs (see
+    // `DpsManager::assign_caps`), so by this point they must all be finite.
+    debug_assert!(
+        caps.iter().all(|c| c.is_finite()),
+        "readjust fed non-finite caps: {caps:?}"
+    );
+    let ReadjustScratch {
+        high,
+        weights,
+        before,
+        distribute,
+    } = scratch;
+    high.clear();
+    high.extend((0..caps.len()).filter(|&u| priorities[u]));
     if high.is_empty() {
         return;
     }
@@ -72,9 +101,11 @@ pub fn readjust(
     if avail > equalize_below.max(BUDGET_EPSILON) {
         // Lower-capped units weighted heavier: weight ∝ 1/cap (caps have a
         // positive floor at min_cap so the weights are finite).
-        let weights: Vec<f64> = high.iter().map(|&u| 1.0 / caps[u].max(1.0)).collect();
-        let before: Vec<f64> = high.iter().map(|&u| caps[u]).collect();
-        distribute_weighted(caps, &high, &weights, avail, limits.max_cap);
+        weights.clear();
+        weights.extend(high.iter().map(|&u| 1.0 / caps[u].max(1.0)));
+        before.clear();
+        before.extend(high.iter().map(|&u| caps[u]));
+        distribute_weighted_into(caps, high, weights, avail, limits.max_cap, distribute);
         for (k, &u) in high.iter().enumerate() {
             if (caps[u] - before[k]).abs() > BUDGET_EPSILON {
                 changed[u] = true;
@@ -84,7 +115,7 @@ pub fn readjust(
         // Equalize all high-priority caps at their mean (Alg. 4 l.19-29).
         let budget_high: f64 = high.iter().map(|&u| caps[u]).sum();
         let equal = limits.clamp(budget_high / high.len() as f64);
-        for &u in &high {
+        for &u in high.iter() {
             if (caps[u] - equal).abs() > BUDGET_EPSILON {
                 caps[u] = equal;
                 changed[u] = true;
@@ -147,6 +178,7 @@ mod tests {
             LIMITS,
             true,
             0.0,
+            &mut ReadjustScratch::default(),
         );
         assert_eq!(caps, [110.0, 110.0]);
     }
@@ -164,6 +196,7 @@ mod tests {
             LIMITS,
             false,
             0.0,
+            &mut ReadjustScratch::default(),
         );
         assert!(
             (caps[1] - 160.0).abs() < 1e-9,
@@ -189,6 +222,7 @@ mod tests {
             LIMITS,
             false,
             0.0,
+            &mut ReadjustScratch::default(),
         );
         assert!((caps[0] - 110.0).abs() < 1e-9, "{:?}", caps);
         assert!((caps[1] - 130.0).abs() < 1e-9, "{:?}", caps);
@@ -207,6 +241,7 @@ mod tests {
             LIMITS,
             false,
             0.0,
+            &mut ReadjustScratch::default(),
         );
         assert!(caps[0] <= 165.0 + 1e-9);
         let sum: f64 = caps.iter().sum();
@@ -227,6 +262,7 @@ mod tests {
             LIMITS,
             false,
             0.0,
+            &mut ReadjustScratch::default(),
         );
         assert_eq!(caps, [110.0, 110.0, 110.0]);
         assert_eq!(changed, [true, true, false]);
@@ -245,6 +281,7 @@ mod tests {
             LIMITS,
             false,
             0.0,
+            &mut ReadjustScratch::default(),
         );
         let new_total: f64 = caps.iter().sum();
         assert!((new_total - total).abs() < 1e-6);
@@ -272,6 +309,7 @@ mod tests {
             LIMITS,
             false,
             0.0,
+            &mut ReadjustScratch::default(),
         );
         let constant = budget / n as f64;
         assert!(caps[2] >= constant - 1e-9);
@@ -292,6 +330,7 @@ mod tests {
             LIMITS,
             false,
             10.0,
+            &mut ReadjustScratch::default(),
         );
         assert_eq!(caps[0], 110.0);
         assert_eq!(caps[1], 110.0);
@@ -310,6 +349,7 @@ mod tests {
             LIMITS,
             false,
             10.0,
+            &mut ReadjustScratch::default(),
         );
         let sum: f64 = caps.iter().sum();
         assert!((sum - 240.0).abs() < 1e-6, "40 W leftover spent: {sum}");
@@ -327,6 +367,7 @@ mod tests {
             LIMITS,
             false,
             0.0,
+            &mut ReadjustScratch::default(),
         );
         assert_eq!(caps, [80.0, 90.0]);
     }

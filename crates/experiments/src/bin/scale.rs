@@ -8,13 +8,220 @@
 //! second.
 
 use dps_cluster::run_pair;
-use dps_core::manager::ManagerKind;
+use dps_core::config::{DpsConfig, StatsMode};
+use dps_core::manager::{ManagerKind, PowerManager, UnitLimits};
+use dps_core::DpsManager;
 use dps_experiments::{banner, config_from_env, parallel_map, pct, threads_from_env};
 use dps_rapl::Topology;
+use dps_sim_core::rng::RngStream;
 use dps_workloads::catalog::find;
+use std::fmt::Write as _;
 use std::time::Instant;
 
+/// One measured manager-step timing cell.
+struct BenchCell {
+    config: &'static str,
+    units: usize,
+    mode: &'static str,
+    cycles: usize,
+    per_cycle_us: f64,
+}
+
+/// A step-bench scenario: a history window length plus a synthetic load.
+#[derive(Clone, Copy)]
+struct BenchConfig {
+    name: &'static str,
+    history_len: usize,
+    load: Load,
+}
+
+#[derive(Clone, Copy)]
+enum Load {
+    /// Every unit ramps 40→160 W over 20 cycles with a per-unit phase
+    /// offset — the fastest churn the paper's workloads show, and the same
+    /// signal the `dps-bench` Criterion harness drives.
+    Sawtooth,
+    /// Long alternating low/high phases (hundreds of cycles, desynchronized
+    /// across units) — the phase structure of real HPC workloads, and the
+    /// regime a fine-grained telemetry window actually monitors.
+    Phased,
+}
+
+/// Deterministic load driver for the step bench (no RNG: both statistics
+/// modes must see bit-identical measurement streams).
+struct Churn {
+    load: Load,
+    measured: Vec<f64>,
+    caps: Vec<f64>,
+    step: usize,
+}
+
+impl Churn {
+    fn new(n: usize, load: Load) -> Self {
+        Self {
+            load,
+            measured: vec![0.0; n],
+            caps: vec![110.0; n],
+            step: 0,
+        }
+    }
+
+    fn drive(&mut self, mgr: &mut DpsManager) {
+        self.step += 1;
+        for (u, m) in self.measured.iter_mut().enumerate() {
+            let demand = match self.load {
+                Load::Sawtooth => {
+                    let phase = ((self.step + u) % 20) as f64 / 20.0;
+                    40.0 + 120.0 * phase
+                }
+                Load::Phased => {
+                    let period = 1200 + (u % 7) * 60;
+                    let pos = (self.step + u * 37) % period;
+                    if pos < period / 2 {
+                        55.0 + (u % 7) as f64
+                    } else {
+                        92.0 + (u % 11) as f64
+                    }
+                }
+            };
+            *m = demand.min(self.caps[u]);
+        }
+        mgr.assign_caps(&self.measured, &mut self.caps, 1.0);
+    }
+}
+
+fn dps_with_mode(n: usize, history_len: usize, mode: StatsMode) -> DpsManager {
+    let limits = UnitLimits::xeon_gold_6240();
+    let mut config = DpsConfig::default().with_stats_mode(mode);
+    config.history_len = history_len;
+    DpsManager::new(
+        n,
+        110.0 * n as f64,
+        limits,
+        config,
+        RngStream::new(7, "scale/step-bench"),
+    )
+}
+
+/// Times full DPS decision cycles under both statistics modes and writes
+/// `results/BENCH_manager_scaling.json`. This is the wall-clock evidence
+/// for the incremental-statistics speedup: `Rescan` is the pre-optimization
+/// full-window path, `Incremental` the rolling-accumulator path. The
+/// paper-default 20-sample window bounds the win from below (the stats are
+/// a small share of that cycle); the telemetry configs show the windows a
+/// production controller sampling at sub-second periods would keep, where
+/// the O(window) rescans dominate and the incremental path pulls ahead.
+fn step_bench() {
+    let configs = [
+        BenchConfig {
+            name: "paper_default_w20",
+            history_len: 20,
+            load: Load::Sawtooth,
+        },
+        BenchConfig {
+            name: "telemetry_w120",
+            history_len: 120,
+            load: Load::Phased,
+        },
+        BenchConfig {
+            name: "telemetry_w600",
+            history_len: 600,
+            load: Load::Phased,
+        },
+    ];
+    let sizes: [(usize, usize); 3] = [(64, 2_000), (1_024, 400), (16_384, 60)];
+    let modes = [
+        (StatsMode::Incremental, "incremental"),
+        (StatsMode::Rescan, "rescan"),
+    ];
+
+    let mut cells: Vec<BenchCell> = Vec::new();
+    for cfg in &configs {
+        for &(n, cycles) in &sizes {
+            for &(mode, label) in &modes {
+                let mut mgr = dps_with_mode(n, cfg.history_len, mode);
+                let mut churn = Churn::new(n, cfg.load);
+                for _ in 0..(cfg.history_len + 64) {
+                    churn.drive(&mut mgr);
+                }
+                let start = Instant::now();
+                for _ in 0..cycles {
+                    churn.drive(&mut mgr);
+                }
+                let wall = start.elapsed().as_secs_f64();
+                cells.push(BenchCell {
+                    config: cfg.name,
+                    units: n,
+                    mode: label,
+                    cycles,
+                    per_cycle_us: wall / cycles as f64 * 1e6,
+                });
+            }
+        }
+    }
+
+    let mut table = dps_metrics::Table::new(vec![
+        "config".into(),
+        "units".into(),
+        "incremental us/cycle".into(),
+        "rescan us/cycle".into(),
+        "speedup".into(),
+    ]);
+    let mut speedups: Vec<(&'static str, usize, f64)> = Vec::new();
+    for pair in cells.chunks(2) {
+        let (inc, res) = (&pair[0], &pair[1]);
+        let speedup = res.per_cycle_us / inc.per_cycle_us;
+        speedups.push((inc.config, inc.units, speedup));
+        table.row(vec![
+            inc.config.to_string(),
+            inc.units.to_string(),
+            format!("{:.1}", inc.per_cycle_us),
+            format!("{:.1}", res.per_cycle_us),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    println!("DPS decision-cycle cost, incremental vs full-window rescan:");
+    println!("{}", table.render());
+
+    let mut json = String::from("{\n  \"experiment\": \"dps_manager_step_scaling\",\n");
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"config\": \"{}\", \"units\": {}, \"mode\": \"{}\", \"cycles\": {}, \"per_cycle_us\": {:.3}, \"per_unit_ns\": {:.1}}}{sep}",
+            c.config,
+            c.units,
+            c.mode,
+            c.cycles,
+            c.per_cycle_us,
+            c.per_cycle_us * 1e3 / c.units as f64,
+        );
+    }
+    json.push_str("  ],\n  \"speedup_rescan_over_incremental\": [\n");
+    for (i, (cfg, n, s)) in speedups.iter().enumerate() {
+        let sep = if i + 1 == speedups.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"config\": \"{cfg}\", \"units\": {n}, \"speedup\": {s:.2}}}{sep}"
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let _ = std::fs::create_dir_all("results");
+    match std::fs::write("results/BENCH_manager_scaling.json", &json) {
+        Ok(()) => println!("wrote results/BENCH_manager_scaling.json\n"),
+        Err(e) => eprintln!("could not write results/BENCH_manager_scaling.json: {e}\n"),
+    }
+}
+
 fn main() {
+    step_bench();
+    // DPS_BENCH_ONLY=1 runs just the step bench above — the decision-quality
+    // sweep below costs minutes and its output is already in results/scale.txt.
+    if std::env::var("DPS_BENCH_ONLY").is_ok() {
+        return;
+    }
+
     let mut base = config_from_env();
     base.reps = base.reps.min(3); // scale is the variable here, not variance
     banner("Scale sweep: GMM + EP from 20 to 400 sockets", &base);

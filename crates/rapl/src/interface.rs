@@ -109,10 +109,26 @@ impl DomainBank {
     /// # Panics
     /// Panics if `demands.len() != num_units()`.
     pub fn step_all(&mut self, demands: &[Watts], dt: Seconds) -> Vec<Watts> {
+        let mut powers = vec![0.0; self.domains.len()];
+        self.step_all_into(demands, dt, &mut powers);
+        powers
+    }
+
+    /// [`DomainBank::step_all`] writing into a caller-provided slice — the
+    /// simulation hot loop uses this to avoid a per-window allocation.
+    ///
+    /// # Panics
+    /// Panics if `demands.len()` or `out.len()` differs from `num_units()`.
+    pub fn step_all_into(&mut self, demands: &[Watts], dt: Seconds, out: &mut [Watts]) {
         assert_eq!(
             demands.len(),
             self.domains.len(),
             "one demand per domain required"
+        );
+        assert_eq!(
+            out.len(),
+            self.domains.len(),
+            "one output slot per domain required"
         );
         let now = self.now;
         for (unit, pending) in self.pending_writes.iter_mut().enumerate() {
@@ -123,15 +139,11 @@ impl DomainBank {
             }
             pending.retain(|&(due, _)| due > now);
         }
-        let powers: Vec<Watts> = self
-            .domains
-            .iter_mut()
-            .zip(demands)
-            .map(|(d, &demand)| d.step(demand, dt))
-            .collect();
+        for ((d, &demand), slot) in self.domains.iter_mut().zip(demands).zip(out.iter_mut()) {
+            *slot = d.step(demand, dt);
+        }
         self.now += dt;
         self.last_dt = dt;
-        powers
     }
 
     /// Direct access to a domain (satisfaction accounting needs ground truth).

@@ -17,6 +17,10 @@
 //!   smoothing.
 //! * [`phases`] — hysteresis phase segmentation of measured power traces
 //!   and the §3.1 diversity report (duration / peak / derivative ranges).
+//! * [`rolling`] — incrementally maintained window statistics (rolling
+//!   moments with periodic exact resync, run-length prominent-peak
+//!   tracking) so the per-cycle statistics reads are O(1) instead of
+//!   O(`history_len`).
 //! * [`kalman`] — the 1-dimensional Kalman filter DPS uses to de-noise RAPL
 //!   power measurements (paper §4.3.2).
 //! * [`window`] — half-open time windows, the shared vocabulary for the
@@ -29,6 +33,7 @@ pub mod kalman;
 pub mod phases;
 pub mod ring;
 pub mod rng;
+pub mod rolling;
 pub mod series;
 pub mod signal;
 pub mod stats;
@@ -38,6 +43,7 @@ pub mod window;
 pub use kalman::KalmanFilter;
 pub use ring::RingBuffer;
 pub use rng::{RngStream, RngStreamState};
+pub use rolling::{PeakTracker, RollingMoments};
 pub use series::TimeSeries;
 pub use stats::OnlineStats;
 pub use units::{Joules, Seconds, SimClock, Timestep, Watts};

@@ -1,0 +1,432 @@
+//! Incrementally maintained window statistics.
+//!
+//! The DPS priority module reads three statistics of each unit's bounded
+//! power history every decision cycle: the standard deviation, the number of
+//! prominent peaks and the windowed derivative. Recomputing them from the
+//! full window is O(`history_len`) per unit per cycle (plus allocations in
+//! the peak detector) — irrelevant at the paper's 22 sockets, dominant at
+//! the ROADMAP's production scale. The accumulators here maintain the same
+//! quantities under the ring buffer's push/evict stream so a read is O(1).
+//!
+//! * [`RollingMoments`] — running Σx and Σx² over the retained window,
+//!   updated per push and periodically resynced against the window contents
+//!   to bound floating-point drift.
+//! * [`PeakTracker`] — a run-length encoding of the window from which the
+//!   prominent-peak count of [`crate::signal::count_prominent_peaks`] is
+//!   recomputed exactly on every push, in O(runs) instead of O(window) with
+//!   two heap allocations. Kalman-smoothed histories have few runs relative
+//!   to samples, and the count is cached between pushes.
+
+use crate::ring::RingBuffer;
+use std::collections::VecDeque;
+
+/// Running first and second moments of a ring-buffer window.
+///
+/// `push` applies the add/evict delta in O(1). Because a rolling Σx drifts
+/// away from the exact sum under floating-point cancellation, the
+/// accumulator resyncs itself exactly from the window every
+/// `resync_every` pushes; between resyncs the drift is bounded well below
+/// the thresholds any consumer compares against. The sums are kept around a
+/// fixed offset (the first window value at the last resync) so the
+/// cancellation error stays relative to the window's spread, not its
+/// absolute level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollingMoments {
+    /// Σ(x - offset) over the retained window.
+    sum: f64,
+    /// Σ(x - offset)² over the retained window.
+    sumsq: f64,
+    /// Centering offset (see above).
+    offset: f64,
+    /// Number of retained samples (mirrors the window length).
+    len: usize,
+    /// Pushes left until the next exact resync.
+    until_resync: u32,
+    /// Resync period in pushes.
+    resync_every: u32,
+}
+
+impl RollingMoments {
+    /// An empty accumulator for a window of at most `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        // One exact recompute every few window turnovers keeps the resync
+        // cost amortized O(1) while bounding drift accumulation.
+        let resync_every = (4 * capacity).max(8) as u32;
+        Self {
+            sum: 0.0,
+            sumsq: 0.0,
+            offset: 0.0,
+            len: 0,
+            until_resync: resync_every,
+            resync_every,
+        }
+    }
+
+    /// Applies one ring-buffer push: `added` entered the window and
+    /// `evicted` (if the ring was full) left it. `window` must be the ring
+    /// *after* the push; it is only read on the periodic exact resync.
+    pub fn push(&mut self, added: f64, evicted: Option<f64>, window: &RingBuffer<f64>) {
+        let a = added - self.offset;
+        match evicted {
+            Some(old) => {
+                let e = old - self.offset;
+                self.sum += a - e;
+                self.sumsq += a * a - e * e;
+            }
+            None => {
+                self.sum += a;
+                self.sumsq += a * a;
+                self.len += 1;
+            }
+        }
+        self.until_resync = self.until_resync.saturating_sub(1);
+        if self.until_resync == 0 {
+            self.resync(window);
+        }
+    }
+
+    /// Exact recompute from the window contents; resets the drift clock.
+    pub fn resync(&mut self, window: &RingBuffer<f64>) {
+        self.offset = window.oldest().copied().unwrap_or(0.0);
+        self.sum = 0.0;
+        self.sumsq = 0.0;
+        self.len = window.len();
+        for &v in window.iter() {
+            let c = v - self.offset;
+            self.sum += c;
+            self.sumsq += c * c;
+        }
+        self.until_resync = self.resync_every;
+    }
+
+    /// Number of samples currently accumulated.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no samples are accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mean of the window; `None` when empty (matching
+    /// [`RingBuffer::mean`]).
+    pub fn mean(&self) -> Option<f64> {
+        if self.len == 0 {
+            return None;
+        }
+        Some(self.offset + self.sum / self.len as f64)
+    }
+
+    /// Population variance, clamped at 0 against cancellation on flat
+    /// windows; `None` when empty.
+    pub fn variance(&self) -> Option<f64> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.len as f64;
+        let centered_mean = self.sum / n;
+        Some((self.sumsq / n - centered_mean * centered_mean).max(0.0))
+    }
+
+    /// Population standard deviation; `None` when empty (matching
+    /// [`RingBuffer::std_dev`]).
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Clears back to construction state.
+    pub fn clear(&mut self) {
+        self.sum = 0.0;
+        self.sumsq = 0.0;
+        self.offset = 0.0;
+        self.len = 0;
+        self.until_resync = self.resync_every;
+    }
+
+    /// Path-dependent internals for checkpointing: `(sum, sumsq, offset,
+    /// until_resync)`. The length is derivable from the window and is not
+    /// part of the state.
+    pub fn state(&self) -> (f64, f64, f64, u32) {
+        (self.sum, self.sumsq, self.offset, self.until_resync)
+    }
+
+    /// Restores [`RollingMoments::state`] internals; `len` must be the
+    /// restored window's length. A restored accumulator continues the
+    /// checkpointed drift trajectory bit-exactly.
+    pub fn restore_state(
+        &mut self,
+        sum: f64,
+        sumsq: f64,
+        offset: f64,
+        until_resync: u32,
+        len: usize,
+    ) {
+        self.sum = sum;
+        self.sumsq = sumsq;
+        self.offset = offset;
+        self.until_resync = until_resync.clamp(1, self.resync_every);
+        self.len = len;
+    }
+}
+
+/// Incrementally maintained prominent-peak count over a ring-buffer window.
+///
+/// The window is stored as a run-length encoding — a deque of `(value,
+/// multiplicity)` runs in which adjacent runs hold distinct values. Under
+/// that representation the sample-level peak definition of
+/// [`crate::signal::count_prominent_peaks`] maps exactly:
+///
+/// * an interior run is a local maximum iff both neighbouring runs are
+///   strictly lower (a plateau is one run, so it counts once, and the
+///   boundary runs are excluded just as boundary samples are);
+/// * prominence scans (outward to the first strictly-higher value,
+///   exclusive, taking the minimum) see the same value sequence whether
+///   they walk samples or runs, because multiplicity affects neither
+///   comparisons nor minima.
+///
+/// The count is recomputed from the runs on every push — O(runs), and the
+/// number of runs in a Kalman-smoothed power history is small — then served
+/// from cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeakTracker {
+    runs: VecDeque<(f64, u32)>,
+    min_prominence: f64,
+    count: usize,
+    /// Run values copied contiguously for the recount scan — deque indexing
+    /// pays wrap-around arithmetic per access, a dense slice doesn't.
+    scratch: Vec<f64>,
+}
+
+impl PeakTracker {
+    /// An empty tracker counting peaks with prominence `>= min_prominence`.
+    pub fn new(min_prominence: f64) -> Self {
+        Self {
+            runs: VecDeque::new(),
+            min_prominence,
+            count: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Applies one ring-buffer push: `added` entered the window and
+    /// `evicted` (if the ring was full) left it, then refreshes the cached
+    /// count.
+    pub fn push(&mut self, added: f64, evicted: Option<f64>) {
+        if evicted.is_some() {
+            // The oldest sample always lives in the front run.
+            if let Some(front) = self.runs.front_mut() {
+                front.1 -= 1;
+                if front.1 == 0 {
+                    self.runs.pop_front();
+                }
+            }
+        }
+        match self.runs.back_mut() {
+            Some(back) if back.0 == added => back.1 += 1,
+            _ => self.runs.push_back((added, 1)),
+        }
+        self.recount();
+    }
+
+    /// The cached prominent-peak count, equal to
+    /// [`crate::signal::count_prominent_peaks`] over the window contents.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Clears back to construction state.
+    pub fn clear(&mut self) {
+        self.runs.clear();
+        self.scratch.clear();
+        self.count = 0;
+    }
+
+    /// Rebuilds from scratch over `values` (oldest first) — used after a
+    /// checkpoint restore writes the window wholesale.
+    pub fn rebuild<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        self.runs.clear();
+        for v in values {
+            match self.runs.back_mut() {
+                Some(back) if back.0 == v => back.1 += 1,
+                _ => self.runs.push_back((v, 1)),
+            }
+        }
+        self.recount();
+    }
+
+    fn recount(&mut self) {
+        self.scratch.clear();
+        let (head, tail) = self.runs.as_slices();
+        self.scratch.extend(head.iter().map(|&(v, _)| v));
+        self.scratch.extend(tail.iter().map(|&(v, _)| v));
+        let vals = &self.scratch;
+        let r = vals.len();
+        let mut count = 0;
+        for i in 1..r.saturating_sub(1) {
+            let h = vals[i];
+            if !(vals[i - 1] < h && vals[i + 1] < h) {
+                continue;
+            }
+            let mut left_min = h;
+            let mut j = i;
+            while j > 0 {
+                j -= 1;
+                let v = vals[j];
+                if v > h {
+                    break;
+                }
+                left_min = left_min.min(v);
+            }
+            let mut right_min = h;
+            let mut j = i;
+            while j + 1 < r {
+                j += 1;
+                let v = vals[j];
+                if v > h {
+                    break;
+                }
+                right_min = right_min.min(v);
+            }
+            if h - left_min.max(right_min) >= self.min_prominence {
+                count += 1;
+            }
+        }
+        self.count = count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal;
+
+    fn drive(
+        capacity: usize,
+        values: &[f64],
+        prominence: f64,
+    ) -> (RingBuffer<f64>, RollingMoments, PeakTracker) {
+        let mut ring = RingBuffer::new(capacity);
+        let mut moments = RollingMoments::new(capacity);
+        let mut peaks = PeakTracker::new(prominence);
+        for &v in values {
+            let evicted = ring.push(v);
+            moments.push(v, evicted, &ring);
+            peaks.push(v, evicted);
+        }
+        (ring, moments, peaks)
+    }
+
+    #[test]
+    fn moments_match_ring_reference() {
+        let values: Vec<f64> = (0..200)
+            .map(|i| 100.0 + 30.0 * ((i as f64 * 0.7).sin()) + (i % 5) as f64)
+            .collect();
+        let (ring, moments, _) = drive(20, &values, 30.0);
+        assert_eq!(moments.len(), ring.len());
+        let m = moments.mean().unwrap();
+        let s = moments.std_dev().unwrap();
+        assert!((m - ring.mean().unwrap()).abs() < 1e-9, "mean {m}");
+        assert!((s - ring.std_dev().unwrap()).abs() < 1e-9, "std {s}");
+    }
+
+    #[test]
+    fn moments_empty_semantics_match_ring() {
+        let moments = RollingMoments::new(8);
+        assert_eq!(moments.mean(), None);
+        assert_eq!(moments.std_dev(), None);
+        assert!(moments.is_empty());
+    }
+
+    #[test]
+    fn flat_window_variance_clamped_at_zero() {
+        let (_, moments, _) = drive(16, &[110.0; 100], 30.0);
+        assert_eq!(moments.variance(), Some(0.0));
+        assert_eq!(moments.std_dev(), Some(0.0));
+    }
+
+    #[test]
+    fn resync_bounds_drift_over_long_streams() {
+        // Large offset + small wiggle is the worst case for Σx² cancellation.
+        let values: Vec<f64> = (0..5000)
+            .map(|i| 1.0e6 + 0.25 * ((i % 7) as f64 - 3.0))
+            .collect();
+        let (ring, moments, _) = drive(20, &values, 30.0);
+        let exact = ring.std_dev().unwrap();
+        let rolled = moments.std_dev().unwrap();
+        assert!(
+            (rolled - exact).abs() < 1e-6,
+            "drift survived resync: {rolled} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn clear_resets_moments() {
+        let (_, mut moments, _) = drive(8, &[50.0, 60.0, 70.0], 30.0);
+        moments.clear();
+        assert_eq!(moments.mean(), None);
+        assert_eq!(moments.len(), 0);
+    }
+
+    #[test]
+    fn moments_state_roundtrip_is_exact() {
+        let values: Vec<f64> = (0..137).map(|i| 90.0 + (i % 13) as f64 * 3.0).collect();
+        let (ring, moments, _) = drive(20, &values, 30.0);
+        let (sum, sumsq, offset, until) = moments.state();
+        let mut restored = RollingMoments::new(20);
+        restored.restore_state(sum, sumsq, offset, until, ring.len());
+        assert_eq!(restored, moments, "bit-exact accumulator restore");
+    }
+
+    #[test]
+    fn peaks_match_signal_reference_on_square_wave() {
+        let mut values = Vec::new();
+        for _ in 0..8 {
+            values.extend_from_slice(&[30.0, 150.0, 150.0, 30.0]);
+        }
+        let (ring, _, peaks) = drive(20, &values, 50.0);
+        assert_eq!(
+            peaks.count(),
+            signal::count_prominent_peaks(&ring.as_vec(), 50.0)
+        );
+        assert!(peaks.count() >= 3, "square wave shows peaks");
+    }
+
+    #[test]
+    fn peaks_match_signal_reference_through_eviction_stream() {
+        // Mixed plateaus, spikes and monotone stretches, checked at every
+        // prefix so eviction transitions are all covered.
+        let pattern = [
+            20.0, 20.0, 160.0, 20.0, 25.0, 25.0, 25.0, 22.0, 160.0, 160.0, 20.0, 40.0, 60.0, 80.0,
+            80.0, 60.0, 100.0, 30.0, 30.0, 140.0, 10.0,
+        ];
+        let mut ring = RingBuffer::new(7);
+        let mut peaks = PeakTracker::new(15.0);
+        for (step, &v) in pattern.iter().cycle().take(200).enumerate() {
+            let evicted = ring.push(v);
+            peaks.push(v, evicted);
+            assert_eq!(
+                peaks.count(),
+                signal::count_prominent_peaks(&ring.as_vec(), 15.0),
+                "diverged at step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn rebuild_matches_pushed_state() {
+        let values = [10.0, 50.0, 20.0, 20.0, 90.0, 15.0, 70.0];
+        let (ring, _, peaks) = drive(5, &values, 5.0);
+        let mut rebuilt = PeakTracker::new(5.0);
+        rebuilt.rebuild(ring.iter().copied());
+        assert_eq!(rebuilt, peaks);
+    }
+
+    #[test]
+    fn peak_clear_resets() {
+        let (_, _, mut peaks) = drive(8, &[10.0, 80.0, 10.0], 5.0);
+        assert_eq!(peaks.count(), 1);
+        peaks.clear();
+        assert_eq!(peaks.count(), 0);
+    }
+}

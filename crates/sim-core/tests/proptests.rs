@@ -1,6 +1,8 @@
 //! Property tests for the simulation substrate.
 
-use dps_sim_core::{signal, stats, KalmanFilter, RingBuffer, TimeSeries};
+use dps_sim_core::{
+    signal, stats, KalmanFilter, PeakTracker, RingBuffer, RollingMoments, TimeSeries,
+};
 use proptest::prelude::*;
 use std::collections::VecDeque;
 
@@ -192,6 +194,81 @@ proptest! {
                 prop_assert_eq!(up.values()[i * k + j], v);
             }
         }
+    }
+}
+
+proptest! {
+    /// Rolling moments agree with a full-window recompute at every prefix
+    /// of an arbitrary eviction stream — the incremental statistics must be
+    /// indistinguishable from the O(window) reference they replace.
+    #[test]
+    fn rolling_moments_match_window_recompute(
+        capacity in 1usize..24,
+        values in prop::collection::vec(0.0f64..400.0, 0..300),
+    ) {
+        let mut ring = RingBuffer::new(capacity);
+        let mut moments = RollingMoments::new(capacity);
+        for (step, &v) in values.iter().enumerate() {
+            let evicted = ring.push(v);
+            moments.push(v, evicted, &ring);
+            prop_assert_eq!(moments.len(), ring.len());
+            let mean_err = (moments.mean().unwrap() - ring.mean().unwrap()).abs();
+            prop_assert!(mean_err < 1e-8, "mean drift {mean_err} at step {step}");
+            // Subtractive variance over offset-centered Σx² terms (each up
+            // to range² = 400²) cancels catastrophically when the true
+            // variance is near zero: the absolute std error can reach
+            // √(ε·ops)·range even though the accumulators are exact to ULPs.
+            let tol = (f64::EPSILON * 8.0 * ring.len() as f64).sqrt() * 400.0 + 1e-9;
+            let std_err = (moments.std_dev().unwrap() - ring.std_dev().unwrap()).abs();
+            prop_assert!(std_err < tol, "std drift {std_err} > {tol} at step {step}");
+        }
+    }
+
+    /// The RLE peak tracker reports exactly the slice-kernel peak count at
+    /// every prefix, for arbitrary streams (plateaus included via a small
+    /// value grid that makes equal neighbours likely).
+    #[test]
+    fn peak_tracker_matches_slice_kernel(
+        capacity in 2usize..16,
+        prominence in 1.0f64..60.0,
+        steps in prop::collection::vec(0u8..8, 0..250),
+    ) {
+        let mut ring = RingBuffer::new(capacity);
+        let mut peaks = PeakTracker::new(prominence);
+        for (step, &s) in steps.iter().enumerate() {
+            let v = s as f64 * 20.0; // coarse grid → frequent exact repeats
+            let evicted = ring.push(v);
+            peaks.push(v, evicted);
+            prop_assert_eq!(
+                peaks.count(),
+                signal::count_prominent_peaks(&ring.as_vec(), prominence),
+                "diverged at step {}", step
+            );
+        }
+    }
+
+    /// Restoring the moments' accumulator state reproduces the tracker
+    /// bit for bit, wherever in the resync cycle the snapshot lands.
+    #[test]
+    fn moments_state_roundtrip_anywhere_in_stream(
+        capacity in 1usize..24,
+        values in prop::collection::vec(0.0f64..400.0, 1..400),
+    ) {
+        let mut ring = RingBuffer::new(capacity);
+        let mut moments = RollingMoments::new(capacity);
+        for &v in &values {
+            let evicted = ring.push(v);
+            moments.push(v, evicted, &ring);
+        }
+        let (sum, sumsq, offset, until) = moments.state();
+        let mut restored = RollingMoments::new(capacity);
+        restored.restore_state(sum, sumsq, offset, until, ring.len());
+        prop_assert_eq!(&restored, &moments);
+        // And the restored tracker keeps tracking identically.
+        let evicted = ring.push(123.0);
+        moments.push(123.0, evicted, &ring);
+        restored.push(123.0, evicted, &ring);
+        prop_assert_eq!(&restored, &moments);
     }
 }
 

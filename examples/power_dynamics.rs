@@ -33,8 +33,8 @@ fn main() {
         let measured = noise.apply(demand, &mut rng);
         let estimate = state.observe(measured, 1.0);
         if i % 10 == 9 {
-            let peaks = state.prominent_peak_count(config.peak_prominence);
-            let deriv = state.derivative(config.deriv_window).unwrap_or(0.0);
+            let peaks = state.prominent_peak_count();
+            let deriv = state.derivative().unwrap_or(0.0);
             rows.push((i + 1, demand, measured, estimate, peaks, deriv));
         }
     }

@@ -3,6 +3,7 @@
 //! off — same caps, same budget discipline — on a fault-free trace.
 
 use dps_suite::cluster::{ClusterSim, ExperimentConfig};
+use dps_suite::core::config::StatsMode;
 use dps_suite::core::manager::{PowerManager, UnitLimits};
 use dps_suite::core::{DpsManager, GuardConfig};
 use dps_suite::rapl::Topology;
@@ -35,6 +36,20 @@ fn dps(cfg: &ExperimentConfig, guarded: bool) -> Box<dyn PowerManager> {
     } else {
         Box::new(DpsManager::new(n, budget, limits, cfg.dps, rng))
     }
+}
+
+fn dps_mode(cfg: &ExperimentConfig, mode: StatsMode) -> Box<dyn PowerManager> {
+    let limits = UnitLimits {
+        min_cap: cfg.sim.domain_spec.min_cap,
+        max_cap: cfg.sim.domain_spec.tdp,
+    };
+    Box::new(DpsManager::new(
+        cfg.sim.topology.total_units(),
+        cfg.sim.total_budget(),
+        limits,
+        cfg.dps.with_stats_mode(mode),
+        RngStream::new(cfg.seed, "manager/DPS"),
+    ))
 }
 
 fn programs() -> Vec<DemandProgram> {
@@ -80,6 +95,101 @@ fn restored_controller_matches_uninterrupted_run() {
                 crashed.timestep()
             );
             assert!(crashed.caps().iter().sum::<f64>() <= budget + 1e-6);
+        }
+    }
+}
+
+/// The rolling-moment accumulators resync against the raw ring every
+/// `4 × window` pushes (80 cycles at the paper-default window), so their
+/// persisted state is path-dependent: a snapshot taken after the boundary
+/// carries post-resync offsets that a from-scratch rebuild would not
+/// reproduce. Crashing well past that boundary must still restore to a
+/// bit-identical trajectory — the codec persists the accumulators
+/// themselves, not just the ring they summarize.
+#[test]
+fn restore_after_resync_boundary_stays_bit_identical() {
+    let cfg = config(53);
+    let budget = cfg.sim.total_budget();
+    let sim_rng = RngStream::new(53, "ckpt-resync");
+    let mut crashed = ClusterSim::new(
+        cfg.sim.clone(),
+        programs(),
+        dps_mode(&cfg, StatsMode::Incremental),
+        &sim_rng,
+    );
+    let mut twin = ClusterSim::new(
+        cfg.sim.clone(),
+        programs(),
+        dps_mode(&cfg, StatsMode::Incremental),
+        &sim_rng,
+    );
+    crashed.enable_watchdog(1);
+
+    for _ in 0..120 {
+        crashed.cycle();
+        twin.cycle();
+    }
+    crashed
+        .crash_and_restore(dps_mode(&cfg, StatsMode::Incremental))
+        .expect("restore past the resync boundary");
+
+    for _ in 0..150 {
+        crashed.cycle();
+        twin.cycle();
+        assert_eq!(
+            crashed.caps(),
+            twin.caps(),
+            "diverged at t={}",
+            crashed.timestep()
+        );
+        assert!(crashed.caps().iter().sum::<f64>() <= budget + 1e-6);
+    }
+}
+
+/// Snapshots are portable across statistics modes: one written by an
+/// incremental-mode controller restores into a rescan-mode replacement and
+/// vice versa, and either way the trajectory still matches an uninterrupted
+/// twin exactly (the modes are decision-equivalent, so the twin's own mode
+/// is immaterial).
+#[test]
+fn cross_mode_restore_matches_uninterrupted_run() {
+    for (before, after) in [
+        (StatsMode::Incremental, StatsMode::Rescan),
+        (StatsMode::Rescan, StatsMode::Incremental),
+    ] {
+        let cfg = config(59);
+        let sim_rng = RngStream::new(59, "ckpt-crossmode");
+        let mut crashed = ClusterSim::new(
+            cfg.sim.clone(),
+            programs(),
+            dps_mode(&cfg, before),
+            &sim_rng,
+        );
+        let mut twin = ClusterSim::new(
+            cfg.sim.clone(),
+            programs(),
+            dps_mode(&cfg, before),
+            &sim_rng,
+        );
+        crashed.enable_watchdog(1);
+
+        for _ in 0..100 {
+            crashed.cycle();
+            twin.cycle();
+        }
+        crashed
+            .crash_and_restore(dps_mode(&cfg, after))
+            .expect("cross-mode restore");
+
+        for _ in 0..150 {
+            crashed.cycle();
+            twin.cycle();
+            assert_eq!(
+                crashed.caps(),
+                twin.caps(),
+                "{before:?}->{after:?} diverged at t={}",
+                crashed.timestep()
+            );
         }
     }
 }

@@ -1,0 +1,159 @@
+//! Decision-level equivalence of the statistics fast path: a DPS controller
+//! running [`StatsMode::Incremental`] (rolling accumulators) must emit caps
+//! bit-identical to one running [`StatsMode::Rescan`] (the original
+//! full-window recompute) on every cycle, for every workload the suite can
+//! throw at it — the optimization is only allowed to change cost, never a
+//! decision.
+
+use dps_suite::cluster::{ClusterSim, ExperimentConfig};
+use dps_suite::core::config::StatsMode;
+use dps_suite::core::manager::ManagerKind;
+use dps_suite::rapl::{SensorFault, Topology, UnitFaultEvent, UnitFaultSchedule};
+use dps_suite::sched::SchedConfig;
+use dps_suite::sim_core::RngStream;
+use dps_suite::workloads::{build_program, catalog, DemandProgram, Phase};
+
+fn with_mode(base: &ExperimentConfig, mode: StatsMode) -> ExperimentConfig {
+    let mut cfg = base.clone();
+    cfg.dps = cfg.dps.with_stats_mode(mode);
+    cfg
+}
+
+fn programs(cfg: &ExperimentConfig) -> Vec<DemandProgram> {
+    vec![
+        build_program(catalog::find("GMM").unwrap(), &cfg.sim.perf, 1),
+        build_program(catalog::find("EP").unwrap(), &cfg.sim.perf, 2),
+    ]
+}
+
+/// Builds the two sims (identical except for `stats_mode`), drives them in
+/// lockstep, and demands exact cap equality on every cycle.
+fn assert_lockstep(base: &ExperimentConfig, label: &str, cycles: usize) {
+    let inc_cfg = with_mode(base, StatsMode::Incremental);
+    let res_cfg = with_mode(base, StatsMode::Rescan);
+    let rng = RngStream::new(base.seed, label);
+    let mut inc = ClusterSim::new(
+        inc_cfg.sim.clone(),
+        programs(&inc_cfg),
+        inc_cfg.build_manager(ManagerKind::Dps),
+        &rng,
+    );
+    let mut res = ClusterSim::new(
+        res_cfg.sim.clone(),
+        programs(&res_cfg),
+        res_cfg.build_manager(ManagerKind::Dps),
+        &rng,
+    );
+    for step in 0..cycles {
+        inc.cycle();
+        res.cycle();
+        assert_eq!(
+            inc.caps(),
+            res.caps(),
+            "{label}: incremental and rescan caps diverged at step {step}"
+        );
+    }
+}
+
+/// Paper-default configuration: noisy telemetry, the GMM+EP contended pair.
+#[test]
+fn incremental_matches_rescan_on_paper_default() {
+    let mut cfg = ExperimentConfig::paper_default(61, 1);
+    cfg.sim.topology = Topology::new(2, 2, 2);
+    assert_lockstep(&cfg, "equiv-paper", 400);
+}
+
+/// Sensor faults feed the classifier frozen and NaN readings mid-run; both
+/// modes must make the same (possibly degraded) decisions from them.
+#[test]
+fn incremental_matches_rescan_under_sensor_faults() {
+    let mut cfg = ExperimentConfig::paper_default(67, 1);
+    cfg.sim.topology = Topology::new(2, 2, 2);
+    cfg.sim.sensor_faults = UnitFaultSchedule::new(vec![
+        UnitFaultEvent::sensor(0, 40.0, 140.0, SensorFault::StuckAt { value: 95.0 }),
+        UnitFaultEvent::sensor(3, 60.0, 120.0, SensorFault::Dropout),
+    ]);
+    assert_lockstep(&cfg, "equiv-faults", 300);
+}
+
+/// A saturating step: long constant phases drive the rolling std and the
+/// peak tracker through their degenerate (zero-variance, single-run) cases.
+#[test]
+fn incremental_matches_rescan_on_constant_phases() {
+    let mut cfg = ExperimentConfig::paper_default(71, 1);
+    cfg.sim.topology = Topology::new(2, 2, 2);
+    let inc_cfg = with_mode(&cfg, StatsMode::Incremental);
+    let res_cfg = with_mode(&cfg, StatsMode::Rescan);
+    let mk_programs = || {
+        vec![
+            DemandProgram::new(vec![
+                Phase::constant(120.0, 60.0),
+                Phase::constant(280.0, 150.0),
+            ]),
+            DemandProgram::new(vec![Phase::constant(400.0, 80.0)]),
+        ]
+    };
+    let rng = RngStream::new(71, "equiv-const");
+    let mut inc = ClusterSim::new(
+        inc_cfg.sim.clone(),
+        mk_programs(),
+        inc_cfg.build_manager(ManagerKind::Dps),
+        &rng,
+    );
+    let mut res = ClusterSim::new(
+        res_cfg.sim.clone(),
+        mk_programs(),
+        res_cfg.build_manager(ManagerKind::Dps),
+        &rng,
+    );
+    for step in 0..350 {
+        inc.cycle();
+        res.cycle();
+        assert_eq!(inc.caps(), res.caps(), "diverged at step {step}");
+    }
+}
+
+/// Scheduler churn: jobs start, finish, and evict underneath the manager,
+/// forcing `observe_membership` resets of the per-unit accumulators. The
+/// reset path must leave the incremental state bit-compatible with a
+/// rescan-mode controller seeing the same churn.
+#[test]
+fn incremental_matches_rescan_under_scheduler_churn() {
+    let mut base = ExperimentConfig::paper_default(73, 1);
+    base.sim.topology = Topology::new(2, 4, 2);
+    base.sim.scheduler = Some(SchedConfig::default_poisson(10, 200.0));
+    let inc_cfg = with_mode(&base, StatsMode::Incremental);
+    let res_cfg = with_mode(&base, StatsMode::Rescan);
+    let rng = RngStream::new(base.seed, "equiv-sched");
+    let mut inc = ClusterSim::with_scheduler(
+        inc_cfg.sim.clone(),
+        inc_cfg.build_manager(ManagerKind::Dps),
+        &rng,
+    );
+    let mut res = ClusterSim::with_scheduler(
+        res_cfg.sim.clone(),
+        res_cfg.build_manager(ManagerKind::Dps),
+        &rng,
+    );
+    let mut drained_at = None;
+    for step in 0..base.max_steps {
+        inc.cycle();
+        res.cycle();
+        assert_eq!(
+            inc.caps(),
+            res.caps(),
+            "scheduler churn: caps diverged at step {step}"
+        );
+        assert_eq!(
+            inc.occupied_units(),
+            res.occupied_units(),
+            "occupancy diverged at step {step}"
+        );
+        if inc.scheduler_drained() {
+            drained_at = Some(step);
+            break;
+        }
+    }
+    let drained_at = drained_at.expect("queue drained");
+    assert!(drained_at > 50, "trace too short to exercise churn");
+}

@@ -298,6 +298,59 @@ fn quarantine_and_readmission_preserve_budget_and_lower_bound() {
 }
 
 #[test]
+fn actuator_faults_during_readjustment_keep_caps_finite_and_budgeted() {
+    // Overlapping actuator faults (dropped writes on one hot unit, firmware
+    // clamping on another) while the whole hot cluster is contended — so the
+    // readjust/equalize machinery runs every cycle against readbacks the
+    // controller did not request. No cap, requested or applied, may ever go
+    // non-finite, and the requested sum must hold the budget throughout.
+    for guarded in [false, true] {
+        let mut cfg = ExperimentConfig::paper_default(31, 1);
+        cfg.sim.topology = Topology::new(2, 2, 2);
+        cfg.sim.sensor_faults = UnitFaultSchedule::new(vec![
+            UnitFaultEvent::actuator(0, 30.0, 170.0, ActuatorFault::DropWrites),
+            UnitFaultEvent::actuator(
+                1,
+                50.0,
+                150.0,
+                ActuatorFault::ClampWrites {
+                    floor: 80.0,
+                    ceil: 120.0,
+                },
+            ),
+        ]);
+        let budget = cfg.sim.total_budget();
+        let manager = if guarded {
+            guarded_dps(&cfg)
+        } else {
+            cfg.build_manager(ManagerKind::Dps)
+        };
+        let mut sim = ClusterSim::new(
+            cfg.sim.clone(),
+            vec![flat(400.0, 155.0), flat(400.0, 70.0)],
+            manager,
+            &RngStream::new(31, "actuator-readjust"),
+        );
+        for step in 0..300 {
+            sim.cycle();
+            let caps = sim.caps();
+            assert!(
+                caps.iter().all(|c| c.is_finite()),
+                "guarded={guarded}: non-finite requested cap at step {step}: {caps:?}"
+            );
+            assert!(
+                caps.iter().sum::<f64>() <= budget + 1e-6,
+                "guarded={guarded}: budget broken at step {step}"
+            );
+            assert!(
+                sim.applied_caps().iter().all(|c| c.is_finite()),
+                "guarded={guarded}: non-finite applied cap at step {step}"
+            );
+        }
+    }
+}
+
+#[test]
 fn dropped_cap_writes_bound_the_applied_overshoot() {
     // Unit 0's actuator silently drops every cap write mid-run. The caps in
     // force at the hardware can transiently exceed what the controller
