@@ -20,6 +20,7 @@ use crate::satisfaction::SatisfactionTracker;
 use dps_core::guard::HealthState;
 use dps_core::manager::PowerManager;
 use dps_ctrl::{CtrlStats, FramedConfig, FramedControlPlane};
+use dps_obs::{Event, FaultDomain, PhaseKind, SinkHandle};
 use dps_rapl::{DomainBank, DomainSpec, NoiseModel, PowerInterface, Topology, UnitFaultSchedule};
 use dps_sched::{JobRecord, JobScheduler, SchedConfig};
 use dps_sim_core::rng::RngStream;
@@ -249,6 +250,18 @@ pub struct ClusterSim {
     last_checkpoint: Option<Vec<u8>>,
     /// Scheduler-mode state; `None` in the classic pinned-workload mode.
     sched: Option<SchedState>,
+    /// Structured trace sink (`dps-obs`); no-op unless
+    /// [`ClusterSim::set_trace_sink`] was called.
+    sink: SinkHandle,
+    /// Control-plane counters at the end of the previous cycle, for
+    /// per-cycle [`Event::ControlPlaneDelta`] deltas.
+    prev_ctrl: CtrlStats,
+    /// Caps at the start of the cycle (trace scratch, for `caps_changed`).
+    trace_caps: Vec<Watts>,
+    /// Per-unit fault-window actives at the last sample (trace scratch,
+    /// for [`Event::FaultEdge`] edge detection): sensor then actuator.
+    fault_sensor: Vec<bool>,
+    fault_actuator: Vec<bool>,
 }
 
 impl ClusterSim {
@@ -336,6 +349,11 @@ impl ClusterSim {
             watchdog_every: None,
             last_checkpoint: None,
             sched: None,
+            sink: SinkHandle::noop(),
+            prev_ctrl: CtrlStats::default(),
+            trace_caps: Vec::new(),
+            fault_sensor: vec![false; n],
+            fault_actuator: vec![false; n],
             clock: SimClock::new(config.period),
             bank,
             jobs,
@@ -455,6 +473,36 @@ impl ClusterSim {
     /// Enables per-cycle logging (records every window from now on).
     pub fn enable_logging(&mut self) {
         self.log = CycleLog::enabled();
+    }
+
+    /// Attaches a structured trace sink (`dps-obs`) to the simulator and
+    /// its manager. The simulator emits the cycle envelope (cycle
+    /// start/end, fault edges, control-plane deltas, scheduler lifecycle
+    /// events, checkpoints); an instrumented manager emits its decision
+    /// events (cap deltas, priority flips, readjust outcomes, guard
+    /// transitions) through the same sink, so a single trace interleaves
+    /// both layers in order. Attach before the first [`ClusterSim::cycle`]
+    /// for a trace whose cycle indices start at 0; attaching mid-run is
+    /// allowed and starts the envelope at the current timestep (the
+    /// manager restarts its own counter at the next `assign_caps`).
+    pub fn set_trace_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink.clone();
+        self.manager.attach_trace(sink);
+        // Baseline the delta trackers at the attach point so the first
+        // traced cycle reports only what happens from here on.
+        self.prev_ctrl = self.control_plane_stats().unwrap_or_default();
+        let now = self.clock.now();
+        for u in 0..self.fault_sensor.len() {
+            let (s, a) = self.config.sensor_faults.active_kinds(u, now);
+            self.fault_sensor[u] = s;
+            self.fault_actuator[u] = a;
+        }
+    }
+
+    /// The attached trace sink (a no-op handle unless
+    /// [`ClusterSim::set_trace_sink`] was called).
+    pub fn trace_sink(&self) -> &SinkHandle {
+        &self.sink
     }
 
     /// The log collected so far.
@@ -602,6 +650,15 @@ impl ClusterSim {
             .as_ref()
             .ok_or_else(|| "no watchdog checkpoint to restore from".to_string())?;
         fresh.restore(snap)?;
+        // The replacement inherits the trace sink (its per-process trace
+        // cycle counter restarts at 0 — a restored controller is a new
+        // process, and the envelope's `ControllerRestored` marks the seam).
+        if self.sink.enabled() {
+            fresh.attach_trace(self.sink.clone());
+            self.sink.emit(Event::ControllerRestored {
+                cycle: self.clock.timestep(),
+            });
+        }
         self.manager = fresh;
         Ok(())
     }
@@ -665,6 +722,45 @@ impl ClusterSim {
         let topo = self.config.topology;
         let period = self.config.period;
         let idle = self.config.domain_spec.idle_power;
+
+        let tracing = self.sink.enabled();
+        let timing = tracing && self.sink.timing();
+        let t_cycle = timing.then(std::time::Instant::now);
+        let cycle = self.clock.timestep();
+        if tracing {
+            self.sink.emit(Event::CycleStart {
+                cycle,
+                time_s: self.clock.now(),
+            });
+            // Scripted fault windows opening or closing at this timestep.
+            if !self.config.sensor_faults.is_empty() {
+                let now = self.clock.now();
+                for u in 0..self.fault_sensor.len() {
+                    let (s, a) = self.config.sensor_faults.active_kinds(u, now);
+                    if s != self.fault_sensor[u] {
+                        self.fault_sensor[u] = s;
+                        self.sink.emit(Event::FaultEdge {
+                            cycle,
+                            unit: u as u32,
+                            domain: FaultDomain::Sensor,
+                            active: s,
+                        });
+                    }
+                    if a != self.fault_actuator[u] {
+                        self.fault_actuator[u] = a;
+                        self.sink.emit(Event::FaultEdge {
+                            cycle,
+                            unit: u as u32,
+                            domain: FaultDomain::Actuator,
+                            active: a,
+                        });
+                    }
+                }
+            }
+            // Caps entering the cycle, for the `caps_changed` churn count.
+            self.trace_caps.clear();
+            self.trace_caps.extend_from_slice(&self.caps);
+        }
 
         // (0) Scheduler phase (scheduler mode only). Taken out of `self`
         // for the duration of the cycle to keep the borrows disjoint.
@@ -766,6 +862,30 @@ impl ClusterSim {
         }
         self.manager.observe_applied(&self.applied);
 
+        // Frame accounting for this cycle (framed mode only): deltas of the
+        // cumulative control-plane counters, emitted only on activity.
+        if tracing {
+            if let Some(stats) = self.plane.as_ref().map(|p| p.stats()) {
+                let sent = stats.frames_sent - self.prev_ctrl.frames_sent;
+                let delivered = stats.frames_delivered - self.prev_ctrl.frames_delivered;
+                let lost = (stats.frames_dropped + stats.frames_blocked + stats.frames_corrupted)
+                    - (self.prev_ctrl.frames_dropped
+                        + self.prev_ctrl.frames_blocked
+                        + self.prev_ctrl.frames_corrupted);
+                let retries = stats.retries - self.prev_ctrl.retries;
+                if sent | delivered | lost | retries != 0 {
+                    self.sink.emit(Event::ControlPlaneDelta {
+                        cycle,
+                        sent,
+                        delivered,
+                        dropped: lost,
+                        retries,
+                    });
+                }
+                self.prev_ctrl = stats;
+            }
+        }
+
         // (6) Jobs advance at the pace of their slowest socket: Spark
         // stages and NPB iterations are barrier-synchronised, so a single
         // starved socket stalls the whole job. This is the straggler effect
@@ -858,6 +978,11 @@ impl ClusterSim {
             Some(st) => (st.scheduler.queue_depth(), st.scheduler.take_events()),
             None => (0, Vec::new()),
         };
+        if tracing {
+            for ev in &events {
+                self.sink.emit(ev.to_trace(cycle));
+            }
+        }
         if self.log.is_enabled() {
             self.log.push(CycleRecord {
                 time: self.clock.now(),
@@ -881,9 +1006,40 @@ impl ClusterSim {
                 // Reuse the previous snapshot's allocation; a manager without
                 // checkpoint support leaves the old snapshot (if any) in place.
                 let mut buf = self.last_checkpoint.take().unwrap_or_default();
-                if self.manager.checkpoint_into(&mut buf) || !buf.is_empty() {
+                if self.manager.checkpoint_into(&mut buf) {
+                    if tracing {
+                        self.sink.emit(Event::CheckpointTaken {
+                            cycle,
+                            bytes: buf.len() as u64,
+                        });
+                    }
+                    self.last_checkpoint = Some(buf);
+                } else if !buf.is_empty() {
                     self.last_checkpoint = Some(buf);
                 }
+            }
+        }
+
+        if tracing {
+            let slack = self.manager.total_budget() - self.caps.iter().sum::<f64>();
+            let caps_changed = self
+                .caps
+                .iter()
+                .zip(&self.trace_caps)
+                .filter(|(now, before)| now.to_bits() != before.to_bits())
+                .count() as u32;
+            self.sink.emit(Event::CycleEnd {
+                cycle,
+                budget_slack_w: slack,
+                caps_changed,
+                queue_depth: queue_depth as u32,
+            });
+            if let (true, Some(t0)) = (timing, t_cycle) {
+                self.sink.emit(Event::PhaseEnd {
+                    cycle,
+                    phase: PhaseKind::SimCycle,
+                    nanos: t0.elapsed().as_nanos() as u64,
+                });
             }
         }
 
@@ -1286,5 +1442,189 @@ mod tests {
         let err = sim.crash_and_restore(guarded_dps(&cfg, &rng)).unwrap_err();
         assert!(err.contains("no watchdog checkpoint"), "{err}");
         sim.cycle(); // still functional
+    }
+
+    // ---- structured trace (dps-obs) wiring ----
+
+    #[test]
+    fn trace_envelope_brackets_every_cycle() {
+        let mut cfg = small_config();
+        cfg.sensor_faults = UnitFaultSchedule::new(vec![UnitFaultEvent::sensor(
+            0,
+            5.0,
+            15.0,
+            SensorFault::Dropout,
+        )]);
+        let rng = RngStream::new(41, "trace-sim");
+        // Asymmetric demand so DPS actually moves caps (a uniformly hot
+        // cluster equalizes at the constant cap and produces no deltas).
+        let mut sim = ClusterSim::new(
+            cfg.clone(),
+            vec![flat(200.0, 160.0), flat(200.0, 30.0)],
+            guarded_dps(&cfg, &rng),
+            &rng,
+        );
+        sim.enable_watchdog(8);
+        let sink = SinkHandle::recording(4096);
+        sim.set_trace_sink(sink.clone());
+        for _ in 0..30 {
+            sim.cycle();
+        }
+
+        let bytes = sink.export().expect("recording sink exports");
+        let decoded = dps_obs::codec::decode(&bytes).expect("trace decodes");
+        assert_eq!(decoded.dropped, 0);
+
+        let mut starts = 0u64;
+        let mut ends = 0u64;
+        let mut fault_edges = Vec::new();
+        let mut checkpoints = 0u64;
+        let mut open = false;
+        for ev in &decoded.events {
+            match *ev {
+                Event::CycleStart { cycle, time_s } => {
+                    assert!(!open, "nested CycleStart at cycle {cycle}");
+                    assert_eq!(cycle, starts, "cycle indices are dense");
+                    assert!((time_s - cycle as f64).abs() < 1e-9, "1 s period");
+                    open = true;
+                    starts += 1;
+                }
+                Event::CycleEnd {
+                    cycle,
+                    budget_slack_w,
+                    queue_depth,
+                    ..
+                } => {
+                    assert!(open, "CycleEnd without CycleStart");
+                    assert_eq!(cycle, ends);
+                    assert!(budget_slack_w > -1e-6, "budget overrun in trace");
+                    assert_eq!(queue_depth, 0, "pinned mode has no queue");
+                    open = false;
+                    ends += 1;
+                }
+                Event::FaultEdge {
+                    cycle,
+                    unit,
+                    domain,
+                    active,
+                } => {
+                    assert_eq!(unit, 0);
+                    assert_eq!(domain, FaultDomain::Sensor);
+                    fault_edges.push((cycle, active));
+                }
+                Event::CheckpointTaken { bytes, .. } => {
+                    assert!(bytes > 0, "checkpoint blob is never empty");
+                    checkpoints += 1;
+                }
+                Event::PhaseEnd { .. } => {
+                    panic!("timing spans must stay off without with_timing()")
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(starts, 30);
+        assert_eq!(ends, 30);
+        // The [5, 15) s window opens at the cycle sampled at t=5 and closes
+        // at the one sampled at t=15 (1 s period → cycles 5 and 15).
+        assert_eq!(fault_edges, vec![(5, true), (15, false)]);
+        // Watchdog every 8 cycles → snapshots at timesteps 7, 15, 23.
+        assert_eq!(checkpoints, 3);
+        let reg = sink.as_ring().unwrap().registry();
+        assert_eq!(reg.checkpoints(), 3);
+        assert_eq!(reg.fault_edges(), 2);
+        assert!(reg.cap_deltas() > 0, "DPS moved caps under load");
+    }
+
+    #[test]
+    fn trace_sink_does_not_perturb_the_simulation() {
+        let cfg = small_config();
+        let rng = RngStream::new(42, "trace-twin");
+        let programs = || vec![flat(120.0, 160.0), flat(120.0, 60.0)];
+        let mut traced = ClusterSim::new(cfg.clone(), programs(), guarded_dps(&cfg, &rng), &rng);
+        let mut plain = ClusterSim::new(cfg.clone(), programs(), guarded_dps(&cfg, &rng), &rng);
+        traced.set_trace_sink(SinkHandle::recording(8192));
+        for _ in 0..60 {
+            traced.cycle();
+            plain.cycle();
+            assert_eq!(traced.caps(), plain.caps(), "t={}", plain.timestep());
+        }
+        assert_eq!(traced.satisfaction(0), plain.satisfaction(0));
+    }
+
+    #[test]
+    fn scheduler_mode_traces_job_lifecycle() {
+        let mut cfg = SimConfig {
+            topology: Topology::new(2, 4, 2),
+            noise: NoiseModel::None,
+            ..SimConfig::paper_default()
+        };
+        cfg.scheduler = Some(SchedConfig::default_poisson(6, 100.0));
+        let rng = RngStream::new(43, "trace-sched");
+        let mut sim = ClusterSim::with_scheduler(cfg.clone(), guarded_dps(&cfg, &rng), &rng);
+        let sink = SinkHandle::recording(1 << 16);
+        sim.set_trace_sink(sink.clone());
+        for _ in 0..4000 {
+            sim.cycle();
+            if sim.scheduler_drained() {
+                break;
+            }
+        }
+        assert!(sim.scheduler_drained(), "queue failed to drain");
+        let reg = sink.as_ring().unwrap().registry();
+        assert_eq!(reg.sched_arrivals(), 6);
+        assert_eq!(reg.sched_starts(), 6);
+        assert_eq!(
+            reg.sched_finishes() + reg.sched_evictions(),
+            6,
+            "every job retires"
+        );
+        assert!(
+            reg.membership_flips() > 0,
+            "job churn must reach the manager's membership trace"
+        );
+    }
+
+    #[test]
+    fn crash_restore_is_marked_in_the_trace() {
+        let cfg = small_config();
+        let rng = RngStream::new(44, "trace-crash");
+        let mut sim = ClusterSim::new(
+            cfg.clone(),
+            vec![flat(300.0, 160.0), flat(300.0, 140.0)],
+            guarded_dps(&cfg, &rng),
+            &rng,
+        );
+        sim.enable_watchdog(1);
+        let sink = SinkHandle::recording(1 << 14);
+        sim.set_trace_sink(sink.clone());
+        for _ in 0..10 {
+            sim.cycle();
+        }
+        sim.crash_and_restore(guarded_dps(&cfg, &rng))
+            .expect("restore from snapshot");
+        for _ in 0..10 {
+            sim.cycle();
+        }
+        let reg = sink.as_ring().unwrap().registry();
+        assert_eq!(reg.controller_restores(), 1);
+        let events = sink.as_ring().unwrap().ring().snapshot();
+        let marker = events
+            .iter()
+            .position(|e| matches!(e, Event::ControllerRestored { .. }))
+            .expect("restore marker present");
+        assert!(
+            matches!(events[marker], Event::ControllerRestored { cycle: 10 }),
+            "marker carries the crash timestep"
+        );
+        // The envelope keeps counting across the seam (sim-owned indices).
+        let last_end = events
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                Event::CycleEnd { cycle, .. } => Some(*cycle),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(last_end, 19);
     }
 }

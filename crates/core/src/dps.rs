@@ -22,8 +22,9 @@ use crate::guard::{GuardConfig, GuardStats, HealthState, TelemetryGuard};
 use crate::history::UnitState;
 use crate::manager::{constant_cap, ManagerKind, PowerManager, UnitLimits};
 use crate::priority::classify_unit;
-use crate::readjust::{readjust, restore, ReadjustScratch};
+use crate::readjust::{readjust, restore, ReadjustOutcome, ReadjustScratch};
 use crate::stateless::MimdModule;
+use dps_obs::{Event, PhaseKind, ReadjustKind, SinkHandle};
 use dps_sim_core::ring::RingBuffer;
 use dps_sim_core::rng::{RngStream, RngStreamState};
 use dps_sim_core::units::{Seconds, Watts};
@@ -81,6 +82,20 @@ pub struct DpsManager {
     scratch_readjust: ReadjustScratch,
     /// Indices of caps repaired by the non-finite-cap guard this cycle.
     scratch_repaired: Vec<usize>,
+    /// Observability sink (`dps-obs`); the default no-op sink costs one
+    /// predictable branch per cycle.
+    sink: SinkHandle,
+    /// Decision cycles since the sink was attached. Deliberately not
+    /// checkpointed: a trace describes a controller process lifetime, so a
+    /// restored-after-crash controller starts a fresh cycle count.
+    trace_cycle: u64,
+    /// Pre-decision cap snapshot for trace diffing (tracing only).
+    scratch_trace_caps: Vec<Watts>,
+    /// Pre-decision priority snapshot for trace diffing (tracing only).
+    scratch_trace_prio: Vec<bool>,
+    /// Last guard health emitted per unit, so transitions surface exactly
+    /// once even when they happen between cycles (tracing only).
+    scratch_trace_health: Vec<HealthState>,
 }
 
 impl DpsManager {
@@ -117,6 +132,11 @@ impl DpsManager {
             scratch_measured: Vec::with_capacity(num_units),
             scratch_readjust: ReadjustScratch::default(),
             scratch_repaired: Vec::new(),
+            sink: SinkHandle::noop(),
+            trace_cycle: 0,
+            scratch_trace_caps: Vec::new(),
+            scratch_trace_prio: Vec::new(),
+            scratch_trace_health: Vec::new(),
         }
     }
 
@@ -240,6 +260,46 @@ impl DpsManager {
                 });
             }
         });
+    }
+
+    /// End-of-cycle trace diffs: guard health transitions since the last
+    /// emission (catching flips that happened between cycles, e.g. from
+    /// write verification in [`PowerManager::observe_applied`]) and one
+    /// [`Event::CapDelta`] per unit whose cap left the cycle different from
+    /// the post-repair baseline. Only called while tracing.
+    fn emit_cycle_diffs(&mut self, caps: &[Watts]) {
+        if let Some(g) = self.guard.as_ref() {
+            let health = g.health();
+            if self.scratch_trace_health.len() != health.len() {
+                self.scratch_trace_health.clear();
+                self.scratch_trace_health
+                    .resize(health.len(), HealthState::Healthy);
+            }
+            for (u, (&now, was)) in health
+                .iter()
+                .zip(self.scratch_trace_health.iter_mut())
+                .enumerate()
+            {
+                if now != *was {
+                    self.sink.emit(Event::GuardHealth {
+                        cycle: self.trace_cycle,
+                        unit: u as u32,
+                        state: health_kind(now),
+                    });
+                    *was = now;
+                }
+            }
+        }
+        for (u, (&to_w, &from_w)) in caps.iter().zip(&self.scratch_trace_caps).enumerate() {
+            if to_w.to_bits() != from_w.to_bits() {
+                self.sink.emit(Event::CapDelta {
+                    cycle: self.trace_cycle,
+                    unit: u as u32,
+                    from_w,
+                    to_w,
+                });
+            }
+        }
     }
 
     /// Serializes every piece of dynamic state (see [`crate::checkpoint`]).
@@ -424,6 +484,16 @@ impl DpsManager {
     }
 }
 
+/// Maps the guard's health state onto the trace vocabulary.
+fn health_kind(h: HealthState) -> dps_obs::HealthKind {
+    match h {
+        HealthState::Healthy => dps_obs::HealthKind::Healthy,
+        HealthState::Suspect => dps_obs::HealthKind::Suspect,
+        HealthState::Quarantined => dps_obs::HealthKind::Quarantined,
+        HealthState::Probation => dps_obs::HealthKind::Probation,
+    }
+}
+
 impl PowerManager for DpsManager {
     fn kind(&self) -> ManagerKind {
         ManagerKind::Dps
@@ -443,6 +513,11 @@ impl PowerManager for DpsManager {
             self.states.len(),
             "one measurement per unit"
         );
+        // Hoist the sink checks so an unattached (no-op) sink costs two
+        // virtual calls per cycle, not per emission point.
+        let tracing = self.sink.enabled();
+        let timing = tracing && self.sink.timing();
+        let t_assign = timing.then(std::time::Instant::now);
 
         // (0a) Repair non-finite caps before any module consumes them: a
         // faulted actuator path can hand back NaN/∞ readbacks as the caps
@@ -461,6 +536,21 @@ impl PowerManager for DpsManager {
         if !self.scratch_repaired.is_empty() {
             enforce_budget(caps, self.total_budget, self.limits);
         }
+        if tracing {
+            for &u in &self.scratch_repaired {
+                self.sink.emit(Event::CapRepair {
+                    cycle: self.trace_cycle,
+                    unit: u as u32,
+                });
+            }
+            // Diff baselines are the post-repair caps (always finite) and
+            // the previous cycle's priorities.
+            self.scratch_trace_caps.clear();
+            self.scratch_trace_caps.extend_from_slice(caps);
+            self.scratch_trace_prio.clear();
+            self.scratch_trace_prio
+                .extend_from_slice(&self.priority_flags);
+        }
 
         // (0b) Telemetry guard: gate the raw measurements and advance the
         // per-unit health machines. The rest of the pipeline sees only the
@@ -476,10 +566,18 @@ impl PowerManager for DpsManager {
 
         // (1) Stateless temporary allocation on raw current power (Fig. 3:
         // the stateless module takes in current power directly).
+        let t_phase = timing.then(std::time::Instant::now);
         let mut changed = std::mem::take(&mut self.changed);
         self.mimd.apply(measured, caps, &mut changed, &mut self.rng);
         for &u in &self.scratch_repaired {
             changed[u] = true;
+        }
+        if let Some(t0) = t_phase {
+            self.sink.emit(Event::PhaseEnd {
+                cycle: self.trace_cycle,
+                phase: PhaseKind::Mimd,
+                nanos: t0.elapsed().as_nanos() as u64,
+            });
         }
 
         // (2)+(3) Kalman-filtered estimates extend each unit's power
@@ -489,6 +587,7 @@ impl PowerManager for DpsManager {
         // units are independent here — which also makes this the phase that
         // runs on worker threads at scale (`parallel` feature). Isolated
         // units then surrender their priority so readjust never feeds them.
+        let t_phase = timing.then(std::time::Instant::now);
         self.observe_and_classify(measured, caps, dt);
         if let Some(g) = self.guard.as_ref() {
             for (u, state) in self.states.iter_mut().enumerate() {
@@ -500,11 +599,35 @@ impl PowerManager for DpsManager {
         for (flag, state) in self.priority_flags.iter_mut().zip(&self.states) {
             *flag = state.priority;
         }
+        if let Some(t0) = t_phase {
+            self.sink.emit(Event::PhaseEnd {
+                cycle: self.trace_cycle,
+                phase: PhaseKind::ObserveClassify,
+                nanos: t0.elapsed().as_nanos() as u64,
+            });
+        }
+        if tracing {
+            for (u, (&now, &was)) in self
+                .priority_flags
+                .iter()
+                .zip(&self.scratch_trace_prio)
+                .enumerate()
+            {
+                if now != was {
+                    self.sink.emit(Event::PriorityFlip {
+                        cycle: self.trace_cycle,
+                        unit: u as u32,
+                        high: now,
+                    });
+                }
+            }
+        }
         if let Some(g) = self.guard.as_mut() {
             g.pin_caps(caps, &mut changed);
         }
 
         // (4) Restore, then readjust.
+        let t_phase = timing.then(std::time::Instant::now);
         self.last_restored = restore(
             measured,
             caps,
@@ -512,7 +635,7 @@ impl PowerManager for DpsManager {
             self.initial_cap,
             self.config.restore_threshold,
         );
-        readjust(
+        let outcome = readjust(
             caps,
             &mut changed,
             &self.priority_flags,
@@ -522,12 +645,51 @@ impl PowerManager for DpsManager {
             self.config.equalize_slack * self.total_budget,
             &mut self.scratch_readjust,
         );
+        if let Some(t0) = t_phase {
+            self.sink.emit(Event::PhaseEnd {
+                cycle: self.trace_cycle,
+                phase: PhaseKind::Readjust,
+                nanos: t0.elapsed().as_nanos() as u64,
+            });
+        }
+        if tracing {
+            if self.last_restored {
+                self.sink.emit(Event::Restored {
+                    cycle: self.trace_cycle,
+                });
+            }
+            match outcome {
+                ReadjustOutcome::Distributed { spent } => self.sink.emit(Event::Readjusted {
+                    cycle: self.trace_cycle,
+                    kind: ReadjustKind::Distributed,
+                    watts: spent,
+                }),
+                ReadjustOutcome::Equalized { at } => self.sink.emit(Event::Readjusted {
+                    cycle: self.trace_cycle,
+                    kind: ReadjustKind::Equalized,
+                    watts: at,
+                }),
+                ReadjustOutcome::Skipped | ReadjustOutcome::NoHighPriority => {}
+            }
+        }
 
         // (5) Believed-cap budget enforcement and request bookkeeping for
         // the next write verification.
         if let Some(g) = self.guard.as_mut() {
             g.finish_cycle(caps, &mut changed);
         }
+
+        if tracing {
+            self.emit_cycle_diffs(caps);
+            if let Some(t0) = t_assign {
+                self.sink.emit(Event::PhaseEnd {
+                    cycle: self.trace_cycle,
+                    phase: PhaseKind::Assign,
+                    nanos: t0.elapsed().as_nanos() as u64,
+                });
+            }
+        }
+        self.trace_cycle += 1;
 
         self.changed = changed;
         self.scratch_measured = scratch;
@@ -544,6 +706,7 @@ impl PowerManager for DpsManager {
             self.states.len(),
             "membership mask must cover every unit"
         );
+        let tracing = self.sink.enabled();
         for (u, (&now, was)) in active.iter().zip(self.active.iter_mut()).enumerate() {
             if now == *was {
                 continue;
@@ -558,6 +721,15 @@ impl PowerManager for DpsManager {
                 g.reset_unit(u);
             }
             *was = now;
+            if tracing {
+                // Attributed to the upcoming cycle: membership lands before
+                // the cycle's assign_caps.
+                self.sink.emit(Event::MembershipFlip {
+                    cycle: self.trace_cycle,
+                    unit: u as u32,
+                    active: now,
+                });
+            }
         }
     }
 
@@ -588,6 +760,12 @@ impl PowerManager for DpsManager {
         self.read_snapshot(snapshot)
     }
 
+    fn attach_trace(&mut self, sink: SinkHandle) {
+        self.sink = sink;
+        self.trace_cycle = 0;
+        self.scratch_trace_health.clear();
+    }
+
     fn reset(&mut self) {
         for s in &mut self.states {
             s.reset();
@@ -598,6 +776,8 @@ impl PowerManager for DpsManager {
         self.priority_flags.fill(false);
         self.active.fill(true);
         self.last_restored = false;
+        self.trace_cycle = 0;
+        self.scratch_trace_health.clear();
         if let Some(g) = self.guard.as_mut() {
             g.reset();
         }
@@ -1123,6 +1303,86 @@ mod tests {
             assert_eq!(caps_seq, caps_par, "parallel phase diverged at cycle {t}");
             assert_eq!(seq.priorities(), par.priorities());
         }
+    }
+
+    #[test]
+    fn trace_sink_records_decision_events() {
+        let mut m = dps_guarded(2, 220.0);
+        let sink = SinkHandle::recording(4096);
+        m.attach_trace(sink.clone());
+        let mut caps = vec![110.0; 2];
+        // Warm up, poison unit 0's sensor into quarantine, then churn it.
+        for t in 0..8 {
+            m.assign_caps(&[wiggly(t, 0, 130.0).min(caps[0]), 20.0], &mut caps, 1.0);
+        }
+        for t in 8..14 {
+            m.assign_caps(&[f64::NAN, wiggly(t, 1, 90.0)], &mut caps, 1.0);
+        }
+        caps[1] = f64::NAN; // actuator-mangled readback → CapRepair
+        m.assign_caps(&[30.0, 30.0], &mut caps, 1.0);
+        m.observe_membership(&[true, false]);
+
+        let reg = sink.as_ring().unwrap().registry();
+        assert!(reg.cap_deltas() > 0, "cap churn must be traced");
+        assert!(reg.priority_flips() > 0, "unit 0 ramped → flip");
+        assert!(reg.quarantines() >= 1, "sensor dropout → quarantine event");
+        assert_eq!(reg.cap_repairs(), 1);
+        assert_eq!(reg.membership_flips(), 1);
+        assert!(reg.restores() > 0, "quiet tail restores");
+        // Timing spans stay off by default (golden-trace determinism).
+        let trace = dps_obs::codec::decode(&sink.export().unwrap()).unwrap();
+        assert!(trace
+            .events
+            .iter()
+            .all(|e| !matches!(e, Event::PhaseEnd { .. })));
+        // Cycle indices are monotonically non-decreasing.
+        assert!(trace
+            .events
+            .windows(2)
+            .all(|w| w[0].cycle() <= w[1].cycle()));
+    }
+
+    #[test]
+    fn trace_emission_does_not_perturb_decisions() {
+        // A traced manager and an untraced twin must produce bit-identical
+        // caps — observation is read-only.
+        let mut a = dps(3, 330.0);
+        let mut b = dps(3, 330.0);
+        b.attach_trace(SinkHandle::recording(1 << 14));
+        let mut caps_a = vec![110.0; 3];
+        let mut caps_b = vec![110.0; 3];
+        for t in 0..80 {
+            let z = [
+                wiggly(t, 0, 140.0).min(caps_a[0]),
+                wiggly(t, 1, 60.0),
+                wiggly(t, 2, 100.0).min(caps_a[2]),
+            ];
+            a.assign_caps(&z, &mut caps_a, 1.0);
+            b.assign_caps(&z, &mut caps_b, 1.0);
+            assert_eq!(caps_a, caps_b, "cycle {t}");
+        }
+    }
+
+    #[test]
+    fn timing_sink_emits_phase_spans() {
+        let mut m = dps(2, 220.0);
+        let sink = SinkHandle::new(std::rc::Rc::new(dps_obs::RingSink::new(1024).with_timing()));
+        m.attach_trace(sink.clone());
+        let mut caps = vec![110.0; 2];
+        m.assign_caps(&[100.0, 50.0], &mut caps, 1.0);
+        let trace = dps_obs::codec::decode(&sink.export().unwrap()).unwrap();
+        let phases: Vec<PhaseKind> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::PhaseEnd { phase, .. } => Some(*phase),
+                _ => None,
+            })
+            .collect();
+        assert!(phases.contains(&PhaseKind::Mimd));
+        assert!(phases.contains(&PhaseKind::ObserveClassify));
+        assert!(phases.contains(&PhaseKind::Readjust));
+        assert!(phases.contains(&PhaseKind::Assign));
     }
 
     #[test]

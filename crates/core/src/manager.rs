@@ -183,6 +183,13 @@ pub trait PowerManager {
         Err("this manager does not support checkpoint/restore".into())
     }
 
+    /// Attaches a structured trace sink (`dps-obs`): instrumented managers
+    /// emit their per-cycle decision events (cap deltas, priority flips,
+    /// restore/readjust outcomes, guard transitions, ...) through it.
+    /// Default no-op for uninstrumented managers. Attaching resets the
+    /// manager's trace cycle counter to the next `assign_caps` call.
+    fn attach_trace(&mut self, _sink: dps_obs::SinkHandle) {}
+
     /// Resets all internal state (between repetitions).
     fn reset(&mut self);
 }

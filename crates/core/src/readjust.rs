@@ -59,6 +59,26 @@ pub fn restore(
     true
 }
 
+/// How one [`readjust`] pass resolved — the per-cycle decision record the
+/// observability layer traces (`dps-obs`'s `Readjusted` event).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReadjustOutcome {
+    /// Alg. 3 restored this cycle, so Alg. 4 never ran (line 3).
+    Skipped,
+    /// No unit is high priority; there is nothing to feed.
+    NoHighPriority,
+    /// Leftover budget was distributed to the high-priority units.
+    Distributed {
+        /// Watts of leftover budget spent.
+        spent: Watts,
+    },
+    /// High-priority caps were equalized at their (clamped) mean.
+    Equalized {
+        /// The cap every high-priority unit now holds.
+        at: Watts,
+    },
+}
+
 /// Alg. 4: spends leftover budget on high-priority units (weights ∝ 1/cap)
 /// or, when what is left is negligible (below `equalize_below` Watts),
 /// equalizes the high-priority caps at their mean.
@@ -74,9 +94,9 @@ pub fn readjust(
     restored: bool,
     equalize_below: Watts,
     scratch: &mut ReadjustScratch,
-) {
+) -> ReadjustOutcome {
     if restored {
-        return;
+        return ReadjustOutcome::Skipped;
     }
     // Non-finite caps would poison the budget sums and the 1/cap weights
     // below; the manager repairs them before any module runs (see
@@ -94,10 +114,11 @@ pub fn readjust(
     high.clear();
     high.extend((0..caps.len()).filter(|&u| priorities[u]));
     if high.is_empty() {
-        return;
+        return ReadjustOutcome::NoHighPriority;
     }
 
     let avail = total_budget - caps.iter().sum::<f64>();
+    let outcome;
     if avail > equalize_below.max(BUDGET_EPSILON) {
         // Lower-capped units weighted heavier: weight ∝ 1/cap (caps have a
         // positive floor at min_cap so the weights are finite).
@@ -111,6 +132,7 @@ pub fn readjust(
                 changed[u] = true;
             }
         }
+        outcome = ReadjustOutcome::Distributed { spent: avail };
     } else {
         // Equalize all high-priority caps at their mean (Alg. 4 l.19-29).
         let budget_high: f64 = high.iter().map(|&u| caps[u]).sum();
@@ -121,8 +143,10 @@ pub fn readjust(
                 changed[u] = true;
             }
         }
+        outcome = ReadjustOutcome::Equalized { at: equal };
     }
     debug_assert_budget(caps, total_budget, limits);
+    outcome
 }
 
 #[cfg(test)]
@@ -359,7 +383,7 @@ mod tests {
     fn no_high_priority_units_noop() {
         let mut caps = [80.0, 90.0];
         let mut changed = [false; 2];
-        readjust(
+        let outcome = readjust(
             &mut caps,
             &mut changed,
             &[false, false],
@@ -370,5 +394,59 @@ mod tests {
             &mut ReadjustScratch::default(),
         );
         assert_eq!(caps, [80.0, 90.0]);
+        assert_eq!(outcome, ReadjustOutcome::NoHighPriority);
+    }
+
+    #[test]
+    fn outcome_reports_each_branch() {
+        let mut scratch = ReadjustScratch::default();
+        // Restored → skipped.
+        let mut caps = [110.0, 110.0];
+        let mut changed = [false; 2];
+        assert_eq!(
+            readjust(
+                &mut caps,
+                &mut changed,
+                &[true, true],
+                220.0,
+                LIMITS,
+                true,
+                0.0,
+                &mut scratch,
+            ),
+            ReadjustOutcome::Skipped
+        );
+        // Leftover → distributed, reporting the Watts spent.
+        let mut caps = [110.0, 80.0, 60.0];
+        let mut changed = [false; 3];
+        assert_eq!(
+            readjust(
+                &mut caps,
+                &mut changed,
+                &[false, true, false],
+                330.0,
+                LIMITS,
+                false,
+                0.0,
+                &mut scratch,
+            ),
+            ReadjustOutcome::Distributed { spent: 80.0 }
+        );
+        // Exhausted → equalized, reporting the common cap.
+        let mut caps = [150.0, 70.0, 110.0];
+        let mut changed = [false; 3];
+        assert_eq!(
+            readjust(
+                &mut caps,
+                &mut changed,
+                &[true, true, false],
+                330.0,
+                LIMITS,
+                false,
+                0.0,
+                &mut scratch,
+            ),
+            ReadjustOutcome::Equalized { at: 110.0 }
+        );
     }
 }

@@ -1,0 +1,143 @@
+//! Inspect, export, record, and diff `dps-obs` binary traces.
+//!
+//! ```text
+//! trace_inspect summary <trace>            counters + histograms + cycle span
+//! trace_inspect jsonl   <trace>            decode to JSONL on stdout
+//! trace_inspect diff    <a> <b>            event-level comparison, exit 1 on drift
+//! trace_inspect record  <scenario> <out>   re-record a pinned golden scenario
+//! ```
+//!
+//! Scenarios are the pinned golden runs of
+//! [`dps_experiments::scenarios::GoldenScenario`] (`paper_default`,
+//! `sensor_fault`, `scheduler_churn`). `record` writes exactly the bytes
+//! `tests/golden_trace.rs` expects, so a reviewed behaviour change is
+//! regenerated with:
+//!
+//! ```text
+//! cargo run --release --bin trace_inspect record sensor_fault tests/golden/sensor_fault.trace
+//! ```
+//!
+//! `diff` is what to reach for when the golden test fails: it prints the
+//! first diverging event with its neighbourhood on both sides instead of a
+//! useless binary blob mismatch.
+
+use dps_experiments::scenarios::GoldenScenario;
+use dps_obs::codec::{decode, to_jsonl, Trace};
+use dps_obs::{Event, ObsRegistry};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  trace_inspect summary <trace>\n  trace_inspect jsonl <trace>\n  \
+         trace_inspect diff <a> <b>\n  trace_inspect record <scenario> <out>\n\
+         scenarios: {}",
+        GoldenScenario::ALL
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    decode(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cycle_span(events: &[Event]) -> Option<(u64, u64)> {
+    let mut cycles = events.iter().map(|e| e.cycle());
+    let first = cycles.next()?;
+    let (lo, hi) = cycles.fold((first, first), |(lo, hi), c| (lo.min(c), hi.max(c)));
+    Some((lo, hi))
+}
+
+fn summary(path: &str) -> Result<(), String> {
+    let trace = load(path)?;
+    println!("{path}");
+    println!("  events                 {}", trace.events.len());
+    println!("  dropped                {}", trace.dropped);
+    if let Some((lo, hi)) = cycle_span(&trace.events) {
+        println!("  cycles                 {lo}..={hi}");
+    }
+    let registry = ObsRegistry::from_events(&trace.events);
+    print!("{}", registry.render(trace.dropped));
+    Ok(())
+}
+
+fn jsonl(path: &str) -> Result<(), String> {
+    let trace = load(path)?;
+    print!("{}", to_jsonl(&trace));
+    Ok(())
+}
+
+fn diff(path_a: &str, path_b: &str) -> Result<bool, String> {
+    let a = load(path_a)?;
+    let b = load(path_b)?;
+    if a.events == b.events && a.dropped == b.dropped {
+        println!(
+            "identical: {} events, {} dropped",
+            a.events.len(),
+            a.dropped
+        );
+        return Ok(true);
+    }
+    if a.dropped != b.dropped {
+        println!("dropped: {} vs {}", a.dropped, b.dropped);
+    }
+    if a.events.len() != b.events.len() {
+        println!("events: {} vs {}", a.events.len(), b.events.len());
+    }
+    if let Some(at) = (0..a.events.len().min(b.events.len()))
+        .find(|&i| a.events[i] != b.events[i])
+        .or_else(|| (a.events.len() != b.events.len()).then(|| a.events.len().min(b.events.len())))
+    {
+        println!("first divergence at event {at}:");
+        let lo = at.saturating_sub(2);
+        for (label, trace) in [(path_a, &a), (path_b, &b)] {
+            println!("  {label}:");
+            for i in lo..(at + 3).min(trace.events.len()) {
+                let marker = if i == at { ">" } else { " " };
+                println!("  {marker} [{i}] {:?}", trace.events[i]);
+            }
+            if trace.events.len() <= at {
+                println!("  > [{at}] <end of trace>");
+            }
+        }
+    }
+    Ok(false)
+}
+
+fn record(name: &str, out: &str) -> Result<(), String> {
+    let scenario = GoldenScenario::from_name(name)
+        .ok_or_else(|| format!("unknown scenario {name:?} (see usage)"))?;
+    let bytes = scenario.record();
+    let trace = decode(&bytes).expect("fresh recording decodes");
+    std::fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "{out}: {} bytes, {} events, {} dropped",
+        bytes.len(),
+        trace.events.len(),
+        trace.dropped
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let result = match args.get(1).map(String::as_str) {
+        Some("summary") if args.len() == 3 => summary(&args[2]).map(|()| true),
+        Some("jsonl") if args.len() == 3 => jsonl(&args[2]).map(|()| true),
+        Some("diff") if args.len() == 4 => diff(&args[2], &args[3]),
+        Some("record") if args.len() == 4 => record(&args[2], &args[3]).map(|()| true),
+        _ => return usage(),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("trace_inspect: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

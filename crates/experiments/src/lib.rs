@@ -85,6 +85,8 @@ pub fn threads_from_env() -> usize {
         .max(1)
 }
 
+pub mod scenarios;
+
 /// The three pair grids of §5.2.
 pub mod grids {
     use super::*;

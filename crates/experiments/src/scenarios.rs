@@ -1,0 +1,319 @@
+//! Pinned-seed golden-trace scenarios.
+//!
+//! Each scenario builds a fully deterministic end-to-end run (fixed seed,
+//! fixed topology, fixed workloads), attaches a recording [`SinkHandle`],
+//! and returns the encoded `dps-obs` binary trace. The committed traces
+//! under `tests/golden/` are these scenarios' output; `tests/golden_trace.rs`
+//! re-records them on every test run and compares byte for byte, which
+//! turns any behavioural drift in the decision loop — however small — into
+//! a test failure with an event-level diff (`trace_inspect diff`).
+//!
+//! The same builders back the `trace_inspect record` subcommand, so a human
+//! can regenerate or inspect the exact scenario a failing test ran.
+//!
+//! Determinism ground rules baked into these runs:
+//!
+//! * seeds are pinned per scenario and never derived from ambient state;
+//! * sinks record without timing spans ([`dps_obs::RingSink::new`]), so no
+//!   wall-clock nanoseconds enter the byte stream;
+//! * ring capacity is sized so no scenario ever drops an event — a change
+//!   that suddenly overflows the ring is itself a regression worth seeing.
+
+use dps_cluster::{ClusterSim, SimConfig};
+use dps_core::manager::{PowerManager, UnitLimits};
+use dps_core::{DpsConfig, DpsManager, GuardConfig};
+use dps_obs::SinkHandle;
+use dps_rapl::{
+    ActuatorFault, NoiseModel, SensorFault, Topology, UnitFaultEvent, UnitFaultSchedule,
+};
+use dps_sched::{ArrivalSpec, JobRequest, SchedConfig};
+use dps_sim_core::RngStream;
+use dps_workloads::catalog::{PowerClass, Suite, WorkloadSpec};
+use dps_workloads::{DemandProgram, Phase};
+
+/// Ring capacity for scenario recording — far above the largest scenario's
+/// event count so `dropped` is always 0 in a healthy trace.
+const RING_CAPACITY: usize = 1 << 16;
+
+/// One pinned golden scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GoldenScenario {
+    /// The paper's defaults on a downsized testbed: noisy telemetry, a hot
+    /// cluster against a quiet one, plain (unguarded) DPS. Exercises the
+    /// core decision events: MIMD cap deltas, priority flips, readjusts.
+    PaperDefault,
+    /// Guarded DPS under a scripted sensor-dropout and actuator-drop
+    /// window, with the controller watchdog on. Exercises guard health
+    /// transitions, quarantines, NaN-cap repairs, fault edges, and
+    /// checkpoint events.
+    SensorFault,
+    /// Scheduler mode: a pinned Poisson job stream through the EASY
+    /// backfill queue. Exercises job lifecycle events, membership churn,
+    /// and queue-depth accounting.
+    SchedulerChurn,
+}
+
+impl GoldenScenario {
+    /// Every scenario, in golden-file order.
+    pub const ALL: [GoldenScenario; 3] = [
+        GoldenScenario::PaperDefault,
+        GoldenScenario::SensorFault,
+        GoldenScenario::SchedulerChurn,
+    ];
+
+    /// Stable scenario name (also the golden file stem).
+    pub fn name(&self) -> &'static str {
+        match self {
+            GoldenScenario::PaperDefault => "paper_default",
+            GoldenScenario::SensorFault => "sensor_fault",
+            GoldenScenario::SchedulerChurn => "scheduler_churn",
+        }
+    }
+
+    /// The committed golden file name under `tests/golden/`.
+    pub fn file_name(&self) -> String {
+        format!("{}.trace", self.name())
+    }
+
+    /// Parses a scenario name (as printed by [`GoldenScenario::name`]).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Records the scenario with the default DPS configuration and returns
+    /// the encoded binary trace.
+    pub fn record(&self) -> Vec<u8> {
+        self.record_with(DpsConfig::default())
+    }
+
+    /// Records the scenario under a caller-chosen [`DpsConfig`] — the hook
+    /// the cross-mode equivalence tests use to check that `Incremental` vs
+    /// `Rescan` statistics (and the threaded classify phase) leave the
+    /// trace byte-identical.
+    pub fn record_with(&self, dps: DpsConfig) -> Vec<u8> {
+        match self {
+            GoldenScenario::PaperDefault => record_paper_default(dps),
+            GoldenScenario::SensorFault => record_sensor_fault(dps),
+            GoldenScenario::SchedulerChurn => record_scheduler_churn(dps),
+        }
+    }
+}
+
+/// 2 clusters × 2 nodes × 2 sockets with the paper's power numbers — big
+/// enough for cross-cluster reallocation, small enough that a full golden
+/// trace stays a few tens of kilobytes.
+fn small_testbed() -> SimConfig {
+    SimConfig {
+        topology: Topology::new(2, 2, 2),
+        ..SimConfig::paper_default()
+    }
+}
+
+fn limits(cfg: &SimConfig) -> UnitLimits {
+    UnitLimits {
+        min_cap: cfg.domain_spec.min_cap,
+        max_cap: cfg.domain_spec.tdp,
+    }
+}
+
+fn plain_dps(cfg: &SimConfig, dps: DpsConfig, rng: &RngStream) -> Box<dyn PowerManager> {
+    Box::new(DpsManager::new(
+        cfg.topology.total_units(),
+        cfg.total_budget(),
+        limits(cfg),
+        dps,
+        rng.child("mgr"),
+    ))
+}
+
+fn guarded_dps(cfg: &SimConfig, dps: DpsConfig, rng: &RngStream) -> Box<dyn PowerManager> {
+    Box::new(DpsManager::with_guard(
+        cfg.topology.total_units(),
+        cfg.total_budget(),
+        limits(cfg),
+        dps,
+        GuardConfig {
+            // Noise-free telemetry trips the zero-variance detector; the
+            // fault scenario runs without noise so the value gates do the
+            // detecting.
+            stuck_window: 0,
+            quarantine_after: 2,
+            probation_after: 3,
+            readmit_after: 4,
+            ..Default::default()
+        },
+        rng.child("mgr"),
+    ))
+}
+
+fn run_recorded(mut sim: ClusterSim, cycles: u64) -> Vec<u8> {
+    let sink = SinkHandle::recording(RING_CAPACITY);
+    sim.set_trace_sink(sink.clone());
+    for _ in 0..cycles {
+        sim.cycle();
+    }
+    sink.export().expect("recording sink exports")
+}
+
+fn record_paper_default(dps: DpsConfig) -> Vec<u8> {
+    let cfg = small_testbed();
+    let rng = RngStream::new(0xD50_001, "golden/paper-default");
+    // A hot ramping cluster against a mostly-quiet one: drives MIMD raises,
+    // priority flips both ways, and distributed readjusts.
+    let hot = DemandProgram::new(vec![
+        Phase::ramp(20.0, 60.0, 160.0),
+        Phase::constant(60.0, 160.0),
+        Phase::ramp(20.0, 160.0, 90.0),
+    ]);
+    let quiet = DemandProgram::new(vec![
+        Phase::constant(40.0, 30.0),
+        Phase::ramp(20.0, 30.0, 120.0),
+        Phase::constant(40.0, 45.0),
+    ]);
+    let manager = plain_dps(&cfg, dps, &rng);
+    let sim = ClusterSim::new(cfg, vec![hot, quiet], manager, &rng);
+    run_recorded(sim, 90)
+}
+
+fn record_sensor_fault(dps: DpsConfig) -> Vec<u8> {
+    let mut cfg = small_testbed();
+    cfg.noise = NoiseModel::None;
+    cfg.sensor_faults = UnitFaultSchedule::new(vec![
+        UnitFaultEvent::sensor(0, 15.0, 45.0, SensorFault::Dropout),
+        UnitFaultEvent::actuator(2, 30.0, 60.0, ActuatorFault::DropWrites),
+    ]);
+    let rng = RngStream::new(0xD50_002, "golden/sensor-fault");
+    let hot = DemandProgram::new(vec![Phase::constant(200.0, 160.0)]);
+    let busy = DemandProgram::new(vec![Phase::constant(200.0, 140.0)]);
+    let manager = guarded_dps(&cfg, dps, &rng);
+    let mut sim = ClusterSim::new(cfg, vec![hot, busy], manager, &rng);
+    sim.enable_watchdog(16);
+    run_recorded(sim, 100)
+}
+
+/// A synthetic short workload for the churn scenario: catalog entries run
+/// for hundreds of seconds, which would bloat the committed golden file.
+fn short_spec(name: &'static str, duration: f64, class: PowerClass) -> WorkloadSpec {
+    WorkloadSpec {
+        name,
+        suite: Suite::Spark,
+        data_size_gb: 1.0,
+        duration_110w: duration,
+        class,
+        frac_above_110: match class {
+            PowerClass::Low => 0.05,
+            PowerClass::Mid => 0.4,
+            PowerClass::High => 0.8,
+        },
+    }
+}
+
+fn record_scheduler_churn(dps: DpsConfig) -> Vec<u8> {
+    // The generated job specs need whole-cluster headroom; the 16-unit
+    // testbed (2 clusters × 4 nodes × 2 sockets) fits them comfortably.
+    let mut cfg = SimConfig {
+        topology: Topology::new(2, 4, 2),
+        ..SimConfig::paper_default()
+    };
+    // An explicit trace of short jobs: full lifecycle coverage (arrive,
+    // start, finish — and one walltime eviction via job 3's tight
+    // request) inside a few hundred cycles.
+    let jobs = vec![
+        JobRequest {
+            id: 0,
+            spec: short_spec("golden-etl", 60.0, PowerClass::Mid),
+            arrival: 0.0,
+            nodes: 4,
+            walltime: 150.0,
+            reserve_per_socket: 110.0,
+        },
+        JobRequest {
+            id: 1,
+            spec: short_spec("golden-train", 80.0, PowerClass::High),
+            arrival: 10.0,
+            nodes: 3,
+            walltime: 200.0,
+            reserve_per_socket: 110.0,
+        },
+        JobRequest {
+            id: 2,
+            spec: short_spec("golden-report", 40.0, PowerClass::Low),
+            arrival: 25.0,
+            nodes: 2,
+            walltime: 120.0,
+            reserve_per_socket: 60.0,
+        },
+        JobRequest {
+            id: 3,
+            spec: short_spec("golden-overrun", 90.0, PowerClass::High),
+            arrival: 40.0,
+            nodes: 4,
+            walltime: 35.0, // below its runtime → evicted
+            reserve_per_socket: 110.0,
+        },
+        JobRequest {
+            id: 4,
+            spec: short_spec("golden-tail", 50.0, PowerClass::Mid),
+            arrival: 70.0,
+            nodes: 2,
+            walltime: 140.0,
+            reserve_per_socket: 110.0,
+        },
+    ];
+    cfg.scheduler = Some(SchedConfig {
+        arrivals: ArrivalSpec::Trace(jobs),
+        backfill: true,
+        enforce_walltime: true,
+        walltime_factor: 1.6,
+        slowdown_bound: 10.0,
+    });
+    let rng = RngStream::new(0xD50_003, "golden/scheduler-churn");
+    let manager = plain_dps(&cfg, dps, &rng);
+    let mut sim = ClusterSim::with_scheduler(cfg, manager, &rng);
+    let sink = SinkHandle::recording(RING_CAPACITY);
+    sim.set_trace_sink(sink.clone());
+    // Run to queue drain (bounded), then a short idle tail so the trace
+    // also covers the cluster going quiet.
+    for _ in 0..1_000 {
+        if sim.scheduler_drained() {
+            break;
+        }
+        sim.cycle();
+    }
+    assert!(sim.scheduler_drained(), "churn scenario failed to drain");
+    for _ in 0..5 {
+        sim.cycle();
+    }
+    sink.export().expect("recording sink exports")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for s in GoldenScenario::ALL {
+            assert_eq!(GoldenScenario::from_name(s.name()), Some(s));
+            assert!(s.file_name().ends_with(".trace"));
+        }
+        assert_eq!(GoldenScenario::from_name("nope"), None);
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_and_nonempty() {
+        for s in GoldenScenario::ALL {
+            let a = s.record();
+            let b = s.record();
+            assert_eq!(a, b, "{} is not byte-stable across runs", s.name());
+            let trace = dps_obs::codec::decode(&a).expect("trace decodes");
+            assert_eq!(trace.dropped, 0, "{} overflowed its ring", s.name());
+            assert!(
+                trace.events.len() > 100,
+                "{} looks implausibly small ({} events)",
+                s.name(),
+                trace.events.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,800 @@
+//! The self-describing binary trace format, plus JSONL export.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic    b"DPSO"                         4 bytes
+//! version  u8                              currently 1
+//! schema   tag count, then per tag:        names + field layouts
+//!            name (u8 len + utf8)
+//!            field count u8, per field:
+//!              name (u8 len + utf8)
+//!              type code u8 (u64/u32/f64/bool/enum)
+//!              enum only: variant count u8 + variant names
+//! dropped  u64                             events lost to ring overwrite
+//! count    u64                             events that follow
+//! events   count × (tag u8 + fields)       fixed width per tag
+//! check    u64                             FNV-1a over everything above
+//! ```
+//!
+//! The embedded schema makes a trace file inventoriable without this exact
+//! build, and lets [`decode`] reject traces written by a different event
+//! vocabulary with a precise "schema mismatch" error instead of
+//! misinterpreting bytes. Floats are encoded by bit pattern, so encoding
+//! is lossless and byte-stable — the property the golden-trace suite
+//! pins. Every decode failure is a clean `Err(String)`; no input, however
+//! truncated or corrupt, panics (property-tested).
+
+use crate::event::schema::{self, FieldType};
+use crate::event::{Event, FaultDomain, HealthKind, PhaseKind, ReadjustKind, SchedKind};
+
+/// File magic: "DPSO" (DPS Observability).
+pub const MAGIC: [u8; 4] = *b"DPSO";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// A decoded trace: the retained events plus the ring's drop counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Retained events, oldest first.
+    pub events: Vec<Event>,
+    /// Events the ring overwrote before export.
+    pub dropped: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level helpers (same FNV-1a parameters as dps-core's checkpoint codec).
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+    fn name(&mut self, s: &str) {
+        debug_assert!(s.len() <= u8::MAX as usize);
+        self.buf.push(s.len() as u8);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn seal(mut self) -> Vec<u8> {
+        let check = fnv1a(&self.buf);
+        self.buf.extend_from_slice(&check.to_le_bytes());
+        self.buf
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        if self.pos + n > self.buf.len() {
+            return Err(format!(
+                "truncated trace: needed {n} byte(s) for {what} at offset {}, \
+                 only {} remain",
+                self.pos,
+                self.buf.len() - self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self, what: &str) -> Result<u8, String> {
+        Ok(self.take(1, what)?[0])
+    }
+    fn u32(&mut self, what: &str) -> Result<u32, String> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+    fn u64(&mut self, what: &str) -> Result<u64, String> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+    fn f64(&mut self, what: &str) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+    fn bool(&mut self, what: &str) -> Result<bool, String> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(format!("invalid bool byte {b} for {what}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema table.
+
+fn write_schema(w: &mut Writer) {
+    w.u8(schema::EVENTS.len() as u8);
+    for ev in schema::EVENTS {
+        w.name(ev.name);
+        w.u8(ev.fields.len() as u8);
+        for (fname, ftype) in ev.fields {
+            w.name(fname);
+            w.u8(ftype.code());
+            if let FieldType::Enum(variants) = ftype {
+                w.u8(variants.len() as u8);
+                for v in *variants {
+                    w.name(v);
+                }
+            }
+        }
+    }
+}
+
+/// The exact schema-table bytes this build writes (and requires on read).
+fn schema_bytes() -> Vec<u8> {
+    let mut w = Writer::new();
+    write_schema(&mut w);
+    w.buf
+}
+
+// ---------------------------------------------------------------------------
+// Encode.
+
+fn write_event(w: &mut Writer, e: &Event) {
+    w.u8(e.tag());
+    match *e {
+        Event::CycleStart { cycle, time_s } => {
+            w.u64(cycle);
+            w.f64(time_s);
+        }
+        Event::PhaseEnd {
+            cycle,
+            phase,
+            nanos,
+        } => {
+            w.u64(cycle);
+            w.u8(phase.code());
+            w.u64(nanos);
+        }
+        Event::CapDelta {
+            cycle,
+            unit,
+            from_w,
+            to_w,
+        } => {
+            w.u64(cycle);
+            w.u32(unit);
+            w.f64(from_w);
+            w.f64(to_w);
+        }
+        Event::PriorityFlip { cycle, unit, high } => {
+            w.u64(cycle);
+            w.u32(unit);
+            w.bool(high);
+        }
+        Event::Restored { cycle } => {
+            w.u64(cycle);
+        }
+        Event::Readjusted { cycle, kind, watts } => {
+            w.u64(cycle);
+            w.u8(kind.code());
+            w.f64(watts);
+        }
+        Event::CapRepair { cycle, unit } => {
+            w.u64(cycle);
+            w.u32(unit);
+        }
+        Event::GuardHealth { cycle, unit, state } => {
+            w.u64(cycle);
+            w.u32(unit);
+            w.u8(state.code());
+        }
+        Event::MembershipFlip {
+            cycle,
+            unit,
+            active,
+        } => {
+            w.u64(cycle);
+            w.u32(unit);
+            w.bool(active);
+        }
+        Event::CheckpointTaken { cycle, bytes } => {
+            w.u64(cycle);
+            w.u64(bytes);
+        }
+        Event::ControllerRestored { cycle } => {
+            w.u64(cycle);
+        }
+        Event::ControlPlaneDelta {
+            cycle,
+            sent,
+            delivered,
+            dropped,
+            retries,
+        } => {
+            w.u64(cycle);
+            w.u64(sent);
+            w.u64(delivered);
+            w.u64(dropped);
+            w.u64(retries);
+        }
+        Event::SchedJob {
+            cycle,
+            job,
+            nodes,
+            kind,
+        } => {
+            w.u64(cycle);
+            w.u32(job);
+            w.u32(nodes);
+            w.u8(kind.code());
+        }
+        Event::FaultEdge {
+            cycle,
+            unit,
+            domain,
+            active,
+        } => {
+            w.u64(cycle);
+            w.u32(unit);
+            w.u8(domain.code());
+            w.bool(active);
+        }
+        Event::CycleEnd {
+            cycle,
+            budget_slack_w,
+            caps_changed,
+            queue_depth,
+        } => {
+            w.u64(cycle);
+            w.f64(budget_slack_w);
+            w.u32(caps_changed);
+            w.u32(queue_depth);
+        }
+    }
+}
+
+/// Encodes an event stream (plus the ring's drop counter) as a trace file.
+pub fn encode(events: &[Event], dropped: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(&MAGIC);
+    w.u8(VERSION);
+    write_schema(&mut w);
+    w.u64(dropped);
+    w.u64(events.len() as u64);
+    for e in events {
+        write_event(&mut w, e);
+    }
+    w.seal()
+}
+
+// ---------------------------------------------------------------------------
+// Decode.
+
+fn read_event(r: &mut Reader<'_>) -> Result<Event, String> {
+    let tag = r.u8("event tag")?;
+    let e = match tag {
+        0 => Event::CycleStart {
+            cycle: r.u64("cycle")?,
+            time_s: r.f64("time_s")?,
+        },
+        1 => Event::PhaseEnd {
+            cycle: r.u64("cycle")?,
+            phase: PhaseKind::from_code(r.u8("phase")?)?,
+            nanos: r.u64("nanos")?,
+        },
+        2 => Event::CapDelta {
+            cycle: r.u64("cycle")?,
+            unit: r.u32("unit")?,
+            from_w: r.f64("from_w")?,
+            to_w: r.f64("to_w")?,
+        },
+        3 => Event::PriorityFlip {
+            cycle: r.u64("cycle")?,
+            unit: r.u32("unit")?,
+            high: r.bool("high")?,
+        },
+        4 => Event::Restored {
+            cycle: r.u64("cycle")?,
+        },
+        5 => Event::Readjusted {
+            cycle: r.u64("cycle")?,
+            kind: ReadjustKind::from_code(r.u8("kind")?)?,
+            watts: r.f64("watts")?,
+        },
+        6 => Event::CapRepair {
+            cycle: r.u64("cycle")?,
+            unit: r.u32("unit")?,
+        },
+        7 => Event::GuardHealth {
+            cycle: r.u64("cycle")?,
+            unit: r.u32("unit")?,
+            state: HealthKind::from_code(r.u8("state")?)?,
+        },
+        8 => Event::MembershipFlip {
+            cycle: r.u64("cycle")?,
+            unit: r.u32("unit")?,
+            active: r.bool("active")?,
+        },
+        9 => Event::CheckpointTaken {
+            cycle: r.u64("cycle")?,
+            bytes: r.u64("bytes")?,
+        },
+        10 => Event::ControllerRestored {
+            cycle: r.u64("cycle")?,
+        },
+        11 => Event::ControlPlaneDelta {
+            cycle: r.u64("cycle")?,
+            sent: r.u64("sent")?,
+            delivered: r.u64("delivered")?,
+            dropped: r.u64("dropped")?,
+            retries: r.u64("retries")?,
+        },
+        12 => Event::SchedJob {
+            cycle: r.u64("cycle")?,
+            job: r.u32("job")?,
+            nodes: r.u32("nodes")?,
+            kind: SchedKind::from_code(r.u8("kind")?)?,
+        },
+        13 => Event::FaultEdge {
+            cycle: r.u64("cycle")?,
+            unit: r.u32("unit")?,
+            domain: FaultDomain::from_code(r.u8("domain")?)?,
+            active: r.bool("active")?,
+        },
+        14 => Event::CycleEnd {
+            cycle: r.u64("cycle")?,
+            budget_slack_w: r.f64("budget_slack_w")?,
+            caps_changed: r.u32("caps_changed")?,
+            queue_depth: r.u32("queue_depth")?,
+        },
+        t => return Err(format!("unknown event tag {t}")),
+    };
+    Ok(e)
+}
+
+/// Decodes a trace file. Any malformed, truncated, or corrupt input yields
+/// a descriptive `Err`; no input panics.
+pub fn decode(bytes: &[u8]) -> Result<Trace, String> {
+    if bytes.len() < MAGIC.len() + 1 + 8 {
+        return Err(format!(
+            "trace too short: {} byte(s), minimum header is {}",
+            bytes.len(),
+            MAGIC.len() + 1 + 8
+        ));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().unwrap());
+    let actual = fnv1a(body);
+    if stored != actual {
+        return Err(format!(
+            "trace checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+        ));
+    }
+
+    let mut r = Reader::new(body);
+    let magic = r.take(4, "magic")?;
+    if magic != MAGIC {
+        return Err(format!("bad magic {magic:?}, expected {MAGIC:?}"));
+    }
+    let version = r.u8("version")?;
+    if version != VERSION {
+        return Err(format!(
+            "unsupported trace version {version}, this build reads {VERSION}"
+        ));
+    }
+
+    let expected_schema = schema_bytes();
+    let found = r.take(expected_schema.len(), "schema table")?;
+    if found != expected_schema.as_slice() {
+        return Err(
+            "schema mismatch: trace was written with a different event vocabulary".to_string(),
+        );
+    }
+
+    let dropped = r.u64("dropped counter")?;
+    let count = r.u64("event count")?;
+    // Cheapest possible consistency bound: every event is ≥ 9 bytes
+    // (tag + cycle), so a count the remaining bytes cannot hold is corrupt.
+    let remaining = body.len() - r.pos;
+    if count > (remaining / 9) as u64 {
+        return Err(format!(
+            "event count {count} impossible for {remaining} remaining byte(s)"
+        ));
+    }
+    let mut events = Vec::with_capacity(count as usize);
+    for i in 0..count {
+        events.push(read_event(&mut r).map_err(|e| format!("event {i}: {e}"))?);
+    }
+    if r.pos != body.len() {
+        return Err(format!(
+            "{} trailing byte(s) after the last event",
+            body.len() - r.pos
+        ));
+    }
+    Ok(Trace { events, dropped })
+}
+
+// ---------------------------------------------------------------------------
+// JSONL export.
+
+fn json_f64(out: &mut String, v: f64) {
+    // JSON has no NaN/Inf; represent non-finite values as null.
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            // Keep integral floats readable ("120.0", not "120").
+            out.push_str(&format!("{v:.1}"));
+        } else {
+            out.push_str(&format!("{v}"));
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn json_event(out: &mut String, e: &Event) {
+    out.push_str("{\"event\":\"");
+    out.push_str(e.name());
+    out.push('"');
+    let num = |out: &mut String, k: &str, v: u64| {
+        out.push_str(",\"");
+        out.push_str(k);
+        out.push_str("\":");
+        out.push_str(&v.to_string());
+    };
+    let fl = |out: &mut String, k: &str, v: f64| {
+        out.push_str(",\"");
+        out.push_str(k);
+        out.push_str("\":");
+        json_f64(out, v);
+    };
+    let st = |out: &mut String, k: &str, v: &str| {
+        out.push_str(",\"");
+        out.push_str(k);
+        out.push_str("\":\"");
+        out.push_str(v);
+        out.push('"');
+    };
+    let bo = |out: &mut String, k: &str, v: bool| {
+        out.push_str(",\"");
+        out.push_str(k);
+        out.push_str("\":");
+        out.push_str(if v { "true" } else { "false" });
+    };
+    num(out, "cycle", e.cycle());
+    match *e {
+        Event::CycleStart { time_s, .. } => fl(out, "time_s", time_s),
+        Event::PhaseEnd { phase, nanos, .. } => {
+            st(out, "phase", phase.name());
+            num(out, "nanos", nanos);
+        }
+        Event::CapDelta {
+            unit, from_w, to_w, ..
+        } => {
+            num(out, "unit", unit as u64);
+            fl(out, "from_w", from_w);
+            fl(out, "to_w", to_w);
+        }
+        Event::PriorityFlip { unit, high, .. } => {
+            num(out, "unit", unit as u64);
+            bo(out, "high", high);
+        }
+        Event::Restored { .. } | Event::ControllerRestored { .. } => {}
+        Event::Readjusted { kind, watts, .. } => {
+            st(out, "kind", kind.name());
+            fl(out, "watts", watts);
+        }
+        Event::CapRepair { unit, .. } => num(out, "unit", unit as u64),
+        Event::GuardHealth { unit, state, .. } => {
+            num(out, "unit", unit as u64);
+            st(out, "state", state.name());
+        }
+        Event::MembershipFlip { unit, active, .. } => {
+            num(out, "unit", unit as u64);
+            bo(out, "active", active);
+        }
+        Event::CheckpointTaken { bytes, .. } => num(out, "bytes", bytes),
+        Event::ControlPlaneDelta {
+            sent,
+            delivered,
+            dropped,
+            retries,
+            ..
+        } => {
+            num(out, "sent", sent);
+            num(out, "delivered", delivered);
+            num(out, "dropped", dropped);
+            num(out, "retries", retries);
+        }
+        Event::SchedJob {
+            job, nodes, kind, ..
+        } => {
+            num(out, "job", job as u64);
+            num(out, "nodes", nodes as u64);
+            st(out, "kind", kind.name());
+        }
+        Event::FaultEdge {
+            unit,
+            domain,
+            active,
+            ..
+        } => {
+            num(out, "unit", unit as u64);
+            st(out, "domain", domain.name());
+            bo(out, "active", active);
+        }
+        Event::CycleEnd {
+            budget_slack_w,
+            caps_changed,
+            queue_depth,
+            ..
+        } => {
+            fl(out, "budget_slack_w", budget_slack_w);
+            num(out, "caps_changed", caps_changed as u64);
+            num(out, "queue_depth", queue_depth as u64);
+        }
+    }
+    out.push('}');
+}
+
+/// Renders a decoded trace as JSONL: one event object per line, preceded by
+/// a meta line carrying the format version and drop counter.
+pub fn to_jsonl(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"meta\":\"dps-obs\",\"version\":{VERSION},\"dropped\":{},\"events\":{}}}\n",
+        trace.dropped,
+        trace.events.len()
+    ));
+    for e in &trace.events {
+        json_event(&mut out, e);
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+
+/// Sample-event constructors shared by unit tests, integration tests and
+/// property tests. Not part of the public API surface.
+#[doc(hidden)]
+pub mod tests_support {
+    use super::*;
+
+    /// One event of every variant, with `cycle` = tag index + 1 so tests
+    /// can tell them apart.
+    pub fn one_of_each() -> Vec<Event> {
+        vec![
+            Event::CycleStart {
+                cycle: 1,
+                time_s: 0.25,
+            },
+            Event::PhaseEnd {
+                cycle: 2,
+                phase: PhaseKind::ObserveClassify,
+                nanos: 123_456,
+            },
+            Event::CapDelta {
+                cycle: 3,
+                unit: 7,
+                from_w: 120.0,
+                to_w: 95.5,
+            },
+            Event::PriorityFlip {
+                cycle: 4,
+                unit: 8,
+                high: true,
+            },
+            Event::Restored { cycle: 5 },
+            Event::Readjusted {
+                cycle: 6,
+                kind: ReadjustKind::Distributed,
+                watts: 44.25,
+            },
+            Event::CapRepair { cycle: 7, unit: 2 },
+            Event::GuardHealth {
+                cycle: 8,
+                unit: 3,
+                state: HealthKind::Quarantined,
+            },
+            Event::MembershipFlip {
+                cycle: 9,
+                unit: 4,
+                active: false,
+            },
+            Event::CheckpointTaken {
+                cycle: 10,
+                bytes: 4096,
+            },
+            Event::ControllerRestored { cycle: 11 },
+            Event::ControlPlaneDelta {
+                cycle: 12,
+                sent: 64,
+                delivered: 60,
+                dropped: 4,
+                retries: 2,
+            },
+            Event::SchedJob {
+                cycle: 13,
+                job: 41,
+                nodes: 16,
+                kind: SchedKind::Started,
+            },
+            Event::FaultEdge {
+                cycle: 14,
+                unit: 5,
+                domain: FaultDomain::Sensor,
+                active: true,
+            },
+            Event::CycleEnd {
+                cycle: 15,
+                budget_slack_w: 12.5,
+                caps_changed: 9,
+                queue_depth: 3,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_one_of_each() {
+        let events = tests_support::one_of_each();
+        let bytes = encode(&events, 17);
+        let trace = decode(&bytes).unwrap();
+        assert_eq!(trace.dropped, 17);
+        assert_eq!(trace.events, events);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let bytes = encode(&[], 0);
+        let trace = decode(&bytes).unwrap();
+        assert!(trace.events.is_empty());
+        assert_eq!(trace.dropped, 0);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let events = tests_support::one_of_each();
+        assert_eq!(encode(&events, 3), encode(&events, 3));
+    }
+
+    #[test]
+    fn nan_caps_survive_binary_roundtrip() {
+        let events = vec![Event::CapDelta {
+            cycle: 1,
+            unit: 0,
+            from_w: f64::NAN,
+            to_w: 100.0,
+        }];
+        let trace = decode(&encode(&events, 0)).unwrap();
+        match trace.events[0] {
+            Event::CapDelta { from_w, .. } => assert!(from_w.is_nan()),
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bytes = encode(&tests_support::one_of_each(), 0);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn truncation_is_a_clean_error() {
+        let bytes = encode(&tests_support::one_of_each(), 0);
+        for cut in 0..bytes.len() {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(!err.is_empty());
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut w = Writer::new();
+        w.buf.extend_from_slice(b"NOPE");
+        w.u8(VERSION);
+        let bytes = w.seal();
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut w = Writer::new();
+        w.buf.extend_from_slice(&MAGIC);
+        w.u8(200);
+        let bytes = w.seal();
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn foreign_schema_rejected() {
+        // Valid frame, but a one-event schema table this build doesn't use.
+        let mut w = Writer::new();
+        w.buf.extend_from_slice(&MAGIC);
+        w.u8(VERSION);
+        w.u8(1);
+        w.name("other_event");
+        w.u8(0);
+        w.u64(0);
+        w.u64(0);
+        let bytes = w.seal();
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.contains("schema") || err.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_event_plus_meta() {
+        let events = tests_support::one_of_each();
+        let trace = Trace {
+            events: events.clone(),
+            dropped: 2,
+        };
+        let jsonl = to_jsonl(&trace);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), events.len() + 1);
+        assert!(lines[0].contains("\"dropped\":2"));
+        for (line, e) in lines[1..].iter().zip(&events) {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(
+                line.contains(&format!("\"event\":\"{}\"", e.name())),
+                "{line}"
+            );
+        }
+        // Every key/value pair is well-formed enough to contain no raw NaN.
+        assert!(!jsonl.contains("NaN"));
+    }
+
+    #[test]
+    fn jsonl_nonfinite_floats_become_null() {
+        let trace = Trace {
+            events: vec![Event::CapDelta {
+                cycle: 1,
+                unit: 0,
+                from_w: f64::NAN,
+                to_w: f64::INFINITY,
+            }],
+            dropped: 0,
+        };
+        let jsonl = to_jsonl(&trace);
+        assert!(jsonl.contains("\"from_w\":null"), "{jsonl}");
+        assert!(jsonl.contains("\"to_w\":null"), "{jsonl}");
+    }
+}

@@ -1,0 +1,514 @@
+//! The typed cycle-event vocabulary shared by every instrumented layer.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Plain old data.** Every variant is `Copy` with fixed-width fields —
+//!    no strings, no vectors — so events live in a preallocated ring slot
+//!    and recording one never allocates.
+//! 2. **Decision-complete.** The stream must reconstruct *what the
+//!    controller decided and why the run unfolded as it did*: every cap
+//!    change, priority flip, restore/readjust outcome, guard transition,
+//!    churn flip, checkpoint, control-plane delta, scheduler lifecycle
+//!    event and fault-window edge is an event. Wall-clock timing is *not*
+//!    part of the decision record: span events ([`Event::PhaseEnd`]) are
+//!    only emitted when a sink opts into timing, so a pinned-seed trace is
+//!    byte-stable across machines and build modes.
+//! 3. **Self-describing.** [`schema`] enumerates every variant's name and
+//!    field layout; the binary codec embeds it so a trace file can be
+//!    decoded (or at least inventoried) without this exact build.
+
+/// Which manager/simulator phase a span event measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// The stateless MIMD temporary allocation (Alg. 1).
+    Mimd,
+    /// The fused Kalman observe + dynamics classify pass (§4.3.2, Alg. 2).
+    ObserveClassify,
+    /// Restore + readjust (Algs. 3–4) plus guard cap pinning.
+    Readjust,
+    /// The whole `assign_caps` call.
+    Assign,
+    /// One full simulator cycle (plant + control plane + manager + jobs).
+    SimCycle,
+}
+
+/// How the cap-readjusting module resolved a non-restored cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadjustKind {
+    /// Leftover budget was distributed to high-priority units.
+    Distributed,
+    /// No leftover: high-priority caps were equalized at their mean.
+    Equalized,
+}
+
+/// Telemetry-guard health, mirrored from `dps-core`'s state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthKind {
+    /// Telemetry and actuation look sane.
+    Healthy,
+    /// Recent bad cycle; full trust pending a clean streak.
+    Suspect,
+    /// Persistent fault: pinned at the fallback cap.
+    Quarantined,
+    /// Fault cleared; still pinned until a sustained clean streak.
+    Probation,
+}
+
+/// Scheduler job-lifecycle event kinds, mirrored from `dps-sched`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedKind {
+    /// The job entered the queue.
+    Arrived,
+    /// The job started on its allocated nodes.
+    Started,
+    /// The job completed.
+    Finished,
+    /// The job was killed for overrunning its walltime.
+    Evicted,
+}
+
+/// Which fault path a fault-window edge belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDomain {
+    /// Telemetry (power-reading) path.
+    Sensor,
+    /// Cap-write (actuator) path.
+    Actuator,
+}
+
+/// One structured observability event.
+///
+/// `cycle` is the decision-cycle index the event belongs to (the manager
+/// counts its `assign_caps` calls; the simulator counts timesteps — the two
+/// agree because the loop calls the manager exactly once per cycle).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A simulator cycle began at simulated time `time_s`.
+    CycleStart {
+        /// Decision-cycle index.
+        cycle: u64,
+        /// Simulated time at the start of the cycle (seconds).
+        time_s: f64,
+    },
+    /// A timed phase finished (only emitted by sinks with timing enabled).
+    PhaseEnd {
+        /// Decision-cycle index.
+        cycle: u64,
+        /// Which phase the span measures.
+        phase: PhaseKind,
+        /// Wall-clock duration in nanoseconds.
+        nanos: u64,
+    },
+    /// A unit's cap left `assign_caps` different from how it entered.
+    CapDelta {
+        /// Decision-cycle index.
+        cycle: u64,
+        /// Flat unit index.
+        unit: u32,
+        /// Cap on entry (W).
+        from_w: f64,
+        /// Cap on exit (W).
+        to_w: f64,
+    },
+    /// A unit's priority classification flipped this cycle.
+    PriorityFlip {
+        /// Decision-cycle index.
+        cycle: u64,
+        /// Flat unit index.
+        unit: u32,
+        /// The new priority (true = high).
+        high: bool,
+    },
+    /// Alg. 3 fired: every cap snapped back to the constant allocation.
+    Restored {
+        /// Decision-cycle index.
+        cycle: u64,
+    },
+    /// Alg. 4's outcome on a non-restored cycle with high-priority units.
+    Readjusted {
+        /// Decision-cycle index.
+        cycle: u64,
+        /// Distribution or equalization.
+        kind: ReadjustKind,
+        /// Watts distributed, or the equalized cap value.
+        watts: f64,
+    },
+    /// A non-finite incoming cap was repaired to the constant cap.
+    CapRepair {
+        /// Decision-cycle index.
+        cycle: u64,
+        /// Flat unit index.
+        unit: u32,
+    },
+    /// The telemetry guard moved a unit to a new health state.
+    GuardHealth {
+        /// Decision-cycle index.
+        cycle: u64,
+        /// Flat unit index.
+        unit: u32,
+        /// The state entered this cycle.
+        state: HealthKind,
+    },
+    /// Scheduler-driven occupancy churn reset a unit's learned state.
+    MembershipFlip {
+        /// Decision-cycle index (the cycle about to run).
+        cycle: u64,
+        /// Flat unit index.
+        unit: u32,
+        /// Whether the unit now hosts a job.
+        active: bool,
+    },
+    /// The watchdog checkpointed the manager.
+    CheckpointTaken {
+        /// Decision-cycle index.
+        cycle: u64,
+        /// Snapshot size in bytes.
+        bytes: u64,
+    },
+    /// A crashed controller was replaced and restored from a snapshot.
+    ControllerRestored {
+        /// Decision-cycle index.
+        cycle: u64,
+    },
+    /// Framed-control-plane frame accounting for one cycle (deltas of the
+    /// cumulative [`CtrlStats`] counters).
+    ///
+    /// [`CtrlStats`]: https://docs.rs/dps-ctrl
+    ControlPlaneDelta {
+        /// Decision-cycle index.
+        cycle: u64,
+        /// Frames handed to the transport this cycle.
+        sent: u64,
+        /// Frames delivered this cycle.
+        delivered: u64,
+        /// Frames lost (drop + partition + corruption) this cycle.
+        dropped: u64,
+        /// Request retries this cycle.
+        retries: u64,
+    },
+    /// A scheduler job-lifecycle event (admission, start, finish, evict).
+    SchedJob {
+        /// Decision-cycle index.
+        cycle: u64,
+        /// Job submission identifier.
+        job: u32,
+        /// Node count involved.
+        nodes: u32,
+        /// What happened.
+        kind: SchedKind,
+    },
+    /// A scripted sensor/actuator fault window opened or closed on a unit.
+    FaultEdge {
+        /// Decision-cycle index.
+        cycle: u64,
+        /// Flat unit index.
+        unit: u32,
+        /// Sensor or actuator path.
+        domain: FaultDomain,
+        /// Whether a fault is now active on that path.
+        active: bool,
+    },
+    /// A simulator cycle finished.
+    CycleEnd {
+        /// Decision-cycle index.
+        cycle: u64,
+        /// Budget minus the sum of assigned caps (W).
+        budget_slack_w: f64,
+        /// Units whose caps changed this cycle (cap churn).
+        caps_changed: u32,
+        /// Jobs waiting in the scheduler queue (0 without a scheduler).
+        queue_depth: u32,
+    },
+}
+
+impl Event {
+    /// The decision-cycle index the event belongs to.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            Event::CycleStart { cycle, .. }
+            | Event::PhaseEnd { cycle, .. }
+            | Event::CapDelta { cycle, .. }
+            | Event::PriorityFlip { cycle, .. }
+            | Event::Restored { cycle }
+            | Event::Readjusted { cycle, .. }
+            | Event::CapRepair { cycle, .. }
+            | Event::GuardHealth { cycle, .. }
+            | Event::MembershipFlip { cycle, .. }
+            | Event::CheckpointTaken { cycle, .. }
+            | Event::ControllerRestored { cycle }
+            | Event::ControlPlaneDelta { cycle, .. }
+            | Event::SchedJob { cycle, .. }
+            | Event::FaultEdge { cycle, .. }
+            | Event::CycleEnd { cycle, .. } => cycle,
+        }
+    }
+
+    /// The codec tag (also the index into [`schema::EVENTS`]).
+    pub fn tag(&self) -> u8 {
+        match self {
+            Event::CycleStart { .. } => 0,
+            Event::PhaseEnd { .. } => 1,
+            Event::CapDelta { .. } => 2,
+            Event::PriorityFlip { .. } => 3,
+            Event::Restored { .. } => 4,
+            Event::Readjusted { .. } => 5,
+            Event::CapRepair { .. } => 6,
+            Event::GuardHealth { .. } => 7,
+            Event::MembershipFlip { .. } => 8,
+            Event::CheckpointTaken { .. } => 9,
+            Event::ControllerRestored { .. } => 10,
+            Event::ControlPlaneDelta { .. } => 11,
+            Event::SchedJob { .. } => 12,
+            Event::FaultEdge { .. } => 13,
+            Event::CycleEnd { .. } => 14,
+        }
+    }
+
+    /// The event's schema name (e.g. `"cap_delta"`).
+    pub fn name(&self) -> &'static str {
+        schema::EVENTS[self.tag() as usize].name
+    }
+}
+
+macro_rules! enum_codes {
+    ($ty:ident, $($variant:ident => $name:literal),+ $(,)?) => {
+        impl $ty {
+            /// The wire code of this variant.
+            pub fn code(self) -> u8 {
+                let mut i = 0u8;
+                $(if let $ty::$variant = self { return i; } i += 1;)+
+                let _ = i;
+                unreachable!()
+            }
+            /// Decodes a wire code.
+            pub fn from_code(code: u8) -> Result<Self, String> {
+                let mut i = 0u8;
+                $(if code == i { return Ok($ty::$variant); } i += 1;)+
+                let _ = i;
+                Err(format!(concat!("invalid ", stringify!($ty), " code {}"), code))
+            }
+            /// The variant's schema name.
+            pub fn name(self) -> &'static str {
+                match self { $($ty::$variant => $name),+ }
+            }
+            /// Every variant's schema name, in wire-code order.
+            pub const NAMES: &'static [&'static str] = &[$($name),+];
+        }
+    };
+}
+
+enum_codes!(PhaseKind,
+    Mimd => "mimd",
+    ObserveClassify => "observe_classify",
+    Readjust => "readjust",
+    Assign => "assign",
+    SimCycle => "sim_cycle",
+);
+enum_codes!(ReadjustKind, Distributed => "distributed", Equalized => "equalized");
+enum_codes!(HealthKind,
+    Healthy => "healthy",
+    Suspect => "suspect",
+    Quarantined => "quarantined",
+    Probation => "probation",
+);
+enum_codes!(SchedKind,
+    Arrived => "arrived",
+    Started => "started",
+    Finished => "finished",
+    Evicted => "evicted",
+);
+enum_codes!(FaultDomain, Sensor => "sensor", Actuator => "actuator");
+
+/// The static event schema the binary codec embeds in every trace header.
+pub mod schema {
+    /// Wire type of one event field.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum FieldType {
+        /// Little-endian `u64`.
+        U64,
+        /// Little-endian `u32`.
+        U32,
+        /// `f64` by bit pattern.
+        F64,
+        /// One byte, `0` or `1`.
+        Bool,
+        /// One byte indexing the named variant list.
+        Enum(&'static [&'static str]),
+    }
+
+    impl FieldType {
+        /// The one-byte wire code of the field type.
+        pub fn code(self) -> u8 {
+            match self {
+                FieldType::U64 => 0,
+                FieldType::U32 => 1,
+                FieldType::F64 => 2,
+                FieldType::Bool => 3,
+                FieldType::Enum(_) => 4,
+            }
+        }
+
+        /// Encoded size of a value of this type, in bytes.
+        pub fn size(self) -> usize {
+            match self {
+                FieldType::U64 | FieldType::F64 => 8,
+                FieldType::U32 => 4,
+                FieldType::Bool | FieldType::Enum(_) => 1,
+            }
+        }
+    }
+
+    /// One event variant's schema entry.
+    #[derive(Debug, Clone, Copy)]
+    pub struct EventSchema {
+        /// Snake-case event name (also the JSONL `"event"` value).
+        pub name: &'static str,
+        /// Field names and wire types, in encode order.
+        pub fields: &'static [(&'static str, FieldType)],
+    }
+
+    use super::{FaultDomain, HealthKind, PhaseKind, ReadjustKind, SchedKind};
+    use FieldType::*;
+
+    /// Every event variant, indexed by codec tag.
+    pub const EVENTS: &[EventSchema] = &[
+        EventSchema {
+            name: "cycle_start",
+            fields: &[("cycle", U64), ("time_s", F64)],
+        },
+        EventSchema {
+            name: "phase_end",
+            fields: &[
+                ("cycle", U64),
+                ("phase", Enum(PhaseKind::NAMES)),
+                ("nanos", U64),
+            ],
+        },
+        EventSchema {
+            name: "cap_delta",
+            fields: &[
+                ("cycle", U64),
+                ("unit", U32),
+                ("from_w", F64),
+                ("to_w", F64),
+            ],
+        },
+        EventSchema {
+            name: "priority_flip",
+            fields: &[("cycle", U64), ("unit", U32), ("high", Bool)],
+        },
+        EventSchema {
+            name: "restored",
+            fields: &[("cycle", U64)],
+        },
+        EventSchema {
+            name: "readjusted",
+            fields: &[
+                ("cycle", U64),
+                ("kind", Enum(ReadjustKind::NAMES)),
+                ("watts", F64),
+            ],
+        },
+        EventSchema {
+            name: "cap_repair",
+            fields: &[("cycle", U64), ("unit", U32)],
+        },
+        EventSchema {
+            name: "guard_health",
+            fields: &[
+                ("cycle", U64),
+                ("unit", U32),
+                ("state", Enum(HealthKind::NAMES)),
+            ],
+        },
+        EventSchema {
+            name: "membership_flip",
+            fields: &[("cycle", U64), ("unit", U32), ("active", Bool)],
+        },
+        EventSchema {
+            name: "checkpoint_taken",
+            fields: &[("cycle", U64), ("bytes", U64)],
+        },
+        EventSchema {
+            name: "controller_restored",
+            fields: &[("cycle", U64)],
+        },
+        EventSchema {
+            name: "control_plane_delta",
+            fields: &[
+                ("cycle", U64),
+                ("sent", U64),
+                ("delivered", U64),
+                ("dropped", U64),
+                ("retries", U64),
+            ],
+        },
+        EventSchema {
+            name: "sched_job",
+            fields: &[
+                ("cycle", U64),
+                ("job", U32),
+                ("nodes", U32),
+                ("kind", Enum(SchedKind::NAMES)),
+            ],
+        },
+        EventSchema {
+            name: "fault_edge",
+            fields: &[
+                ("cycle", U64),
+                ("unit", U32),
+                ("domain", Enum(FaultDomain::NAMES)),
+                ("active", Bool),
+            ],
+        },
+        EventSchema {
+            name: "cycle_end",
+            fields: &[
+                ("cycle", U64),
+                ("budget_slack_w", F64),
+                ("caps_changed", U32),
+                ("queue_depth", U32),
+            ],
+        },
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_index_schema() {
+        let samples = crate::codec::tests_support::one_of_each();
+        assert_eq!(samples.len(), schema::EVENTS.len());
+        for e in &samples {
+            assert_eq!(e.name(), schema::EVENTS[e.tag() as usize].name);
+        }
+    }
+
+    #[test]
+    fn enum_codes_roundtrip() {
+        for code in 0..PhaseKind::NAMES.len() as u8 {
+            assert_eq!(PhaseKind::from_code(code).unwrap().code(), code);
+        }
+        for code in 0..HealthKind::NAMES.len() as u8 {
+            assert_eq!(HealthKind::from_code(code).unwrap().code(), code);
+        }
+        for code in 0..SchedKind::NAMES.len() as u8 {
+            assert_eq!(SchedKind::from_code(code).unwrap().code(), code);
+        }
+        assert!(HealthKind::from_code(99).is_err());
+        assert_eq!(FaultDomain::Sensor.name(), "sensor");
+        assert_eq!(ReadjustKind::Equalized.code(), 1);
+    }
+
+    #[test]
+    fn cycle_accessor_covers_all_variants() {
+        for (i, e) in crate::codec::tests_support::one_of_each()
+            .iter()
+            .enumerate()
+        {
+            assert_eq!(e.cycle(), i as u64 + 1, "{e:?}");
+        }
+    }
+}

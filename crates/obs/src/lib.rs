@@ -1,0 +1,47 @@
+//! Structured observability for the DPS suite (`dps-obs`).
+//!
+//! DPS's decisions are path-dependent — Kalman state, bounded peak
+//! histories, the MIMD step sequence — so a regression can hide inside a
+//! multi-thousand-cycle run whose aggregate metrics barely move. This crate
+//! is the substrate that makes such runs inspectable and testable:
+//!
+//! * [`event`] — a common, typed vocabulary of per-cycle events shared by
+//!   every layer: manager phase decisions (cap deltas, priority flips,
+//!   restores, readjust outcomes, NaN-cap repairs), telemetry-guard health
+//!   transitions, membership churn, checkpoint and control-plane activity,
+//!   scheduler job lifecycle, and sensor/actuator fault-window edges. Every
+//!   event is plain-old-data (`Copy`, no heap), so recording one is a
+//!   couple of stores.
+//! * [`ring`] — a preallocated, lock-free ring of events. No mutex, no
+//!   allocation after construction: emission is an index bump and a slot
+//!   store through [`Cell`](std::cell::Cell). When the ring is full the
+//!   oldest event is overwritten and a `dropped_events` counter advances.
+//! * [`sink`] — the [`TraceSink`] trait the instrumented layers emit
+//!   through. The default [`NoopSink`] discards everything behind a single
+//!   predictable branch (`enabled() == false`), so an uninstrumented run
+//!   pays nothing measurable; [`RingSink`] records into a ring and keeps a
+//!   live [`ObsRegistry`].
+//! * [`codec`] — a compact self-describing binary trace format (schema
+//!   table in the header, FNV-1a checksum trailer) plus JSONL export.
+//!   Traces are byte-stable for a fixed seed, which is what turns pinned
+//!   end-to-end runs into golden regression oracles (`tests/golden/`).
+//! * [`registry`] — counters and fixed-bucket histograms (cycle latency,
+//!   budget slack, cap churn, fault counts), updatable through `&self` and
+//!   rebuildable from a decoded event stream.
+//!
+//! Layering: `dps-obs` sits at the bottom of the workspace (it depends on
+//! nothing) so `dps-core`, `dps-cluster` and `dps-sched` can all emit
+//! through the same [`SinkHandle`] without dependency cycles.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod event;
+pub mod registry;
+pub mod ring;
+pub mod sink;
+
+pub use event::{Event, FaultDomain, HealthKind, PhaseKind, ReadjustKind, SchedKind};
+pub use registry::{Histogram, ObsRegistry};
+pub use ring::EventRing;
+pub use sink::{NoopSink, RingSink, SinkHandle, TraceSink};

@@ -1,0 +1,476 @@
+//! Counters and fixed-bucket histograms derived from the event stream.
+//!
+//! The registry answers the questions a human asks *before* reaching for
+//! the raw trace — how much cap churn, how often did restore fire, how
+//! many guard quarantines, what is the budget-slack distribution — and it
+//! answers them two ways: **live**, updated by [`RingSink`] on every emit
+//! (through `&self`, everything is [`Cell`]-based), and **offline**,
+//! rebuilt from a decoded trace via [`ObsRegistry::from_events`] so
+//! `trace_inspect` can summarize a file without replaying the run.
+//!
+//! Histograms use fixed, hard-coded bucket bounds rather than adaptive
+//! ones so that two summaries are comparable no matter which run produced
+//! them.
+//!
+//! [`RingSink`]: crate::sink::RingSink
+//! [`Cell`]: std::cell::Cell
+
+use std::cell::Cell;
+
+use crate::event::{Event, PhaseKind, ReadjustKind};
+
+/// A fixed-bucket histogram updatable through `&self`.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Ascending upper bounds; values above the last land in the overflow
+    /// bucket.
+    bounds: Vec<f64>,
+    /// One count per bound, plus the overflow bucket.
+    counts: Vec<Cell<u64>>,
+    count: Cell<u64>,
+    sum: Cell<f64>,
+    min: Cell<f64>,
+    max: Cell<f64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket upper bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| Cell::new(0)).collect(),
+            count: Cell::new(0),
+            sum: Cell::new(0.0),
+            min: Cell::new(f64::INFINITY),
+            max: Cell::new(f64::NEG_INFINITY),
+        }
+    }
+
+    /// Records one sample. Non-finite samples are counted in the overflow
+    /// bucket but excluded from sum/min/max.
+    pub fn record(&self, v: f64) {
+        self.count.set(self.count.get() + 1);
+        if v.is_finite() {
+            self.sum.set(self.sum.get() + v);
+            self.min.set(self.min.get().min(v));
+            self.max.set(self.max.get().max(v));
+            let idx = self
+                .bounds
+                .iter()
+                .position(|&b| v <= b)
+                .unwrap_or(self.bounds.len());
+            self.counts[idx].set(self.counts[idx].get() + 1);
+        } else {
+            let last = self.counts.len() - 1;
+            self.counts[last].set(self.counts[last].get() + 1);
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Mean of the finite samples, or `None` if nothing finite was seen.
+    pub fn mean(&self) -> Option<f64> {
+        if self.min.get().is_finite() {
+            Some(self.sum.get() / self.count.get() as f64)
+        } else {
+            None
+        }
+    }
+
+    /// Smallest finite sample seen.
+    pub fn min(&self) -> Option<f64> {
+        let m = self.min.get();
+        m.is_finite().then_some(m)
+    }
+
+    /// Largest finite sample seen.
+    pub fn max(&self) -> Option<f64> {
+        let m = self.max.get();
+        m.is_finite().then_some(m)
+    }
+
+    /// Bucket labels and counts, including the trailing overflow bucket.
+    pub fn buckets(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::with_capacity(self.counts.len());
+        for (i, c) in self.counts.iter().enumerate() {
+            let label = if i < self.bounds.len() {
+                format!("<= {}", self.bounds[i])
+            } else {
+                "overflow".to_string()
+            };
+            out.push((label, c.get()));
+        }
+        out
+    }
+
+    fn reset(&self) {
+        for c in &self.counts {
+            c.set(0);
+        }
+        self.count.set(0);
+        self.sum.set(0.0);
+        self.min.set(f64::INFINITY);
+        self.max.set(f64::NEG_INFINITY);
+    }
+
+    fn summary_line(&self) -> String {
+        match self.mean() {
+            Some(mean) => format!(
+                "n={} min={:.3} mean={:.3} max={:.3}",
+                self.count(),
+                self.min().unwrap(),
+                mean,
+                self.max().unwrap()
+            ),
+            None => format!("n={}", self.count()),
+        }
+    }
+}
+
+macro_rules! counters {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        /// Plain event counters, one per observable behavior.
+        #[derive(Debug, Default)]
+        struct Counters {
+            $($name: Cell<u64>,)+
+        }
+
+        impl ObsRegistry {
+            $(
+                $(#[$doc])*
+                pub fn $name(&self) -> u64 {
+                    self.counters.$name.get()
+                }
+            )+
+        }
+    };
+}
+
+counters!(
+    /// Total events recorded.
+    events,
+    /// Per-unit cap changes across `assign_caps`.
+    cap_deltas,
+    /// Priority classification flips.
+    priority_flips,
+    /// Cycles where Alg. 3 restored the constant allocation.
+    restores,
+    /// Cycles where Alg. 4 distributed leftover budget.
+    readjust_distributed,
+    /// Cycles where Alg. 4 equalized high-priority caps.
+    readjust_equalized,
+    /// Non-finite incoming caps repaired.
+    cap_repairs,
+    /// Guard health-state transitions of any kind.
+    guard_transitions,
+    /// Transitions specifically *into* quarantine.
+    quarantines,
+    /// Scheduler-driven unit occupancy flips.
+    membership_flips,
+    /// Watchdog checkpoints taken.
+    checkpoints,
+    /// Controller crash-restores.
+    controller_restores,
+    /// Scheduler job arrivals.
+    sched_arrivals,
+    /// Scheduler job starts.
+    sched_starts,
+    /// Scheduler job completions.
+    sched_finishes,
+    /// Scheduler walltime evictions.
+    sched_evictions,
+    /// Sensor/actuator fault-window edges (open or close).
+    fault_edges,
+    /// Control-plane frames sent (summed deltas).
+    frames_sent,
+    /// Control-plane frames dropped (summed deltas).
+    frames_dropped,
+);
+
+/// Live counters plus histograms for the quantities worth distributions.
+#[derive(Debug)]
+pub struct ObsRegistry {
+    counters: Counters,
+    /// Budget minus assigned caps at each cycle end (W).
+    budget_slack_w: Histogram,
+    /// Units whose caps changed, per cycle (cap churn).
+    cap_churn: Histogram,
+    /// Full-cycle latency in microseconds (timing sinks only).
+    cycle_us: Histogram,
+}
+
+impl ObsRegistry {
+    /// Creates an empty registry with the standard bucket layouts.
+    pub fn new() -> Self {
+        ObsRegistry {
+            counters: Counters::default(),
+            budget_slack_w: Histogram::new(&[0.0, 1.0, 10.0, 100.0, 1_000.0, 10_000.0]),
+            cap_churn: Histogram::new(&[0.0, 1.0, 4.0, 16.0, 64.0, 256.0, 4096.0]),
+            cycle_us: Histogram::new(&[10.0, 100.0, 1_000.0, 10_000.0, 100_000.0]),
+        }
+    }
+
+    /// Folds one event into the counters and histograms.
+    pub fn record(&self, e: &Event) {
+        let c = &self.counters;
+        let bump = |cell: &Cell<u64>| cell.set(cell.get() + 1);
+        bump(&c.events);
+        match *e {
+            Event::CycleStart { .. } => {}
+            Event::PhaseEnd { phase, nanos, .. } => {
+                if phase == PhaseKind::SimCycle {
+                    self.cycle_us.record(nanos as f64 / 1_000.0);
+                }
+            }
+            Event::CapDelta { .. } => bump(&c.cap_deltas),
+            Event::PriorityFlip { .. } => bump(&c.priority_flips),
+            Event::Restored { .. } => bump(&c.restores),
+            Event::Readjusted { kind, .. } => match kind {
+                ReadjustKind::Distributed => bump(&c.readjust_distributed),
+                ReadjustKind::Equalized => bump(&c.readjust_equalized),
+            },
+            Event::CapRepair { .. } => bump(&c.cap_repairs),
+            Event::GuardHealth { state, .. } => {
+                bump(&c.guard_transitions);
+                if state == crate::event::HealthKind::Quarantined {
+                    bump(&c.quarantines);
+                }
+            }
+            Event::MembershipFlip { .. } => bump(&c.membership_flips),
+            Event::CheckpointTaken { .. } => bump(&c.checkpoints),
+            Event::ControllerRestored { .. } => bump(&c.controller_restores),
+            Event::ControlPlaneDelta { sent, dropped, .. } => {
+                c.frames_sent.set(c.frames_sent.get() + sent);
+                c.frames_dropped.set(c.frames_dropped.get() + dropped);
+            }
+            Event::SchedJob { kind, .. } => match kind {
+                crate::event::SchedKind::Arrived => bump(&c.sched_arrivals),
+                crate::event::SchedKind::Started => bump(&c.sched_starts),
+                crate::event::SchedKind::Finished => bump(&c.sched_finishes),
+                crate::event::SchedKind::Evicted => bump(&c.sched_evictions),
+            },
+            Event::FaultEdge { .. } => bump(&c.fault_edges),
+            Event::CycleEnd {
+                budget_slack_w,
+                caps_changed,
+                ..
+            } => {
+                self.budget_slack_w.record(budget_slack_w);
+                self.cap_churn.record(caps_changed as f64);
+            }
+        }
+    }
+
+    /// Rebuilds a registry from a decoded event stream.
+    pub fn from_events(events: &[Event]) -> Self {
+        let reg = ObsRegistry::new();
+        for e in events {
+            reg.record(e);
+        }
+        reg
+    }
+
+    /// The budget-slack histogram (W, sampled at each cycle end).
+    pub fn budget_slack_w(&self) -> &Histogram {
+        &self.budget_slack_w
+    }
+
+    /// The per-cycle cap-churn histogram (units changed per cycle).
+    pub fn cap_churn(&self) -> &Histogram {
+        &self.cap_churn
+    }
+
+    /// The cycle-latency histogram in µs (only populated by timing sinks).
+    pub fn cycle_us(&self) -> &Histogram {
+        &self.cycle_us
+    }
+
+    /// Zeroes every counter and histogram.
+    pub fn reset(&self) {
+        let fresh = Counters::default();
+        // Cell has no field-wise reset; overwrite through the macro-built
+        // struct by copying each zeroed cell's value.
+        let c = &self.counters;
+        macro_rules! zero {
+            ($($f:ident),+) => { $(c.$f.set(fresh.$f.get());)+ };
+        }
+        zero!(
+            events,
+            cap_deltas,
+            priority_flips,
+            restores,
+            readjust_distributed,
+            readjust_equalized,
+            cap_repairs,
+            guard_transitions,
+            quarantines,
+            membership_flips,
+            checkpoints,
+            controller_restores,
+            sched_arrivals,
+            sched_starts,
+            sched_finishes,
+            sched_evictions,
+            fault_edges,
+            frames_sent,
+            frames_dropped
+        );
+        self.budget_slack_w.reset();
+        self.cap_churn.reset();
+        self.cycle_us.reset();
+    }
+
+    /// Renders a human-readable multi-line summary (used by
+    /// `trace_inspect summary`).
+    pub fn render(&self, dropped: u64) -> String {
+        let mut out = String::new();
+        let mut line = |k: &str, v: u64| {
+            if v > 0 {
+                out.push_str(&format!("  {k:<22} {v}\n"));
+            }
+        };
+        line("events", self.events());
+        line("dropped (ring)", dropped);
+        line("cap_deltas", self.cap_deltas());
+        line("priority_flips", self.priority_flips());
+        line("restores", self.restores());
+        line("readjust_distributed", self.readjust_distributed());
+        line("readjust_equalized", self.readjust_equalized());
+        line("cap_repairs", self.cap_repairs());
+        line("guard_transitions", self.guard_transitions());
+        line("quarantines", self.quarantines());
+        line("membership_flips", self.membership_flips());
+        line("checkpoints", self.checkpoints());
+        line("controller_restores", self.controller_restores());
+        line("sched_arrivals", self.sched_arrivals());
+        line("sched_starts", self.sched_starts());
+        line("sched_finishes", self.sched_finishes());
+        line("sched_evictions", self.sched_evictions());
+        line("fault_edges", self.fault_edges());
+        line("frames_sent", self.frames_sent());
+        line("frames_dropped", self.frames_dropped());
+        let mut hist = |k: &str, h: &Histogram| {
+            if h.count() > 0 {
+                out.push_str(&format!("  {k:<22} {}\n", h.summary_line()));
+            }
+        };
+        hist("budget_slack_w", &self.budget_slack_w);
+        hist("cap_churn", &self.cap_churn);
+        hist("cycle_us", &self.cycle_us);
+        out
+    }
+}
+
+impl Default for ObsRegistry {
+    fn default() -> Self {
+        ObsRegistry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{HealthKind, SchedKind};
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        for v in [0.5, 0.9, 5.0, 50.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(50.0));
+        assert!((h.mean().unwrap() - 56.4 / 4.0).abs() < 1e-12);
+        let buckets = h.buckets();
+        assert_eq!(buckets[0].1, 2); // <= 1.0
+        assert_eq!(buckets[1].1, 1); // <= 10.0
+        assert_eq!(buckets[2].1, 1); // overflow
+    }
+
+    #[test]
+    fn histogram_nonfinite_goes_to_overflow_only() {
+        let h = Histogram::new(&[1.0]);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.buckets()[1].1, 1);
+    }
+
+    #[test]
+    fn registry_folds_every_counter() {
+        let reg = ObsRegistry::from_events(&crate::codec::tests_support::one_of_each());
+        assert_eq!(reg.events(), 15);
+        assert_eq!(reg.cap_deltas(), 1);
+        assert_eq!(reg.priority_flips(), 1);
+        assert_eq!(reg.restores(), 1);
+        assert_eq!(reg.readjust_distributed(), 1);
+        assert_eq!(reg.readjust_equalized(), 0);
+        assert_eq!(reg.cap_repairs(), 1);
+        assert_eq!(reg.guard_transitions(), 1);
+        assert_eq!(reg.quarantines(), 1);
+        assert_eq!(reg.membership_flips(), 1);
+        assert_eq!(reg.checkpoints(), 1);
+        assert_eq!(reg.controller_restores(), 1);
+        assert_eq!(reg.sched_starts(), 1);
+        assert_eq!(reg.fault_edges(), 1);
+        assert_eq!(reg.frames_sent(), 64);
+        assert_eq!(reg.frames_dropped(), 4);
+        assert_eq!(reg.budget_slack_w().count(), 1);
+        assert_eq!(reg.cap_churn().count(), 1);
+        // one_of_each's PhaseEnd is ObserveClassify, not SimCycle.
+        assert_eq!(reg.cycle_us().count(), 0);
+    }
+
+    #[test]
+    fn non_quarantine_transitions_counted_separately() {
+        let reg = ObsRegistry::new();
+        reg.record(&Event::GuardHealth {
+            cycle: 1,
+            unit: 0,
+            state: HealthKind::Suspect,
+        });
+        assert_eq!(reg.guard_transitions(), 1);
+        assert_eq!(reg.quarantines(), 0);
+    }
+
+    #[test]
+    fn sched_kinds_routed() {
+        let reg = ObsRegistry::new();
+        for kind in [SchedKind::Arrived, SchedKind::Finished, SchedKind::Evicted] {
+            reg.record(&Event::SchedJob {
+                cycle: 1,
+                job: 1,
+                nodes: 1,
+                kind,
+            });
+        }
+        assert_eq!(reg.sched_arrivals(), 1);
+        assert_eq!(reg.sched_finishes(), 1);
+        assert_eq!(reg.sched_evictions(), 1);
+        assert_eq!(reg.sched_starts(), 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let reg = ObsRegistry::from_events(&crate::codec::tests_support::one_of_each());
+        reg.reset();
+        assert_eq!(reg.events(), 0);
+        assert_eq!(reg.frames_sent(), 0);
+        assert_eq!(reg.budget_slack_w().count(), 0);
+    }
+
+    #[test]
+    fn render_lists_nonzero_counters() {
+        let reg = ObsRegistry::from_events(&crate::codec::tests_support::one_of_each());
+        let text = reg.render(7);
+        assert!(text.contains("events"));
+        assert!(text.contains("dropped (ring)"));
+        assert!(text.contains("budget_slack_w"));
+        assert!(!text.contains("readjust_equalized"));
+    }
+}

@@ -1,0 +1,183 @@
+//! A preallocated, lock-free ring buffer of [`Event`]s.
+//!
+//! The ring is the storage backend of [`RingSink`](crate::sink::RingSink).
+//! It allocates exactly once (at construction) and records through
+//! [`Cell`]s, so pushing an event from the hot decision loop is two index
+//! bumps and a 48-byte slot store — no mutex, no branch on capacity growth,
+//! no allocator traffic. When the ring is full the **oldest** event is
+//! overwritten and [`EventRing::dropped`] advances, so a bounded trace of
+//! the most recent activity survives arbitrarily long runs and the loss is
+//! observable rather than silent.
+//!
+//! The ring is intentionally single-threaded (`Cell`, not atomics): the DPS
+//! decision loop is sequential, and the parallel classify phase never
+//! emits. This keeps the fast path free of fences. The type is therefore
+//! `!Sync`, which the compiler enforces.
+
+use std::cell::Cell;
+
+use crate::event::Event;
+
+/// Fixed-capacity overwrite-oldest ring of trace events.
+#[derive(Debug)]
+pub struct EventRing {
+    slots: Box<[Cell<Event>]>,
+    /// Number of live events (≤ capacity).
+    len: Cell<usize>,
+    /// Slot index the next push writes to.
+    next: Cell<usize>,
+    /// Events overwritten because the ring was full.
+    dropped: Cell<u64>,
+}
+
+impl EventRing {
+    /// Creates a ring holding up to `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let filler = Event::Restored { cycle: 0 };
+        let slots: Vec<Cell<Event>> = (0..capacity).map(|_| Cell::new(filler)).collect();
+        EventRing {
+            slots: slots.into_boxed_slice(),
+            len: Cell::new(0),
+            next: Cell::new(0),
+            dropped: Cell::new(0),
+        }
+    }
+
+    /// Maximum number of events the ring retains.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.len.get()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len.get() == 0
+    }
+
+    /// Events lost to overwrite because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Records an event, overwriting the oldest if the ring is full.
+    #[inline]
+    pub fn push(&self, event: Event) {
+        let cap = self.slots.len();
+        let next = self.next.get();
+        self.slots[next].set(event);
+        self.next.set(if next + 1 == cap { 0 } else { next + 1 });
+        let len = self.len.get();
+        if len < cap {
+            self.len.set(len + 1);
+        } else {
+            self.dropped.set(self.dropped.get() + 1);
+        }
+    }
+
+    /// Copies the retained events out, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let cap = self.slots.len();
+        let len = self.len.get();
+        let next = self.next.get();
+        // Oldest element: `next` walked past it if we've wrapped, else slot 0.
+        let start = if len == cap { next } else { 0 };
+        (0..len)
+            .map(|i| self.slots[(start + i) % cap].get())
+            .collect()
+    }
+
+    /// Clears the retained events and the dropped counter.
+    pub fn clear(&self) {
+        self.len.set(0);
+        self.next.set(0);
+        self.dropped.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn marker(cycle: u64) -> Event {
+        Event::Restored { cycle }
+    }
+
+    #[test]
+    fn push_below_capacity_keeps_order() {
+        let ring = EventRing::new(4);
+        assert!(ring.is_empty());
+        for c in 0..3 {
+            ring.push(marker(c));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 0);
+        let cycles: Vec<u64> = ring.snapshot().iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn overflow_overwrites_oldest_and_counts() {
+        let ring = EventRing::new(3);
+        for c in 0..7 {
+            ring.push(marker(c));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 4);
+        let cycles: Vec<u64> = ring.snapshot().iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn exact_capacity_boundary() {
+        let ring = EventRing::new(2);
+        ring.push(marker(10));
+        ring.push(marker(11));
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(
+            ring.snapshot()
+                .iter()
+                .map(|e| e.cycle())
+                .collect::<Vec<_>>(),
+            vec![10, 11]
+        );
+        ring.push(marker(12));
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(
+            ring.snapshot()
+                .iter()
+                .map(|e| e.cycle())
+                .collect::<Vec<_>>(),
+            vec![11, 12]
+        );
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let ring = EventRing::new(2);
+        for c in 0..5 {
+            ring.push(marker(c));
+        }
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+        assert!(ring.snapshot().is_empty());
+        ring.push(marker(9));
+        assert_eq!(ring.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let ring = EventRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(marker(1));
+        ring.push(marker(2));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.snapshot()[0].cycle(), 2);
+    }
+}

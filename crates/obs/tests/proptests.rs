@@ -1,0 +1,185 @@
+//! Property tests for the `dps-obs` codec and ring.
+//!
+//! The codec is the persistence layer under the golden-trace suite, so its
+//! contract is checked adversarially here: arbitrary event sequences must
+//! round-trip bit-exactly (including NaN and infinite floats), any
+//! truncation or byte corruption must surface as a clean `Err` — never a
+//! panic or a silently wrong decode — and the ring must degrade by
+//! dropping the *oldest* events while counting every drop.
+
+use dps_obs::codec::{decode, encode};
+use dps_obs::{Event, EventRing, FaultDomain, HealthKind, PhaseKind, ReadjustKind, SchedKind};
+use proptest::prelude::*;
+
+/// Deterministically maps generated scalars onto one of the 15 variants.
+/// `sel` spreads f64 payloads over the special values the codec must
+/// preserve bit-exactly.
+fn build_event(tag: u8, a: u64, b: u64, x: f64, sel: u8, flag: bool) -> Event {
+    let cycle = a % 100_000;
+    let unit = (b % 4096) as u32;
+    let f = match sel % 6 {
+        0 => x,
+        1 => f64::NAN,
+        2 => f64::INFINITY,
+        3 => f64::NEG_INFINITY,
+        4 => -0.0,
+        _ => x * 1e-6,
+    };
+    match tag % 15 {
+        0 => Event::CycleStart { cycle, time_s: f },
+        1 => Event::PhaseEnd {
+            cycle,
+            phase: PhaseKind::from_code((b % 5) as u8).unwrap(),
+            nanos: b,
+        },
+        2 => Event::CapDelta {
+            cycle,
+            unit,
+            from_w: f,
+            to_w: x,
+        },
+        3 => Event::PriorityFlip {
+            cycle,
+            unit,
+            high: flag,
+        },
+        4 => Event::Restored { cycle },
+        5 => Event::Readjusted {
+            cycle,
+            kind: ReadjustKind::from_code((b % 2) as u8).unwrap(),
+            watts: f,
+        },
+        6 => Event::CapRepair { cycle, unit },
+        7 => Event::GuardHealth {
+            cycle,
+            unit,
+            state: HealthKind::from_code((b % 4) as u8).unwrap(),
+        },
+        8 => Event::MembershipFlip {
+            cycle,
+            unit,
+            active: flag,
+        },
+        9 => Event::CheckpointTaken { cycle, bytes: b },
+        10 => Event::ControllerRestored { cycle },
+        11 => Event::ControlPlaneDelta {
+            cycle,
+            sent: a,
+            delivered: b,
+            dropped: a % 17,
+            retries: b % 13,
+        },
+        12 => Event::SchedJob {
+            cycle,
+            job: unit,
+            nodes: (a % 64) as u32,
+            kind: SchedKind::from_code((b % 4) as u8).unwrap(),
+        },
+        13 => Event::FaultEdge {
+            cycle,
+            unit,
+            domain: if flag {
+                FaultDomain::Sensor
+            } else {
+                FaultDomain::Actuator
+            },
+            active: flag,
+        },
+        _ => Event::CycleEnd {
+            cycle,
+            budget_slack_w: f,
+            caps_changed: unit,
+            queue_depth: (b % 1000) as u32,
+        },
+    }
+}
+
+fn events_from(parts: &[(u8, u64, u64, f64, u8, bool)]) -> Vec<Event> {
+    parts
+        .iter()
+        .map(|&(tag, a, b, x, sel, flag)| build_event(tag, a, b, x, sel, flag))
+        .collect()
+}
+
+proptest! {
+    /// Arbitrary event sequences round-trip bit-exactly. Equality is
+    /// checked on the re-encoded bytes, which compares f64 payloads by
+    /// bits and therefore holds for NaN too.
+    #[test]
+    fn roundtrip_arbitrary_sequences(
+        parts in prop::collection::vec(
+            (any::<u8>(), any::<u64>(), any::<u64>(), -1e9f64..1e9, any::<u8>(), any::<bool>()),
+            0..300,
+        ),
+        dropped in any::<u64>(),
+    ) {
+        let events = events_from(&parts);
+        let bytes = encode(&events, dropped);
+        let trace = decode(&bytes).map_err(|e| e.to_string())?;
+        prop_assert_eq!(trace.events.len(), events.len());
+        prop_assert_eq!(trace.dropped, dropped);
+        // Bit-exact comparison through re-encoding.
+        prop_assert_eq!(encode(&trace.events, trace.dropped), bytes);
+    }
+
+    /// Every strict prefix of a valid trace fails to decode with a clean
+    /// error — never a panic, never a silent partial result.
+    #[test]
+    fn truncated_decode_is_a_clean_error(
+        parts in prop::collection::vec(
+            (any::<u8>(), any::<u64>(), any::<u64>(), -1e6f64..1e6, any::<u8>(), any::<bool>()),
+            1..60,
+        ),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let events = events_from(&parts);
+        let bytes = encode(&events, 7);
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(
+            decode(&bytes[..cut]).is_err(),
+            "decoding a {cut}-byte prefix of a {}-byte trace must fail",
+            bytes.len()
+        );
+    }
+
+    /// Flipping any single byte breaks the checksum (or a structural
+    /// check); a corrupted trace can never decode successfully.
+    #[test]
+    fn single_byte_corruption_is_detected(
+        parts in prop::collection::vec(
+            (any::<u8>(), any::<u64>(), any::<u64>(), -1e6f64..1e6, any::<u8>(), any::<bool>()),
+            1..40,
+        ),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let events = events_from(&parts);
+        let mut bytes = encode(&events, 0);
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= flip;
+        prop_assert!(
+            decode(&bytes).is_err(),
+            "flipping byte {pos} by {flip:#04x} went undetected"
+        );
+    }
+
+    /// The ring keeps the newest `capacity` events in push order and counts
+    /// exactly the overflowed ones in `dropped`.
+    #[test]
+    fn ring_overflow_drops_oldest_and_counts(
+        capacity in 1usize..48,
+        count in 0usize..200,
+    ) {
+        let ring = EventRing::new(capacity);
+        for i in 0..count {
+            ring.push(Event::Restored { cycle: i as u64 });
+        }
+        prop_assert_eq!(ring.len(), count.min(capacity));
+        prop_assert_eq!(ring.dropped(), count.saturating_sub(capacity) as u64);
+        let snapshot = ring.snapshot();
+        let first_kept = count.saturating_sub(capacity);
+        for (k, ev) in snapshot.iter().enumerate() {
+            prop_assert_eq!(*ev, Event::Restored { cycle: (first_kept + k) as u64 });
+        }
+    }
+}

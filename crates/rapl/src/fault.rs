@@ -288,6 +288,28 @@ impl UnitFaultSchedule {
                 && matches!(event.fault, UnitFault::Sensor(_))
         })
     }
+
+    /// Both fault paths' activity on `unit` at `t` in one pass:
+    /// `(sensor_active, actuator_active)`. The observability layer samples
+    /// this every cycle to turn the schedule's windows into `FaultEdge`
+    /// trace events.
+    pub fn active_kinds(&self, unit: usize, t: Seconds) -> (bool, bool) {
+        let mut sensor = false;
+        let mut actuator = false;
+        for event in &self.events {
+            if event.unit != unit || !event.window.contains(t) {
+                continue;
+            }
+            match event.fault {
+                UnitFault::Sensor(_) => sensor = true,
+                UnitFault::Actuator(_) => actuator = true,
+            }
+            if sensor && actuator {
+                break;
+            }
+        }
+        (sensor, actuator)
+    }
 }
 
 #[cfg(test)]
@@ -511,6 +533,26 @@ mod tests {
         assert!(
             !schedule.sensor_active(1, 4.0),
             "actuator faults don't count"
+        );
+    }
+
+    #[test]
+    fn active_kinds_reports_both_paths() {
+        let schedule = UnitFaultSchedule::new(vec![
+            UnitFaultEvent::sensor(0, 3.0, 6.0, SensorFault::Dropout),
+            UnitFaultEvent::actuator(0, 5.0, 9.0, ActuatorFault::DropWrites),
+            UnitFaultEvent::actuator(1, 0.0, 9.0, ActuatorFault::DropWrites),
+        ]);
+        assert_eq!(schedule.active_kinds(0, 4.0), (true, false));
+        assert_eq!(schedule.active_kinds(0, 5.5), (true, true));
+        assert_eq!(schedule.active_kinds(0, 6.0), (false, true));
+        assert_eq!(schedule.active_kinds(0, 9.0), (false, false));
+        assert_eq!(schedule.active_kinds(1, 4.0), (false, true));
+        assert_eq!(schedule.active_kinds(2, 4.0), (false, false));
+        // Half-open edges agree with sensor_active.
+        assert_eq!(
+            schedule.active_kinds(0, 3.0).0,
+            schedule.sensor_active(0, 3.0)
         );
     }
 }

@@ -138,6 +138,25 @@ pub struct SchedEvent {
     pub kind: SchedEventKind,
 }
 
+impl SchedEvent {
+    /// Converts this lifecycle event into its `dps-obs` trace form,
+    /// attributed to the decision cycle that drained it.
+    pub fn to_trace(&self, cycle: u64) -> dps_obs::Event {
+        let kind = match self.kind {
+            SchedEventKind::Arrived => dps_obs::SchedKind::Arrived,
+            SchedEventKind::Started => dps_obs::SchedKind::Started,
+            SchedEventKind::Finished => dps_obs::SchedKind::Finished,
+            SchedEventKind::Evicted => dps_obs::SchedKind::Evicted,
+        };
+        dps_obs::Event::SchedJob {
+            cycle,
+            job: self.job as u32,
+            nodes: self.nodes as u32,
+            kind,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,5 +229,37 @@ mod tests {
     fn event_kind_display() {
         assert_eq!(SchedEventKind::Started.to_string(), "started");
         assert_eq!(SchedEventKind::Evicted.to_string(), "evicted");
+    }
+
+    #[test]
+    fn to_trace_maps_every_kind() {
+        let kinds = [
+            (SchedEventKind::Arrived, dps_obs::SchedKind::Arrived),
+            (SchedEventKind::Started, dps_obs::SchedKind::Started),
+            (SchedEventKind::Finished, dps_obs::SchedKind::Finished),
+            (SchedEventKind::Evicted, dps_obs::SchedKind::Evicted),
+        ];
+        for (ours, theirs) in kinds {
+            let ev = SchedEvent {
+                time: 12.0,
+                job: 7,
+                nodes: 3,
+                kind: ours,
+            };
+            match ev.to_trace(42) {
+                dps_obs::Event::SchedJob {
+                    cycle,
+                    job,
+                    nodes,
+                    kind,
+                } => {
+                    assert_eq!(cycle, 42);
+                    assert_eq!(job, 7);
+                    assert_eq!(nodes, 3);
+                    assert_eq!(kind, theirs);
+                }
+                other => panic!("unexpected trace event {other:?}"),
+            }
+        }
     }
 }

