@@ -20,11 +20,12 @@ use crate::satisfaction::SatisfactionTracker;
 use dps_core::guard::HealthState;
 use dps_core::manager::PowerManager;
 use dps_ctrl::{CtrlStats, FramedConfig, FramedControlPlane};
-use dps_obs::{Event, FaultDomain, PhaseKind, SinkHandle};
+use dps_obs::{Event, FaultDomain, PhaseKind, ProvisionKind, SinkHandle};
 use dps_rapl::{DomainBank, DomainSpec, NoiseModel, PowerInterface, Topology, UnitFaultSchedule};
 use dps_sched::{JobRecord, JobScheduler, SchedConfig};
 use dps_sim_core::rng::RngStream;
 use dps_sim_core::units::{Seconds, SimClock, Watts};
+use dps_traffic::{RequestStats, TrafficConfig, TrafficDriver};
 use dps_workloads::{DemandProgram, PerfModel, Phase, RunningWorkload};
 
 /// How measurements and cap assignments travel between the manager and the
@@ -77,6 +78,12 @@ pub struct SimConfig {
     /// keeps the classic one-workload-per-cluster pinning, bit-identical to
     /// pre-scheduler behaviour. Consumed by [`ClusterSim::with_scheduler`].
     pub scheduler: Option<SchedConfig>,
+    /// Optional request-driven traffic layer ([`dps_traffic`]): a seeded
+    /// arrival stream drives per-socket service demand while an elastic
+    /// provisioner powers whole nodes on and off. `None` (the default)
+    /// keeps the request layer out entirely. Consumed by
+    /// [`ClusterSim::with_traffic`]; mutually exclusive with `scheduler`.
+    pub traffic: Option<TrafficConfig>,
 }
 
 impl SimConfig {
@@ -94,6 +101,7 @@ impl SimConfig {
             control_plane: ControlPlaneMode::Direct,
             sensor_faults: UnitFaultSchedule::none(),
             scheduler: None,
+            traffic: None,
         }
     }
 
@@ -146,6 +154,16 @@ impl SimConfig {
         if let Some(sched) = &self.scheduler {
             sched.validate()?;
         }
+        if let Some(traffic) = &self.traffic {
+            traffic.validate()?;
+            if self.scheduler.is_some() {
+                return Err(
+                    "scheduler and traffic modes are mutually exclusive: both drive \
+                     unit membership and would fight over observe_membership"
+                        .to_string(),
+                );
+            }
+        }
         Ok(())
     }
 }
@@ -186,6 +204,17 @@ struct SchedState {
     enforce_walltime: bool,
     /// Stream deriving each job's program realisation and socket variants.
     job_rng: RngStream,
+}
+
+/// Traffic-mode state: the request engine plus per-socket serving loops.
+struct TrafficState {
+    driver: TrafficDriver,
+    /// One repeating service workload per unit (per-socket program
+    /// variants); each advances at the speed its granted power allows.
+    sockets: Vec<RunningWorkload>,
+    /// Per-unit occupancy (expanded from the driver's per-node powered
+    /// mask), mirrored to the manager on provisioning changes.
+    occupied: Vec<bool>,
 }
 
 /// Builds the per-socket demand variants for one base program.
@@ -250,6 +279,8 @@ pub struct ClusterSim {
     last_checkpoint: Option<Vec<u8>>,
     /// Scheduler-mode state; `None` in the classic pinned-workload mode.
     sched: Option<SchedState>,
+    /// Traffic-mode state; `None` outside traffic mode.
+    traffic: Option<TrafficState>,
     /// Structured trace sink (`dps-obs`); no-op unless
     /// [`ClusterSim::set_trace_sink`] was called.
     sink: SinkHandle,
@@ -349,6 +380,7 @@ impl ClusterSim {
             watchdog_every: None,
             last_checkpoint: None,
             sched: None,
+            traffic: None,
             sink: SinkHandle::noop(),
             prev_ctrl: CtrlStats::default(),
             trace_caps: Vec::new(),
@@ -470,6 +502,90 @@ impl ClusterSim {
         sim
     }
 
+    /// Builds a simulator in **traffic mode**: a seeded request stream
+    /// (per `config.traffic`, which must be `Some`) drives per-socket
+    /// service demand, and the configured provisioner powers whole nodes
+    /// on and off through [`PowerManager::observe_membership`] while DPS
+    /// redistributes the budget among the powered sockets each cycle.
+    ///
+    /// Every unit hosts its own repeating realisation of the service
+    /// workload (per-socket variants derived from `rng`), scaled each
+    /// window by how much of the fleet's service capacity the request
+    /// backlog can fill. The arrival stream is realised from
+    /// `rng.child("traffic")`, so two managers built from the same `rng`
+    /// face the identical request sequence.
+    ///
+    /// The pinned-mode accessors tied to cluster workloads
+    /// ([`ClusterSim::runs_completed`], [`ClusterSim::run_durations`])
+    /// have no jobs to report on in this mode and panic if indexed.
+    ///
+    /// # Panics
+    /// Panics when `config.traffic` is `None` or the config does not
+    /// validate.
+    pub fn with_traffic(
+        config: SimConfig,
+        manager: Box<dyn PowerManager>,
+        rng: &RngStream,
+    ) -> Self {
+        let traffic_cfg = config
+            .traffic
+            .clone()
+            .expect("SimConfig::traffic must be Some for traffic mode");
+        config.validate().expect("invalid sim config");
+        let n = config.topology.total_units();
+        let spk = config.topology.sockets_per_node;
+        let driver = TrafficDriver::new(
+            traffic_cfg.clone(),
+            config.total_nodes(),
+            spk,
+            rng.child("traffic"),
+        );
+
+        // Per-unit serving loops: one base realisation of the service
+        // workload, a deterministic per-socket variant each, repeating
+        // back-to-back (a serving socket never idles between runs; request
+        // pressure scales its demand instead).
+        let mut service_rng = rng.child("traffic/service");
+        let seed = service_rng.next_u64();
+        let base = dps_workloads::build_program(&traffic_cfg.service, &config.perf, seed);
+        let sockets: Vec<RunningWorkload> = (0..n)
+            .map(|u| {
+                let program = dps_workloads::generator::socket_variant(
+                    &base,
+                    config.domain_spec.tdp,
+                    u,
+                    &service_rng,
+                );
+                RunningWorkload::repeating(program, config.perf, 0.0)
+            })
+            .collect();
+
+        // Reuse the pinned-mode construction for the plant and control
+        // plumbing, then swap the placeholder workloads out for the
+        // request engine.
+        let mut base_cfg = config;
+        base_cfg.traffic = None;
+        let placeholder: Vec<DemandProgram> = (0..base_cfg.topology.clusters)
+            .map(|_| DemandProgram::new(vec![Phase::constant(1.0, 0.0)]))
+            .collect();
+        let mut sim = Self::new(base_cfg, placeholder, manager, rng);
+        sim.config.traffic = Some(traffic_cfg);
+        sim.jobs.clear();
+        let mut occupied = vec![false; n];
+        for (node, &on) in driver.powered().iter().enumerate() {
+            if on {
+                occupied[node * spk..(node + 1) * spk].fill(true);
+            }
+        }
+        sim.manager.observe_membership(&occupied);
+        sim.traffic = Some(TrafficState {
+            driver,
+            sockets,
+            occupied,
+        });
+        sim
+    }
+
     /// Enables per-cycle logging (records every window from now on).
     pub fn enable_logging(&mut self) {
         self.log = CycleLog::enabled();
@@ -560,10 +676,24 @@ impl ClusterSim {
         self.sched.as_ref().map(|s| &s.scheduler)
     }
 
-    /// Per-unit occupancy in scheduler mode; `None` in pinned mode (where
-    /// every unit hosts its cluster's workload for the whole run).
+    /// Per-unit occupancy in scheduler or traffic mode; `None` in pinned
+    /// mode (where every unit hosts its cluster's workload for the whole
+    /// run).
     pub fn occupied_units(&self) -> Option<&[bool]> {
-        self.sched.as_ref().map(|s| s.occupied.as_slice())
+        self.sched
+            .as_ref()
+            .map(|s| s.occupied.as_slice())
+            .or_else(|| self.traffic.as_ref().map(|t| t.occupied.as_slice()))
+    }
+
+    /// The traffic driver, when running in traffic mode.
+    pub fn traffic_driver(&self) -> Option<&TrafficDriver> {
+        self.traffic.as_ref().map(|t| &t.driver)
+    }
+
+    /// Cumulative request bookkeeping in traffic mode; `None` otherwise.
+    pub fn request_stats(&self) -> Option<&RequestStats> {
+        self.traffic.as_ref().map(|t| t.driver.stats())
     }
 
     /// Retired job records in scheduler mode (empty in pinned mode).
@@ -717,6 +847,42 @@ impl ClusterSim {
         }
     }
 
+    /// Start-of-cycle traffic phase: the provisioner (re)sizes the powered
+    /// fleet from last window's evidence and the generator contributes this
+    /// window's arrivals. Node flips expand to unit occupancy and reach the
+    /// manager (before it assigns caps), and each provisioning decision is
+    /// emitted as an [`Event::Provision`].
+    fn traffic_begin(&mut self, st: &mut TrafficState) {
+        let now = self.clock.now();
+        let begin = st.driver.begin_cycle(now, self.config.period);
+        if begin.changes.is_empty() {
+            return;
+        }
+        let spk = self.config.topology.sockets_per_node;
+        let cycle = self.clock.timestep();
+        for change in &begin.changes {
+            for &node in &change.nodes {
+                for u in node * spk..(node + 1) * spk {
+                    st.occupied[u] = change.power_on;
+                }
+            }
+            if self.sink.enabled() {
+                self.sink.emit(Event::Provision {
+                    cycle,
+                    kind: if change.power_on {
+                        ProvisionKind::PowerOn
+                    } else {
+                        ProvisionKind::PowerOff
+                    },
+                    nodes: change.nodes.len() as u32,
+                    active_nodes: change.active_after as u32,
+                    utilization: change.utilization,
+                });
+            }
+        }
+        self.manager.observe_membership(&st.occupied);
+    }
+
     /// Runs one decision cycle.
     pub fn cycle(&mut self) {
         let topo = self.config.topology;
@@ -762,15 +928,33 @@ impl ClusterSim {
             self.trace_caps.extend_from_slice(&self.caps);
         }
 
-        // (0) Scheduler phase (scheduler mode only). Taken out of `self`
-        // for the duration of the cycle to keep the borrows disjoint.
+        // (0) Scheduler/traffic phase (those modes only). Taken out of
+        // `self` for the duration of the cycle to keep the borrows disjoint.
         let mut sched = self.sched.take();
         if let Some(st) = sched.as_mut() {
             self.sched_begin(st);
         }
+        let mut traffic = self.traffic.take();
+        if let Some(st) = traffic.as_mut() {
+            self.traffic_begin(st);
+        }
 
         // (1) Demands from job positions.
-        if let Some(st) = sched.as_ref() {
+        if let Some(st) = traffic.as_ref() {
+            // Traffic mode: every powered socket runs its serving loop at
+            // the fraction of its capacity the request backlog can fill,
+            // but never below the service's resident footprint — a powered
+            // socket is not energy-proportional. Dark nodes demand nothing.
+            let busy = st.driver.busy_fraction(period);
+            let floor = st.driver.config().service_floor;
+            for u in 0..self.demands.len() {
+                self.demands[u] = if st.occupied[u] {
+                    (busy * st.sockets[u].demand()).max(floor)
+                } else {
+                    0.0
+                };
+            }
+        } else if let Some(st) = sched.as_ref() {
             // Scheduler mode: unoccupied sockets demand nothing.
             self.demands.fill(0.0);
             for job in &st.jobs {
@@ -892,7 +1076,45 @@ impl ClusterSim {
         // the paper's readjusting module explicitly repairs ("fix any major
         // unfairness due to the Stateless Module's random ordering",
         // §4.3.4).
-        if let Some(st) = sched.as_mut() {
+        if let Some(st) = traffic.as_mut() {
+            // Traffic mode: serving sockets are independent (no barrier —
+            // each request runs on one socket), so each loop advances at
+            // its own achieved rate. The summed rates set how many queued
+            // requests drain this window, and only powered sockets charge
+            // energy to the request bill (a powered-off node draws
+            // nothing as far as the service is concerned).
+            let mut speed_sum = 0.0;
+            let mut joules = 0.0;
+            for u in 0..self.demands.len() {
+                if st.occupied[u] {
+                    let rate = self.config.perf.rate(self.demands[u], self.true_power[u]);
+                    speed_sum += rate;
+                    joules += self.true_power[u] * period;
+                    st.sockets[u].advance_with_rate(rate, period);
+                }
+            }
+            let end = st
+                .driver
+                .end_cycle(self.clock.now(), period, speed_sum, joules);
+            if tracing {
+                if let Some(m) = end.milestone {
+                    self.sink.emit(Event::RequestMilestone {
+                        cycle,
+                        served: m.served,
+                        slo_ok: m.slo_ok,
+                        backlog: m.backlog,
+                    });
+                }
+            }
+
+            // (7) Satisfaction accounting (dark sockets demand 0 and are
+            // counted as satisfied, same as a pinned workload's gap).
+            for c in 0..topo.clusters {
+                for u in topo.cluster_range(c) {
+                    self.satisfaction[c].record(self.demands[u], self.true_power[u], idle);
+                }
+            }
+        } else if let Some(st) = sched.as_mut() {
             // Scheduler mode: the same barrier rule per scheduled job, over
             // its allocated sockets. Completions retire through the queue
             // (freeing nodes and power reservation) and flip occupancy.
@@ -1044,6 +1266,7 @@ impl ClusterSim {
         }
 
         self.sched = sched;
+        self.traffic = traffic;
         self.clock.advance();
     }
 
@@ -1582,6 +1805,111 @@ mod tests {
             reg.membership_flips() > 0,
             "job churn must reach the manager's membership trace"
         );
+    }
+
+    // ---- traffic mode (dps-traffic) wiring ----
+
+    use dps_traffic::{ProvisionerConfig, ProvisionerMode, TrafficPattern};
+
+    fn flash_crowd_traffic(total_sockets: usize) -> TrafficConfig {
+        let mut cfg = TrafficConfig::default_diurnal(total_sockets, 100.0);
+        cfg.pattern = TrafficPattern::FlashCrowd {
+            base_rps: 100.0,
+            peak_rps: 0.9 * total_sockets as f64 * 100.0,
+            start: 20.0,
+            ramp: 10.0,
+            hold: 60.0,
+            decay: 10.0,
+        };
+        cfg.provisioner = ProvisionerMode::Reactive(ProvisionerConfig {
+            target_utilization: 0.7,
+            headroom_nodes: 0,
+            power_off_after: 15.0,
+            min_nodes: 1,
+        });
+        cfg.milestone_every = 10_000;
+        cfg
+    }
+
+    #[test]
+    fn traffic_mode_provisions_and_stays_under_budget() {
+        let mut cfg = SimConfig {
+            topology: Topology::new(2, 4, 2), // 8 nodes × 2 sockets
+            noise: NoiseModel::None,
+            ..SimConfig::paper_default()
+        };
+        cfg.traffic = Some(flash_crowd_traffic(cfg.topology.total_units()));
+        let budget = cfg.total_budget();
+        let rng = RngStream::new(51, "traffic-sim");
+        let mut sim = ClusterSim::with_traffic(cfg.clone(), guarded_dps(&cfg, &rng), &rng);
+        let sink = SinkHandle::recording(1 << 16);
+        sim.set_trace_sink(sink.clone());
+        let mut peak_active = 0;
+        for _ in 0..200 {
+            sim.cycle();
+            assert!(
+                sim.caps().iter().sum::<f64>() <= budget + 1e-6,
+                "budget overrun at cycle {}",
+                sim.timestep()
+            );
+            peak_active = peak_active.max(sim.traffic_driver().unwrap().active_nodes());
+        }
+        // The crowd forced the fleet up, the hysteresis brought it back.
+        assert!(peak_active >= 5, "fleet never grew: peak {peak_active}");
+        assert!(
+            sim.traffic_driver().unwrap().active_nodes() <= 2,
+            "fleet never shrank: {} nodes",
+            sim.traffic_driver().unwrap().active_nodes()
+        );
+        let stats = sim.request_stats().unwrap();
+        assert!(stats.served > 10_000.0, "served {}", stats.served);
+        assert!(stats.joules > 0.0);
+        let reg = sink.as_ring().unwrap().registry();
+        assert!(reg.provision_power_ons() > 0, "no power-ons traced");
+        assert!(reg.provision_power_offs() > 0, "no power-offs traced");
+        assert!(reg.request_milestones() > 0, "no milestones traced");
+        assert!(
+            reg.membership_flips() > 0,
+            "provisioning must reach the manager's membership trace"
+        );
+    }
+
+    #[test]
+    fn traffic_mode_is_deterministic_per_seed() {
+        let mut cfg = SimConfig {
+            topology: Topology::new(2, 2, 2),
+            noise: NoiseModel::None,
+            ..SimConfig::paper_default()
+        };
+        cfg.traffic = Some(flash_crowd_traffic(cfg.topology.total_units()));
+        let run = |seed: u64| {
+            let rng = RngStream::new(seed, "traffic-det");
+            let mut sim = ClusterSim::with_traffic(cfg.clone(), guarded_dps(&cfg, &rng), &rng);
+            for _ in 0..150 {
+                sim.cycle();
+            }
+            (
+                sim.request_stats().unwrap().arrived,
+                sim.request_stats().unwrap().served,
+                sim.caps().to_vec(),
+            )
+        };
+        let (a1, s1, c1) = run(7);
+        let (a2, s2, c2) = run(7);
+        let (a3, _, _) = run(8);
+        assert_eq!(a1, a2);
+        assert_eq!(s1, s2);
+        assert_eq!(c1, c2);
+        assert_ne!(a1, a3, "different seeds must diverge");
+    }
+
+    #[test]
+    fn scheduler_and_traffic_are_mutually_exclusive() {
+        let mut cfg = small_config();
+        cfg.scheduler = Some(SchedConfig::default_poisson(2, 50.0));
+        cfg.traffic = Some(TrafficConfig::default_diurnal(4, 100.0));
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Request-driven elastic provisioning: latency/SLO vs. watts.
+//!
+//! A seeded diurnal request stream (peak near the fleet's full service
+//! capacity — scaled down from a service worth ~100M requests/day) drives
+//! the same 2×4×2 partition under three fleet policies:
+//!
+//! * **static** — every node stays powered; the energy ceiling.
+//! * **elastic** — the Ranjan-style reactive provisioner sizes the fleet
+//!   from last window's utilization, with power-off hysteresis.
+//! * **oracle** — sized each window from the *true* arrival rate; the
+//!   latency-safe lower bound on fleet size.
+//!
+//! Every policy faces the bit-identical arrival stream (same seed), runs
+//! under the DPS manager, and re-asserts the budget invariant on powered
+//! units every cycle. The interesting trade: the elastic fleet should give
+//! back a large share of the static fleet's joules per million requests
+//! while keeping SLO attainment close, and the oracle bounds how much a
+//! smarter predictor could still save.
+//!
+//! `DPS_QUICK=1` shrinks the diurnal period for CI smoke coverage.
+
+use dps_cluster::{ClusterSim, ExperimentConfig};
+use dps_core::manager::ManagerKind;
+use dps_experiments::{banner, config_from_env};
+use dps_metrics::csv;
+use dps_metrics::requests::mean_power_w;
+use dps_metrics::Table;
+use dps_rapl::Topology;
+use dps_sim_core::RngStream;
+use dps_traffic::{
+    OracleConfig, ProvisionerConfig, ProvisionerMode, TrafficConfig, TrafficPattern,
+};
+
+/// One policy's request-level results.
+struct TrafficOutcome {
+    label: &'static str,
+    served: f64,
+    attainment: f64,
+    mean_latency: f64,
+    p95_latency: f64,
+    mean_active: f64,
+    mean_power: f64,
+    joules_per_million: f64,
+    worst_margin: f64,
+}
+
+/// Runs one fleet policy over `cycles` windows and collects its outcome.
+/// The DPS-vs-elastic run additionally dumps a fleet-size/backlog CSV.
+fn run(
+    config: &ExperimentConfig,
+    label: &'static str,
+    traffic: TrafficConfig,
+    cycles: u64,
+    dump_csv: bool,
+) -> TrafficOutcome {
+    let budget = config.sim.total_budget();
+    let mut sim_cfg = config.sim.clone();
+    sim_cfg.traffic = Some(traffic);
+    // One shared rng label: every policy sees the identical arrival stream
+    // and per-socket service variants.
+    let rng = RngStream::new(config.seed, "traffic-experiment");
+    let mut sim = ClusterSim::with_traffic(sim_cfg, config.build_manager(ManagerKind::Dps), &rng);
+
+    let mut worst_margin = f64::NEG_INFINITY;
+    let mut active_sum = 0.0;
+    let mut timeline: Vec<(f64, f64, f64)> = Vec::new();
+    for _ in 0..cycles {
+        sim.cycle();
+        // Budget invariant on powered units, every cycle — provisioning
+        // churn must never let the caps outrun the budget.
+        let occupied = sim.occupied_units().expect("traffic mode");
+        let occupied_sum: f64 = sim
+            .caps()
+            .iter()
+            .zip(occupied)
+            .filter(|&(_, &occ)| occ)
+            .map(|(&cap, _)| cap)
+            .sum();
+        worst_margin = worst_margin.max(occupied_sum - budget);
+        assert!(
+            occupied_sum <= budget + 1e-6,
+            "powered caps {occupied_sum:.2} W exceed budget {budget:.2} W"
+        );
+        let driver = sim.traffic_driver().expect("traffic mode");
+        active_sum += driver.active_nodes() as f64;
+        if dump_csv {
+            timeline.push((sim.now(), driver.active_nodes() as f64, driver.backlog()));
+        }
+    }
+
+    if dump_csv {
+        std::fs::create_dir_all("results").expect("create results dir");
+        let rows: Vec<Vec<String>> = timeline
+            .iter()
+            .map(|&(t, nodes, backlog)| {
+                vec![
+                    format!("{t:.0}"),
+                    format!("{nodes:.0}"),
+                    format!("{backlog:.0}"),
+                ]
+            })
+            .collect();
+        std::fs::write(
+            "results/traffic_fleet.csv",
+            csv::render(&["time", "active_nodes", "backlog"], rows),
+        )
+        .expect("write fleet csv");
+        println!("wrote results/traffic_fleet.csv (elastic run)\n");
+    }
+
+    let duration = cycles as f64 * config.sim.period;
+    let stats = sim.request_stats().expect("traffic mode");
+    TrafficOutcome {
+        label,
+        served: stats.served,
+        attainment: stats.slo_attainment().unwrap_or(1.0),
+        mean_latency: stats.mean_latency().unwrap_or(0.0),
+        p95_latency: stats.latency_percentile(0.95).unwrap_or(0.0),
+        mean_active: active_sum / cycles as f64,
+        mean_power: mean_power_w(stats.joules, duration).unwrap_or(0.0),
+        joules_per_million: stats.joules_per_million().unwrap_or(0.0),
+        worst_margin,
+    }
+}
+
+fn main() {
+    let quick = std::env::var("DPS_QUICK").is_ok();
+    // One full diurnal swing; the quick mode compresses the day so CI sees
+    // the same trough→peak→trough shape in a fraction of the cycles.
+    let (period, cycles, power_off_after) = if quick {
+        (1_200.0, 1_200u64, 50.0)
+    } else {
+        (7_200.0, 7_200u64, 300.0)
+    };
+    let mut config = config_from_env();
+    config.sim.topology = Topology::new(2, 4, 2);
+    let total_sockets = config.sim.topology.total_units();
+    let capacity_rps = 100.0;
+
+    let mut base = TrafficConfig::default_diurnal(total_sockets, capacity_rps);
+    base.pattern = TrafficPattern::Diurnal {
+        base_rps: 0.25 * total_sockets as f64 * capacity_rps,
+        peak_rps: 0.85 * total_sockets as f64 * capacity_rps,
+        period,
+        // Start at the trough so the run covers a full swing.
+        phase: 0.0,
+    };
+    base.milestone_every = 50_000;
+
+    banner("Request-driven elastic provisioning (2x4x2)", &config);
+    let full = total_sockets as f64 * capacity_rps;
+    println!(
+        "diurnal {:.0}..{:.0} rps over {period:.0} s (fleet capacity {full:.0} rps, \
+         ~{:.0}M requests/day at peak), SLO {:.0} s, identical stream per policy\n",
+        0.25 * full,
+        0.85 * full,
+        0.85 * full * 86_400.0 / 1e6,
+        base.slo_latency,
+    );
+
+    let policies: Vec<(&'static str, ProvisionerMode, bool)> = vec![
+        ("static", ProvisionerMode::Static, false),
+        (
+            "elastic",
+            ProvisionerMode::Reactive(ProvisionerConfig {
+                target_utilization: 0.7,
+                headroom_nodes: 1,
+                power_off_after,
+                min_nodes: 1,
+            }),
+            true,
+        ),
+        (
+            "oracle",
+            ProvisionerMode::Oracle(OracleConfig {
+                target_utilization: 0.7,
+                headroom_nodes: 0,
+                min_nodes: 1,
+            }),
+            false,
+        ),
+    ];
+
+    let mut table = Table::new(vec![
+        "Policy".into(),
+        "Served".into(),
+        "SLO att".into(),
+        "Mean lat (s)".into(),
+        "p95 lat (s)".into(),
+        "Mean nodes".into(),
+        "Mean power (W)".into(),
+        "J/Mreq".into(),
+        "Worst margin (W)".into(),
+    ]);
+    let mut outcomes = Vec::new();
+    for (label, mode, dump_csv) in policies {
+        let mut traffic = base.clone();
+        traffic.provisioner = mode;
+        let out = run(&config, label, traffic, cycles, dump_csv);
+        table.row(vec![
+            out.label.to_string(),
+            format!("{:.0}", out.served),
+            format!("{:.4}", out.attainment),
+            format!("{:.2}", out.mean_latency),
+            format!("{:.2}", out.p95_latency),
+            format!("{:.2}", out.mean_active),
+            format!("{:.0}", out.mean_power),
+            format!("{:.0}", out.joules_per_million),
+            format!("{:+.2}", out.worst_margin),
+        ]);
+        outcomes.push(out);
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+
+    let mut report = String::new();
+    report.push_str("Request-driven elastic provisioning: latency/SLO vs. watts\n\n");
+    report.push_str(&rendered);
+    if let (Some(st), Some(el)) = (
+        outcomes.iter().find(|o| o.label == "static"),
+        outcomes.iter().find(|o| o.label == "elastic"),
+    ) {
+        let saved = (1.0 - el.joules_per_million / st.joules_per_million) * 100.0;
+        let line = format!(
+            "\nelastic vs static: {saved:.1}% less energy per request, \
+             SLO attainment {:.4} vs {:.4}\n",
+            el.attainment, st.attainment
+        );
+        report.push_str(&line);
+        println!("{line}");
+    }
+    report.push_str(
+        "\nExpected shape: the static fleet burns idle watts all night and sets the\n\
+         J/Mreq ceiling; the reactive fleet follows the diurnal swing (hysteresis\n\
+         keeps it from flapping) and gives back most of that energy at near-equal\n\
+         SLO attainment; the oracle bounds the remaining gap. Budget margins never\n\
+         go positive on any cycle — provisioning churn never breaks budget safety.\n",
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/traffic.txt", &report).expect("write results/traffic.txt");
+    println!("wrote results/traffic.txt");
+}

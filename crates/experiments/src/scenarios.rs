@@ -28,6 +28,7 @@ use dps_rapl::{
 };
 use dps_sched::{ArrivalSpec, JobRequest, SchedConfig};
 use dps_sim_core::RngStream;
+use dps_traffic::{ProvisionerConfig, ProvisionerMode, TrafficConfig, TrafficPattern};
 use dps_workloads::catalog::{PowerClass, Suite, WorkloadSpec};
 use dps_workloads::{DemandProgram, Phase};
 
@@ -51,14 +52,20 @@ pub enum GoldenScenario {
     /// backfill queue. Exercises job lifecycle events, membership churn,
     /// and queue-depth accounting.
     SchedulerChurn,
+    /// Traffic mode: a flash-crowd request stream through the reactive
+    /// provisioner. Exercises provisioning decisions (power-ons during the
+    /// crowd, hysteresis power-offs after), request milestones, and the
+    /// membership churn elastic sizing drives.
+    ElasticTraffic,
 }
 
 impl GoldenScenario {
     /// Every scenario, in golden-file order.
-    pub const ALL: [GoldenScenario; 3] = [
+    pub const ALL: [GoldenScenario; 4] = [
         GoldenScenario::PaperDefault,
         GoldenScenario::SensorFault,
         GoldenScenario::SchedulerChurn,
+        GoldenScenario::ElasticTraffic,
     ];
 
     /// Stable scenario name (also the golden file stem).
@@ -67,6 +74,7 @@ impl GoldenScenario {
             GoldenScenario::PaperDefault => "paper_default",
             GoldenScenario::SensorFault => "sensor_fault",
             GoldenScenario::SchedulerChurn => "scheduler_churn",
+            GoldenScenario::ElasticTraffic => "elastic_traffic",
         }
     }
 
@@ -95,6 +103,7 @@ impl GoldenScenario {
             GoldenScenario::PaperDefault => record_paper_default(dps),
             GoldenScenario::SensorFault => record_sensor_fault(dps),
             GoldenScenario::SchedulerChurn => record_scheduler_churn(dps),
+            GoldenScenario::ElasticTraffic => record_elastic_traffic(dps),
         }
     }
 }
@@ -285,6 +294,40 @@ fn record_scheduler_churn(dps: DpsConfig) -> Vec<u8> {
         sim.cycle();
     }
     sink.export().expect("recording sink exports")
+}
+
+fn record_elastic_traffic(dps: DpsConfig) -> Vec<u8> {
+    // 4 nodes × 2 sockets: small enough for a compact trace, big enough
+    // for the reactive provisioner to walk the fleet up and back down.
+    let mut cfg = SimConfig {
+        topology: Topology::new(2, 2, 2),
+        ..SimConfig::paper_default()
+    };
+    let total_sockets = cfg.topology.total_units();
+    let mut traffic = TrafficConfig::default_diurnal(total_sockets, 100.0);
+    // A flash crowd that peaks near the fleet's full service capacity:
+    // forces power-ons on the ramp and — after the 15 s hysteresis —
+    // power-offs on the far side, all inside 220 cycles.
+    traffic.pattern = TrafficPattern::FlashCrowd {
+        base_rps: 100.0,
+        peak_rps: 0.9 * total_sockets as f64 * 100.0,
+        start: 20.0,
+        ramp: 10.0,
+        hold: 60.0,
+        decay: 10.0,
+    };
+    traffic.provisioner = ProvisionerMode::Reactive(ProvisionerConfig {
+        target_utilization: 0.7,
+        headroom_nodes: 0,
+        power_off_after: 15.0,
+        min_nodes: 1,
+    });
+    traffic.milestone_every = 10_000;
+    cfg.traffic = Some(traffic);
+    let rng = RngStream::new(0xD50_004, "golden/elastic-traffic");
+    let manager = plain_dps(&cfg, dps, &rng);
+    let sim = ClusterSim::with_traffic(cfg, manager, &rng);
+    run_recorded(sim, 220)
 }
 
 #[cfg(test)]

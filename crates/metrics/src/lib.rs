@@ -14,12 +14,15 @@
 //!   terminal rendition of the paper's grouped speedup plots.
 //! * [`jobs`] — job-level batch-scheduling summaries (makespan, bounded
 //!   slowdown, utilization) for the scheduler experiments.
+//! * [`requests`] — request-level service summaries (SLO attainment,
+//!   joules per million requests) for the traffic experiments.
 
 #![warn(missing_docs)]
 
 pub mod bars;
 pub mod csv;
 pub mod jobs;
+pub mod requests;
 pub mod series;
 pub mod table;
 

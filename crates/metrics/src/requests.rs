@@ -1,0 +1,93 @@
+//! Request-level service summaries for the traffic experiments.
+//!
+//! The `dps-traffic` driver counts requests in `f64` batches (a window can
+//! carry thousands of arrivals), so these helpers take fractional counts
+//! and guard the zero-request edge with `Option` instead of dividing by
+//! zero: a window that served nothing has *no* attainment or efficiency,
+//! which is different from attaining 0 %.
+
+/// Energy efficiency as joules per million served requests.
+///
+/// Returns `None` when nothing was served — an idle window has no defined
+/// efficiency. Negative inputs are treated as empty.
+pub fn joules_per_million_requests(joules: f64, requests: f64) -> Option<f64> {
+    if requests > 0.0 && joules.is_finite() {
+        Some(joules / (requests / 1e6))
+    } else {
+        None
+    }
+}
+
+/// Fraction of served requests that met their SLO, clamped to `[0, 1]`.
+///
+/// Returns `None` when nothing was served. A window where every request
+/// violated yields `Some(0.0)`.
+pub fn slo_attainment(slo_ok: f64, requests: f64) -> Option<f64> {
+    if requests > 0.0 {
+        Some((slo_ok.max(0.0) / requests).clamp(0.0, 1.0))
+    } else {
+        None
+    }
+}
+
+/// Mean power in watts over a run of `seconds` that consumed `joules`.
+///
+/// Returns `None` for a zero-length run.
+pub fn mean_power_w(joules: f64, seconds: f64) -> Option<f64> {
+    if seconds > 0.0 && joules.is_finite() {
+        Some(joules / seconds)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joules_per_million_scales() {
+        // 1 kJ over 1000 requests = 1 MJ per million.
+        let jpm = joules_per_million_requests(1_000.0, 1_000.0).unwrap();
+        assert!((jpm - 1e6).abs() < 1e-6);
+        // Double the requests for the same energy: half the per-request cost.
+        let jpm2 = joules_per_million_requests(1_000.0, 2_000.0).unwrap();
+        assert!((jpm2 - 5e5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_requests_have_no_summary() {
+        assert_eq!(joules_per_million_requests(500.0, 0.0), None);
+        assert_eq!(joules_per_million_requests(500.0, -3.0), None);
+        assert_eq!(slo_attainment(0.0, 0.0), None);
+        assert_eq!(slo_attainment(10.0, 0.0), None);
+    }
+
+    #[test]
+    fn all_violating_window_attains_zero_not_none() {
+        // Every request missed its deadline: attainment is a hard 0, which
+        // must stay distinguishable from "nothing served".
+        assert_eq!(slo_attainment(0.0, 5_000.0), Some(0.0));
+    }
+
+    #[test]
+    fn attainment_clamped_against_rounding_slop() {
+        // Fractional batch accounting can leave slo_ok a hair above served.
+        let a = slo_attainment(1_000.000001, 1_000.0).unwrap();
+        assert_eq!(a, 1.0);
+        assert_eq!(slo_attainment(-2.0, 100.0), Some(0.0));
+    }
+
+    #[test]
+    fn partial_attainment() {
+        let a = slo_attainment(750.0, 1_000.0).unwrap();
+        assert!((a - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_power_over_run() {
+        assert_eq!(mean_power_w(3_600.0, 60.0), Some(60.0));
+        assert_eq!(mean_power_w(100.0, 0.0), None);
+        assert_eq!(mean_power_w(f64::NAN, 10.0), None);
+    }
+}

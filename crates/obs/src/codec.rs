@@ -26,7 +26,9 @@
 //! truncated or corrupt, panics (property-tested).
 
 use crate::event::schema::{self, FieldType};
-use crate::event::{Event, FaultDomain, HealthKind, PhaseKind, ReadjustKind, SchedKind};
+use crate::event::{
+    Event, FaultDomain, HealthKind, PhaseKind, ProvisionKind, ReadjustKind, SchedKind,
+};
 
 /// File magic: "DPSO" (DPS Observability).
 pub const MAGIC: [u8; 4] = *b"DPSO";
@@ -279,6 +281,30 @@ fn write_event(w: &mut Writer, e: &Event) {
             w.u32(caps_changed);
             w.u32(queue_depth);
         }
+        Event::Provision {
+            cycle,
+            kind,
+            nodes,
+            active_nodes,
+            utilization,
+        } => {
+            w.u64(cycle);
+            w.u8(kind.code());
+            w.u32(nodes);
+            w.u32(active_nodes);
+            w.f64(utilization);
+        }
+        Event::RequestMilestone {
+            cycle,
+            served,
+            slo_ok,
+            backlog,
+        } => {
+            w.u64(cycle);
+            w.u64(served);
+            w.u64(slo_ok);
+            w.u64(backlog);
+        }
     }
 }
 
@@ -375,6 +401,19 @@ fn read_event(r: &mut Reader<'_>) -> Result<Event, String> {
             budget_slack_w: r.f64("budget_slack_w")?,
             caps_changed: r.u32("caps_changed")?,
             queue_depth: r.u32("queue_depth")?,
+        },
+        15 => Event::Provision {
+            cycle: r.u64("cycle")?,
+            kind: ProvisionKind::from_code(r.u8("kind")?)?,
+            nodes: r.u32("nodes")?,
+            active_nodes: r.u32("active_nodes")?,
+            utilization: r.f64("utilization")?,
+        },
+        16 => Event::RequestMilestone {
+            cycle: r.u64("cycle")?,
+            served: r.u64("served")?,
+            slo_ok: r.u64("slo_ok")?,
+            backlog: r.u64("backlog")?,
         },
         t => return Err(format!("unknown event tag {t}")),
     };
@@ -561,6 +600,28 @@ fn json_event(out: &mut String, e: &Event) {
             num(out, "caps_changed", caps_changed as u64);
             num(out, "queue_depth", queue_depth as u64);
         }
+        Event::Provision {
+            kind,
+            nodes,
+            active_nodes,
+            utilization,
+            ..
+        } => {
+            st(out, "kind", kind.name());
+            num(out, "nodes", nodes as u64);
+            num(out, "active_nodes", active_nodes as u64);
+            fl(out, "utilization", utilization);
+        }
+        Event::RequestMilestone {
+            served,
+            slo_ok,
+            backlog,
+            ..
+        } => {
+            num(out, "served", served);
+            num(out, "slo_ok", slo_ok);
+            num(out, "backlog", backlog);
+        }
     }
     out.push('}');
 }
@@ -659,6 +720,19 @@ pub mod tests_support {
                 budget_slack_w: 12.5,
                 caps_changed: 9,
                 queue_depth: 3,
+            },
+            Event::Provision {
+                cycle: 16,
+                kind: ProvisionKind::PowerOn,
+                nodes: 2,
+                active_nodes: 6,
+                utilization: 0.85,
+            },
+            Event::RequestMilestone {
+                cycle: 17,
+                served: 100_000,
+                slo_ok: 98_750,
+                backlog: 1_200,
             },
         ]
     }

@@ -76,6 +76,15 @@ pub enum FaultDomain {
     Actuator,
 }
 
+/// Direction of an elastic-provisioner fleet-size change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProvisionKind {
+    /// Nodes were powered on to absorb rising load.
+    PowerOn,
+    /// Nodes were powered off after the hysteresis window expired.
+    PowerOff,
+}
+
 /// One structured observability event.
 ///
 /// `cycle` is the decision-cycle index the event belongs to (the manager
@@ -219,6 +228,31 @@ pub enum Event {
         /// Jobs waiting in the scheduler queue (0 without a scheduler).
         queue_depth: u32,
     },
+    /// The elastic provisioner changed how many nodes are powered.
+    Provision {
+        /// Decision-cycle index (the cycle about to run).
+        cycle: u64,
+        /// Power-on or power-off.
+        kind: ProvisionKind,
+        /// Nodes flipped by this decision.
+        nodes: u32,
+        /// Powered nodes after the decision took effect.
+        active_nodes: u32,
+        /// Fleet utilization that triggered the decision (offered work over
+        /// powered serving capacity; may exceed 1 under overload).
+        utilization: f64,
+    },
+    /// Cumulative request-serving totals crossed a reporting threshold.
+    RequestMilestone {
+        /// Decision-cycle index.
+        cycle: u64,
+        /// Requests served since the run began.
+        served: u64,
+        /// Served requests that met the latency SLO.
+        slo_ok: u64,
+        /// Requests still queued when the milestone was crossed.
+        backlog: u64,
+    },
 }
 
 impl Event {
@@ -239,7 +273,9 @@ impl Event {
             | Event::ControlPlaneDelta { cycle, .. }
             | Event::SchedJob { cycle, .. }
             | Event::FaultEdge { cycle, .. }
-            | Event::CycleEnd { cycle, .. } => cycle,
+            | Event::CycleEnd { cycle, .. }
+            | Event::Provision { cycle, .. }
+            | Event::RequestMilestone { cycle, .. } => cycle,
         }
     }
 
@@ -261,6 +297,8 @@ impl Event {
             Event::SchedJob { .. } => 12,
             Event::FaultEdge { .. } => 13,
             Event::CycleEnd { .. } => 14,
+            Event::Provision { .. } => 15,
+            Event::RequestMilestone { .. } => 16,
         }
     }
 
@@ -318,6 +356,7 @@ enum_codes!(SchedKind,
     Evicted => "evicted",
 );
 enum_codes!(FaultDomain, Sensor => "sensor", Actuator => "actuator");
+enum_codes!(ProvisionKind, PowerOn => "power_on", PowerOff => "power_off");
 
 /// The static event schema the binary codec embeds in every trace header.
 pub mod schema {
@@ -367,7 +406,7 @@ pub mod schema {
         pub fields: &'static [(&'static str, FieldType)],
     }
 
-    use super::{FaultDomain, HealthKind, PhaseKind, ReadjustKind, SchedKind};
+    use super::{FaultDomain, HealthKind, PhaseKind, ProvisionKind, ReadjustKind, SchedKind};
     use FieldType::*;
 
     /// Every event variant, indexed by codec tag.
@@ -470,6 +509,25 @@ pub mod schema {
                 ("queue_depth", U32),
             ],
         },
+        EventSchema {
+            name: "provision",
+            fields: &[
+                ("cycle", U64),
+                ("kind", Enum(ProvisionKind::NAMES)),
+                ("nodes", U32),
+                ("active_nodes", U32),
+                ("utilization", F64),
+            ],
+        },
+        EventSchema {
+            name: "request_milestone",
+            fields: &[
+                ("cycle", U64),
+                ("served", U64),
+                ("slo_ok", U64),
+                ("backlog", U64),
+            ],
+        },
     ];
 }
 
@@ -497,9 +555,13 @@ mod tests {
         for code in 0..SchedKind::NAMES.len() as u8 {
             assert_eq!(SchedKind::from_code(code).unwrap().code(), code);
         }
+        for code in 0..ProvisionKind::NAMES.len() as u8 {
+            assert_eq!(ProvisionKind::from_code(code).unwrap().code(), code);
+        }
         assert!(HealthKind::from_code(99).is_err());
         assert_eq!(FaultDomain::Sensor.name(), "sensor");
         assert_eq!(ReadjustKind::Equalized.code(), 1);
+        assert_eq!(ProvisionKind::PowerOff.name(), "power_off");
     }
 
     #[test]

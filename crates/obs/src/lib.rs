@@ -41,7 +41,9 @@ pub mod registry;
 pub mod ring;
 pub mod sink;
 
-pub use event::{Event, FaultDomain, HealthKind, PhaseKind, ReadjustKind, SchedKind};
+pub use event::{
+    Event, FaultDomain, HealthKind, PhaseKind, ProvisionKind, ReadjustKind, SchedKind,
+};
 pub use registry::{Histogram, ObsRegistry};
 pub use ring::EventRing;
 pub use sink::{NoopSink, RingSink, SinkHandle, TraceSink};

@@ -185,6 +185,12 @@ counters!(
     sched_evictions,
     /// Sensor/actuator fault-window edges (open or close).
     fault_edges,
+    /// Elastic-provisioner power-on decisions.
+    provision_power_ons,
+    /// Elastic-provisioner power-off decisions.
+    provision_power_offs,
+    /// Request-serving milestones crossed.
+    request_milestones,
     /// Control-plane frames sent (summed deltas).
     frames_sent,
     /// Control-plane frames dropped (summed deltas).
@@ -262,6 +268,11 @@ impl ObsRegistry {
                 self.budget_slack_w.record(budget_slack_w);
                 self.cap_churn.record(caps_changed as f64);
             }
+            Event::Provision { kind, .. } => match kind {
+                crate::event::ProvisionKind::PowerOn => bump(&c.provision_power_ons),
+                crate::event::ProvisionKind::PowerOff => bump(&c.provision_power_offs),
+            },
+            Event::RequestMilestone { .. } => bump(&c.request_milestones),
         }
     }
 
@@ -316,6 +327,9 @@ impl ObsRegistry {
             sched_finishes,
             sched_evictions,
             fault_edges,
+            provision_power_ons,
+            provision_power_offs,
+            request_milestones,
             frames_sent,
             frames_dropped
         );
@@ -351,6 +365,9 @@ impl ObsRegistry {
         line("sched_finishes", self.sched_finishes());
         line("sched_evictions", self.sched_evictions());
         line("fault_edges", self.fault_edges());
+        line("provision_power_ons", self.provision_power_ons());
+        line("provision_power_offs", self.provision_power_offs());
+        line("request_milestones", self.request_milestones());
         line("frames_sent", self.frames_sent());
         line("frames_dropped", self.frames_dropped());
         let mut hist = |k: &str, h: &Histogram| {
@@ -404,7 +421,7 @@ mod tests {
     #[test]
     fn registry_folds_every_counter() {
         let reg = ObsRegistry::from_events(&crate::codec::tests_support::one_of_each());
-        assert_eq!(reg.events(), 15);
+        assert_eq!(reg.events(), 17);
         assert_eq!(reg.cap_deltas(), 1);
         assert_eq!(reg.priority_flips(), 1);
         assert_eq!(reg.restores(), 1);
@@ -418,6 +435,9 @@ mod tests {
         assert_eq!(reg.controller_restores(), 1);
         assert_eq!(reg.sched_starts(), 1);
         assert_eq!(reg.fault_edges(), 1);
+        assert_eq!(reg.provision_power_ons(), 1);
+        assert_eq!(reg.provision_power_offs(), 0);
+        assert_eq!(reg.request_milestones(), 1);
         assert_eq!(reg.frames_sent(), 64);
         assert_eq!(reg.frames_dropped(), 4);
         assert_eq!(reg.budget_slack_w().count(), 1);

@@ -8,10 +8,12 @@
 //! dropping the *oldest* events while counting every drop.
 
 use dps_obs::codec::{decode, encode};
-use dps_obs::{Event, EventRing, FaultDomain, HealthKind, PhaseKind, ReadjustKind, SchedKind};
+use dps_obs::{
+    Event, EventRing, FaultDomain, HealthKind, PhaseKind, ProvisionKind, ReadjustKind, SchedKind,
+};
 use proptest::prelude::*;
 
-/// Deterministically maps generated scalars onto one of the 15 variants.
+/// Deterministically maps generated scalars onto one of the 17 variants.
 /// `sel` spreads f64 payloads over the special values the codec must
 /// preserve bit-exactly.
 fn build_event(tag: u8, a: u64, b: u64, x: f64, sel: u8, flag: bool) -> Event {
@@ -25,7 +27,7 @@ fn build_event(tag: u8, a: u64, b: u64, x: f64, sel: u8, flag: bool) -> Event {
         4 => -0.0,
         _ => x * 1e-6,
     };
-    match tag % 15 {
+    match tag % 17 {
         0 => Event::CycleStart { cycle, time_s: f },
         1 => Event::PhaseEnd {
             cycle,
@@ -85,11 +87,24 @@ fn build_event(tag: u8, a: u64, b: u64, x: f64, sel: u8, flag: bool) -> Event {
             },
             active: flag,
         },
-        _ => Event::CycleEnd {
+        14 => Event::CycleEnd {
             cycle,
             budget_slack_w: f,
             caps_changed: unit,
             queue_depth: (b % 1000) as u32,
+        },
+        15 => Event::Provision {
+            cycle,
+            kind: ProvisionKind::from_code((b % 2) as u8).unwrap(),
+            nodes: (a % 64) as u32,
+            active_nodes: (b % 64) as u32,
+            utilization: f,
+        },
+        _ => Event::RequestMilestone {
+            cycle,
+            served: a,
+            slo_ok: b,
+            backlog: a % 10_000,
         },
     }
 }

@@ -1,0 +1,703 @@
+//! The per-cycle traffic engine: arrivals in, provisioning and serving out.
+//!
+//! [`TrafficDriver`] owns everything request-shaped so the cluster
+//! simulator only has to translate between nodes and sockets:
+//!
+//! * **begin of cycle** — the provisioner (re)sizes the powered fleet from
+//!   last window's utilization (or the true rate, for the oracle), then the
+//!   generator contributes this window's arrival cohort to the backlog.
+//! * **during the cycle** — the simulator scales each powered socket's
+//!   `dps-workloads` demand program by [`TrafficDriver::busy_fraction`],
+//!   runs the DPS decision cycle, and measures how fast each socket
+//!   actually ran under its granted power.
+//! * **end of cycle** — the driver serves `capacity × Σ socket speeds`
+//!   requests from the backlog in FIFO cohort order, charging each cohort
+//!   the queueing latency it actually waited, folding SLO attainment and
+//!   energy into [`RequestStats`], and reporting request milestones.
+//!
+//! Latency accounting is cohort-exact: a batch that arrived at `t` and
+//! drains at the end of window `[w, w+dt)` is charged `w + dt − t`, so a
+//! backlog that survives a flash crowd shows up as real queueing delay.
+
+use std::collections::VecDeque;
+
+use dps_sim_core::{Joules, RngStream, Seconds};
+use dps_workloads::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::generator::{RequestGenerator, TrafficPattern};
+use crate::provisioner::{oracle_nodes, ProvisionerMode, ReactiveProvisioner};
+
+/// Upper bounds of the fixed latency buckets (seconds). Fixed bounds keep
+/// summaries comparable across runs, like `dps-obs` histograms.
+const LATENCY_BOUNDS: [f64; 10] = [0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 60.0, 120.0, 300.0, 600.0];
+
+/// Everything the traffic layer needs to drive a cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficConfig {
+    /// Offered-load shape.
+    pub pattern: TrafficPattern,
+    /// Requests/s one socket serves at full service speed.
+    pub capacity_rps: f64,
+    /// Power a *powered* serving socket demands even with an empty queue
+    /// (W): the service's resident footprint — OS, runtime, caches kept
+    /// warm. Servers are not energy-proportional, and this floor is what
+    /// makes powering whole nodes off save real energy over letting them
+    /// sit at low load.
+    pub service_floor: f64,
+    /// Latency bound a request must meet to count toward SLO attainment
+    /// (seconds, queueing included).
+    pub slo_latency: Seconds,
+    /// The demand-program source for serving sockets: request pressure
+    /// scales this workload's power curve.
+    pub service: WorkloadSpec,
+    /// How the powered fleet is sized.
+    pub provisioner: ProvisionerMode,
+    /// Emit a request milestone every this many served requests.
+    pub milestone_every: u64,
+}
+
+/// The calibrated service workload: a phase-rich Spark-like profile that
+/// spends a healthy fraction of its time above the 110 W knee, so request
+/// pressure actually exercises DPS's cap redistribution.
+fn default_service_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "request-serve",
+        suite: dps_workloads::Suite::Spark,
+        data_size_gb: 4.0,
+        duration_110w: 90.0,
+        class: dps_workloads::PowerClass::Mid,
+        frac_above_110: 0.35,
+    }
+}
+
+impl TrafficConfig {
+    /// A diurnal service at rates representative of a hundred-million-
+    /// request day, sized for `total_sockets` sockets at `capacity_rps`
+    /// each so the peak needs most of the fleet.
+    pub fn default_diurnal(total_sockets: usize, capacity_rps: f64) -> Self {
+        let full = total_sockets as f64 * capacity_rps;
+        TrafficConfig {
+            pattern: TrafficPattern::Diurnal {
+                base_rps: 0.25 * full,
+                peak_rps: 0.85 * full,
+                period: 7_200.0,
+                phase: 0.0,
+            },
+            capacity_rps,
+            // A third of the paper's 165 W TDP: representative of a warm
+            // but idle Cascade Lake socket hosting a resident service.
+            service_floor: 55.0,
+            slo_latency: 5.0,
+            service: default_service_spec(),
+            provisioner: ProvisionerMode::Reactive(
+                crate::provisioner::ProvisionerConfig::default_reactive(),
+            ),
+            milestone_every: 100_000,
+        }
+    }
+
+    /// Validates the whole configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        self.pattern.validate()?;
+        self.provisioner.validate()?;
+        if self.capacity_rps <= 0.0 || !self.capacity_rps.is_finite() {
+            return Err(format!(
+                "capacity_rps must be finite and > 0, got {}",
+                self.capacity_rps
+            ));
+        }
+        if self.service_floor < 0.0 || !self.service_floor.is_finite() {
+            return Err(format!(
+                "service_floor must be finite and >= 0, got {}",
+                self.service_floor
+            ));
+        }
+        if self.slo_latency <= 0.0 || !self.slo_latency.is_finite() {
+            return Err(format!(
+                "slo_latency must be finite and > 0, got {}",
+                self.slo_latency
+            ));
+        }
+        if self.milestone_every == 0 {
+            return Err("milestone_every must be >= 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// One fleet-size change the provisioner made at a cycle boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvisionChange {
+    /// `true` = nodes powered on, `false` = powered off.
+    pub power_on: bool,
+    /// The node indices that flipped.
+    pub nodes: Vec<usize>,
+    /// Powered node count after the change.
+    pub active_after: usize,
+    /// The utilization (or oracle load estimate) that triggered it.
+    pub utilization: f64,
+}
+
+/// Cumulative request totals at a milestone crossing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MilestoneRecord {
+    /// Requests served since the run began (rounded down).
+    pub served: u64,
+    /// Served requests that met the SLO (rounded down).
+    pub slo_ok: u64,
+    /// Requests still queued (rounded down).
+    pub backlog: u64,
+}
+
+/// What `begin_cycle` decided.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeginCycle {
+    /// Requests that arrived this window.
+    pub arrivals: f64,
+    /// Fleet-size changes applied at the window boundary.
+    pub changes: Vec<ProvisionChange>,
+}
+
+/// What `end_cycle` observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndCycle {
+    /// Requests drained from the backlog this window.
+    pub served: f64,
+    /// A milestone, if the served total crossed one.
+    pub milestone: Option<MilestoneRecord>,
+}
+
+/// Request-level bookkeeping for a whole run.
+#[derive(Debug, Clone)]
+pub struct RequestStats {
+    /// Requests offered by the generator.
+    pub arrived: f64,
+    /// Requests served.
+    pub served: f64,
+    /// Served requests that met the SLO.
+    pub slo_ok: f64,
+    /// Energy consumed by powered sockets (J).
+    pub joules: Joules,
+    latency_sum: f64,
+    latency_max: f64,
+    /// Served-weight per latency bucket; last slot is overflow.
+    latency_buckets: [f64; LATENCY_BOUNDS.len() + 1],
+}
+
+impl RequestStats {
+    fn new() -> Self {
+        RequestStats {
+            arrived: 0.0,
+            served: 0.0,
+            slo_ok: 0.0,
+            joules: 0.0,
+            latency_sum: 0.0,
+            latency_max: 0.0,
+            latency_buckets: [0.0; LATENCY_BOUNDS.len() + 1],
+        }
+    }
+
+    fn record_served(&mut self, count: f64, latency: Seconds, slo: Seconds) {
+        if count <= 0.0 {
+            return;
+        }
+        self.served += count;
+        if latency <= slo {
+            self.slo_ok += count;
+        }
+        self.latency_sum += count * latency;
+        self.latency_max = self.latency_max.max(latency);
+        let idx = LATENCY_BOUNDS
+            .iter()
+            .position(|&b| latency <= b)
+            .unwrap_or(LATENCY_BOUNDS.len());
+        self.latency_buckets[idx] += count;
+    }
+
+    /// Mean request latency in seconds (`None` before anything served).
+    pub fn mean_latency(&self) -> Option<Seconds> {
+        (self.served > 0.0).then(|| self.latency_sum / self.served)
+    }
+
+    /// The worst latency any served cohort experienced.
+    pub fn max_latency(&self) -> Seconds {
+        self.latency_max
+    }
+
+    /// An upper-bound estimate of the `p`-quantile latency (`0 < p <= 1`)
+    /// from the fixed buckets; the overflow bucket reports the max.
+    pub fn latency_percentile(&self, p: f64) -> Option<Seconds> {
+        if self.served <= 0.0 {
+            return None;
+        }
+        let target = p.clamp(0.0, 1.0) * self.served;
+        let mut acc = 0.0;
+        for (i, w) in self.latency_buckets.iter().enumerate() {
+            acc += w;
+            if acc + 1e-9 >= target {
+                let bound = if i < LATENCY_BOUNDS.len() {
+                    LATENCY_BOUNDS[i]
+                } else {
+                    self.latency_max
+                };
+                // The bucket bound is an upper estimate; the true quantile
+                // can never exceed the worst observed latency.
+                return Some(bound.min(self.latency_max));
+            }
+        }
+        Some(self.latency_max)
+    }
+
+    /// SLO attainment in `[0, 1]` via [`dps_metrics::requests`].
+    pub fn slo_attainment(&self) -> Option<f64> {
+        dps_metrics::requests::slo_attainment(self.slo_ok, self.served)
+    }
+
+    /// Energy efficiency via [`dps_metrics::requests`].
+    pub fn joules_per_million(&self) -> Option<f64> {
+        dps_metrics::requests::joules_per_million_requests(self.joules, self.served)
+    }
+}
+
+/// One batch of requests that arrived together.
+#[derive(Debug, Clone, Copy)]
+struct Cohort {
+    arrived: Seconds,
+    count: f64,
+}
+
+/// The request-driven cluster engine (see module docs for the cycle shape).
+#[derive(Debug, Clone)]
+pub struct TrafficDriver {
+    cfg: TrafficConfig,
+    generator: RequestGenerator,
+    reactive: Option<ReactiveProvisioner>,
+    total_nodes: usize,
+    sockets_per_node: usize,
+    powered: Vec<bool>,
+    cohorts: VecDeque<Cohort>,
+    backlog: f64,
+    last_utilization: f64,
+    stats: RequestStats,
+    next_milestone: u64,
+}
+
+impl TrafficDriver {
+    /// Creates the driver for a fleet of `total_nodes` nodes with
+    /// `sockets_per_node` sockets each. The static policy powers the whole
+    /// fleet; elastic policies start at their configured minimum.
+    ///
+    /// # Panics
+    /// Panics if the config fails [`TrafficConfig::validate`].
+    pub fn new(
+        cfg: TrafficConfig,
+        total_nodes: usize,
+        sockets_per_node: usize,
+        rng: RngStream,
+    ) -> Self {
+        cfg.validate().expect("invalid traffic config");
+        assert!(total_nodes > 0 && sockets_per_node > 0);
+        let (initial, reactive) = match cfg.provisioner {
+            ProvisionerMode::Static => (total_nodes, None),
+            ProvisionerMode::Reactive(pcfg) => (
+                (pcfg.min_nodes + pcfg.headroom_nodes).min(total_nodes),
+                Some(ReactiveProvisioner::new(pcfg)),
+            ),
+            ProvisionerMode::Oracle(ocfg) => (ocfg.min_nodes.min(total_nodes), None),
+        };
+        let powered = (0..total_nodes).map(|n| n < initial).collect();
+        let next_milestone = cfg.milestone_every;
+        let generator = RequestGenerator::new(cfg.pattern.clone(), rng.child("arrivals"));
+        TrafficDriver {
+            cfg,
+            generator,
+            reactive,
+            total_nodes,
+            sockets_per_node,
+            powered,
+            cohorts: VecDeque::new(),
+            backlog: 0.0,
+            last_utilization: 0.0,
+            stats: RequestStats::new(),
+            next_milestone,
+        }
+    }
+
+    /// The driver's configuration.
+    pub fn config(&self) -> &TrafficConfig {
+        &self.cfg
+    }
+
+    /// Per-node powered mask.
+    pub fn powered(&self) -> &[bool] {
+        &self.powered
+    }
+
+    /// Currently powered node count.
+    pub fn active_nodes(&self) -> usize {
+        self.powered.iter().filter(|&&p| p).count()
+    }
+
+    /// Currently powered socket count.
+    pub fn active_sockets(&self) -> usize {
+        self.active_nodes() * self.sockets_per_node
+    }
+
+    /// Requests queued right now.
+    pub fn backlog(&self) -> f64 {
+        self.backlog
+    }
+
+    /// Utilization observed over the last completed window.
+    pub fn last_utilization(&self) -> f64 {
+        self.last_utilization
+    }
+
+    /// Cumulative request bookkeeping.
+    pub fn stats(&self) -> &RequestStats {
+        &self.stats
+    }
+
+    /// Runs the window-boundary work for `[now, now + dt)`: provisioning
+    /// first (from last window's evidence), then this window's arrivals.
+    pub fn begin_cycle(&mut self, now: Seconds, dt: Seconds) -> BeginCycle {
+        let changes = self.provision(now);
+        let arrivals = self.generator.arrivals(now, dt, self.backlog);
+        if arrivals > 0.0 {
+            self.cohorts.push_back(Cohort {
+                arrived: now,
+                count: arrivals,
+            });
+            self.backlog += arrivals;
+            self.stats.arrived += arrivals;
+        }
+        BeginCycle { arrivals, changes }
+    }
+
+    fn provision(&mut self, now: Seconds) -> Vec<ProvisionChange> {
+        let active = self.active_nodes();
+        let (desired, trigger) = match self.cfg.provisioner {
+            ProvisionerMode::Static => return Vec::new(),
+            ProvisionerMode::Reactive(_) => {
+                let util = self.last_utilization;
+                let p = self.reactive.as_mut().expect("reactive state");
+                (p.desired_nodes(now, util, active, self.total_nodes), util)
+            }
+            ProvisionerMode::Oracle(ocfg) => {
+                let rate = self.cfg.pattern.rate_at(now);
+                let node_cap = self.cfg.capacity_rps * self.sockets_per_node as f64;
+                let est = rate / (node_cap * active.max(1) as f64);
+                (oracle_nodes(&ocfg, rate, node_cap, self.total_nodes), est)
+            }
+        };
+        if desired == active {
+            return Vec::new();
+        }
+        let mut flipped = Vec::new();
+        if desired > active {
+            // Power on the lowest-index dark nodes.
+            for n in 0..self.total_nodes {
+                if flipped.len() == desired - active {
+                    break;
+                }
+                if !self.powered[n] {
+                    self.powered[n] = true;
+                    flipped.push(n);
+                }
+            }
+        } else {
+            // Power off the highest-index lit nodes (node 0 stays warm).
+            for n in (0..self.total_nodes).rev() {
+                if flipped.len() == active - desired {
+                    break;
+                }
+                if self.powered[n] {
+                    self.powered[n] = false;
+                    flipped.push(n);
+                }
+            }
+        }
+        vec![ProvisionChange {
+            power_on: desired > active,
+            nodes: flipped,
+            active_after: desired,
+            utilization: trigger,
+        }]
+    }
+
+    /// Fraction of each powered socket's service capacity the current
+    /// backlog can fill this window, in `[0, 1]`. Scales the socket demand
+    /// programs: an idle fleet draws idle power.
+    pub fn busy_fraction(&self, dt: Seconds) -> f64 {
+        let cap = self.active_sockets() as f64 * self.cfg.capacity_rps * dt;
+        if cap <= 0.0 {
+            return 0.0;
+        }
+        (self.backlog / cap).min(1.0)
+    }
+
+    /// Serves requests for the window `[now, now + dt)`. `speed_sum` is the
+    /// sum over powered sockets of the power→progress rate each actually
+    /// achieved (`0..=1` per socket); `joules` is the energy the powered
+    /// sockets consumed this window.
+    pub fn end_cycle(
+        &mut self,
+        now: Seconds,
+        dt: Seconds,
+        speed_sum: f64,
+        joules: Joules,
+    ) -> EndCycle {
+        let offered = self.backlog;
+        let servable = self.cfg.capacity_rps * dt * speed_sum.max(0.0);
+        let mut remaining = servable.min(self.backlog);
+        let served = remaining;
+        let done_at = now + dt;
+        while remaining > 0.0 {
+            let Some(front) = self.cohorts.front_mut() else {
+                break;
+            };
+            let take = front.count.min(remaining);
+            let latency = done_at - front.arrived;
+            self.stats
+                .record_served(take, latency, self.cfg.slo_latency);
+            front.count -= take;
+            remaining -= take;
+            if front.count <= 1e-9 {
+                self.cohorts.pop_front();
+            }
+        }
+        self.backlog = (self.backlog - served).max(0.0);
+        self.stats.joules += joules;
+
+        let cap = self.active_sockets() as f64 * self.cfg.capacity_rps * dt;
+        self.last_utilization = if cap > 0.0 { offered / cap } else { 0.0 };
+
+        let milestone = if self.stats.served as u64 >= self.next_milestone {
+            let rec = MilestoneRecord {
+                served: self.stats.served as u64,
+                slo_ok: self.stats.slo_ok as u64,
+                backlog: self.backlog as u64,
+            };
+            self.next_milestone = (self.stats.served as u64 / self.cfg.milestone_every + 1)
+                * self.cfg.milestone_every;
+            Some(rec)
+        } else {
+            None
+        };
+        EndCycle { served, milestone }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provisioner::{OracleConfig, ProvisionerConfig};
+
+    fn steady(rps: f64) -> TrafficPattern {
+        TrafficPattern::Diurnal {
+            base_rps: rps,
+            peak_rps: rps,
+            period: 3_600.0,
+            phase: 0.0,
+        }
+    }
+
+    fn cfg(pattern: TrafficPattern, provisioner: ProvisionerMode) -> TrafficConfig {
+        TrafficConfig {
+            pattern,
+            capacity_rps: 100.0,
+            service_floor: 55.0,
+            slo_latency: 5.0,
+            service: default_service_spec(),
+            provisioner,
+            milestone_every: 1_000,
+        }
+    }
+
+    fn rng(seed: u64) -> RngStream {
+        RngStream::new(seed, "driver-test")
+    }
+
+    /// Runs `cycles` windows at full speed and returns the driver.
+    fn run(mut d: TrafficDriver, cycles: usize, dt: f64) -> TrafficDriver {
+        for c in 0..cycles {
+            let now = c as f64 * dt;
+            d.begin_cycle(now, dt);
+            let speed_sum = d.active_sockets() as f64;
+            d.end_cycle(now, dt, speed_sum, 100.0 * d.active_sockets() as f64 * dt);
+        }
+        d
+    }
+
+    #[test]
+    fn conservation_served_plus_backlog_is_arrived() {
+        let d = TrafficDriver::new(cfg(steady(500.0), ProvisionerMode::Static), 4, 2, rng(1));
+        let d = run(d, 200, 1.0);
+        let s = d.stats();
+        assert!(s.arrived > 0.0);
+        assert!(
+            (s.arrived - s.served - d.backlog()).abs() < 1e-6,
+            "arrived {} served {} backlog {}",
+            s.arrived,
+            s.served,
+            d.backlog()
+        );
+    }
+
+    #[test]
+    fn underloaded_static_fleet_meets_slo() {
+        // 500 rps offered, 8 sockets × 100 rps capacity: everything drains
+        // within its own window.
+        let d = TrafficDriver::new(cfg(steady(500.0), ProvisionerMode::Static), 4, 2, rng(2));
+        let d = run(d, 300, 1.0);
+        assert_eq!(d.stats().slo_attainment(), Some(1.0));
+        assert!(d.stats().mean_latency().unwrap() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn overload_builds_queue_and_latency() {
+        // 1500 rps into 800 rps of capacity: backlog and latency must grow.
+        let d = TrafficDriver::new(cfg(steady(1_500.0), ProvisionerMode::Static), 4, 2, rng(3));
+        let d = run(d, 120, 1.0);
+        assert!(d.backlog() > 10_000.0, "backlog {}", d.backlog());
+        assert!(d.stats().max_latency() > 10.0);
+        let att = d.stats().slo_attainment().unwrap();
+        assert!(att < 0.5, "attainment {att}");
+    }
+
+    #[test]
+    fn reactive_fleet_grows_under_load_and_shrinks_after() {
+        let pattern = TrafficPattern::FlashCrowd {
+            base_rps: 100.0,
+            peak_rps: 1_400.0,
+            start: 30.0,
+            ramp: 10.0,
+            hold: 60.0,
+            decay: 10.0,
+        };
+        let mode = ProvisionerMode::Reactive(ProvisionerConfig {
+            target_utilization: 0.7,
+            headroom_nodes: 0,
+            power_off_after: 20.0,
+            min_nodes: 1,
+        });
+        let mut d = TrafficDriver::new(cfg(pattern, mode), 8, 2, rng(4));
+        let mut peak_active = 0;
+        let mut saw_off = false;
+        for c in 0..400 {
+            let now = c as f64;
+            let begin = d.begin_cycle(now, 1.0);
+            saw_off |= begin.changes.iter().any(|ch| !ch.power_on);
+            peak_active = peak_active.max(d.active_nodes());
+            let speed_sum = d.active_sockets() as f64;
+            d.end_cycle(now, 1.0, speed_sum, 0.0);
+        }
+        assert!(peak_active >= 5, "fleet never grew: peak {peak_active}");
+        assert!(saw_off, "fleet never shrank after the crowd left");
+        assert!(
+            d.active_nodes() <= 2,
+            "still {} nodes at the end",
+            d.active_nodes()
+        );
+    }
+
+    #[test]
+    fn oracle_tracks_the_rate_curve() {
+        let mode = ProvisionerMode::Oracle(OracleConfig {
+            target_utilization: 0.8,
+            headroom_nodes: 0,
+            min_nodes: 1,
+        });
+        let mut d = TrafficDriver::new(cfg(steady(1_000.0), mode), 16, 2, rng(5));
+        d.begin_cycle(0.0, 1.0);
+        // 1000 rps / (0.8 × 200 rps/node) = 6.25 → 7 nodes immediately.
+        assert_eq!(d.active_nodes(), 7);
+    }
+
+    #[test]
+    fn milestones_fire_on_served_thresholds() {
+        let d = TrafficDriver::new(cfg(steady(800.0), ProvisionerMode::Static), 4, 2, rng(6));
+        let mut d = d;
+        let mut crossings = Vec::new();
+        for c in 0..50 {
+            let now = c as f64;
+            d.begin_cycle(now, 1.0);
+            let speed_sum = d.active_sockets() as f64;
+            if let Some(m) = d.end_cycle(now, 1.0, speed_sum, 0.0).milestone {
+                crossings.push(m);
+            }
+        }
+        assert!(crossings.len() >= 3, "only {} milestones", crossings.len());
+        for w in crossings.windows(2) {
+            assert!(w[1].served > w[0].served);
+        }
+        assert!(crossings[0].served >= 1_000);
+    }
+
+    #[test]
+    fn closed_loop_self_throttles() {
+        let pattern = TrafficPattern::ClosedLoop {
+            users: 2_000.0,
+            think_time: 2.0,
+        };
+        // Capacity 200 rps total vs a nominal 1000 rps of users: the
+        // outstanding pool must cap the backlog near the population size.
+        let d = TrafficDriver::new(cfg(pattern, ProvisionerMode::Static), 1, 2, rng(7));
+        let d = run(d, 500, 1.0);
+        assert!(d.backlog() <= 2_000.0 + 1e-6);
+        assert!(
+            d.stats().arrived > 10_000.0,
+            "arrived {}",
+            d.stats().arrived
+        );
+    }
+
+    #[test]
+    fn energy_folds_into_joules_per_million() {
+        let d = TrafficDriver::new(cfg(steady(400.0), ProvisionerMode::Static), 2, 2, rng(8));
+        let d = run(d, 100, 1.0);
+        let jpm = d.stats().joules_per_million().unwrap();
+        assert!(jpm > 0.0 && jpm.is_finite());
+        // 4 sockets × 100 W × 100 s = 40 kJ over ~40k requests ≈ 1e6 J/M.
+        assert!(
+            (5e5..5e6).contains(&jpm),
+            "joules per million {jpm} out of plausible range"
+        );
+    }
+
+    #[test]
+    fn same_seed_identical_run_different_seed_diverges() {
+        let build =
+            |seed| TrafficDriver::new(cfg(steady(600.0), ProvisionerMode::Static), 4, 2, rng(seed));
+        let a = run(build(42), 150, 1.0);
+        let b = run(build(42), 150, 1.0);
+        let c = run(build(43), 150, 1.0);
+        assert_eq!(a.stats().arrived, b.stats().arrived);
+        assert_eq!(a.stats().served, b.stats().served);
+        assert_eq!(a.stats().slo_ok, b.stats().slo_ok);
+        assert_ne!(a.stats().arrived, c.stats().arrived);
+    }
+
+    #[test]
+    fn percentile_estimates_are_monotone() {
+        let d = TrafficDriver::new(cfg(steady(1_200.0), ProvisionerMode::Static), 4, 2, rng(9));
+        let d = run(d, 200, 1.0);
+        let p50 = d.stats().latency_percentile(0.5).unwrap();
+        let p95 = d.stats().latency_percentile(0.95).unwrap();
+        let p100 = d.stats().latency_percentile(1.0).unwrap();
+        assert!(p50 <= p95 && p95 <= p100);
+        assert!(p100 <= d.stats().max_latency() + 1e-9);
+    }
+
+    #[test]
+    fn config_validation_gates_construction() {
+        let mut c = cfg(steady(100.0), ProvisionerMode::Static);
+        c.capacity_rps = 0.0;
+        assert!(c.validate().is_err());
+        let mut c2 = cfg(steady(100.0), ProvisionerMode::Static);
+        c2.milestone_every = 0;
+        assert!(c2.validate().is_err());
+        assert!(TrafficConfig::default_diurnal(16, 150.0).validate().is_ok());
+    }
+}

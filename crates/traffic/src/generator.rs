@@ -1,0 +1,434 @@
+//! Seeded request-arrival generators.
+//!
+//! A pattern is a deterministic *rate curve* `rate_at(t)` in requests per
+//! second; the generator turns it into per-window arrival batches by
+//! sampling a Poisson count around `rate × dt` from a pinned
+//! [`RngStream`]. Batches are `f64` counts so a window can carry thousands
+//! of requests (millions per day) without per-request allocation; the
+//! cohort bookkeeping in [`driver`](crate::driver) keeps latency accounting
+//! exact at batch granularity.
+//!
+//! Open-loop patterns ([`TrafficPattern::Diurnal`],
+//! [`TrafficPattern::FlashCrowd`], [`TrafficPattern::Playback`]) offer load
+//! regardless of how the cluster is doing. The closed-loop pattern
+//! ([`TrafficPattern::ClosedLoop`]) models a finite user population with
+//! think time: a user only issues a new request once the previous one
+//! finished, so offered load sags when the service backs up.
+
+use dps_sim_core::{RngStream, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// One point of a playback rate trace: hold/interpolate to the next point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlaybackPoint {
+    /// Simulated time of the sample (seconds).
+    pub time: Seconds,
+    /// Offered rate at that time (requests/s).
+    pub rps: f64,
+}
+
+/// A deterministic offered-load shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// A sinusoidal day/night curve between `base_rps` and `peak_rps`.
+    Diurnal {
+        /// Trough rate (requests/s).
+        base_rps: f64,
+        /// Crest rate (requests/s).
+        peak_rps: f64,
+        /// Length of one full day/night cycle (seconds).
+        period: Seconds,
+        /// Fraction of a period the curve is shifted by (`0.0..1.0`);
+        /// `0.0` starts at the trough.
+        phase: f64,
+    },
+    /// A flash-crowd spike: baseline, linear ramp to the peak, hold, linear
+    /// decay back to baseline.
+    FlashCrowd {
+        /// Rate outside the event (requests/s).
+        base_rps: f64,
+        /// Rate at the top of the spike (requests/s).
+        peak_rps: f64,
+        /// When the ramp begins (seconds).
+        start: Seconds,
+        /// Ramp duration (seconds); `0` jumps straight to the peak.
+        ramp: Seconds,
+        /// How long the peak holds (seconds).
+        hold: Seconds,
+        /// Decay duration back to baseline (seconds); `0` drops instantly.
+        decay: Seconds,
+    },
+    /// Playback of a recorded rate trace, linearly interpolated between
+    /// points and held flat before the first / after the last.
+    Playback(
+        /// Samples in strictly increasing time order.
+        Vec<PlaybackPoint>,
+    ),
+    /// A closed population of users; each issues a request, waits for the
+    /// response, thinks, and repeats.
+    ClosedLoop {
+        /// Population size.
+        users: f64,
+        /// Mean think time between a response and the next request
+        /// (seconds).
+        think_time: Seconds,
+    },
+}
+
+impl TrafficPattern {
+    /// Validates shape parameters, returning a human-readable error.
+    pub fn validate(&self) -> Result<(), String> {
+        let finite_nonneg = |v: f64, what: &str| {
+            if !v.is_finite() || v < 0.0 {
+                Err(format!("{what} must be finite and >= 0, got {v}"))
+            } else {
+                Ok(())
+            }
+        };
+        match self {
+            TrafficPattern::Diurnal {
+                base_rps,
+                peak_rps,
+                period,
+                phase,
+            } => {
+                finite_nonneg(*base_rps, "diurnal base_rps")?;
+                finite_nonneg(*peak_rps, "diurnal peak_rps")?;
+                if peak_rps < base_rps {
+                    return Err(format!(
+                        "diurnal peak_rps {peak_rps} below base_rps {base_rps}"
+                    ));
+                }
+                if *period <= 0.0 || !period.is_finite() {
+                    return Err(format!("diurnal period must be > 0, got {period}"));
+                }
+                if !phase.is_finite() {
+                    return Err(format!("diurnal phase must be finite, got {phase}"));
+                }
+                Ok(())
+            }
+            TrafficPattern::FlashCrowd {
+                base_rps,
+                peak_rps,
+                start,
+                ramp,
+                hold,
+                decay,
+            } => {
+                finite_nonneg(*base_rps, "flash-crowd base_rps")?;
+                finite_nonneg(*peak_rps, "flash-crowd peak_rps")?;
+                if peak_rps < base_rps {
+                    return Err(format!(
+                        "flash-crowd peak_rps {peak_rps} below base_rps {base_rps}"
+                    ));
+                }
+                finite_nonneg(*start, "flash-crowd start")?;
+                finite_nonneg(*ramp, "flash-crowd ramp")?;
+                finite_nonneg(*hold, "flash-crowd hold")?;
+                finite_nonneg(*decay, "flash-crowd decay")?;
+                Ok(())
+            }
+            TrafficPattern::Playback(points) => {
+                if points.is_empty() {
+                    return Err("playback trace must have at least one point".to_string());
+                }
+                for w in points.windows(2) {
+                    if w[1].time <= w[0].time || w[1].time.is_nan() || w[0].time.is_nan() {
+                        return Err(format!(
+                            "playback times must strictly increase ({} then {})",
+                            w[0].time, w[1].time
+                        ));
+                    }
+                }
+                for p in points {
+                    finite_nonneg(p.time, "playback time")?;
+                    finite_nonneg(p.rps, "playback rps")?;
+                }
+                Ok(())
+            }
+            TrafficPattern::ClosedLoop { users, think_time } => {
+                if *users <= 0.0 || !users.is_finite() {
+                    return Err(format!("closed-loop users must be > 0, got {users}"));
+                }
+                if *think_time <= 0.0 || !think_time.is_finite() {
+                    return Err(format!(
+                        "closed-loop think_time must be > 0, got {think_time}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The instantaneous offered rate at time `t` (requests/s). For the
+    /// closed-loop pattern this is the nominal zero-latency rate
+    /// `users / think_time`; actual arrivals depend on outstanding work.
+    pub fn rate_at(&self, t: Seconds) -> f64 {
+        match self {
+            TrafficPattern::Diurnal {
+                base_rps,
+                peak_rps,
+                period,
+                phase,
+            } => {
+                let x = t / period + phase;
+                base_rps
+                    + (peak_rps - base_rps) * 0.5 * (1.0 - (2.0 * std::f64::consts::PI * x).cos())
+            }
+            TrafficPattern::FlashCrowd {
+                base_rps,
+                peak_rps,
+                start,
+                ramp,
+                hold,
+                decay,
+            } => {
+                let spike = peak_rps - base_rps;
+                if t < *start {
+                    *base_rps
+                } else if t < start + ramp {
+                    base_rps + spike * ((t - start) / ramp)
+                } else if t < start + ramp + hold {
+                    *peak_rps
+                } else if t < start + ramp + hold + decay {
+                    base_rps + spike * (1.0 - (t - start - ramp - hold) / decay)
+                } else {
+                    *base_rps
+                }
+            }
+            TrafficPattern::Playback(points) => {
+                let first = points.first().expect("validated non-empty");
+                let last = points.last().expect("validated non-empty");
+                if t <= first.time {
+                    return first.rps;
+                }
+                if t >= last.time {
+                    return last.rps;
+                }
+                let i = points.partition_point(|p| p.time <= t);
+                let (a, b) = (&points[i - 1], &points[i]);
+                a.rps + (b.rps - a.rps) * ((t - a.time) / (b.time - a.time))
+            }
+            TrafficPattern::ClosedLoop { users, think_time } => users / think_time,
+        }
+    }
+
+    /// The largest rate the pattern can offer (requests/s).
+    pub fn peak_rate(&self) -> f64 {
+        match self {
+            TrafficPattern::Diurnal { peak_rps, .. } => *peak_rps,
+            TrafficPattern::FlashCrowd { peak_rps, .. } => *peak_rps,
+            TrafficPattern::Playback(points) => points.iter().map(|p| p.rps).fold(0.0, f64::max),
+            TrafficPattern::ClosedLoop { users, think_time } => users / think_time,
+        }
+    }
+
+    /// Whether arrivals depend on outstanding requests (closed loop).
+    pub fn is_closed_loop(&self) -> bool {
+        matches!(self, TrafficPattern::ClosedLoop { .. })
+    }
+}
+
+/// Samples a Poisson count with the given mean. Exact (Knuth) for small
+/// means, normal approximation above — both draw a bounded number of
+/// variates from the stream, keeping the cost independent of the rate for
+/// the large batches a millions-of-users service produces.
+fn poisson(mean: f64, rng: &mut RngStream) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    if mean < 32.0 {
+        let limit = (-mean).exp();
+        let mut k: u64 = 0;
+        let mut p = 1.0;
+        loop {
+            p *= rng.uniform();
+            if p <= limit {
+                return k as f64;
+            }
+            k += 1;
+        }
+    }
+    rng.normal(mean, mean.sqrt()).round().max(0.0)
+}
+
+/// A pattern plus a pinned random stream: the arrival source for one run.
+#[derive(Debug, Clone)]
+pub struct RequestGenerator {
+    pattern: TrafficPattern,
+    rng: RngStream,
+}
+
+impl RequestGenerator {
+    /// Creates a generator; the same `(pattern, rng)` pair always produces
+    /// the identical arrival stream.
+    pub fn new(pattern: TrafficPattern, rng: RngStream) -> Self {
+        RequestGenerator { pattern, rng }
+    }
+
+    /// The underlying pattern.
+    pub fn pattern(&self) -> &TrafficPattern {
+        &self.pattern
+    }
+
+    /// Draws the arrival batch for the window `[now, now + dt)`.
+    /// `outstanding` is the number of requests queued or in service — only
+    /// the closed-loop pattern uses it (idle users cannot exceed the
+    /// population).
+    pub fn arrivals(&mut self, now: Seconds, dt: Seconds, outstanding: f64) -> f64 {
+        match self.pattern {
+            TrafficPattern::ClosedLoop { users, think_time } => {
+                let idle = (users - outstanding).max(0.0);
+                let mean = (idle * dt / think_time).min(idle);
+                poisson(mean, &mut self.rng).min(idle)
+            }
+            _ => {
+                let mean = self.pattern.rate_at(now + 0.5 * dt) * dt;
+                poisson(mean, &mut self.rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(seed: u64) -> RngStream {
+        RngStream::new(seed, "traffic-test")
+    }
+
+    #[test]
+    fn diurnal_trough_and_crest() {
+        let p = TrafficPattern::Diurnal {
+            base_rps: 100.0,
+            peak_rps: 500.0,
+            period: 86_400.0,
+            phase: 0.0,
+        };
+        p.validate().unwrap();
+        assert!((p.rate_at(0.0) - 100.0).abs() < 1e-9);
+        assert!((p.rate_at(43_200.0) - 500.0).abs() < 1e-9);
+        assert!((p.rate_at(86_400.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flash_crowd_piecewise_shape() {
+        let p = TrafficPattern::FlashCrowd {
+            base_rps: 50.0,
+            peak_rps: 250.0,
+            start: 100.0,
+            ramp: 20.0,
+            hold: 60.0,
+            decay: 40.0,
+        };
+        p.validate().unwrap();
+        assert_eq!(p.rate_at(0.0), 50.0);
+        assert!((p.rate_at(110.0) - 150.0).abs() < 1e-9);
+        assert_eq!(p.rate_at(150.0), 250.0);
+        assert!((p.rate_at(200.0) - 150.0).abs() < 1e-9);
+        assert_eq!(p.rate_at(1_000.0), 50.0);
+    }
+
+    #[test]
+    fn flash_crowd_zero_ramp_jumps() {
+        let p = TrafficPattern::FlashCrowd {
+            base_rps: 10.0,
+            peak_rps: 90.0,
+            start: 5.0,
+            ramp: 0.0,
+            hold: 10.0,
+            decay: 0.0,
+        };
+        p.validate().unwrap();
+        assert_eq!(p.rate_at(4.999), 10.0);
+        assert_eq!(p.rate_at(5.0), 90.0);
+        assert_eq!(p.rate_at(15.0), 10.0);
+    }
+
+    #[test]
+    fn playback_interpolates_and_holds_ends() {
+        let p = TrafficPattern::Playback(vec![
+            PlaybackPoint {
+                time: 10.0,
+                rps: 100.0,
+            },
+            PlaybackPoint {
+                time: 20.0,
+                rps: 300.0,
+            },
+        ]);
+        p.validate().unwrap();
+        assert_eq!(p.rate_at(0.0), 100.0);
+        assert!((p.rate_at(15.0) - 200.0).abs() < 1e-9);
+        assert_eq!(p.rate_at(99.0), 300.0);
+        assert_eq!(p.peak_rate(), 300.0);
+    }
+
+    #[test]
+    fn invalid_patterns_rejected() {
+        assert!(TrafficPattern::Diurnal {
+            base_rps: 500.0,
+            peak_rps: 100.0,
+            period: 3600.0,
+            phase: 0.0,
+        }
+        .validate()
+        .is_err());
+        assert!(TrafficPattern::Playback(vec![]).validate().is_err());
+        assert!(TrafficPattern::ClosedLoop {
+            users: 0.0,
+            think_time: 1.0,
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let p = TrafficPattern::Diurnal {
+            base_rps: 200.0,
+            peak_rps: 900.0,
+            period: 3_600.0,
+            phase: 0.25,
+        };
+        let mut a = RequestGenerator::new(p.clone(), stream(7));
+        let mut b = RequestGenerator::new(p, stream(7));
+        for c in 0..500 {
+            let t = c as f64;
+            assert_eq!(a.arrivals(t, 1.0, 0.0), b.arrivals(t, 1.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn poisson_mean_tracks_rate() {
+        // Large-mean branch: the sample mean over many windows should land
+        // near rate × dt.
+        let p = TrafficPattern::Diurnal {
+            base_rps: 1_000.0,
+            peak_rps: 1_000.0,
+            period: 3_600.0,
+            phase: 0.0,
+        };
+        let mut g = RequestGenerator::new(p, stream(11));
+        let n = 2_000;
+        let total: f64 = (0..n).map(|c| g.arrivals(c as f64, 1.0, 0.0)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 1_000.0).abs() < 10.0, "sample mean {mean}");
+    }
+
+    #[test]
+    fn closed_loop_arrivals_bounded_by_idle_users() {
+        let p = TrafficPattern::ClosedLoop {
+            users: 100.0,
+            think_time: 2.0,
+        };
+        let mut g = RequestGenerator::new(p, stream(3));
+        for c in 0..200 {
+            let outstanding = (c % 120) as f64;
+            let idle = (100.0 - outstanding).max(0.0);
+            let a = g.arrivals(c as f64, 1.0, outstanding);
+            assert!(a >= 0.0 && a <= idle + 1e-9, "arrivals {a} vs idle {idle}");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Request-driven elastic cluster layer (`dps-traffic`).
+//!
+//! DPS divides a fixed power budget among always-on sockets; this crate
+//! supplies the missing half of the overprovisioning story — a *service*
+//! absorbing traffic from millions of daily users on a fleet that breathes.
+//! Following CloudPowerCap's argument that power budgeting and resource
+//! provisioning must be decided together, the pieces here close the loop
+//! from request arrivals to watts:
+//!
+//! * [`generator`] — seeded, deterministic request generators. Open-loop
+//!   patterns (diurnal curve, flash-crowd spike, trace playback) sample a
+//!   Poisson batch per decision window around a shaped rate curve;
+//!   the closed-loop pattern models a finite user population with think
+//!   time, so arrivals throttle themselves when the cluster falls behind.
+//! * [`provisioner`] — a Ranjan-style reactive provisioner: scale *up*
+//!   immediately when utilization exceeds the target, scale *down* only
+//!   after the excess persists for a hysteresis window (the ski-rental
+//!   intuition: a powered-off node that is needed again soon costs more
+//!   than the watts it saved). An oracle variant provisions from the true
+//!   rate curve for a lower-bound comparison.
+//! * [`driver`] — the per-cycle bookkeeping engine wired into
+//!   `dps-cluster`'s simulator: it queues arrival cohorts, converts backlog
+//!   into per-socket busy fractions (which scale the `dps-workloads` demand
+//!   programs the sockets run), serves requests at the speed the granted
+//!   power allows, and tracks queueing latency, SLO attainment and joules
+//!   per million requests through `dps-metrics`.
+//!
+//! Everything is deterministic under a pinned [`RngStream`]: the same seed
+//! yields a bit-identical arrival stream, provisioning schedule and trace.
+//!
+//! [`RngStream`]: dps_sim_core::RngStream
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod generator;
+pub mod provisioner;
+
+pub use driver::{ProvisionChange, RequestStats, TrafficConfig, TrafficDriver};
+pub use generator::{PlaybackPoint, RequestGenerator, TrafficPattern};
+pub use provisioner::{OracleConfig, ProvisionerConfig, ProvisionerMode, ReactiveProvisioner};

@@ -1,0 +1,295 @@
+//! Elastic fleet provisioning policies.
+//!
+//! The reactive policy follows Ranjan-style reactive provisioning: compare
+//! measured utilization against a target, scale *up* immediately when the
+//! fleet is running hot, and scale *down* only after the surplus persists
+//! for a hysteresis window. The hysteresis is the ski-rental hedge: a node
+//! powered off just before the load returns pays a power-on latency and a
+//! cold controller state (Kalman/history reset), so shrinking should wait
+//! until the evidence is sustained. The oracle policy provisions from the
+//! true offered-rate curve and exists purely as a lower-bound baseline in
+//! experiments.
+
+use dps_sim_core::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the reactive (Ranjan-style) provisioner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProvisionerConfig {
+    /// Fleet utilization the policy steers toward (`0 < x <= 1`); the
+    /// desired node count is `ceil(offered load / target)`.
+    pub target_utilization: f64,
+    /// Extra nodes kept powered above the computed need.
+    pub headroom_nodes: usize,
+    /// How long utilization must stay below target before nodes power off
+    /// (seconds).
+    pub power_off_after: Seconds,
+    /// Never power below this many nodes.
+    pub min_nodes: usize,
+}
+
+impl ProvisionerConfig {
+    /// A conservative default: 70 % target, one spare node, five-minute
+    /// power-off hysteresis, one node always on.
+    pub fn default_reactive() -> Self {
+        ProvisionerConfig {
+            target_utilization: 0.7,
+            headroom_nodes: 1,
+            power_off_after: 300.0,
+            min_nodes: 1,
+        }
+    }
+
+    /// Validates the tunables.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.target_utilization > 0.0 && self.target_utilization <= 1.0) {
+            return Err(format!(
+                "target_utilization must be in (0, 1], got {}",
+                self.target_utilization
+            ));
+        }
+        if self.power_off_after < 0.0 || !self.power_off_after.is_finite() {
+            return Err(format!(
+                "power_off_after must be finite and >= 0, got {}",
+                self.power_off_after
+            ));
+        }
+        if self.min_nodes == 0 {
+            return Err("min_nodes must be >= 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Tunables of the oracle baseline (no hysteresis: it never guesses wrong).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OracleConfig {
+    /// Fleet utilization the oracle provisions for (`0 < x <= 1`).
+    pub target_utilization: f64,
+    /// Extra nodes kept powered above the computed need.
+    pub headroom_nodes: usize,
+    /// Never power below this many nodes.
+    pub min_nodes: usize,
+}
+
+impl OracleConfig {
+    /// Validates the tunables.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.target_utilization > 0.0 && self.target_utilization <= 1.0) {
+            return Err(format!(
+                "target_utilization must be in (0, 1], got {}",
+                self.target_utilization
+            ));
+        }
+        if self.min_nodes == 0 {
+            return Err("min_nodes must be >= 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Which provisioning policy runs the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ProvisionerMode {
+    /// Every node stays powered for the whole run.
+    Static,
+    /// Reactive scaling from measured utilization.
+    Reactive(ProvisionerConfig),
+    /// Clairvoyant scaling from the true rate curve (baseline).
+    Oracle(OracleConfig),
+}
+
+impl ProvisionerMode {
+    /// Validates the embedded policy config.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            ProvisionerMode::Static => Ok(()),
+            ProvisionerMode::Reactive(cfg) => cfg.validate(),
+            ProvisionerMode::Oracle(cfg) => cfg.validate(),
+        }
+    }
+}
+
+/// The reactive policy's mutable state: an up-to-date shrink timer.
+#[derive(Debug, Clone)]
+pub struct ReactiveProvisioner {
+    cfg: ProvisionerConfig,
+    /// When utilization first supported a smaller fleet (hysteresis clock).
+    shrink_since: Option<Seconds>,
+}
+
+impl ReactiveProvisioner {
+    /// Creates the policy state.
+    pub fn new(cfg: ProvisionerConfig) -> Self {
+        ReactiveProvisioner {
+            cfg,
+            shrink_since: None,
+        }
+    }
+
+    /// The node count that would serve `offered_node_loads` node-loads of
+    /// work at the target utilization, plus headroom, clamped to
+    /// `[min_nodes, max_nodes]`.
+    fn need(&self, offered_node_loads: f64, max_nodes: usize) -> usize {
+        let raw = (offered_node_loads / self.cfg.target_utilization).ceil();
+        let raw = if raw.is_finite() {
+            raw.max(0.0) as usize
+        } else {
+            max_nodes
+        };
+        (raw + self.cfg.headroom_nodes).clamp(self.cfg.min_nodes, max_nodes)
+    }
+
+    /// Decides the fleet size for the next window. `utilization` is last
+    /// window's offered work over powered capacity (may exceed 1 under
+    /// overload), `active_nodes` the currently powered count.
+    ///
+    /// Growth applies immediately; shrinking waits until the smaller need
+    /// has persisted for `power_off_after` seconds.
+    pub fn desired_nodes(
+        &mut self,
+        now: Seconds,
+        utilization: f64,
+        active_nodes: usize,
+        max_nodes: usize,
+    ) -> usize {
+        let need = self.need(utilization * active_nodes as f64, max_nodes);
+        if need >= active_nodes {
+            self.shrink_since = None;
+            return need;
+        }
+        match self.shrink_since {
+            Some(since) if now - since >= self.cfg.power_off_after => {
+                self.shrink_since = None;
+                need
+            }
+            Some(_) => active_nodes,
+            None => {
+                self.shrink_since = Some(now);
+                if self.cfg.power_off_after <= 0.0 {
+                    self.shrink_since = None;
+                    need
+                } else {
+                    active_nodes
+                }
+            }
+        }
+    }
+}
+
+/// The oracle's fleet size for an offered rate of `rate` requests/s on
+/// nodes serving `node_capacity_rps` each at full speed.
+pub fn oracle_nodes(
+    cfg: &OracleConfig,
+    rate: f64,
+    node_capacity_rps: f64,
+    max_nodes: usize,
+) -> usize {
+    let raw = (rate / (cfg.target_utilization * node_capacity_rps)).ceil();
+    let raw = if raw.is_finite() {
+        raw.max(0.0) as usize
+    } else {
+        max_nodes
+    };
+    (raw + cfg.headroom_nodes).clamp(cfg.min_nodes, max_nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ProvisionerConfig {
+        ProvisionerConfig {
+            target_utilization: 0.5,
+            headroom_nodes: 0,
+            power_off_after: 10.0,
+            min_nodes: 1,
+        }
+    }
+
+    #[test]
+    fn grows_immediately_when_hot() {
+        let mut p = ReactiveProvisioner::new(cfg());
+        // 4 nodes at 0.9 utilization = 3.6 node-loads → need 8 at target 0.5.
+        assert_eq!(p.desired_nodes(0.0, 0.9, 4, 16), 8);
+    }
+
+    #[test]
+    fn shrinks_only_after_hysteresis() {
+        let mut p = ReactiveProvisioner::new(cfg());
+        // 8 nodes at 0.1 = 0.8 node-loads → need 2, but only after 10 s.
+        assert_eq!(p.desired_nodes(0.0, 0.1, 8, 16), 8);
+        assert_eq!(p.desired_nodes(5.0, 0.1, 8, 16), 8);
+        assert_eq!(p.desired_nodes(10.0, 0.1, 8, 16), 2);
+    }
+
+    #[test]
+    fn growth_resets_the_shrink_timer() {
+        let mut p = ReactiveProvisioner::new(cfg());
+        assert_eq!(p.desired_nodes(0.0, 0.1, 8, 16), 8); // timer starts
+        assert_eq!(p.desired_nodes(6.0, 1.2, 8, 16), 16); // hot again
+                                                          // Quiet again: the timer must restart from scratch.
+        assert_eq!(p.desired_nodes(8.0, 0.05, 16, 16), 16);
+        assert_eq!(p.desired_nodes(12.0, 0.05, 16, 16), 16);
+        assert_eq!(p.desired_nodes(18.0, 0.05, 16, 16), 2);
+    }
+
+    #[test]
+    fn respects_min_and_max() {
+        let mut p = ReactiveProvisioner::new(ProvisionerConfig {
+            min_nodes: 3,
+            power_off_after: 0.0,
+            ..cfg()
+        });
+        assert_eq!(p.desired_nodes(0.0, 0.0, 8, 16), 3);
+        assert_eq!(p.desired_nodes(1.0, 10.0, 3, 6), 6);
+    }
+
+    #[test]
+    fn headroom_rides_on_top_of_need() {
+        let mut p = ReactiveProvisioner::new(ProvisionerConfig {
+            headroom_nodes: 2,
+            ..cfg()
+        });
+        // 2 nodes at 0.5 = 1 node-load → need 2 + 2 headroom = 4.
+        assert_eq!(p.desired_nodes(0.0, 0.5, 2, 16), 4);
+    }
+
+    #[test]
+    fn oracle_sizing() {
+        let cfg = OracleConfig {
+            target_utilization: 0.8,
+            headroom_nodes: 1,
+            min_nodes: 1,
+        };
+        // 1000 rps at 200 rps/node and 0.8 target → ceil(6.25)=7, +1 = 8.
+        assert_eq!(oracle_nodes(&cfg, 1_000.0, 200.0, 16), 8);
+        assert_eq!(oracle_nodes(&cfg, 0.0, 200.0, 16), 1);
+        assert_eq!(oracle_nodes(&cfg, 1e12, 200.0, 16), 16);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ProvisionerConfig::default_reactive().validate().is_ok());
+        assert!(ProvisionerConfig {
+            target_utilization: 0.0,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+        assert!(ProvisionerConfig {
+            min_nodes: 0,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+        assert!(ProvisionerMode::Oracle(OracleConfig {
+            target_utilization: 1.5,
+            headroom_nodes: 0,
+            min_nodes: 1,
+        })
+        .validate()
+        .is_err());
+        assert!(ProvisionerMode::Static.validate().is_ok());
+    }
+}

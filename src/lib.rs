@@ -11,4 +11,5 @@ pub use dps_obs as obs;
 pub use dps_rapl as rapl;
 pub use dps_sched as sched;
 pub use dps_sim_core as sim_core;
+pub use dps_traffic as traffic;
 pub use dps_workloads as workloads;

@@ -92,6 +92,26 @@ fn scheduler_churn_matches_golden() {
 }
 
 #[test]
+fn elastic_traffic_matches_golden() {
+    let bytes = check_against_golden(GoldenScenario::ElasticTraffic);
+    let trace = codec::decode(&bytes).expect("golden trace decodes");
+    let reg = dps_suite::obs::ObsRegistry::from_events(&trace.events);
+    // The scenario must exercise the whole elastic loop: growth during the
+    // flash crowd, hysteresis shrinkage after, request milestones, and the
+    // membership churn provisioning drives into the manager.
+    assert!(reg.provision_power_ons() > 0, "no power-ons recorded");
+    assert!(reg.provision_power_offs() > 0, "no power-offs recorded");
+    assert!(
+        reg.request_milestones() > 0,
+        "no request milestones recorded"
+    );
+    assert!(
+        reg.membership_flips() > 0,
+        "provisioning never reached the manager"
+    );
+}
+
+#[test]
 fn recording_twice_is_byte_stable() {
     for scenario in GoldenScenario::ALL {
         let a = scenario.record();

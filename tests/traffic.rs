@@ -1,0 +1,268 @@
+//! Traffic-mode integration: request-driven elasticity, provisioning
+//! churn, and the budget invariant, exercised through the whole stack
+//! (generator → provisioner → simulator → manager → RAPL substrate).
+//!
+//! The headline acceptance checks live here:
+//!
+//! * with the elastic provisioner powering whole nodes on and off, the sum
+//!   of caps applied to *powered* units never exceeds the cluster budget
+//!   on any cycle, for any manager;
+//! * an identical seed yields a bit-identical traffic trace;
+//! * a membership flip covering ≥ 25 % of the fleet in a single
+//!   `observe_membership` call leaves no stale per-unit state behind —
+//!   no priority flags, no quarantine verdicts, no Kalman history.
+
+use dps_suite::cluster::{ClusterSim, ExperimentConfig};
+use dps_suite::core::guard::HealthState;
+use dps_suite::core::manager::{ManagerKind, PowerManager, UnitLimits};
+use dps_suite::core::{DpsConfig, DpsManager, GuardConfig};
+use dps_suite::obs::SinkHandle;
+use dps_suite::rapl::Topology;
+use dps_suite::sim_core::RngStream;
+use dps_suite::traffic::{ProvisionerConfig, ProvisionerMode, TrafficConfig, TrafficPattern};
+
+const MANAGERS: [ManagerKind; 3] = [ManagerKind::Constant, ManagerKind::Slurm, ManagerKind::Dps];
+
+/// 2 clusters × 2 nodes × 2 sockets under a flash crowd that forces the
+/// reactive provisioner through both power-ons and hysteresis power-offs.
+fn traffic_config(seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper_default(seed, 1);
+    cfg.sim.topology = Topology::new(2, 2, 2);
+    let total_sockets = cfg.sim.topology.total_units();
+    let mut traffic = TrafficConfig::default_diurnal(total_sockets, 100.0);
+    traffic.pattern = TrafficPattern::FlashCrowd {
+        base_rps: 100.0,
+        peak_rps: 0.9 * total_sockets as f64 * 100.0,
+        start: 20.0,
+        ramp: 10.0,
+        hold: 60.0,
+        decay: 10.0,
+    };
+    traffic.provisioner = ProvisionerMode::Reactive(ProvisionerConfig {
+        target_utilization: 0.7,
+        headroom_nodes: 0,
+        power_off_after: 15.0,
+        min_nodes: 1,
+    });
+    traffic.milestone_every = 10_000;
+    cfg.sim.traffic = Some(traffic);
+    cfg
+}
+
+/// Runs `cycles` windows asserting the powered-caps budget invariant on
+/// every one. Returns (sim, peak powered nodes, min powered nodes seen
+/// after the peak).
+fn run_checked(cfg: &ExperimentConfig, kind: ManagerKind, cycles: u64) -> (ClusterSim, usize) {
+    let mut sim = ClusterSim::with_traffic(
+        cfg.sim.clone(),
+        cfg.build_manager(kind),
+        &RngStream::new(cfg.seed, "traffic-integration"),
+    );
+    let budget = cfg.sim.total_budget();
+    let mut peak = 0;
+    for _ in 0..cycles {
+        sim.cycle();
+        let occupied = sim.occupied_units().expect("traffic mode");
+        let occupied_sum: f64 = sim
+            .caps()
+            .iter()
+            .zip(occupied)
+            .filter(|&(_, &occ)| occ)
+            .map(|(&cap, _)| cap)
+            .sum();
+        assert!(
+            occupied_sum <= budget + 1e-6,
+            "{kind}: powered caps {occupied_sum:.3} W exceed budget {budget:.3} W at t={:.0}",
+            sim.now()
+        );
+        peak = peak.max(sim.traffic_driver().unwrap().active_nodes());
+    }
+    (sim, peak)
+}
+
+#[test]
+fn budget_safe_under_elastic_provisioning_for_every_manager() {
+    let cfg = traffic_config(11);
+    for kind in MANAGERS {
+        let (sim, peak) = run_checked(&cfg, kind, 250);
+        // The scenario must actually churn the fleet, or the invariant
+        // check above guards nothing.
+        assert!(peak >= 3, "{kind}: fleet never grew (peak {peak})");
+        assert!(
+            sim.traffic_driver().unwrap().active_nodes() < peak,
+            "{kind}: fleet never shrank back"
+        );
+        let stats = sim.request_stats().unwrap();
+        assert!(
+            stats.served > 1_000.0,
+            "{kind}: implausibly few requests served ({})",
+            stats.served
+        );
+        // Conservation: every arrival is either served or still queued.
+        let backlog = sim.traffic_driver().unwrap().backlog();
+        assert!(
+            (stats.arrived - stats.served - backlog).abs() < 1e-6,
+            "{kind}: request conservation violated"
+        );
+    }
+}
+
+#[test]
+fn identical_seed_yields_bit_identical_traffic_trace() {
+    let record = || {
+        let cfg = traffic_config(23);
+        let mut sim = ClusterSim::with_traffic(
+            cfg.sim.clone(),
+            cfg.build_manager(ManagerKind::Dps),
+            &RngStream::new(cfg.seed, "traffic-determinism"),
+        );
+        let sink = SinkHandle::recording(1 << 16);
+        sim.set_trace_sink(sink.clone());
+        for _ in 0..200 {
+            sim.cycle();
+        }
+        sink.export().expect("recording sink exports")
+    };
+    let a = record();
+    let b = record();
+    assert!(
+        a == b,
+        "same seed must reproduce the traffic trace byte-for-byte"
+    );
+
+    let trace = dps_suite::obs::codec::decode(&a).expect("trace decodes");
+    let reg = dps_suite::obs::ObsRegistry::from_events(&trace.events);
+    assert!(reg.provision_power_ons() > 0, "no power-ons in the trace");
+    assert!(reg.provision_power_offs() > 0, "no power-offs in the trace");
+    assert!(reg.request_milestones() > 0, "no milestones in the trace");
+    assert!(
+        reg.membership_flips() > 0,
+        "no membership flips in the trace"
+    );
+}
+
+// ---- membership churn-rate stress (the ≥ 25 %-in-one-cycle regression) ----
+
+const N: usize = 16;
+
+fn guarded_manager(seed: u64) -> DpsManager {
+    DpsManager::with_guard(
+        N,
+        110.0 * N as f64,
+        UnitLimits {
+            min_cap: 40.0,
+            max_cap: 165.0,
+        },
+        DpsConfig::default(),
+        GuardConfig {
+            // Synthetic noise-free telemetry trips the zero-variance
+            // detector; let the value gates do the detecting.
+            stuck_window: 0,
+            quarantine_after: 2,
+            probation_after: 3,
+            readmit_after: 4,
+            ..Default::default()
+        },
+        RngStream::new(seed, "churn-stress"),
+    )
+}
+
+/// One synthetic manager cycle: hot units report power near their caps,
+/// quiet units report 30 W, and `faulty` units report NaN.
+fn cycle(mgr: &mut DpsManager, caps: &mut [f64], faulty: &[usize]) {
+    let measured: Vec<f64> = caps
+        .iter()
+        .enumerate()
+        .map(|(u, &cap)| {
+            if faulty.contains(&u) {
+                f64::NAN
+            } else if u < N / 2 {
+                (cap - 1.0).max(40.0)
+            } else {
+                30.0
+            }
+        })
+        .collect();
+    mgr.assign_caps(&measured, caps, 1.0);
+}
+
+#[test]
+fn quarter_fleet_churn_in_one_cycle_leaves_no_stale_state() {
+    let budget = 110.0 * N as f64;
+    let mut mgr = guarded_manager(0xC11);
+    let mut caps = vec![110.0; N];
+    let mut active = vec![true; N];
+    mgr.observe_membership(&active);
+
+    // Warm up: asymmetric load accumulates Kalman histories and priority
+    // flags, and unit 0's NaN telemetry drives it into quarantine.
+    for _ in 0..30 {
+        cycle(&mut mgr, &mut caps, &[0]);
+        assert!(caps.iter().sum::<f64>() <= budget + 1e-6);
+    }
+    let health = mgr.health().expect("guarded manager");
+    assert!(
+        health[0].is_isolated(),
+        "precondition: unit 0 should be quarantined, got {:?}",
+        health[0]
+    );
+    let priorities = mgr.priorities().expect("DPS tracks priorities");
+    let hot_priorities = priorities[..N / 2].iter().filter(|&&p| p).count();
+    assert!(
+        hot_priorities > 0,
+        "precondition: warm-up must set priority flags on hot units"
+    );
+
+    // Flip half the fleet — including the quarantined unit — in ONE call:
+    // well above the 25 % churn-rate bar.
+    active[..N / 2].fill(false);
+    mgr.observe_membership(&active);
+
+    // No stale state may survive the flip: priorities cleared, quarantine
+    // verdicts dropped (the socket's next tenant starts with clean
+    // telemetry history).
+    let priorities = mgr.priorities().unwrap();
+    for (u, &p) in priorities.iter().take(N / 2).enumerate() {
+        assert!(!p, "unit {u}: priority flag survived the flip");
+    }
+    assert_eq!(
+        mgr.health().unwrap()[0],
+        HealthState::Healthy,
+        "quarantine verdict survived the membership flip"
+    );
+
+    // The shrunken fleet keeps allocating safely...
+    for _ in 0..20 {
+        cycle(&mut mgr, &mut caps, &[]);
+        assert!(
+            caps.iter().sum::<f64>() <= budget + 1e-6,
+            "budget overrun after mass power-off"
+        );
+    }
+
+    // ...and so does the re-grown fleet (another ≥ 25 % flip, back on).
+    active[..N / 2].fill(true);
+    mgr.observe_membership(&active);
+    for u in 0..N / 2 {
+        assert!(
+            !mgr.priorities().unwrap()[u],
+            "unit {u}: rejoined with a stale priority flag"
+        );
+    }
+    for _ in 0..30 {
+        cycle(&mut mgr, &mut caps, &[]);
+        assert!(
+            caps.iter().sum::<f64>() <= budget + 1e-6,
+            "budget overrun after mass power-on"
+        );
+    }
+    // With clean telemetry after the churn, every unit must be healthy.
+    assert!(
+        mgr.health()
+            .unwrap()
+            .iter()
+            .all(|h| *h == HealthState::Healthy),
+        "stale guard state after churn: {:?}",
+        mgr.health().unwrap()
+    );
+}

@@ -1,0 +1,122 @@
+//! Property tests on the request-arrival generators: seed determinism,
+//! rate-curve bounds, and conservation of the sampled arrival streams.
+
+use dps_suite::sim_core::RngStream;
+use dps_suite::traffic::{PlaybackPoint, RequestGenerator, TrafficPattern};
+use proptest::prelude::*;
+
+/// Strategy for valid diurnal patterns: peak built as base + extra so the
+/// pair is always ordered.
+fn diurnal_strategy() -> impl Strategy<Value = TrafficPattern> {
+    (
+        0.0f64..2_000.0,
+        0.0f64..3_000.0,
+        60.0f64..90_000.0,
+        0.0f64..1.0,
+    )
+        .prop_map(|(base, extra, period, phase)| TrafficPattern::Diurnal {
+            base_rps: base,
+            peak_rps: base + extra,
+            period,
+            phase,
+        })
+}
+
+/// Strategy for valid flash-crowd patterns (ramp/hold/decay may be zero).
+fn flash_crowd_strategy() -> impl Strategy<Value = TrafficPattern> {
+    (
+        0.0f64..1_000.0,
+        0.0f64..5_000.0,
+        0.0f64..500.0,
+        0.0f64..120.0,
+        0.0f64..600.0,
+        0.0f64..120.0,
+    )
+        .prop_map(
+            |(base, extra, start, ramp, hold, decay)| TrafficPattern::FlashCrowd {
+                base_rps: base,
+                peak_rps: base + extra,
+                start,
+                ramp,
+                hold,
+                decay,
+            },
+        )
+}
+
+/// Samples `windows` one-second arrival batches from a fresh generator.
+fn sample_stream(pattern: &TrafficPattern, seed: u64, windows: usize) -> Vec<f64> {
+    let mut generator = RequestGenerator::new(pattern.clone(), RngStream::new(seed, "proptest"));
+    (0..windows)
+        .map(|w| generator.arrivals(w as f64, 1.0, 0.0))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn same_seed_means_identical_arrival_stream(
+        pattern in diurnal_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        prop_assert!(pattern.validate().is_ok());
+        let a = sample_stream(&pattern, seed, 50);
+        let b = sample_stream(&pattern, seed, 50);
+        prop_assert_eq!(a, b, "seeded generator must be bit-reproducible");
+    }
+
+    #[test]
+    fn diurnal_rates_are_never_negative(
+        pattern in diurnal_strategy(),
+        t in -100.0f64..200_000.0,
+    ) {
+        let rate = pattern.rate_at(t);
+        prop_assert!(rate >= 0.0, "rate {rate} at t={t}");
+        prop_assert!(rate.is_finite());
+        // And bounded by the configured crest.
+        prop_assert!(rate <= pattern.peak_rate() + 1e-9);
+    }
+
+    #[test]
+    fn flash_crowd_burst_is_bounded_by_the_configured_peak(
+        pattern in flash_crowd_strategy(),
+        t in -50.0f64..2_000.0,
+    ) {
+        prop_assert!(pattern.validate().is_ok());
+        let rate = pattern.rate_at(t);
+        prop_assert!(rate >= 0.0);
+        prop_assert!(
+            rate <= pattern.peak_rate() + 1e-9,
+            "rate {rate} exceeds configured peak {}",
+            pattern.peak_rate()
+        );
+    }
+
+    #[test]
+    fn arrivals_are_finite_and_non_negative(
+        pattern in flash_crowd_strategy(),
+        seed in 0u64..100_000,
+    ) {
+        for batch in sample_stream(&pattern, seed, 40) {
+            prop_assert!(batch.is_finite());
+            prop_assert!(batch >= 0.0);
+        }
+    }
+
+    #[test]
+    fn playback_interpolation_stays_inside_the_sample_hull(
+        rps in prop::collection::vec(0.0f64..3_000.0, 2..12),
+        t in -10.0f64..400.0,
+    ) {
+        let points: Vec<PlaybackPoint> = rps
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| PlaybackPoint { time: 30.0 * i as f64, rps: r })
+            .collect();
+        let pattern = TrafficPattern::Playback(points);
+        prop_assert!(pattern.validate().is_ok());
+        let rate = pattern.rate_at(t);
+        let lo = rps.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = rps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(rate >= lo - 1e-9 && rate <= hi + 1e-9, "{rate} outside [{lo}, {hi}]");
+    }
+}
