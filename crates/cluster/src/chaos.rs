@@ -1,0 +1,357 @@
+//! Cross-layer chaos scenarios: correlated fault windows spanning every
+//! injector the stack owns.
+//!
+//! The individual fault injectors live with the layers they attack —
+//! sensor/actuator faults in `dps-rapl`, frame loss and agent crashes in
+//! `dps-ctrl`, membership churn in the scheduler. Real incidents are not
+//! that polite: a rack losing a PDU takes out its sensors, drops its
+//! control-plane links, bounces its nodes **and** shrinks the usable budget
+//! in the same minute. A [`ChaosSchedule`] scripts such incidents as
+//! [`ChaosWindow`]s: each window names one rack (client cluster) and a set
+//! of co-occurring effects. At simulator construction the schedule is
+//! *compiled down* into the per-layer schedules
+//! ([`ChaosSchedule::unit_fault_events`] →
+//! [`dps_rapl::UnitFaultSchedule`], [`ChaosSchedule::ctrl_fault_events`] →
+//! [`dps_ctrl::FaultSchedule`]), so the layers never learn about chaos —
+//! they just see faults — while churn and budget shocks are sampled live
+//! each cycle ([`ChaosSchedule::unit_down`],
+//! [`ChaosSchedule::budget_factor_at`]).
+//!
+//! Everything is plain data: the same schedule plus the same seed
+//! reproduces the same incident byte for byte.
+
+use dps_rapl::{ActuatorFault, SensorFault, Topology, UnitFaultEvent};
+use dps_sim_core::units::Seconds;
+
+/// One correlated incident: a time window, a target rack, and the effects
+/// that fire together inside it. Build with [`ChaosWindow::new`] and the
+/// `with_*` methods; every effect defaults to off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosWindow {
+    /// Target rack (client-cluster index in the topology).
+    pub rack: usize,
+    /// Window start (simulated seconds, half-open `[at, until)`).
+    pub at: Seconds,
+    /// Window end.
+    pub until: Seconds,
+    /// Sensor fault applied to every unit in the rack.
+    pub sensor: Option<SensorFault>,
+    /// Actuator fault applied to every unit in the rack.
+    pub actuator: Option<ActuatorFault>,
+    /// Power-cycle the rack's nodes: their units leave managed membership
+    /// and demand nothing for the window, then rejoin.
+    pub churn: bool,
+    /// Extra per-frame corruption probability on the rack's control-plane
+    /// links (framed mode only; `0.0` = none).
+    pub frame_loss: f64,
+    /// Budget factor in force during the window (`1.0` = untouched);
+    /// multiplies the scheduled budget.
+    pub budget_factor: f64,
+}
+
+impl ChaosWindow {
+    /// A window with every effect off.
+    pub fn new(rack: usize, at: Seconds, until: Seconds) -> Self {
+        Self {
+            rack,
+            at,
+            until,
+            sensor: None,
+            actuator: None,
+            churn: false,
+            frame_loss: 0.0,
+            budget_factor: 1.0,
+        }
+    }
+
+    /// Add a sensor fault on every unit in the rack.
+    pub fn with_sensor(mut self, fault: SensorFault) -> Self {
+        self.sensor = Some(fault);
+        self
+    }
+
+    /// Add an actuator fault on every unit in the rack.
+    pub fn with_actuator(mut self, fault: ActuatorFault) -> Self {
+        self.actuator = Some(fault);
+        self
+    }
+
+    /// Power-cycle the rack's nodes for the window.
+    pub fn with_churn(mut self) -> Self {
+        self.churn = true;
+        self
+    }
+
+    /// Add frame corruption on the rack's control-plane links.
+    pub fn with_frame_loss(mut self, prob: f64) -> Self {
+        self.frame_loss = prob;
+        self
+    }
+
+    /// Shrink the budget by `factor` for the window.
+    pub fn with_budget_factor(mut self, factor: f64) -> Self {
+        self.budget_factor = factor;
+        self
+    }
+
+    fn contains(&self, t: Seconds) -> bool {
+        self.at <= t && t < self.until
+    }
+}
+
+/// A deterministic list of correlated chaos windows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChaosSchedule {
+    windows: Vec<ChaosWindow>,
+}
+
+impl ChaosSchedule {
+    /// No chaos — the byte-identical default.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A schedule from explicit windows.
+    pub fn new(windows: Vec<ChaosWindow>) -> Self {
+        Self { windows }
+    }
+
+    /// The canonical correlated incident on one rack: sensor dropout,
+    /// lossy control-plane links, and a budget shock in one window.
+    /// (Node churn is left off so the scenario composes with any placement
+    /// mode; add it with [`ChaosWindow::with_churn`] on a pinned layout.)
+    pub fn correlated(rack: usize, at: Seconds, until: Seconds) -> Self {
+        Self::new(vec![ChaosWindow::new(rack, at, until)
+            .with_sensor(SensorFault::Dropout)
+            .with_frame_loss(0.35)
+            .with_budget_factor(0.85)])
+    }
+
+    /// Add a window.
+    pub fn push(&mut self, window: ChaosWindow) {
+        self.windows.push(window);
+    }
+
+    /// The scheduled windows.
+    pub fn windows(&self) -> &[ChaosWindow] {
+        &self.windows
+    }
+
+    /// True when no windows are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// True when any window power-cycles nodes.
+    pub fn has_churn(&self) -> bool {
+        self.windows.iter().any(|w| w.churn)
+    }
+
+    /// Compile the rack-scoped sensor/actuator effects into per-unit fault
+    /// events for the RAPL model's [`dps_rapl::UnitFaultSchedule`].
+    pub fn unit_fault_events(&self, topo: &Topology) -> Vec<UnitFaultEvent> {
+        let mut events = Vec::new();
+        for w in &self.windows {
+            for u in topo.cluster_range(w.rack) {
+                if let Some(fault) = w.sensor {
+                    events.push(UnitFaultEvent::sensor(u, w.at, w.until, fault));
+                }
+                if let Some(fault) = w.actuator {
+                    events.push(UnitFaultEvent::actuator(u, w.at, w.until, fault));
+                }
+            }
+        }
+        events
+    }
+
+    /// Compile the frame-loss effects into control-plane fault events
+    /// (corruption bursts on every node of the rack) for the framed
+    /// plane's [`dps_ctrl::FaultSchedule`].
+    pub fn ctrl_fault_events(&self, topo: &Topology) -> Vec<dps_ctrl::FaultEvent> {
+        let nodes_per_rack = topo.nodes_per_cluster;
+        let mut events = Vec::new();
+        for w in &self.windows {
+            if w.frame_loss > 0.0 {
+                for k in 0..nodes_per_rack {
+                    events.push(dps_ctrl::FaultEvent::CorruptBurst {
+                        node: w.rack * nodes_per_rack + k,
+                        at: w.at,
+                        until: w.until,
+                        prob: w.frame_loss,
+                    });
+                }
+            }
+        }
+        events
+    }
+
+    /// Whether `unit` is chaos-churned (its node powered down) at time `t`.
+    pub fn unit_down(&self, topo: &Topology, unit: usize, t: Seconds) -> bool {
+        self.windows
+            .iter()
+            .any(|w| w.churn && w.contains(t) && topo.cluster_of(unit) == w.rack)
+    }
+
+    /// The combined chaos budget factor at time `t` (product of the
+    /// factors of all active windows).
+    pub fn budget_factor_at(&self, t: Seconds) -> f64 {
+        self.windows
+            .iter()
+            .filter(|w| w.contains(t))
+            .map(|w| w.budget_factor)
+            .product()
+    }
+
+    /// A conservative lower bound on the instantaneous chaos budget factor
+    /// (product of every window's factor — reached only if all windows
+    /// overlap, so always ≤ the true minimum's lower bound requirement).
+    pub fn min_budget_factor(&self) -> f64 {
+        self.windows.iter().map(|w| w.budget_factor).product()
+    }
+
+    /// Checks window sanity against the topology: rack in range, ordered
+    /// finite windows, `frame_loss` in `[0, 1]`, `budget_factor` finite in
+    /// `(0, 1]`.
+    pub fn validate(&self, topo: &Topology) -> Result<(), String> {
+        for (i, w) in self.windows.iter().enumerate() {
+            if w.rack >= topo.clusters {
+                return Err(format!(
+                    "chaos window {i}: rack {} out of range (topology has {} clusters)",
+                    w.rack, topo.clusters
+                ));
+            }
+            if !(w.at.is_finite() && w.until.is_finite() && 0.0 <= w.at && w.at < w.until) {
+                return Err(format!(
+                    "chaos window {i}: need 0 <= at < until, got [{}, {})",
+                    w.at, w.until
+                ));
+            }
+            if !(w.frame_loss.is_finite() && (0.0..=1.0).contains(&w.frame_loss)) {
+                return Err(format!(
+                    "chaos window {i}: frame_loss must be in [0,1], got {}",
+                    w.frame_loss
+                ));
+            }
+            if !(w.budget_factor.is_finite() && 0.0 < w.budget_factor && w.budget_factor <= 1.0) {
+                return Err(format!(
+                    "chaos window {i}: budget_factor must be finite in (0,1], got {}",
+                    w.budget_factor
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::new(2, 2, 2) // 2 racks x 2 nodes x 2 sockets = 8 units
+    }
+
+    #[test]
+    fn empty_schedule_has_no_effects() {
+        let s = ChaosSchedule::none();
+        let t = topo();
+        assert!(s.is_empty());
+        assert!(!s.has_churn());
+        assert!(s.unit_fault_events(&t).is_empty());
+        assert!(s.ctrl_fault_events(&t).is_empty());
+        assert_eq!(s.budget_factor_at(100.0), 1.0);
+        assert_eq!(s.min_budget_factor(), 1.0);
+        assert!(!s.unit_down(&t, 0, 100.0));
+        s.validate(&t).unwrap();
+    }
+
+    #[test]
+    fn window_compiles_to_rack_scoped_unit_faults() {
+        let t = topo();
+        let s = ChaosSchedule::new(vec![ChaosWindow::new(1, 10.0, 20.0)
+            .with_sensor(SensorFault::Dropout)
+            .with_actuator(ActuatorFault::DropWrites)]);
+        s.validate(&t).unwrap();
+        let events = s.unit_fault_events(&t);
+        // Rack 1 is units 4..8; one sensor + one actuator event each.
+        assert_eq!(events.len(), 8);
+        let units: Vec<usize> = events.iter().map(|e| e.unit).collect();
+        assert!(units.iter().all(|&u| (4..8).contains(&u)), "{units:?}");
+    }
+
+    #[test]
+    fn frame_loss_targets_rack_nodes() {
+        let t = topo();
+        let s = ChaosSchedule::new(vec![ChaosWindow::new(0, 5.0, 9.0).with_frame_loss(0.5)]);
+        let events = s.ctrl_fault_events(&t);
+        assert_eq!(events.len(), 2); // rack 0 = nodes 0 and 1
+        for e in &events {
+            match *e {
+                dps_ctrl::FaultEvent::CorruptBurst {
+                    node,
+                    at,
+                    until,
+                    prob,
+                } => {
+                    assert!(node < 2);
+                    assert_eq!((at, until, prob), (5.0, 9.0, 0.5));
+                }
+                ref other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn churn_marks_rack_units_down_inside_window() {
+        let t = topo();
+        let s = ChaosSchedule::new(vec![ChaosWindow::new(0, 10.0, 20.0).with_churn()]);
+        assert!(s.has_churn());
+        assert!(s.unit_down(&t, 0, 10.0));
+        assert!(s.unit_down(&t, 3, 19.9));
+        assert!(!s.unit_down(&t, 4, 15.0), "other rack untouched");
+        assert!(!s.unit_down(&t, 0, 9.9), "before window");
+        assert!(!s.unit_down(&t, 0, 20.0), "half-open end");
+    }
+
+    #[test]
+    fn budget_factors_compose_multiplicatively() {
+        let s = ChaosSchedule::new(vec![
+            ChaosWindow::new(0, 0.0, 100.0).with_budget_factor(0.9),
+            ChaosWindow::new(1, 50.0, 100.0).with_budget_factor(0.8),
+        ]);
+        assert!((s.budget_factor_at(10.0) - 0.9).abs() < 1e-12);
+        assert!((s.budget_factor_at(60.0) - 0.72).abs() < 1e-12);
+        assert_eq!(s.budget_factor_at(100.0), 1.0);
+        assert!((s.min_budget_factor() - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlated_builds_the_canonical_incident() {
+        let t = topo();
+        let s = ChaosSchedule::correlated(0, 30.0, 60.0);
+        s.validate(&t).unwrap();
+        assert_eq!(s.windows().len(), 1);
+        let w = s.windows()[0];
+        assert_eq!(w.sensor, Some(SensorFault::Dropout));
+        assert!(w.frame_loss > 0.0);
+        assert!(w.budget_factor < 1.0);
+        assert!(!w.churn);
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        let t = topo();
+        let bad_rack = ChaosSchedule::new(vec![ChaosWindow::new(7, 0.0, 1.0)]);
+        assert!(bad_rack.validate(&t).unwrap_err().contains("rack"));
+        let bad_window = ChaosSchedule::new(vec![ChaosWindow::new(0, 5.0, 5.0)]);
+        assert!(bad_window.validate(&t).is_err());
+        let bad_loss = ChaosSchedule::new(vec![ChaosWindow::new(0, 0.0, 1.0).with_frame_loss(1.5)]);
+        assert!(bad_loss.validate(&t).unwrap_err().contains("frame_loss"));
+        let bad_budget =
+            ChaosSchedule::new(vec![ChaosWindow::new(0, 0.0, 1.0).with_budget_factor(0.0)]);
+        assert!(bad_budget
+            .validate(&t)
+            .unwrap_err()
+            .contains("budget_factor"));
+    }
+}

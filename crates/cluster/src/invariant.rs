@@ -1,0 +1,350 @@
+//! The always-on invariant monitor: safety checks every cycle, chaos or
+//! not.
+//!
+//! The point of graceful degradation is that the *safety* invariants hold
+//! even when everything else is on fire. The monitor re-derives them from
+//! the simulator's own ground truth every cycle:
+//!
+//! 1. **Requested budget** (hard): the caps the manager asked for sum to at
+//!    most the effective budget plus wire slack.
+//! 2. **Cap bounds** (hard): every requested cap sits inside
+//!    `[min_cap, max_cap]` (plus quantization tolerance).
+//! 3. **Applied budget** (graced): the caps in force at the hardware sum to
+//!    at most the budget. Actuator faults and in-flight frames can breach
+//!    this transiently, so a breach only becomes a reported violation after
+//!    [`InvariantConfig::applied_grace`] consecutive cycles — but *every*
+//!    breach is surfaced as a near-miss to the operating-mode ladder.
+//! 4. **Guard consistency** (hard, `Normal` mode only): units the telemetry
+//!    guard isolated hold no more than the fallback pin (lower layers may
+//!    push them further down, but never grant them extra power). Skipped
+//!    in degraded modes, where caps are deliberately frozen.
+//!
+//! Hard-check failures emit [`dps_obs::Event::InvariantViolation`], bump
+//! the counter, and — with [`InvariantMonitor::set_fail_fast`] on (the
+//! default inside this crate's own tests) — panic on the spot so a buggy
+//! change cannot hide behind averaging.
+
+use crate::sim::ControlPlaneMode;
+use dps_core::guard::HealthState;
+use dps_core::manager::UnitLimits;
+use dps_core::OperatingMode;
+use dps_obs::{Event, InvariantKind, SinkHandle};
+use dps_sim_core::units::Watts;
+
+/// Tolerances and policy for the monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvariantConfig {
+    /// Slack on budget sums (covers cap quantization on the wire).
+    pub budget_slack: Watts,
+    /// Slack on per-cap bound and pin checks.
+    pub cap_tol: Watts,
+    /// Consecutive applied-budget breaches tolerated before a violation is
+    /// reported (readback/actuator grace window).
+    pub applied_grace: u32,
+    /// Panic on a hard-check failure instead of only counting it.
+    pub fail_fast: bool,
+}
+
+impl InvariantConfig {
+    /// Tolerances matched to the control-plane mode: the direct plane gets
+    /// epsilon slack; quantized/framed planes get one deciwatt of rounding
+    /// per unit. `fail_fast` defaults to on inside this crate's own test
+    /// build and off elsewhere (integration harnesses opt in).
+    pub fn for_plane(mode: &ControlPlaneMode, n_units: usize) -> Self {
+        let quantized = !matches!(mode, ControlPlaneMode::Direct);
+        let budget_slack = if quantized {
+            n_units as f64 * 0.05 + dps_core::budget::BUDGET_EPSILON
+        } else {
+            dps_core::budget::BUDGET_EPSILON
+        };
+        let cap_tol = if quantized {
+            0.05 + dps_core::budget::BUDGET_EPSILON
+        } else {
+            dps_core::budget::BUDGET_EPSILON
+        };
+        Self {
+            budget_slack,
+            cap_tol,
+            applied_grace: 2,
+            fail_fast: cfg!(test),
+        }
+    }
+}
+
+/// Everything the monitor needs about one finished cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct InvariantInputs<'a> {
+    /// Decision-cycle index.
+    pub cycle: u64,
+    /// Effective budget in force this cycle (W).
+    pub budget: Watts,
+    /// Caps the manager requested this cycle.
+    pub requested: &'a [Watts],
+    /// Caps actually in force at the hardware after readback.
+    pub applied: &'a [Watts],
+    /// Per-unit cap limits.
+    pub limits: UnitLimits,
+    /// The operating mode the cycle ran under.
+    pub mode: OperatingMode,
+    /// The manager's per-unit health view, when it has a guard.
+    pub health: Option<&'a [HealthState]>,
+    /// The fallback pin isolated units must sit at.
+    pub fallback_cap: Watts,
+}
+
+/// Per-cycle safety monitor. See the module docs for the four checks.
+#[derive(Debug, Clone)]
+pub struct InvariantMonitor {
+    config: InvariantConfig,
+    applied_streak: u32,
+    violations: u64,
+    near_miss: bool,
+}
+
+impl InvariantMonitor {
+    /// A monitor with the given tolerances.
+    pub fn new(config: InvariantConfig) -> Self {
+        Self {
+            config,
+            applied_streak: 0,
+            violations: 0,
+            near_miss: false,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> InvariantConfig {
+        self.config
+    }
+
+    /// Toggle panicking on hard-check failures.
+    pub fn set_fail_fast(&mut self, on: bool) {
+        self.config.fail_fast = on;
+    }
+
+    /// Total violations reported so far.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Whether the last checked cycle brushed an invariant (applied-budget
+    /// breach inside the grace window counts; this is the `near_miss`
+    /// confidence signal).
+    pub fn breached_last_cycle(&self) -> bool {
+        self.near_miss
+    }
+
+    fn report(
+        &mut self,
+        sink: &SinkHandle,
+        cycle: u64,
+        kind: InvariantKind,
+        value: f64,
+        limit: f64,
+        hard: bool,
+    ) {
+        self.violations += 1;
+        if sink.enabled() {
+            sink.emit(Event::InvariantViolation {
+                cycle,
+                kind,
+                value,
+                limit,
+            });
+        }
+        if hard && self.config.fail_fast {
+            panic!("invariant violation at cycle {cycle}: {kind:?} value {value} exceeds {limit}");
+        }
+    }
+
+    /// Runs all four checks for one cycle. Returns true when the cycle
+    /// brushed an invariant (feeds the mode ladder's `near_miss` input).
+    pub fn check(&mut self, inp: &InvariantInputs<'_>, sink: &SinkHandle) -> bool {
+        self.near_miss = false;
+        let cycle = inp.cycle;
+
+        // 1. Requested caps fit the budget — the paper's safety contract.
+        let requested_sum: f64 = inp.requested.iter().sum();
+        let budget_limit = inp.budget + self.config.budget_slack;
+        if requested_sum > budget_limit {
+            self.near_miss = true;
+            self.report(
+                sink,
+                cycle,
+                InvariantKind::RequestedBudget,
+                requested_sum,
+                budget_limit,
+                true,
+            );
+        }
+
+        // 2. Every requested cap inside [min_cap, max_cap].
+        for &c in inp.requested {
+            if c < inp.limits.min_cap - self.config.cap_tol
+                || c > inp.limits.max_cap + self.config.cap_tol
+            {
+                self.near_miss = true;
+                let limit = if c < inp.limits.min_cap {
+                    inp.limits.min_cap
+                } else {
+                    inp.limits.max_cap
+                };
+                self.report(sink, cycle, InvariantKind::CapBounds, c, limit, true);
+                break; // one report per cycle is enough to fail the build
+            }
+        }
+
+        // 3. Applied caps fit the budget, with a readback grace window.
+        let applied_sum: f64 = inp.applied.iter().sum();
+        if applied_sum > budget_limit {
+            self.near_miss = true;
+            self.applied_streak += 1;
+            if self.applied_streak > self.config.applied_grace {
+                self.report(
+                    sink,
+                    cycle,
+                    InvariantKind::AppliedBudget,
+                    applied_sum,
+                    budget_limit,
+                    false,
+                );
+            }
+        } else {
+            self.applied_streak = 0;
+        }
+
+        // 4. Isolated units never hold more than the fallback pin (Normal
+        //    mode only — degraded modes freeze caps on purpose). One-sided:
+        //    lower layers may legitimately push an isolated unit further
+        //    down (e.g. the framed controller floor-pins a stale node),
+        //    but nothing may grant a quarantined unit extra power.
+        if inp.mode == OperatingMode::Normal {
+            if let Some(health) = inp.health {
+                for (u, h) in health.iter().enumerate() {
+                    if h.is_isolated() && inp.requested[u] > inp.fallback_cap + self.config.cap_tol
+                    {
+                        self.near_miss = true;
+                        self.report(
+                            sink,
+                            cycle,
+                            InvariantKind::GuardConsistency,
+                            inp.requested[u],
+                            inp.fallback_cap,
+                            true,
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+
+        self.near_miss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> InvariantConfig {
+        InvariantConfig {
+            budget_slack: 1e-6,
+            cap_tol: 1e-6,
+            applied_grace: 2,
+            fail_fast: false,
+        }
+    }
+
+    fn limits() -> UnitLimits {
+        UnitLimits {
+            min_cap: 40.0,
+            max_cap: 165.0,
+        }
+    }
+
+    fn inputs<'a>(requested: &'a [Watts], applied: &'a [Watts]) -> InvariantInputs<'a> {
+        InvariantInputs {
+            cycle: 7,
+            budget: 200.0,
+            requested,
+            applied,
+            limits: limits(),
+            mode: OperatingMode::Normal,
+            health: None,
+            fallback_cap: 100.0,
+        }
+    }
+
+    #[test]
+    fn clean_cycle_reports_nothing() {
+        let mut m = InvariantMonitor::new(cfg());
+        let caps = [100.0, 100.0];
+        assert!(!m.check(&inputs(&caps, &caps), &SinkHandle::noop()));
+        assert_eq!(m.violations(), 0);
+        assert!(!m.breached_last_cycle());
+    }
+
+    #[test]
+    fn requested_over_budget_is_immediate() {
+        let mut m = InvariantMonitor::new(cfg());
+        let caps = [120.0, 120.0];
+        let applied = [100.0, 100.0];
+        assert!(m.check(&inputs(&caps, &applied), &SinkHandle::noop()));
+        assert_eq!(m.violations(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violation")]
+    fn fail_fast_panics_on_hard_check() {
+        let mut m = InvariantMonitor::new(InvariantConfig {
+            fail_fast: true,
+            ..cfg()
+        });
+        let caps = [120.0, 120.0];
+        let applied = [100.0, 100.0];
+        m.check(&inputs(&caps, &applied), &SinkHandle::noop());
+    }
+
+    #[test]
+    fn cap_out_of_bounds_reports() {
+        let mut m = InvariantMonitor::new(cfg());
+        let caps = [30.0, 100.0]; // below 40 W floor
+        let applied = [40.0, 100.0];
+        assert!(m.check(&inputs(&caps, &applied), &SinkHandle::noop()));
+        assert_eq!(m.violations(), 1);
+    }
+
+    #[test]
+    fn applied_breach_needs_to_outlast_grace() {
+        let mut m = InvariantMonitor::new(cfg());
+        let caps = [100.0, 100.0];
+        let applied = [120.0, 120.0]; // rogue actuators hold old caps
+        let sink = SinkHandle::noop();
+        // Two graced cycles: near-miss yes, violation no.
+        assert!(m.check(&inputs(&caps, &applied), &sink));
+        assert!(m.check(&inputs(&caps, &applied), &sink));
+        assert_eq!(m.violations(), 0);
+        // Third consecutive breach crosses the grace window.
+        assert!(m.check(&inputs(&caps, &applied), &sink));
+        assert_eq!(m.violations(), 1);
+        // Recovery resets the streak.
+        assert!(!m.check(&inputs(&caps, &caps), &sink));
+        assert!(m.check(&inputs(&caps, &applied), &sink));
+        assert_eq!(m.violations(), 1);
+    }
+
+    #[test]
+    fn isolated_unit_off_its_pin_reports_in_normal_mode_only() {
+        let mut m = InvariantMonitor::new(cfg());
+        let caps = [130.0, 70.0];
+        let health = [HealthState::Quarantined, HealthState::Healthy];
+        let sink = SinkHandle::noop();
+        let mut inp = inputs(&caps, &caps);
+        inp.health = Some(&health);
+        assert!(m.check(&inp, &sink));
+        assert_eq!(m.violations(), 1);
+        inp.mode = OperatingMode::Degraded;
+        assert!(!m.check(&inp, &sink), "degraded mode skips the pin check");
+        assert_eq!(m.violations(), 1);
+    }
+}

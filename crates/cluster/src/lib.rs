@@ -24,18 +24,33 @@
 //! * [`runner`] — the experiment harness: builds a workload pair, runs it
 //!   under a chosen manager until both sides finish their repetitions, and
 //!   reports throughput times, satisfaction, and fairness.
+//! * [`shocks`] — dynamic budget schedules (steps, brownout ramps,
+//!   demand-response windows) the simulator pushes to the manager through
+//!   `PowerManager::set_budget` each cycle.
+//! * [`chaos`] — correlated cross-layer incident windows (rack-scoped
+//!   sensor faults + frame loss + node churn + budget shocks) compiled
+//!   into the per-layer injectors at construction.
+//! * [`invariant`] — the always-on per-cycle safety monitor backing the
+//!   `Normal → Degraded → SafeMode` operating-mode ladder
+//!   (`dps_core::mode`).
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod controlplane;
+pub mod invariant;
 pub mod logging;
 pub mod protocol;
 pub mod runner;
 pub mod satisfaction;
+pub mod shocks;
 pub mod sim;
 
+pub use chaos::{ChaosSchedule, ChaosWindow};
 pub use controlplane::ControlPlaneModel;
+pub use invariant::{InvariantConfig, InvariantInputs, InvariantMonitor};
 pub use logging::{CycleLog, CycleRecord};
 pub use runner::{run_pair, ExperimentConfig, PairOutcome, WorkloadOutcome};
 pub use satisfaction::{FairnessTracker, SatisfactionTracker};
+pub use shocks::{BudgetSchedule, BudgetSegment};
 pub use sim::{ClusterSim, ControlPlaneMode, SimConfig};

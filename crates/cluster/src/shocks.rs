@@ -1,0 +1,314 @@
+//! Dynamic budget schedules: the cluster-wide budget as a function of time.
+//!
+//! The paper treats the power budget as a constant fraction of aggregate
+//! TDP, but real facilities do not: utilities call demand-response events,
+//! UPS failures brown the feed out, and operators step budgets to track
+//! tariffs. A [`BudgetSchedule`] scripts those moves as a deterministic
+//! piecewise-linear *factor* over simulated time — the simulator multiplies
+//! the configured base budget (`SimConfig::total_budget`) by
+//! [`BudgetSchedule::factor_at`] each cycle and pushes changes to the
+//! manager through [`dps_core::manager::PowerManager::set_budget`], which
+//! every shipped manager honours with **one-cycle compliance**: the cycle
+//! after a downward move already fits under the new budget.
+//!
+//! Schedules are plain data (no randomness of their own), so a shock
+//! scenario is exactly reproducible and composable with any seed;
+//! [`BudgetSchedule::random_shocks`] derives its segment placement from a
+//! caller-provided stream once, at construction.
+
+use dps_sim_core::rng::RngStream;
+use dps_sim_core::units::Seconds;
+
+/// One scheduled budget move: starting at `start`, the factor ramps
+/// linearly from its previous value to `factor` over `ramp` seconds, then
+/// holds until the next segment begins. `ramp == 0` is a step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetSegment {
+    /// When the move begins (simulated seconds).
+    pub start: Seconds,
+    /// Budget factor in `(0, 1]` reached at `start + ramp`.
+    pub factor: f64,
+    /// Seconds the linear transition takes (`0` = instantaneous step).
+    pub ramp: Seconds,
+}
+
+/// A deterministic piecewise-linear budget factor over time. The factor is
+/// `1.0` before the first segment (the configured base budget).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BudgetSchedule {
+    /// Segments in strictly increasing `start` order.
+    segments: Vec<BudgetSegment>,
+}
+
+impl BudgetSchedule {
+    /// The constant schedule: factor `1.0` forever (the pre-shock world,
+    /// byte-identical traces).
+    pub fn constant() -> Self {
+        Self::default()
+    }
+
+    /// A single instantaneous step to `factor` at `at`.
+    pub fn step(at: Seconds, factor: f64) -> Self {
+        Self {
+            segments: vec![BudgetSegment {
+                start: at,
+                factor,
+                ramp: 0.0,
+            }],
+        }
+    }
+
+    /// A brownout: ramp down to `depth` over `ramp` seconds starting at
+    /// `start`, hold for `hold` seconds, then ramp back to `1.0` over
+    /// `ramp` seconds.
+    pub fn brownout(start: Seconds, depth: f64, ramp: Seconds, hold: Seconds) -> Self {
+        Self {
+            segments: vec![
+                BudgetSegment {
+                    start,
+                    factor: depth,
+                    ramp,
+                },
+                BudgetSegment {
+                    start: start + ramp + hold,
+                    factor: 1.0,
+                    ramp,
+                },
+            ],
+        }
+    }
+
+    /// A demand-response window: step down to `factor` at `start`, step
+    /// back to `1.0` after `duration` seconds.
+    pub fn demand_response(start: Seconds, duration: Seconds, factor: f64) -> Self {
+        Self {
+            segments: vec![
+                BudgetSegment {
+                    start,
+                    factor,
+                    ramp: 0.0,
+                },
+                BudgetSegment {
+                    start: start + duration,
+                    factor: 1.0,
+                    ramp: 0.0,
+                },
+            ],
+        }
+    }
+
+    /// `count` step shocks at seeded times inside `[0, horizon)`, each to a
+    /// seeded factor in `[floor, 1]`, every other shock recovering to
+    /// `1.0`. Placement is drawn once here; the schedule itself stays plain
+    /// data.
+    pub fn random_shocks(count: usize, horizon: Seconds, floor: f64, rng: &mut RngStream) -> Self {
+        assert!(count > 0, "need at least one shock");
+        assert!(
+            floor.is_finite() && 0.0 < floor && floor <= 1.0,
+            "floor must be in (0,1], got {floor}"
+        );
+        let mut starts: Vec<Seconds> = (0..count)
+            .map(|_| rng.range(0.0..horizon.max(f64::MIN_POSITIVE)))
+            .collect();
+        starts.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        starts.dedup();
+        let segments = starts
+            .into_iter()
+            .enumerate()
+            .map(|(i, start)| BudgetSegment {
+                start,
+                factor: if i % 2 == 1 {
+                    1.0
+                } else {
+                    rng.range(floor..1.0)
+                },
+                ramp: 0.0,
+            })
+            .collect();
+        Self { segments }
+    }
+
+    /// A schedule from explicit segments. Rejects an empty list — use
+    /// [`BudgetSchedule::constant`] to say "no shocks" explicitly.
+    pub fn from_segments(segments: Vec<BudgetSegment>) -> Result<Self, String> {
+        if segments.is_empty() {
+            return Err(
+                "budget schedule needs at least one segment; use BudgetSchedule::constant() \
+                 for a flat budget"
+                    .to_string(),
+            );
+        }
+        let s = Self { segments };
+        s.validate()?;
+        Ok(s)
+    }
+
+    /// The scheduled segments.
+    pub fn segments(&self) -> &[BudgetSegment] {
+        &self.segments
+    }
+
+    /// True for the constant (factor `1.0` forever) schedule.
+    pub fn is_constant(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The smallest factor the schedule ever reaches (including mid-ramp
+    /// values, which lie between adjacent targets).
+    pub fn min_factor(&self) -> f64 {
+        self.segments.iter().map(|s| s.factor).fold(1.0, f64::min)
+    }
+
+    /// The budget factor in force at simulated time `t`.
+    pub fn factor_at(&self, t: Seconds) -> f64 {
+        let mut prev = 1.0;
+        for seg in &self.segments {
+            if t < seg.start {
+                return prev;
+            }
+            if seg.ramp > 0.0 && t < seg.start + seg.ramp {
+                let frac = (t - seg.start) / seg.ramp;
+                return prev + (seg.factor - prev) * frac;
+            }
+            prev = seg.factor;
+        }
+        prev
+    }
+
+    /// Checks segment sanity: factors finite in `(0, 1]`, non-negative
+    /// finite starts and ramps, strictly increasing starts, and no segment
+    /// starting inside its predecessor's ramp.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut prev_end = f64::NEG_INFINITY;
+        for (i, seg) in self.segments.iter().enumerate() {
+            if !(seg.factor.is_finite() && 0.0 < seg.factor && seg.factor <= 1.0) {
+                return Err(format!(
+                    "budget segment {i}: factor must be finite in (0,1], got {}",
+                    seg.factor
+                ));
+            }
+            if !(seg.start.is_finite() && seg.start >= 0.0) {
+                return Err(format!(
+                    "budget segment {i}: start must be finite and >= 0, got {}",
+                    seg.start
+                ));
+            }
+            if !(seg.ramp.is_finite() && seg.ramp >= 0.0) {
+                return Err(format!(
+                    "budget segment {i}: ramp must be finite and >= 0, got {}",
+                    seg.ramp
+                ));
+            }
+            if seg.start <= prev_end {
+                return Err(format!(
+                    "budget segment {i} starts at {} before its predecessor settled at {}",
+                    seg.start, prev_end
+                ));
+            }
+            prev_end = seg.start + seg.ramp;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one_forever() {
+        let s = BudgetSchedule::constant();
+        assert!(s.is_constant());
+        assert_eq!(s.factor_at(0.0), 1.0);
+        assert_eq!(s.factor_at(1e9), 1.0);
+        assert_eq!(s.min_factor(), 1.0);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn step_switches_at_boundary() {
+        let s = BudgetSchedule::step(10.0, 0.7);
+        assert_eq!(s.factor_at(9.99), 1.0);
+        assert_eq!(s.factor_at(10.0), 0.7);
+        assert_eq!(s.factor_at(500.0), 0.7);
+        assert!(!s.is_constant());
+    }
+
+    #[test]
+    fn brownout_ramps_down_holds_and_recovers() {
+        let s = BudgetSchedule::brownout(100.0, 0.6, 20.0, 50.0);
+        s.validate().unwrap();
+        assert_eq!(s.factor_at(99.0), 1.0);
+        assert!((s.factor_at(110.0) - 0.8).abs() < 1e-12, "mid-ramp");
+        assert_eq!(s.factor_at(120.0), 0.6);
+        assert_eq!(s.factor_at(169.0), 0.6);
+        assert!((s.factor_at(180.0) - 0.8).abs() < 1e-12, "mid-recovery");
+        assert_eq!(s.factor_at(190.0), 1.0);
+        assert_eq!(s.min_factor(), 0.6);
+    }
+
+    #[test]
+    fn demand_response_window_is_flat_inside() {
+        let s = BudgetSchedule::demand_response(50.0, 30.0, 0.8);
+        assert_eq!(s.factor_at(49.9), 1.0);
+        assert_eq!(s.factor_at(50.0), 0.8);
+        assert_eq!(s.factor_at(79.9), 0.8);
+        assert_eq!(s.factor_at(80.0), 1.0);
+    }
+
+    #[test]
+    fn random_shocks_are_deterministic_and_valid() {
+        let mut a = RngStream::new(7, "shock-test");
+        let mut b = RngStream::new(7, "shock-test");
+        let s1 = BudgetSchedule::random_shocks(6, 500.0, 0.5, &mut a);
+        let s2 = BudgetSchedule::random_shocks(6, 500.0, 0.5, &mut b);
+        assert_eq!(s1, s2);
+        s1.validate().unwrap();
+        assert!(s1.min_factor() >= 0.5);
+        for t in 0..500 {
+            let f = s1.factor_at(t as f64);
+            assert!((0.5..=1.0).contains(&f), "t={t}: {f}");
+        }
+    }
+
+    #[test]
+    fn empty_segment_list_rejected() {
+        let err = BudgetSchedule::from_segments(Vec::new()).unwrap_err();
+        assert!(err.contains("at least one segment"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        let bad_factor = BudgetSchedule {
+            segments: vec![BudgetSegment {
+                start: 0.0,
+                factor: f64::NAN,
+                ramp: 0.0,
+            }],
+        };
+        assert!(bad_factor.validate().is_err());
+        let above_one = BudgetSchedule {
+            segments: vec![BudgetSegment {
+                start: 0.0,
+                factor: 1.5,
+                ramp: 0.0,
+            }],
+        };
+        assert!(above_one.validate().is_err());
+        let overlapping = BudgetSchedule {
+            segments: vec![
+                BudgetSegment {
+                    start: 10.0,
+                    factor: 0.8,
+                    ramp: 20.0,
+                },
+                BudgetSegment {
+                    start: 15.0,
+                    factor: 1.0,
+                    ramp: 0.0,
+                },
+            ],
+        };
+        assert!(overlapping.validate().is_err(), "start inside prior ramp");
+    }
+}

@@ -15,10 +15,14 @@
 //!    (barrier-synchronised data-parallel execution);
 //! 7. satisfaction trackers and the optional cycle log record the window.
 
+use crate::chaos::ChaosSchedule;
+use crate::invariant::{InvariantConfig, InvariantInputs, InvariantMonitor};
 use crate::logging::{CycleLog, CycleRecord};
 use crate::satisfaction::SatisfactionTracker;
+use crate::shocks::BudgetSchedule;
 use dps_core::guard::HealthState;
 use dps_core::manager::PowerManager;
+use dps_core::{ConfidenceReport, ModeConfig, ModeMachine, OperatingMode};
 use dps_ctrl::{CtrlStats, FramedConfig, FramedControlPlane};
 use dps_obs::{Event, FaultDomain, PhaseKind, ProvisionKind, SinkHandle};
 use dps_rapl::{DomainBank, DomainSpec, NoiseModel, PowerInterface, Topology, UnitFaultSchedule};
@@ -84,6 +88,18 @@ pub struct SimConfig {
     /// keeps the request layer out entirely. Consumed by
     /// [`ClusterSim::with_traffic`]; mutually exclusive with `scheduler`.
     pub traffic: Option<TrafficConfig>,
+    /// Budget-over-time schedule: a factor multiplying the base budget
+    /// each cycle, pushed to the manager through
+    /// [`PowerManager::set_budget`]. [`BudgetSchedule::constant`] (the
+    /// default) reproduces the fixed-budget world bit for bit.
+    pub budget: BudgetSchedule,
+    /// Correlated cross-layer chaos windows ([`crate::chaos`]), compiled
+    /// into the per-layer fault schedules at construction.
+    /// [`ChaosSchedule::none`] (the default) injects nothing.
+    pub chaos: ChaosSchedule,
+    /// Thresholds for the graceful-degradation operating-mode ladder
+    /// (`Normal → Degraded → SafeMode`, [`dps_core::mode`]).
+    pub mode: ModeConfig,
 }
 
 impl SimConfig {
@@ -102,6 +118,9 @@ impl SimConfig {
             sensor_faults: UnitFaultSchedule::none(),
             scheduler: None,
             traffic: None,
+            budget: BudgetSchedule::constant(),
+            chaos: ChaosSchedule::none(),
+            mode: ModeConfig::default(),
         }
     }
 
@@ -124,9 +143,15 @@ impl SimConfig {
         if !(self.period.is_finite() && self.period > 0.0) {
             return Err(format!("period must be positive, got {}", self.period));
         }
-        if !(0.0 < self.budget_fraction && self.budget_fraction <= 1.0) {
+        if self.budget_fraction.is_nan() {
+            return Err("budget_fraction must not be NaN".to_string());
+        }
+        if !(self.budget_fraction.is_finite()
+            && 0.0 < self.budget_fraction
+            && self.budget_fraction <= 1.0)
+        {
             return Err(format!(
-                "budget_fraction must be in (0,1], got {}",
+                "budget_fraction must be finite in (0,1], got {}",
                 self.budget_fraction
             ));
         }
@@ -146,6 +171,32 @@ impl SimConfig {
                 self.domain_spec.min_cap,
                 floor
             ));
+        }
+        self.budget.validate()?;
+        self.chaos.validate(&self.topology)?;
+        self.mode.validate()?;
+        // The schedule's deepest shock (and any concurrent chaos factor)
+        // must still cover the hardware floor, or no manager could ever
+        // get back under budget.
+        let min_budget =
+            self.total_budget() * self.budget.min_factor() * self.chaos.min_budget_factor();
+        if min_budget < floor {
+            return Err(format!(
+                "scheduled budget trough {:.1} W cannot cover {} units at the {:.0} W \
+                 minimum cap ({:.1} W required)",
+                min_budget,
+                self.topology.total_units(),
+                self.domain_spec.min_cap,
+                floor
+            ));
+        }
+        if self.chaos.has_churn() && (self.scheduler.is_some() || self.traffic.is_some()) {
+            return Err(
+                "chaos node churn requires the pinned placement mode: scheduler and \
+                 traffic modes already drive unit membership and would fight over \
+                 observe_membership"
+                    .to_string(),
+            );
         }
         if let ControlPlaneMode::Framed(framed) = &self.control_plane {
             framed.validate(self.total_nodes(), self.period)?;
@@ -293,6 +344,30 @@ pub struct ClusterSim {
     /// for [`Event::FaultEdge`] edge detection): sensor then actuator.
     fault_sensor: Vec<bool>,
     fault_actuator: Vec<bool>,
+    /// Graceful-degradation ladder state (`Normal → Degraded → SafeMode`).
+    mode_machine: ModeMachine,
+    /// Confidence report computed at the end of the previous cycle; the
+    /// ladder steps on it at the start of the next.
+    confidence: ConfidenceReport,
+    /// Control-plane gather misses at the end of the previous cycle
+    /// (stale-rate confidence input; independent of the tracing deltas,
+    /// which only update while a sink is attached).
+    prev_gather_misses: u64,
+    /// Caps last assigned under `Normal` — what `Degraded` freezes to.
+    last_good: Vec<Watts>,
+    /// Scratch for shadow assignments in degraded modes (the manager's
+    /// statistics advance on these; the hardware never sees them).
+    shadow_caps: Vec<Watts>,
+    /// Always-on per-cycle safety monitor.
+    monitor: InvariantMonitor,
+    /// The configured base budget (`SimConfig::total_budget`).
+    base_budget: Watts,
+    /// Budget currently in force: base × schedule factor × chaos factor.
+    current_budget: Watts,
+    /// Per-unit chaos-churn state (true = node powered down by a window).
+    chaos_down: Vec<bool>,
+    /// Scratch for membership updates under chaos churn.
+    membership: Vec<bool>,
 }
 
 impl ClusterSim {
@@ -322,6 +397,21 @@ impl ClusterSim {
             config.topology.total_units(),
             "manager sized for the topology"
         );
+        let mut config = config;
+        // Compile chaos windows down into the per-layer fault schedules:
+        // the RAPL substrate and the framed plane never learn about chaos,
+        // they just see faults (and the fault-edge tracing covers both).
+        if !config.chaos.is_empty() {
+            for ev in config.chaos.unit_fault_events(&config.topology) {
+                config.sensor_faults.push(ev);
+            }
+            let ctrl_events = config.chaos.ctrl_fault_events(&config.topology);
+            if let ControlPlaneMode::Framed(framed) = &mut config.control_plane {
+                for ev in ctrl_events {
+                    framed.faults.push(ev);
+                }
+            }
+        }
         let n = config.topology.total_units();
         let mut bank = DomainBank::homogeneous(n, config.domain_spec, config.noise.clone(), rng);
         if !config.sensor_faults.is_empty() {
@@ -386,6 +476,16 @@ impl ClusterSim {
             trace_caps: Vec::new(),
             fault_sensor: vec![false; n],
             fault_actuator: vec![false; n],
+            mode_machine: ModeMachine::new(config.mode),
+            confidence: ConfidenceReport::clean(),
+            prev_gather_misses: 0,
+            last_good: vec![constant; n],
+            shadow_caps: vec![constant; n],
+            monitor: InvariantMonitor::new(InvariantConfig::for_plane(&config.control_plane, n)),
+            base_budget: config.total_budget(),
+            current_budget: config.total_budget(),
+            chaos_down: vec![false; n],
+            membership: vec![true; n],
             clock: SimClock::new(config.period),
             bank,
             jobs,
@@ -737,6 +837,36 @@ impl ClusterSim {
         self.manager.health()
     }
 
+    /// The operating mode the next cycle will run under (the ladder steps
+    /// at cycle start, so after [`ClusterSim::cycle`] returns this is the
+    /// mode that just ran).
+    pub fn operating_mode(&self) -> OperatingMode {
+        self.mode_machine.mode()
+    }
+
+    /// The budget currently in force (base × schedule × chaos factors).
+    pub fn current_budget(&self) -> Watts {
+        self.current_budget
+    }
+
+    /// Total invariant violations reported by the always-on monitor.
+    pub fn invariant_violations(&self) -> u64 {
+        self.monitor.violations()
+    }
+
+    /// Toggle panicking on hard invariant-check failures (defaults to on
+    /// only inside this crate's own test build; integration harnesses that
+    /// want the fail-fast behaviour opt in here).
+    pub fn set_invariant_fail_fast(&mut self, on: bool) {
+        self.monitor.set_fail_fast(on);
+    }
+
+    /// The confidence report computed at the end of the last cycle (what
+    /// the ladder will step on next).
+    pub fn confidence(&self) -> ConfidenceReport {
+        self.confidence
+    }
+
     /// Cumulative guard counters; `None` for managers without health gating.
     pub fn guard_stats(&self) -> Option<dps_core::GuardStats> {
         self.manager.guard_stats()
@@ -780,6 +910,10 @@ impl ClusterSim {
             .as_ref()
             .ok_or_else(|| "no watchdog checkpoint to restore from".to_string())?;
         fresh.restore(snap)?;
+        // The restored manager adopted the snapshot's budget; re-apply the
+        // budget currently in force so a crash straddling a shock cannot
+        // silently revert it.
+        fresh.set_budget(self.current_budget)?;
         // The replacement inherits the trace sink (its per-process trace
         // cycle counter restarts at 0 — a restored controller is a new
         // process, and the envelope's `ControllerRestored` marks the seam).
@@ -928,6 +1062,68 @@ impl ClusterSim {
             self.trace_caps.extend_from_slice(&self.caps);
         }
 
+        // (0a) Effective budget for this cycle: base × schedule × chaos.
+        // Changes are pushed to the manager (one-cycle compliance
+        // contract, see `PowerManager::set_budget`) and the framed
+        // controller before any caps are assigned.
+        if !(self.config.budget.is_constant() && self.config.chaos.is_empty()) {
+            let now = self.clock.now();
+            let target = self.base_budget
+                * self.config.budget.factor_at(now)
+                * self.config.chaos.budget_factor_at(now);
+            if (target - self.current_budget).abs() > dps_core::budget::BUDGET_EPSILON {
+                self.manager
+                    .set_budget(target)
+                    .expect("scheduled budget was validated at construction");
+                if let Some(plane) = self.plane.as_mut() {
+                    plane.set_budget(target);
+                }
+                if tracing {
+                    self.sink.emit(Event::BudgetShock {
+                        cycle,
+                        from_w: self.current_budget,
+                        to_w: target,
+                    });
+                }
+                self.current_budget = target;
+            }
+        }
+
+        // (0b) Operating mode for this cycle, stepped on the previous
+        // cycle's confidence report (immediate descent, hysteretic
+        // re-ascent; see `dps_core::mode`).
+        if let Some((from, to)) = self.mode_machine.step(&self.confidence) {
+            if tracing {
+                self.sink.emit(Event::ModeChange {
+                    cycle,
+                    from: from.to_obs(),
+                    to: to.to_obs(),
+                });
+            }
+        }
+        let mode = self.mode_machine.mode();
+
+        // (0c) Chaos node churn: units on powered-down racks leave managed
+        // membership (and demand nothing below); they rejoin when the
+        // window closes.
+        if self.config.chaos.has_churn() {
+            let now = self.clock.now();
+            let mut dirty = false;
+            for u in 0..self.chaos_down.len() {
+                let down = self.config.chaos.unit_down(&topo, u, now);
+                if down != self.chaos_down[u] {
+                    self.chaos_down[u] = down;
+                    dirty = true;
+                }
+            }
+            if dirty {
+                for u in 0..self.membership.len() {
+                    self.membership[u] = !self.chaos_down[u];
+                }
+                self.manager.observe_membership(&self.membership);
+            }
+        }
+
         // (0) Scheduler/traffic phase (those modes only). Taken out of
         // `self` for the duration of the cycle to keep the borrows disjoint.
         let mut sched = self.sched.take();
@@ -979,6 +1175,13 @@ impl ClusterSim {
                 }
             }
         }
+        if self.config.chaos.has_churn() {
+            for u in 0..self.demands.len() {
+                if self.chaos_down[u] {
+                    self.demands[u] = 0.0;
+                }
+            }
+        }
 
         // (2) Domains deliver power for this window.
         self.bank
@@ -987,7 +1190,44 @@ impl ClusterSim {
         // (3)–(5) Measurements travel to the manager and caps travel back,
         // through whichever control plane the config selects.
         let quantized = self.config.control_plane == ControlPlaneMode::Quantized;
-        if let Some(plane) = self.plane.as_mut() {
+        if mode != OperatingMode::Normal {
+            // Degraded/SafeMode: node-local failsafe. The framed plane (if
+            // any) is bypassed — a degraded controller has stopped
+            // trusting its telemetry path — and measurements are read
+            // directly. The manager still runs a *shadow* assignment so
+            // its statistics (above all the guard's health machines, whose
+            // recovery the re-ascent depends on) keep advancing, but the
+            // hardware never sees those caps. What is programmed is
+            // mode-determined: `Degraded` holds the last-known-good caps
+            // (re-squeezed if a shock shrank the budget under them);
+            // `SafeMode` applies the telemetry-blind uniform split that
+            // satisfies the budget with zero sensor trust.
+            for u in 0..self.measured.len() {
+                self.measured[u] = self.bank.read_power(u);
+            }
+            self.manager.observe_demands(&self.demands);
+            self.shadow_caps.copy_from_slice(&self.caps);
+            self.manager
+                .assign_caps(&self.measured, &mut self.shadow_caps, period);
+            let limits = dps_core::manager::UnitLimits {
+                min_cap: self.config.domain_spec.min_cap,
+                max_cap: self.config.domain_spec.tdp,
+            };
+            if mode == OperatingMode::SafeMode {
+                let uniform =
+                    dps_core::manager::constant_cap(self.current_budget, self.caps.len(), limits);
+                self.caps.fill(uniform);
+            } else {
+                self.caps.copy_from_slice(&self.last_good);
+                let sum: f64 = self.caps.iter().sum();
+                if sum > self.current_budget + dps_core::budget::BUDGET_EPSILON {
+                    dps_core::budget::enforce_budget(&mut self.caps, self.current_budget, limits);
+                }
+            }
+            for (u, &cap) in self.caps.iter().enumerate() {
+                self.bank.set_cap(u, cap);
+            }
+        } else if let Some(plane) = self.plane.as_mut() {
             // Framed: raw readings go to the node agents; the manager sees
             // the controller's hold-last telemetry, and the domains get
             // whatever caps the agents actually acknowledged.
@@ -1040,11 +1280,38 @@ impl ClusterSim {
         // hardware and hand them to the manager. A telemetry-guarded
         // manager compares them against its requests to catch silently
         // dropped, clamped or delayed cap writes; other managers ignore
-        // the call (default no-op).
+        // the call (default no-op). Skipped in degraded modes, where the
+        // hardware deliberately holds caps the manager did not request —
+        // feeding those back would poison write verification.
         for u in 0..self.applied.len() {
             self.applied[u] = self.bank.domain(u).cap();
         }
-        self.manager.observe_applied(&self.applied);
+        if mode == OperatingMode::Normal {
+            self.manager.observe_applied(&self.applied);
+        }
+
+        // Always-on safety monitor: re-derive the budget and cap
+        // invariants from ground truth, chaos or not. The near-miss flag
+        // feeds the mode ladder below.
+        let near_miss = {
+            let limits = dps_core::manager::UnitLimits {
+                min_cap: self.config.domain_spec.min_cap,
+                max_cap: self.config.domain_spec.tdp,
+            };
+            let fallback =
+                dps_core::manager::constant_cap(self.current_budget, self.caps.len(), limits);
+            let inputs = InvariantInputs {
+                cycle,
+                budget: self.current_budget,
+                requested: &self.caps,
+                applied: &self.applied,
+                limits,
+                mode,
+                health: self.manager.health(),
+                fallback_cap: fallback,
+            };
+            self.monitor.check(&inputs, &self.sink)
+        };
 
         // Frame accounting for this cycle (framed mode only): deltas of the
         // cumulative control-plane counters, emitted only on activity.
@@ -1264,6 +1531,34 @@ impl ClusterSim {
                 });
             }
         }
+
+        // Mode-ladder inputs for the next cycle, from this cycle's ground
+        // truth: the guard's isolation fraction, the control plane's
+        // gather-miss rate, and the monitor's near-miss flag.
+        if mode == OperatingMode::Normal {
+            self.last_good.copy_from_slice(&self.caps);
+        }
+        let quarantined_frac = self
+            .manager
+            .health()
+            .map(|h| h.iter().filter(|s| s.is_isolated()).count() as f64 / h.len().max(1) as f64)
+            .unwrap_or(0.0);
+        let stale_frac = match self.plane.as_ref() {
+            // While the plane is bypassed (degraded modes) its counters
+            // hold still, so the delta is computed only under Normal.
+            Some(p) if mode == OperatingMode::Normal => {
+                let misses = p.stats().gather_misses;
+                let delta = misses - self.prev_gather_misses;
+                self.prev_gather_misses = misses;
+                (delta as f64 / self.config.total_nodes() as f64).min(1.0)
+            }
+            _ => 0.0,
+        };
+        self.confidence = ConfidenceReport {
+            quarantined_frac,
+            stale_frac,
+            near_miss,
+        };
 
         self.sched = sched;
         self.traffic = traffic;

@@ -6,7 +6,7 @@
 //! shift power dynamically based on demand" (§1). It is the baseline every
 //! figure normalises to — and the lower bound DPS guarantees.
 
-use crate::manager::{constant_cap, ManagerKind, PowerManager, UnitLimits};
+use crate::manager::{check_new_budget, constant_cap, ManagerKind, PowerManager, UnitLimits};
 use dps_sim_core::units::{Seconds, Watts};
 
 /// The equal-static-cap policy.
@@ -14,6 +14,7 @@ use dps_sim_core::units::{Seconds, Watts};
 pub struct ConstantManager {
     num_units: usize,
     total_budget: Watts,
+    limits: UnitLimits,
     cap: Watts,
 }
 
@@ -28,6 +29,7 @@ impl ConstantManager {
         Self {
             num_units,
             total_budget,
+            limits,
             cap,
         }
     }
@@ -49,6 +51,13 @@ impl PowerManager for ConstantManager {
 
     fn total_budget(&self) -> Watts {
         self.total_budget
+    }
+
+    fn set_budget(&mut self, new_budget: Watts) -> Result<(), String> {
+        check_new_budget(new_budget, self.num_units, self.limits)?;
+        self.total_budget = new_budget;
+        self.cap = constant_cap(new_budget, self.num_units, self.limits);
+        Ok(())
     }
 
     fn assign_caps(&mut self, _measured: &[Watts], caps: &mut [Watts], _dt: Seconds) {

@@ -20,7 +20,7 @@ use crate::checkpoint::{ByteReader, ByteWriter};
 use crate::config::{DpsConfig, StatsMode};
 use crate::guard::{GuardConfig, GuardStats, HealthState, TelemetryGuard};
 use crate::history::UnitState;
-use crate::manager::{constant_cap, ManagerKind, PowerManager, UnitLimits};
+use crate::manager::{check_new_budget, constant_cap, ManagerKind, PowerManager, UnitLimits};
 use crate::priority::classify_unit;
 use crate::readjust::{readjust, restore, ReadjustOutcome, ReadjustScratch};
 use crate::stateless::MimdModule;
@@ -369,9 +369,14 @@ impl DpsManager {
     }
 
     /// Restores a [`DpsManager::write_snapshot`] blob onto a manager
-    /// constructed with the same shape (unit count, budget, config, guard
-    /// presence). All-or-nothing: on any decode or validation error the
-    /// manager is left untouched.
+    /// constructed with the same shape (unit count, config, guard
+    /// presence). The snapshot's budget is *adopted* — it is part of the
+    /// checkpointed state (dynamic budget schedules change it at runtime),
+    /// so the restored controller resumes under the budget it was
+    /// checkpointed with; the caller re-applies the currently scheduled
+    /// budget via [`PowerManager::set_budget`] if it has moved since.
+    /// All-or-nothing: on any decode or validation error the manager is
+    /// left untouched.
     fn read_snapshot(&mut self, bytes: &[u8]) -> Result<(), String> {
         let mut r = ByteReader::open(bytes)?;
         let n = r.get_usize()?;
@@ -382,12 +387,8 @@ impl DpsManager {
             ));
         }
         let budget = r.get_f64()?;
-        if budget.to_bits() != self.total_budget.to_bits() {
-            return Err(format!(
-                "snapshot budget {budget} W differs from manager budget {} W",
-                self.total_budget
-            ));
-        }
+        check_new_budget(budget, n, self.limits)
+            .map_err(|e| format!("snapshot budget rejected: {e}"))?;
         let rng_state = RngStreamState {
             seed: r.get_u64()?,
             label_hash: r.get_u64()?,
@@ -480,7 +481,20 @@ impl DpsManager {
         self.active = active;
         self.states = new_states;
         self.guard = new_guard;
+        self.apply_budget(budget);
         Ok(())
+    }
+
+    /// Rebases every budget-derived quantity onto `new_budget` (already
+    /// validated): the stateless module's ceiling, the constant-allocation
+    /// fallback, and the guard's believed-cap accounting.
+    fn apply_budget(&mut self, new_budget: Watts) {
+        self.total_budget = new_budget;
+        self.initial_cap = constant_cap(new_budget, self.states.len(), self.limits);
+        self.mimd.set_budget(new_budget);
+        if let Some(g) = self.guard.as_mut() {
+            g.set_budget(new_budget, self.initial_cap);
+        }
     }
 }
 
@@ -505,6 +519,12 @@ impl PowerManager for DpsManager {
 
     fn total_budget(&self) -> Watts {
         self.total_budget
+    }
+
+    fn set_budget(&mut self, new_budget: Watts) -> Result<(), String> {
+        check_new_budget(new_budget, self.states.len(), self.limits)?;
+        self.apply_budget(new_budget);
+        Ok(())
     }
 
     fn assign_caps(&mut self, measured: &[Watts], caps: &mut [Watts], dt: Seconds) {
@@ -1113,12 +1133,65 @@ mod tests {
         a.assign_caps(&[100.0, 50.0], &mut caps, 1.0);
         let snap = a.checkpoint().unwrap();
         assert!(dps(3, 330.0).restore(&snap).unwrap_err().contains("units"));
-        assert!(dps(2, 200.0).restore(&snap).unwrap_err().contains("budget"));
         // Guard presence must match too.
         assert!(dps_guarded(2, 220.0)
             .restore(&snap)
             .unwrap_err()
             .contains("guard"));
+    }
+
+    #[test]
+    fn restore_adopts_snapshot_budget() {
+        // The budget is checkpointed state: restoring onto a manager built
+        // with a different (stale) budget rebases it onto the snapshot's.
+        let mut a = dps(2, 220.0);
+        let mut caps = vec![110.0; 2];
+        a.assign_caps(&[100.0, 50.0], &mut caps, 1.0);
+        let snap = a.checkpoint().unwrap();
+        let mut b = dps(2, 200.0);
+        b.restore(&snap).unwrap();
+        assert_eq!(b.total_budget(), 220.0);
+        assert_eq!(b.initial_cap(), 110.0);
+    }
+
+    #[test]
+    fn budget_shock_compliant_next_cycle() {
+        // One-cycle compliance: the cycle after a downward shock already
+        // fits under the new budget, for both plain and guarded pipelines.
+        for guarded in [false, true] {
+            let mut m = if guarded {
+                dps_guarded(4, 440.0)
+            } else {
+                dps(4, 440.0)
+            };
+            let mut caps = vec![110.0; 4];
+            for t in 0..20 {
+                let z: Vec<f64> = (0..4).map(|u| wiggly(t, u, 140.0).min(caps[u])).collect();
+                m.assign_caps(&z, &mut caps, 1.0);
+            }
+            m.set_budget(330.0).unwrap();
+            assert_eq!(m.total_budget(), 330.0);
+            let z: Vec<f64> = (0..4).map(|u| wiggly(20, u, 140.0).min(caps[u])).collect();
+            m.assign_caps(&z, &mut caps, 1.0);
+            assert!(
+                caps.iter().sum::<f64>() <= 330.0 + 1e-6,
+                "guarded={guarded}: {caps:?}"
+            );
+            // Raising the budget back is also respected (and grants room).
+            m.set_budget(440.0).unwrap();
+            let z: Vec<f64> = (0..4).map(|u| wiggly(21, u, 140.0).min(caps[u])).collect();
+            m.assign_caps(&z, &mut caps, 1.0);
+            assert!(caps.iter().sum::<f64>() <= 440.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn set_budget_rejects_nonsense() {
+        let mut m = dps(2, 220.0);
+        assert!(m.set_budget(f64::NAN).unwrap_err().contains("finite"));
+        assert!(m.set_budget(-5.0).is_err());
+        assert!(m.set_budget(10.0).is_err(), "below 2 × min_cap");
+        assert_eq!(m.total_budget(), 220.0, "failed set leaves state alone");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! oscillation through its gains.
 
 use crate::budget::{debug_assert_budget, distribute_weighted, enforce_budget, BUDGET_EPSILON};
-use crate::manager::{ManagerKind, PowerManager, UnitLimits};
+use crate::manager::{check_new_budget, ManagerKind, PowerManager, UnitLimits};
 use dps_sim_core::units::{Seconds, Watts};
 use serde::{Deserialize, Serialize};
 
@@ -130,6 +130,12 @@ impl PowerManager for FeedbackManager {
 
     fn total_budget(&self) -> Watts {
         self.total_budget
+    }
+
+    fn set_budget(&mut self, new_budget: Watts) -> Result<(), String> {
+        check_new_budget(new_budget, self.integral.len(), self.limits)?;
+        self.total_budget = new_budget;
+        Ok(())
     }
 
     fn assign_caps(&mut self, measured: &[Watts], caps: &mut [Watts], _dt: Seconds) {

@@ -312,6 +312,32 @@ impl TelemetryGuard {
         &self.stats
     }
 
+    /// Upper bound on the cap currently in force per unit (the believed-cap
+    /// budget invariant accounts suspect actuators at this value).
+    pub fn believed(&self) -> &[Watts] {
+        &self.believed
+    }
+
+    /// Rebases the guard onto a new budget after a dynamic budget change.
+    ///
+    /// `new_fallback` is the constant-allocation cap under the new budget
+    /// (what isolated units are pinned to from the next cycle on). Detector
+    /// state, health machines, and actuator beliefs all carry over: a
+    /// believed cap describes what the hardware is holding, which a budget
+    /// change does not alter. The next [`TelemetryGuard::finish_cycle`]
+    /// enforces the believed-cap invariant against the new budget.
+    pub fn set_budget(&mut self, new_budget: Watts, new_fallback: Watts) {
+        self.total_budget = new_budget;
+        self.fallback_cap = new_fallback;
+        // Units that never saw a request or readback are still accounted at
+        // the fallback; keep that accounting coherent with the new budget.
+        for (u, unit) in self.units.iter().enumerate() {
+            if !unit.actuator_suspect && !self.requested[u].is_finite() {
+                self.believed[u] = new_fallback;
+            }
+        }
+    }
+
     /// Gates one cycle of measurements. Rejected readings are replaced by
     /// the unit's last accepted value (skip-and-hold, matching the history
     /// layer's own non-finite policy). Also advances the health state

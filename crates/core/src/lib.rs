@@ -33,8 +33,10 @@
 //! [`readjust`] implement Algs. 2–4; [`budget`] has the shared
 //! budget-arithmetic helpers and invariant checks; [`guard`] adds the
 //! telemetry health gate (sensor sanitation, quarantine/readmission state
-//! machine, actuator write verification); [`checkpoint`] serializes the DPS
-//! manager for crash recovery.
+//! machine, actuator write verification); [`mode`] is the cluster-level
+//! graceful-degradation ladder (`Normal → Degraded → SafeMode`) driven by a
+//! per-cycle confidence report; [`checkpoint`] serializes the DPS manager
+//! for crash recovery.
 
 #![warn(missing_docs)]
 
@@ -47,6 +49,7 @@ pub mod feedback;
 pub mod guard;
 pub mod history;
 pub mod manager;
+pub mod mode;
 pub mod oracle;
 pub mod predictive;
 pub mod priority;
@@ -60,6 +63,7 @@ pub use dps::DpsManager;
 pub use feedback::{FeedbackConfig, FeedbackManager};
 pub use guard::{GuardConfig, GuardStats, HealthState, TelemetryGuard};
 pub use manager::{ManagerKind, PowerManager, UnitLimits};
+pub use mode::{ConfidenceReport, ModeConfig, ModeMachine, OperatingMode};
 pub use oracle::OracleManager;
 pub use predictive::{PredictiveConfig, PredictiveManager};
 pub use stateless::SlurmManager;

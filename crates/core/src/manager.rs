@@ -113,6 +113,16 @@ pub trait PowerManager {
     /// The cluster-wide power budget in Watts.
     fn total_budget(&self) -> Watts;
 
+    /// Rebases the manager on a new cluster-wide budget mid-run (facility
+    /// brownout, demand-response window, budget restoration). The manager
+    /// must refresh every budget-derived internal quantity so that the very
+    /// next [`PowerManager::assign_caps`] call produces caps summing to at
+    /// most `new_budget` — the bounded-cycles-to-compliance guarantee the
+    /// dynamic-budget tests pin is **one cycle** for every shipped manager.
+    /// Rejects non-finite or infeasible budgets (below `n × min_cap`)
+    /// without changing any state.
+    fn set_budget(&mut self, new_budget: Watts) -> Result<(), String>;
+
     /// One decision cycle: observe `measured` (one sample per unit, the
     /// possibly noisy average power of the last window) and rewrite `caps`
     /// in place. `dt` is the cycle period in seconds.
@@ -192,6 +202,23 @@ pub trait PowerManager {
 
     /// Resets all internal state (between repetitions).
     fn reset(&mut self);
+}
+
+/// Shared precondition for [`PowerManager::set_budget`] implementations:
+/// the new budget must be finite, positive, and able to cover every unit at
+/// its minimum cap. Returns a descriptive error and leaves the manager
+/// untouched otherwise.
+pub fn check_new_budget(
+    new_budget: Watts,
+    num_units: usize,
+    limits: UnitLimits,
+) -> Result<(), String> {
+    if !new_budget.is_finite() || new_budget <= 0.0 {
+        return Err(format!(
+            "new budget must be finite and positive, got {new_budget}"
+        ));
+    }
+    limits.check_feasible(new_budget, num_units)
 }
 
 /// The equal-share cap: `budget / n`, clamped to unit limits — both the

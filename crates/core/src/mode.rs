@@ -1,0 +1,478 @@
+//! Operating-mode ladder: graceful degradation under lost telemetry trust.
+//!
+//! The guard ([`crate::TelemetryGuard`]) defends against *individual* rogue
+//! sensors and actuators. When faults stop being individual — a rack's
+//! telemetry aggregator browns out, the control plane starts dropping half
+//! its frames — per-unit quarantine is the wrong tool: the manager is now
+//! steering on a minority of trustworthy inputs and every "adaptive"
+//! decision amplifies noise. This module adds the missing cluster-level
+//! reflex, a three-rung ladder driven by a per-cycle confidence report:
+//!
+//! * **Normal** — full adaptive pipeline.
+//! * **Degraded** — readjustment frozen; the cluster holds the last caps
+//!   computed while confidence was good (those provably satisfied the
+//!   budget, and frozen caps cannot chase corrupted telemetry).
+//! * **SafeMode** — zero sensor trust: uniform constant-allocation caps
+//!   (`budget / n`, clamped to the hardware window), which satisfy the
+//!   budget invariant by construction with no telemetry input at all.
+//!
+//! Descent is immediate (a collapsing signal must not wait out a streak);
+//! re-ascent is hysteretic and one rung at a time: `recover_after`
+//! consecutive clean cycles climb `SafeMode → Degraded`, and the same
+//! streak again climbs `Degraded → Normal`. The asymmetry is deliberate —
+//! flapping between modes is itself a failure mode, and the cost of staying
+//! one rung too low for a few cycles is bounded (constant allocation is the
+//! paper's lower-bound baseline, not an outage).
+
+use serde::{Deserialize, Serialize};
+
+/// The cluster-level operating mode (severity-ordered: higher is worse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OperatingMode {
+    /// Full adaptive pipeline; telemetry is trusted.
+    Normal,
+    /// Readjustment frozen at the last-known-good caps.
+    Degraded,
+    /// Telemetry-blind uniform proportional caps.
+    SafeMode,
+}
+
+impl OperatingMode {
+    /// Trace vocabulary for this mode.
+    pub fn to_obs(self) -> dps_obs::ModeKind {
+        match self {
+            OperatingMode::Normal => dps_obs::ModeKind::Normal,
+            OperatingMode::Degraded => dps_obs::ModeKind::Degraded,
+            OperatingMode::SafeMode => dps_obs::ModeKind::SafeMode,
+        }
+    }
+
+    /// One rung up the ladder (toward `Normal`); identity at the top.
+    fn ascend(self) -> Self {
+        match self {
+            OperatingMode::Normal | OperatingMode::Degraded => OperatingMode::Normal,
+            OperatingMode::SafeMode => OperatingMode::Degraded,
+        }
+    }
+}
+
+impl std::fmt::Display for OperatingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OperatingMode::Normal => "normal",
+            OperatingMode::Degraded => "degraded",
+            OperatingMode::SafeMode => "safe_mode",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One cycle's evidence about how much the control pipeline can be trusted.
+///
+/// Fractions outside `[0, 1]` (including NaN — e.g. a division by a zero
+/// unit count during total churn) are clamped to the *pessimistic* end:
+/// a confidence report the cluster cannot even compute is itself evidence
+/// of trouble.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceReport {
+    /// Fraction of managed units currently isolated by the telemetry guard
+    /// (quarantined or on probation). `0.0` when no guard is attached.
+    pub quarantined_frac: f64,
+    /// Fraction of units whose control-plane frames went stale or missing
+    /// this cycle (gather misses / delayed apply). `0.0` on a direct plane.
+    pub stale_frac: f64,
+    /// This cycle brushed a budget invariant (an applied-power reading over
+    /// the believed budget, within the grace window).
+    pub near_miss: bool,
+}
+
+impl ConfidenceReport {
+    /// A fully clean cycle.
+    pub fn clean() -> Self {
+        Self {
+            quarantined_frac: 0.0,
+            stale_frac: 0.0,
+            near_miss: false,
+        }
+    }
+}
+
+/// Thresholds for the mode ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModeConfig {
+    /// Master switch; `false` pins the machine at `Normal` (the pre-ladder
+    /// behaviour, byte-identical traces).
+    pub enabled: bool,
+    /// Quarantined-unit fraction at or above which `Degraded` is entered.
+    pub degrade_quarantine_frac: f64,
+    /// Quarantined-unit fraction at or above which `SafeMode` is entered.
+    pub safe_quarantine_frac: f64,
+    /// Stale-frame fraction at or above which `Degraded` is entered.
+    pub degrade_stale_frac: f64,
+    /// Stale-frame fraction at or above which `SafeMode` is entered.
+    pub safe_stale_frac: f64,
+    /// Consecutive invariant near-misses that force `Degraded`.
+    pub near_miss_degrade: u32,
+    /// Consecutive invariant near-misses that force `SafeMode`.
+    pub near_miss_safe: u32,
+    /// Consecutive clean cycles required to climb one rung.
+    pub recover_after: u32,
+}
+
+impl Default for ModeConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            degrade_quarantine_frac: 0.35,
+            safe_quarantine_frac: 0.6,
+            degrade_stale_frac: 0.5,
+            safe_stale_frac: 0.8,
+            near_miss_degrade: 3,
+            near_miss_safe: 8,
+            recover_after: 12,
+        }
+    }
+}
+
+impl ModeConfig {
+    /// Validates threshold ordering and ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("degrade_quarantine_frac", self.degrade_quarantine_frac),
+            ("safe_quarantine_frac", self.safe_quarantine_frac),
+            ("degrade_stale_frac", self.degrade_stale_frac),
+            ("safe_stale_frac", self.safe_stale_frac),
+        ] {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                return Err(format!("{name} must be in [0,1], got {v}"));
+            }
+        }
+        if self.degrade_quarantine_frac > self.safe_quarantine_frac {
+            return Err("degrade_quarantine_frac must not exceed safe_quarantine_frac".into());
+        }
+        if self.degrade_stale_frac > self.safe_stale_frac {
+            return Err("degrade_stale_frac must not exceed safe_stale_frac".into());
+        }
+        if self.near_miss_degrade == 0 || self.near_miss_safe < self.near_miss_degrade {
+            return Err("need 1 <= near_miss_degrade <= near_miss_safe".into());
+        }
+        if self.recover_after == 0 {
+            return Err("recover_after must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// The hysteretic mode state machine. Descends immediately when confidence
+/// collapses; re-ascends one rung per sustained clean streak.
+#[derive(Debug, Clone)]
+pub struct ModeMachine {
+    config: ModeConfig,
+    mode: OperatingMode,
+    /// Consecutive cycles with `near_miss` set.
+    near_miss_streak: u32,
+    /// Consecutive cycles whose evidence supported a higher rung.
+    clean_streak: u32,
+}
+
+impl ModeMachine {
+    /// Creates the machine in `Normal`.
+    ///
+    /// # Panics
+    /// Panics on an invalid config.
+    pub fn new(config: ModeConfig) -> Self {
+        config.validate().expect("invalid mode config");
+        Self {
+            config,
+            mode: OperatingMode::Normal,
+            near_miss_streak: 0,
+            clean_streak: 0,
+        }
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> OperatingMode {
+        self.mode
+    }
+
+    /// The config in effect.
+    pub fn config(&self) -> &ModeConfig {
+        &self.config
+    }
+
+    /// Consecutive invariant near-misses observed so far.
+    pub fn near_miss_streak(&self) -> u32 {
+        self.near_miss_streak
+    }
+
+    /// The mode the evidence alone calls for, ignoring hysteresis.
+    fn target(&self, report: &ConfidenceReport) -> OperatingMode {
+        // Pessimistic clamp: an incomputable fraction reads as 1.0.
+        let q = if report.quarantined_frac.is_finite() {
+            report.quarantined_frac.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let s = if report.stale_frac.is_finite() {
+            report.stale_frac.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        if q >= self.config.safe_quarantine_frac
+            || s >= self.config.safe_stale_frac
+            || self.near_miss_streak >= self.config.near_miss_safe
+        {
+            OperatingMode::SafeMode
+        } else if q >= self.config.degrade_quarantine_frac
+            || s >= self.config.degrade_stale_frac
+            || self.near_miss_streak >= self.config.near_miss_degrade
+        {
+            OperatingMode::Degraded
+        } else {
+            OperatingMode::Normal
+        }
+    }
+
+    /// Feeds one cycle's confidence report. Returns `Some((from, to))` when
+    /// the mode changed this cycle.
+    pub fn step(&mut self, report: &ConfidenceReport) -> Option<(OperatingMode, OperatingMode)> {
+        if !self.config.enabled {
+            return None;
+        }
+        if report.near_miss {
+            self.near_miss_streak += 1;
+        } else {
+            self.near_miss_streak = 0;
+        }
+        let target = self.target(report);
+        let from = self.mode;
+        if target > self.mode {
+            // Worse: descend immediately, all the way to the target.
+            self.mode = target;
+            self.clean_streak = 0;
+        } else if target < self.mode {
+            // Better: climb only after a sustained clean streak, one rung.
+            self.clean_streak += 1;
+            if self.clean_streak >= self.config.recover_after {
+                self.mode = self.mode.ascend();
+                self.clean_streak = 0;
+            }
+        } else {
+            self.clean_streak = 0;
+        }
+        (self.mode != from).then_some((from, self.mode))
+    }
+
+    /// Resets to `Normal` with cleared streaks (between repetitions).
+    pub fn reset(&mut self) {
+        self.mode = OperatingMode::Normal;
+        self.near_miss_streak = 0;
+        self.clean_streak = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quarantine(frac: f64) -> ConfidenceReport {
+        ConfidenceReport {
+            quarantined_frac: frac,
+            ..ConfidenceReport::clean()
+        }
+    }
+
+    fn stale(frac: f64) -> ConfidenceReport {
+        ConfidenceReport {
+            stale_frac: frac,
+            ..ConfidenceReport::clean()
+        }
+    }
+
+    fn near_miss() -> ConfidenceReport {
+        ConfidenceReport {
+            near_miss: true,
+            ..ConfidenceReport::clean()
+        }
+    }
+
+    #[test]
+    fn clean_reports_stay_normal() {
+        let mut m = ModeMachine::new(ModeConfig::default());
+        for _ in 0..100 {
+            assert_eq!(m.step(&ConfidenceReport::clean()), None);
+        }
+        assert_eq!(m.mode(), OperatingMode::Normal);
+    }
+
+    #[test]
+    fn severity_order_matches_ladder() {
+        assert!(OperatingMode::Normal < OperatingMode::Degraded);
+        assert!(OperatingMode::Degraded < OperatingMode::SafeMode);
+    }
+
+    #[test]
+    fn quarantine_fraction_descends_one_or_two_rungs() {
+        let mut m = ModeMachine::new(ModeConfig::default());
+        assert_eq!(
+            m.step(&quarantine(0.4)),
+            Some((OperatingMode::Normal, OperatingMode::Degraded))
+        );
+        // Collapse deepens: straight to SafeMode without a Degraded dwell.
+        assert_eq!(
+            m.step(&quarantine(0.7)),
+            Some((OperatingMode::Degraded, OperatingMode::SafeMode))
+        );
+        // And a fresh machine facing total collapse skips Degraded.
+        let mut m2 = ModeMachine::new(ModeConfig::default());
+        assert_eq!(
+            m2.step(&quarantine(1.0)),
+            Some((OperatingMode::Normal, OperatingMode::SafeMode))
+        );
+    }
+
+    #[test]
+    fn stale_frames_descend() {
+        let mut m = ModeMachine::new(ModeConfig::default());
+        assert_eq!(m.step(&stale(0.25)), None);
+        assert_eq!(
+            m.step(&stale(0.5)),
+            Some((OperatingMode::Normal, OperatingMode::Degraded))
+        );
+    }
+
+    #[test]
+    fn near_miss_streak_escalates_and_resets() {
+        let cfg = ModeConfig::default();
+        let mut m = ModeMachine::new(cfg);
+        for _ in 0..cfg.near_miss_degrade - 1 {
+            assert_eq!(m.step(&near_miss()), None);
+        }
+        assert_eq!(
+            m.step(&near_miss()),
+            Some((OperatingMode::Normal, OperatingMode::Degraded))
+        );
+        // A clean cycle resets the streak; further near-misses count anew.
+        m.step(&ConfidenceReport::clean());
+        assert_eq!(m.near_miss_streak(), 0);
+        for _ in 0..cfg.near_miss_safe {
+            m.step(&near_miss());
+        }
+        assert_eq!(m.mode(), OperatingMode::SafeMode);
+    }
+
+    #[test]
+    fn reascent_is_hysteretic_and_one_rung() {
+        let cfg = ModeConfig::default();
+        let mut m = ModeMachine::new(cfg);
+        m.step(&quarantine(0.9));
+        assert_eq!(m.mode(), OperatingMode::SafeMode);
+        // recover_after - 1 clean cycles: still SafeMode.
+        for _ in 0..cfg.recover_after - 1 {
+            assert_eq!(m.step(&ConfidenceReport::clean()), None);
+        }
+        assert_eq!(
+            m.step(&ConfidenceReport::clean()),
+            Some((OperatingMode::SafeMode, OperatingMode::Degraded))
+        );
+        // The streak restarts for the next rung.
+        for _ in 0..cfg.recover_after - 1 {
+            assert_eq!(m.step(&ConfidenceReport::clean()), None);
+        }
+        assert_eq!(
+            m.step(&ConfidenceReport::clean()),
+            Some((OperatingMode::Degraded, OperatingMode::Normal))
+        );
+    }
+
+    #[test]
+    fn dirty_cycle_restarts_recovery_streak() {
+        let cfg = ModeConfig::default();
+        let mut m = ModeMachine::new(cfg);
+        m.step(&quarantine(0.5));
+        assert_eq!(m.mode(), OperatingMode::Degraded);
+        for _ in 0..cfg.recover_after - 1 {
+            m.step(&ConfidenceReport::clean());
+        }
+        // Evidence still calling for Degraded zeroes the streak.
+        m.step(&quarantine(0.5));
+        for _ in 0..cfg.recover_after - 1 {
+            assert_eq!(m.step(&ConfidenceReport::clean()), None);
+        }
+        assert_eq!(m.mode(), OperatingMode::Degraded);
+        assert!(m.step(&ConfidenceReport::clean()).is_some());
+    }
+
+    #[test]
+    fn non_finite_fractions_read_pessimistically() {
+        let mut m = ModeMachine::new(ModeConfig::default());
+        assert_eq!(
+            m.step(&quarantine(f64::NAN)),
+            Some((OperatingMode::Normal, OperatingMode::SafeMode))
+        );
+    }
+
+    #[test]
+    fn disabled_machine_never_moves() {
+        let mut m = ModeMachine::new(ModeConfig {
+            enabled: false,
+            ..ModeConfig::default()
+        });
+        for _ in 0..20 {
+            assert_eq!(m.step(&quarantine(1.0)), None);
+        }
+        assert_eq!(m.mode(), OperatingMode::Normal);
+    }
+
+    #[test]
+    fn reset_returns_to_normal() {
+        let mut m = ModeMachine::new(ModeConfig::default());
+        m.step(&quarantine(0.9));
+        m.reset();
+        assert_eq!(m.mode(), OperatingMode::Normal);
+        assert_eq!(m.near_miss_streak(), 0);
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        assert!(ModeConfig {
+            degrade_quarantine_frac: 0.8,
+            safe_quarantine_frac: 0.5,
+            ..ModeConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ModeConfig {
+            near_miss_degrade: 0,
+            ..ModeConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ModeConfig {
+            recover_after: 0,
+            ..ModeConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ModeConfig {
+            degrade_stale_frac: f64::NAN,
+            ..ModeConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ModeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn obs_mapping_is_total() {
+        assert_eq!(OperatingMode::Normal.to_obs(), dps_obs::ModeKind::Normal);
+        assert_eq!(
+            OperatingMode::Degraded.to_obs(),
+            dps_obs::ModeKind::Degraded
+        );
+        assert_eq!(
+            OperatingMode::SafeMode.to_obs(),
+            dps_obs::ModeKind::SafeMode
+        );
+    }
+}

@@ -14,7 +14,7 @@
 //!   metric (Eq. 1–2).
 
 use crate::budget::{debug_assert_budget, distribute_weighted};
-use crate::manager::{ManagerKind, PowerManager, UnitLimits};
+use crate::manager::{check_new_budget, ManagerKind, PowerManager, UnitLimits};
 use dps_sim_core::units::{Seconds, Watts};
 
 /// Perfect-knowledge demand-proportional manager.
@@ -52,6 +52,12 @@ impl PowerManager for OracleManager {
 
     fn total_budget(&self) -> Watts {
         self.total_budget
+    }
+
+    fn set_budget(&mut self, new_budget: Watts) -> Result<(), String> {
+        check_new_budget(new_budget, self.num_units, self.limits)?;
+        self.total_budget = new_budget;
+        Ok(())
     }
 
     fn observe_demands(&mut self, demands: &[Watts]) {

@@ -19,7 +19,7 @@
 //! phase) is misallocated until the model catches up.
 
 use crate::budget::{debug_assert_budget, distribute_weighted};
-use crate::manager::{ManagerKind, PowerManager, UnitLimits};
+use crate::manager::{check_new_budget, ManagerKind, PowerManager, UnitLimits};
 use dps_sim_core::units::{Seconds, Watts};
 use serde::{Deserialize, Serialize};
 
@@ -162,6 +162,12 @@ impl PowerManager for PredictiveManager {
 
     fn total_budget(&self) -> Watts {
         self.total_budget
+    }
+
+    fn set_budget(&mut self, new_budget: Watts) -> Result<(), String> {
+        check_new_budget(new_budget, self.models.len(), self.limits)?;
+        self.total_budget = new_budget;
+        Ok(())
     }
 
     fn assign_caps(&mut self, measured: &[Watts], caps: &mut [Watts], _dt: Seconds) {

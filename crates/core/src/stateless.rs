@@ -11,9 +11,9 @@
 //! baseline; inside [`crate::dps::DpsManager`] it produces the temporary
 //! allocation that the cap-readjusting module then refines.
 
-use crate::budget::{debug_assert_budget, BUDGET_EPSILON};
+use crate::budget::{debug_assert_budget, enforce_budget, BUDGET_EPSILON};
 use crate::config::MimdConfig;
-use crate::manager::{ManagerKind, PowerManager, UnitLimits};
+use crate::manager::{check_new_budget, ManagerKind, PowerManager, UnitLimits};
 use dps_sim_core::rng::RngStream;
 use dps_sim_core::units::{Seconds, Watts};
 
@@ -50,6 +50,13 @@ impl MimdModule {
     /// The module's configuration.
     pub fn config(&self) -> &MimdConfig {
         &self.config
+    }
+
+    /// Rebases the module on a new budget. The next [`MimdModule::apply`]
+    /// shrinks any now-over-budget caps proportionally before the usual
+    /// MIMD loops, so compliance is restored within one cycle.
+    pub fn set_budget(&mut self, new_budget: Watts) {
+        self.total_budget = new_budget;
     }
 
     /// The current visit-order permutation (checkpoint state: the shuffle
@@ -103,6 +110,19 @@ impl MimdModule {
         let n = caps.len();
         assert!(measured.len() == n && changed.len() == n, "length mismatch");
         changed.fill(false);
+
+        // A budget shock may leave the standing caps above the new budget;
+        // the freed-budget accounting below assumes Σcaps ≤ budget, so
+        // restore the invariant first (no-op under a constant budget).
+        if caps.iter().sum::<f64>() > self.total_budget + BUDGET_EPSILON {
+            let before: Vec<Watts> = caps.to_vec();
+            enforce_budget(caps, self.total_budget, self.limits);
+            for u in 0..n {
+                if (caps[u] - before[u]).abs() > BUDGET_EPSILON {
+                    changed[u] = true;
+                }
+            }
+        }
 
         // First loop: decrease caps of units with headroom (Alg. 1 l.5-8).
         for u in 0..n {
@@ -194,6 +214,12 @@ impl PowerManager for SlurmManager {
 
     fn total_budget(&self) -> Watts {
         self.module.total_budget
+    }
+
+    fn set_budget(&mut self, new_budget: Watts) -> Result<(), String> {
+        check_new_budget(new_budget, self.num_units, self.module.limits)?;
+        self.module.set_budget(new_budget);
+        Ok(())
     }
 
     fn assign_caps(&mut self, measured: &[Watts], caps: &mut [Watts], _dt: Seconds) {

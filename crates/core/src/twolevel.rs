@@ -13,9 +13,9 @@
 //! stateless inability to anticipate, which is why it belongs in the
 //! baseline set.
 
-use crate::budget::{debug_assert_budget, BUDGET_EPSILON};
+use crate::budget::{debug_assert_budget, enforce_budget, BUDGET_EPSILON};
 use crate::config::MimdConfig;
-use crate::manager::{ManagerKind, PowerManager, UnitLimits};
+use crate::manager::{check_new_budget, ManagerKind, PowerManager, UnitLimits};
 use dps_sim_core::rng::RngStream;
 use dps_sim_core::units::{Seconds, Watts};
 
@@ -112,6 +112,12 @@ impl PowerManager for TwoLevelManager {
         self.total_budget
     }
 
+    fn set_budget(&mut self, new_budget: Watts) -> Result<(), String> {
+        check_new_budget(new_budget, self.num_units, self.limits)?;
+        self.total_budget = new_budget;
+        Ok(())
+    }
+
     fn assign_caps(&mut self, measured: &[Watts], caps: &mut [Watts], _dt: Seconds) {
         let spn = self.sockets_per_node;
         let nodes = self.node_count();
@@ -119,6 +125,22 @@ impl PowerManager for TwoLevelManager {
 
         // Invariant maintained throughout: Σ caps(node) ≤ node_budget and
         // Σ node_budgets ≤ total_budget, hence Σ caps ≤ total_budget.
+
+        // A budget shock can break both halves of that invariant (standing
+        // caps above the new total, or a node budget stranded below its
+        // caps). Rebase before the MIMD loops: shrink the caps under the
+        // total and collapse each node budget onto its caps, returning all
+        // slack to the top level for re-bidding. No-op in steady state.
+        let over_total = caps.iter().sum::<f64>() > self.total_budget + BUDGET_EPSILON;
+        let incoherent = (0..nodes).any(|k| {
+            caps[k * spn..(k + 1) * spn].iter().sum::<f64>() > self.node_budgets[k] + BUDGET_EPSILON
+        });
+        if over_total || incoherent {
+            enforce_budget(caps, self.total_budget, self.limits);
+            for k in 0..nodes {
+                self.node_budgets[k] = caps[k * spn..(k + 1) * spn].iter().sum();
+            }
+        }
 
         // (1) Bottom-level decrease: every socket with slack releases cap
         // (floored at its measured power), shrinking its node's usage.

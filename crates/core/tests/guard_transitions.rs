@@ -1,0 +1,226 @@
+//! Property tests on the telemetry guard's health state machine and its
+//! believed-cap budget accounting, driven directly through the public
+//! per-cycle API (`sanitize` → `pin_caps` → `finish_cycle` →
+//! `observe_applied`) with arbitrary fault scripts.
+//!
+//! Two paper-level guarantees under test:
+//!
+//! * **No shortcut out of quarantine.** A quarantined unit must pass
+//!   through `Probation` before it can be trusted again — no
+//!   `Quarantined → Healthy` (or `→ Suspect`) edge exists, no matter how
+//!   the faults flap.
+//! * **The believed-cap budget invariant.** After `finish_cycle`, the sum
+//!   of caps the guard believes to be in force (suspect actuators
+//!   accounted at `max(request, readback)`) stays within the budget —
+//!   except on cycles the guard itself declares saturated, the documented
+//!   escape hatch for "so many rogue actuators that honest units cannot
+//!   compensate".
+
+use dps_core::guard::{GuardConfig, HealthState, TelemetryGuard};
+use dps_core::manager::UnitLimits;
+use proptest::prelude::*;
+
+const LIMITS: UnitLimits = UnitLimits {
+    min_cap: 40.0,
+    max_cap: 165.0,
+};
+const BUDGET: f64 = 440.0; // 4 units × 110 W
+const FALLBACK: f64 = 110.0;
+const N: usize = 4;
+
+/// One unit's behaviour for one cycle.
+#[derive(Debug, Clone, Copy)]
+enum UnitScript {
+    /// Honest telemetry near the cap, honest actuator.
+    Clean,
+    /// Sensor returns NaN; actuator honest.
+    DropoutSensor,
+    /// Sensor returns a wild spike; actuator honest.
+    SpikeSensor,
+    /// Telemetry honest, but the actuator holds a stale high cap.
+    StaleActuator,
+}
+
+fn unit_script() -> impl Strategy<Value = UnitScript> {
+    // Weighted by index range: mostly clean, occasional faults of each
+    // class (the vendored proptest's prop_oneof! carries no weights).
+    (0u32..9).prop_map(|i| match i {
+        0..=3 => UnitScript::Clean,
+        4 | 5 => UnitScript::DropoutSensor,
+        6 => UnitScript::SpikeSensor,
+        _ => UnitScript::StaleActuator,
+    })
+}
+
+/// A cycle script: per-unit behaviours plus an optional budget shock
+/// factor applied at the top of the cycle (~1 cycle in 5).
+fn cycle_script() -> impl Strategy<Value = (Vec<UnitScript>, Option<f64>)> {
+    (
+        proptest::collection::vec(unit_script(), N..=N),
+        0u32..5,
+        0.5f64..=1.0,
+    )
+        .prop_map(|(units, sel, factor)| (units, (sel == 0).then_some(factor)))
+}
+
+fn guard() -> TelemetryGuard {
+    TelemetryGuard::new(
+        N,
+        BUDGET,
+        LIMITS,
+        FALLBACK,
+        GuardConfig {
+            // The scripts feed constant clean values; the stuck detector
+            // would quarantine them all, which is not what's under test.
+            stuck_window: 0,
+            quarantine_after: 2,
+            probation_after: 3,
+            readmit_after: 4,
+            ..GuardConfig::default()
+        },
+    )
+}
+
+/// The only legal edges of the health machine, keyed by (from, to).
+fn legal_transition(from: HealthState, to: HealthState) -> bool {
+    use HealthState::*;
+    match (from, to) {
+        // Self-loops are always fine.
+        (a, b) if a == b => true,
+        (Healthy, Suspect) => true,
+        (Suspect, Healthy) | (Suspect, Quarantined) => true,
+        // Quarantine only releases into probation — never straight to trust.
+        (Quarantined, Probation) => true,
+        // Probation either completes readmission or falls back in.
+        (Probation, Healthy) | (Probation, Quarantined) => true,
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary fault scripts (sensor dropouts, spikes, rogue actuators,
+    /// budget shocks) can only walk the health machine along its legal
+    /// edges, and every cycle's believed-cap sum respects the budget in
+    /// force unless the guard explicitly declared the cycle saturated.
+    #[test]
+    fn health_edges_stay_legal_and_believed_caps_fit_the_budget(
+        script in proptest::collection::vec(cycle_script(), 1..60),
+    ) {
+        let mut guard = guard();
+        let mut budget = BUDGET;
+        let mut prev_health: Vec<HealthState> = guard.health().to_vec();
+        let mut prev_saturated = guard.stats().saturated_cycles;
+        // The hardware model: per-unit cap actually in force. Stale
+        // actuators simply keep whatever they were holding.
+        let mut hardware = vec![FALLBACK; N];
+
+        for (cycle, (units, shock)) in script.iter().enumerate() {
+            if let Some(factor) = shock {
+                budget = BUDGET * factor;
+                guard.set_budget(budget, budget / N as f64);
+            }
+
+            // 1. Telemetry for this cycle, per script.
+            let measured: Vec<f64> = units
+                .iter()
+                .enumerate()
+                .map(|(u, s)| match s {
+                    UnitScript::DropoutSensor => f64::NAN,
+                    UnitScript::SpikeSensor => 4_000.0,
+                    _ => 90.0 + 3.0 * u as f64 + 0.1 * (cycle % 7) as f64,
+                })
+                .collect();
+            guard.sanitize(&measured);
+
+            // 2. A naive equal-split allocation, then the guard's caps.
+            let mut caps = vec![budget / N as f64; N];
+            let mut changed = vec![false; N];
+            guard.pin_caps(&mut caps, &mut changed);
+            guard.finish_cycle(&mut caps, &mut changed);
+
+            // Believed-cap budget invariant, modulo declared saturation.
+            let believed_sum: f64 = guard.believed().iter().sum();
+            let saturated = guard.stats().saturated_cycles > prev_saturated;
+            prev_saturated = guard.stats().saturated_cycles;
+            prop_assert!(
+                saturated || believed_sum <= budget + 1e-6,
+                "cycle {cycle}: believed {believed_sum:.3} W over budget {budget:.3} W \
+                 without a declared saturation"
+            );
+
+            // 3. The hardware applies the caps — except stale actuators.
+            for (u, s) in units.iter().enumerate() {
+                if !matches!(s, UnitScript::StaleActuator) {
+                    hardware[u] = caps[u];
+                }
+            }
+            guard.observe_applied(&hardware);
+
+            // Health machine edges: compare against the pre-cycle states.
+            for (u, (&from, &to)) in
+                prev_health.iter().zip(guard.health().iter()).enumerate()
+            {
+                prop_assert!(
+                    legal_transition(from, to),
+                    "cycle {cycle}, unit {u}: illegal health edge {from} -> {to}"
+                );
+                prop_assert!(
+                    !(from == HealthState::Quarantined && to == HealthState::Healthy),
+                    "cycle {cycle}, unit {u}: quarantine released without probation"
+                );
+            }
+            prev_health = guard.health().to_vec();
+        }
+    }
+
+    /// A unit that goes all the way down (quarantined) and then behaves
+    /// perfectly must still serve the full probation before readmission —
+    /// and must be readmitted eventually.
+    #[test]
+    fn readmission_always_takes_the_full_probation(faulty_cycles in 2u32..12) {
+        let mut guard = guard();
+        let mut caps = vec![FALLBACK; N];
+        let mut changed = vec![false; N];
+        let clean = [95.0, 100.0, 105.0, 98.0];
+
+        // Fault unit 0 until quarantined.
+        for _ in 0..faulty_cycles {
+            let mut m = clean;
+            m[0] = f64::NAN;
+            guard.sanitize(&m);
+            guard.pin_caps(&mut caps, &mut changed);
+            guard.finish_cycle(&mut caps, &mut changed);
+            guard.observe_applied(&caps);
+        }
+        prop_assert_eq!(guard.health()[0], HealthState::Quarantined);
+
+        // Clean telemetry from here on: count cycles to readmission and
+        // check probation is the only road back.
+        let mut probation_seen = false;
+        let mut cycles_to_health = None;
+        for cycle in 0..64 {
+            guard.sanitize(&clean);
+            guard.pin_caps(&mut caps, &mut changed);
+            guard.finish_cycle(&mut caps, &mut changed);
+            guard.observe_applied(&caps);
+            match guard.health()[0] {
+                HealthState::Probation => probation_seen = true,
+                HealthState::Healthy => {
+                    cycles_to_health = Some(cycle);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let took = cycles_to_health.expect("unit never readmitted");
+        prop_assert!(probation_seen, "readmitted without serving probation");
+        // probation_after (3) + readmit_after (4) clean cycles, give or
+        // take the cycle the quarantine verdict itself consumes.
+        prop_assert!(
+            (6..=9).contains(&took),
+            "readmission took {took} cycles, expected the configured 7±1"
+        );
+    }
+}

@@ -114,6 +114,23 @@ impl Controller {
         self.stale_after = k;
     }
 
+    /// Rebases the controller onto a new cluster budget (dynamic budget
+    /// schedules). Beliefs are untouched — they describe what the hardware
+    /// holds, not what it should hold; after a downward move the next
+    /// epoch's lowers complete before raises are granted against the new
+    /// headroom, so the believed-cap invariant re-converges within one
+    /// decide→scatter round.
+    pub fn set_budget(&mut self, budget: Watts) {
+        assert!(
+            budget.is_finite() && budget > 0.0,
+            "budget must be finite and positive"
+        );
+        self.limits
+            .check_feasible(budget, self.believed.len())
+            .expect("budget covers the floor");
+        self.budget = budget;
+    }
+
     fn node_of(&self, unit: usize) -> usize {
         unit / self.units_per_node
     }

@@ -460,6 +460,15 @@ impl FramedControlPlane {
         &self.applied
     }
 
+    /// Rebases the plane's controller onto a new cluster budget (dynamic
+    /// budget schedules). Takes effect from the next
+    /// [`FramedControlPlane::run_cycle`]: lowers scatter first, so the
+    /// believed-cap invariant re-converges to the new budget within one
+    /// epoch on a healthy wire.
+    pub fn set_budget(&mut self, budget: Watts) {
+        self.controller.set_budget(budget);
+    }
+
     /// The controller's hold-last telemetry.
     pub fn telemetry(&self) -> &[Watts] {
         self.controller.telemetry()
@@ -538,6 +547,10 @@ mod tests {
         }
         fn total_budget(&self) -> Watts {
             self.budget
+        }
+        fn set_budget(&mut self, new_budget: Watts) -> Result<(), String> {
+            self.budget = new_budget;
+            Ok(())
         }
         fn assign_caps(&mut self, _measured: &[Watts], caps: &mut [Watts], _dt: Seconds) {
             caps.copy_from_slice(&self.caps);

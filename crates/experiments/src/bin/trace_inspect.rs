@@ -1,11 +1,16 @@
 //! Inspect, export, record, and diff `dps-obs` binary traces.
 //!
 //! ```text
-//! trace_inspect summary <trace>            counters + histograms + cycle span
-//! trace_inspect jsonl   <trace>            decode to JSONL on stdout
-//! trace_inspect diff    <a> <b>            event-level comparison, exit 1 on drift
-//! trace_inspect record  <scenario> <out>   re-record a pinned golden scenario
+//! trace_inspect summary <trace> [--kind <event>]   counters + histograms + cycle span
+//! trace_inspect jsonl   <trace> [--kind <event>]   decode to JSONL on stdout
+//! trace_inspect diff    <a> <b>                    event-level comparison, exit 1 on drift
+//! trace_inspect record  <scenario> <out>           re-record a pinned golden scenario
 //! ```
+//!
+//! `--kind` narrows `summary` and `jsonl` to one event kind by its schema
+//! name (`mode_change`, `budget_shock`, `invariant_violation`, ...) — the
+//! fast way to pull the degradation-ladder story out of a chaos trace
+//! without paging through every cap delta.
 //!
 //! Scenarios are the pinned golden runs of
 //! [`dps_experiments::scenarios::GoldenScenario`] (`paper_default`,
@@ -28,7 +33,8 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  trace_inspect summary <trace>\n  trace_inspect jsonl <trace>\n  \
+        "usage:\n  trace_inspect summary <trace> [--kind <event>]\n  \
+         trace_inspect jsonl <trace> [--kind <event>]\n  \
          trace_inspect diff <a> <b>\n  trace_inspect record <scenario> <out>\n\
          scenarios: {}",
         GoldenScenario::ALL
@@ -38,6 +44,42 @@ fn usage() -> ExitCode {
             .join(", ")
     );
     ExitCode::from(2)
+}
+
+/// Validates an event-kind name against the trace schema and drops every
+/// other kind from the trace. `dropped` is preserved: the ring's losses are
+/// a property of the recording, not of the view.
+fn filter_kind(trace: Trace, kind: &str) -> Result<Trace, String> {
+    if !dps_obs::event::schema::EVENTS
+        .iter()
+        .any(|s| s.name == kind)
+    {
+        return Err(format!(
+            "unknown event kind {kind:?}; one of: {}",
+            dps_obs::event::schema::EVENTS
+                .iter()
+                .map(|s| s.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    Ok(Trace {
+        events: trace
+            .events
+            .into_iter()
+            .filter(|e| e.name() == kind)
+            .collect(),
+        dropped: trace.dropped,
+    })
+}
+
+/// Parses an optional trailing `--kind <event>` pair.
+fn kind_arg(args: &[String]) -> Result<Option<&str>, ()> {
+    match args {
+        [] => Ok(None),
+        [flag, kind] if flag == "--kind" => Ok(Some(kind)),
+        _ => Err(()),
+    }
 }
 
 fn load(path: &str) -> Result<Trace, String> {
@@ -52,9 +94,14 @@ fn cycle_span(events: &[Event]) -> Option<(u64, u64)> {
     Some((lo, hi))
 }
 
-fn summary(path: &str) -> Result<(), String> {
-    let trace = load(path)?;
-    println!("{path}");
+fn summary(path: &str, kind: Option<&str>) -> Result<(), String> {
+    let mut trace = load(path)?;
+    if let Some(kind) = kind {
+        trace = filter_kind(trace, kind)?;
+        println!("{path} (kind = {kind})");
+    } else {
+        println!("{path}");
+    }
     println!("  events                 {}", trace.events.len());
     println!("  dropped                {}", trace.dropped);
     if let Some((lo, hi)) = cycle_span(&trace.events) {
@@ -65,8 +112,11 @@ fn summary(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn jsonl(path: &str) -> Result<(), String> {
-    let trace = load(path)?;
+fn jsonl(path: &str, kind: Option<&str>) -> Result<(), String> {
+    let mut trace = load(path)?;
+    if let Some(kind) = kind {
+        trace = filter_kind(trace, kind)?;
+    }
     print!("{}", to_jsonl(&trace));
     Ok(())
 }
@@ -126,8 +176,14 @@ fn record(name: &str, out: &str) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let result = match args.get(1).map(String::as_str) {
-        Some("summary") if args.len() == 3 => summary(&args[2]).map(|()| true),
-        Some("jsonl") if args.len() == 3 => jsonl(&args[2]).map(|()| true),
+        Some("summary") if args.len() >= 3 => match kind_arg(&args[3..]) {
+            Ok(kind) => summary(&args[2], kind).map(|()| true),
+            Err(()) => return usage(),
+        },
+        Some("jsonl") if args.len() >= 3 => match kind_arg(&args[3..]) {
+            Ok(kind) => jsonl(&args[2], kind).map(|()| true),
+            Err(()) => return usage(),
+        },
         Some("diff") if args.len() == 4 => diff(&args[2], &args[3]),
         Some("record") if args.len() == 4 => record(&args[2], &args[3]).map(|()| true),
         _ => return usage(),

@@ -19,7 +19,7 @@
 //! * ring capacity is sized so no scenario ever drops an event — a change
 //!   that suddenly overflows the ring is itself a regression worth seeing.
 
-use dps_cluster::{ClusterSim, SimConfig};
+use dps_cluster::{BudgetSchedule, ChaosSchedule, ChaosWindow, ClusterSim, SimConfig};
 use dps_core::manager::{PowerManager, UnitLimits};
 use dps_core::{DpsConfig, DpsManager, GuardConfig};
 use dps_obs::SinkHandle;
@@ -57,15 +57,24 @@ pub enum GoldenScenario {
     /// crowd, hysteresis power-offs after), request milestones, and the
     /// membership churn elastic sizing drives.
     ElasticTraffic,
+    /// Graceful degradation under a correlated incident: guarded DPS on
+    /// the framed control plane while one rack loses its sensors *and*
+    /// its links corrupt frames *and* a budget brownout ramps through —
+    /// all in overlapping windows. Exercises budget shocks, the
+    /// `Normal → Degraded → Normal` mode ladder, chaos-compiled fault
+    /// edges, and the always-on invariant monitor (which must stay
+    /// silent: zero violations is part of the golden contract).
+    ChaosBrownout,
 }
 
 impl GoldenScenario {
     /// Every scenario, in golden-file order.
-    pub const ALL: [GoldenScenario; 4] = [
+    pub const ALL: [GoldenScenario; 5] = [
         GoldenScenario::PaperDefault,
         GoldenScenario::SensorFault,
         GoldenScenario::SchedulerChurn,
         GoldenScenario::ElasticTraffic,
+        GoldenScenario::ChaosBrownout,
     ];
 
     /// Stable scenario name (also the golden file stem).
@@ -75,6 +84,7 @@ impl GoldenScenario {
             GoldenScenario::SensorFault => "sensor_fault",
             GoldenScenario::SchedulerChurn => "scheduler_churn",
             GoldenScenario::ElasticTraffic => "elastic_traffic",
+            GoldenScenario::ChaosBrownout => "chaos_brownout",
         }
     }
 
@@ -104,6 +114,7 @@ impl GoldenScenario {
             GoldenScenario::SensorFault => record_sensor_fault(dps),
             GoldenScenario::SchedulerChurn => record_scheduler_churn(dps),
             GoldenScenario::ElasticTraffic => record_elastic_traffic(dps),
+            GoldenScenario::ChaosBrownout => record_chaos_brownout(dps),
         }
     }
 }
@@ -328,6 +339,32 @@ fn record_elastic_traffic(dps: DpsConfig) -> Vec<u8> {
     let manager = plain_dps(&cfg, dps, &rng);
     let sim = ClusterSim::with_traffic(cfg, manager, &rng);
     run_recorded(sim, 220)
+}
+
+fn record_chaos_brownout(dps: DpsConfig) -> Vec<u8> {
+    // Guarded DPS on the framed plane under a correlated incident: rack 1
+    // (units 4..8 — half the fleet, enough to cross the 0.35 Degraded
+    // threshold but not the 0.6 SafeMode one) loses its sensors to a
+    // dropout while its control-plane links corrupt frames, and a budget
+    // brownout ramps through the same stretch. The ladder must descend to
+    // Degraded on the quarantine wave and hysteretically re-ascend once
+    // the window closes and the guard readmits — with the invariant
+    // monitor silent throughout.
+    let mut cfg = small_testbed();
+    cfg.noise = NoiseModel::None;
+    cfg.control_plane = dps_cluster::ControlPlaneMode::Framed(dps_ctrl::FramedConfig::default());
+    cfg.chaos = ChaosSchedule::new(vec![ChaosWindow::new(1, 20.0, 60.0)
+        .with_sensor(SensorFault::Dropout)
+        .with_frame_loss(0.35)
+        .with_budget_factor(0.9)]);
+    cfg.budget = BudgetSchedule::brownout(30.0, 0.75, 10.0, 30.0);
+    let rng = RngStream::new(0xD50_005, "golden/chaos-brownout");
+    let hot = DemandProgram::new(vec![Phase::constant(200.0, 160.0)]);
+    let busy = DemandProgram::new(vec![Phase::constant(200.0, 140.0)]);
+    let manager = guarded_dps(&cfg, dps, &rng);
+    let mut sim = ClusterSim::new(cfg, vec![hot, busy], manager, &rng);
+    sim.enable_watchdog(16);
+    run_recorded(sim, 160)
 }
 
 #[cfg(test)]

@@ -27,7 +27,8 @@
 
 use crate::event::schema::{self, FieldType};
 use crate::event::{
-    Event, FaultDomain, HealthKind, PhaseKind, ProvisionKind, ReadjustKind, SchedKind,
+    Event, FaultDomain, HealthKind, InvariantKind, ModeKind, PhaseKind, ProvisionKind,
+    ReadjustKind, SchedKind,
 };
 
 /// File magic: "DPSO" (DPS Observability).
@@ -305,6 +306,31 @@ fn write_event(w: &mut Writer, e: &Event) {
             w.u64(slo_ok);
             w.u64(backlog);
         }
+        Event::ModeChange { cycle, from, to } => {
+            w.u64(cycle);
+            w.u8(from.code());
+            w.u8(to.code());
+        }
+        Event::BudgetShock {
+            cycle,
+            from_w,
+            to_w,
+        } => {
+            w.u64(cycle);
+            w.f64(from_w);
+            w.f64(to_w);
+        }
+        Event::InvariantViolation {
+            cycle,
+            kind,
+            value,
+            limit,
+        } => {
+            w.u64(cycle);
+            w.u8(kind.code());
+            w.f64(value);
+            w.f64(limit);
+        }
     }
 }
 
@@ -414,6 +440,22 @@ fn read_event(r: &mut Reader<'_>) -> Result<Event, String> {
             served: r.u64("served")?,
             slo_ok: r.u64("slo_ok")?,
             backlog: r.u64("backlog")?,
+        },
+        17 => Event::ModeChange {
+            cycle: r.u64("cycle")?,
+            from: ModeKind::from_code(r.u8("from")?)?,
+            to: ModeKind::from_code(r.u8("to")?)?,
+        },
+        18 => Event::BudgetShock {
+            cycle: r.u64("cycle")?,
+            from_w: r.f64("from_w")?,
+            to_w: r.f64("to_w")?,
+        },
+        19 => Event::InvariantViolation {
+            cycle: r.u64("cycle")?,
+            kind: InvariantKind::from_code(r.u8("kind")?)?,
+            value: r.f64("value")?,
+            limit: r.f64("limit")?,
         },
         t => return Err(format!("unknown event tag {t}")),
     };
@@ -622,6 +664,21 @@ fn json_event(out: &mut String, e: &Event) {
             num(out, "slo_ok", slo_ok);
             num(out, "backlog", backlog);
         }
+        Event::ModeChange { from, to, .. } => {
+            st(out, "from", from.name());
+            st(out, "to", to.name());
+        }
+        Event::BudgetShock { from_w, to_w, .. } => {
+            fl(out, "from_w", from_w);
+            fl(out, "to_w", to_w);
+        }
+        Event::InvariantViolation {
+            kind, value, limit, ..
+        } => {
+            st(out, "kind", kind.name());
+            fl(out, "value", value);
+            fl(out, "limit", limit);
+        }
     }
     out.push('}');
 }
@@ -733,6 +790,22 @@ pub mod tests_support {
                 served: 100_000,
                 slo_ok: 98_750,
                 backlog: 1_200,
+            },
+            Event::ModeChange {
+                cycle: 18,
+                from: ModeKind::Normal,
+                to: ModeKind::Degraded,
+            },
+            Event::BudgetShock {
+                cycle: 19,
+                from_w: 960.0,
+                to_w: 720.0,
+            },
+            Event::InvariantViolation {
+                cycle: 20,
+                kind: InvariantKind::RequestedBudget,
+                value: 961.5,
+                limit: 960.0,
             },
         ]
     }

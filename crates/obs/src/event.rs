@@ -85,6 +85,32 @@ pub enum ProvisionKind {
     PowerOff,
 }
 
+/// A rung of the cluster's degradation ladder, mirrored from `dps-core`'s
+/// operating-mode state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModeKind {
+    /// Full trust: the manager's decisions reach the hardware.
+    Normal,
+    /// Confidence lost: readjustment frozen, last-known-good caps held.
+    Degraded,
+    /// Telemetry-blind failsafe: uniform proportional caps.
+    SafeMode,
+}
+
+/// Which safety check an invariant-monitor violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantKind {
+    /// The requested caps summed past the effective budget.
+    RequestedBudget,
+    /// A requested cap left the `[min_cap, max_cap]` range.
+    CapBounds,
+    /// The caps in force at the hardware summed past the budget for longer
+    /// than the readback grace window.
+    AppliedBudget,
+    /// A guard-isolated unit held a cap above its fallback pin.
+    GuardConsistency,
+}
+
 /// One structured observability event.
 ///
 /// `cycle` is the decision-cycle index the event belongs to (the manager
@@ -253,6 +279,36 @@ pub enum Event {
         /// Requests still queued when the milestone was crossed.
         backlog: u64,
     },
+    /// The cluster moved along the degradation ladder.
+    ModeChange {
+        /// Decision-cycle index.
+        cycle: u64,
+        /// The rung being left.
+        from: ModeKind,
+        /// The rung entered this cycle.
+        to: ModeKind,
+    },
+    /// The effective cluster budget changed (schedule step, brownout ramp
+    /// sample, demand-response window edge, or a chaos shock).
+    BudgetShock {
+        /// Decision-cycle index.
+        cycle: u64,
+        /// Budget before the change (W).
+        from_w: f64,
+        /// Budget in force from this cycle (W).
+        to_w: f64,
+    },
+    /// The always-on invariant monitor saw a safety check fail.
+    InvariantViolation {
+        /// Decision-cycle index.
+        cycle: u64,
+        /// Which check failed.
+        kind: InvariantKind,
+        /// The offending value (a Watts sum or a single cap).
+        value: f64,
+        /// The bound it violated.
+        limit: f64,
+    },
 }
 
 impl Event {
@@ -275,7 +331,10 @@ impl Event {
             | Event::FaultEdge { cycle, .. }
             | Event::CycleEnd { cycle, .. }
             | Event::Provision { cycle, .. }
-            | Event::RequestMilestone { cycle, .. } => cycle,
+            | Event::RequestMilestone { cycle, .. }
+            | Event::ModeChange { cycle, .. }
+            | Event::BudgetShock { cycle, .. }
+            | Event::InvariantViolation { cycle, .. } => cycle,
         }
     }
 
@@ -299,6 +358,9 @@ impl Event {
             Event::CycleEnd { .. } => 14,
             Event::Provision { .. } => 15,
             Event::RequestMilestone { .. } => 16,
+            Event::ModeChange { .. } => 17,
+            Event::BudgetShock { .. } => 18,
+            Event::InvariantViolation { .. } => 19,
         }
     }
 
@@ -357,6 +419,17 @@ enum_codes!(SchedKind,
 );
 enum_codes!(FaultDomain, Sensor => "sensor", Actuator => "actuator");
 enum_codes!(ProvisionKind, PowerOn => "power_on", PowerOff => "power_off");
+enum_codes!(ModeKind,
+    Normal => "normal",
+    Degraded => "degraded",
+    SafeMode => "safe_mode",
+);
+enum_codes!(InvariantKind,
+    RequestedBudget => "requested_budget",
+    CapBounds => "cap_bounds",
+    AppliedBudget => "applied_budget",
+    GuardConsistency => "guard_consistency",
+);
 
 /// The static event schema the binary codec embeds in every trace header.
 pub mod schema {
@@ -406,7 +479,10 @@ pub mod schema {
         pub fields: &'static [(&'static str, FieldType)],
     }
 
-    use super::{FaultDomain, HealthKind, PhaseKind, ProvisionKind, ReadjustKind, SchedKind};
+    use super::{
+        FaultDomain, HealthKind, InvariantKind, ModeKind, PhaseKind, ProvisionKind, ReadjustKind,
+        SchedKind,
+    };
     use FieldType::*;
 
     /// Every event variant, indexed by codec tag.
@@ -528,6 +604,27 @@ pub mod schema {
                 ("backlog", U64),
             ],
         },
+        EventSchema {
+            name: "mode_change",
+            fields: &[
+                ("cycle", U64),
+                ("from", Enum(ModeKind::NAMES)),
+                ("to", Enum(ModeKind::NAMES)),
+            ],
+        },
+        EventSchema {
+            name: "budget_shock",
+            fields: &[("cycle", U64), ("from_w", F64), ("to_w", F64)],
+        },
+        EventSchema {
+            name: "invariant_violation",
+            fields: &[
+                ("cycle", U64),
+                ("kind", Enum(InvariantKind::NAMES)),
+                ("value", F64),
+                ("limit", F64),
+            ],
+        },
     ];
 }
 
@@ -558,7 +655,15 @@ mod tests {
         for code in 0..ProvisionKind::NAMES.len() as u8 {
             assert_eq!(ProvisionKind::from_code(code).unwrap().code(), code);
         }
+        for code in 0..ModeKind::NAMES.len() as u8 {
+            assert_eq!(ModeKind::from_code(code).unwrap().code(), code);
+        }
+        for code in 0..InvariantKind::NAMES.len() as u8 {
+            assert_eq!(InvariantKind::from_code(code).unwrap().code(), code);
+        }
         assert!(HealthKind::from_code(99).is_err());
+        assert_eq!(ModeKind::SafeMode.name(), "safe_mode");
+        assert_eq!(InvariantKind::AppliedBudget.name(), "applied_budget");
         assert_eq!(FaultDomain::Sensor.name(), "sensor");
         assert_eq!(ReadjustKind::Equalized.code(), 1);
         assert_eq!(ProvisionKind::PowerOff.name(), "power_off");

@@ -42,7 +42,8 @@ pub mod ring;
 pub mod sink;
 
 pub use event::{
-    Event, FaultDomain, HealthKind, PhaseKind, ProvisionKind, ReadjustKind, SchedKind,
+    Event, FaultDomain, HealthKind, InvariantKind, ModeKind, PhaseKind, ProvisionKind,
+    ReadjustKind, SchedKind,
 };
 pub use registry::{Histogram, ObsRegistry};
 pub use ring::EventRing;

@@ -195,6 +195,12 @@ counters!(
     frames_sent,
     /// Control-plane frames dropped (summed deltas).
     frames_dropped,
+    /// Operating-mode ladder transitions.
+    mode_changes,
+    /// Budget-schedule shocks applied.
+    budget_shocks,
+    /// Invariant-monitor violations observed.
+    invariant_violations,
 );
 
 /// Live counters plus histograms for the quantities worth distributions.
@@ -273,6 +279,9 @@ impl ObsRegistry {
                 crate::event::ProvisionKind::PowerOff => bump(&c.provision_power_offs),
             },
             Event::RequestMilestone { .. } => bump(&c.request_milestones),
+            Event::ModeChange { .. } => bump(&c.mode_changes),
+            Event::BudgetShock { .. } => bump(&c.budget_shocks),
+            Event::InvariantViolation { .. } => bump(&c.invariant_violations),
         }
     }
 
@@ -331,7 +340,10 @@ impl ObsRegistry {
             provision_power_offs,
             request_milestones,
             frames_sent,
-            frames_dropped
+            frames_dropped,
+            mode_changes,
+            budget_shocks,
+            invariant_violations
         );
         self.budget_slack_w.reset();
         self.cap_churn.reset();
@@ -370,6 +382,9 @@ impl ObsRegistry {
         line("request_milestones", self.request_milestones());
         line("frames_sent", self.frames_sent());
         line("frames_dropped", self.frames_dropped());
+        line("mode_changes", self.mode_changes());
+        line("budget_shocks", self.budget_shocks());
+        line("invariant_violations", self.invariant_violations());
         let mut hist = |k: &str, h: &Histogram| {
             if h.count() > 0 {
                 out.push_str(&format!("  {k:<22} {}\n", h.summary_line()));
@@ -421,7 +436,7 @@ mod tests {
     #[test]
     fn registry_folds_every_counter() {
         let reg = ObsRegistry::from_events(&crate::codec::tests_support::one_of_each());
-        assert_eq!(reg.events(), 17);
+        assert_eq!(reg.events(), 20);
         assert_eq!(reg.cap_deltas(), 1);
         assert_eq!(reg.priority_flips(), 1);
         assert_eq!(reg.restores(), 1);
@@ -440,6 +455,9 @@ mod tests {
         assert_eq!(reg.request_milestones(), 1);
         assert_eq!(reg.frames_sent(), 64);
         assert_eq!(reg.frames_dropped(), 4);
+        assert_eq!(reg.mode_changes(), 1);
+        assert_eq!(reg.budget_shocks(), 1);
+        assert_eq!(reg.invariant_violations(), 1);
         assert_eq!(reg.budget_slack_w().count(), 1);
         assert_eq!(reg.cap_churn().count(), 1);
         // one_of_each's PhaseEnd is ObserveClassify, not SimCycle.

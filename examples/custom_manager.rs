@@ -43,6 +43,12 @@ impl PowerManager for ProportionalManager {
         self.total_budget
     }
 
+    fn set_budget(&mut self, new_budget: Watts) -> Result<(), String> {
+        dps_suite::core::manager::check_new_budget(new_budget, self.num_units, self.limits)?;
+        self.total_budget = new_budget;
+        Ok(())
+    }
+
     fn assign_caps(&mut self, measured: &[Watts], caps: &mut [Watts], _dt: Seconds) {
         let total: f64 = measured.iter().map(|&p| p.max(1.0)).sum();
         // Floor every unit at min_cap, then split what remains by share of

@@ -1,0 +1,165 @@
+//! Dynamic budget shocks: every manager re-complies within one cycle.
+//!
+//! `PowerManager::set_budget` is the contract behind brownouts and
+//! demand-response windows: after a downward step the very next
+//! `assign_caps` must already respect the new ceiling, and after recovery
+//! the manager must be able to spend the restored headroom again. These
+//! tests drive the whole `ManagerKind::ALL` roster — both directly against
+//! the trait and end-to-end through `SimConfig::budget` schedules.
+
+use dps_suite::cluster::{BudgetSchedule, ClusterSim, ExperimentConfig};
+use dps_suite::core::manager::ManagerKind;
+use dps_suite::rapl::Topology;
+use dps_suite::sim_core::RngStream;
+use dps_suite::workloads::{DemandProgram, Phase};
+
+fn small(seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper_default(seed, 1);
+    cfg.sim.topology = Topology::new(2, 2, 2);
+    cfg
+}
+
+fn programs(duration: f64) -> Vec<DemandProgram> {
+    vec![
+        DemandProgram::new(vec![Phase::constant(duration, 150.0)]),
+        DemandProgram::new(vec![Phase::constant(duration, 70.0)]),
+    ]
+}
+
+/// Downward step at cycle 60, recovery at cycle 120. The caps must track
+/// the effective budget with at most the single documented cycle of lag —
+/// the shock lands at the top of cycle `t`, so the caps assigned *in*
+/// cycle `t` already see it.
+#[test]
+fn every_manager_recomplies_within_one_cycle_of_a_downward_shock() {
+    for kind in ManagerKind::ALL {
+        let mut cfg = small(11);
+        cfg.sim.budget = BudgetSchedule::from_segments(vec![
+            dps_suite::cluster::BudgetSegment {
+                start: 60.0,
+                factor: 0.7,
+                ramp: 0.0,
+            },
+            dps_suite::cluster::BudgetSegment {
+                start: 120.0,
+                factor: 1.0,
+                ramp: 0.0,
+            },
+        ])
+        .expect("valid schedule");
+        cfg.sim.validate().expect("valid config");
+
+        let base = cfg.sim.total_budget();
+        let mut sim = ClusterSim::new(
+            cfg.sim.clone(),
+            programs(400.0),
+            cfg.build_manager(kind),
+            &RngStream::new(11, "budget-shock"),
+        );
+        sim.set_invariant_fail_fast(true);
+
+        let mut shocks = 0;
+        for _ in 0..180 {
+            sim.cycle();
+            let requested: f64 = sim.caps().iter().sum();
+            assert!(
+                requested <= sim.current_budget() + 1e-6,
+                "{kind}: requested {requested:.3} W over effective budget {:.3} W at t={}",
+                sim.current_budget(),
+                sim.now()
+            );
+            if (sim.current_budget() - base).abs() > 1e-9 {
+                shocks += 1;
+            }
+        }
+        assert!(shocks > 0, "{kind}: the shock never took effect");
+        assert!(
+            (sim.current_budget() - base).abs() < 1e-9,
+            "{kind}: budget never recovered"
+        );
+    }
+}
+
+/// After recovery the managers must actually *use* the restored headroom,
+/// not stay huddled at the trough allocation.
+#[test]
+fn managers_spend_the_restored_headroom_after_recovery() {
+    for kind in ManagerKind::ALL {
+        let mut cfg = small(13);
+        cfg.sim.budget = BudgetSchedule::demand_response(40.0, 40.0, 0.6);
+        cfg.sim.validate().expect("valid config");
+
+        let base = cfg.sim.total_budget();
+        let mut sim = ClusterSim::new(
+            cfg.sim.clone(),
+            programs(400.0),
+            cfg.build_manager(kind),
+            &RngStream::new(13, "budget-recovery"),
+        );
+
+        let mut trough_sum = f64::NEG_INFINITY;
+        for _ in 0..160 {
+            sim.cycle();
+            let requested: f64 = sim.caps().iter().sum();
+            if sim.current_budget() < base - 1e-9 {
+                trough_sum = trough_sum.max(requested);
+            }
+        }
+        let final_sum: f64 = sim.caps().iter().sum();
+        assert!(
+            (sim.current_budget() - base).abs() < 1e-9,
+            "{kind}: demand-response window never closed"
+        );
+        assert!(
+            final_sum > trough_sum + 1e-6,
+            "{kind}: caps stayed at the trough allocation ({final_sum:.2} W vs {trough_sum:.2} W) after recovery"
+        );
+    }
+}
+
+/// The trait-level contract, without a simulator in the way: a rejected
+/// budget leaves the manager untouched, an accepted one is visible
+/// immediately.
+#[test]
+fn set_budget_validates_and_applies_atomically() {
+    for kind in ManagerKind::ALL {
+        let cfg = small(17);
+        let mut manager = cfg.build_manager(kind);
+        let base = manager.total_budget();
+        let n = manager.num_units();
+        let limits = cfg.limits();
+
+        // Infeasible floor: fewer watts than min_cap per unit.
+        let too_low = limits.min_cap * n as f64 * 0.5;
+        assert!(
+            manager.set_budget(too_low).is_err(),
+            "{kind}: accepted an infeasible budget"
+        );
+        assert_eq!(
+            manager.total_budget(),
+            base,
+            "{kind}: rejected budget still mutated state"
+        );
+        for bad in [f64::NAN, f64::INFINITY, -100.0] {
+            assert!(manager.set_budget(bad).is_err(), "{kind}: accepted {bad}");
+        }
+
+        let lowered = base * 0.7;
+        manager.set_budget(lowered).unwrap();
+        assert_eq!(
+            manager.total_budget(),
+            lowered,
+            "{kind}: budget not adopted"
+        );
+
+        // One assignment under the new budget already complies.
+        let measured = vec![100.0; n];
+        let mut caps = vec![limits.max_cap; n];
+        manager.assign_caps(&measured, &mut caps, 1.0);
+        let sum: f64 = caps.iter().sum();
+        assert!(
+            sum <= lowered + 1e-6,
+            "{kind}: first post-shock assignment {sum:.3} W over {lowered:.3} W"
+        );
+    }
+}

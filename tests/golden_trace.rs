@@ -112,6 +112,28 @@ fn elastic_traffic_matches_golden() {
 }
 
 #[test]
+fn chaos_brownout_matches_golden() {
+    let bytes = check_against_golden(GoldenScenario::ChaosBrownout);
+    let trace = codec::decode(&bytes).expect("golden trace decodes");
+    let reg = dps_suite::obs::ObsRegistry::from_events(&trace.events);
+    // The scenario must actually walk the degradation ladder and ride the
+    // brownout: at least one descent and the hysteretic recovery, budget
+    // shocks from the ramps, and not a single safety-invariant violation
+    // even with the chaos window open.
+    assert!(reg.mode_changes() >= 2, "ladder never moved");
+    assert!(
+        reg.budget_shocks() > 0,
+        "brownout never reached the manager"
+    );
+    assert_eq!(
+        reg.invariant_violations(),
+        0,
+        "safety invariants must hold under chaos"
+    );
+    assert!(reg.fault_edges() > 0, "chaos sensor fault never compiled");
+}
+
+#[test]
 fn recording_twice_is_byte_stable() {
     for scenario in GoldenScenario::ALL {
         let a = scenario.record();
