@@ -11,7 +11,8 @@ use crate::sim::{ClusterSim, SimConfig};
 use dps_core::manager::{ManagerKind, PowerManager, UnitLimits};
 use dps_core::{
     ConstantManager, DpsConfig, DpsManager, FeedbackConfig, FeedbackManager, MimdConfig,
-    OracleManager, PredictiveConfig, PredictiveManager, SlurmManager, TwoLevelManager,
+    OracleManager, PredictiveConfig, PredictiveManager, QdpmConfig, QdpmManager, SlurmManager,
+    TwoLevelManager,
 };
 use dps_sim_core::rng::RngStream;
 use dps_sim_core::stats;
@@ -82,6 +83,13 @@ impl ExperimentConfig {
                 budget,
                 limits,
                 PredictiveConfig::default(),
+            )),
+            ManagerKind::Qdpm => Box::new(QdpmManager::new(
+                n,
+                budget,
+                limits,
+                QdpmConfig::default(),
+                rng,
             )),
             ManagerKind::TwoLevel => Box::new(TwoLevelManager::new(
                 n,

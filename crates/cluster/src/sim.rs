@@ -24,6 +24,7 @@ use dps_core::guard::HealthState;
 use dps_core::manager::PowerManager;
 use dps_core::{ConfidenceReport, ModeConfig, ModeMachine, OperatingMode};
 use dps_ctrl::{CtrlStats, FramedConfig, FramedControlPlane};
+use dps_idle::{Demotion, IdleConfig, IdleFleet, WakeFinished};
 use dps_obs::{Event, FaultDomain, PhaseKind, ProvisionKind, SinkHandle};
 use dps_rapl::{DomainBank, DomainSpec, NoiseModel, PowerInterface, Topology, UnitFaultSchedule};
 use dps_sched::{JobRecord, JobScheduler, SchedConfig};
@@ -88,6 +89,13 @@ pub struct SimConfig {
     /// keeps the request layer out entirely. Consumed by
     /// [`ClusterSim::with_traffic`]; mutually exclusive with `scheduler`.
     pub traffic: Option<TrafficConfig>,
+    /// Optional per-unit sleep-state management ([`dps_idle`]), traffic
+    /// mode only: instead of hard power-off, the provisioner demotes dark
+    /// units along a C-state-like ladder, wake latency delays their
+    /// readmission, and residency/wake energy is charged to the request
+    /// ledger. `None` (the default) keeps hard power-off, bit-identical to
+    /// the pre-idle behaviour.
+    pub idle: Option<IdleConfig>,
     /// Budget-over-time schedule: a factor multiplying the base budget
     /// each cycle, pushed to the manager through
     /// [`PowerManager::set_budget`]. [`BudgetSchedule::constant`] (the
@@ -118,6 +126,7 @@ impl SimConfig {
             sensor_faults: UnitFaultSchedule::none(),
             scheduler: None,
             traffic: None,
+            idle: None,
             budget: BudgetSchedule::constant(),
             chaos: ChaosSchedule::none(),
             mode: ModeConfig::default(),
@@ -215,6 +224,14 @@ impl SimConfig {
                 );
             }
         }
+        if let Some(idle) = &self.idle {
+            idle.validate()?;
+            if self.traffic.is_none() {
+                return Err("idle management requires traffic mode: only the elastic \
+                     provisioner produces the dark units the sleep ladder manages"
+                    .to_string());
+            }
+        }
         Ok(())
     }
 }
@@ -266,6 +283,13 @@ struct TrafficState {
     /// Per-unit occupancy (expanded from the driver's per-node powered
     /// mask), mirrored to the manager on provisioning changes.
     occupied: Vec<bool>,
+    /// Sleep-state runtime; `None` keeps the hard power-off model.
+    fleet: Option<IdleFleet>,
+    /// Scratch for demotions surfaced each cycle (steady state allocates
+    /// nothing).
+    demotions: Vec<Demotion>,
+    /// Scratch for wakes completing each cycle.
+    wakes: Vec<WakeFinished>,
 }
 
 /// Builds the per-socket demand variants for one base program.
@@ -665,11 +689,13 @@ impl ClusterSim {
         // request engine.
         let mut base_cfg = config;
         base_cfg.traffic = None;
+        let idle_cfg = base_cfg.idle.take();
         let placeholder: Vec<DemandProgram> = (0..base_cfg.topology.clusters)
             .map(|_| DemandProgram::new(vec![Phase::constant(1.0, 0.0)]))
             .collect();
         let mut sim = Self::new(base_cfg, placeholder, manager, rng);
         sim.config.traffic = Some(traffic_cfg);
+        sim.config.idle = idle_cfg.clone();
         sim.jobs.clear();
         let mut occupied = vec![false; n];
         for (node, &on) in driver.powered().iter().enumerate() {
@@ -678,10 +704,25 @@ impl ClusterSim {
             }
         }
         sim.manager.observe_membership(&occupied);
+        // With idle management, the initially dark units start on the
+        // sleep ladder rather than hard-off (no sink is attached yet, so
+        // these construction-time demotions emit nothing).
+        let fleet = idle_cfg.map(|ic| {
+            let mut fleet = IdleFleet::new(n, ic, rng.child("idle"));
+            for (u, &on) in occupied.iter().enumerate() {
+                if !on {
+                    fleet.demote(u, 0.0);
+                }
+            }
+            fleet
+        });
         sim.traffic = Some(TrafficState {
             driver,
             sockets,
             occupied,
+            fleet,
+            demotions: Vec::new(),
+            wakes: Vec::new(),
         });
         sim
     }
@@ -988,19 +1029,94 @@ impl ClusterSim {
     /// emitted as an [`Event::Provision`].
     fn traffic_begin(&mut self, st: &mut TrafficState) {
         let now = self.clock.now();
-        let begin = st.driver.begin_cycle(now, self.config.period);
-        if begin.changes.is_empty() {
-            return;
-        }
         let spk = self.config.topology.sockets_per_node;
         let cycle = self.clock.timestep();
+        let tracing = self.sink.enabled();
+        let mut dirty = false;
+
+        // Idle pre-phase: sleeping units deepen along their compiled
+        // schedules, and wakes begun in earlier cycles complete — those
+        // units rejoin the serving fleet this cycle.
+        if let Some(fleet) = st.fleet.as_mut() {
+            st.demotions.clear();
+            fleet.advance(now, &mut st.demotions);
+            if tracing {
+                for d in &st.demotions {
+                    self.sink.emit(Event::SleepTransition {
+                        cycle,
+                        unit: d.unit as u32,
+                        from_state: d.from,
+                        to_state: d.to,
+                    });
+                }
+            }
+            st.wakes.clear();
+            fleet.tick_wakes(self.config.period, &mut st.wakes);
+            for w in &st.wakes {
+                st.occupied[w.unit] = true;
+                dirty = true;
+                if tracing {
+                    self.sink.emit(Event::WakeDone {
+                        cycle,
+                        unit: w.unit as u32,
+                        state: w.state,
+                        energy_j: w.energy_j,
+                    });
+                    self.sink.emit(Event::PredictorSample {
+                        cycle,
+                        unit: w.unit as u32,
+                        predicted_s: w.predicted_s,
+                        actual_s: w.actual_s,
+                    });
+                }
+            }
+        }
+
+        let begin = st.driver.begin_cycle(now, self.config.period);
+        if begin.changes.is_empty() && !dirty {
+            return;
+        }
         for change in &begin.changes {
             for &node in &change.nodes {
                 for u in node * spk..(node + 1) * spk {
-                    st.occupied[u] = change.power_on;
+                    match (st.fleet.as_mut(), change.power_on) {
+                        // Sleep-managed power-on: begin the wake; the unit
+                        // stays out of the serving fleet until the state's
+                        // latency elapses (see the pre-phase above).
+                        (Some(fleet), true) => {
+                            if let Some(w) = fleet.begin_wake(u, now) {
+                                if tracing {
+                                    self.sink.emit(Event::WakeStart {
+                                        cycle,
+                                        unit: u as u32,
+                                        state: w.state,
+                                        latency_s: w.latency_s,
+                                    });
+                                }
+                            }
+                        }
+                        // Sleep-managed power-off: demote onto the ladder
+                        // instead of hard-off (a mid-wake unit is
+                        // re-demoted — provisioner flapping).
+                        (Some(fleet), false) => {
+                            st.occupied[u] = false;
+                            if let Some(d) = fleet.demote(u, now) {
+                                if tracing {
+                                    self.sink.emit(Event::SleepTransition {
+                                        cycle,
+                                        unit: u as u32,
+                                        from_state: d.from,
+                                        to_state: d.to,
+                                    });
+                                }
+                            }
+                        }
+                        (None, on) => st.occupied[u] = on,
+                    }
                 }
             }
-            if self.sink.enabled() {
+            dirty = true;
+            if tracing {
                 self.sink.emit(Event::Provision {
                     cycle,
                     kind: if change.power_on {
@@ -1014,7 +1130,9 @@ impl ClusterSim {
                 });
             }
         }
-        self.manager.observe_membership(&st.occupied);
+        if dirty {
+            self.manager.observe_membership(&st.occupied);
+        }
     }
 
     /// Runs one decision cycle.
@@ -1359,6 +1477,12 @@ impl ClusterSim {
                     joules += self.true_power[u] * period;
                     st.sockets[u].advance_with_rate(rate, period);
                 }
+            }
+            // Sleep-managed fleets are not free when dark: residency power
+            // accrues every window and each begun wake charges its one-shot
+            // energy, all billed to the same request-energy ledger.
+            if let Some(fleet) = st.fleet.as_mut() {
+                joules += fleet.sleep_power_w() * period + fleet.drain_wake_energy();
             }
             let end = st
                 .driver

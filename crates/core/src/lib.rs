@@ -53,6 +53,7 @@ pub mod mode;
 pub mod oracle;
 pub mod predictive;
 pub mod priority;
+pub mod qdpm;
 pub mod readjust;
 pub mod stateless;
 pub mod twolevel;
@@ -66,5 +67,6 @@ pub use manager::{ManagerKind, PowerManager, UnitLimits};
 pub use mode::{ConfidenceReport, ModeConfig, ModeMachine, OperatingMode};
 pub use oracle::OracleManager;
 pub use predictive::{PredictiveConfig, PredictiveManager};
+pub use qdpm::{QdpmConfig, QdpmManager};
 pub use stateless::SlurmManager;
 pub use twolevel::TwoLevelManager;

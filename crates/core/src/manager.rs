@@ -67,16 +67,19 @@ pub enum ManagerKind {
     Predictive,
     /// Argo-style two-level stateless manager (related-work baseline, §2.3).
     TwoLevel,
+    /// Q-DPM model-free Q-learning with continuous-time state aggregation.
+    Qdpm,
 }
 
 impl ManagerKind {
     /// All implemented managers, in report order.
-    pub const ALL: [ManagerKind; 7] = [
+    pub const ALL: [ManagerKind; 8] = [
         ManagerKind::Constant,
         ManagerKind::Slurm,
         ManagerKind::TwoLevel,
         ManagerKind::Feedback,
         ManagerKind::Predictive,
+        ManagerKind::Qdpm,
         ManagerKind::Dps,
         ManagerKind::Oracle,
     ];
@@ -92,6 +95,7 @@ impl std::fmt::Display for ManagerKind {
             ManagerKind::Feedback => "Feedback",
             ManagerKind::Predictive => "Predictive",
             ManagerKind::TwoLevel => "TwoLevel",
+            ManagerKind::Qdpm => "QDPM",
         };
         f.write_str(s)
     }
@@ -261,6 +265,7 @@ mod tests {
         assert_eq!(ManagerKind::Slurm.to_string(), "SLURM");
         assert_eq!(ManagerKind::Constant.to_string(), "Constant");
         assert_eq!(ManagerKind::Oracle.to_string(), "Oracle");
+        assert_eq!(ManagerKind::Qdpm.to_string(), "QDPM");
     }
 
     #[test]

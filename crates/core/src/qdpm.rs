@@ -1,0 +1,656 @@
+//! Q-DPM: a model-free Q-learning power manager.
+//!
+//! The learned baseline from "Q-DPM" (PAPERS.md): each unit runs tabular
+//! Q-learning over an aggregated continuous-time state — the unit's
+//! utilization of its current cap, discretized into a handful of bins —
+//! with a discrete action space of cap levels between the unit limits.
+//! Decision cycles have variable length, so the update discounts by
+//! `gamma^dt` and integrates the reward rate over the window (the
+//! continuous-time SMDP form of the update), rather than assuming unit
+//! steps.
+//!
+//! The reward trades delivered power (a throughput proxy: the measurement
+//! normalised by TDP) against the cap spent, so a saturated unit learns to
+//! hold a high cap while an idle one learns to give its Watts up. Q-values
+//! are initialised optimistically in proportion to the cap level, which
+//! makes the untrained manager behave like the constant allocator —
+//! budget-safe from the first cycle — and lets learning *lower* caps only
+//! where the reward says the power is not being used.
+//!
+//! Budget safety is not learned, it is enforced: the greedy/exploratory
+//! per-unit choices pass through [`enforce_budget`] before leaving
+//! `assign_caps`, so the one-cycle [`PowerManager::set_budget`] compliance
+//! contract holds no matter what the tables contain. Everything is seeded
+//! ([`RngStream`]) and checkpointable bit-for-bit ([`crate::checkpoint`]).
+
+use crate::budget::{debug_assert_budget, enforce_budget};
+use crate::checkpoint::{ByteReader, ByteWriter};
+use crate::manager::{check_new_budget, ManagerKind, PowerManager, UnitLimits};
+use dps_obs::{Event, SinkHandle};
+use dps_sim_core::rng::{RngStream, RngStreamState};
+use dps_sim_core::units::{Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Q-DPM tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QdpmConfig {
+    /// Discrete cap levels spanning `[min_cap, max_cap]` (the actions).
+    pub levels: usize,
+    /// Utilization bins aggregating the continuous state.
+    pub util_bins: usize,
+    /// Learning rate.
+    pub alpha: f64,
+    /// Per-second discount factor (`gamma^dt` over a window of `dt`).
+    pub gamma: f64,
+    /// Initial ε-greedy exploration probability (per unit).
+    pub epsilon: f64,
+    /// Multiplicative ε decay per decision.
+    pub epsilon_decay: f64,
+    /// Exploration floor.
+    pub epsilon_min: f64,
+    /// Reward weight on delivered power; `1 − perf_weight` weighs the cap
+    /// spent. Must leave delivery dominant (`> 0.5`) or the manager would
+    /// be rewarded for starving saturated units.
+    pub perf_weight: f64,
+    /// Optimistic initialisation scale: level `a`'s initial Q-value is
+    /// `optimism × a / (levels − 1)`, favouring high caps until the data
+    /// argues otherwise.
+    pub optimism: f64,
+}
+
+impl Default for QdpmConfig {
+    fn default() -> Self {
+        Self {
+            levels: 8,
+            util_bins: 6,
+            alpha: 0.1,
+            gamma: 0.9,
+            epsilon: 0.2,
+            epsilon_decay: 0.995,
+            epsilon_min: 0.01,
+            perf_weight: 0.8,
+            optimism: 10.0,
+        }
+    }
+}
+
+impl QdpmConfig {
+    /// Validates the tunables.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.levels < 2 {
+            return Err(format!("levels must be ≥ 2, got {}", self.levels));
+        }
+        if self.util_bins == 0 {
+            return Err("util_bins must be ≥ 1".to_string());
+        }
+        if !(self.alpha.is_finite() && 0.0 < self.alpha && self.alpha <= 1.0) {
+            return Err(format!("alpha must be in (0,1], got {}", self.alpha));
+        }
+        if !(self.gamma.is_finite() && 0.0 < self.gamma && self.gamma < 1.0) {
+            return Err(format!("gamma must be in (0,1), got {}", self.gamma));
+        }
+        for (name, eps) in [("epsilon", self.epsilon), ("epsilon_min", self.epsilon_min)] {
+            if !(eps.is_finite() && (0.0..=1.0).contains(&eps)) {
+                return Err(format!("{name} must be in [0,1], got {eps}"));
+            }
+        }
+        if !(self.epsilon_decay.is_finite()
+            && 0.0 < self.epsilon_decay
+            && self.epsilon_decay <= 1.0)
+        {
+            return Err(format!(
+                "epsilon_decay must be in (0,1], got {}",
+                self.epsilon_decay
+            ));
+        }
+        if !(self.perf_weight.is_finite() && 0.5 < self.perf_weight && self.perf_weight <= 1.0) {
+            return Err(format!(
+                "perf_weight must be in (0.5, 1], got {}",
+                self.perf_weight
+            ));
+        }
+        if !(self.optimism.is_finite() && self.optimism >= 0.0) {
+            return Err(format!("optimism must be ≥ 0, got {}", self.optimism));
+        }
+        Ok(())
+    }
+}
+
+/// One unit's learning state.
+#[derive(Debug, Clone)]
+struct UnitQ {
+    /// Row-major `util_bins × levels` Q-table.
+    q: Vec<f64>,
+    /// The (state bin, action) behind the previous cycle's cap, if any.
+    last: Option<(usize, usize)>,
+    /// Current exploration probability.
+    epsilon: f64,
+}
+
+impl UnitQ {
+    fn fresh(config: &QdpmConfig) -> Self {
+        let mut q = Vec::with_capacity(config.util_bins * config.levels);
+        for _bin in 0..config.util_bins {
+            for a in 0..config.levels {
+                q.push(config.optimism * a as f64 / (config.levels - 1) as f64);
+            }
+        }
+        Self {
+            q,
+            last: None,
+            epsilon: config.epsilon,
+        }
+    }
+}
+
+/// The Q-DPM manager (see the module docs).
+#[derive(Debug, Clone)]
+pub struct QdpmManager {
+    config: QdpmConfig,
+    limits: UnitLimits,
+    total_budget: Watts,
+    units: Vec<UnitQ>,
+    /// Managed-membership mask; inactive units hold the floor cap and
+    /// their learning state is reset on re-entry.
+    active: Vec<bool>,
+    rng: RngStream,
+    rng_initial: RngStream,
+    sink: SinkHandle,
+    trace_cycle: u64,
+    /// Pre-decision cap snapshot for trace diffing (tracing only).
+    scratch_trace_caps: Vec<Watts>,
+}
+
+impl QdpmManager {
+    /// Creates the manager.
+    ///
+    /// # Panics
+    /// Panics on an invalid config or an infeasible budget.
+    pub fn new(
+        num_units: usize,
+        total_budget: Watts,
+        limits: UnitLimits,
+        config: QdpmConfig,
+        rng: RngStream,
+    ) -> Self {
+        config.validate().expect("invalid qdpm config");
+        limits
+            .check_feasible(total_budget, num_units)
+            .expect("infeasible budget");
+        Self {
+            config,
+            limits,
+            total_budget,
+            units: (0..num_units).map(|_| UnitQ::fresh(&config)).collect(),
+            active: vec![true; num_units],
+            rng_initial: rng.clone(),
+            rng,
+            sink: SinkHandle::noop(),
+            trace_cycle: 0,
+            scratch_trace_caps: Vec::new(),
+        }
+    }
+
+    /// The config in effect.
+    pub fn config(&self) -> &QdpmConfig {
+        &self.config
+    }
+
+    /// The Q-table of one unit (row-major `util_bins × levels`), for
+    /// inspection in tests and reports.
+    pub fn q_table(&self, unit: usize) -> &[f64] {
+        &self.units[unit].q
+    }
+
+    /// Maps an action index to its cap level.
+    fn level_cap(&self, action: usize) -> Watts {
+        self.limits.min_cap
+            + (self.limits.max_cap - self.limits.min_cap) * action as f64
+                / (self.config.levels - 1) as f64
+    }
+
+    /// Discretizes a utilization fraction into a state bin.
+    fn bin(&self, util: f64) -> usize {
+        ((util.clamp(0.0, 1.0) * self.config.util_bins as f64) as usize)
+            .min(self.config.util_bins - 1)
+    }
+
+    fn greedy(&self, unit: usize, bin: usize) -> usize {
+        let row = &self.units[unit].q[bin * self.config.levels..(bin + 1) * self.config.levels];
+        let mut best = 0;
+        for (a, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = a;
+            }
+        }
+        best
+    }
+
+    /// Serializes every piece of dynamic state (see [`crate::checkpoint`]).
+    fn write_snapshot_into(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::reusing(std::mem::take(out));
+        // Shape fields: verified (not applied) on restore.
+        w.put_usize(self.units.len());
+        w.put_usize(self.config.levels);
+        w.put_usize(self.config.util_bins);
+        w.put_f64(self.total_budget);
+        let rs = self.rng.state();
+        w.put_u64(rs.seed);
+        w.put_u64(rs.label_hash);
+        w.put_u64(rs.draws);
+        for (unit, &act) in self.units.iter().zip(&self.active) {
+            w.put_bool(act);
+            w.put_f64(unit.epsilon);
+            match unit.last {
+                Some((bin, action)) => {
+                    w.put_bool(true);
+                    w.put_usize(bin);
+                    w.put_usize(action);
+                }
+                None => {
+                    w.put_bool(false);
+                    w.put_usize(0);
+                    w.put_usize(0);
+                }
+            }
+            w.put_f64_slice(&unit.q);
+        }
+        *out = w.seal();
+    }
+
+    fn read_snapshot(&mut self, snapshot: &[u8]) -> Result<(), String> {
+        let mut r = ByteReader::open(snapshot)?;
+        let n = r.get_usize()?;
+        if n != self.units.len() {
+            return Err(format!(
+                "snapshot has {n} units, manager has {}",
+                self.units.len()
+            ));
+        }
+        let levels = r.get_usize()?;
+        let util_bins = r.get_usize()?;
+        if levels != self.config.levels || util_bins != self.config.util_bins {
+            return Err(format!(
+                "snapshot table shape {util_bins}×{levels} does not match the \
+                 configured {}×{}",
+                self.config.util_bins, self.config.levels
+            ));
+        }
+        let budget = r.get_f64()?;
+        check_new_budget(budget, n, self.limits)
+            .map_err(|e| format!("snapshot budget rejected: {e}"))?;
+        let rng_state = RngStreamState {
+            seed: r.get_u64()?,
+            label_hash: r.get_u64()?,
+            draws: r.get_u64()?,
+        };
+        let cells = levels * util_bins;
+        let mut units = Vec::with_capacity(n);
+        let mut active = Vec::with_capacity(n);
+        for _ in 0..n {
+            active.push(r.get_bool()?);
+            let epsilon = r.get_f64()?;
+            if !(epsilon.is_finite() && (0.0..=1.0).contains(&epsilon)) {
+                return Err(format!("snapshot epsilon {epsilon} out of range"));
+            }
+            let has_last = r.get_bool()?;
+            let bin = r.get_usize()?;
+            let action = r.get_usize()?;
+            if has_last && (bin >= util_bins || action >= levels) {
+                return Err(format!(
+                    "snapshot last (bin {bin}, action {action}) out of table bounds"
+                ));
+            }
+            let q = r.get_f64_vec(cells)?;
+            if q.len() != cells {
+                return Err(format!(
+                    "snapshot Q-table has {} cells, expected {cells}",
+                    q.len()
+                ));
+            }
+            units.push(UnitQ {
+                q,
+                last: has_last.then_some((bin, action)),
+                epsilon,
+            });
+        }
+        r.finish()?;
+        self.total_budget = budget;
+        self.rng = RngStream::restore(rng_state);
+        self.units = units;
+        self.active = active;
+        Ok(())
+    }
+}
+
+impl PowerManager for QdpmManager {
+    fn kind(&self) -> ManagerKind {
+        ManagerKind::Qdpm
+    }
+
+    fn num_units(&self) -> usize {
+        self.units.len()
+    }
+
+    fn total_budget(&self) -> Watts {
+        self.total_budget
+    }
+
+    fn set_budget(&mut self, new_budget: Watts) -> Result<(), String> {
+        check_new_budget(new_budget, self.units.len(), self.limits)?;
+        self.total_budget = new_budget;
+        Ok(())
+    }
+
+    fn assign_caps(&mut self, measured: &[Watts], caps: &mut [Watts], dt: Seconds) {
+        assert_eq!(measured.len(), self.units.len());
+        assert_eq!(caps.len(), self.units.len());
+        let tracing = self.sink.enabled();
+        if tracing {
+            self.scratch_trace_caps.clear();
+            self.scratch_trace_caps.extend_from_slice(caps);
+        }
+
+        let span = self.limits.max_cap;
+        let discount = self.config.gamma.powf(dt.max(1e-9));
+        for u in 0..self.units.len() {
+            if !self.active[u] {
+                // Unmanaged units park at the floor; no learning, no rng
+                // draws, so the managed units' streams are unperturbed.
+                caps[u] = self.limits.min_cap;
+                continue;
+            }
+            let prev_cap = caps[u].clamp(self.limits.min_cap, self.limits.max_cap);
+            let z = measured[u].clamp(0.0, span);
+            let util = z / prev_cap;
+            let bin = self.bin(util);
+
+            // Continuous-time TD(0) backup on the previous (state, action):
+            // reward rate integrated over the window, future discounted by
+            // gamma^dt.
+            let reward_rate = self.config.perf_weight * (z / span)
+                - (1.0 - self.config.perf_weight) * (prev_cap / span);
+            let best_next = {
+                let g = self.greedy(u, bin);
+                self.units[u].q[bin * self.config.levels + g]
+            };
+            if let Some((s, a)) = self.units[u].last {
+                let idx = s * self.config.levels + a;
+                let old = self.units[u].q[idx];
+                self.units[u].q[idx] =
+                    old + self.config.alpha * (reward_rate * dt + discount * best_next - old);
+            }
+
+            // ε-greedy action for the coming window. The uniform draw is
+            // taken unconditionally so the stream advances one value per
+            // managed unit per cycle plus one per exploration.
+            let explore = self.rng.uniform() < self.units[u].epsilon;
+            let action = if explore {
+                self.rng.range(0..self.config.levels)
+            } else {
+                self.greedy(u, bin)
+            };
+            self.units[u].epsilon =
+                (self.units[u].epsilon * self.config.epsilon_decay).max(self.config.epsilon_min);
+            self.units[u].last = Some((bin, action));
+            caps[u] = self.level_cap(action);
+        }
+
+        // Learned preferences propose, the budget disposes: scale the
+        // above-floor portion so the sum meets the budget exactly when
+        // over, and leave under-budget allocations alone.
+        enforce_budget(caps, self.total_budget, self.limits);
+        debug_assert_budget(caps, self.total_budget, self.limits);
+
+        if tracing {
+            for (u, (&now, &before)) in caps.iter().zip(&self.scratch_trace_caps).enumerate() {
+                if now.to_bits() != before.to_bits() {
+                    self.sink.emit(Event::CapDelta {
+                        cycle: self.trace_cycle,
+                        unit: u as u32,
+                        from_w: before,
+                        to_w: now,
+                    });
+                }
+            }
+            self.trace_cycle += 1;
+        }
+    }
+
+    fn observe_membership(&mut self, active: &[bool]) {
+        assert_eq!(
+            active.len(),
+            self.units.len(),
+            "membership mask must cover every unit"
+        );
+        let tracing = self.sink.enabled();
+        for (u, (&now, was)) in active.iter().zip(self.active.iter_mut()).enumerate() {
+            if now == *was {
+                continue;
+            }
+            // The table describes the previous tenancy; a rejoining (or
+            // vacated) unit learns from scratch, exactly as at
+            // construction.
+            self.units[u] = UnitQ::fresh(&self.config);
+            *was = now;
+            if tracing {
+                self.sink.emit(Event::MembershipFlip {
+                    cycle: self.trace_cycle,
+                    unit: u as u32,
+                    active: now,
+                });
+            }
+        }
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        self.write_snapshot_into(&mut out);
+        Some(out)
+    }
+
+    fn checkpoint_into(&self, out: &mut Vec<u8>) -> bool {
+        self.write_snapshot_into(out);
+        true
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), String> {
+        self.read_snapshot(snapshot)
+    }
+
+    fn attach_trace(&mut self, sink: SinkHandle) {
+        self.sink = sink;
+        self.trace_cycle = 0;
+    }
+
+    fn reset(&mut self) {
+        for unit in &mut self.units {
+            *unit = UnitQ::fresh(&self.config);
+        }
+        self.active.fill(true);
+        self.rng = self.rng_initial.clone();
+        self.trace_cycle = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::check_budget;
+
+    const LIMITS: UnitLimits = UnitLimits {
+        min_cap: 40.0,
+        max_cap: 165.0,
+    };
+
+    fn manager(n: usize, budget: f64, seed: u64) -> QdpmManager {
+        QdpmManager::new(
+            n,
+            budget,
+            LIMITS,
+            QdpmConfig::default(),
+            RngStream::new(seed, "qdpm-test"),
+        )
+    }
+
+    #[test]
+    fn untrained_manager_is_budget_safe_from_the_first_cycle() {
+        let mut m = manager(4, 440.0, 1);
+        let mut caps = vec![110.0; 4];
+        for step in 0..50 {
+            let measured: Vec<f64> = caps.iter().map(|c: &f64| c.min(150.0)).collect();
+            m.assign_caps(&measured, &mut caps, 1.0);
+            check_budget(&caps, 440.0, LIMITS).unwrap_or_else(|e| panic!("step {step}: {e}"));
+        }
+    }
+
+    #[test]
+    fn idle_units_learn_to_give_up_their_watts() {
+        let mut m = manager(2, 330.0, 7);
+        let mut caps = vec![165.0, 165.0];
+        // Unit 0 saturated, unit 1 idle: after training, unit 0 must hold
+        // the clearly larger cap.
+        for _ in 0..600 {
+            let measured = [caps[0], 5.0_f64.min(caps[1])];
+            m.assign_caps(&measured, &mut caps, 1.0);
+        }
+        assert!(
+            caps[0] > caps[1] + 20.0,
+            "learning never shifted power: {caps:?}"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let mut a = manager(3, 330.0, 11);
+        let mut b = manager(3, 330.0, 11);
+        let mut caps_a = vec![110.0; 3];
+        let mut caps_b = vec![110.0; 3];
+        for step in 0..200 {
+            let measured = [
+                (step as f64 * 7.0) % 160.0,
+                ((step as f64 * 13.0) % 160.0).min(caps_a[1]),
+                30.0,
+            ];
+            a.assign_caps(&measured, &mut caps_a, 1.0);
+            b.assign_caps(&measured, &mut caps_b, 1.0);
+            assert_eq!(caps_a, caps_b, "diverged at step {step}");
+        }
+    }
+
+    #[test]
+    fn set_budget_validates_and_applies() {
+        let mut m = manager(4, 440.0, 3);
+        assert!(m.set_budget(f64::NAN).is_err());
+        assert!(m.set_budget(100.0).is_err(), "below the floor");
+        assert_eq!(m.total_budget(), 440.0);
+        m.set_budget(330.0).unwrap();
+        let mut caps = vec![165.0; 4];
+        m.assign_caps(&[150.0; 4], &mut caps, 1.0);
+        assert!(caps.iter().sum::<f64>() <= 330.0 + 1e-6);
+    }
+
+    #[test]
+    fn checkpoint_restore_is_bit_identical() {
+        let mut m = manager(3, 330.0, 5);
+        let mut caps = vec![110.0; 3];
+        for step in 0..80 {
+            let measured = [(step as f64 * 11.0) % 160.0, 140.0, 20.0];
+            m.assign_caps(&measured, &mut caps, 1.0);
+        }
+        let snap = m.checkpoint().unwrap();
+        let mut restored = manager(3, 330.0, 999); // different seed: must not matter
+        restored.restore(&snap).unwrap();
+
+        let mut caps_r = caps.clone();
+        for step in 0..120 {
+            let measured = [(step as f64 * 17.0) % 160.0, 60.0, 150.0];
+            m.assign_caps(&measured, &mut caps, 1.0);
+            restored.assign_caps(&measured, &mut caps_r, 1.0);
+            assert_eq!(caps, caps_r, "diverged at step {step}");
+        }
+    }
+
+    #[test]
+    fn corrupt_and_misshapen_snapshots_are_rejected() {
+        let m = manager(3, 330.0, 5);
+        let snap = m.checkpoint().unwrap();
+        let mut bad = snap.clone();
+        bad[10] ^= 0xFF;
+        assert!(manager(3, 330.0, 5).restore(&bad).is_err());
+        assert!(manager(4, 440.0, 5).restore(&snap).is_err(), "unit count");
+        let mut other_shape = QdpmManager::new(
+            3,
+            330.0,
+            LIMITS,
+            QdpmConfig {
+                levels: 4,
+                ..QdpmConfig::default()
+            },
+            RngStream::new(5, "qdpm-test"),
+        );
+        assert!(other_shape.restore(&snap).is_err(), "table shape");
+    }
+
+    #[test]
+    fn membership_flip_resets_the_units_learning_state() {
+        let mut m = manager(2, 220.0, 13);
+        let mut caps = vec![110.0; 2];
+        for _ in 0..100 {
+            let measured = [caps[0], 5.0_f64.min(caps[1])];
+            m.assign_caps(&measured, &mut caps, 1.0);
+        }
+        let trained = m.q_table(1).to_vec();
+        let fresh = UnitQ::fresh(&QdpmConfig::default()).q;
+        assert_ne!(trained, fresh, "unit 1 never learned anything");
+
+        // Vacate and readmit unit 1: its table must be factory-fresh while
+        // unit 0 keeps its learning.
+        let trained0 = m.q_table(0).to_vec();
+        m.observe_membership(&[true, false]);
+        m.observe_membership(&[true, true]);
+        assert_eq!(m.q_table(1), &fresh[..]);
+        assert_eq!(m.q_table(0), &trained0[..]);
+    }
+
+    #[test]
+    fn inactive_units_hold_the_floor_cap() {
+        let mut m = manager(3, 330.0, 17);
+        m.observe_membership(&[true, false, true]);
+        let mut caps = vec![110.0; 3];
+        m.assign_caps(&[120.0, 0.0, 120.0], &mut caps, 1.0);
+        assert_eq!(caps[1], LIMITS.min_cap);
+    }
+
+    #[test]
+    fn reset_replays_the_identical_trajectory() {
+        let mut m = manager(2, 220.0, 19);
+        let run = |m: &mut QdpmManager| {
+            let mut caps = vec![110.0; 2];
+            for step in 0..60 {
+                let measured = [(step as f64 * 9.0) % 160.0, 80.0];
+                m.assign_caps(&measured, &mut caps, 1.0);
+            }
+            caps
+        };
+        let first = run(&mut m);
+        m.reset();
+        let second = run(&mut m);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid qdpm config")]
+    fn invalid_config_is_rejected() {
+        QdpmManager::new(
+            2,
+            220.0,
+            LIMITS,
+            QdpmConfig {
+                levels: 1,
+                ..QdpmConfig::default()
+            },
+            RngStream::new(1, "bad"),
+        );
+    }
+}

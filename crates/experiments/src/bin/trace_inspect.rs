@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! trace_inspect summary <trace> [--kind <event>]   counters + histograms + cycle span
+//! trace_inspect summary <trace> --count-by-kind    one line per event kind, schema order
 //! trace_inspect jsonl   <trace> [--kind <event>]   decode to JSONL on stdout
 //! trace_inspect diff    <a> <b>                    event-level comparison, exit 1 on drift
 //! trace_inspect record  <scenario> <out>           re-record a pinned golden scenario
@@ -11,6 +12,12 @@
 //! name (`mode_change`, `budget_shock`, `invariant_violation`, ...) — the
 //! fast way to pull the degradation-ladder story out of a chaos trace
 //! without paging through every cap delta.
+//!
+//! `--count-by-kind` replaces the counter/histogram summary with a flat
+//! per-kind census over the full schema vocabulary — the quick audit of
+//! which events a trace actually contains (does this run have
+//! `sleep_transition`s? did any `wake_done` land?) before reaching for a
+//! filtered view.
 //!
 //! Scenarios are the pinned golden runs of
 //! [`dps_experiments::scenarios::GoldenScenario`] (`paper_default`,
@@ -33,7 +40,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  trace_inspect summary <trace> [--kind <event>]\n  \
+        "usage:\n  trace_inspect summary <trace> [--kind <event> | --count-by-kind]\n  \
          trace_inspect jsonl <trace> [--kind <event>]\n  \
          trace_inspect diff <a> <b>\n  trace_inspect record <scenario> <out>\n\
          scenarios: {}",
@@ -112,6 +119,30 @@ fn summary(path: &str, kind: Option<&str>) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--count-by-kind` census: one row per schema kind in schema order,
+/// so two traces' vocabularies line up for visual diffing. Kinds the trace
+/// never emitted print a `-` rather than `0` — "absent" reads differently
+/// from "counted and found none of".
+fn count_by_kind(path: &str) -> Result<(), String> {
+    let trace = load(path)?;
+    println!("{path}");
+    println!("  events                 {}", trace.events.len());
+    println!("  dropped                {}", trace.dropped);
+    for spec in dps_obs::event::schema::EVENTS {
+        let count = trace
+            .events
+            .iter()
+            .filter(|e| e.name() == spec.name)
+            .count();
+        if count > 0 {
+            println!("  {:<22} {count}", spec.name);
+        } else {
+            println!("  {:<22} -", spec.name);
+        }
+    }
+    Ok(())
+}
+
 fn jsonl(path: &str, kind: Option<&str>) -> Result<(), String> {
     let mut trace = load(path)?;
     if let Some(kind) = kind {
@@ -176,6 +207,9 @@ fn record(name: &str, out: &str) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let result = match args.get(1).map(String::as_str) {
+        Some("summary") if args.len() == 4 && args[3] == "--count-by-kind" => {
+            count_by_kind(&args[2]).map(|()| true)
+        }
         Some("summary") if args.len() >= 3 => match kind_arg(&args[3..]) {
             Ok(kind) => summary(&args[2], kind).map(|()| true),
             Err(()) => return usage(),

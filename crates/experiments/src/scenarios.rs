@@ -22,6 +22,7 @@
 use dps_cluster::{BudgetSchedule, ChaosSchedule, ChaosWindow, ClusterSim, SimConfig};
 use dps_core::manager::{PowerManager, UnitLimits};
 use dps_core::{DpsConfig, DpsManager, GuardConfig};
+use dps_idle::{IdleConfig, IdlePolicy};
 use dps_obs::SinkHandle;
 use dps_rapl::{
     ActuatorFault, NoiseModel, SensorFault, Topology, UnitFaultEvent, UnitFaultSchedule,
@@ -57,6 +58,13 @@ pub enum GoldenScenario {
     /// crowd, hysteresis power-offs after), request milestones, and the
     /// membership churn elastic sizing drives.
     ElasticTraffic,
+    /// Traffic mode with idle-state management: the same flash-crowd shape
+    /// as [`GoldenScenario::ElasticTraffic`], but the provisioner's
+    /// power-offs demote units down the learning-augmented sleep ladder
+    /// instead of hard-killing them, and power-ons pay a wake latency
+    /// before readmission. Exercises sleep transitions, wake starts and
+    /// completions, predictor samples, and the wake-energy ledger.
+    IdleElastic,
     /// Graceful degradation under a correlated incident: guarded DPS on
     /// the framed control plane while one rack loses its sensors *and*
     /// its links corrupt frames *and* a budget brownout ramps through —
@@ -69,11 +77,12 @@ pub enum GoldenScenario {
 
 impl GoldenScenario {
     /// Every scenario, in golden-file order.
-    pub const ALL: [GoldenScenario; 5] = [
+    pub const ALL: [GoldenScenario; 6] = [
         GoldenScenario::PaperDefault,
         GoldenScenario::SensorFault,
         GoldenScenario::SchedulerChurn,
         GoldenScenario::ElasticTraffic,
+        GoldenScenario::IdleElastic,
         GoldenScenario::ChaosBrownout,
     ];
 
@@ -84,6 +93,7 @@ impl GoldenScenario {
             GoldenScenario::SensorFault => "sensor_fault",
             GoldenScenario::SchedulerChurn => "scheduler_churn",
             GoldenScenario::ElasticTraffic => "elastic_traffic",
+            GoldenScenario::IdleElastic => "idle_elastic",
             GoldenScenario::ChaosBrownout => "chaos_brownout",
         }
     }
@@ -114,6 +124,7 @@ impl GoldenScenario {
             GoldenScenario::SensorFault => record_sensor_fault(dps),
             GoldenScenario::SchedulerChurn => record_scheduler_churn(dps),
             GoldenScenario::ElasticTraffic => record_elastic_traffic(dps),
+            GoldenScenario::IdleElastic => record_idle_elastic(dps),
             GoldenScenario::ChaosBrownout => record_chaos_brownout(dps),
         }
     }
@@ -339,6 +350,46 @@ fn record_elastic_traffic(dps: DpsConfig) -> Vec<u8> {
     let manager = plain_dps(&cfg, dps, &rng);
     let sim = ClusterSim::with_traffic(cfg, manager, &rng);
     run_recorded(sim, 220)
+}
+
+fn record_idle_elastic(dps: DpsConfig) -> Vec<u8> {
+    // Same fleet and flash-crowd shape as `elastic_traffic`, but with the
+    // sleep ladder between the provisioner and the power switch: shrink
+    // decisions demote down the C-state cascade (learning-augmented, so
+    // the gap predictor's advice shapes the schedule and PredictorSample
+    // events land in the trace), and growth pays wake latency before a
+    // unit serves again. A second, smaller crowd after the first gives the
+    // predictor a history to advise from.
+    let mut cfg = SimConfig {
+        topology: Topology::new(2, 2, 2),
+        ..SimConfig::paper_default()
+    };
+    let total_sockets = cfg.topology.total_units();
+    let mut traffic = TrafficConfig::default_diurnal(total_sockets, 100.0);
+    traffic.pattern = TrafficPattern::FlashCrowd {
+        base_rps: 100.0,
+        peak_rps: 0.9 * total_sockets as f64 * 100.0,
+        start: 20.0,
+        ramp: 10.0,
+        hold: 40.0,
+        decay: 10.0,
+    };
+    traffic.provisioner = ProvisionerMode::Reactive(ProvisionerConfig {
+        target_utilization: 0.7,
+        headroom_nodes: 0,
+        power_off_after: 15.0,
+        min_nodes: 1,
+    });
+    traffic.milestone_every = 10_000;
+    cfg.traffic = Some(traffic);
+    cfg.idle = Some(IdleConfig {
+        policy: IdlePolicy::LearningAugmented { lambda: 0.5 },
+        ..IdleConfig::default()
+    });
+    let rng = RngStream::new(0xD50_006, "golden/idle-elastic");
+    let manager = plain_dps(&cfg, dps, &rng);
+    let sim = ClusterSim::with_traffic(cfg, manager, &rng);
+    run_recorded(sim, 260)
 }
 
 fn record_chaos_brownout(dps: DpsConfig) -> Vec<u8> {

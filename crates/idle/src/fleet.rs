@@ -1,0 +1,394 @@
+//! The fleet-level idle runtime [`ClusterSim`] drives.
+//!
+//! [`IdleFleet`] owns one state machine per unit (awake → sleeping along a
+//! policy-compiled demotion schedule → waking → awake), the per-unit gap
+//! predictor, and the energy bookkeeping the simulator charges to the
+//! request ledger: residency power for every sleeping or waking unit each
+//! window, plus the one-shot wake energies of wakes begun that window.
+//!
+//! State indices in the reported transitions use the trace convention:
+//! `0` is awake, sleep levels are `1..=catalog.len()`.
+//!
+//! [`ClusterSim`]: ../dps_cluster/sim/struct.ClusterSim.html
+
+use crate::policy::IdlePolicy;
+use crate::predictor::{GapPredictor, PredictorConfig};
+use crate::state::SleepCatalog;
+use dps_sim_core::rng::RngStream;
+use dps_sim_core::units::{Joules, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Everything the simulator needs to run idle management.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdleConfig {
+    /// The sleep-state cost model.
+    pub catalog: SleepCatalog,
+    /// The demotion policy.
+    pub policy: IdlePolicy,
+    /// The next-arrival predictor.
+    pub predictor: PredictorConfig,
+}
+
+impl Default for IdleConfig {
+    fn default() -> Self {
+        Self {
+            catalog: SleepCatalog::xeon_c_states(),
+            policy: IdlePolicy::SkiRental,
+            predictor: PredictorConfig::default(),
+        }
+    }
+}
+
+impl IdleConfig {
+    /// Checks every component.
+    pub fn validate(&self) -> Result<(), String> {
+        self.catalog.validate()?;
+        self.policy.validate()?;
+        self.predictor.validate()
+    }
+}
+
+/// A sleep-depth change of one unit (`0` = awake, sleep levels 1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Demotion {
+    /// Unit index.
+    pub unit: usize,
+    /// Depth before the transition.
+    pub from: u32,
+    /// Depth after the transition.
+    pub to: u32,
+}
+
+/// A wake that has begun: the unit is unavailable for `latency_s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WakeStarted {
+    /// Unit index.
+    pub unit: usize,
+    /// Sleep depth being left (1-based).
+    pub state: u32,
+    /// Delay until the unit serves again.
+    pub latency_s: Seconds,
+}
+
+/// A wake that completed this window: the unit is serving again.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WakeFinished {
+    /// Unit index.
+    pub unit: usize,
+    /// Sleep depth that was left (1-based).
+    pub state: u32,
+    /// One-shot wake energy charged for leaving it.
+    pub energy_j: Joules,
+    /// The gap length the predictor advised at demotion time.
+    pub predicted_s: Seconds,
+    /// The idle gap that actually materialised.
+    pub actual_s: Seconds,
+}
+
+/// Per-unit phase of the idle state machine.
+#[derive(Debug, Clone)]
+enum Phase {
+    /// Serving (or at least available to serve).
+    Awake,
+    /// Idle, walking the demotion schedule.
+    Sleeping {
+        since: Seconds,
+        predicted: Seconds,
+        /// Compiled `(enter_time, state)` schedule for this idle period.
+        schedule: Vec<(Seconds, usize)>,
+        /// Index into `schedule` of the state currently occupied.
+        depth: usize,
+    },
+    /// Wake latency countdown; still drawing the left state's power.
+    Waking {
+        state: usize,
+        remaining: Seconds,
+        predicted: Seconds,
+        actual: Seconds,
+    },
+}
+
+/// The per-unit sleep state machines plus predictor and energy ledger.
+#[derive(Debug)]
+pub struct IdleFleet {
+    config: IdleConfig,
+    phases: Vec<Phase>,
+    predictor: GapPredictor,
+    rng: RngStream,
+    /// Wake energies begun since the last [`IdleFleet::drain_wake_energy`].
+    pending_wake_j: Joules,
+}
+
+impl IdleFleet {
+    /// Creates the fleet with every unit awake.
+    ///
+    /// # Panics
+    /// Panics on an invalid config.
+    pub fn new(num_units: usize, config: IdleConfig, rng: RngStream) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid idle config: {e}");
+        }
+        let predictor = GapPredictor::new(num_units, config.predictor);
+        Self {
+            config,
+            phases: vec![Phase::Awake; num_units],
+            predictor,
+            rng,
+            pending_wake_j: 0.0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &IdleConfig {
+        &self.config
+    }
+
+    /// Whether the unit is awake (serving-capable).
+    pub fn is_awake(&self, unit: usize) -> bool {
+        matches!(self.phases[unit], Phase::Awake)
+    }
+
+    /// Current sleep depth of a unit (`0` = awake, 1-based levels).
+    pub fn depth(&self, unit: usize) -> u32 {
+        match &self.phases[unit] {
+            Phase::Awake => 0,
+            Phase::Sleeping {
+                schedule, depth, ..
+            } => schedule[*depth].1 as u32 + 1,
+            Phase::Waking { state, .. } => *state as u32 + 1,
+        }
+    }
+
+    /// Demotes a unit into the sleep ladder at time `now`: the predictor
+    /// advises the gap length, the policy compiles the demotion schedule,
+    /// and the unit enters the schedule's first state. A unit mid-wake is
+    /// re-demoted (provisioner flapping); a unit already sleeping is left
+    /// alone (`None`).
+    pub fn demote(&mut self, unit: usize, now: Seconds) -> Option<Demotion> {
+        let from = self.depth(unit);
+        if matches!(self.phases[unit], Phase::Sleeping { .. }) {
+            return None;
+        }
+        let predicted = self.predictor.predict(unit, &mut self.rng);
+        let schedule = self.config.policy.schedule(&self.config.catalog, predicted);
+        let to = schedule[0].1 as u32 + 1;
+        self.phases[unit] = Phase::Sleeping {
+            since: now,
+            predicted,
+            schedule,
+            depth: 0,
+        };
+        Some(Demotion { unit, from, to })
+    }
+
+    /// Walks every sleeping unit's schedule up to idle time `now − since`,
+    /// appending one [`Demotion`] per state entered.
+    pub fn advance(&mut self, now: Seconds, out: &mut Vec<Demotion>) {
+        for (unit, phase) in self.phases.iter_mut().enumerate() {
+            if let Phase::Sleeping {
+                since,
+                schedule,
+                depth,
+                ..
+            } = phase
+            {
+                let idle_t = now - *since;
+                while *depth + 1 < schedule.len() && schedule[*depth + 1].0 <= idle_t {
+                    let from = schedule[*depth].1 as u32 + 1;
+                    *depth += 1;
+                    out.push(Demotion {
+                        unit,
+                        from,
+                        to: schedule[*depth].1 as u32 + 1,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Begins waking a sleeping unit at time `now`: the actual gap is fed
+    /// back to the predictor, the wake energy of the occupied state is
+    /// charged to the pending ledger, and the unit becomes available after
+    /// the state's wake latency (see [`IdleFleet::tick_wakes`]). Awake or
+    /// already-waking units are left alone (`None`).
+    pub fn begin_wake(&mut self, unit: usize, now: Seconds) -> Option<WakeStarted> {
+        let Phase::Sleeping {
+            since,
+            predicted,
+            schedule,
+            depth,
+        } = &self.phases[unit]
+        else {
+            return None;
+        };
+        let state = schedule[*depth].1;
+        let actual = (now - *since).max(0.0);
+        let predicted = *predicted;
+        self.predictor.observe(unit, actual);
+        let spec = self.config.catalog.states()[state];
+        self.pending_wake_j += spec.wake_energy_j;
+        self.phases[unit] = Phase::Waking {
+            state,
+            remaining: spec.wake_latency_s,
+            predicted,
+            actual,
+        };
+        Some(WakeStarted {
+            unit,
+            state: state as u32 + 1,
+            latency_s: spec.wake_latency_s,
+        })
+    }
+
+    /// Advances every in-flight wake by `dt`, appending a [`WakeFinished`]
+    /// for each unit whose latency elapsed (those units are awake again).
+    pub fn tick_wakes(&mut self, dt: Seconds, out: &mut Vec<WakeFinished>) {
+        for (unit, phase) in self.phases.iter_mut().enumerate() {
+            if let Phase::Waking {
+                state,
+                remaining,
+                predicted,
+                actual,
+            } = phase
+            {
+                *remaining -= dt;
+                if *remaining <= 1e-12 {
+                    out.push(WakeFinished {
+                        unit,
+                        state: *state as u32 + 1,
+                        energy_j: self.config.catalog.states()[*state].wake_energy_j,
+                        predicted_s: *predicted,
+                        actual_s: *actual,
+                    });
+                    *phase = Phase::Awake;
+                }
+            }
+        }
+    }
+
+    /// Total residency power currently drawn by sleeping and waking units
+    /// (a waking unit keeps drawing the state it is leaving until the
+    /// latency elapses).
+    pub fn sleep_power_w(&self) -> Watts {
+        let states = self.config.catalog.states();
+        self.phases
+            .iter()
+            .map(|p| match p {
+                Phase::Awake => 0.0,
+                Phase::Sleeping {
+                    schedule, depth, ..
+                } => states[schedule[*depth].1].idle_power_w,
+                Phase::Waking { state, .. } => states[*state].idle_power_w,
+            })
+            .sum()
+    }
+
+    /// Drains the one-shot wake energies charged since the last drain.
+    pub fn drain_wake_energy(&mut self) -> Joules {
+        std::mem::take(&mut self.pending_wake_j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(policy: IdlePolicy) -> IdleFleet {
+        let config = IdleConfig {
+            policy,
+            predictor: PredictorConfig {
+                error: 0.0,
+                ..PredictorConfig::default()
+            },
+            ..IdleConfig::default()
+        };
+        IdleFleet::new(2, config, RngStream::new(5, "idle-test"))
+    }
+
+    #[test]
+    fn demote_cascades_along_break_evens_and_wakes_with_latency() {
+        let mut f = fleet(IdlePolicy::SkiRental);
+        let d = f.demote(0, 10.0).expect("awake unit demotes");
+        assert_eq!((d.from, d.to), (0, 1));
+        assert!(!f.is_awake(0));
+        assert!(f.is_awake(1));
+
+        // By idle time 16 s the envelope has reached C6 (t₂ = 15 s).
+        let mut demos = Vec::new();
+        f.advance(26.0, &mut demos);
+        assert_eq!(demos.len(), 2, "{demos:?}");
+        assert_eq!((demos[0].from, demos[0].to), (1, 2));
+        assert_eq!((demos[1].from, demos[1].to), (2, 3));
+        assert!((f.sleep_power_w() - 4.0).abs() < 1e-9);
+
+        // Wake out of C6: 160 J charged, 2 s latency.
+        let w = f.begin_wake(0, 26.0).expect("sleeping unit wakes");
+        assert_eq!(w.state, 3);
+        assert!((w.latency_s - 2.0).abs() < 1e-9);
+        assert!((f.drain_wake_energy() - 160.0).abs() < 1e-9);
+        assert!(!f.is_awake(0), "still waking");
+
+        let mut done = Vec::new();
+        f.tick_wakes(1.0, &mut done);
+        assert!(done.is_empty());
+        f.tick_wakes(1.0, &mut done);
+        assert_eq!(done.len(), 1);
+        assert!((done[0].actual_s - 16.0).abs() < 1e-9);
+        assert!(f.is_awake(0));
+    }
+
+    #[test]
+    fn predictor_feedback_flows_through_wakes() {
+        let mut f = fleet(IdlePolicy::LearningAugmented { lambda: 0.5 });
+        for round in 0..5 {
+            let t0 = round as f64 * 100.0;
+            f.demote(0, t0);
+            f.begin_wake(0, t0 + 50.0);
+            let mut done = Vec::new();
+            // Generous dt: every latency elapses within one tick.
+            f.tick_wakes(100.0, &mut done);
+            assert_eq!(done.len(), 1);
+        }
+        // EWMA pulled from the 30 s prior toward the observed 50 s gaps.
+        assert!(f.predictor.base(0) > 45.0, "{}", f.predictor.base(0));
+    }
+
+    #[test]
+    fn double_demote_and_double_wake_are_idempotent() {
+        let mut f = fleet(IdlePolicy::SkiRental);
+        assert!(f.demote(0, 0.0).is_some());
+        assert!(f.demote(0, 1.0).is_none());
+        assert!(f.begin_wake(0, 5.0).is_some());
+        assert!(f.begin_wake(0, 5.0).is_none(), "already waking");
+        assert!(f.begin_wake(1, 5.0).is_none(), "awake unit");
+    }
+
+    #[test]
+    fn zero_latency_wake_completes_on_the_next_tick() {
+        let mut f = fleet(IdlePolicy::SkiRental);
+        f.demote(0, 0.0);
+        // Still in C1 (free, instant) at idle time 1 s.
+        f.begin_wake(0, 1.0);
+        assert_eq!(f.drain_wake_energy(), 0.0);
+        let mut done = Vec::new();
+        f.tick_wakes(1.0, &mut done);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].energy_j, 0.0);
+    }
+
+    #[test]
+    fn flapping_mid_wake_redemotes() {
+        let mut f = fleet(IdlePolicy::SkiRental);
+        f.demote(0, 0.0);
+        let mut demos = Vec::new();
+        f.advance(16.0, &mut demos); // down to C6
+        f.begin_wake(0, 16.0); // 2 s latency
+        let d = f
+            .demote(0, 17.0)
+            .expect("mid-wake demote restarts the ladder");
+        assert_eq!((d.from, d.to), (3, 1));
+        let mut done = Vec::new();
+        f.tick_wakes(10.0, &mut done);
+        assert!(done.is_empty(), "cancelled wake must not complete");
+    }
+}

@@ -1,0 +1,30 @@
+//! Multi-state sleep management for idle sockets.
+//!
+//! The elastic traffic layer creates idle capacity in bulk; this crate
+//! decides what that capacity does while it waits. Three pieces:
+//!
+//! * [`SleepCatalog`] — the cost model: C-state-like levels trading
+//!   residency power against wake latency and wake energy.
+//! * [`GapPredictor`] — a deterministic, seeded next-arrival predictor
+//!   with a configurable relative error bound.
+//! * [`IdlePolicy`] — fixed-timeout, classical ski rental (2-competitive
+//!   break-even cascading) and the learning-augmented policy with trust
+//!   parameter λ (consistency/robustness tradeoff).
+//!
+//! [`IdleFleet`] packages the three into the per-unit runtime
+//! `ClusterSim` drives in traffic mode: the provisioner demotes units
+//! into the ladder instead of hard powering them off, wake latency delays
+//! readmission, and residency/wake energy is charged to the request
+//! ledger.
+
+#![warn(missing_docs)]
+
+pub mod fleet;
+pub mod policy;
+pub mod predictor;
+pub mod state;
+
+pub use fleet::{Demotion, IdleConfig, IdleFleet, WakeFinished, WakeStarted};
+pub use policy::{schedule_cost, IdlePolicy};
+pub use predictor::{GapPredictor, PredictorConfig};
+pub use state::{SleepCatalog, SleepState};

@@ -1,0 +1,249 @@
+//! Idle policies: when to demote an idle unit through the sleep ladder.
+//!
+//! A policy compiles, at the moment a unit goes idle, a *demotion
+//! schedule*: the ordered `(enter_time, state)` pairs the unit will walk
+//! while it stays idle. Three policies are provided:
+//!
+//! * **Fixed timeout** — the classic DPM heuristic: linger in the
+//!   shallowest state for a fixed timeout, then drop straight to the
+//!   deepest. No guarantees; the baseline the others are measured against.
+//! * **Ski rental** — follow the lower envelope of the state cost lines:
+//!   enter state `i` at its break-even time `t_i`. For any idle duration
+//!   `T` the online cost is `∫₀ᵀ p_env(t) dt + e_{env(T)}`; the integral
+//!   telescopes to exactly `OPT(T)` (the envelope's derivative is the
+//!   optimal state's power and `e_0 = 0`), and the wake term is at most
+//!   `OPT(T)`, so the policy is **2-competitive** — the bound the
+//!   adversarial proptest pins.
+//! * **Learning augmented** — the consistency/robustness tradeoff from the
+//!   multi-state ski-rental bounds: with prediction `τ̂` and trust
+//!   `λ ∈ (0, 1]`, state `i`'s entry moves *earlier* (`λ·t_i`) when the
+//!   advice says the gap will reach it (`τ̂ ≥ t_i`) and *later* (`t_i/λ`)
+//!   when it says it will not. `λ = 1` degenerates to classical ski
+//!   rental; smaller `λ` trusts the advice harder, approaching offline
+//!   optimal on perfect predictions while every entry time stays within
+//!   `[λ·t_i, t_i/λ]`, which keeps the worst case within `(2/λ)·OPT`.
+
+use crate::state::SleepCatalog;
+use dps_sim_core::units::{Joules, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Which demotion policy an [`crate::IdleFleet`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum IdlePolicy {
+    /// Shallowest state until `timeout_s`, then straight to the deepest.
+    FixedTimeout {
+        /// Idle seconds spent in the shallowest state before dropping.
+        timeout_s: Seconds,
+    },
+    /// Classical break-even cascade along the lower envelope
+    /// (2-competitive, prediction-free).
+    SkiRental,
+    /// Prediction-guided cascade with trust parameter `lambda`.
+    LearningAugmented {
+        /// Trust in the predictor, in `(0, 1]`: 1 ignores the advice
+        /// (classical ski rental), smaller values follow it harder.
+        lambda: f64,
+    },
+}
+
+impl IdlePolicy {
+    /// Checks the policy parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            IdlePolicy::FixedTimeout { timeout_s } => {
+                if !(timeout_s.is_finite() && timeout_s >= 0.0) {
+                    return Err(format!("timeout_s must be ≥ 0, got {timeout_s}"));
+                }
+            }
+            IdlePolicy::SkiRental => {}
+            IdlePolicy::LearningAugmented { lambda } => {
+                if !(lambda.is_finite() && 0.0 < lambda && lambda <= 1.0) {
+                    return Err(format!("lambda must be in (0, 1], got {lambda}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the policy consumes predictions (drives whether
+    /// `PredictorSample` events are worth emitting).
+    pub fn uses_predictions(&self) -> bool {
+        matches!(self, IdlePolicy::LearningAugmented { .. })
+    }
+
+    /// Short display name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IdlePolicy::FixedTimeout { .. } => "fixed-timeout",
+            IdlePolicy::SkiRental => "ski-rental",
+            IdlePolicy::LearningAugmented { .. } => "learning-augmented",
+        }
+    }
+
+    /// Compiles the demotion schedule for one idle period: strictly the
+    /// `(enter_time, state)` pairs in entry order, starting at
+    /// `(0, state 0)`. `prediction` is the advised gap length (used by the
+    /// learning-augmented policy only).
+    pub fn schedule(&self, catalog: &SleepCatalog, prediction: Seconds) -> Vec<(Seconds, usize)> {
+        match *self {
+            IdlePolicy::FixedTimeout { timeout_s } => {
+                let mut sched = vec![(0.0, 0)];
+                if catalog.len() > 1 {
+                    if timeout_s == 0.0 {
+                        sched[0] = (0.0, catalog.deepest());
+                    } else {
+                        sched.push((timeout_s, catalog.deepest()));
+                    }
+                }
+                sched
+            }
+            IdlePolicy::SkiRental => catalog
+                .break_even_times()
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| (t, i))
+                .collect(),
+            IdlePolicy::LearningAugmented { lambda } => {
+                let mut sched = Vec::with_capacity(catalog.len());
+                let mut prev = 0.0;
+                for (i, t) in catalog.break_even_times().into_iter().enumerate() {
+                    let shifted = if prediction >= t {
+                        lambda * t
+                    } else {
+                        t / lambda
+                    };
+                    // Entry times must stay ordered; a later state whose
+                    // shifted entry would precede an earlier one simply
+                    // waits for it.
+                    let t = shifted.max(prev);
+                    prev = t;
+                    sched.push((t, i));
+                }
+                sched
+            }
+        }
+    }
+
+    /// The cost this policy pays on an idle period of length `gap`:
+    /// residency power integrated along the schedule plus the wake energy
+    /// of the state occupied when the arrival lands.
+    pub fn cost(&self, catalog: &SleepCatalog, prediction: Seconds, gap: Seconds) -> Joules {
+        schedule_cost(catalog, &self.schedule(catalog, prediction), gap)
+    }
+}
+
+/// Evaluates a demotion schedule against an idle period of length `gap`.
+pub fn schedule_cost(
+    catalog: &SleepCatalog,
+    schedule: &[(Seconds, usize)],
+    gap: Seconds,
+) -> Joules {
+    let states = catalog.states();
+    let mut cost = 0.0;
+    let mut occupied = schedule[0].1;
+    for (k, &(enter, state)) in schedule.iter().enumerate() {
+        if enter >= gap {
+            break;
+        }
+        let leave = schedule.get(k + 1).map_or(gap, |&(t, _)| t.min(gap));
+        cost += states[state].idle_power_w * (leave - enter);
+        occupied = state;
+    }
+    cost + states[occupied].wake_energy_j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> SleepCatalog {
+        SleepCatalog::xeon_c_states()
+    }
+
+    #[test]
+    fn ski_rental_schedule_is_the_break_even_cascade() {
+        let c = catalog();
+        let sched = IdlePolicy::SkiRental.schedule(&c, 0.0);
+        assert_eq!(sched.len(), 4);
+        assert_eq!(sched[0], (0.0, 0));
+        let t = c.break_even_times();
+        for (i, &(enter, state)) in sched.iter().enumerate() {
+            assert_eq!(state, i);
+            assert!((enter - t[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lambda_one_is_classical_ski_rental() {
+        let c = catalog();
+        let classical = IdlePolicy::SkiRental.schedule(&c, 0.0);
+        for pred in [0.0, 1.0, 20.0, 1e6] {
+            let la = IdlePolicy::LearningAugmented { lambda: 1.0 }.schedule(&c, pred);
+            assert_eq!(la, classical);
+        }
+    }
+
+    #[test]
+    fn trusting_a_long_prediction_enters_deep_states_early() {
+        let c = catalog();
+        let la = IdlePolicy::LearningAugmented { lambda: 0.25 }.schedule(&c, 1e6);
+        let t = c.break_even_times();
+        for (i, &(enter, _)) in la.iter().enumerate() {
+            assert!((enter - 0.25 * t[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn distrusting_a_short_prediction_delays_deep_states() {
+        let c = catalog();
+        let la = IdlePolicy::LearningAugmented { lambda: 0.5 }.schedule(&c, 1.0);
+        let t = c.break_even_times();
+        // Prediction 1 s < every positive break-even: all delayed by 1/λ.
+        for (i, &(enter, _)) in la.iter().enumerate().skip(1) {
+            assert!((enter - t[i] / 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn perfect_predictions_approach_offline_optimal() {
+        let c = catalog();
+        let la = IdlePolicy::LearningAugmented { lambda: 0.05 };
+        for gap in [0.5, 5.0, 60.0, 500.0] {
+            let cost = la.cost(&c, gap, gap);
+            let opt = c.offline_optimal_cost(gap);
+            assert!(
+                cost <= 1.25 * opt + 1e-9,
+                "gap {gap}: cost {cost} vs opt {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_timeout_pays_shallow_residency_then_deep() {
+        let c = catalog();
+        let p = IdlePolicy::FixedTimeout { timeout_s: 10.0 };
+        // Gap 5 s: 5 s of C1, wake free.
+        assert!((p.cost(&c, 0.0, 5.0) - 150.0).abs() < 1e-9);
+        // Gap 20 s: 10 s of C1 + 10 s of Off + Off wake energy.
+        assert!((p.cost(&c, 0.0, 20.0) - (300.0 + 5.0 + 600.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedule_cost_of_zero_gap_is_free_in_the_shallow_state() {
+        let c = catalog();
+        assert_eq!(IdlePolicy::SkiRental.cost(&c, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn bad_lambda_is_rejected() {
+        assert!(IdlePolicy::LearningAugmented { lambda: 0.0 }
+            .validate()
+            .is_err());
+        assert!(IdlePolicy::LearningAugmented { lambda: 1.5 }
+            .validate()
+            .is_err());
+        assert!(IdlePolicy::FixedTimeout { timeout_s: -1.0 }
+            .validate()
+            .is_err());
+    }
+}

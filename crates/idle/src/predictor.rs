@@ -1,0 +1,157 @@
+//! A deterministic, seeded next-arrival predictor with controllable error.
+//!
+//! The learning-augmented policy consumes a prediction of how long the
+//! unit's idle period will last. Inside the simulator that prediction is
+//! produced here: an EWMA over the unit's past idle gaps supplies the base
+//! estimate, and a seeded multiplicative perturbation bounded by the
+//! configured relative `error` models the advice being imperfect. The same
+//! `perturb` primitive drives the synthetic `--bin idle` sweep, where the
+//! base is the *true* gap and `error` is the swept x-axis.
+
+use dps_sim_core::rng::RngStream;
+use dps_sim_core::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Predictor tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictorConfig {
+    /// Relative error bound: predictions fall in
+    /// `base × [1 − error, 1 + error]` (clamped at zero).
+    pub error: f64,
+    /// EWMA smoothing for the per-unit gap history (weight of the newest
+    /// observed gap).
+    pub alpha: f64,
+    /// Prior gap estimate used before a unit has observed any idle period.
+    pub prior_s: Seconds,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        Self {
+            error: 0.2,
+            alpha: 0.4,
+            prior_s: 30.0,
+        }
+    }
+}
+
+impl PredictorConfig {
+    /// Checks the tunables are usable.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.error.is_finite() && self.error >= 0.0) {
+            return Err(format!("error must be ≥ 0, got {}", self.error));
+        }
+        if !(self.alpha.is_finite() && 0.0 < self.alpha && self.alpha <= 1.0) {
+            return Err(format!("alpha must be in (0, 1], got {}", self.alpha));
+        }
+        if !(self.prior_s.is_finite() && self.prior_s > 0.0) {
+            return Err(format!("prior_s must be positive, got {}", self.prior_s));
+        }
+        Ok(())
+    }
+
+    /// Perturbs a base estimate by a seeded relative error within the
+    /// configured bound: `base × (1 + error × u)` with `u ∈ [−1, 1]`,
+    /// clamped at zero. Deterministic given the stream position.
+    pub fn perturb(&self, base: Seconds, rng: &mut RngStream) -> Seconds {
+        let u = rng.range(-1.0..1.0_f64);
+        (base * (1.0 + self.error * u)).max(0.0)
+    }
+}
+
+/// Per-unit EWMA gap tracker feeding [`PredictorConfig::perturb`].
+#[derive(Debug, Clone)]
+pub struct GapPredictor {
+    config: PredictorConfig,
+    /// Per-unit smoothed gap estimate (starts at the prior).
+    ewma: Vec<Seconds>,
+}
+
+impl GapPredictor {
+    /// Creates the tracker for `num_units` units.
+    ///
+    /// # Panics
+    /// Panics on an invalid config.
+    pub fn new(num_units: usize, config: PredictorConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid predictor config: {e}");
+        }
+        Self {
+            config,
+            ewma: vec![config.prior_s; num_units],
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PredictorConfig {
+        &self.config
+    }
+
+    /// Predicts the unit's next idle-gap length: the EWMA base under the
+    /// seeded bounded perturbation.
+    pub fn predict(&self, unit: usize, rng: &mut RngStream) -> Seconds {
+        self.config.perturb(self.ewma[unit], rng)
+    }
+
+    /// The unperturbed base estimate for a unit.
+    pub fn base(&self, unit: usize) -> Seconds {
+        self.ewma[unit]
+    }
+
+    /// Feeds back the actually observed idle gap once the unit wakes.
+    pub fn observe(&mut self, unit: usize, actual: Seconds) {
+        let a = self.config.alpha;
+        self.ewma[unit] = (1.0 - a) * self.ewma[unit] + a * actual.max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_respects_the_error_bound() {
+        let cfg = PredictorConfig {
+            error: 0.3,
+            ..PredictorConfig::default()
+        };
+        let p = GapPredictor::new(2, cfg);
+        let mut rng = RngStream::new(7, "pred");
+        for _ in 0..200 {
+            let pred = p.predict(0, &mut rng);
+            assert!((pred - 30.0).abs() <= 0.3 * 30.0 + 1e-9, "{pred}");
+        }
+    }
+
+    #[test]
+    fn ewma_tracks_observed_gaps() {
+        let mut p = GapPredictor::new(1, PredictorConfig::default());
+        for _ in 0..50 {
+            p.observe(0, 100.0);
+        }
+        assert!((p.base(0) - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_error_is_the_base_exactly() {
+        let cfg = PredictorConfig {
+            error: 0.0,
+            ..PredictorConfig::default()
+        };
+        let p = GapPredictor::new(1, cfg);
+        let mut rng = RngStream::new(3, "pred0");
+        assert_eq!(p.predict(0, &mut rng), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid predictor config")]
+    fn bad_alpha_is_rejected() {
+        GapPredictor::new(
+            1,
+            PredictorConfig {
+                alpha: 0.0,
+                ..PredictorConfig::default()
+            },
+        );
+    }
+}

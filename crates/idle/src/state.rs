@@ -1,0 +1,276 @@
+//! The per-unit sleep-state model: a small catalog of C-state-like levels.
+//!
+//! Each state trades residency power against the cost of coming back:
+//! deeper states draw less while idle but charge a larger one-shot wake
+//! energy and keep the socket unavailable for a longer wake latency. The
+//! catalog is the cost model every idle policy optimises over, and the
+//! offline-optimal idle cost it induces is the baseline the ski-rental
+//! competitive bounds are stated against.
+
+use dps_sim_core::units::{Joules, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// One sleep level: power while resident, cost and delay to leave it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SleepState {
+    /// Human label (C-state style; purely descriptive).
+    pub name: &'static str,
+    /// Power drawn while the unit sits in this state.
+    pub idle_power_w: Watts,
+    /// Delay between the wake decision and the unit serving again.
+    pub wake_latency_s: Seconds,
+    /// One-shot energy charged when waking out of this state.
+    pub wake_energy_j: Joules,
+}
+
+/// An ordered catalog of sleep states, shallowest first.
+///
+/// Validity requires the classic multi-state ski-rental shape: idle power
+/// strictly decreasing, wake energy strictly increasing with the shallowest
+/// state free to leave (`wake_energy_j == 0`), wake latency non-decreasing,
+/// and consecutive break-even times strictly increasing so every state
+/// appears on the lower envelope (no dominated levels).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SleepCatalog {
+    states: Vec<SleepState>,
+}
+
+impl SleepCatalog {
+    /// Builds a catalog from `states` (shallowest first).
+    ///
+    /// # Panics
+    /// Panics when the catalog does not validate; construction is the
+    /// single place invalid cost models are rejected.
+    pub fn new(states: Vec<SleepState>) -> Self {
+        let catalog = Self { states };
+        if let Err(e) = catalog.validate() {
+            panic!("invalid sleep catalog: {e}");
+        }
+        catalog
+    }
+
+    /// A four-level ladder loosely modelled on package C-states of the
+    /// paper's Xeon Gold 6240 testbed: a free-to-leave clock-gated level,
+    /// two progressively deeper package states, and a near-off level.
+    ///
+    /// Break-even times (lower-envelope entry points) are ≈ 2.2 s, 15 s
+    /// and 125.7 s — inside the gap distribution an elastic provisioner
+    /// with tens-of-seconds hysteresis produces at a 1 s decision period.
+    pub fn xeon_c_states() -> Self {
+        Self::new(vec![
+            SleepState {
+                name: "C1",
+                idle_power_w: 30.0,
+                wake_latency_s: 0.0,
+                wake_energy_j: 0.0,
+            },
+            SleepState {
+                name: "C3",
+                idle_power_w: 12.0,
+                wake_latency_s: 0.5,
+                wake_energy_j: 40.0,
+            },
+            SleepState {
+                name: "C6",
+                idle_power_w: 4.0,
+                wake_latency_s: 2.0,
+                wake_energy_j: 160.0,
+            },
+            SleepState {
+                name: "Off",
+                idle_power_w: 0.5,
+                wake_latency_s: 6.0,
+                wake_energy_j: 600.0,
+            },
+        ])
+    }
+
+    /// The states, shallowest first.
+    pub fn states(&self) -> &[SleepState] {
+        &self.states
+    }
+
+    /// Number of sleep levels.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the catalog is empty (never true for a validated catalog).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Index of the deepest state.
+    pub fn deepest(&self) -> usize {
+        self.states.len() - 1
+    }
+
+    /// Checks the multi-state ski-rental shape (see the type docs).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.states.is_empty() {
+            return Err("catalog needs at least one sleep state".to_string());
+        }
+        for (i, s) in self.states.iter().enumerate() {
+            if !(s.idle_power_w.is_finite() && s.idle_power_w >= 0.0) {
+                return Err(format!("{}: idle power {} invalid", s.name, s.idle_power_w));
+            }
+            if !(s.wake_latency_s.is_finite() && s.wake_latency_s >= 0.0) {
+                return Err(format!(
+                    "{}: wake latency {} invalid",
+                    s.name, s.wake_latency_s
+                ));
+            }
+            if !(s.wake_energy_j.is_finite() && s.wake_energy_j >= 0.0) {
+                return Err(format!(
+                    "{}: wake energy {} invalid",
+                    s.name, s.wake_energy_j
+                ));
+            }
+            if i == 0 && s.wake_energy_j != 0.0 {
+                return Err(format!(
+                    "shallowest state {} must be free to leave (wake energy 0, got {})",
+                    s.name, s.wake_energy_j
+                ));
+            }
+            if i > 0 {
+                let prev = &self.states[i - 1];
+                if s.idle_power_w >= prev.idle_power_w {
+                    return Err(format!(
+                        "idle power must strictly decrease: {} {} W after {} {} W",
+                        s.name, s.idle_power_w, prev.name, prev.idle_power_w
+                    ));
+                }
+                if s.wake_energy_j <= prev.wake_energy_j {
+                    return Err(format!(
+                        "wake energy must strictly increase: {} {} J after {} {} J",
+                        s.name, s.wake_energy_j, prev.name, prev.wake_energy_j
+                    ));
+                }
+                if s.wake_latency_s < prev.wake_latency_s {
+                    return Err(format!(
+                        "wake latency must be non-decreasing: {} {} s after {} {} s",
+                        s.name, s.wake_latency_s, prev.name, prev.wake_latency_s
+                    ));
+                }
+            }
+        }
+        // Consecutive break-even times must strictly increase, otherwise a
+        // middle state never appears on the lower envelope and the entry
+        // schedule below would be wrong for it.
+        let t = self.break_even_times();
+        for i in 2..t.len() {
+            if t[i] <= t[i - 1] {
+                return Err(format!(
+                    "state {} is dominated: its break-even time {:.3} s does not \
+                     exceed the previous state's {:.3} s",
+                    self.states[i].name,
+                    t[i],
+                    t[i - 1]
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Lower-envelope entry times: `t[i]` is the idle duration at which
+    /// state `i` becomes the offline-optimal residency (`t[0] == 0`).
+    ///
+    /// With strictly decreasing power and strictly increasing energy, the
+    /// crossing of states `i-1` and `i` is
+    /// `(e_i − e_{i-1}) / (p_{i-1} − p_i)`, and validation guarantees the
+    /// crossings increase so the envelope visits every state in order.
+    pub fn break_even_times(&self) -> Vec<Seconds> {
+        let mut t = Vec::with_capacity(self.states.len());
+        t.push(0.0);
+        for i in 1..self.states.len() {
+            let prev = &self.states[i - 1];
+            let s = &self.states[i];
+            t.push((s.wake_energy_j - prev.wake_energy_j) / (prev.idle_power_w - s.idle_power_w));
+        }
+        t
+    }
+
+    /// The offline-optimal cost of an idle period of length `gap`: pick the
+    /// single best state in hindsight and pay its residency plus its wake
+    /// energy, `min_i (p_i · gap + e_i)`.
+    pub fn offline_optimal_cost(&self, gap: Seconds) -> Joules {
+        self.states
+            .iter()
+            .map(|s| s.idle_power_w * gap + s.wake_energy_j)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_catalog_validates_with_expected_break_evens() {
+        let c = SleepCatalog::xeon_c_states();
+        let t = c.break_even_times();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0], 0.0);
+        assert!((t[1] - 40.0 / 18.0).abs() < 1e-9);
+        assert!((t[2] - 15.0).abs() < 1e-9);
+        assert!((t[3] - 440.0 / 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offline_optimal_is_the_envelope_minimum() {
+        let c = SleepCatalog::xeon_c_states();
+        // Short gap: staying in C1 wins; long gap: Off wins.
+        assert!((c.offline_optimal_cost(1.0) - 30.0).abs() < 1e-9);
+        let long = c.offline_optimal_cost(10_000.0);
+        assert!((long - (0.5 * 10_000.0 + 600.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sleep catalog")]
+    fn non_monotone_power_is_rejected() {
+        SleepCatalog::new(vec![
+            SleepState {
+                name: "a",
+                idle_power_w: 10.0,
+                wake_latency_s: 0.0,
+                wake_energy_j: 0.0,
+            },
+            SleepState {
+                name: "b",
+                idle_power_w: 20.0,
+                wake_latency_s: 1.0,
+                wake_energy_j: 5.0,
+            },
+        ]);
+    }
+
+    #[test]
+    fn dominated_state_is_rejected() {
+        // Middle state's break-even lands after the deeper state's: dominated.
+        let err = SleepCatalog {
+            states: vec![
+                SleepState {
+                    name: "a",
+                    idle_power_w: 30.0,
+                    wake_latency_s: 0.0,
+                    wake_energy_j: 0.0,
+                },
+                SleepState {
+                    name: "b",
+                    idle_power_w: 29.0,
+                    wake_latency_s: 1.0,
+                    wake_energy_j: 500.0,
+                },
+                SleepState {
+                    name: "c",
+                    idle_power_w: 1.0,
+                    wake_latency_s: 2.0,
+                    wake_energy_j: 501.0,
+                },
+            ],
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("dominated"), "{err}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests on the idle subsystem's two load-bearing guarantees.
+//!
+//! * The predictor's perturbation is *bounded*: whatever the stream
+//!   position, a prediction never leaves `base × [1 − e, 1 + e]` (clamped
+//!   at zero). The learning-augmented analysis assumes exactly this.
+//! * Classical ski rental is 2-competitive: on *any* gap — including the
+//!   adversarial ones planted a hair past each break-even, where the
+//!   cascade has just paid a wake premium it can no longer amortise — the
+//!   policy's cost never exceeds twice the offline optimal.
+
+use dps_idle::{GapPredictor, IdlePolicy, PredictorConfig, SleepCatalog};
+use dps_sim_core::RngStream;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Predictions stay inside the configured relative-error band around
+    /// the EWMA base, for arbitrary error bounds, observed gaps, and
+    /// stream positions.
+    #[test]
+    fn predictor_error_respects_the_configured_bound(
+        error in 0.0f64..3.0,
+        gaps in prop::collection::vec(0.0f64..5_000.0, 0..30),
+        seed in 0u64..1_000,
+        draws_before in 0usize..50,
+    ) {
+        let config = PredictorConfig { error, ..PredictorConfig::default() };
+        let mut predictor = GapPredictor::new(1, config);
+        for &gap in &gaps {
+            predictor.observe(0, gap);
+        }
+        let mut rng = RngStream::new(seed, "idle-prop/predictor");
+        // Arbitrary stream position: the bound is per-draw, not per-seed.
+        for _ in 0..draws_before {
+            rng.uniform();
+        }
+        let base = predictor.base(0);
+        let prediction = predictor.predict(0, &mut rng);
+        let lo = (base * (1.0 - error)).max(0.0);
+        let hi = base * (1.0 + error);
+        prop_assert!(
+            (lo - 1e-9..=hi + 1e-9).contains(&prediction),
+            "prediction {prediction} outside [{lo}, {hi}] (base {base}, error {error})"
+        );
+    }
+
+    /// Ski rental never exceeds 2× the offline-optimal cost, on gaps drawn
+    /// adversarially around the break-even points (where the bound is
+    /// tight) as well as uniformly.
+    #[test]
+    fn ski_rental_is_two_competitive_on_adversarial_gaps(
+        state_idx in 0usize..4,
+        nudge in -0.5f64..20.0,
+        uniform_gap in 0.0f64..100_000.0,
+    ) {
+        let catalog = SleepCatalog::xeon_c_states();
+        let policy = IdlePolicy::SkiRental;
+        // An adversarial gap: just short of / exactly at / just past a
+        // state's break-even, where the cascade has paid for a state it
+        // barely (or never) gets to use.
+        let break_even = catalog.break_even_times()[state_idx];
+        for gap in [(break_even + nudge).max(0.0), uniform_gap] {
+            let cost = policy.cost(&catalog, 0.0, gap);
+            let opt = catalog.offline_optimal_cost(gap);
+            prop_assert!(
+                cost <= 2.0 * opt + 1e-9,
+                "gap {gap}: ski rental {cost} J > 2x optimal {opt} J"
+            );
+        }
+    }
+}

@@ -30,6 +30,19 @@ pub fn slo_attainment(slo_ok: f64, requests: f64) -> Option<f64> {
     }
 }
 
+/// Renders an optional attainment ratio for a report column.
+///
+/// The empty-histogram edge: a run that completed zero requests has *no*
+/// attainment, and the report must say `n/a` — formatting a `NaN` (or a
+/// fake `1.0`) would read as a perfect score. Non-finite values are also
+/// folded to `n/a` so a corrupted summary can never print `NaN`.
+pub fn format_attainment(attainment: Option<f64>) -> String {
+    match attainment {
+        Some(a) if a.is_finite() => format!("{a:.4}"),
+        _ => "n/a".to_string(),
+    }
+}
+
 /// Mean power in watts over a run of `seconds` that consumed `joules`.
 ///
 /// Returns `None` for a zero-length run.
@@ -76,6 +89,17 @@ mod tests {
         let a = slo_attainment(1_000.000001, 1_000.0).unwrap();
         assert_eq!(a, 1.0);
         assert_eq!(slo_attainment(-2.0, 100.0), Some(0.0));
+    }
+
+    #[test]
+    fn empty_histogram_formats_as_not_applicable() {
+        // Zero completed requests: the whole chain must land on "n/a",
+        // never "NaN" or a phantom perfect score.
+        let empty = slo_attainment(0.0, 0.0);
+        assert_eq!(empty, None);
+        assert_eq!(format_attainment(empty), "n/a");
+        assert_eq!(format_attainment(Some(f64::NAN)), "n/a");
+        assert_eq!(format_attainment(Some(0.9973)), "0.9973");
     }
 
     #[test]

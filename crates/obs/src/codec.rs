@@ -331,6 +331,50 @@ fn write_event(w: &mut Writer, e: &Event) {
             w.f64(value);
             w.f64(limit);
         }
+        Event::SleepTransition {
+            cycle,
+            unit,
+            from_state,
+            to_state,
+        } => {
+            w.u64(cycle);
+            w.u32(unit);
+            w.u32(from_state);
+            w.u32(to_state);
+        }
+        Event::WakeStart {
+            cycle,
+            unit,
+            state,
+            latency_s,
+        } => {
+            w.u64(cycle);
+            w.u32(unit);
+            w.u32(state);
+            w.f64(latency_s);
+        }
+        Event::WakeDone {
+            cycle,
+            unit,
+            state,
+            energy_j,
+        } => {
+            w.u64(cycle);
+            w.u32(unit);
+            w.u32(state);
+            w.f64(energy_j);
+        }
+        Event::PredictorSample {
+            cycle,
+            unit,
+            predicted_s,
+            actual_s,
+        } => {
+            w.u64(cycle);
+            w.u32(unit);
+            w.f64(predicted_s);
+            w.f64(actual_s);
+        }
     }
 }
 
@@ -456,6 +500,30 @@ fn read_event(r: &mut Reader<'_>) -> Result<Event, String> {
             kind: InvariantKind::from_code(r.u8("kind")?)?,
             value: r.f64("value")?,
             limit: r.f64("limit")?,
+        },
+        20 => Event::SleepTransition {
+            cycle: r.u64("cycle")?,
+            unit: r.u32("unit")?,
+            from_state: r.u32("from_state")?,
+            to_state: r.u32("to_state")?,
+        },
+        21 => Event::WakeStart {
+            cycle: r.u64("cycle")?,
+            unit: r.u32("unit")?,
+            state: r.u32("state")?,
+            latency_s: r.f64("latency_s")?,
+        },
+        22 => Event::WakeDone {
+            cycle: r.u64("cycle")?,
+            unit: r.u32("unit")?,
+            state: r.u32("state")?,
+            energy_j: r.f64("energy_j")?,
+        },
+        23 => Event::PredictorSample {
+            cycle: r.u64("cycle")?,
+            unit: r.u32("unit")?,
+            predicted_s: r.f64("predicted_s")?,
+            actual_s: r.f64("actual_s")?,
         },
         t => return Err(format!("unknown event tag {t}")),
     };
@@ -679,6 +747,46 @@ fn json_event(out: &mut String, e: &Event) {
             fl(out, "value", value);
             fl(out, "limit", limit);
         }
+        Event::SleepTransition {
+            unit,
+            from_state,
+            to_state,
+            ..
+        } => {
+            num(out, "unit", unit as u64);
+            num(out, "from_state", from_state as u64);
+            num(out, "to_state", to_state as u64);
+        }
+        Event::WakeStart {
+            unit,
+            state,
+            latency_s,
+            ..
+        } => {
+            num(out, "unit", unit as u64);
+            num(out, "state", state as u64);
+            fl(out, "latency_s", latency_s);
+        }
+        Event::WakeDone {
+            unit,
+            state,
+            energy_j,
+            ..
+        } => {
+            num(out, "unit", unit as u64);
+            num(out, "state", state as u64);
+            fl(out, "energy_j", energy_j);
+        }
+        Event::PredictorSample {
+            unit,
+            predicted_s,
+            actual_s,
+            ..
+        } => {
+            num(out, "unit", unit as u64);
+            fl(out, "predicted_s", predicted_s);
+            fl(out, "actual_s", actual_s);
+        }
     }
     out.push('}');
 }
@@ -806,6 +914,30 @@ pub mod tests_support {
                 kind: InvariantKind::RequestedBudget,
                 value: 961.5,
                 limit: 960.0,
+            },
+            Event::SleepTransition {
+                cycle: 21,
+                unit: 6,
+                from_state: 1,
+                to_state: 2,
+            },
+            Event::WakeStart {
+                cycle: 22,
+                unit: 6,
+                state: 2,
+                latency_s: 0.5,
+            },
+            Event::WakeDone {
+                cycle: 23,
+                unit: 6,
+                state: 2,
+                energy_j: 40.0,
+            },
+            Event::PredictorSample {
+                cycle: 24,
+                unit: 6,
+                predicted_s: 28.5,
+                actual_s: 31.0,
             },
         ]
     }

@@ -309,6 +309,53 @@ pub enum Event {
         /// The bound it violated.
         limit: f64,
     },
+    /// An idle unit moved along the sleep-state ladder (state `0` is awake;
+    /// sleep levels are 1-based catalog indices).
+    SleepTransition {
+        /// Decision-cycle index.
+        cycle: u64,
+        /// Flat unit index.
+        unit: u32,
+        /// Sleep level being left.
+        from_state: u32,
+        /// Sleep level entered this cycle.
+        to_state: u32,
+    },
+    /// The provisioner asked a sleeping unit to wake; it stays out of the
+    /// serving fleet until the latency elapses.
+    WakeStart {
+        /// Decision-cycle index.
+        cycle: u64,
+        /// Flat unit index.
+        unit: u32,
+        /// Sleep level the wake leaves (1-based).
+        state: u32,
+        /// Wake latency charged (seconds).
+        latency_s: f64,
+    },
+    /// A pending wake completed and the unit rejoined the serving fleet.
+    WakeDone {
+        /// Decision-cycle index.
+        cycle: u64,
+        /// Flat unit index.
+        unit: u32,
+        /// Sleep level the unit woke from (1-based).
+        state: u32,
+        /// Wake energy charged to the ledger (Joules).
+        energy_j: f64,
+    },
+    /// The next-arrival predictor's forecast, paired with the realised gap
+    /// once the unit was woken (for offline calibration studies).
+    PredictorSample {
+        /// Decision-cycle index.
+        cycle: u64,
+        /// Flat unit index.
+        unit: u32,
+        /// Predicted idle-gap length at demotion time (seconds).
+        predicted_s: f64,
+        /// Realised idle-gap length (seconds).
+        actual_s: f64,
+    },
 }
 
 impl Event {
@@ -334,7 +381,11 @@ impl Event {
             | Event::RequestMilestone { cycle, .. }
             | Event::ModeChange { cycle, .. }
             | Event::BudgetShock { cycle, .. }
-            | Event::InvariantViolation { cycle, .. } => cycle,
+            | Event::InvariantViolation { cycle, .. }
+            | Event::SleepTransition { cycle, .. }
+            | Event::WakeStart { cycle, .. }
+            | Event::WakeDone { cycle, .. }
+            | Event::PredictorSample { cycle, .. } => cycle,
         }
     }
 
@@ -361,6 +412,10 @@ impl Event {
             Event::ModeChange { .. } => 17,
             Event::BudgetShock { .. } => 18,
             Event::InvariantViolation { .. } => 19,
+            Event::SleepTransition { .. } => 20,
+            Event::WakeStart { .. } => 21,
+            Event::WakeDone { .. } => 22,
+            Event::PredictorSample { .. } => 23,
         }
     }
 
@@ -623,6 +678,42 @@ pub mod schema {
                 ("kind", Enum(InvariantKind::NAMES)),
                 ("value", F64),
                 ("limit", F64),
+            ],
+        },
+        EventSchema {
+            name: "sleep_transition",
+            fields: &[
+                ("cycle", U64),
+                ("unit", U32),
+                ("from_state", U32),
+                ("to_state", U32),
+            ],
+        },
+        EventSchema {
+            name: "wake_start",
+            fields: &[
+                ("cycle", U64),
+                ("unit", U32),
+                ("state", U32),
+                ("latency_s", F64),
+            ],
+        },
+        EventSchema {
+            name: "wake_done",
+            fields: &[
+                ("cycle", U64),
+                ("unit", U32),
+                ("state", U32),
+                ("energy_j", F64),
+            ],
+        },
+        EventSchema {
+            name: "predictor_sample",
+            fields: &[
+                ("cycle", U64),
+                ("unit", U32),
+                ("predicted_s", F64),
+                ("actual_s", F64),
             ],
         },
     ];

@@ -201,6 +201,14 @@ counters!(
     budget_shocks,
     /// Invariant-monitor violations observed.
     invariant_violations,
+    /// Sleep-ladder transitions (demotions and deepenings).
+    sleep_transitions,
+    /// Wakes initiated from a sleep state.
+    wake_starts,
+    /// Wakes completed (unit rejoined the serving fleet).
+    wake_dones,
+    /// Idle-gap predictor samples recorded.
+    predictor_samples,
 );
 
 /// Live counters plus histograms for the quantities worth distributions.
@@ -282,6 +290,10 @@ impl ObsRegistry {
             Event::ModeChange { .. } => bump(&c.mode_changes),
             Event::BudgetShock { .. } => bump(&c.budget_shocks),
             Event::InvariantViolation { .. } => bump(&c.invariant_violations),
+            Event::SleepTransition { .. } => bump(&c.sleep_transitions),
+            Event::WakeStart { .. } => bump(&c.wake_starts),
+            Event::WakeDone { .. } => bump(&c.wake_dones),
+            Event::PredictorSample { .. } => bump(&c.predictor_samples),
         }
     }
 
@@ -343,7 +355,11 @@ impl ObsRegistry {
             frames_dropped,
             mode_changes,
             budget_shocks,
-            invariant_violations
+            invariant_violations,
+            sleep_transitions,
+            wake_starts,
+            wake_dones,
+            predictor_samples
         );
         self.budget_slack_w.reset();
         self.cap_churn.reset();
@@ -385,6 +401,10 @@ impl ObsRegistry {
         line("mode_changes", self.mode_changes());
         line("budget_shocks", self.budget_shocks());
         line("invariant_violations", self.invariant_violations());
+        line("sleep_transitions", self.sleep_transitions());
+        line("wake_starts", self.wake_starts());
+        line("wake_dones", self.wake_dones());
+        line("predictor_samples", self.predictor_samples());
         let mut hist = |k: &str, h: &Histogram| {
             if h.count() > 0 {
                 out.push_str(&format!("  {k:<22} {}\n", h.summary_line()));
@@ -436,7 +456,7 @@ mod tests {
     #[test]
     fn registry_folds_every_counter() {
         let reg = ObsRegistry::from_events(&crate::codec::tests_support::one_of_each());
-        assert_eq!(reg.events(), 20);
+        assert_eq!(reg.events(), 24);
         assert_eq!(reg.cap_deltas(), 1);
         assert_eq!(reg.priority_flips(), 1);
         assert_eq!(reg.restores(), 1);
@@ -458,6 +478,10 @@ mod tests {
         assert_eq!(reg.mode_changes(), 1);
         assert_eq!(reg.budget_shocks(), 1);
         assert_eq!(reg.invariant_violations(), 1);
+        assert_eq!(reg.sleep_transitions(), 1);
+        assert_eq!(reg.wake_starts(), 1);
+        assert_eq!(reg.wake_dones(), 1);
+        assert_eq!(reg.predictor_samples(), 1);
         assert_eq!(reg.budget_slack_w().count(), 1);
         assert_eq!(reg.cap_churn().count(), 1);
         // one_of_each's PhaseEnd is ObserveClassify, not SimCycle.

@@ -1,0 +1,146 @@
+//! The sleep-state ladder: how an idle socket decides how deep to sleep.
+//!
+//! ```text
+//! cargo run --release --example idle_states
+//! ```
+//!
+//! An overprovisioned cluster spends much of its life waiting, and what an
+//! idle socket does while it waits is a cost model: shallow states keep
+//! burning power but wake for free, deep states sip power but charge a
+//! wake penalty. This example walks the `dps-idle` pieces bottom-up —
+//! first the catalog and its break-even times, then the demotion schedule
+//! each policy compiles (and what it pays against the offline optimum),
+//! and finally a flash-crowd simulation where the provisioner's dark
+//! sockets actually descend the ladder, comparing a naive fixed timeout
+//! against the 2-competitive ski-rental cascade.
+
+use dps_suite::cluster::{ClusterSim, ExperimentConfig};
+use dps_suite::core::manager::ManagerKind;
+use dps_suite::idle::{IdleConfig, IdlePolicy, SleepCatalog};
+use dps_suite::rapl::Topology;
+use dps_suite::sim_core::RngStream;
+use dps_suite::traffic::{ProvisionerConfig, ProvisionerMode, TrafficConfig, TrafficPattern};
+
+fn print_schedule(policy: &IdlePolicy, catalog: &SleepCatalog, prediction: f64) {
+    let steps: Vec<String> = policy
+        .schedule(catalog, prediction)
+        .into_iter()
+        .map(|(t, s)| format!("{} @ {:>6.1} s", catalog.states()[s].name, t))
+        .collect();
+    println!("  {:<19} {}", policy.name(), steps.join("  ->  "));
+}
+
+fn main() {
+    // (1) The cost model: a four-level ladder loosely modelled on the
+    // paper testbed's Xeon package C-states. Each break-even time marks
+    // where the next state's wake penalty amortises — together they trace
+    // the lower envelope an offline-optimal sleeper would follow.
+    let catalog = SleepCatalog::xeon_c_states();
+    println!("sleep-state catalog (shallowest first):\n");
+    println!("  state   idle W   wake s   wake J");
+    for s in catalog.states() {
+        println!(
+            "  {:<6} {:>6.1}  {:>7.1}  {:>7.0}",
+            s.name, s.idle_power_w, s.wake_latency_s, s.wake_energy_j
+        );
+    }
+    let breaks: Vec<String> = catalog
+        .break_even_times()
+        .iter()
+        .skip(1)
+        .map(|t| format!("{t:.1} s"))
+        .collect();
+    println!("\nbreak-even entry times: {}\n", breaks.join(", "));
+
+    // (2) The policies compile that model into a demotion schedule. The
+    // fixed timeout jumps straight to the deepest state after a grace
+    // period; ski rental walks the break-even cascade; the
+    // learning-augmented variant shifts the cascade toward the predicted
+    // gap (earlier when a long gap is advised, later when a short one is).
+    let fixed = IdlePolicy::FixedTimeout { timeout_s: 100.0 };
+    let ski = IdlePolicy::SkiRental;
+    let la = IdlePolicy::LearningAugmented { lambda: 0.5 };
+    println!("demotion schedules (predicted gap 300 s):\n");
+    for policy in [&fixed, &ski, &la] {
+        print_schedule(policy, &catalog, 300.0);
+    }
+    println!("\ndemotion schedules (predicted gap 5 s):\n");
+    for policy in [&fixed, &ski, &la] {
+        print_schedule(policy, &catalog, 5.0);
+    }
+
+    // What each schedule actually pays, against the clairvoyant optimum
+    // that knows the gap and picks the single best state up front.
+    println!("\ncost per idle gap, as a multiple of offline OPT:\n");
+    println!("  gap (s)      OPT (J)   fixed    ski     LA(good)  LA(bad)");
+    for gap in [1.0, 10.0, 60.0, 600.0] {
+        let opt = catalog.offline_optimal_cost(gap);
+        println!(
+            "  {:>7.0}  {:>10.0}   {:>5.2}  {:>5.2}   {:>7.2}  {:>7.2}",
+            gap,
+            opt,
+            fixed.cost(&catalog, gap, gap) / opt,
+            ski.cost(&catalog, gap, gap) / opt,
+            la.cost(&catalog, gap, gap) / opt,
+            la.cost(&catalog, 8.0 * gap + 40.0, gap) / opt,
+        );
+    }
+
+    // (3) The ladder in situ: a flash crowd on a 2×4×2 partition. The
+    // reactive provisioner powers nodes off once the crowd passes, and the
+    // idle fleet decides how deep those dark sockets sleep. Same seed,
+    // same traffic — only the demotion policy differs.
+    println!("\nflash crowd on 16 sockets, fixed timeout vs ski rental:\n");
+    let run = |policy: IdlePolicy| {
+        let name = policy.name();
+        let mut config = ExperimentConfig::paper_default(/* seed */ 7, /* reps */ 1);
+        config.sim.topology = Topology::new(2, 4, 2);
+        let sockets = config.sim.topology.total_units();
+        let capacity_rps = 100.0;
+        let mut traffic = TrafficConfig::default_diurnal(sockets, capacity_rps);
+        traffic.pattern = TrafficPattern::FlashCrowd {
+            base_rps: 0.15 * sockets as f64 * capacity_rps,
+            peak_rps: 0.9 * sockets as f64 * capacity_rps,
+            start: 60.0,
+            ramp: 30.0,
+            hold: 120.0,
+            decay: 30.0,
+        };
+        traffic.provisioner = ProvisionerMode::Reactive(ProvisionerConfig {
+            target_utilization: 0.7,
+            headroom_nodes: 0,
+            power_off_after: 15.0,
+            min_nodes: 1,
+        });
+        config.sim.traffic = Some(traffic);
+        config.sim.idle = Some(IdleConfig {
+            policy,
+            ..IdleConfig::default()
+        });
+        let mut sim = ClusterSim::with_traffic(
+            config.sim.clone(),
+            config.build_manager(ManagerKind::Dps),
+            &RngStream::new(config.seed, "idle-states-example"),
+        );
+        for _ in 0..600 {
+            sim.cycle();
+        }
+        let stats = sim.request_stats().expect("traffic mode").clone();
+        println!(
+            "  {:<14} {:>12.0} J   SLO {:>5.1} %   {:.0} served",
+            name,
+            stats.joules,
+            100.0 * stats.slo_attainment().unwrap_or(1.0),
+            stats.served,
+        );
+        stats.joules
+    };
+    let fixed_j = run(IdlePolicy::FixedTimeout { timeout_s: 100.0 });
+    let ski_j = run(IdlePolicy::SkiRental);
+    println!(
+        "\nski rental saved {:.1} % of total energy over the fixed timeout,\n\
+         without a predictor and without knowing the gap distribution.",
+        100.0 * (fixed_j - ski_j) / fixed_j,
+    );
+    assert!(ski_j < fixed_j, "ski rental should beat the fixed timeout");
+}

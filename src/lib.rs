@@ -6,6 +6,7 @@
 pub use dps_cluster as cluster;
 pub use dps_core as core;
 pub use dps_ctrl as ctrl;
+pub use dps_idle as idle;
 pub use dps_metrics as metrics;
 pub use dps_obs as obs;
 pub use dps_rapl as rapl;

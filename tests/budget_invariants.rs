@@ -11,10 +11,11 @@ use dps_suite::sim_core::RngStream;
 use dps_suite::workloads::{build_program, catalog};
 use proptest::prelude::*;
 
-const MANAGERS: [ManagerKind; 4] = [
+const MANAGERS: [ManagerKind; 5] = [
     ManagerKind::Constant,
     ManagerKind::Slurm,
     ManagerKind::Dps,
+    ManagerKind::Qdpm,
     ManagerKind::Oracle,
 ];
 

@@ -99,6 +99,55 @@ fn restored_controller_matches_uninterrupted_run() {
     }
 }
 
+/// The Q-learning manager honours the same crash contract: its Q-tables,
+/// per-unit exploration rates, and rng stream position all live in the
+/// snapshot, so a freshly constructed `QdpmManager` — built with a
+/// *different* seed, which the restore must overwrite — picks up the
+/// uninterrupted trajectory bit for bit.
+#[test]
+fn restored_qdpm_controller_matches_uninterrupted_run() {
+    use dps_suite::core::{QdpmConfig, QdpmManager};
+    let cfg = config(47);
+    let budget = cfg.sim.total_budget();
+    let limits = UnitLimits {
+        min_cap: cfg.sim.domain_spec.min_cap,
+        max_cap: cfg.sim.domain_spec.tdp,
+    };
+    let qdpm = |seed: u64| -> Box<dyn PowerManager> {
+        Box::new(QdpmManager::new(
+            cfg.sim.topology.total_units(),
+            budget,
+            limits,
+            QdpmConfig::default(),
+            RngStream::new(seed, "manager/QDPM"),
+        ))
+    };
+    let sim_rng = RngStream::new(47, "ckpt-qdpm");
+    let mut crashed = ClusterSim::new(cfg.sim.clone(), programs(), qdpm(47), &sim_rng);
+    let mut twin = ClusterSim::new(cfg.sim.clone(), programs(), qdpm(47), &sim_rng);
+    crashed.enable_watchdog(1);
+
+    for _ in 0..70 {
+        crashed.cycle();
+        twin.cycle();
+    }
+    crashed
+        .crash_and_restore(qdpm(999))
+        .expect("restore from snapshot");
+
+    for _ in 0..150 {
+        crashed.cycle();
+        twin.cycle();
+        assert_eq!(
+            crashed.caps(),
+            twin.caps(),
+            "QDPM diverged at t={}",
+            crashed.timestep()
+        );
+        assert!(crashed.caps().iter().sum::<f64>() <= budget + 1e-6);
+    }
+}
+
 /// The rolling-moment accumulators resync against the raw ring every
 /// `4 × window` pushes (80 cycles at the paper-default window), so their
 /// persisted state is path-dependent: a snapshot taken after the boundary

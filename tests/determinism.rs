@@ -21,6 +21,7 @@ fn identical_seeds_identical_outcomes() {
         ManagerKind::Constant,
         ManagerKind::Slurm,
         ManagerKind::Dps,
+        ManagerKind::Qdpm,
         ManagerKind::Oracle,
     ] {
         let x = run_pair(a, b, kind, &config(42));

@@ -112,6 +112,28 @@ fn elastic_traffic_matches_golden() {
 }
 
 #[test]
+fn idle_elastic_matches_golden() {
+    let bytes = check_against_golden(GoldenScenario::IdleElastic);
+    let trace = codec::decode(&bytes).expect("golden trace decodes");
+    let reg = dps_suite::obs::ObsRegistry::from_events(&trace.events);
+    // The scenario must walk the whole sleep ladder: demotions during the
+    // post-crowd shrink, wake latencies paid on the re-growth, and — with
+    // the learning-augmented policy — predictor samples scoring the advice
+    // against realised gap lengths.
+    assert!(reg.sleep_transitions() > 0, "no demotions recorded");
+    assert!(reg.wake_starts() > 0, "no wakes ever started");
+    assert!(reg.wake_dones() > 0, "no wake ever completed");
+    assert!(
+        reg.predictor_samples() > 0,
+        "learning-augmented policy produced no predictor samples"
+    );
+    assert!(
+        reg.membership_flips() > 0,
+        "woken units never re-entered the manager's view"
+    );
+}
+
+#[test]
 fn chaos_brownout_matches_golden() {
     let bytes = check_against_golden(GoldenScenario::ChaosBrownout);
     let trace = codec::decode(&bytes).expect("golden trace decodes");

@@ -1,0 +1,203 @@
+//! Wake-path state-reset regression suite.
+//!
+//! With idle management wired into traffic mode, units flow through
+//! `observe_membership` far more often than scheduler churn ever drove:
+//! every demotion vacates a socket and every completed wake re-admits it.
+//! The manager contract is that a re-admitted unit is indistinguishable
+//! from a freshly constructed one — no Kalman estimate, no power/duration
+//! history, no rolling-moment accumulators, no priority flag, no guard
+//! verdict, and (for the Q-learning manager) no Q-table carryover from
+//! the previous tenancy.
+//!
+//! These tests warm a manager into a visibly learned state, bounce a unit
+//! off and back on through `observe_membership`, and compare the woken
+//! unit field by field against a never-touched construction-state twin.
+
+use dps_suite::core::guard::HealthState;
+use dps_suite::core::manager::{PowerManager, UnitLimits};
+use dps_suite::core::{DpsConfig, DpsManager, GuardConfig, QdpmConfig, QdpmManager};
+use dps_suite::sim_core::RngStream;
+
+const N: usize = 8;
+
+fn limits() -> UnitLimits {
+    UnitLimits {
+        min_cap: 40.0,
+        max_cap: 165.0,
+    }
+}
+
+fn guarded_dps(seed: u64) -> DpsManager {
+    DpsManager::with_guard(
+        N,
+        110.0 * N as f64,
+        limits(),
+        DpsConfig::default(),
+        GuardConfig {
+            // Noise-free synthetic telemetry trips the zero-variance
+            // detector; the NaN value gate does the detecting here.
+            stuck_window: 0,
+            quarantine_after: 2,
+            probation_after: 3,
+            readmit_after: 4,
+            ..Default::default()
+        },
+        RngStream::new(seed, "wake-reset"),
+    )
+}
+
+/// One synthetic cycle: a per-unit load pattern asymmetric enough to build
+/// distinct histories, with unit 0 reporting NaN telemetry.
+fn warm_cycle(mgr: &mut DpsManager, caps: &mut [f64]) {
+    let measured: Vec<f64> = caps
+        .iter()
+        .enumerate()
+        .map(|(u, &cap)| {
+            if u == 0 {
+                f64::NAN
+            } else if u % 2 == 0 {
+                (cap - 1.0).max(40.0)
+            } else {
+                30.0 + u as f64
+            }
+        })
+        .collect();
+    mgr.assign_caps(&measured, caps, 1.0);
+}
+
+#[test]
+fn woken_unit_reenters_dps_with_construction_state() {
+    let mut mgr = guarded_dps(0xA3E);
+    // The twin is never cycled: its unit states are the construction
+    // state every woken unit must be reset to.
+    let fresh = guarded_dps(0x1234);
+    let mut caps = vec![110.0; N];
+
+    // Warm up until the learned state is visibly non-fresh: histories
+    // filled, priorities set, unit 0 quarantined on its NaN telemetry.
+    for _ in 0..30 {
+        warm_cycle(&mut mgr, &mut caps);
+    }
+    for u in [0, 2] {
+        assert!(
+            !mgr.unit_state(u).power_history.is_empty(),
+            "precondition: unit {u} must have accumulated history"
+        );
+    }
+    assert!(
+        mgr.health().unwrap()[0].is_isolated(),
+        "precondition: unit 0 should be quarantined, got {:?}",
+        mgr.health().unwrap()[0]
+    );
+    assert!(
+        mgr.priorities().unwrap().iter().any(|&p| p),
+        "precondition: warm-up must set priority flags"
+    );
+
+    // Bounce units 0 and 2 off and back on — the demote → wake round trip
+    // the idle ladder drives every time a dark unit is re-admitted.
+    let mut active = vec![true; N];
+    active[0] = false;
+    active[2] = false;
+    mgr.observe_membership(&active);
+    active[0] = true;
+    active[2] = true;
+    mgr.observe_membership(&active);
+
+    for u in [0, 2] {
+        let woken = mgr.unit_state(u);
+        let twin = fresh.unit_state(u);
+        // Kalman filter: back to the construction estimate.
+        assert_eq!(
+            woken.latest_estimate(),
+            twin.latest_estimate(),
+            "unit {u}: Kalman estimate survived the wake"
+        );
+        // Power/duration histories and their rolling accumulators: empty.
+        assert!(
+            woken.power_history.is_empty(),
+            "unit {u}: power history survived the wake"
+        );
+        assert!(
+            woken.duration_history.is_empty(),
+            "unit {u}: duration history survived the wake"
+        );
+        assert_eq!(
+            woken.history_std(),
+            twin.history_std(),
+            "unit {u}: rolling moments survived the wake"
+        );
+        assert!(!woken.high_freq, "unit {u}: classification survived");
+        assert!(!woken.priority, "unit {u}: priority flag survived");
+    }
+    // Guard verdict: the socket's next tenant starts with clean telemetry
+    // history, so the quarantine must not outlive the tenancy.
+    assert_eq!(
+        mgr.health().unwrap()[0],
+        HealthState::Healthy,
+        "quarantine verdict survived the wake"
+    );
+
+    // An untouched unit keeps its learned state — reset is per-unit, not
+    // fleet-wide.
+    assert!(
+        !mgr.unit_state(4).power_history.is_empty(),
+        "unit 4 was never flipped; its history must survive"
+    );
+}
+
+#[test]
+fn woken_unit_reenters_qdpm_with_construction_state() {
+    let config = QdpmConfig::default();
+    let mut mgr = QdpmManager::new(
+        N,
+        110.0 * N as f64,
+        limits(),
+        config,
+        RngStream::new(0xBEEF, "qdpm-wake"),
+    );
+    let fresh = QdpmManager::new(
+        N,
+        110.0 * N as f64,
+        limits(),
+        config,
+        RngStream::new(0x5EED, "qdpm-wake-twin"),
+    );
+    let mut caps = vec![110.0; N];
+
+    // Warm up: saturated even units and idle odd units drive the Q-table
+    // away from its optimistic initialisation.
+    for _ in 0..60 {
+        let measured: Vec<f64> = caps
+            .iter()
+            .enumerate()
+            .map(|(u, &cap)| if u % 2 == 0 { cap } else { 0.0 })
+            .collect();
+        mgr.assign_caps(&measured, &mut caps, 1.0);
+    }
+    assert_ne!(
+        mgr.q_table(2),
+        fresh.q_table(2),
+        "precondition: warm-up must move unit 2's Q-table"
+    );
+
+    let mut active = vec![true; N];
+    active[2] = false;
+    mgr.observe_membership(&active);
+    active[2] = true;
+    mgr.observe_membership(&active);
+
+    // The woken unit's learning state is the construction state: the
+    // optimistic Q-table and the undecayed exploration rate.
+    assert_eq!(
+        mgr.q_table(2),
+        fresh.q_table(2),
+        "unit 2: Q-table survived the wake"
+    );
+    // Untouched units keep their learned tables.
+    assert_ne!(
+        mgr.q_table(4),
+        fresh.q_table(4),
+        "unit 4 was never flipped; its Q-table must survive"
+    );
+}
