@@ -1,0 +1,1024 @@
+//! Struct-of-arrays storage for the manager's per-unit dynamic state.
+//!
+//! [`UnitState`] keeps one unit's Kalman filter, history rings and rolling
+//! statistics behind several heap allocations; a `Vec<UnitState>` therefore
+//! scatters the hot observe/classify pass across the heap, and at 10⁵–10⁶
+//! units the pass is bound by cache misses, not arithmetic. [`UnitColumns`]
+//! stores the same state as parallel flat columns — Kalman scalars, one
+//! flat ring arena for the power/duration histories, rolling-moment
+//! scalars, the cached derivative and the classification flags — so a
+//! decision cycle walks contiguous memory and the `parallel` feature can
+//! shard the store at unit boundaries without locks ([`ColsChunk`]).
+//!
+//! Every per-unit operation replicates the corresponding [`UnitState`]
+//! arithmetic *operation for operation* (same floating-point evaluation
+//! order), so decisions are bit-identical to the array-of-structs layout;
+//! the equivalence tests and the committed pre-refactor golden traces and
+//! checkpoint fixtures pin this. [`UnitColumns::materialize`] reconstructs
+//! an owned [`UnitState`] for the introspection API, and the checkpoint
+//! helpers read/write the exact v2 per-unit wire format, so snapshots
+//! written by the per-unit-struct build restore unchanged.
+
+use crate::checkpoint::{ByteReader, ByteWriter};
+use crate::config::{DpsConfig, StatsMode};
+use crate::history::UnitState;
+use crate::priority::{classify_dynamics, Dynamics};
+use dps_sim_core::signal;
+use dps_sim_core::units::{Seconds, Watts};
+
+/// Physical index of logical position `i` (oldest = 0) in a flat ring of
+/// capacity `cap` holding `len` values whose oldest sample sits at `head`.
+/// Matches [`dps_sim_core::ring::RingBuffer`]: `head` stays 0 until the
+/// first wrap, so before that physical == logical.
+#[inline(always)]
+pub(crate) fn ring_phys(cap: usize, len: usize, head: usize, i: usize) -> usize {
+    if len < cap {
+        i
+    } else {
+        // head < cap and i < len == cap, so one wrap suffices — a
+        // conditional subtract, not an integer division, on the hot path.
+        let idx = head + i;
+        if idx >= cap {
+            idx - cap
+        } else {
+            idx
+        }
+    }
+}
+
+/// The column store: one flat `Vec` per [`UnitState`] field, plus the
+/// config scalars the per-unit math needs (frozen at construction, exactly
+/// as `UnitState` freezes them).
+#[derive(Debug, Clone)]
+pub(crate) struct UnitColumns {
+    n: usize,
+    /// History window capacity (`DpsConfig::history_len`).
+    h: usize,
+    mode: StatsMode,
+    kalman_q: f64,
+    kalman_r: f64,
+    peak_prominence: f64,
+    deriv_window: usize,
+    /// `RollingMoments` resync period: `(4 * h).max(8)`.
+    resync_every: u32,
+    // Kalman filter state (`KalmanFilter`): estimate present / value /
+    // error variance / last gain.
+    k_has: Vec<bool>,
+    k_est: Vec<f64>,
+    k_var: Vec<f64>,
+    k_gain: Vec<f64>,
+    // History rings, `n × h` flat arenas. Both rings always advance in
+    // lockstep, so one len/head pair serves both.
+    hist_power: Vec<f64>,
+    hist_dur: Vec<f64>,
+    hist_len: Vec<u32>,
+    hist_head: Vec<u32>,
+    // Rolling moments (`RollingMoments`): Σ(x-offset), Σ(x-offset)²,
+    // offset, pushes until exact resync. The length column is `hist_len`.
+    m_sum: Vec<f64>,
+    m_sumsq: Vec<f64>,
+    m_offset: Vec<f64>,
+    m_until: Vec<u32>,
+    // Prominent-peak run-length encoding (`PeakTracker`), flattened: run
+    // values and multiplicities live in `n × 2h` arenas with each unit's
+    // live runs *dense* at `[head, head + len)` (a window of `h` samples
+    // has at most `h` runs). Front pops advance `head`; appends write at
+    // `head + len` and compact back to the arena start only when they
+    // would run off the end — amortized O(1), and the recount scan gets a
+    // contiguous slice with no wrap arithmetic.
+    pk_val: Vec<f64>,
+    pk_mult: Vec<u32>,
+    pk_len: Vec<u32>,
+    pk_head: Vec<u32>,
+    /// Cached prominent-peak count per unit (`PeakTracker::count`).
+    pk_count: Vec<u32>,
+    // Cached windowed derivative (`Option<f64>` split into value + flag so
+    // the hot columns stay POD).
+    deriv: Vec<f64>,
+    deriv_ok: Vec<bool>,
+    // Classification flags.
+    high_freq: Vec<bool>,
+    priority: Vec<bool>,
+}
+
+impl UnitColumns {
+    /// Fresh columns for `n` units, freezing the same config scalars
+    /// [`UnitState::new`] freezes.
+    pub(crate) fn new(n: usize, config: &DpsConfig) -> Self {
+        let h = config.history_len;
+        let resync_every = (4 * h).max(8) as u32;
+        Self {
+            n,
+            h,
+            mode: config.stats_mode,
+            kalman_q: config.kalman_q,
+            kalman_r: config.kalman_r,
+            peak_prominence: config.peak_prominence,
+            deriv_window: config.deriv_window,
+            resync_every,
+            k_has: vec![false; n],
+            k_est: vec![0.0; n],
+            k_var: vec![0.0; n],
+            k_gain: vec![0.0; n],
+            hist_power: vec![0.0; n * h],
+            hist_dur: vec![0.0; n * h],
+            hist_len: vec![0; n],
+            hist_head: vec![0; n],
+            m_sum: vec![0.0; n],
+            m_sumsq: vec![0.0; n],
+            m_offset: vec![0.0; n],
+            m_until: vec![resync_every; n],
+            pk_val: vec![0.0; n * 2 * h],
+            pk_mult: vec![0; n * 2 * h],
+            pk_len: vec![0; n],
+            pk_head: vec![0; n],
+            pk_count: vec![0; n],
+            deriv: vec![0.0; n],
+            deriv_ok: vec![false; n],
+            high_freq: vec![false; n],
+            priority: vec![false; n],
+        }
+    }
+
+    /// Number of units.
+    pub(crate) fn len(&self) -> usize {
+        self.n
+    }
+
+    /// The priority column (what the manager copies into its flag buffer).
+    pub(crate) fn priorities(&self) -> &[bool] {
+        &self.priority
+    }
+
+    /// Overwrites one unit's priority (guard isolation surrenders it).
+    pub(crate) fn set_priority(&mut self, u: usize, v: bool) {
+        self.priority[u] = v;
+    }
+
+    /// Most recent power estimate (0 before any observation), replicating
+    /// [`UnitState::latest_estimate`].
+    pub(crate) fn latest_estimate(&self, u: usize) -> Watts {
+        let len = self.hist_len[u] as usize;
+        if len == 0 {
+            return 0.0;
+        }
+        let head = self.hist_head[u] as usize;
+        self.hist_power[u * self.h + ring_phys(self.h, len, head, len - 1)]
+    }
+
+    /// Clears one unit back to construction state, replicating
+    /// [`UnitState::reset`] plus the filter reset.
+    pub(crate) fn reset_unit(&mut self, u: usize) {
+        self.k_has[u] = false;
+        self.k_est[u] = 0.0;
+        self.k_var[u] = 0.0;
+        self.k_gain[u] = 0.0;
+        self.hist_len[u] = 0;
+        self.hist_head[u] = 0;
+        self.m_sum[u] = 0.0;
+        self.m_sumsq[u] = 0.0;
+        self.m_offset[u] = 0.0;
+        self.m_until[u] = self.resync_every;
+        self.pk_len[u] = 0;
+        self.pk_head[u] = 0;
+        self.pk_count[u] = 0;
+        self.deriv[u] = 0.0;
+        self.deriv_ok[u] = false;
+        self.high_freq[u] = false;
+        self.priority[u] = false;
+    }
+
+    /// Clears every unit back to construction state.
+    pub(crate) fn reset_all(&mut self) {
+        for u in 0..self.n {
+            self.reset_unit(u);
+        }
+    }
+
+    /// A mutable view over all units — the entry point for the fused
+    /// observe/classify pass (and, under `parallel`, for splitting).
+    pub(crate) fn chunk_mut(&mut self) -> ColsChunk<'_> {
+        ColsChunk {
+            h: self.h,
+            mode: self.mode,
+            kalman_q: self.kalman_q,
+            kalman_r: self.kalman_r,
+            peak_prominence: self.peak_prominence,
+            deriv_window: self.deriv_window,
+            resync_every: self.resync_every,
+            k_has: &mut self.k_has,
+            k_est: &mut self.k_est,
+            k_var: &mut self.k_var,
+            k_gain: &mut self.k_gain,
+            hist_power: &mut self.hist_power,
+            hist_dur: &mut self.hist_dur,
+            hist_len: &mut self.hist_len,
+            hist_head: &mut self.hist_head,
+            m_sum: &mut self.m_sum,
+            m_sumsq: &mut self.m_sumsq,
+            m_offset: &mut self.m_offset,
+            m_until: &mut self.m_until,
+            pk_val: &mut self.pk_val,
+            pk_mult: &mut self.pk_mult,
+            pk_len: &mut self.pk_len,
+            pk_head: &mut self.pk_head,
+            pk_count: &mut self.pk_count,
+            deriv: &mut self.deriv,
+            deriv_ok: &mut self.deriv_ok,
+            high_freq: &mut self.high_freq,
+            priority: &mut self.priority,
+        }
+    }
+
+    /// Reconstructs an owned [`UnitState`] for the introspection API, via
+    /// the same restore path a checkpoint uses (write the histories, rebuild
+    /// the derived statistics, then overlay the path-dependent accumulator
+    /// internals in incremental mode).
+    pub(crate) fn materialize(&self, u: usize, config: &DpsConfig) -> UnitState {
+        let mut s = UnitState::new(config);
+        s.filter
+            .restore_state(
+                self.k_has[u].then_some(self.k_est[u]),
+                self.k_var[u],
+                self.k_gain[u],
+            )
+            .expect("column Kalman state is always a valid filter state");
+        let base = u * self.h;
+        let len = self.hist_len[u] as usize;
+        let head = self.hist_head[u] as usize;
+        for i in 0..len {
+            let p = base + ring_phys(self.h, len, head, i);
+            s.power_history.push(self.hist_power[p]);
+            s.duration_history.push(self.hist_dur[p]);
+        }
+        s.high_freq = self.high_freq[u];
+        s.priority = self.priority[u];
+        s.rebuild_stats();
+        if self.mode == StatsMode::Incremental {
+            s.restore_moments(
+                self.m_sum[u],
+                self.m_sumsq[u],
+                self.m_offset[u],
+                self.m_until[u],
+            );
+        }
+        s
+    }
+
+    /// Writes one unit in the v2 per-unit checkpoint wire format —
+    /// byte-identical to what the per-unit-struct manager emitted.
+    pub(crate) fn encode_unit(&self, u: usize, w: &mut ByteWriter) {
+        w.put_bool(self.k_has[u]);
+        w.put_f64(if self.k_has[u] { self.k_est[u] } else { 0.0 });
+        w.put_f64(self.k_var[u]);
+        w.put_f64(self.k_gain[u]);
+        let base = u * self.h;
+        let len = self.hist_len[u] as usize;
+        let head = self.hist_head[u] as usize;
+        // Same bytes as `put_f64_slice` over the logically-ordered window.
+        w.put_usize(len);
+        for i in 0..len {
+            w.put_f64(self.hist_power[base + ring_phys(self.h, len, head, i)]);
+        }
+        w.put_usize(len);
+        for i in 0..len {
+            w.put_f64(self.hist_dur[base + ring_phys(self.h, len, head, i)]);
+        }
+        w.put_bool(self.high_freq[u]);
+        w.put_bool(self.priority[u]);
+        w.put_f64(self.m_sum[u]);
+        w.put_f64(self.m_sumsq[u]);
+        w.put_f64(self.m_offset[u]);
+        w.put_u32(self.m_until[u]);
+    }
+
+    /// Reads one unit from the v2 per-unit wire format, with the same
+    /// validation the `KalmanFilter`/ring restore path applied.
+    /// `snapshot_incremental` is the snapshot's recorded stats mode; the
+    /// accumulator internals are only adopted when both the snapshot and
+    /// this store are incremental, otherwise the exact resync performed
+    /// here stands (matching `UnitState::rebuild_stats` + conditional
+    /// `restore_moments`).
+    pub(crate) fn decode_unit(
+        &mut self,
+        u: usize,
+        r: &mut ByteReader<'_>,
+        snapshot_incremental: bool,
+    ) -> Result<(), String> {
+        let has_est = r.get_bool()?;
+        let est = r.get_f64()?;
+        let variance = r.get_f64()?;
+        let gain = r.get_f64()?;
+        if has_est && !est.is_finite() {
+            return Err(format!("estimate must be finite, got {est}"));
+        }
+        if !variance.is_finite() || variance < 0.0 {
+            return Err(format!(
+                "error variance must be finite and non-negative, got {variance}"
+            ));
+        }
+        if !gain.is_finite() || !(0.0..=1.0).contains(&gain) {
+            return Err(format!("gain must lie in [0, 1], got {gain}"));
+        }
+        let powers = r.get_f64_vec(self.h)?;
+        let durations = r.get_f64_vec(self.h)?;
+        if powers.len() != durations.len() {
+            return Err(format!(
+                "history lengths diverge: {} powers, {} durations",
+                powers.len(),
+                durations.len()
+            ));
+        }
+        self.k_has[u] = has_est;
+        self.k_est[u] = if has_est { est } else { 0.0 };
+        self.k_var[u] = variance;
+        self.k_gain[u] = gain;
+        let base = u * self.h;
+        self.hist_head[u] = 0;
+        self.hist_len[u] = powers.len() as u32;
+        self.hist_power[base..base + powers.len()].copy_from_slice(&powers);
+        self.hist_dur[base..base + durations.len()].copy_from_slice(&durations);
+        self.high_freq[u] = r.get_bool()?;
+        self.priority[u] = r.get_bool()?;
+        let m_sum = r.get_f64()?;
+        let m_sumsq = r.get_f64()?;
+        let m_offset = r.get_f64()?;
+        let m_until = r.get_u32()?;
+        self.chunk_mut().rebuild_stats(u);
+        if snapshot_incremental && self.mode == StatsMode::Incremental {
+            self.m_sum[u] = m_sum;
+            self.m_sumsq[u] = m_sumsq;
+            self.m_offset[u] = m_offset;
+            self.m_until[u] = m_until.clamp(1, self.resync_every);
+        }
+        Ok(())
+    }
+}
+
+/// A mutable borrow of a contiguous unit range of [`UnitColumns`]. Unit
+/// indices are chunk-local; [`ColsChunk::split_at`] shards the store for
+/// the scoped worker threads of the `parallel` feature.
+pub(crate) struct ColsChunk<'a> {
+    h: usize,
+    mode: StatsMode,
+    kalman_q: f64,
+    kalman_r: f64,
+    peak_prominence: f64,
+    deriv_window: usize,
+    resync_every: u32,
+    k_has: &'a mut [bool],
+    k_est: &'a mut [f64],
+    k_var: &'a mut [f64],
+    k_gain: &'a mut [f64],
+    hist_power: &'a mut [f64],
+    hist_dur: &'a mut [f64],
+    hist_len: &'a mut [u32],
+    hist_head: &'a mut [u32],
+    m_sum: &'a mut [f64],
+    m_sumsq: &'a mut [f64],
+    m_offset: &'a mut [f64],
+    m_until: &'a mut [u32],
+    pk_val: &'a mut [f64],
+    pk_mult: &'a mut [u32],
+    pk_len: &'a mut [u32],
+    pk_head: &'a mut [u32],
+    pk_count: &'a mut [u32],
+    deriv: &'a mut [f64],
+    deriv_ok: &'a mut [bool],
+    high_freq: &'a mut [bool],
+    priority: &'a mut [bool],
+}
+
+impl<'a> ColsChunk<'a> {
+    /// Number of units in this chunk.
+    #[cfg(feature = "parallel")]
+    pub(crate) fn units(&self) -> usize {
+        self.k_has.len()
+    }
+
+    /// Splits the chunk at `units`, every column included (histories at
+    /// `units * h`).
+    #[cfg(feature = "parallel")]
+    pub(crate) fn split_at(self, units: usize) -> (ColsChunk<'a>, ColsChunk<'a>) {
+        let (k_has_a, k_has_b) = self.k_has.split_at_mut(units);
+        let (k_est_a, k_est_b) = self.k_est.split_at_mut(units);
+        let (k_var_a, k_var_b) = self.k_var.split_at_mut(units);
+        let (k_gain_a, k_gain_b) = self.k_gain.split_at_mut(units);
+        let (hp_a, hp_b) = self.hist_power.split_at_mut(units * self.h);
+        let (hd_a, hd_b) = self.hist_dur.split_at_mut(units * self.h);
+        let (hl_a, hl_b) = self.hist_len.split_at_mut(units);
+        let (hh_a, hh_b) = self.hist_head.split_at_mut(units);
+        let (ms_a, ms_b) = self.m_sum.split_at_mut(units);
+        let (mq_a, mq_b) = self.m_sumsq.split_at_mut(units);
+        let (mo_a, mo_b) = self.m_offset.split_at_mut(units);
+        let (mu_a, mu_b) = self.m_until.split_at_mut(units);
+        let (pv_a, pv_b) = self.pk_val.split_at_mut(units * 2 * self.h);
+        let (pm_a, pm_b) = self.pk_mult.split_at_mut(units * 2 * self.h);
+        let (pl_a, pl_b) = self.pk_len.split_at_mut(units);
+        let (ph_a, ph_b) = self.pk_head.split_at_mut(units);
+        let (pc_a, pc_b) = self.pk_count.split_at_mut(units);
+        let (dv_a, dv_b) = self.deriv.split_at_mut(units);
+        let (dk_a, dk_b) = self.deriv_ok.split_at_mut(units);
+        let (hf_a, hf_b) = self.high_freq.split_at_mut(units);
+        let (pr_a, pr_b) = self.priority.split_at_mut(units);
+        (
+            ColsChunk {
+                h: self.h,
+                mode: self.mode,
+                kalman_q: self.kalman_q,
+                kalman_r: self.kalman_r,
+                peak_prominence: self.peak_prominence,
+                deriv_window: self.deriv_window,
+                resync_every: self.resync_every,
+                k_has: k_has_a,
+                k_est: k_est_a,
+                k_var: k_var_a,
+                k_gain: k_gain_a,
+                hist_power: hp_a,
+                hist_dur: hd_a,
+                hist_len: hl_a,
+                hist_head: hh_a,
+                m_sum: ms_a,
+                m_sumsq: mq_a,
+                m_offset: mo_a,
+                m_until: mu_a,
+                pk_val: pv_a,
+                pk_mult: pm_a,
+                pk_len: pl_a,
+                pk_head: ph_a,
+                pk_count: pc_a,
+                deriv: dv_a,
+                deriv_ok: dk_a,
+                high_freq: hf_a,
+                priority: pr_a,
+            },
+            ColsChunk {
+                h: self.h,
+                mode: self.mode,
+                kalman_q: self.kalman_q,
+                kalman_r: self.kalman_r,
+                peak_prominence: self.peak_prominence,
+                deriv_window: self.deriv_window,
+                resync_every: self.resync_every,
+                k_has: k_has_b,
+                k_est: k_est_b,
+                k_var: k_var_b,
+                k_gain: k_gain_b,
+                hist_power: hp_b,
+                hist_dur: hd_b,
+                hist_len: hl_b,
+                hist_head: hh_b,
+                m_sum: ms_b,
+                m_sumsq: mq_b,
+                m_offset: mo_b,
+                m_until: mu_b,
+                pk_val: pv_b,
+                pk_mult: pm_b,
+                pk_len: pl_b,
+                pk_head: ph_b,
+                pk_count: pc_b,
+                deriv: dv_b,
+                deriv_ok: dk_b,
+                high_freq: hf_b,
+                priority: pr_b,
+            },
+        )
+    }
+
+    #[inline(always)]
+    fn hist_power_at(&self, u: usize, i: usize) -> f64 {
+        let len = self.hist_len[u] as usize;
+        let head = self.hist_head[u] as usize;
+        self.hist_power[u * self.h + ring_phys(self.h, len, head, i)]
+    }
+
+    #[inline(always)]
+    fn hist_dur_at(&self, u: usize, i: usize) -> f64 {
+        let len = self.hist_len[u] as usize;
+        let head = self.hist_head[u] as usize;
+        self.hist_dur[u * self.h + ring_phys(self.h, len, head, i)]
+    }
+
+    /// [`UnitState::observe`]: Kalman-filter one raw measurement and append
+    /// the estimate, with non-finite skip-and-hold.
+    pub(crate) fn observe(&mut self, u: usize, measured: Watts, dt: Seconds) {
+        if !measured.is_finite() {
+            let held = self.latest_estimate(u);
+            if self.hist_len[u] > 0 {
+                self.record(u, held, dt);
+            }
+            return;
+        }
+        let estimate = self.kalman_update(u, measured);
+        self.record(u, estimate, dt);
+    }
+
+    /// [`dps_sim_core::kalman::KalmanFilter::update`] for a finite `z`.
+    #[inline]
+    fn kalman_update(&mut self, u: usize, z: f64) -> f64 {
+        if !self.k_has[u] {
+            self.k_has[u] = true;
+            self.k_est[u] = z;
+            self.k_var[u] = self.kalman_r;
+            self.k_gain[u] = 1.0;
+            z
+        } else {
+            let p_prior = self.k_var[u] + self.kalman_q;
+            let k = p_prior / (p_prior + self.kalman_r);
+            let x_new = self.k_est[u] + k * (z - self.k_est[u]);
+            self.k_var[u] = (1.0 - k) * p_prior;
+            self.k_est[u] = x_new;
+            self.k_gain[u] = k;
+            x_new
+        }
+    }
+
+    /// [`UnitState`]'s `record`: push both rings, keep the incremental
+    /// statistics current.
+    fn record(&mut self, u: usize, estimate: f64, dt: Seconds) {
+        let evicted = self.push_history(u, estimate, dt);
+        if self.mode == StatsMode::Incremental {
+            self.moments_push(u, estimate, evicted);
+            self.peaks_push(u, estimate, evicted);
+            let d = self.compute_derivative(u);
+            self.deriv_ok[u] = d.is_some();
+            self.deriv[u] = d.unwrap_or(0.0);
+        }
+    }
+
+    /// `PeakTracker::push` over the flat run arena: the evict shortens the
+    /// front run (popping it if emptied), the added estimate extends or
+    /// appends the back run, and the count is recomputed only when the
+    /// run-*value* sequence changed (the count is a function of run values
+    /// alone).
+    fn peaks_push(&mut self, u: usize, added: f64, evicted: Option<f64>) {
+        let base = u * 2 * self.h;
+        let mut len = self.pk_len[u] as usize;
+        let mut head = self.pk_head[u] as usize;
+        let mut shape_changed = false;
+        if evicted.is_some() && len > 0 {
+            let front = base + head;
+            self.pk_mult[front] -= 1;
+            if self.pk_mult[front] == 0 {
+                head += 1;
+                self.pk_head[u] = head as u32;
+                len -= 1;
+                shape_changed = true;
+            }
+        }
+        if len > 0 {
+            let back = base + head + len - 1;
+            if self.pk_val[back] == added {
+                self.pk_mult[back] += 1;
+                self.pk_len[u] = len as u32;
+                if shape_changed {
+                    self.pk_count[u] = self.peaks_recount(u);
+                }
+                return;
+            }
+        }
+        if head + len == 2 * self.h {
+            // Appending would run off the arena: slide the live runs back
+            // to the start. Head advances at most once per push, so this
+            // O(len) copy amortizes to O(1).
+            self.pk_val[base..base + 2 * self.h].copy_within(head..head + len, 0);
+            self.pk_mult[base..base + 2 * self.h].copy_within(head..head + len, 0);
+            head = 0;
+            self.pk_head[u] = 0;
+        }
+        let slot = base + head + len;
+        self.pk_val[slot] = added;
+        self.pk_mult[slot] = 1;
+        self.pk_len[u] = (len + 1) as u32;
+        self.pk_count[u] = self.peaks_recount(u);
+    }
+
+    /// `PeakTracker::recount` over the run arena, with a monotone early
+    /// exit: a side's running minimum only decreases as its scan widens, so
+    /// the moment it sits `peak_prominence` below the candidate that side
+    /// is settled and the scan can stop (and a failed left side skips the
+    /// right scan). The count is identical to the full scan — only the
+    /// number of runs inspected changes.
+    fn peaks_recount(&self, u: usize) -> u32 {
+        let r = self.pk_len[u] as usize;
+        if r < 3 {
+            return 0;
+        }
+        let start = u * 2 * self.h + self.pk_head[u] as usize;
+        let vals = &self.pk_val[start..start + r];
+        let p = self.peak_prominence;
+        let mut count = 0;
+        // Roll prev/cur/next through the local-maximum scan so each run
+        // value is fetched once, not three times.
+        let mut prev = vals[0];
+        let mut cur = vals[1];
+        for i in 1..r - 1 {
+            let next = vals[i + 1];
+            let pv = cur;
+            let is_max = prev < pv && next < pv;
+            prev = cur;
+            cur = next;
+            if !is_max {
+                continue;
+            }
+            // Prominence with a monotone early exit: a side's running
+            // minimum only decreases as its scan widens, so the moment it
+            // sits `p` below the candidate the side is settled (and a
+            // failed left side skips the right scan). The count is
+            // identical to the full scan — only runs inspected changes.
+            let mut left_ok = false;
+            let mut j = i;
+            while j > 0 {
+                j -= 1;
+                let v = vals[j];
+                if v > pv {
+                    break;
+                }
+                if pv - v >= p {
+                    left_ok = true;
+                    break;
+                }
+            }
+            if !left_ok {
+                continue;
+            }
+            let mut j = i;
+            while j + 1 < r {
+                j += 1;
+                let v = vals[j];
+                if v > pv {
+                    break;
+                }
+                if pv - v >= p {
+                    count += 1;
+                    break;
+                }
+            }
+        }
+        count
+    }
+
+    /// `PeakTracker::rebuild`: re-derive the run encoding from the window
+    /// contents (oldest first, laid down head-0) and recount.
+    fn peaks_rebuild(&mut self, u: usize) {
+        let hbase = u * self.h;
+        let pbase = u * 2 * self.h;
+        let len = self.hist_len[u] as usize;
+        let head = self.hist_head[u] as usize;
+        let mut runs = 0usize;
+        for i in 0..len {
+            let v = self.hist_power[hbase + ring_phys(self.h, len, head, i)];
+            if runs > 0 && self.pk_val[pbase + runs - 1] == v {
+                self.pk_mult[pbase + runs - 1] += 1;
+            } else {
+                self.pk_val[pbase + runs] = v;
+                self.pk_mult[pbase + runs] = 1;
+                runs += 1;
+            }
+        }
+        self.pk_head[u] = 0;
+        self.pk_len[u] = runs as u32;
+        self.pk_count[u] = self.peaks_recount(u);
+    }
+
+    /// Ring push for both histories (lockstep, shared len/head). Returns
+    /// the evicted power value, exactly as `RingBuffer::push` does.
+    fn push_history(&mut self, u: usize, power: f64, dt: f64) -> Option<f64> {
+        let base = u * self.h;
+        let len = self.hist_len[u] as usize;
+        if len < self.h {
+            self.hist_power[base + len] = power;
+            self.hist_dur[base + len] = dt;
+            self.hist_len[u] = (len + 1) as u32;
+            None
+        } else {
+            let head = self.hist_head[u] as usize;
+            let evicted = self.hist_power[base + head];
+            self.hist_power[base + head] = power;
+            self.hist_dur[base + head] = dt;
+            let next = head + 1;
+            self.hist_head[u] = if next == self.h { 0 } else { next } as u32;
+            Some(evicted)
+        }
+    }
+
+    /// [`dps_sim_core::rolling::RollingMoments::push`].
+    fn moments_push(&mut self, u: usize, added: f64, evicted: Option<f64>) {
+        let a = added - self.m_offset[u];
+        match evicted {
+            Some(old) => {
+                let e = old - self.m_offset[u];
+                self.m_sum[u] += a - e;
+                self.m_sumsq[u] += a * a - e * e;
+            }
+            None => {
+                self.m_sum[u] += a;
+                self.m_sumsq[u] += a * a;
+            }
+        }
+        self.m_until[u] = self.m_until[u].saturating_sub(1);
+        if self.m_until[u] == 0 {
+            self.moments_resync(u);
+        }
+    }
+
+    /// [`dps_sim_core::rolling::RollingMoments::resync`]: exact recompute
+    /// from the window, oldest first.
+    fn moments_resync(&mut self, u: usize) {
+        let len = self.hist_len[u] as usize;
+        let offset = if len == 0 {
+            0.0
+        } else {
+            self.hist_power_at(u, 0)
+        };
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for i in 0..len {
+            let c = self.hist_power_at(u, i) - offset;
+            sum += c;
+            sumsq += c * c;
+        }
+        self.m_offset[u] = offset;
+        self.m_sum[u] = sum;
+        self.m_sumsq[u] = sumsq;
+        self.m_until[u] = self.resync_every;
+    }
+
+    /// [`UnitState`]'s `compute_derivative`: same clamping, same
+    /// oldest-to-newest duration summation.
+    fn compute_derivative(&self, u: usize) -> Option<f64> {
+        let len = self.hist_len[u] as usize;
+        if len < 2 || self.deriv_window < 1 {
+            return None;
+        }
+        let w = self.deriv_window.min(len - 1);
+        let newest = self.hist_power_at(u, len - 1);
+        let oldest = self.hist_power_at(u, len - 1 - w);
+        let mut dt = 0.0;
+        for i in (len - w)..len {
+            dt += self.hist_dur_at(u, i);
+        }
+        if dt <= 0.0 {
+            return None;
+        }
+        Some((newest - oldest) / dt)
+    }
+
+    /// [`UnitState::latest_estimate`].
+    pub(crate) fn latest_estimate(&self, u: usize) -> Watts {
+        let len = self.hist_len[u] as usize;
+        if len == 0 {
+            return 0.0;
+        }
+        self.hist_power_at(u, len - 1)
+    }
+
+    /// [`UnitState::history_std`].
+    fn history_std(&self, u: usize) -> f64 {
+        match self.mode {
+            StatsMode::Incremental => {
+                let len = self.hist_len[u] as usize;
+                if len == 0 {
+                    return 0.0;
+                }
+                let n = len as f64;
+                let centered_mean = self.m_sum[u] / n;
+                (self.m_sumsq[u] / n - centered_mean * centered_mean)
+                    .max(0.0)
+                    .sqrt()
+            }
+            StatsMode::Rescan => self.rescan_std(u),
+        }
+    }
+
+    /// `RingBuffer::std_dev` over the window (two passes, oldest first).
+    fn rescan_std(&self, u: usize) -> f64 {
+        let len = self.hist_len[u] as usize;
+        if len == 0 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for i in 0..len {
+            sum += self.hist_power_at(u, i);
+        }
+        let mean = sum / len as f64;
+        let mut var = 0.0;
+        for i in 0..len {
+            var += (self.hist_power_at(u, i) - mean).powi(2);
+        }
+        (var / len as f64).sqrt()
+    }
+
+    /// [`UnitState::prominent_peak_count`]; the rescan arm runs the signal
+    /// kernel straight off the ring via the index variant instead of a
+    /// scratch copy — same values, same order, same count.
+    fn prominent_peak_count(&self, u: usize) -> usize {
+        match self.mode {
+            StatsMode::Incremental => self.pk_count[u] as usize,
+            StatsMode::Rescan => signal::count_prominent_peaks_at(
+                self.hist_len[u] as usize,
+                |i| self.hist_power_at(u, i),
+                self.peak_prominence,
+            ),
+        }
+    }
+
+    /// [`UnitState::derivative`].
+    fn derivative(&self, u: usize) -> Option<f64> {
+        match self.mode {
+            StatsMode::Incremental => self.deriv_ok[u].then(|| self.deriv[u]),
+            StatsMode::Rescan => signal::windowed_derivative_at(
+                self.hist_len[u] as usize,
+                |i| self.hist_power_at(u, i),
+                |i| self.hist_dur_at(u, i),
+                self.deriv_window,
+            ),
+        }
+    }
+
+    /// Applies Alg. 2 to one unit in place via the shared
+    /// [`classify_dynamics`] logic.
+    pub(crate) fn classify(&mut self, u: usize, cap: Watts, config: &DpsConfig) {
+        classify_dynamics(&mut ChunkUnit { c: self, u }, cap, config);
+    }
+
+    /// [`UnitState::rebuild_stats`]: exact resync of every derived
+    /// statistic from the window contents (restore path).
+    pub(crate) fn rebuild_stats(&mut self, u: usize) {
+        self.moments_resync(u);
+        self.peaks_rebuild(u);
+        let d = self.compute_derivative(u);
+        self.deriv_ok[u] = d.is_some();
+        self.deriv[u] = d.unwrap_or(0.0);
+    }
+}
+
+/// One unit of a [`ColsChunk`], presented through the [`Dynamics`] trait so
+/// [`classify_dynamics`] runs the identical decision logic over columns.
+struct ChunkUnit<'a, 'b> {
+    c: &'b mut ColsChunk<'a>,
+    u: usize,
+}
+
+impl Dynamics for ChunkUnit<'_, '_> {
+    fn prominent_peak_count(&mut self) -> usize {
+        self.c.prominent_peak_count(self.u)
+    }
+    fn history_std(&mut self) -> f64 {
+        self.c.history_std(self.u)
+    }
+    fn latest_estimate(&mut self) -> f64 {
+        self.c.latest_estimate(self.u)
+    }
+    fn derivative(&mut self) -> Option<f64> {
+        self.c.derivative(self.u)
+    }
+    fn high_freq(&self) -> bool {
+        self.c.high_freq[self.u]
+    }
+    fn set_high_freq(&mut self, v: bool) {
+        self.c.high_freq[self.u] = v;
+    }
+    fn set_priority(&mut self, v: bool) {
+        self.c.priority[self.u] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::priority::classify_unit;
+
+    /// Drives a column store and a `Vec<UnitState>` mirror with the same
+    /// measurement/cap stream and asserts bit-identical state.
+    fn assert_mirrors(cols: &UnitColumns, mirror: &[UnitState], config: &DpsConfig, step: usize) {
+        for (u, m) in mirror.iter().enumerate() {
+            let mut mat = cols.materialize(u, config);
+            let (est_a, var_a, gain_a) = mat.filter.state();
+            let (est_b, var_b, gain_b) = m.filter.state();
+            assert_eq!(
+                est_a.map(f64::to_bits),
+                est_b.map(f64::to_bits),
+                "estimate diverged: unit {u} step {step}"
+            );
+            assert_eq!(var_a.to_bits(), var_b.to_bits(), "unit {u} step {step}");
+            assert_eq!(gain_a.to_bits(), gain_b.to_bits(), "unit {u} step {step}");
+            assert_eq!(
+                mat.power_history.as_vec(),
+                m.power_history.as_vec(),
+                "history diverged: unit {u} step {step}"
+            );
+            assert_eq!(
+                mat.history_std().to_bits(),
+                m.history_std().to_bits(),
+                "std diverged: unit {u} step {step}"
+            );
+            assert_eq!(
+                mat.derivative().map(f64::to_bits),
+                m.clone().derivative().map(f64::to_bits),
+                "derivative diverged: unit {u} step {step}"
+            );
+            assert_eq!(mat.high_freq, m.high_freq, "unit {u} step {step}");
+            assert_eq!(mat.priority, m.priority, "unit {u} step {step}");
+        }
+    }
+
+    fn drive(
+        cols: &mut UnitColumns,
+        mirror: &mut [UnitState],
+        config: &DpsConfig,
+        z: &[f64],
+        caps: &[f64],
+    ) {
+        let mut c = cols.chunk_mut();
+        for u in 0..mirror.len() {
+            c.observe(u, z[u], 1.0);
+            c.classify(u, caps[u], config);
+            mirror[u].observe(z[u], 1.0);
+            classify_unit(&mut mirror[u], caps[u], config);
+        }
+    }
+
+    #[test]
+    fn columns_match_unit_state_through_noise_and_nan() {
+        use dps_sim_core::rng::RngStream;
+        for mode in [StatsMode::Incremental, StatsMode::Rescan] {
+            let config = DpsConfig::default().with_stats_mode(mode);
+            let n = 3;
+            let mut cols = UnitColumns::new(n, &config);
+            let mut mirror: Vec<UnitState> = (0..n).map(|_| UnitState::new(&config)).collect();
+            let mut rng = RngStream::new(11, "columns/equiv");
+            for step in 0..300 {
+                let z: Vec<f64> = (0..n)
+                    .map(|u| {
+                        if (step + u) % 23 == 7 {
+                            f64::NAN
+                        } else {
+                            50.0 + rng.range(0.0..100.0)
+                        }
+                    })
+                    .collect();
+                let caps = vec![110.0, 140.0, 95.0];
+                drive(&mut cols, &mut mirror, &config, &z, &caps);
+                assert_mirrors(&cols, &mirror, &config, step);
+            }
+        }
+    }
+
+    #[test]
+    fn column_reset_equals_per_unit_reset() {
+        let config = DpsConfig::default();
+        let n = 2;
+        let mut cols = UnitColumns::new(n, &config);
+        let mut mirror: Vec<UnitState> = (0..n).map(|_| UnitState::new(&config)).collect();
+        for step in 0..60 {
+            let z = vec![
+                80.0 + (step % 9) as f64 * 11.0,
+                120.0 - (step % 5) as f64 * 7.0,
+            ];
+            drive(&mut cols, &mut mirror, &config, &z, &[165.0, 165.0]);
+        }
+        cols.reset_unit(0);
+        mirror[0].reset();
+        mirror[0].filter.reset();
+        assert_mirrors(&cols, &mirror, &config, usize::MAX);
+        // And the reset unit behaves like a fresh one from here on.
+        for step in 0..40 {
+            let z = vec![60.0 + (step % 4) as f64 * 25.0, 90.0];
+            drive(&mut cols, &mut mirror, &config, &z, &[165.0, 165.0]);
+            assert_mirrors(&cols, &mirror, &config, step);
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_bit_exact() {
+        let config = DpsConfig::default();
+        let n = 2;
+        let mut cols = UnitColumns::new(n, &config);
+        let mut mirror: Vec<UnitState> = (0..n).map(|_| UnitState::new(&config)).collect();
+        for step in 0..90 {
+            let z = vec![
+                70.0 + (step % 11) as f64 * 9.0,
+                130.0 - (step % 6) as f64 * 13.0,
+            ];
+            drive(&mut cols, &mut mirror, &config, &z, &[150.0, 150.0]);
+        }
+        let mut w = ByteWriter::new();
+        for u in 0..n {
+            cols.encode_unit(u, &mut w);
+        }
+        let bytes = w.seal();
+        let mut restored = UnitColumns::new(n, &config);
+        let mut r = ByteReader::open(&bytes).unwrap();
+        for u in 0..n {
+            restored.decode_unit(u, &mut r, true).unwrap();
+        }
+        r.finish().unwrap();
+        // The restored store continues bit-identically.
+        for step in 0..80 {
+            let z = vec![100.0 + (step % 7) as f64 * 6.0, 85.0];
+            drive(&mut restored, &mut mirror, &config, &z, &[150.0, 150.0]);
+            assert_mirrors(&restored, &mirror, &config, step);
+        }
+    }
+}

@@ -17,15 +17,14 @@
 
 use crate::budget::{debug_assert_budget, enforce_budget};
 use crate::checkpoint::{ByteReader, ByteWriter};
+use crate::columns::UnitColumns;
 use crate::config::{DpsConfig, StatsMode};
 use crate::guard::{GuardConfig, GuardStats, HealthState, TelemetryGuard};
 use crate::history::UnitState;
 use crate::manager::{check_new_budget, constant_cap, ManagerKind, PowerManager, UnitLimits};
-use crate::priority::classify_unit;
 use crate::readjust::{readjust, restore, ReadjustOutcome, ReadjustScratch};
 use crate::stateless::MimdModule;
 use dps_obs::{Event, PhaseKind, ReadjustKind, SinkHandle};
-use dps_sim_core::ring::RingBuffer;
 use dps_sim_core::rng::{RngStream, RngStreamState};
 use dps_sim_core::units::{Seconds, Watts};
 
@@ -62,7 +61,12 @@ pub struct DpsManager {
     total_budget: Watts,
     initial_cap: Watts,
     mimd: MimdModule,
-    states: Vec<UnitState>,
+    /// Per-unit dynamic state in struct-of-arrays layout: Kalman scalars,
+    /// flat history-ring arenas, rolling-moment accumulators and the
+    /// classification flags live in parallel columns so the fused
+    /// observe/classify pass is cache-linear and shards at unit boundaries
+    /// under the `parallel` feature.
+    cols: UnitColumns,
     rng: RngStream,
     rng_initial: RngStream,
     changed: Vec<bool>,
@@ -117,7 +121,7 @@ impl DpsManager {
         let initial_cap = constant_cap(total_budget, num_units, limits);
         Self {
             mimd: MimdModule::new(config.mimd, limits, total_budget, num_units),
-            states: (0..num_units).map(|_| UnitState::new(&config)).collect(),
+            cols: UnitColumns::new(num_units, &config),
             config,
             limits,
             total_budget,
@@ -196,13 +200,15 @@ impl DpsManager {
 
     /// Latest Kalman power estimates per unit (the artifact logs these).
     pub fn estimates(&self) -> Vec<Watts> {
-        self.states.iter().map(|s| s.latest_estimate()).collect()
+        (0..self.cols.len())
+            .map(|u| self.cols.latest_estimate(u))
+            .collect()
     }
 
-    /// Read-only access to a unit's dynamic state (for the ablation and
-    /// overhead studies).
-    pub fn unit_state(&self, unit: usize) -> &UnitState {
-        &self.states[unit]
+    /// A unit's dynamic state (for the ablation and overhead studies),
+    /// materialized out of the column store into the per-unit struct form.
+    pub fn unit_state(&self, unit: usize) -> UnitState {
+        self.cols.materialize(unit, &self.config)
     }
 
     /// The occupancy mask last reported through
@@ -220,42 +226,52 @@ impl DpsManager {
     /// so the results are bit-identical by construction.
     fn observe_and_classify(&mut self, measured: &[Watts], caps: &[Watts], dt: Seconds) {
         #[cfg(feature = "parallel")]
-        if self.states.len() >= self.config.parallel_threshold {
+        if self.cols.len() >= self.config.parallel_threshold {
             self.observe_and_classify_parallel(measured, caps, dt);
             return;
         }
         let config = self.config;
-        for (state, (&z, &cap)) in self.states.iter_mut().zip(measured.iter().zip(caps)) {
-            state.observe(z, dt);
-            classify_unit(state, cap, &config);
+        let mut chunk = self.cols.chunk_mut();
+        for (u, (&z, &cap)) in measured.iter().zip(caps).enumerate() {
+            chunk.observe(u, z, dt);
+            chunk.classify(u, cap, &config);
         }
     }
 
-    /// The threaded variant of [`DpsManager::observe_and_classify`]:
-    /// contiguous chunks of units handed to scoped worker threads. At least
-    /// two workers are spawned so the threaded path is genuinely exercised
-    /// even on single-core hosts (the phase is only entered above the
-    /// configured unit-count threshold, where the spawn cost is noise).
+    /// The threaded variant of [`DpsManager::observe_and_classify`]: the
+    /// column store is split at unit boundaries into contiguous chunks
+    /// handed to scoped worker threads. At least two workers are spawned so
+    /// the threaded path is genuinely exercised even on single-core hosts
+    /// (the phase is only entered above the configured unit-count
+    /// threshold, where the spawn cost is noise).
     #[cfg(feature = "parallel")]
     fn observe_and_classify_parallel(&mut self, measured: &[Watts], caps: &[Watts], dt: Seconds) {
         let config = self.config;
+        let n = self.cols.len();
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
             .max(2)
-            .min(self.states.len());
-        let chunk = self.states.len().div_ceil(threads);
+            .min(n);
+        let chunk = n.div_ceil(threads);
+        let mut parts = Vec::with_capacity(threads);
+        let mut rest = self.cols.chunk_mut();
+        while rest.units() > chunk {
+            let (head, tail) = rest.split_at(chunk);
+            parts.push(head);
+            rest = tail;
+        }
+        parts.push(rest);
         std::thread::scope(|scope| {
-            for ((states, zs), cs) in self
-                .states
-                .chunks_mut(chunk)
+            for ((mut part, zs), cs) in parts
+                .into_iter()
                 .zip(measured.chunks(chunk))
                 .zip(caps.chunks(chunk))
             {
                 scope.spawn(move || {
-                    for (state, (&z, &cap)) in states.iter_mut().zip(zs.iter().zip(cs)) {
-                        state.observe(z, dt);
-                        classify_unit(state, cap, &config);
+                    for (u, (&z, &cap)) in zs.iter().zip(cs).enumerate() {
+                        part.observe(u, z, dt);
+                        part.classify(u, cap, &config);
                     }
                 });
             }
@@ -315,7 +331,7 @@ impl DpsManager {
     fn write_snapshot_into(&self, out: &mut Vec<u8>) {
         let mut w = ByteWriter::reusing(std::mem::take(out));
         // Shape fields: verified (not applied) on restore.
-        w.put_usize(self.states.len());
+        w.put_usize(self.cols.len());
         w.put_f64(self.total_budget);
         let rs = self.rng.state();
         w.put_u64(rs.seed);
@@ -337,26 +353,13 @@ impl DpsManager {
         for &o in self.mimd.order() {
             w.put_usize(o);
         }
-        for s in &self.states {
-            let (est, variance, gain) = s.filter.state();
-            w.put_bool(est.is_some());
-            w.put_f64(est.unwrap_or(0.0));
-            w.put_f64(variance);
-            w.put_f64(gain);
-            w.put_f64_slice(&s.power_history.as_vec());
-            w.put_f64_slice(&s.duration_history.as_vec());
-            w.put_bool(s.high_freq);
-            w.put_bool(s.priority);
-            // v2: the rolling-moment internals are path-dependent (the
-            // drifted sums and the resync clock cannot be rebuilt from the
-            // window), so they are persisted; the peak runs and cached
-            // derivative are pure functions of the window and are rebuilt
-            // on restore.
-            let (sum, sumsq, offset, until_resync) = s.moments_state();
-            w.put_f64(sum);
-            w.put_f64(sumsq);
-            w.put_f64(offset);
-            w.put_u32(until_resync);
+        // v2 per-unit wire format, unchanged across the column-store
+        // refactor: Kalman state, both histories in logical order, flags,
+        // then the rolling-moment internals (path-dependent — the drifted
+        // sums and the resync clock cannot be rebuilt from the window; the
+        // peak runs and cached derivative can, and are rebuilt on restore).
+        for u in 0..self.cols.len() {
+            self.cols.encode_unit(u, &mut w);
         }
         match &self.guard {
             Some(g) => {
@@ -380,10 +383,10 @@ impl DpsManager {
     fn read_snapshot(&mut self, bytes: &[u8]) -> Result<(), String> {
         let mut r = ByteReader::open(bytes)?;
         let n = r.get_usize()?;
-        if n != self.states.len() {
+        if n != self.cols.len() {
             return Err(format!(
                 "snapshot has {n} units, manager has {}",
-                self.states.len()
+                self.cols.len()
             ));
         }
         let budget = r.get_f64()?;
@@ -412,49 +415,16 @@ impl DpsManager {
         for o in order.iter_mut() {
             *o = r.get_usize()?;
         }
-        // Decode unit states into clones; commit only after full success.
-        let mut new_states = self.states.clone();
-        for s in new_states.iter_mut() {
-            let has_est = r.get_bool()?;
-            let est = r.get_f64()?;
-            let variance = r.get_f64()?;
-            let gain = r.get_f64()?;
-            s.filter
-                .restore_state(has_est.then_some(est), variance, gain)?;
-            let cap = s.power_history.capacity();
-            let powers = r.get_f64_vec(cap)?;
-            let durations = r.get_f64_vec(cap)?;
-            if powers.len() != durations.len() {
-                return Err(format!(
-                    "history lengths diverge: {} powers, {} durations",
-                    powers.len(),
-                    durations.len()
-                ));
-            }
-            s.power_history = RingBuffer::new(cap);
-            s.duration_history = RingBuffer::new(cap);
-            for v in powers {
-                s.power_history.push(v);
-            }
-            for v in durations {
-                s.duration_history.push(v);
-            }
-            s.high_freq = r.get_bool()?;
-            s.priority = r.get_bool()?;
-            let m_sum = r.get_f64()?;
-            let m_sumsq = r.get_f64()?;
-            let m_offset = r.get_f64()?;
-            let m_until = r.get_u32()?;
-            // Exact rebuild first (peak runs, cached derivative, moments),
-            // then — when both the snapshot and this manager run the
-            // incremental path — overwrite the moments with the persisted
-            // internals so the restored controller continues the
-            // checkpointed drift trajectory bit-exactly instead of
-            // diverging from an uninterrupted run.
-            s.rebuild_stats();
-            if snapshot_incremental && self.config.stats_mode == StatsMode::Incremental {
-                s.restore_moments(m_sum, m_sumsq, m_offset, m_until);
-            }
+        // Decode unit states into a clone of the column store; commit only
+        // after full success. Per unit: exact rebuild first (peak runs,
+        // cached derivative, moments), then — when both the snapshot and
+        // this manager run the incremental path — the persisted moment
+        // internals overwrite the rebuild so the restored controller
+        // continues the checkpointed drift trajectory bit-exactly instead
+        // of diverging from an uninterrupted run.
+        let mut new_cols = self.cols.clone();
+        for u in 0..n {
+            new_cols.decode_unit(u, &mut r, snapshot_incremental)?;
         }
         let guard_present = r.get_bool()?;
         let new_guard = match (&self.guard, guard_present) {
@@ -479,7 +449,7 @@ impl DpsManager {
         self.changed = changed;
         self.priority_flags = priority_flags;
         self.active = active;
-        self.states = new_states;
+        self.cols = new_cols;
         self.guard = new_guard;
         self.apply_budget(budget);
         Ok(())
@@ -490,7 +460,7 @@ impl DpsManager {
     /// fallback, and the guard's believed-cap accounting.
     fn apply_budget(&mut self, new_budget: Watts) {
         self.total_budget = new_budget;
-        self.initial_cap = constant_cap(new_budget, self.states.len(), self.limits);
+        self.initial_cap = constant_cap(new_budget, self.cols.len(), self.limits);
         self.mimd.set_budget(new_budget);
         if let Some(g) = self.guard.as_mut() {
             g.set_budget(new_budget, self.initial_cap);
@@ -514,7 +484,7 @@ impl PowerManager for DpsManager {
     }
 
     fn num_units(&self) -> usize {
-        self.states.len()
+        self.cols.len()
     }
 
     fn total_budget(&self) -> Watts {
@@ -522,17 +492,13 @@ impl PowerManager for DpsManager {
     }
 
     fn set_budget(&mut self, new_budget: Watts) -> Result<(), String> {
-        check_new_budget(new_budget, self.states.len(), self.limits)?;
+        check_new_budget(new_budget, self.cols.len(), self.limits)?;
         self.apply_budget(new_budget);
         Ok(())
     }
 
     fn assign_caps(&mut self, measured: &[Watts], caps: &mut [Watts], dt: Seconds) {
-        assert_eq!(
-            measured.len(),
-            self.states.len(),
-            "one measurement per unit"
-        );
+        assert_eq!(measured.len(), self.cols.len(), "one measurement per unit");
         // Hoist the sink checks so an unattached (no-op) sink costs two
         // virtual calls per cycle, not per emission point.
         let tracing = self.sink.enabled();
@@ -610,15 +576,13 @@ impl PowerManager for DpsManager {
         let t_phase = timing.then(std::time::Instant::now);
         self.observe_and_classify(measured, caps, dt);
         if let Some(g) = self.guard.as_ref() {
-            for (u, state) in self.states.iter_mut().enumerate() {
+            for u in 0..self.cols.len() {
                 if g.is_isolated(u) {
-                    state.priority = false;
+                    self.cols.set_priority(u, false);
                 }
             }
         }
-        for (flag, state) in self.priority_flags.iter_mut().zip(&self.states) {
-            *flag = state.priority;
-        }
+        self.priority_flags.copy_from_slice(self.cols.priorities());
         if let Some(t0) = t_phase {
             self.sink.emit(Event::PhaseEnd {
                 cycle: self.trace_cycle,
@@ -723,7 +687,7 @@ impl PowerManager for DpsManager {
     fn observe_membership(&mut self, active: &[bool]) {
         assert_eq!(
             active.len(),
-            self.states.len(),
+            self.cols.len(),
             "membership mask must cover every unit"
         );
         let tracing = self.sink.enabled();
@@ -734,7 +698,7 @@ impl PowerManager for DpsManager {
             // The unit's Kalman estimate, power/duration histories, and
             // priority describe the previous tenancy; a fresh (or vacated)
             // socket starts from scratch, exactly as at construction.
-            self.states[u].reset();
+            self.cols.reset_unit(u);
             self.changed[u] = false;
             self.priority_flags[u] = false;
             if let Some(g) = self.guard.as_mut() {
@@ -787,9 +751,7 @@ impl PowerManager for DpsManager {
     }
 
     fn reset(&mut self) {
-        for s in &mut self.states {
-            s.reset();
-        }
+        self.cols.reset_all();
         self.mimd.reset();
         self.rng = self.rng_initial.clone();
         self.changed.fill(false);

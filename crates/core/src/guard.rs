@@ -39,8 +39,8 @@
 //!   restored at the cost of the fairness floor, which is the right trade
 //!   when hardware is actively lying.
 
+use crate::columns::ring_phys;
 use crate::manager::UnitLimits;
-use dps_sim_core::ring::RingBuffer;
 use dps_sim_core::units::Watts;
 use serde::{Deserialize, Serialize};
 
@@ -192,39 +192,6 @@ pub struct GuardStats {
     pub saturated_cycles: u64,
 }
 
-/// Per-unit detector and state-machine bookkeeping.
-#[derive(Debug, Clone)]
-struct UnitHealth {
-    state: HealthState,
-    bad_streak: u32,
-    good_streak: u32,
-    /// Last accepted measurement — substituted for rejected readings.
-    held: Watts,
-    has_held: bool,
-    /// Recent finite raw readings for zero-variance stuck detection.
-    recent: RingBuffer<f64>,
-    /// Verdict from the last cap-write readback, consumed next cycle.
-    actuator_bad: bool,
-    /// Actuator currently distrusted (set on mismatch, cleared on a clean
-    /// readback) — gates the believed-cap budget accounting.
-    actuator_suspect: bool,
-}
-
-impl UnitHealth {
-    fn new(stuck_window: usize) -> Self {
-        Self {
-            state: HealthState::Healthy,
-            bad_streak: 0,
-            good_streak: 0,
-            held: 0.0,
-            has_held: false,
-            recent: RingBuffer::new(stuck_window.max(1)),
-            actuator_bad: false,
-            actuator_suspect: false,
-        }
-    }
-}
-
 /// The telemetry guard wrapping one manager's measurement and cap streams.
 ///
 /// Lifecycle per decision cycle (driven by [`crate::DpsManager`]):
@@ -246,9 +213,27 @@ pub struct TelemetryGuard {
     total_budget: Watts,
     /// The constant-allocation cap isolated units fall back to.
     fallback_cap: Watts,
-    units: Vec<UnitHealth>,
-    /// Mirror of `units[..].state` for the slice-returning accessor.
+    /// Authoritative per-unit health state. Like [`crate::DpsManager`]'s
+    /// decision core, the guard stores its per-unit bookkeeping as parallel
+    /// flat columns (struct-of-arrays) so `sanitize` walks cache-linear
+    /// memory at million-unit scale.
     health: Vec<HealthState>,
+    bad_streak: Vec<u32>,
+    good_streak: Vec<u32>,
+    /// Last accepted measurement — substituted for rejected readings.
+    held: Vec<Watts>,
+    has_held: Vec<bool>,
+    /// Recent finite raw readings for zero-variance stuck detection: a flat
+    /// `n × stuck_window.max(1)` arena, one ring per unit addressed via
+    /// [`ring_phys`] with `recent_len` / `recent_head`.
+    recent: Vec<f64>,
+    recent_len: Vec<u32>,
+    recent_head: Vec<u32>,
+    /// Verdict from the last cap-write readback, consumed next cycle.
+    actuator_bad: Vec<bool>,
+    /// Actuator currently distrusted (set on mismatch, cleared on a clean
+    /// readback) — gates the believed-cap budget accounting.
+    actuator_suspect: Vec<bool>,
     sanitized: Vec<Watts>,
     /// Caps requested last cycle (what write verification checks against).
     requested: Vec<Watts>,
@@ -279,15 +264,44 @@ impl TelemetryGuard {
             limits,
             total_budget,
             fallback_cap,
-            units: (0..num_units)
-                .map(|_| UnitHealth::new(config.stuck_window))
-                .collect(),
             health: vec![HealthState::Healthy; num_units],
+            bad_streak: vec![0; num_units],
+            good_streak: vec![0; num_units],
+            held: vec![0.0; num_units],
+            has_held: vec![false; num_units],
+            recent: vec![0.0; num_units * config.stuck_window.max(1)],
+            recent_len: vec![0; num_units],
+            recent_head: vec![0; num_units],
+            actuator_bad: vec![false; num_units],
+            actuator_suspect: vec![false; num_units],
             sanitized: vec![0.0; num_units],
             requested: vec![f64::NAN; num_units],
             believed: vec![fallback_cap; num_units],
             has_readback: false,
             stats: GuardStats::default(),
+        }
+    }
+
+    /// Per-unit stuck-detection ring capacity (the arena stride).
+    #[inline]
+    fn window(&self) -> usize {
+        self.config.stuck_window.max(1)
+    }
+
+    /// Pushes one finite raw reading into `unit`'s stuck-detection ring
+    /// (overwrite-oldest once full, exactly like `RingBuffer::push`).
+    #[inline]
+    fn recent_push(&mut self, unit: usize, value: f64) {
+        let win = self.window();
+        let base = unit * win;
+        let len = self.recent_len[unit] as usize;
+        if len < win {
+            self.recent[base + len] = value;
+            self.recent_len[unit] = (len + 1) as u32;
+        } else {
+            let head = self.recent_head[unit] as usize;
+            self.recent[base + head] = value;
+            self.recent_head[unit] = ((head + 1) % win) as u32;
         }
     }
 
@@ -304,7 +318,7 @@ impl TelemetryGuard {
     /// Whether `unit` is currently isolated (pinned, no priority).
     #[inline]
     pub fn is_isolated(&self, unit: usize) -> bool {
-        self.units[unit].state.is_isolated()
+        self.health[unit].is_isolated()
     }
 
     /// Run counters.
@@ -331,8 +345,8 @@ impl TelemetryGuard {
         self.fallback_cap = new_fallback;
         // Units that never saw a request or readback are still accounted at
         // the fallback; keep that accounting coherent with the new budget.
-        for (u, unit) in self.units.iter().enumerate() {
-            if !unit.actuator_suspect && !self.requested[u].is_finite() {
+        for u in 0..self.health.len() {
+            if !self.actuator_suspect[u] && !self.requested[u].is_finite() {
                 self.believed[u] = new_fallback;
             }
         }
@@ -344,23 +358,24 @@ impl TelemetryGuard {
     /// machine with this cycle's verdict (sensor gates + stuck detection +
     /// last readback's write-verification result).
     pub fn sanitize(&mut self, measured: &[Watts]) -> &[Watts] {
-        assert_eq!(measured.len(), self.units.len(), "one reading per unit");
+        let n = self.health.len();
+        assert_eq!(measured.len(), n, "one reading per unit");
         if !self.config.enabled {
             self.sanitized.copy_from_slice(measured);
             return &self.sanitized;
         }
         let hi = self.limits.max_cap * self.config.range_factor;
         let lo = -self.config.range_margin;
-        for (u, unit) in self.units.iter_mut().enumerate() {
-            let raw = measured[u];
+        let win = self.window();
+        for (u, &raw) in measured.iter().enumerate() {
             // Fold in the actuator verdict from the last readback.
-            let mut bad = std::mem::take(&mut unit.actuator_bad);
+            let mut bad = std::mem::take(&mut self.actuator_bad[u]);
 
             // Sensor gates: non-finite, plausibility range, innovation.
             let sensor_ok = raw.is_finite()
                 && raw >= lo
                 && raw <= hi
-                && !(unit.has_held && (raw - unit.held).abs() > self.config.innovation_limit);
+                && !(self.has_held[u] && (raw - self.held[u]).abs() > self.config.innovation_limit);
             if !sensor_ok {
                 bad = true;
                 self.stats.rejected_samples += 1;
@@ -369,11 +384,14 @@ impl TelemetryGuard {
             // Stuck detection on the raw (finite) stream: plausible but
             // frozen values pass the gates yet betray a dead sensor.
             if raw.is_finite() && self.config.stuck_window > 0 {
-                unit.recent.push(raw);
-                if unit.recent.len() == self.config.stuck_window {
+                self.recent_push(u, raw);
+                if self.recent_len[u] as usize == self.config.stuck_window {
+                    // Min/max are order-insensitive: scan the arena slots
+                    // physically (the ring is full, so all `win` are live).
+                    let base = u * win;
                     let mut mn = f64::INFINITY;
                     let mut mx = f64::NEG_INFINITY;
-                    for &v in unit.recent.iter() {
+                    for &v in &self.recent[base..base + win] {
                         mn = mn.min(v);
                         mx = mx.max(v);
                     }
@@ -385,50 +403,49 @@ impl TelemetryGuard {
             }
 
             self.sanitized[u] = if sensor_ok {
-                unit.held = raw;
-                unit.has_held = true;
+                self.held[u] = raw;
+                self.has_held[u] = true;
                 raw
             } else {
-                unit.held // 0.0 before the first accepted sample
+                self.held[u] // 0.0 before the first accepted sample
             };
 
             // Advance the health state machine.
             if bad {
-                unit.bad_streak += 1;
-                unit.good_streak = 0;
-                match unit.state {
+                self.bad_streak[u] += 1;
+                self.good_streak[u] = 0;
+                match self.health[u] {
                     HealthState::Healthy | HealthState::Suspect => {
-                        if unit.bad_streak >= self.config.quarantine_after {
-                            unit.state = HealthState::Quarantined;
+                        if self.bad_streak[u] >= self.config.quarantine_after {
+                            self.health[u] = HealthState::Quarantined;
                             self.stats.quarantine_entries += 1;
                         } else {
-                            unit.state = HealthState::Suspect;
+                            self.health[u] = HealthState::Suspect;
                         }
                     }
-                    HealthState::Probation => unit.state = HealthState::Quarantined,
+                    HealthState::Probation => self.health[u] = HealthState::Quarantined,
                     HealthState::Quarantined => {}
                 }
             } else {
-                unit.good_streak += 1;
-                unit.bad_streak = 0;
-                match unit.state {
+                self.good_streak[u] += 1;
+                self.bad_streak[u] = 0;
+                match self.health[u] {
                     HealthState::Healthy => {}
-                    HealthState::Suspect => unit.state = HealthState::Healthy,
+                    HealthState::Suspect => self.health[u] = HealthState::Healthy,
                     HealthState::Quarantined => {
-                        if unit.good_streak >= self.config.probation_after {
-                            unit.state = HealthState::Probation;
-                            unit.good_streak = 0;
+                        if self.good_streak[u] >= self.config.probation_after {
+                            self.health[u] = HealthState::Probation;
+                            self.good_streak[u] = 0;
                         }
                     }
                     HealthState::Probation => {
-                        if unit.good_streak >= self.config.readmit_after {
-                            unit.state = HealthState::Healthy;
+                        if self.good_streak[u] >= self.config.readmit_after {
+                            self.health[u] = HealthState::Healthy;
                             self.stats.readmissions += 1;
                         }
                     }
                 }
             }
-            self.health[u] = unit.state;
         }
         &self.sanitized
     }
@@ -444,12 +461,12 @@ impl TelemetryGuard {
         }
         let eps = crate::budget::BUDGET_EPSILON;
         let mut any_isolated = false;
-        for (u, unit) in self.units.iter().enumerate() {
-            if unit.state.is_isolated() && (caps[u] - self.fallback_cap).abs() > eps {
+        for (u, state) in self.health.iter().enumerate() {
+            if state.is_isolated() && (caps[u] - self.fallback_cap).abs() > eps {
                 caps[u] = self.fallback_cap;
                 changed[u] = true;
                 any_isolated = true;
-            } else if unit.state.is_isolated() {
+            } else if state.is_isolated() {
                 any_isolated = true;
             }
         }
@@ -462,18 +479,18 @@ impl TelemetryGuard {
         }
         // Reclaim proportionally from healthy headroom above the fallback.
         let headroom: f64 = self
-            .units
+            .health
             .iter()
             .enumerate()
-            .filter(|(_, unit)| !unit.state.is_isolated())
+            .filter(|(_, state)| !state.is_isolated())
             .map(|(u, _)| (caps[u] - self.fallback_cap).max(0.0))
             .sum();
         if headroom <= 0.0 {
             return; // cannot happen while pins only raise toward fallback
         }
         let scale = (need / headroom).min(1.0);
-        for (u, unit) in self.units.iter().enumerate() {
-            if unit.state.is_isolated() {
+        for (u, state) in self.health.iter().enumerate() {
+            if state.is_isolated() {
                 continue;
             }
             let give = (caps[u] - self.fallback_cap).max(0.0) * scale;
@@ -496,11 +513,11 @@ impl TelemetryGuard {
         let eps = crate::budget::BUDGET_EPSILON;
         if self.has_readback {
             let believed_sum: f64 = self
-                .units
+                .actuator_suspect
                 .iter()
                 .enumerate()
-                .map(|(u, unit)| {
-                    if unit.actuator_suspect {
+                .map(|(u, &suspect)| {
+                    if suspect {
                         caps[u].max(self.believed[u])
                     } else {
                         caps[u]
@@ -511,25 +528,25 @@ impl TelemetryGuard {
             if excess > eps {
                 // Pass 1: shrink honest units above the fallback cap.
                 excess -= shrink_proportionally(caps, changed, excess, self.fallback_cap, |u| {
-                    !self.units[u].actuator_suspect
+                    !self.actuator_suspect[u]
                 });
             }
             if excess > eps {
                 // Pass 2: shrink every honest unit toward the hardware floor.
                 excess -= shrink_proportionally(caps, changed, excess, self.limits.min_cap, |u| {
-                    !self.units[u].actuator_suspect
+                    !self.actuator_suspect[u]
                 });
             }
             if excess > eps {
                 self.stats.saturated_cycles += 1;
             }
         }
-        for (u, unit) in self.units.iter().enumerate() {
-            self.requested[u] = caps[u];
-            self.believed[u] = if unit.actuator_suspect {
-                self.believed[u].max(caps[u])
+        for (u, &cap) in caps.iter().enumerate() {
+            self.requested[u] = cap;
+            self.believed[u] = if self.actuator_suspect[u] {
+                self.believed[u].max(cap)
             } else {
-                caps[u]
+                cap
             };
         }
     }
@@ -544,27 +561,26 @@ impl TelemetryGuard {
         if !self.config.enabled {
             return;
         }
-        assert_eq!(applied.len(), self.units.len(), "one readback per unit");
+        assert_eq!(applied.len(), self.health.len(), "one readback per unit");
         self.has_readback = true;
-        for (u, unit) in self.units.iter_mut().enumerate() {
-            let got = applied[u];
+        for (u, &got) in applied.iter().enumerate() {
             if !got.is_finite() {
                 // A garbage readback is itself actuator evidence.
-                unit.actuator_bad = true;
-                unit.actuator_suspect = true;
+                self.actuator_bad[u] = true;
+                self.actuator_suspect[u] = true;
                 self.stats.write_mismatches += 1;
                 continue;
             }
             let req = self.requested[u];
             if req.is_finite() && (got - req).abs() > self.config.verify_epsilon {
-                unit.actuator_bad = true;
-                unit.actuator_suspect = true;
+                self.actuator_bad[u] = true;
+                self.actuator_suspect[u] = true;
                 self.stats.write_mismatches += 1;
                 // The in-force cap is whichever is higher: what the hardware
                 // admits to, or the request that may still land late.
                 self.believed[u] = got.max(req);
             } else {
-                unit.actuator_suspect = false;
+                self.actuator_suspect[u] = false;
                 self.believed[u] = got;
             }
         }
@@ -583,20 +599,29 @@ impl TelemetryGuard {
         ] {
             w.put_u64(v);
         }
-        for unit in &self.units {
-            w.put_u8(match unit.state {
+        let win = self.window();
+        for u in 0..self.health.len() {
+            w.put_u8(match self.health[u] {
                 HealthState::Healthy => 0,
                 HealthState::Suspect => 1,
                 HealthState::Quarantined => 2,
                 HealthState::Probation => 3,
             });
-            w.put_u32(unit.bad_streak);
-            w.put_u32(unit.good_streak);
-            w.put_f64(unit.held);
-            w.put_bool(unit.has_held);
-            w.put_f64_slice(&unit.recent.as_vec());
-            w.put_bool(unit.actuator_bad);
-            w.put_bool(unit.actuator_suspect);
+            w.put_u32(self.bad_streak[u]);
+            w.put_u32(self.good_streak[u]);
+            w.put_f64(self.held[u]);
+            w.put_bool(self.has_held[u]);
+            // Recent ring in logical (oldest-first) order — byte-identical
+            // to the former `put_f64_slice(&recent.as_vec())`.
+            let len = self.recent_len[u] as usize;
+            let head = self.recent_head[u] as usize;
+            let base = u * win;
+            w.put_usize(len);
+            for i in 0..len {
+                w.put_f64(self.recent[base + ring_phys(win, len, head, i)]);
+            }
+            w.put_bool(self.actuator_bad[u]);
+            w.put_bool(self.actuator_suspect[u]);
         }
         w.put_f64_slice(&self.requested);
         w.put_f64_slice(&self.believed);
@@ -608,7 +633,7 @@ impl TelemetryGuard {
         &mut self,
         r: &mut crate::checkpoint::ByteReader<'_>,
     ) -> Result<(), String> {
-        let n = self.units.len();
+        let n = self.health.len();
         self.has_readback = r.get_bool()?;
         self.stats = GuardStats {
             rejected_samples: r.get_u64()?,
@@ -632,20 +657,23 @@ impl TelemetryGuard {
             let held = r.get_f64()?;
             let has_held = r.get_bool()?;
             let recent_vals = r.get_f64_vec(ring_cap)?;
-            let mut recent = RingBuffer::new(ring_cap);
-            for v in recent_vals {
-                recent.push(v);
-            }
-            let unit = &mut self.units[u];
-            unit.state = state;
-            unit.bad_streak = bad_streak;
-            unit.good_streak = good_streak;
-            unit.held = held;
-            unit.has_held = has_held;
-            unit.recent = recent;
-            unit.actuator_bad = r.get_bool()?;
-            unit.actuator_suspect = r.get_bool()?;
+            let actuator_bad = r.get_bool()?;
+            let actuator_suspect = r.get_bool()?;
             self.health[u] = state;
+            self.bad_streak[u] = bad_streak;
+            self.good_streak[u] = good_streak;
+            self.held[u] = held;
+            self.has_held[u] = has_held;
+            // Lay the ring down sequentially (head 0) — logical order is
+            // preserved, matching a fresh `RingBuffer` re-pushed in order.
+            let base = u * ring_cap;
+            for (i, v) in recent_vals.iter().enumerate() {
+                self.recent[base + i] = *v;
+            }
+            self.recent_len[u] = recent_vals.len() as u32;
+            self.recent_head[u] = 0;
+            self.actuator_bad[u] = actuator_bad;
+            self.actuator_suspect[u] = actuator_suspect;
         }
         let requested = r.get_f64_vec(n)?;
         let believed = r.get_f64_vec(n)?;
@@ -668,8 +696,17 @@ impl TelemetryGuard {
     /// allocation until the next readback. Cumulative [`GuardStats`] are
     /// deliberately kept — they count run-wide incidents, not tenancies.
     pub fn reset_unit(&mut self, unit: usize) {
-        self.units[unit] = UnitHealth::new(self.config.stuck_window);
         self.health[unit] = HealthState::Healthy;
+        self.bad_streak[unit] = 0;
+        self.good_streak[unit] = 0;
+        self.held[unit] = 0.0;
+        self.has_held[unit] = false;
+        // Stale arena slots are unreachable at len 0: every slot is written
+        // before the full-window min/max scan can observe it.
+        self.recent_len[unit] = 0;
+        self.recent_head[unit] = 0;
+        self.actuator_bad[unit] = false;
+        self.actuator_suspect[unit] = false;
         self.sanitized[unit] = 0.0;
         self.requested[unit] = f64::NAN;
         self.believed[unit] = self.fallback_cap;
@@ -677,11 +714,15 @@ impl TelemetryGuard {
 
     /// Resets all detector and belief state (between repetitions).
     pub fn reset(&mut self) {
-        let window = self.config.stuck_window;
-        for unit in &mut self.units {
-            *unit = UnitHealth::new(window);
-        }
         self.health.fill(HealthState::Healthy);
+        self.bad_streak.fill(0);
+        self.good_streak.fill(0);
+        self.held.fill(0.0);
+        self.has_held.fill(false);
+        self.recent_len.fill(0);
+        self.recent_head.fill(0);
+        self.actuator_bad.fill(false);
+        self.actuator_suspect.fill(false);
         self.sanitized.fill(0.0);
         self.requested.fill(f64::NAN);
         self.believed.fill(self.fallback_cap);

@@ -186,7 +186,10 @@ impl UnitState {
         self.cached_deriv = self.compute_derivative();
     }
 
-    /// Path-dependent accumulator internals for the checkpoint codec.
+    /// Path-dependent accumulator internals (tests compare them across
+    /// materialize/churn; the checkpoint codec reads the column store
+    /// directly).
+    #[cfg(test)]
     pub(crate) fn moments_state(&self) -> (f64, f64, f64, u32) {
         self.moments.state()
     }

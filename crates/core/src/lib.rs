@@ -42,6 +42,7 @@
 
 pub mod budget;
 pub mod checkpoint;
+mod columns;
 pub mod config;
 pub mod constant;
 pub mod dps;

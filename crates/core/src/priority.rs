@@ -28,48 +28,94 @@ use crate::config::DpsConfig;
 use crate::history::UnitState;
 use dps_sim_core::units::Watts;
 
-/// Applies Alg. 2 to one unit's state in place. `cap` is the cap currently
-/// in force (before this cycle's readjustment). Units are classified
-/// independently of each other, which is what lets the manager's fused
-/// observe/classify phase run them on worker threads.
-pub fn classify_unit(state: &mut UnitState, cap: Watts, config: &DpsConfig) {
-    let pp_count = state.prominent_peak_count();
+/// The dynamics statistics Alg. 2 consumes, abstracted over storage layout.
+/// Implemented by [`UnitState`] (the per-unit reference layout) and by the
+/// manager's column store's per-unit view, so both run literally the same
+/// classification code — there is one copy of the decision logic to keep
+/// bit-identical, not two.
+pub(crate) trait Dynamics {
+    fn prominent_peak_count(&mut self) -> usize;
+    fn history_std(&mut self) -> f64;
+    fn latest_estimate(&mut self) -> f64;
+    fn derivative(&mut self) -> Option<f64>;
+    fn high_freq(&self) -> bool;
+    fn set_high_freq(&mut self, v: bool);
+    fn set_priority(&mut self, v: bool);
+}
 
-    if !state.high_freq {
+impl Dynamics for UnitState {
+    fn prominent_peak_count(&mut self) -> usize {
+        UnitState::prominent_peak_count(self)
+    }
+    fn history_std(&mut self) -> f64 {
+        UnitState::history_std(self)
+    }
+    fn latest_estimate(&mut self) -> f64 {
+        UnitState::latest_estimate(self)
+    }
+    fn derivative(&mut self) -> Option<f64> {
+        UnitState::derivative(self)
+    }
+    fn high_freq(&self) -> bool {
+        self.high_freq
+    }
+    fn set_high_freq(&mut self, v: bool) {
+        self.high_freq = v;
+    }
+    fn set_priority(&mut self, v: bool) {
+        self.priority = v;
+    }
+}
+
+/// Applies Alg. 2 to one unit's dynamics in place. `cap` is the cap
+/// currently in force (before this cycle's readjustment). Units are
+/// classified independently of each other, which is what lets the manager's
+/// fused observe/classify phase run them on worker threads.
+pub(crate) fn classify_dynamics<D: Dynamics>(d: &mut D, cap: Watts, config: &DpsConfig) {
+    let pp_count = d.prominent_peak_count();
+
+    if !d.high_freq() {
         if pp_count > config.pp_threshold {
-            state.high_freq = true;
-            state.priority = true;
+            d.set_high_freq(true);
+            d.set_priority(true);
             return;
         }
-    } else if pp_count < config.pp_threshold && state.history_std() < config.std_threshold {
-        state.high_freq = false;
-        state.priority = false;
+    } else if pp_count < config.pp_threshold && d.history_std() < config.std_threshold {
+        d.set_high_freq(false);
+        d.set_priority(false);
         return;
     }
 
-    if !state.high_freq {
+    if !d.high_freq() {
         // A draw below the minimum settable cap is satisfied by any
         // cap: such a unit never needs extra budget.
-        if state.latest_estimate() < config.min_active_power {
-            state.priority = false;
+        if d.latest_estimate() < config.min_active_power {
+            d.set_priority(false);
             return;
         }
         // Need power now: pinned against the cap.
-        if state.latest_estimate() > cap * config.pinned_threshold {
-            state.priority = true;
+        if d.latest_estimate() > cap * config.pinned_threshold {
+            d.set_priority(true);
             return;
         }
         // Will need power soon / no longer needs it: the derivative.
-        let Some(deriv) = state.derivative() else {
+        let Some(deriv) = d.derivative() else {
             return;
         };
         if deriv > config.deriv_inc_threshold {
-            state.priority = true;
+            d.set_priority(true);
         } else if deriv < config.deriv_dec_threshold {
-            state.priority = false;
+            d.set_priority(false);
         }
         // Otherwise: hold the previous priority.
     }
+}
+
+/// Applies Alg. 2 to one unit's state in place (the [`UnitState`]
+/// instantiation of the crate-internal `classify_dynamics`, which the
+/// column store shares).
+pub fn classify_unit(state: &mut UnitState, cap: Watts, config: &DpsConfig) {
+    classify_dynamics(state, cap, config);
 }
 
 /// Applies Alg. 2 to every unit's state in place. `caps` are the caps

@@ -111,7 +111,25 @@ fn dps_with_mode(n: usize, history_len: usize, mode: StatsMode) -> DpsManager {
 /// a small share of that cycle); the telemetry configs show the windows a
 /// production controller sampling at sub-second periods would keep, where
 /// the O(window) rescans dominate and the incremental path pulls ahead.
-fn step_bench() {
+///
+/// The grid tops out at 2^18 and 2^20 units — the million-unit cells that
+/// size the struct-of-arrays decision core. Those run incremental-only:
+/// rescan at a 600-sample window costs O(window) per unit per cycle, which
+/// at 2^20 units is minutes per cell for a number the 16384-unit pairs
+/// already establish.
+///
+/// Knobs for CI and spot runs (a partial grid never overwrites the JSON):
+///
+/// * `DPS_BENCH_FILTER=<substr>` — run only configs whose name contains
+///   the substring (e.g. `paper_default_w20`).
+/// * `--units <n>` — skip cells larger than `n` units.
+/// * `DPS_BENCH_MAX_CYCLE_US=<limit>` — fail (exit 1) if any measured
+///   cell exceeds the limit; the CI scale-smoke job's wall-clock gate.
+fn step_bench(max_units: Option<usize>) {
+    let filter = std::env::var("DPS_BENCH_FILTER").ok();
+    let max_cycle_us: Option<f64> = std::env::var("DPS_BENCH_MAX_CYCLE_US")
+        .ok()
+        .and_then(|v| v.parse().ok());
     let configs = [
         BenchConfig {
             name: "paper_default_w20",
@@ -129,7 +147,14 @@ fn step_bench() {
             load: Load::Phased,
         },
     ];
-    let sizes: [(usize, usize); 3] = [(64, 2_000), (1_024, 400), (16_384, 60)];
+    // (units, measured cycles, run the rescan mode too)
+    let sizes: [(usize, usize, bool); 5] = [
+        (64, 2_000, true),
+        (1_024, 400, true),
+        (16_384, 60, true),
+        (262_144, 8, false),
+        (1_048_576, 3, false),
+    ];
     let modes = [
         (StatsMode::Incremental, "incremental"),
         (StatsMode::Rescan, "rescan"),
@@ -137,8 +162,20 @@ fn step_bench() {
 
     let mut cells: Vec<BenchCell> = Vec::new();
     for cfg in &configs {
-        for &(n, cycles) in &sizes {
+        if filter
+            .as_ref()
+            .is_some_and(|f| !cfg.name.contains(f.as_str()))
+        {
+            continue;
+        }
+        for &(n, cycles, with_rescan) in &sizes {
+            if max_units.is_some_and(|cap| n > cap) {
+                continue;
+            }
             for &(mode, label) in &modes {
+                if !with_rescan && label == "rescan" {
+                    continue;
+                }
                 let mut mgr = dps_with_mode(n, cfg.history_len, mode);
                 let mut churn = Churn::new(n, cfg.load);
                 for _ in 0..(cfg.history_len + 64) {
@@ -149,14 +186,40 @@ fn step_bench() {
                     churn.drive(&mut mgr);
                 }
                 let wall = start.elapsed().as_secs_f64();
-                cells.push(BenchCell {
+                let cell = BenchCell {
                     config: cfg.name,
                     units: n,
                     mode: label,
                     cycles,
                     per_cycle_us: wall / cycles as f64 * 1e6,
-                });
+                };
+                if let Some(limit) = max_cycle_us {
+                    if cell.per_cycle_us > limit {
+                        eprintln!(
+                            "FAIL: {} @ {n} units ({label}) took {:.1} us/cycle, \
+                             limit {limit:.1}",
+                            cfg.name, cell.per_cycle_us
+                        );
+                        std::process::exit(1);
+                    }
+                }
+                cells.push(cell);
             }
+        }
+    }
+
+    let find_cell = |config: &str, units: usize, mode: &str| {
+        cells
+            .iter()
+            .find(|c| c.config == config && c.units == units && c.mode == mode)
+    };
+    // Distinct (config, units) pairs in measurement order. Pairing by key
+    // rather than position keeps the table and speedups correct when the
+    // filter / --units cap or an incremental-only cell breaks adjacency.
+    let mut keys: Vec<(&'static str, usize)> = Vec::new();
+    for c in &cells {
+        if !keys.contains(&(c.config, c.units)) {
+            keys.push((c.config, c.units));
         }
     }
 
@@ -164,25 +227,46 @@ fn step_bench() {
         "config".into(),
         "units".into(),
         "incremental us/cycle".into(),
+        "inc ns/unit".into(),
         "rescan us/cycle".into(),
         "speedup".into(),
     ]);
     let mut speedups: Vec<(&'static str, usize, f64)> = Vec::new();
-    for pair in cells.chunks(2) {
-        let (inc, res) = (&pair[0], &pair[1]);
-        let speedup = res.per_cycle_us / inc.per_cycle_us;
-        speedups.push((inc.config, inc.units, speedup));
+    for &(config, units) in &keys {
+        let Some(inc) = find_cell(config, units, "incremental") else {
+            continue;
+        };
+        let res = find_cell(config, units, "rescan");
+        let (res_text, speedup_text) = match res {
+            Some(res) => {
+                let speedup = res.per_cycle_us / inc.per_cycle_us;
+                speedups.push((config, units, speedup));
+                (format!("{:.1}", res.per_cycle_us), format!("{speedup:.2}x"))
+            }
+            None => ("-".to_string(), "-".to_string()),
+        };
         table.row(vec![
-            inc.config.to_string(),
-            inc.units.to_string(),
+            config.to_string(),
+            units.to_string(),
             format!("{:.1}", inc.per_cycle_us),
-            format!("{:.1}", res.per_cycle_us),
-            format!("{speedup:.2}x"),
+            format!("{:.1}", inc.per_cycle_us * 1e3 / units as f64),
+            res_text,
+            speedup_text,
         ]);
     }
     println!("DPS decision-cycle cost, incremental vs full-window rescan:");
     println!("{}", table.render());
+    if let Some(limit) = max_cycle_us {
+        println!(
+            "all {} measured cell(s) within {limit:.0} us/cycle",
+            cells.len()
+        );
+    }
 
+    if filter.is_some() || max_units.is_some() {
+        println!("partial grid (DPS_BENCH_FILTER / --units active); JSON not rewritten\n");
+        return;
+    }
     let mut json = String::from("{\n  \"experiment\": \"dps_manager_step_scaling\",\n");
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
@@ -215,7 +299,14 @@ fn step_bench() {
 }
 
 fn main() {
-    step_bench();
+    // `--units <n>` caps the bench grid (see `step_bench`).
+    let args: Vec<String> = std::env::args().collect();
+    let max_units = args
+        .iter()
+        .position(|a| a == "--units")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
+    step_bench(max_units);
     // DPS_BENCH_ONLY=1 runs just the step bench above — the decision-quality
     // sweep below costs minutes and its output is already in results/scale.txt.
     if std::env::var("DPS_BENCH_ONLY").is_ok() {

@@ -5,8 +5,19 @@
 //! trace_inspect summary <trace> --count-by-kind    one line per event kind, schema order
 //! trace_inspect jsonl   <trace> [--kind <event>]   decode to JSONL on stdout
 //! trace_inspect diff    <a> <b>                    event-level comparison, exit 1 on drift
+//! trace_inspect tail    <dir> [n]                  last n events of a segment directory
+//! trace_inspect merge   <dir> <out>                merge a segment directory into one trace
 //! trace_inspect record  <scenario> <out>           re-record a pinned golden scenario
+//! trace_inspect record  <scenario> <dir> --segments <n>   record through a segment sink
 //! ```
+//!
+//! Every `<trace>` argument accepts either a single trace file or a
+//! segment directory written by a
+//! [`SegmentSink`](dps_obs::segment::SegmentSink): directories are
+//! reassembled in write order before inspection, so `summary`, `jsonl`
+//! and `diff` work identically on both. `diff <dir> <file>` is the
+//! segment-sink roundtrip check — a segmented recording must replay
+//! byte-identically to a ring recording of the same run.
 //!
 //! `--kind` narrows `summary` and `jsonl` to one event kind by its schema
 //! name (`mode_change`, `budget_shock`, `invariant_violation`, ...) — the
@@ -40,9 +51,13 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  trace_inspect summary <trace> [--kind <event> | --count-by-kind]\n  \
-         trace_inspect jsonl <trace> [--kind <event>]\n  \
-         trace_inspect diff <a> <b>\n  trace_inspect record <scenario> <out>\n\
+        "usage:\n  trace_inspect summary <trace|dir> [--kind <event> | --count-by-kind]\n  \
+         trace_inspect jsonl <trace|dir> [--kind <event>]\n  \
+         trace_inspect diff <a|dir> <b|dir>\n  \
+         trace_inspect tail <dir> [n]\n  \
+         trace_inspect merge <dir> <out>\n  \
+         trace_inspect record <scenario> <out>\n  \
+         trace_inspect record <scenario> <dir> --segments <n>\n\
          scenarios: {}",
         GoldenScenario::ALL
             .iter()
@@ -89,7 +104,12 @@ fn kind_arg(args: &[String]) -> Result<Option<&str>, ()> {
     }
 }
 
+/// Loads a trace from a single file or, if `path` is a directory, by
+/// reassembling its segment files in write order.
 fn load(path: &str) -> Result<Trace, String> {
+    if std::path::Path::new(path).is_dir() {
+        return dps_obs::segment::read_segment_dir(std::path::Path::new(path));
+    }
     let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
     decode(&bytes).map_err(|e| format!("{path}: {e}"))
 }
@@ -109,13 +129,67 @@ fn summary(path: &str, kind: Option<&str>) -> Result<(), String> {
     } else {
         println!("{path}");
     }
+    if let Ok(files) = dps_obs::segment::segment_files(std::path::Path::new(path)) {
+        println!("  segments               {}", files.len());
+    }
     println!("  events                 {}", trace.events.len());
     println!("  dropped                {}", trace.dropped);
+    if trace.dropped > 0 {
+        println!(
+            "  warning: ring overflowed; the {} oldest event(s) were overwritten \
+             before export (consider a larger ring or a segment sink)",
+            trace.dropped
+        );
+    }
     if let Some((lo, hi)) = cycle_span(&trace.events) {
         println!("  cycles                 {lo}..={hi}");
     }
     let registry = ObsRegistry::from_events(&trace.events);
     print!("{}", registry.render(trace.dropped));
+    Ok(())
+}
+
+/// The last `n` events of a segment directory, as JSONL. Reads segments
+/// from the end, so tailing a long-running recording touches only the
+/// final file(s), not the whole directory.
+fn tail(dir: &str, n: usize) -> Result<(), String> {
+    let files = dps_obs::segment::segment_files(std::path::Path::new(dir))?;
+    let mut chunks: Vec<Vec<Event>> = Vec::new();
+    let mut have = 0usize;
+    let mut dropped = 0u64;
+    for path in files.iter().rev() {
+        let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let seg = dps_obs::segment::decode_segment(&bytes)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        have += seg.events.len();
+        dropped += seg.dropped;
+        chunks.push(seg.events);
+        if have >= n {
+            break;
+        }
+    }
+    let mut events: Vec<Event> = chunks.into_iter().rev().flatten().collect();
+    if events.len() > n {
+        events.drain(..events.len() - n);
+    }
+    print!("{}", to_jsonl(&Trace { events, dropped }));
+    Ok(())
+}
+
+/// Merges a segment directory into one standalone trace file, re-encoded
+/// and re-checksummed as a whole.
+fn merge(dir: &str, out: &str) -> Result<(), String> {
+    let trace = dps_obs::segment::read_segment_dir(std::path::Path::new(dir))?;
+    let files = dps_obs::segment::segment_files(std::path::Path::new(dir))?;
+    let bytes = dps_obs::codec::encode(&trace.events, trace.dropped);
+    std::fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "{out}: {} segment(s) -> {} bytes, {} events, {} dropped",
+        files.len(),
+        bytes.len(),
+        trace.events.len(),
+        trace.dropped
+    );
     Ok(())
 }
 
@@ -204,6 +278,36 @@ fn record(name: &str, out: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// `record … --segments <n>`: drive the scenario through a streaming
+/// [`dps_obs::SegmentSink`] of `n`-event segments instead of the default
+/// in-memory ring. `out` is a directory. The resulting segment stream must
+/// reassemble to exactly the ring recording — `diff <dir> <file>` checks
+/// that, and CI does so on every run.
+fn record_segmented(name: &str, out: &str, capacity: usize) -> Result<(), String> {
+    let scenario = GoldenScenario::from_name(name)
+        .ok_or_else(|| format!("unknown scenario {name:?} (see usage)"))?;
+    let sink = dps_obs::SegmentSink::new(out, capacity).map_err(|e| format!("{out}: {e}"))?;
+    let handle = dps_obs::SinkHandle::new(std::rc::Rc::new(sink));
+    scenario.drive(Default::default(), &handle);
+    let seg = handle.as_segment().expect("handle wraps a segment sink");
+    seg.flush();
+    if seg.io_errors() > 0 {
+        return Err(format!(
+            "{} segment write(s) failed; last: {}",
+            seg.io_errors(),
+            seg.last_error().unwrap_or_default()
+        ));
+    }
+    let trace = dps_obs::segment::read_segment_dir(std::path::Path::new(out))?;
+    println!(
+        "{out}: {} segment(s), {} events, {} dropped",
+        seg.segments_written(),
+        trace.events.len(),
+        trace.dropped
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let result = match args.get(1).map(String::as_str) {
@@ -219,6 +323,19 @@ fn main() -> ExitCode {
             Err(()) => return usage(),
         },
         Some("diff") if args.len() == 4 => diff(&args[2], &args[3]),
+        Some("tail") if args.len() == 3 || args.len() == 4 => {
+            match args.get(3).map_or(Ok(20), |n| n.parse::<usize>()) {
+                Ok(n) => tail(&args[2], n).map(|()| true),
+                Err(_) => return usage(),
+            }
+        }
+        Some("merge") if args.len() == 4 => merge(&args[2], &args[3]).map(|()| true),
+        Some("record") if args.len() == 6 && args[4] == "--segments" => {
+            match args[5].parse::<usize>() {
+                Ok(cap) if cap > 0 => record_segmented(&args[2], &args[3], cap).map(|()| true),
+                _ => return usage(),
+            }
+        }
         Some("record") if args.len() == 4 => record(&args[2], &args[3]).map(|()| true),
         _ => return usage(),
     };

@@ -119,13 +119,26 @@ impl GoldenScenario {
     /// `Rescan` statistics (and the threaded classify phase) leave the
     /// trace byte-identical.
     pub fn record_with(&self, dps: DpsConfig) -> Vec<u8> {
+        let sink = SinkHandle::recording(RING_CAPACITY);
+        self.drive(dps, &sink);
+        sink.export().expect("recording sink exports")
+    }
+
+    /// Drives the scenario's pinned run against a caller-provided sink —
+    /// the hook for recording a scenario through a
+    /// [`dps_obs::SegmentSink`] (or any other [`dps_obs::TraceSink`])
+    /// instead of the default in-memory ring. The event stream is a
+    /// function of the scenario and `dps` alone, never of the sink, so
+    /// two recordings of the same scenario through different sinks must
+    /// replay identically.
+    pub fn drive(&self, dps: DpsConfig, sink: &SinkHandle) {
         match self {
-            GoldenScenario::PaperDefault => record_paper_default(dps),
-            GoldenScenario::SensorFault => record_sensor_fault(dps),
-            GoldenScenario::SchedulerChurn => record_scheduler_churn(dps),
-            GoldenScenario::ElasticTraffic => record_elastic_traffic(dps),
-            GoldenScenario::IdleElastic => record_idle_elastic(dps),
-            GoldenScenario::ChaosBrownout => record_chaos_brownout(dps),
+            GoldenScenario::PaperDefault => drive_paper_default(dps, sink),
+            GoldenScenario::SensorFault => drive_sensor_fault(dps, sink),
+            GoldenScenario::SchedulerChurn => drive_scheduler_churn(dps, sink),
+            GoldenScenario::ElasticTraffic => drive_elastic_traffic(dps, sink),
+            GoldenScenario::IdleElastic => drive_idle_elastic(dps, sink),
+            GoldenScenario::ChaosBrownout => drive_chaos_brownout(dps, sink),
         }
     }
 }
@@ -177,16 +190,14 @@ fn guarded_dps(cfg: &SimConfig, dps: DpsConfig, rng: &RngStream) -> Box<dyn Powe
     ))
 }
 
-fn run_recorded(mut sim: ClusterSim, cycles: u64) -> Vec<u8> {
-    let sink = SinkHandle::recording(RING_CAPACITY);
+fn run_with(mut sim: ClusterSim, cycles: u64, sink: &SinkHandle) {
     sim.set_trace_sink(sink.clone());
     for _ in 0..cycles {
         sim.cycle();
     }
-    sink.export().expect("recording sink exports")
 }
 
-fn record_paper_default(dps: DpsConfig) -> Vec<u8> {
+fn drive_paper_default(dps: DpsConfig, sink: &SinkHandle) {
     let cfg = small_testbed();
     let rng = RngStream::new(0xD50_001, "golden/paper-default");
     // A hot ramping cluster against a mostly-quiet one: drives MIMD raises,
@@ -203,10 +214,10 @@ fn record_paper_default(dps: DpsConfig) -> Vec<u8> {
     ]);
     let manager = plain_dps(&cfg, dps, &rng);
     let sim = ClusterSim::new(cfg, vec![hot, quiet], manager, &rng);
-    run_recorded(sim, 90)
+    run_with(sim, 90, sink)
 }
 
-fn record_sensor_fault(dps: DpsConfig) -> Vec<u8> {
+fn drive_sensor_fault(dps: DpsConfig, sink: &SinkHandle) {
     let mut cfg = small_testbed();
     cfg.noise = NoiseModel::None;
     cfg.sensor_faults = UnitFaultSchedule::new(vec![
@@ -219,7 +230,7 @@ fn record_sensor_fault(dps: DpsConfig) -> Vec<u8> {
     let manager = guarded_dps(&cfg, dps, &rng);
     let mut sim = ClusterSim::new(cfg, vec![hot, busy], manager, &rng);
     sim.enable_watchdog(16);
-    run_recorded(sim, 100)
+    run_with(sim, 100, sink)
 }
 
 /// A synthetic short workload for the churn scenario: catalog entries run
@@ -239,7 +250,7 @@ fn short_spec(name: &'static str, duration: f64, class: PowerClass) -> WorkloadS
     }
 }
 
-fn record_scheduler_churn(dps: DpsConfig) -> Vec<u8> {
+fn drive_scheduler_churn(dps: DpsConfig, sink: &SinkHandle) {
     // The generated job specs need whole-cluster headroom; the 16-unit
     // testbed (2 clusters × 4 nodes × 2 sockets) fits them comfortably.
     let mut cfg = SimConfig {
@@ -301,7 +312,6 @@ fn record_scheduler_churn(dps: DpsConfig) -> Vec<u8> {
     let rng = RngStream::new(0xD50_003, "golden/scheduler-churn");
     let manager = plain_dps(&cfg, dps, &rng);
     let mut sim = ClusterSim::with_scheduler(cfg, manager, &rng);
-    let sink = SinkHandle::recording(RING_CAPACITY);
     sim.set_trace_sink(sink.clone());
     // Run to queue drain (bounded), then a short idle tail so the trace
     // also covers the cluster going quiet.
@@ -315,10 +325,9 @@ fn record_scheduler_churn(dps: DpsConfig) -> Vec<u8> {
     for _ in 0..5 {
         sim.cycle();
     }
-    sink.export().expect("recording sink exports")
 }
 
-fn record_elastic_traffic(dps: DpsConfig) -> Vec<u8> {
+fn drive_elastic_traffic(dps: DpsConfig, sink: &SinkHandle) {
     // 4 nodes × 2 sockets: small enough for a compact trace, big enough
     // for the reactive provisioner to walk the fleet up and back down.
     let mut cfg = SimConfig {
@@ -349,10 +358,10 @@ fn record_elastic_traffic(dps: DpsConfig) -> Vec<u8> {
     let rng = RngStream::new(0xD50_004, "golden/elastic-traffic");
     let manager = plain_dps(&cfg, dps, &rng);
     let sim = ClusterSim::with_traffic(cfg, manager, &rng);
-    run_recorded(sim, 220)
+    run_with(sim, 220, sink)
 }
 
-fn record_idle_elastic(dps: DpsConfig) -> Vec<u8> {
+fn drive_idle_elastic(dps: DpsConfig, sink: &SinkHandle) {
     // Same fleet and flash-crowd shape as `elastic_traffic`, but with the
     // sleep ladder between the provisioner and the power switch: shrink
     // decisions demote down the C-state cascade (learning-augmented, so
@@ -389,10 +398,10 @@ fn record_idle_elastic(dps: DpsConfig) -> Vec<u8> {
     let rng = RngStream::new(0xD50_006, "golden/idle-elastic");
     let manager = plain_dps(&cfg, dps, &rng);
     let sim = ClusterSim::with_traffic(cfg, manager, &rng);
-    run_recorded(sim, 260)
+    run_with(sim, 260, sink)
 }
 
-fn record_chaos_brownout(dps: DpsConfig) -> Vec<u8> {
+fn drive_chaos_brownout(dps: DpsConfig, sink: &SinkHandle) {
     // Guarded DPS on the framed plane under a correlated incident: rack 1
     // (units 4..8 — half the fleet, enough to cross the 0.35 Degraded
     // threshold but not the 0.6 SafeMode one) loses its sensors to a
@@ -415,7 +424,7 @@ fn record_chaos_brownout(dps: DpsConfig) -> Vec<u8> {
     let manager = guarded_dps(&cfg, dps, &rng);
     let mut sim = ClusterSim::new(cfg, vec![hot, busy], manager, &rng);
     sim.enable_watchdog(16);
-    run_recorded(sim, 160)
+    run_with(sim, 160, sink)
 }
 
 #[cfg(test)]

@@ -380,7 +380,22 @@ fn write_event(w: &mut Writer, e: &Event) {
 
 /// Encodes an event stream (plus the ring's drop counter) as a trace file.
 pub fn encode(events: &[Event], dropped: u64) -> Vec<u8> {
-    let mut w = Writer::new();
+    let mut out = Vec::new();
+    encode_into(&mut out, events, dropped);
+    out
+}
+
+/// Encodes into a caller-owned buffer, reusing its capacity.
+///
+/// `out` is cleared first; after the first call sized it, subsequent calls
+/// of similar size perform **no allocation**. This is the spill path of
+/// [`SegmentSink`](crate::segment::SegmentSink), which must not touch the
+/// allocator per segment. Byte-for-byte identical to [`encode`].
+pub fn encode_into(out: &mut Vec<u8>, events: &[Event], dropped: u64) {
+    out.clear();
+    let mut w = Writer {
+        buf: std::mem::take(out),
+    };
     w.buf.extend_from_slice(&MAGIC);
     w.u8(VERSION);
     write_schema(&mut w);
@@ -389,7 +404,7 @@ pub fn encode(events: &[Event], dropped: u64) -> Vec<u8> {
     for e in events {
         write_event(&mut w, e);
     }
-    w.seal()
+    *out = w.seal();
 }
 
 // ---------------------------------------------------------------------------
@@ -962,6 +977,20 @@ mod tests {
         let trace = decode(&bytes).unwrap();
         assert!(trace.events.is_empty());
         assert_eq!(trace.dropped, 0);
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_capacity() {
+        let events = tests_support::one_of_each();
+        let mut buf = Vec::new();
+        encode_into(&mut buf, &events, 5);
+        assert_eq!(buf, encode(&events, 5));
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        encode_into(&mut buf, &events[..4], 0);
+        assert_eq!(buf, encode(&events[..4], 0));
+        assert_eq!(buf.capacity(), cap, "smaller re-encode must not reallocate");
+        assert_eq!(ptr, buf.as_ptr(), "buffer storage must be reused");
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //! * [`registry`] — counters and fixed-bucket histograms (cycle latency,
 //!   budget slack, cap churn, fault counts), updatable through `&self` and
 //!   rebuildable from a decoded event stream.
+//! * [`segment`] — streaming segmented storage: [`SegmentSink`] spills the
+//!   staging ring into numbered, length-prefixed, individually
+//!   checksummed segment files, so arbitrarily long runs keep their whole
+//!   event stream on disk instead of only the ring's tail.
 //!
 //! Layering: `dps-obs` sits at the bottom of the workspace (it depends on
 //! nothing) so `dps-core`, `dps-cluster` and `dps-sched` can all emit
@@ -39,6 +43,7 @@ pub mod codec;
 pub mod event;
 pub mod registry;
 pub mod ring;
+pub mod segment;
 pub mod sink;
 
 pub use event::{
@@ -47,4 +52,5 @@ pub use event::{
 };
 pub use registry::{Histogram, ObsRegistry};
 pub use ring::EventRing;
+pub use segment::SegmentSink;
 pub use sink::{NoopSink, RingSink, SinkHandle, TraceSink};

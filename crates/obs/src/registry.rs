@@ -215,6 +215,12 @@ counters!(
 #[derive(Debug)]
 pub struct ObsRegistry {
     counters: Counters,
+    /// Cycles during which the ring overwrote at least one event. A live
+    /// counter maintained by the recording sink (not derived from the
+    /// event stream, so `from_events` cannot rebuild it): the overwritten
+    /// events are by definition absent from the trace, which is exactly
+    /// why the loss needs a first-class counter.
+    ring_overflows: Cell<u64>,
     /// Budget minus assigned caps at each cycle end (W).
     budget_slack_w: Histogram,
     /// Units whose caps changed, per cycle (cap churn).
@@ -228,6 +234,7 @@ impl ObsRegistry {
     pub fn new() -> Self {
         ObsRegistry {
             counters: Counters::default(),
+            ring_overflows: Cell::new(0),
             budget_slack_w: Histogram::new(&[0.0, 1.0, 10.0, 100.0, 1_000.0, 10_000.0]),
             cap_churn: Histogram::new(&[0.0, 1.0, 4.0, 16.0, 64.0, 256.0, 4096.0]),
             cycle_us: Histogram::new(&[10.0, 100.0, 1_000.0, 10_000.0, 100_000.0]),
@@ -306,6 +313,19 @@ impl ObsRegistry {
         reg
     }
 
+    /// Cycles during which the ring lost at least one event to overwrite.
+    pub fn ring_overflows(&self) -> u64 {
+        self.ring_overflows.get()
+    }
+
+    /// Records that the current cycle overflowed the ring. Called by the
+    /// recording sink at most once per cycle (on `CycleEnd`), so the count
+    /// reads as "cycles with loss", not "events lost" — the ring's own
+    /// `dropped` counter already holds the latter.
+    pub fn note_ring_overflow(&self) {
+        self.ring_overflows.set(self.ring_overflows.get() + 1);
+    }
+
     /// The budget-slack histogram (W, sampled at each cycle end).
     pub fn budget_slack_w(&self) -> &Histogram {
         &self.budget_slack_w
@@ -361,6 +381,7 @@ impl ObsRegistry {
             wake_dones,
             predictor_samples
         );
+        self.ring_overflows.set(0);
         self.budget_slack_w.reset();
         self.cap_churn.reset();
         self.cycle_us.reset();
@@ -377,6 +398,7 @@ impl ObsRegistry {
         };
         line("events", self.events());
         line("dropped (ring)", dropped);
+        line("ring_overflows", self.ring_overflows());
         line("cap_deltas", self.cap_deltas());
         line("priority_flips", self.priority_flips());
         line("restores", self.restores());

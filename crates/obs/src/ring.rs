@@ -81,14 +81,28 @@ impl EventRing {
 
     /// Copies the retained events out, oldest first.
     pub fn snapshot(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.len.get());
+        self.copy_to(&mut out);
+        out
+    }
+
+    /// Copies the retained events (oldest first) into a caller-owned
+    /// buffer, reusing its capacity. The buffer is cleared first; if the
+    /// caller preallocated at least [`EventRing::capacity`] slots, the copy
+    /// performs no allocation — the property the segment-spill path relies
+    /// on.
+    pub fn copy_to(&self, out: &mut Vec<Event>) {
+        out.clear();
         let cap = self.slots.len();
         let len = self.len.get();
         let next = self.next.get();
         // Oldest element: `next` walked past it if we've wrapped, else slot 0.
         let start = if len == cap { next } else { 0 };
-        (0..len)
-            .map(|i| self.slots[(start + i) % cap].get())
-            .collect()
+        for i in 0..len {
+            let idx = start + i;
+            let idx = if idx >= cap { idx - cap } else { idx };
+            out.push(self.slots[idx].get());
+        }
     }
 
     /// Clears the retained events and the dropped counter.
@@ -168,6 +182,23 @@ mod tests {
         assert!(ring.snapshot().is_empty());
         ring.push(marker(9));
         assert_eq!(ring.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn copy_to_reuses_buffer_without_allocating() {
+        let ring = EventRing::new(4);
+        for c in 0..6 {
+            ring.push(marker(c));
+        }
+        let mut buf = Vec::with_capacity(ring.capacity());
+        let ptr = buf.as_ptr();
+        ring.copy_to(&mut buf);
+        assert_eq!(
+            buf.iter().map(|e| e.cycle()).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5]
+        );
+        assert_eq!(ptr, buf.as_ptr(), "preallocated buffer must be reused");
+        assert_eq!(buf, ring.snapshot());
     }
 
     #[test]

@@ -1,0 +1,380 @@
+//! Streaming segmented trace storage: spill the ring to disk, forever.
+//!
+//! A [`RingSink`](crate::sink::RingSink) retains the **last** `capacity`
+//! events of a run — the right tool for golden traces and postmortems, but
+//! at a million units a single interesting cycle can emit more events than
+//! any reasonable ring holds, and long campaigns want the *whole* stream,
+//! not its tail. [`SegmentSink`] provides that: events stage in a
+//! preallocated [`EventRing`] and every time the ring fills, its contents
+//! spill to the next numbered **segment file** in a directory. The run's
+//! full event stream is the concatenation of its segments.
+//!
+//! Segment file layout (one segment per file):
+//!
+//! ```text
+//! length   u64 LE            byte length of the payload that follows
+//! payload  DPSO trace        a complete self-describing trace
+//!                            (schema table + events + FNV-1a trailer)
+//! ```
+//!
+//! Each payload is a full [`codec`] trace, so every segment is
+//! independently decodable, carries the schema it was written with, and is
+//! integrity-checked by its own FNV trailer. The length prefix makes a
+//! crash-truncated tail segment detectable *before* the checksum pass: a
+//! file shorter than its prefix claims is reported as truncated, cleanly,
+//! rather than as a confusing checksum mismatch.
+//!
+//! The spill path allocates nothing per event and nothing per segment
+//! after construction: the staging ring, the event scratch buffer and the
+//! encode buffer are all preallocated in [`SegmentSink::new`], and
+//! [`codec::encode_into`] reuses the encode buffer's capacity. Disk I/O
+//! happens at most once per `capacity` events, never per event.
+//!
+//! File names are `seg-<seq>.dpso` with a zero-padded sequence number, so
+//! lexicographic order *is* write order and [`read_segment_dir`] can
+//! reassemble the stream with a plain name sort.
+
+use std::cell::{Cell, RefCell};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::codec::{self, Trace};
+use crate::event::Event;
+use crate::registry::ObsRegistry;
+use crate::ring::EventRing;
+use crate::sink::TraceSink;
+
+/// File extension of segment files.
+pub const SEGMENT_EXT: &str = "dpso";
+
+/// Upper bound on the encoded size of one event: 1 tag byte plus the
+/// widest field layout (`ControlPlaneDelta`, five u64s = 40 bytes), with
+/// headroom for future variants. Used only to size the encode buffer.
+const MAX_EVENT_BYTES: usize = 48;
+
+/// File name of the segment with the given sequence number.
+pub fn segment_name(seq: u64) -> String {
+    format!("seg-{seq:08}.{SEGMENT_EXT}")
+}
+
+/// A sink that streams the event stream to numbered segment files.
+///
+/// Implements [`TraceSink`], so it attaches anywhere a
+/// [`SinkHandle`](crate::sink::SinkHandle) goes. Like every sink it also
+/// keeps a live [`ObsRegistry`]. Emission is infallible by trait contract;
+/// spill I/O failures are counted in [`SegmentSink::io_errors`] and the
+/// affected events are discarded (the staging ring is cleared either way),
+/// so a full disk degrades the trace instead of panicking the decision
+/// loop.
+#[derive(Debug)]
+pub struct SegmentSink {
+    dir: PathBuf,
+    /// Staging ring; one segment = one ring's worth of events.
+    ring: EventRing,
+    registry: ObsRegistry,
+    timing: bool,
+    /// Preallocated event scratch for draining the ring.
+    scratch: RefCell<Vec<Event>>,
+    /// Preallocated encode buffer, reused across segments.
+    buf: RefCell<Vec<u8>>,
+    /// Sequence number of the next segment file.
+    seq: Cell<u64>,
+    io_errors: Cell<u64>,
+    last_error: RefCell<Option<String>>,
+}
+
+impl SegmentSink {
+    /// Creates a sink spilling segments of `capacity` events into `dir`
+    /// (created if absent). All buffers are sized here; the emit and spill
+    /// paths never allocate afterwards.
+    pub fn new(dir: impl Into<PathBuf>, capacity: usize) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let capacity = capacity.max(1);
+        // Frame overhead (magic, version, schema table, counters, trailer)
+        // is the size of an empty trace.
+        let overhead = codec::encode(&[], 0).len();
+        Ok(SegmentSink {
+            dir,
+            ring: EventRing::new(capacity),
+            registry: ObsRegistry::new(),
+            timing: false,
+            scratch: RefCell::new(Vec::with_capacity(capacity)),
+            buf: RefCell::new(Vec::with_capacity(overhead + capacity * MAX_EVENT_BYTES)),
+            seq: Cell::new(0),
+            io_errors: Cell::new(0),
+            last_error: RefCell::new(None),
+        })
+    }
+
+    /// Enables nondeterministic timing spans (profiling configuration).
+    pub fn with_timing(mut self) -> Self {
+        self.timing = true;
+        self
+    }
+
+    /// The directory segments are written into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of segment files written so far.
+    pub fn segments_written(&self) -> u64 {
+        self.seq.get()
+    }
+
+    /// Number of segment writes that failed (events discarded).
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors.get()
+    }
+
+    /// The most recent spill I/O error, if any.
+    pub fn last_error(&self) -> Option<String> {
+        self.last_error.borrow().clone()
+    }
+
+    /// The live registry, updated on every emit.
+    pub fn registry(&self) -> &ObsRegistry {
+        &self.registry
+    }
+
+    /// Spills any staged events to a final (possibly short) segment.
+    /// Call at end of run; dropping the sink does **not** flush.
+    pub fn flush(&self) {
+        if !self.ring.is_empty() {
+            self.spill();
+        }
+    }
+
+    fn spill(&self) {
+        let mut scratch = self.scratch.borrow_mut();
+        let mut buf = self.buf.borrow_mut();
+        self.ring.copy_to(&mut scratch);
+        codec::encode_into(&mut buf, &scratch, 0);
+        let path = self.dir.join(segment_name(self.seq.get()));
+        let write = || -> std::io::Result<()> {
+            let mut f = fs::File::create(&path)?;
+            f.write_all(&(buf.len() as u64).to_le_bytes())?;
+            f.write_all(&buf)?;
+            Ok(())
+        };
+        match write() {
+            Ok(()) => {
+                self.seq.set(self.seq.get() + 1);
+            }
+            Err(e) => {
+                self.io_errors.set(self.io_errors.get() + 1);
+                *self.last_error.borrow_mut() = Some(format!("{}: {e}", path.display()));
+            }
+        }
+        self.ring.clear();
+    }
+}
+
+impl TraceSink for SegmentSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn timing(&self) -> bool {
+        self.timing
+    }
+
+    fn emit(&self, event: Event) {
+        self.registry.record(&event);
+        self.ring.push(event);
+        if self.ring.len() == self.ring.capacity() {
+            self.spill();
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reading segments back.
+
+/// Decodes one segment frame (length prefix + DPSO payload). Any
+/// truncation, length mismatch, or payload corruption is a clean `Err`.
+pub fn decode_segment(bytes: &[u8]) -> Result<Trace, String> {
+    if bytes.len() < 8 {
+        return Err(format!(
+            "truncated segment: {} byte(s), need 8 for the length prefix",
+            bytes.len()
+        ));
+    }
+    let (prefix, payload) = bytes.split_at(8);
+    let len = u64::from_le_bytes(prefix.try_into().unwrap());
+    if (payload.len() as u64) < len {
+        return Err(format!(
+            "truncated segment: prefix claims {len} payload byte(s), {} present",
+            payload.len()
+        ));
+    }
+    if (payload.len() as u64) > len {
+        return Err(format!(
+            "{} trailing byte(s) after the segment payload",
+            payload.len() as u64 - len
+        ));
+    }
+    codec::decode(payload)
+}
+
+/// The segment files of a directory, sorted into write order. Errors if
+/// the directory is unreadable or holds no segments.
+pub fn segment_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == SEGMENT_EXT)
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("seg-"))
+        })
+        .collect();
+    if files.is_empty() {
+        return Err(format!("{}: no seg-*.{SEGMENT_EXT} files", dir.display()));
+    }
+    // Zero-padded sequence numbers make name order write order.
+    files.sort();
+    Ok(files)
+}
+
+/// Reads every segment of a directory and reassembles the full stream:
+/// events concatenated in write order, `dropped` summed across segments.
+pub fn read_segment_dir(dir: &Path) -> Result<Trace, String> {
+    let mut events = Vec::new();
+    let mut dropped = 0u64;
+    for path in segment_files(dir)? {
+        let bytes = fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let seg = decode_segment(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+        events.extend_from_slice(&seg.events);
+        dropped += seg.dropped;
+    }
+    Ok(Trace { events, dropped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::tests_support::one_of_each;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        // Under target/ so `cargo clean` collects test droppings.
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/obs-segment-tests")
+            .join(format!("{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn spills_on_capacity_and_flushes_tail() {
+        let dir = tmp_dir("spill");
+        let sink = SegmentSink::new(&dir, 10).unwrap();
+        let events = one_of_each(); // 24 events -> 2 full segments + 4 staged
+        for e in &events {
+            sink.emit(*e);
+        }
+        assert_eq!(sink.segments_written(), 2);
+        sink.flush();
+        assert_eq!(sink.segments_written(), 3);
+        sink.flush(); // idempotent on an empty ring
+        assert_eq!(sink.segments_written(), 3);
+        assert_eq!(sink.io_errors(), 0);
+
+        let merged = read_segment_dir(&dir).unwrap();
+        assert_eq!(merged.events, events);
+        assert_eq!(merged.dropped, 0);
+        assert_eq!(sink.registry().events(), events.len() as u64);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_files_sort_in_write_order() {
+        let dir = tmp_dir("order");
+        let sink = SegmentSink::new(&dir, 2);
+        let sink = sink.unwrap();
+        for c in 0..25u64 {
+            sink.emit(Event::Restored { cycle: c });
+        }
+        sink.flush();
+        let files = segment_files(&dir).unwrap();
+        assert_eq!(files.len(), 13);
+        let merged = read_segment_dir(&dir).unwrap();
+        let cycles: Vec<u64> = merged.events.iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, (0..25).collect::<Vec<_>>());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spill_path_does_not_allocate_after_construction() {
+        let dir = tmp_dir("alloc");
+        let sink = SegmentSink::new(&dir, 8).unwrap();
+        let scratch_ptr = sink.scratch.borrow().as_ptr();
+        let buf_ptr = sink.buf.borrow().as_ptr();
+        let buf_cap = sink.buf.borrow().capacity();
+        for c in 0..64u64 {
+            sink.emit(Event::ControlPlaneDelta {
+                cycle: c,
+                sent: 1,
+                delivered: 1,
+                dropped: 0,
+                retries: 0,
+            });
+        }
+        assert_eq!(sink.segments_written(), 8);
+        assert_eq!(scratch_ptr, sink.scratch.borrow().as_ptr());
+        assert_eq!(buf_ptr, sink.buf.borrow().as_ptr());
+        assert_eq!(buf_cap, sink.buf.borrow().capacity());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_segment_is_a_clean_error() {
+        let payload = codec::encode(&one_of_each(), 0);
+        let mut frame = (payload.len() as u64).to_le_bytes().to_vec();
+        frame.extend_from_slice(&payload);
+        assert!(decode_segment(&frame).is_ok());
+        for cut in 0..frame.len() {
+            let err = decode_segment(&frame[..cut]).unwrap_err();
+            assert!(!err.is_empty());
+        }
+        // Extra bytes after the payload are rejected too.
+        frame.push(0);
+        let err = decode_segment(&frame).unwrap_err();
+        assert!(err.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn empty_dir_and_missing_dir_are_errors() {
+        let dir = tmp_dir("empty");
+        assert!(read_segment_dir(&dir).is_err());
+        fs::create_dir_all(&dir).unwrap();
+        let err = read_segment_dir(&dir).unwrap_err();
+        assert!(err.contains("no seg-"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn io_error_is_counted_not_panicked() {
+        let dir = tmp_dir("ioerr");
+        let sink = SegmentSink::new(&dir, 2).unwrap();
+        // Make the target directory unusable by replacing it with a file.
+        fs::remove_dir_all(&dir).unwrap();
+        fs::write(&dir, b"not a directory").unwrap();
+        sink.emit(Event::Restored { cycle: 0 });
+        sink.emit(Event::Restored { cycle: 1 });
+        assert_eq!(sink.segments_written(), 0);
+        assert_eq!(sink.io_errors(), 1);
+        assert!(sink.last_error().is_some());
+        // The ring was cleared, so the sink keeps accepting events.
+        sink.emit(Event::Restored { cycle: 2 });
+        fs::remove_file(&dir).unwrap();
+    }
+}

@@ -59,6 +59,9 @@ pub struct RingSink {
     ring: EventRing,
     registry: ObsRegistry,
     timing: bool,
+    /// The ring's drop counter as of the last `CycleEnd`, so overflow is
+    /// flagged once per cycle rather than once per overwritten event.
+    last_dropped: std::cell::Cell<u64>,
 }
 
 impl RingSink {
@@ -69,6 +72,7 @@ impl RingSink {
             ring: EventRing::new(capacity),
             registry: ObsRegistry::new(),
             timing: false,
+            last_dropped: std::cell::Cell::new(0),
         }
     }
 
@@ -106,6 +110,16 @@ impl TraceSink for RingSink {
     fn emit(&self, event: Event) {
         self.registry.record(&event);
         self.ring.push(event);
+        // Cycle-boundary overflow check: if the ring overwrote anything
+        // since the previous CycleEnd, flag the cycle once. Kept off the
+        // per-event path — a single compare at each cycle end.
+        if let Event::CycleEnd { .. } = event {
+            let dropped = self.ring.dropped();
+            if dropped > self.last_dropped.get() {
+                self.registry.note_ring_overflow();
+                self.last_dropped.set(dropped);
+            }
+        }
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
@@ -168,6 +182,16 @@ impl SinkHandle {
     /// The wrapped [`RingSink`], if that is what this handle points at.
     pub fn as_ring(&self) -> Option<&RingSink> {
         self.0.as_any().and_then(|a| a.downcast_ref::<RingSink>())
+    }
+
+    /// The wrapped [`SegmentSink`](crate::segment::SegmentSink), if that
+    /// is what this handle points at.
+    /// Use it to [`flush`](crate::segment::SegmentSink::flush) the final
+    /// partial segment at end of run.
+    pub fn as_segment(&self) -> Option<&crate::segment::SegmentSink> {
+        self.0
+            .as_any()
+            .and_then(|a| a.downcast_ref::<crate::segment::SegmentSink>())
     }
 }
 
@@ -239,6 +263,32 @@ mod tests {
         let decoded = crate::codec::decode(&bytes).unwrap();
         assert_eq!(decoded.events.len(), 2);
         assert_eq!(decoded.dropped, 0);
+    }
+
+    #[test]
+    fn ring_overflow_flagged_once_per_cycle() {
+        let h = SinkHandle::recording(4);
+        let cycle_end = |cycle| Event::CycleEnd {
+            cycle,
+            budget_slack_w: 0.0,
+            caps_changed: 0,
+            queue_depth: 0,
+        };
+        // Cycle 0: 3 events + CycleEnd fill the ring exactly; no overflow.
+        for _ in 0..3 {
+            h.emit(Event::Restored { cycle: 0 });
+        }
+        h.emit(cycle_end(0));
+        assert_eq!(h.as_ring().unwrap().registry().ring_overflows(), 0);
+        // Cycle 1: many overwrites, still one overflow flag.
+        for _ in 0..10 {
+            h.emit(Event::Restored { cycle: 1 });
+        }
+        h.emit(cycle_end(1));
+        assert_eq!(h.as_ring().unwrap().registry().ring_overflows(), 1);
+        // Cycle 2: CycleEnd itself overwrites -> a second flag.
+        h.emit(cycle_end(2));
+        assert_eq!(h.as_ring().unwrap().registry().ring_overflows(), 2);
     }
 
     #[test]

@@ -8,10 +8,19 @@
 //! dropping the *oldest* events while counting every drop.
 
 use dps_obs::codec::{decode, encode};
+use dps_obs::segment::decode_segment;
 use dps_obs::{
     Event, EventRing, FaultDomain, HealthKind, PhaseKind, ProvisionKind, ReadjustKind, SchedKind,
 };
 use proptest::prelude::*;
+
+/// Frames a trace the way `SegmentSink` writes a segment file:
+/// a u64 LE length prefix followed by the DPSO payload.
+fn frame_segment(payload: &[u8]) -> Vec<u8> {
+    let mut frame = (payload.len() as u64).to_le_bytes().to_vec();
+    frame.extend_from_slice(payload);
+    frame
+}
 
 /// Deterministically maps generated scalars onto one of the 17 variants.
 /// `sel` spreads f64 payloads over the special values the codec must
@@ -176,6 +185,40 @@ proptest! {
             decode(&bytes).is_err(),
             "flipping byte {pos} by {flip:#04x} went undetected"
         );
+    }
+
+    /// Segment frames round-trip bit-exactly, including NaN / infinite
+    /// float payloads (compared through re-encoding, i.e. by bits).
+    #[test]
+    fn segment_roundtrip_arbitrary_sequences(
+        parts in prop::collection::vec(
+            (any::<u8>(), any::<u64>(), any::<u64>(), -1e9f64..1e9, any::<u8>(), any::<bool>()),
+            0..200,
+        ),
+    ) {
+        let events = events_from(&parts);
+        let payload = encode(&events, 0);
+        let frame = frame_segment(&payload);
+        let seg = decode_segment(&frame).map_err(|e| e.to_string())?;
+        prop_assert_eq!(seg.events.len(), events.len());
+        prop_assert_eq!(encode(&seg.events, seg.dropped), payload);
+    }
+
+    /// A crash-truncated tail segment — any strict prefix of a valid
+    /// frame — decodes to a clean `Err`, never a panic or partial result.
+    #[test]
+    fn truncated_tail_segment_is_a_clean_error(
+        parts in prop::collection::vec(
+            (any::<u8>(), any::<u64>(), any::<u64>(), -1e6f64..1e6, any::<u8>(), any::<bool>()),
+            1..60,
+        ),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let events = events_from(&parts);
+        let frame = frame_segment(&encode(&events, 0));
+        let cut = ((frame.len() - 1) as f64 * cut_frac) as usize;
+        let err = decode_segment(&frame[..cut]).expect_err("prefix must not decode");
+        prop_assert!(!err.is_empty());
     }
 
     /// The ring keeps the newest `capacity` events in push order and counts

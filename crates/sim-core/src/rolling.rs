@@ -185,10 +185,10 @@ impl RollingMoments {
 ///   they walk samples or runs, because multiplicity affects neither
 ///   comparisons nor minima.
 ///
-/// The count is recomputed from the runs on every push — O(runs), and the
-/// number of runs in a Kalman-smoothed power history is small — then served
-/// from cache.
-#[derive(Debug, Clone, PartialEq)]
+/// The count is recomputed from the runs — O(runs), and the number of runs
+/// in a Kalman-smoothed power history is small — only on pushes that change
+/// the run-value sequence, then served from cache.
+#[derive(Debug, Clone)]
 pub struct PeakTracker {
     runs: VecDeque<(f64, u32)>,
     min_prominence: f64,
@@ -196,6 +196,16 @@ pub struct PeakTracker {
     /// Run values copied contiguously for the recount scan — deque indexing
     /// pays wrap-around arithmetic per access, a dense slice doesn't.
     scratch: Vec<f64>,
+}
+
+// `scratch` is a transient workspace (stale whenever a push skipped the
+// recount), so equality is over the logical state only.
+impl PartialEq for PeakTracker {
+    fn eq(&self, other: &Self) -> bool {
+        self.runs == other.runs
+            && self.min_prominence == other.min_prominence
+            && self.count == other.count
+    }
 }
 
 impl PeakTracker {
@@ -211,22 +221,35 @@ impl PeakTracker {
 
     /// Applies one ring-buffer push: `added` entered the window and
     /// `evicted` (if the ring was full) left it, then refreshes the cached
-    /// count.
+    /// count — but only when the run-*value* sequence actually changed. The
+    /// count is a function of the run values alone (multiplicities affect
+    /// neither the local-maximum test nor the prominence scans), so a push
+    /// that merely extends the back run while the evict merely shortens the
+    /// front run leaves the count untouched. That is the steady state of a
+    /// Kalman-converged phase, where the window is a handful of long runs
+    /// and recounting every push would rescan all of them every cycle.
     pub fn push(&mut self, added: f64, evicted: Option<f64>) {
+        let mut shape_changed = false;
         if evicted.is_some() {
             // The oldest sample always lives in the front run.
             if let Some(front) = self.runs.front_mut() {
                 front.1 -= 1;
                 if front.1 == 0 {
                     self.runs.pop_front();
+                    shape_changed = true;
                 }
             }
         }
         match self.runs.back_mut() {
             Some(back) if back.0 == added => back.1 += 1,
-            _ => self.runs.push_back((added, 1)),
+            _ => {
+                self.runs.push_back((added, 1));
+                shape_changed = true;
+            }
         }
-        self.recount();
+        if shape_changed {
+            self.recount();
+        }
     }
 
     /// The cached prominent-peak count, equal to

@@ -98,7 +98,69 @@ pub fn find_prominent_peaks(signal: &[f64], min_prominence: f64) -> Vec<Peak> {
 
 /// Counts prominent peaks (the paper's `count_prominent_peaks`).
 pub fn count_prominent_peaks(signal: &[f64], min_prominence: f64) -> usize {
-    find_prominent_peaks(signal, min_prominence).len()
+    count_prominent_peaks_at(signal.len(), |i| signal[i], min_prominence)
+}
+
+/// [`count_prominent_peaks`] over an indexable window: the ring-friendly
+/// variant, so a caller holding a wrapped ring can count peaks without
+/// copying the window into a contiguous scratch slice. `at(i)` must be pure
+/// over `0..len` (logical order, oldest first). The maxima walk and the
+/// prominence scans visit samples in exactly the order of the slice kernels
+/// and allocate nothing, so the count is identical.
+pub fn count_prominent_peaks_at(
+    len: usize,
+    at: impl Fn(usize) -> f64,
+    min_prominence: f64,
+) -> usize {
+    let mut count = 0;
+    let mut i = 1;
+    while i + 1 < len {
+        if at(i) > at(i - 1) {
+            // Walk any plateau of equal values.
+            let plateau_start = i;
+            while i + 1 < len && at(i + 1) == at(i) {
+                i += 1;
+            }
+            if i + 1 < len && at(i + 1) < at(i) {
+                let idx = (plateau_start + i) / 2;
+                if prominence_at(len, &at, idx) >= min_prominence {
+                    count += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    count
+}
+
+/// [`prominence_of`] over an indexable window — same outward scans, same
+/// break-on-strictly-higher rule.
+fn prominence_at(len: usize, at: &impl Fn(usize) -> f64, idx: usize) -> f64 {
+    let height = at(idx);
+
+    let mut left_min = height;
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let v = at(i);
+        if v > height {
+            break;
+        }
+        left_min = left_min.min(v);
+    }
+
+    let mut right_min = height;
+    let mut j = idx;
+    while j + 1 < len {
+        j += 1;
+        let v = at(j);
+        if v > height {
+            break;
+        }
+        right_min = right_min.min(v);
+    }
+
+    height - left_min.max(right_min)
 }
 
 /// Windowed average first derivative, the paper's Eq. 3 generalised to a
@@ -116,6 +178,33 @@ pub fn windowed_derivative(signal: &[f64], durations: &[f64], window: usize) -> 
     let newest = *signal.last()?;
     let oldest = signal[signal.len() - 1 - w];
     let dt: f64 = durations[durations.len().saturating_sub(w)..].iter().sum();
+    if dt <= 0.0 {
+        return None;
+    }
+    Some((newest - oldest) / dt)
+}
+
+/// [`windowed_derivative`] over indexable windows — the ring-friendly
+/// variant for callers whose signal/duration histories live in wrapped
+/// rings. Assumes the two windows are aligned with the same `len` (the
+/// ring-buffer pair case); the summation order over the trailing `w`
+/// durations matches the slice kernel exactly.
+pub fn windowed_derivative_at(
+    len: usize,
+    power_at: impl Fn(usize) -> f64,
+    duration_at: impl Fn(usize) -> f64,
+    window: usize,
+) -> Option<f64> {
+    if len < 2 || window < 1 {
+        return None;
+    }
+    let w = window.min(len - 1);
+    let newest = power_at(len - 1);
+    let oldest = power_at(len - 1 - w);
+    let mut dt = 0.0;
+    for i in (len - w)..len {
+        dt += duration_at(i);
+    }
     if dt <= 0.0 {
         return None;
     }
@@ -223,6 +312,45 @@ mod tests {
         }
         let count = count_prominent_peaks(&signal, 50.0);
         assert!(count >= 7, "expected many peaks, got {count}");
+    }
+
+    #[test]
+    fn indexed_count_matches_slice_kernel() {
+        let signals: &[&[f64]] = &[
+            &[],
+            &[5.0],
+            &[5.0, 5.0],
+            &[0.0, 100.0, 80.0, 85.0, 20.0, 100.0, 0.0],
+            &[0.0, 5.0, 5.0, 5.0, 0.0],
+            &[100.0, 1.0, 100.0],
+            &[30.0, 150.0, 30.0, 150.0, 30.0, 150.0, 30.0],
+            &[100.0, 20.0, 60.0, 30.0, 100.0],
+            &[1.0, 2.0, 3.0, 4.0, 5.0],
+        ];
+        for s in signals {
+            for prom in [0.0, 1.0, 10.0, 50.0] {
+                assert_eq!(
+                    count_prominent_peaks_at(s.len(), |i| s[i], prom),
+                    find_prominent_peaks(s, prom).len(),
+                    "signal {s:?} prominence {prom}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_derivative_matches_slice_kernel() {
+        let signal = [10.0, 20.0, 40.0, 35.0, 90.0];
+        let durations = [1.0, 0.5, 2.0, 1.0, 0.25];
+        for window in 0..7 {
+            assert_eq!(
+                windowed_derivative_at(signal.len(), |i| signal[i], |i| durations[i], window),
+                windowed_derivative(&signal, &durations, window),
+                "window {window}"
+            );
+        }
+        assert_eq!(windowed_derivative_at(1, |_| 1.0, |_| 1.0, 3), None);
+        assert_eq!(windowed_derivative_at(2, |_| 1.0, |_| 0.0, 1), None);
     }
 
     #[test]

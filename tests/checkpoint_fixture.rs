@@ -1,0 +1,152 @@
+//! Old-format snapshot compatibility across the storage-layout change.
+//!
+//! `tests/fixtures/checkpoint_v2.bin` was written by the pre-refactor
+//! `DpsManager` (per-unit `Vec<UnitState>` storage) via the committed
+//! recipe below; `checkpoint_v2_expected.txt` holds the cap trajectories
+//! (as f64 bit patterns) that same pre-refactor build produced after
+//! restoring the snapshot. The struct-of-arrays manager must restore the
+//! identical bytes into its column store and reproduce every cap
+//! bit-for-bit — the checkpoint codec is a stable wire format, not an
+//! internal detail of the storage layout.
+//!
+//! Regenerate (only with a build whose behaviour is the accepted baseline):
+//!
+//! ```text
+//! DPS_REGEN_FIXTURE=1 cargo test --release --test checkpoint_fixture
+//! ```
+
+use dps_suite::core::manager::{PowerManager, UnitLimits};
+use dps_suite::core::{DpsConfig, DpsManager, GuardConfig};
+use dps_suite::sim_core::RngStream;
+
+const N: usize = 4;
+const BUDGET: f64 = 440.0;
+const WARMUP_CYCLES: usize = 30;
+const CONTINUATION_CYCLES: usize = 12;
+const FIXTURE: &str = "tests/fixtures/checkpoint_v2.bin";
+const EXPECTED: &str = "tests/fixtures/checkpoint_v2_expected.txt";
+
+/// The pinned manager shape the fixture was checkpointed from.
+fn fixture_manager() -> DpsManager {
+    DpsManager::with_guard(
+        N,
+        BUDGET,
+        UnitLimits::xeon_gold_6240(),
+        DpsConfig::default(),
+        GuardConfig {
+            stuck_window: 5,
+            quarantine_after: 2,
+            probation_after: 3,
+            readmit_after: 4,
+            ..GuardConfig::default()
+        },
+        RngStream::new(0xF1D0, "fixture/checkpoint-v2"),
+    )
+}
+
+/// Deterministic demand with a unit-0 sensor dropout window, so the
+/// snapshot carries non-trivial guard state (quarantine, held samples)
+/// alongside the Kalman/history/moments internals.
+fn demand(t: usize, u: usize) -> f64 {
+    if u == 0 && (12..18).contains(&t) {
+        return f64::NAN;
+    }
+    let base = [120.0, 60.0, 95.0, 140.0][u];
+    base + 0.4 * (((t + 3 * u) % 7) as f64 - 3.0)
+}
+
+fn drive_cycle(m: &mut DpsManager, caps: &mut [f64], t: usize) {
+    let z: Vec<f64> = (0..N).map(|u| demand(t, u).min(caps[u])).collect();
+    m.assign_caps(&z, caps, 1.0);
+}
+
+fn caps_to_hex(caps: &[f64]) -> String {
+    caps.iter()
+        .map(|c| format!("{:016x}", c.to_bits()))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[test]
+fn v2_snapshot_fixture_restores_bit_exactly() {
+    if std::env::var("DPS_REGEN_FIXTURE").is_ok() {
+        let mut m = fixture_manager();
+        let mut caps = vec![110.0; N];
+        for t in 0..WARMUP_CYCLES {
+            drive_cycle(&mut m, &mut caps, t);
+        }
+        let snap = m.checkpoint().unwrap();
+        let mut lines = vec![caps_to_hex(&caps)];
+        for t in WARMUP_CYCLES..WARMUP_CYCLES + CONTINUATION_CYCLES {
+            drive_cycle(&mut m, &mut caps, t);
+            lines.push(caps_to_hex(&caps));
+        }
+        std::fs::create_dir_all("tests/fixtures").unwrap();
+        std::fs::write(FIXTURE, &snap).unwrap();
+        std::fs::write(EXPECTED, lines.join("\n") + "\n").unwrap();
+        eprintln!(
+            "regenerated {FIXTURE} ({} bytes) and {EXPECTED}",
+            snap.len()
+        );
+        return;
+    }
+
+    let snap = std::fs::read(FIXTURE).expect("committed v2 snapshot fixture");
+    let expected: Vec<String> = std::fs::read_to_string(EXPECTED)
+        .expect("committed expected-caps fixture")
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert_eq!(expected.len(), 1 + CONTINUATION_CYCLES);
+
+    let mut m = fixture_manager();
+    m.restore(&snap).expect("v2 snapshot restores");
+    assert_eq!(m.total_budget(), BUDGET);
+
+    // The caps in force at checkpoint time are the first expected line.
+    let mut caps: Vec<f64> = expected[0]
+        .split_whitespace()
+        .map(|h| f64::from_bits(u64::from_str_radix(h, 16).unwrap()))
+        .collect();
+
+    for (i, t) in (WARMUP_CYCLES..WARMUP_CYCLES + CONTINUATION_CYCLES).enumerate() {
+        drive_cycle(&mut m, &mut caps, t);
+        assert_eq!(
+            caps_to_hex(&caps),
+            expected[i + 1],
+            "restored trajectory diverged from the pre-refactor build at cycle {t}"
+        );
+    }
+}
+
+#[test]
+fn membership_churn_immediately_after_restore() {
+    if std::env::var("DPS_REGEN_FIXTURE").is_ok() {
+        return; // the sibling test is rewriting the fixture under us
+    }
+    let snap = std::fs::read(FIXTURE).expect("committed v2 snapshot fixture");
+    let mut m = fixture_manager();
+    m.restore(&snap).expect("v2 snapshot restores");
+
+    // Unit 1 churns before the restored controller runs a single cycle —
+    // the reset must land on freshly restored column state.
+    m.observe_membership(&[true, false, true, true]);
+    m.observe_membership(&[true, true, true, true]);
+
+    let churned = m.unit_state(1);
+    assert!(churned.power_history.is_empty(), "history survived churn");
+    assert_eq!(churned.latest_estimate(), 0.0);
+    assert_eq!(churned.history_std(), 0.0);
+    assert!(!churned.high_freq && !churned.priority);
+    // Non-churned neighbours keep the checkpointed state.
+    assert!(!m.unit_state(0).power_history.is_empty());
+    assert!(!m.unit_state(3).power_history.is_empty());
+
+    // The post-churn controller still runs under budget discipline.
+    let mut caps = vec![110.0; N];
+    for t in 0..20 {
+        drive_cycle(&mut m, &mut caps, WARMUP_CYCLES + t);
+        let sum: f64 = caps.iter().sum();
+        assert!(sum <= BUDGET + 1e-6, "budget violated after churn: {sum}");
+    }
+}

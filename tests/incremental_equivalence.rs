@@ -202,6 +202,81 @@ fn incremental_matches_rescan_under_scheduler_churn() {
     assert_traces_match(&inc_sink, &res_sink, "equiv-sched");
 }
 
+/// The struct-of-arrays decision core against the per-unit-struct oracle:
+/// a [`DpsManager`] (whose hot path runs entirely on the flat column
+/// store) is driven alongside a mirror `Vec<UnitState>` fed the identical
+/// measurement stream, and every cycle the manager's materialized
+/// per-unit view must agree **bit for bit** on every observe-state
+/// observable — Kalman estimate, rolling history std, prominent-peak
+/// count, windowed derivative. Sawtooth demand keeps the peak tracker
+/// churning, NaN dropouts hit the non-finite path, and membership flips
+/// exercise the column reset against the struct reset.
+#[test]
+fn soa_matches_unit_oracle_observe_state() {
+    use dps_suite::core::history::UnitState;
+    use dps_suite::core::manager::{PowerManager, UnitLimits};
+    use dps_suite::core::{DpsConfig, DpsManager};
+
+    let n = 24;
+    let config = DpsConfig::default();
+    let mut mgr = DpsManager::new(
+        n,
+        110.0 * n as f64,
+        UnitLimits::xeon_gold_6240(),
+        config,
+        RngStream::new(11, "equiv-soa-oracle"),
+    );
+    let mut oracle: Vec<UnitState> = (0..n).map(|_| UnitState::new(&config)).collect();
+    let mut caps = vec![110.0; n];
+    let mut active = vec![true; n];
+    let mut measured = vec![0.0; n];
+    for step in 0..400usize {
+        if step > 0 && step % 97 == 0 {
+            // Membership churn: the manager resets the unit's columns, the
+            // oracle resets its struct; both must land in the same state.
+            let u = step % n;
+            active[u] = !active[u];
+            mgr.observe_membership(&active);
+            oracle[u].reset();
+        }
+        for (u, m) in measured.iter_mut().enumerate() {
+            let demand = 40.0 + 120.0 * (((step + u) % 20) as f64 / 20.0);
+            *m = if (step + u) % 53 == 0 {
+                f64::NAN
+            } else {
+                demand.min(caps[u])
+            };
+        }
+        mgr.assign_caps(&measured, &mut caps, 1.0);
+        for (state, &z) in oracle.iter_mut().zip(&measured) {
+            state.observe(z, 1.0);
+        }
+        for (u, state) in oracle.iter_mut().enumerate() {
+            let mut soa = mgr.unit_state(u);
+            assert_eq!(
+                soa.latest_estimate().to_bits(),
+                state.latest_estimate().to_bits(),
+                "estimate diverged at step {step} unit {u}"
+            );
+            assert_eq!(
+                soa.history_std().to_bits(),
+                state.history_std().to_bits(),
+                "history std diverged at step {step} unit {u}"
+            );
+            assert_eq!(
+                soa.prominent_peak_count(),
+                state.prominent_peak_count(),
+                "peak count diverged at step {step} unit {u}"
+            );
+            assert_eq!(
+                soa.derivative().map(f64::to_bits),
+                state.derivative().map(f64::to_bits),
+                "derivative diverged at step {step} unit {u}"
+            );
+        }
+    }
+}
+
 /// The threaded observe/classify phase against the sequential loop: with
 /// `parallel_threshold` forced to 1 (every cycle takes the threaded path)
 /// the decision-event stream must be byte-identical to a sim whose

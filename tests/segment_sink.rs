@@ -1,0 +1,96 @@
+//! Segment-sink roundtrip: a scenario recorded through a streaming
+//! [`SegmentSink`] must replay **identically** to the same scenario
+//! recorded through an in-memory [`RingSink`] — same events, same order,
+//! and the merged segment stream must re-encode to the exact golden
+//! bytes. This is the contract that lets long runs spill to disk without
+//! changing what the trace says.
+
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use dps_experiments::scenarios::GoldenScenario;
+use dps_obs::segment::{read_segment_dir, segment_files};
+use dps_obs::{codec, SegmentSink, SinkHandle};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("segments-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Records a scenario through a segment sink and returns the directory.
+fn record_segmented(scenario: GoldenScenario, capacity: usize, tag: &str) -> PathBuf {
+    let dir = scratch_dir(tag);
+    let sink = SegmentSink::new(&dir, capacity).expect("create segment dir");
+    let handle = SinkHandle::new(Rc::new(sink));
+    scenario.drive(Default::default(), &handle);
+    let seg = handle.as_segment().expect("handle wraps a segment sink");
+    seg.flush();
+    assert_eq!(seg.io_errors(), 0, "{:?}", seg.last_error());
+    dir
+}
+
+#[test]
+fn segmented_recording_matches_ring_recording() {
+    let scenario = GoldenScenario::PaperDefault;
+    let ring_trace = codec::decode(&scenario.record()).expect("ring trace decodes");
+
+    // A small segment capacity forces many spills mid-run.
+    let dir = record_segmented(scenario, 64, "paper-default");
+    let files = segment_files(&dir).expect("segments were written");
+    assert!(
+        files.len() > 3,
+        "expected several segments, got {}",
+        files.len()
+    );
+
+    let merged = read_segment_dir(&dir).expect("segment dir reassembles");
+    assert_eq!(merged.dropped, 0, "spill-on-full must never drop");
+    assert_eq!(
+        merged.events, ring_trace.events,
+        "segmented stream diverged from the ring recording"
+    );
+
+    // Re-encoding the merged stream reproduces the golden bytes exactly.
+    assert_eq!(
+        codec::encode(&merged.events, merged.dropped),
+        scenario.record()
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn segment_capacity_does_not_change_the_stream() {
+    let scenario = GoldenScenario::SensorFault;
+    let a = record_segmented(scenario, 64, "sf-64");
+    let b = record_segmented(scenario, 1024, "sf-1024");
+    let ta = read_segment_dir(&a).unwrap();
+    let tb = read_segment_dir(&b).unwrap();
+    assert!(segment_files(&a).unwrap().len() > segment_files(&b).unwrap().len());
+    assert_eq!(ta.events, tb.events);
+    std::fs::remove_dir_all(&a).unwrap();
+    std::fs::remove_dir_all(&b).unwrap();
+}
+
+#[test]
+fn segment_registry_matches_offline_rebuild() {
+    let scenario = GoldenScenario::PaperDefault;
+    let dir = scratch_dir("registry");
+    let sink = SegmentSink::new(&dir, 512).expect("create segment dir");
+    let handle = SinkHandle::new(Rc::new(sink));
+    scenario.drive(Default::default(), &handle);
+    let seg = handle.as_segment().unwrap();
+    seg.flush();
+
+    // The live registry the sink kept while spilling must agree with a
+    // registry rebuilt offline from the reassembled stream.
+    let merged = read_segment_dir(&dir).unwrap();
+    let offline = dps_obs::ObsRegistry::from_events(&merged.events);
+    let live = seg.registry();
+    assert_eq!(live.events(), offline.events());
+    assert_eq!(live.cap_deltas(), offline.cap_deltas());
+    assert_eq!(live.priority_flips(), offline.priority_flips());
+    assert_eq!(live.restores(), offline.restores());
+    assert_eq!(live.cap_churn().count(), offline.cap_churn().count());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
