@@ -18,6 +18,11 @@
 //!    guard isolated hold no more than the fallback pin (lower layers may
 //!    push them further down, but never grant them extra power). Skipped
 //!    in degraded modes, where caps are deliberately frozen.
+//! 5. **Shard budgets** (hard, hierarchical managers only): budget safety
+//!    re-checked at every level of the allocation tree — each shard's
+//!    requested caps sum to at most its grant, and the grants sum to at
+//!    most the cluster budget. A flat cluster-level sum (check 1) cannot
+//!    see an over-granted shard hiding under another shard's slack.
 //!
 //! Hard-check failures emit [`dps_obs::Event::InvariantViolation`], bump
 //! the counter, and — with [`InvariantMonitor::set_fail_fast`] on (the
@@ -26,7 +31,7 @@
 
 use crate::sim::ControlPlaneMode;
 use dps_core::guard::HealthState;
-use dps_core::manager::UnitLimits;
+use dps_core::manager::{ShardSpan, UnitLimits};
 use dps_core::OperatingMode;
 use dps_obs::{Event, InvariantKind, SinkHandle};
 use dps_sim_core::units::Watts;
@@ -90,6 +95,9 @@ pub struct InvariantInputs<'a> {
     pub health: Option<&'a [HealthState]>,
     /// The fallback pin isolated units must sit at.
     pub fallback_cap: Watts,
+    /// The manager's allocation tree ([`dps_core::PowerManager::shard_view`]),
+    /// when it is hierarchical; `None` for flat managers.
+    pub shards: Option<&'a [ShardSpan]>,
 }
 
 /// Per-cycle safety monitor. See the module docs for the four checks.
@@ -238,6 +246,44 @@ impl InvariantMonitor {
             }
         }
 
+        // 5. Hierarchical managers: budget safety at every tree level. Per
+        //    shard, the requested caps must fit the shard's grant (scaled
+        //    cap tolerance — the same wire quantization applies to every
+        //    unit in the shard); across shards, the grants must fit the
+        //    cluster budget.
+        if let Some(spans) = inp.shards {
+            let mut grant_sum = 0.0;
+            for sp in spans {
+                grant_sum += sp.grant;
+                let shard_caps: f64 = inp.requested[sp.start..sp.end].iter().sum();
+                let shard_limit = sp.grant + self.config.cap_tol * sp.units() as f64;
+                if shard_caps > shard_limit {
+                    self.near_miss = true;
+                    self.report(
+                        sink,
+                        cycle,
+                        InvariantKind::ShardBudget,
+                        shard_caps,
+                        shard_limit,
+                        true,
+                    );
+                    break; // one report per cycle is enough to fail the build
+                }
+            }
+            let grant_limit = inp.budget + self.config.budget_slack;
+            if grant_sum > grant_limit {
+                self.near_miss = true;
+                self.report(
+                    sink,
+                    cycle,
+                    InvariantKind::ShardBudget,
+                    grant_sum,
+                    grant_limit,
+                    true,
+                );
+            }
+        }
+
         self.near_miss
     }
 }
@@ -272,6 +318,7 @@ mod tests {
             mode: OperatingMode::Normal,
             health: None,
             fallback_cap: 100.0,
+            shards: None,
         }
     }
 
@@ -331,6 +378,76 @@ mod tests {
         assert!(!m.check(&inputs(&caps, &caps), &sink));
         assert!(m.check(&inputs(&caps, &applied), &sink));
         assert_eq!(m.violations(), 1);
+    }
+
+    #[test]
+    fn over_granted_shard_trips_the_tree_check() {
+        // Both shards' caps fit the *cluster* budget (check 1 passes), but
+        // shard 0 holds more than its grant — only the tree check sees it.
+        let mut m = InvariantMonitor::new(cfg());
+        let caps = [120.0, 70.0];
+        let spans = [
+            ShardSpan {
+                start: 0,
+                end: 1,
+                grant: 100.0,
+            },
+            ShardSpan {
+                start: 1,
+                end: 2,
+                grant: 100.0,
+            },
+        ];
+        let mut inp = inputs(&caps, &caps);
+        inp.shards = Some(&spans);
+        assert!(m.check(&inp, &SinkHandle::noop()));
+        assert_eq!(m.violations(), 1);
+    }
+
+    #[test]
+    fn overcommitted_grants_trip_the_tree_check() {
+        // Each shard respects its own grant, but the grants were issued
+        // past the cluster budget: the grant-sum level must catch it.
+        let mut m = InvariantMonitor::new(cfg());
+        let caps = [100.0, 100.0];
+        let spans = [
+            ShardSpan {
+                start: 0,
+                end: 1,
+                grant: 130.0,
+            },
+            ShardSpan {
+                start: 1,
+                end: 2,
+                grant: 130.0,
+            },
+        ];
+        let mut inp = inputs(&caps, &caps);
+        inp.shards = Some(&spans);
+        assert!(m.check(&inp, &SinkHandle::noop()));
+        assert_eq!(m.violations(), 1);
+    }
+
+    #[test]
+    fn well_granted_tree_is_clean() {
+        let mut m = InvariantMonitor::new(cfg());
+        let caps = [90.0, 100.0];
+        let spans = [
+            ShardSpan {
+                start: 0,
+                end: 1,
+                grant: 95.0,
+            },
+            ShardSpan {
+                start: 1,
+                end: 2,
+                grant: 105.0,
+            },
+        ];
+        let mut inp = inputs(&caps, &caps);
+        inp.shards = Some(&spans);
+        assert!(!m.check(&inp, &SinkHandle::noop()));
+        assert_eq!(m.violations(), 0);
     }
 
     #[test]

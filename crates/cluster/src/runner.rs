@@ -11,8 +11,8 @@ use crate::sim::{ClusterSim, SimConfig};
 use dps_core::manager::{ManagerKind, PowerManager, UnitLimits};
 use dps_core::{
     ConstantManager, DpsConfig, DpsManager, FeedbackConfig, FeedbackManager, MimdConfig,
-    OracleManager, PredictiveConfig, PredictiveManager, QdpmConfig, QdpmManager, SlurmManager,
-    TwoLevelManager,
+    OracleManager, PredictiveConfig, PredictiveManager, QdpmConfig, QdpmManager, ShardedManager,
+    SlurmManager, TwoLevelManager,
 };
 use dps_sim_core::rng::RngStream;
 use dps_sim_core::stats;
@@ -36,6 +36,8 @@ pub struct ExperimentConfig {
     pub reps: usize,
     /// Hard step limit (safety net against pathological configurations).
     pub max_steps: u64,
+    /// Shard count for [`ManagerKind::Sharded`] (ignored by flat managers).
+    pub shards: usize,
 }
 
 impl ExperimentConfig {
@@ -50,6 +52,7 @@ impl ExperimentConfig {
             // Budget for reps runs of the slowest workload (~6000 s) plus
             // gaps, with generous slack for throttling.
             max_steps: 400_000,
+            shards: 4,
         }
     }
 
@@ -98,6 +101,20 @@ impl ExperimentConfig {
                 limits,
                 self.mimd,
                 rng,
+            )),
+            ManagerKind::Sharded => Box::new(ShardedManager::new(
+                n,
+                budget,
+                limits,
+                self.dps,
+                // Small testbeds may have fewer units than the configured
+                // shard count; never split finer than one unit per shard.
+                self.shards.clamp(1, n),
+                // Seeded from the DPS stream, not a `Sharded` one: the tree
+                // wraps DPS instances, and a one-shard tree must reproduce
+                // the flat DPS manager bit for bit (the differential
+                // equivalence suite pins exactly that through this harness).
+                RngStream::new(self.seed, &format!("manager/{}", ManagerKind::Dps)),
             )),
         }
     }

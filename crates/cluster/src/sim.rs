@@ -895,6 +895,13 @@ impl ClusterSim {
         self.monitor.violations()
     }
 
+    /// The manager's shard tree (`None` for flat managers) — lets
+    /// differential harnesses assert the per-level budget invariant
+    /// against [`ClusterSim::caps`] from outside the simulator.
+    pub fn shard_view(&self) -> Option<&[dps_core::manager::ShardSpan]> {
+        self.manager.shard_view()
+    }
+
     /// Toggle panicking on hard invariant-check failures (defaults to on
     /// only inside this crate's own test build; integration harnesses that
     /// want the fail-fast behaviour opt in here).
@@ -1427,6 +1434,7 @@ impl ClusterSim {
                 mode,
                 health: self.manager.health(),
                 fallback_cap: fallback,
+                shards: self.manager.shard_view(),
             };
             self.monitor.check(&inputs, &self.sink)
         };

@@ -99,6 +99,13 @@ impl ByteWriter {
         }
     }
 
+    /// Appends a length-prefixed raw byte blob (e.g. an embedded,
+    /// independently sealed sub-snapshot).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_usize(bytes.len());
+        self.buf.extend_from_slice(bytes);
+    }
+
     /// Seals the payload with its FNV-1a checksum and returns the bytes.
     pub fn seal(mut self) -> Vec<u8> {
         let sum = fnv1a(&self.buf);
@@ -209,6 +216,16 @@ impl<'a> ByteReader<'a> {
         Ok(out)
     }
 
+    /// Reads a length-prefixed raw byte blob, with `max_len` guarding
+    /// against a corrupted length field.
+    pub fn get_bytes(&mut self, max_len: usize) -> Result<&'a [u8], String> {
+        let len = self.get_usize()?;
+        if len > max_len {
+            return Err(format!("blob length {len} exceeds bound {max_len}"));
+        }
+        self.take(len)
+    }
+
     /// Whether every payload byte has been consumed.
     pub fn is_exhausted(&self) -> bool {
         self.pos == self.buf.len()
@@ -243,6 +260,7 @@ mod tests {
         w.put_f64(-1.5e300);
         w.put_f64(f64::NAN);
         w.put_f64_slice(&[1.0, 2.5, -3.25]);
+        w.put_bytes(b"nested");
         let bytes = w.seal();
 
         let mut r = ByteReader::open(&bytes).unwrap();
@@ -255,7 +273,17 @@ mod tests {
         assert_eq!(r.get_f64().unwrap(), -1.5e300);
         assert!(r.get_f64().unwrap().is_nan());
         assert_eq!(r.get_f64_vec(10).unwrap(), vec![1.0, 2.5, -3.25]);
+        assert_eq!(r.get_bytes(64).unwrap(), b"nested");
         r.finish().unwrap();
+    }
+
+    #[test]
+    fn bounded_bytes_rejects_corrupt_length() {
+        let mut w = ByteWriter::new();
+        w.put_bytes(&[0xAB; 32]);
+        let bytes = w.seal();
+        let mut r = ByteReader::open(&bytes).unwrap();
+        assert!(r.get_bytes(16).is_err());
     }
 
     #[test]

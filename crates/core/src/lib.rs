@@ -56,6 +56,7 @@ pub mod predictive;
 pub mod priority;
 pub mod qdpm;
 pub mod readjust;
+pub mod sharded;
 pub mod stateless;
 pub mod twolevel;
 
@@ -64,10 +65,11 @@ pub use constant::ConstantManager;
 pub use dps::DpsManager;
 pub use feedback::{FeedbackConfig, FeedbackManager};
 pub use guard::{GuardConfig, GuardStats, HealthState, TelemetryGuard};
-pub use manager::{ManagerKind, PowerManager, UnitLimits};
+pub use manager::{ManagerKind, PowerManager, ShardSpan, UnitLimits};
 pub use mode::{ConfidenceReport, ModeConfig, ModeMachine, OperatingMode};
 pub use oracle::OracleManager;
 pub use predictive::{PredictiveConfig, PredictiveManager};
 pub use qdpm::{QdpmConfig, QdpmManager};
+pub use sharded::{allocate_grants, AllocatorConfig, ShardedManager};
 pub use stateless::SlurmManager;
 pub use twolevel::TwoLevelManager;

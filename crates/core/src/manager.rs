@@ -69,6 +69,9 @@ pub enum ManagerKind {
     TwoLevel,
     /// Q-DPM model-free Q-learning with continuous-time state aggregation.
     Qdpm,
+    /// Hierarchical sharded DPS: independent per-shard DPS instances under
+    /// a top-level budget allocator.
+    Sharded,
 }
 
 impl ManagerKind {
@@ -96,8 +99,29 @@ impl std::fmt::Display for ManagerKind {
             ManagerKind::Predictive => "Predictive",
             ManagerKind::TwoLevel => "TwoLevel",
             ManagerKind::Qdpm => "QDPM",
+            ManagerKind::Sharded => "Sharded",
         };
         f.write_str(s)
+    }
+}
+
+/// One shard of a hierarchical manager's allocation tree, as exposed for
+/// per-level budget-invariant checking: the contiguous flat-unit range the
+/// shard owns and the budget it was granted for the cycle that just ran.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardSpan {
+    /// First flat unit index owned by the shard.
+    pub start: usize,
+    /// One past the last flat unit index owned by the shard.
+    pub end: usize,
+    /// Budget granted to the shard for the last cycle (W).
+    pub grant: Watts,
+}
+
+impl ShardSpan {
+    /// Number of units the shard owns.
+    pub fn units(&self) -> usize {
+        self.end - self.start
     }
 }
 
@@ -195,6 +219,14 @@ pub trait PowerManager {
     /// Default: unsupported.
     fn restore(&mut self, _snapshot: &[u8]) -> Result<(), String> {
         Err("this manager does not support checkpoint/restore".into())
+    }
+
+    /// Hierarchical managers expose their per-shard unit spans and budget
+    /// grants so external monitors can re-check budget safety at every
+    /// tree level (shard caps sum ≤ shard grant, grants sum ≤ cluster
+    /// budget); `None` for flat managers.
+    fn shard_view(&self) -> Option<&[ShardSpan]> {
+        None
     }
 
     /// Attaches a structured trace sink (`dps-obs`): instrumented managers

@@ -1,0 +1,1190 @@
+//! Hierarchical sharded DPS: a two-level allocation tree.
+//!
+//! The flat [`DpsManager`] treats the fleet as one budget pool; beyond a few
+//! hundred thousand units its decision cycle is dominated by the global
+//! passes (MIMD visit order, readjust equalization) that must see every
+//! unit. [`ShardedManager`] partitions the fleet into contiguous shards,
+//! each an *independent* DPS instance over its own unit slice, and puts a
+//! lightweight top-level allocator above them that trades budget between
+//! shards once per cycle using aggregate power-dynamics signals:
+//!
+//! * **demand** — the shard's NaN-robust measured-power sum (dropped-out
+//!   sensors must not poison a whole shard's claim);
+//! * **demand derivative** — an EWMA of the cycle-over-cycle demand slope,
+//!   so a shard ramping into a phase change is granted lead-time headroom
+//!   before it saturates;
+//! * **priority pressure** — how many of the shard's units the DPS priority
+//!   module classified as dynamically active last cycle.
+//!
+//! Budget safety holds at **every level of the tree, every cycle**: each
+//! shard's caps sum to at most its grant (the shard's own DPS contract),
+//! and the grants sum to at most the cluster budget (the allocator's
+//! water-fill conserves it exactly). [`PowerManager::shard_view`] exposes
+//! the spans and grants so external monitors re-check both levels.
+//!
+//! A single-shard tree is the flat manager: construction hands the parent
+//! RNG stream through unchanged and every call delegates, so
+//! `ShardedManager` with one shard is **bit-identical** to [`DpsManager`]
+//! on caps, priorities, traces and checkpoints (the differential harness in
+//! `tests/sharded_equivalence.rs` pins this). Multi-shard trees derive one
+//! child RNG stream per shard and, with the `parallel` feature, run the
+//! shards on scoped worker threads without locks — shards share no state.
+
+use crate::budget::{debug_assert_budget, BUDGET_EPSILON};
+use crate::checkpoint::{ByteReader, ByteWriter};
+use crate::config::DpsConfig;
+use crate::dps::DpsManager;
+use crate::guard::{GuardConfig, GuardStats, HealthState};
+use crate::manager::{check_new_budget, ManagerKind, PowerManager, ShardSpan, UnitLimits};
+use dps_obs::{Event, SinkHandle};
+use dps_sim_core::rng::RngStream;
+use dps_sim_core::units::{Seconds, Watts};
+
+/// Tag distinguishing hierarchical snapshots from flat ones: `"SHRD"` as a
+/// little-endian u32, written right after the common `DPSC` header. A flat
+/// snapshot stores its unit count there instead, so each reader rejects the
+/// other's blobs with a clean error rather than misparsing.
+pub const SHARD_TAG: u32 = u32::from_le_bytes(*b"SHRD");
+/// Sharded snapshot format version (the embedded per-shard blobs carry the
+/// flat format's own version independently).
+pub const SHARD_VERSION: u32 = 1;
+
+/// Tunables for the top-level inter-shard budget allocator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllocatorConfig {
+    /// Smoothing factor for the per-shard demand-derivative EWMA (0 = frozen,
+    /// 1 = raw slope).
+    pub ewma_alpha: f64,
+    /// How many seconds of the (positive) demand slope to pre-grant — the
+    /// lead time a ramping shard gets before it would saturate.
+    pub lead_time_s: f64,
+    /// Extra claimed Watts per unit the shard's priority module flagged as
+    /// dynamically active last cycle.
+    pub priority_boost_w: f64,
+    /// Fractional headroom granted on top of measured demand.
+    pub headroom_frac: f64,
+    /// Skip the regrant entirely when no shard's grant would move by more
+    /// than this relative amount — `set_budget` resets shard-internal
+    /// budget-derived state, so churning grants on noise is not free. The
+    /// skip is all-or-nothing: applying only some of a water-fill's grants
+    /// could transiently overshoot the cluster budget.
+    pub regrant_deadband: f64,
+}
+
+impl Default for AllocatorConfig {
+    fn default() -> Self {
+        Self {
+            ewma_alpha: 0.3,
+            lead_time_s: 3.0,
+            priority_boost_w: 10.0,
+            headroom_frac: 0.1,
+            regrant_deadband: 1e-3,
+        }
+    }
+}
+
+impl AllocatorConfig {
+    /// Validates every field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.ewma_alpha.is_finite() && (0.0..=1.0).contains(&self.ewma_alpha)) {
+            return Err(format!(
+                "ewma_alpha must be in [0, 1], got {}",
+                self.ewma_alpha
+            ));
+        }
+        for (name, v) in [
+            ("lead_time_s", self.lead_time_s),
+            ("priority_boost_w", self.priority_boost_w),
+            ("headroom_frac", self.headroom_frac),
+            ("regrant_deadband", self.regrant_deadband),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("{name} must be finite and non-negative, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Splits `budget` into per-shard grants by weighted water-fill.
+///
+/// Every grant starts at its shard's floor (`min_cap × units` — below that
+/// the shard's own DPS cannot satisfy its hardware minimums); the budget
+/// above the floor sum is distributed proportionally to `weights`, spilling
+/// a saturated shard's overflow back into the pool until either the budget
+/// or every ceiling is exhausted. Non-finite or non-positive weights claim
+/// nothing; if no shard claims anything, the surplus is split equally so
+/// budget is never stranded.
+///
+/// Guarantees (the allocator's proptest contract):
+/// * conservation — `Σ grants == min(budget, Σ ceilings)` up to float slack,
+///   and never above `budget`;
+/// * floors — `grants[s] ≥ floors[s]` for every shard;
+/// * ceilings — `grants[s] ≤ ceilings[s]` for every shard.
+///
+/// # Panics
+/// Panics when the slices disagree in length, when a floor exceeds its
+/// ceiling, or (debug only) when the floors alone exceed the budget.
+pub fn allocate_grants(
+    budget: Watts,
+    floors: &[Watts],
+    ceilings: &[Watts],
+    weights: &[f64],
+    grants: &mut [Watts],
+) {
+    let k = floors.len();
+    assert!(k > 0, "need at least one shard");
+    assert_eq!(ceilings.len(), k, "one ceiling per shard");
+    assert_eq!(weights.len(), k, "one weight per shard");
+    assert_eq!(grants.len(), k, "one grant slot per shard");
+    let mut floor_sum = 0.0;
+    let mut ceil_sum = 0.0;
+    for s in 0..k {
+        assert!(
+            floors[s] <= ceilings[s] + BUDGET_EPSILON,
+            "shard {s} floor {} above its ceiling {}",
+            floors[s],
+            ceilings[s]
+        );
+        floor_sum += floors[s];
+        ceil_sum += ceilings[s];
+    }
+    debug_assert!(
+        floor_sum <= budget + BUDGET_EPSILON,
+        "floors ({floor_sum}) exceed the budget ({budget})"
+    );
+    grants.copy_from_slice(floors);
+    let mut leftover = budget.min(ceil_sum) - floor_sum;
+    // Each round either exhausts the leftover or saturates at least one
+    // shard, so k+1 rounds always suffice.
+    let mut rounds = 0;
+    while leftover > BUDGET_EPSILON && rounds <= k {
+        rounds += 1;
+        let mut total_w = 0.0;
+        for s in 0..k {
+            if grants[s] < ceilings[s] - BUDGET_EPSILON
+                && weights[s].is_finite()
+                && weights[s] > 0.0
+            {
+                total_w += weights[s];
+            }
+        }
+        let mut given = 0.0;
+        if total_w > 0.0 {
+            for s in 0..k {
+                let w = weights[s];
+                if grants[s] >= ceilings[s] - BUDGET_EPSILON || !(w.is_finite() && w > 0.0) {
+                    continue;
+                }
+                let add = (leftover * w / total_w).min(ceilings[s] - grants[s]);
+                grants[s] += add;
+                given += add;
+            }
+        } else {
+            // Nothing claims the surplus: split it equally over whatever
+            // capacity remains instead of stranding budget.
+            let open = (0..k)
+                .filter(|&s| grants[s] < ceilings[s] - BUDGET_EPSILON)
+                .count();
+            if open == 0 {
+                break;
+            }
+            let share = leftover / open as f64;
+            for s in 0..k {
+                if grants[s] < ceilings[s] - BUDGET_EPSILON {
+                    let add = share.min(ceilings[s] - grants[s]);
+                    grants[s] += add;
+                    given += add;
+                }
+            }
+        }
+        if given <= BUDGET_EPSILON {
+            break;
+        }
+        leftover -= given;
+    }
+    // Float-drift backstop: conservation must hold exactly enough that the
+    // shards' own `set_budget` feasibility checks and the cluster-level
+    // invariant monitor never see an overshoot.
+    let total: f64 = grants.iter().sum();
+    if total > budget {
+        let mut excess = total - budget;
+        for s in 0..k {
+            if excess <= 0.0 {
+                break;
+            }
+            let cut = excess.min(grants[s] - floors[s]);
+            grants[s] -= cut;
+            excess -= cut;
+        }
+    }
+}
+
+/// Hierarchical sharded DPS manager (see the module docs).
+#[derive(Debug, Clone)]
+pub struct ShardedManager {
+    shards: Vec<DpsManager>,
+    spans: Vec<ShardSpan>,
+    limits: UnitLimits,
+    total_budget: Watts,
+    num_units: usize,
+    alloc: AllocatorConfig,
+    /// Static per-shard grant bounds: `min_cap × units` / `max_cap × units`.
+    floors: Vec<Watts>,
+    ceilings: Vec<Watts>,
+    /// Allocator signal state.
+    prev_demand: Vec<Watts>,
+    deriv_ewma: Vec<f64>,
+    primed: bool,
+    /// Per-cycle scratch (no heap churn in steady state).
+    weights: Vec<f64>,
+    new_grants: Vec<Watts>,
+    /// Concatenated per-shard priority flags (multi-shard trees only).
+    all_priorities: Vec<bool>,
+    active: Vec<bool>,
+    sink: SinkHandle,
+    trace_cycle: u64,
+}
+
+impl ShardedManager {
+    /// Creates a sharded manager with the default [`AllocatorConfig`] and no
+    /// telemetry guard. Units are split into `num_shards` near-equal
+    /// contiguous spans; the budget starts proportionally split.
+    ///
+    /// # Panics
+    /// Panics on an invalid config, an infeasible budget, zero shards, or
+    /// more shards than units.
+    pub fn new(
+        num_units: usize,
+        total_budget: Watts,
+        limits: UnitLimits,
+        config: DpsConfig,
+        num_shards: usize,
+        rng: RngStream,
+    ) -> Self {
+        Self::build(
+            num_units,
+            total_budget,
+            limits,
+            config,
+            None,
+            num_shards,
+            rng,
+        )
+    }
+
+    /// [`ShardedManager::new`] with a [`crate::TelemetryGuard`] in front of
+    /// every shard's measurement and cap streams.
+    ///
+    /// # Panics
+    /// Panics on an invalid config (manager or guard) or shard count.
+    pub fn with_guard(
+        num_units: usize,
+        total_budget: Watts,
+        limits: UnitLimits,
+        config: DpsConfig,
+        guard: GuardConfig,
+        num_shards: usize,
+        rng: RngStream,
+    ) -> Self {
+        Self::build(
+            num_units,
+            total_budget,
+            limits,
+            config,
+            Some(guard),
+            num_shards,
+            rng,
+        )
+    }
+
+    fn build(
+        num_units: usize,
+        total_budget: Watts,
+        limits: UnitLimits,
+        config: DpsConfig,
+        guard: Option<GuardConfig>,
+        num_shards: usize,
+        rng: RngStream,
+    ) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        assert!(
+            num_shards <= num_units,
+            "cannot split {num_units} units into {num_shards} shards"
+        );
+        config.validate().expect("invalid DPS config");
+        limits
+            .check_feasible(total_budget, num_units)
+            .expect("infeasible budget");
+        let base = num_units / num_shards;
+        let rem = num_units % num_shards;
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut spans = Vec::with_capacity(num_shards);
+        let mut floors = Vec::with_capacity(num_shards);
+        let mut ceilings = Vec::with_capacity(num_shards);
+        let mut start = 0usize;
+        let mut granted = 0.0;
+        for s in 0..num_shards {
+            let units = base + usize::from(s < rem);
+            let end = start + units;
+            // Last shard absorbs the float remainder so the grants sum to
+            // the budget exactly; a proportional share always covers the
+            // shard's floor because the cluster budget covers the fleet's.
+            let grant = if s + 1 == num_shards {
+                total_budget - granted
+            } else {
+                total_budget * units as f64 / num_units as f64
+            };
+            granted += grant;
+            // A one-shard tree *is* the flat manager: hand the parent
+            // stream through unchanged so every RNG draw matches the flat
+            // construction bit for bit. Multi-shard trees give each shard
+            // its own derived stream.
+            let shard_rng = if num_shards == 1 {
+                rng.clone()
+            } else {
+                rng.child(&format!("shard/{s}"))
+            };
+            let shard = match guard {
+                Some(g) => DpsManager::with_guard(units, grant, limits, config, g, shard_rng),
+                None => DpsManager::new(units, grant, limits, config, shard_rng),
+            };
+            shards.push(shard);
+            spans.push(ShardSpan { start, end, grant });
+            floors.push(limits.min_cap * units as f64);
+            ceilings.push(limits.max_cap * units as f64);
+            start = end;
+        }
+        Self {
+            shards,
+            spans,
+            limits,
+            total_budget,
+            num_units,
+            alloc: AllocatorConfig::default(),
+            floors,
+            ceilings,
+            prev_demand: vec![0.0; num_shards],
+            deriv_ewma: vec![0.0; num_shards],
+            primed: false,
+            weights: vec![0.0; num_shards],
+            new_grants: vec![0.0; num_shards],
+            all_priorities: vec![false; num_units],
+            active: vec![true; num_units],
+            sink: SinkHandle::noop(),
+            trace_cycle: 0,
+        }
+    }
+
+    /// Replaces the allocator tunables (builder style).
+    ///
+    /// # Panics
+    /// Panics on an invalid config.
+    pub fn with_allocator(mut self, alloc: AllocatorConfig) -> Self {
+        alloc.validate().expect("invalid allocator config");
+        self.alloc = alloc;
+        self
+    }
+
+    /// Number of shards in the tree.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard DPS instances (read-only, for tests and inspection).
+    pub fn shards(&self) -> &[DpsManager] {
+        &self.shards
+    }
+
+    /// The allocator tunables in effect.
+    pub fn allocator(&self) -> &AllocatorConfig {
+        &self.alloc
+    }
+
+    /// One allocator pass: refresh the per-shard signals from this cycle's
+    /// measurements, water-fill the budget into new grants, and apply them
+    /// (unless inside the deadband). Multi-shard trees only.
+    fn reallocate(&mut self, measured: &[Watts], dt: Seconds) {
+        let k = self.shards.len();
+        for s in 0..k {
+            let span = self.spans[s];
+            let mut demand = 0.0;
+            for &m in &measured[span.start..span.end] {
+                // NaN dropouts and garbage negatives claim nothing; the
+                // shard's own guard handles the per-unit consequences.
+                if m.is_finite() && m > 0.0 {
+                    demand += m;
+                }
+            }
+            let deriv = if self.primed && dt > 0.0 {
+                (demand - self.prev_demand[s]) / dt
+            } else {
+                0.0
+            };
+            self.deriv_ewma[s] = if self.primed {
+                self.alloc.ewma_alpha * deriv + (1.0 - self.alloc.ewma_alpha) * self.deriv_ewma[s]
+            } else {
+                0.0
+            };
+            self.prev_demand[s] = demand;
+            let prio = self.shards[s]
+                .priorities()
+                .map_or(0, |p| p.iter().filter(|&&x| x).count());
+            let target = demand * (1.0 + self.alloc.headroom_frac)
+                + self.deriv_ewma[s].max(0.0) * self.alloc.lead_time_s
+                + self.alloc.priority_boost_w * prio as f64;
+            let w = (target - self.floors[s]).max(0.0);
+            self.weights[s] = if w.is_finite() { w } else { 0.0 };
+        }
+        self.primed = true;
+        allocate_grants(
+            self.total_budget,
+            &self.floors,
+            &self.ceilings,
+            &self.weights,
+            &mut self.new_grants,
+        );
+        let mut max_rel = 0.0f64;
+        for s in 0..k {
+            let rel = (self.new_grants[s] - self.spans[s].grant).abs()
+                / self.spans[s].grant.abs().max(1.0);
+            max_rel = max_rel.max(rel);
+        }
+        if max_rel < self.alloc.regrant_deadband {
+            return;
+        }
+        let tracing = self.sink.enabled();
+        for s in 0..k {
+            let g = self.new_grants[s];
+            self.shards[s]
+                .set_budget(g)
+                .expect("water-filled grants never fall below a shard's floor");
+            self.spans[s].grant = g;
+            if tracing {
+                self.sink.emit(Event::ShardGrant {
+                    cycle: self.trace_cycle,
+                    shard: s as u32,
+                    units: self.spans[s].units() as u32,
+                    grant_w: g,
+                });
+            }
+        }
+    }
+
+    /// Runs every shard's decision cycle over its unit slice.
+    fn run_shards(&mut self, measured: &[Watts], caps: &mut [Watts], dt: Seconds) {
+        #[cfg(feature = "parallel")]
+        if self.shards.len() > 1 && self.num_units >= self.shards[0].config().parallel_threshold {
+            self.run_shards_parallel(measured, caps, dt);
+            return;
+        }
+        for (shard, span) in self.shards.iter_mut().zip(&self.spans) {
+            shard.assign_caps(
+                &measured[span.start..span.end],
+                &mut caps[span.start..span.end],
+                dt,
+            );
+        }
+    }
+
+    /// Lock-free parallel shard execution: shards own disjoint unit slices
+    /// and share no state, so each runs on its own scoped thread. The
+    /// per-shard arithmetic is the same code as the serial path, so the
+    /// results are bit-identical by construction.
+    #[cfg(feature = "parallel")]
+    fn run_shards_parallel(&mut self, measured: &[Watts], caps: &mut [Watts], dt: Seconds) {
+        // `DpsManager` is !Send only because its trace sink is an `Rc`.
+        // Multi-shard trees never forward the attached sink to their shards
+        // (`attach_trace` forwards only in the one-shard tree, which never
+        // reaches this path), so each shard still holds the uniquely-owned
+        // no-op sink it was constructed with — no `Rc` refcount is ever
+        // touched from two threads. The pointer wrapper asserts exactly
+        // that; each pointer targets a *distinct* shard, so no aliasing.
+        struct SendMgr(*mut DpsManager);
+        unsafe impl Send for SendMgr {}
+        let mut jobs = Vec::with_capacity(self.shards.len());
+        let mut m_rest = measured;
+        let mut c_rest = caps;
+        for (shard, span) in self.shards.iter_mut().zip(&self.spans) {
+            let (m, m_tail) = m_rest.split_at(span.units());
+            let (c, c_tail) = std::mem::take(&mut c_rest).split_at_mut(span.units());
+            m_rest = m_tail;
+            c_rest = c_tail;
+            jobs.push((SendMgr(shard as *mut DpsManager), m, c));
+        }
+        std::thread::scope(|scope| {
+            for (mgr, m, c) in jobs {
+                scope.spawn(move || {
+                    // Whole-variable use: edition-2021 precise capture must
+                    // move `SendMgr` itself, not its !Send pointer field.
+                    let mgr = mgr;
+                    // SAFETY: exclusive &mut access for the scope's duration
+                    // (see SendMgr above); the scope joins before the
+                    // borrows this pointer was minted from expire.
+                    unsafe { (*mgr.0).assign_caps(m, c, dt) };
+                });
+            }
+        });
+    }
+
+    /// Serializes a multi-shard tree: `SHRD` tag + version + shape +
+    /// allocator signal state + one embedded, independently sealed flat
+    /// snapshot per shard (each carries its shard's grant as its budget).
+    fn write_sharded_snapshot(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(SHARD_TAG);
+        w.put_u32(SHARD_VERSION);
+        w.put_usize(self.shards.len());
+        w.put_usize(self.num_units);
+        w.put_f64(self.total_budget);
+        w.put_f64_slice(&self.prev_demand);
+        w.put_f64_slice(&self.deriv_ewma);
+        w.put_bool(self.primed);
+        for shard in &self.shards {
+            let blob = shard.checkpoint().expect("DPS shards always checkpoint");
+            w.put_bytes(&blob);
+        }
+        w.seal()
+    }
+}
+
+impl PowerManager for ShardedManager {
+    fn kind(&self) -> ManagerKind {
+        ManagerKind::Sharded
+    }
+
+    fn num_units(&self) -> usize {
+        self.num_units
+    }
+
+    fn total_budget(&self) -> Watts {
+        self.total_budget
+    }
+
+    fn set_budget(&mut self, new_budget: Watts) -> Result<(), String> {
+        check_new_budget(new_budget, self.num_units, self.limits)?;
+        if self.shards.len() == 1 {
+            self.shards[0].set_budget(new_budget)?;
+        } else {
+            // Proportional-by-units re-split so the very next cycle's caps
+            // already respect the new budget (the one-cycle compliance
+            // contract); the allocator refines the split from the next
+            // cycle's signals.
+            let k = self.shards.len();
+            let mut granted = 0.0;
+            for s in 0..k {
+                let g = if s + 1 == k {
+                    new_budget - granted
+                } else {
+                    new_budget * self.spans[s].units() as f64 / self.num_units as f64
+                };
+                granted += g;
+                self.shards[s].set_budget(g)?;
+                self.spans[s].grant = g;
+            }
+        }
+        self.total_budget = new_budget;
+        if self.shards.len() == 1 {
+            self.spans[0].grant = new_budget;
+        }
+        Ok(())
+    }
+
+    fn assign_caps(&mut self, measured: &[Watts], caps: &mut [Watts], dt: Seconds) {
+        assert_eq!(measured.len(), self.num_units, "one measurement per unit");
+        assert_eq!(caps.len(), self.num_units, "one cap per unit");
+        if self.shards.len() == 1 {
+            // The one-shard tree is the flat manager, verbatim.
+            self.shards[0].assign_caps(measured, caps, dt);
+            self.trace_cycle += 1;
+            return;
+        }
+        self.reallocate(measured, dt);
+        self.run_shards(measured, caps, dt);
+        for (shard, span) in self.shards.iter().zip(&self.spans) {
+            if let Some(p) = shard.priorities() {
+                self.all_priorities[span.start..span.end].copy_from_slice(p);
+            }
+        }
+        self.trace_cycle += 1;
+        debug_assert_budget(caps, self.total_budget, self.limits);
+    }
+
+    fn priorities(&self) -> Option<&[bool]> {
+        if self.shards.len() == 1 {
+            self.shards[0].priorities()
+        } else {
+            Some(&self.all_priorities)
+        }
+    }
+
+    fn observe_membership(&mut self, active: &[bool]) {
+        assert_eq!(
+            active.len(),
+            self.num_units,
+            "membership mask must cover every unit"
+        );
+        if self.shards.len() == 1 {
+            self.shards[0].observe_membership(active);
+            self.active.copy_from_slice(active);
+            return;
+        }
+        // Top level owns the trace (global unit indices); the shards hold
+        // no-op sinks, so forwarding the slices below emits nothing twice.
+        let tracing = self.sink.enabled();
+        for (u, (&now, was)) in active.iter().zip(self.active.iter_mut()).enumerate() {
+            if now == *was {
+                continue;
+            }
+            *was = now;
+            self.all_priorities[u] = false;
+            if tracing {
+                self.sink.emit(Event::MembershipFlip {
+                    cycle: self.trace_cycle,
+                    unit: u as u32,
+                    active: now,
+                });
+            }
+        }
+        for (shard, span) in self.shards.iter_mut().zip(&self.spans) {
+            shard.observe_membership(&active[span.start..span.end]);
+        }
+    }
+
+    fn observe_applied(&mut self, applied: &[Watts]) {
+        if self.shards.len() == 1 {
+            self.shards[0].observe_applied(applied);
+            return;
+        }
+        for (shard, span) in self.shards.iter_mut().zip(&self.spans) {
+            shard.observe_applied(&applied[span.start..span.end]);
+        }
+    }
+
+    fn health(&self) -> Option<&[HealthState]> {
+        // Multi-shard trees report no fleet-level health view: each shard's
+        // guard pins believed caps to the *shard's* fallback (its grant
+        // divided by its units), which legitimately differs from the
+        // cluster-level constant cap a flat consistency check expects.
+        if self.shards.len() == 1 {
+            self.shards[0].health()
+        } else {
+            None
+        }
+    }
+
+    fn guard_stats(&self) -> Option<GuardStats> {
+        let mut any = false;
+        let mut acc = GuardStats::default();
+        for shard in &self.shards {
+            if let Some(s) = shard.guard_stats() {
+                any = true;
+                acc.rejected_samples += s.rejected_samples;
+                acc.stuck_trips += s.stuck_trips;
+                acc.write_mismatches += s.write_mismatches;
+                acc.quarantine_entries += s.quarantine_entries;
+                acc.readmissions += s.readmissions;
+                acc.saturated_cycles += s.saturated_cycles;
+            }
+        }
+        any.then_some(acc)
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        if self.shards.len() == 1 {
+            // Flat format: a one-shard tree's snapshots are interchangeable
+            // with the flat manager's.
+            self.shards[0].checkpoint()
+        } else {
+            Some(self.write_sharded_snapshot())
+        }
+    }
+
+    fn checkpoint_into(&self, out: &mut Vec<u8>) -> bool {
+        if self.shards.len() == 1 {
+            self.shards[0].checkpoint_into(out)
+        } else {
+            *out = self.write_sharded_snapshot();
+            true
+        }
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), String> {
+        if self.shards.len() == 1 {
+            // Flat snapshots restore a one-shard tree directly; a sharded
+            // blob fails the flat reader's unit-count check (the SHRD tag
+            // parses as an absurd unit count) without touching state.
+            self.shards[0].restore(snapshot)?;
+            self.total_budget = self.shards[0].total_budget();
+            self.spans[0].grant = self.total_budget;
+            return Ok(());
+        }
+        let mut r = ByteReader::open(snapshot)?;
+        let tag = r.get_u32()?;
+        if tag != SHARD_TAG {
+            return Err(
+                "snapshot is not a sharded-manager snapshot (flat snapshots only restore \
+                 single-shard trees)"
+                    .into(),
+            );
+        }
+        let ver = r.get_u32()?;
+        if ver != SHARD_VERSION {
+            return Err(format!(
+                "unsupported sharded snapshot version {ver} (expected {SHARD_VERSION})"
+            ));
+        }
+        let k = r.get_usize()?;
+        if k != self.shards.len() {
+            return Err(format!(
+                "snapshot has {k} shards, manager has {} — cross-shard-count restore is \
+                 not supported",
+                self.shards.len()
+            ));
+        }
+        let n = r.get_usize()?;
+        if n != self.num_units {
+            return Err(format!(
+                "snapshot has {n} units, manager has {}",
+                self.num_units
+            ));
+        }
+        let budget = r.get_f64()?;
+        check_new_budget(budget, n, self.limits)
+            .map_err(|e| format!("snapshot budget rejected: {e}"))?;
+        let prev_demand = r.get_f64_vec(k)?;
+        let deriv_ewma = r.get_f64_vec(k)?;
+        if prev_demand.len() != k || deriv_ewma.len() != k {
+            return Err("allocator signal vectors do not match the shard count".into());
+        }
+        let primed = r.get_bool()?;
+        // Restore into clones; commit only after every shard decodes, so a
+        // torn blob leaves the tree untouched (the flat manager's own
+        // all-or-nothing contract, lifted one level).
+        let mut fresh = self.shards.clone();
+        for (s, shard) in fresh.iter_mut().enumerate() {
+            let blob = r.get_bytes(snapshot.len())?;
+            shard.restore(blob).map_err(|e| format!("shard {s}: {e}"))?;
+        }
+        r.finish()?;
+        let granted: f64 = fresh.iter().map(|m| m.total_budget()).sum();
+        if granted > budget + BUDGET_EPSILON * k as f64 {
+            return Err(format!(
+                "restored shard grants sum to {granted:.3} W, above the {budget:.3} W \
+                 cluster budget"
+            ));
+        }
+        for (span, shard) in self.spans.iter_mut().zip(&fresh) {
+            span.grant = shard.total_budget();
+        }
+        self.shards = fresh;
+        self.total_budget = budget;
+        self.prev_demand = prev_demand;
+        self.deriv_ewma = deriv_ewma;
+        self.primed = primed;
+        Ok(())
+    }
+
+    fn shard_view(&self) -> Option<&[ShardSpan]> {
+        Some(&self.spans)
+    }
+
+    fn attach_trace(&mut self, sink: SinkHandle) {
+        self.trace_cycle = 0;
+        if self.shards.len() == 1 {
+            // One-shard tree: the shard emits the full flat event stream.
+            self.shards[0].attach_trace(sink.clone());
+        }
+        // Multi-shard trees keep no-op sinks on the shards (their unit
+        // indices are shard-local) and emit only tree-level events —
+        // inter-shard grants and global-index membership flips — here.
+        self.sink = sink;
+    }
+
+    fn reset(&mut self) {
+        let k = self.shards.len();
+        let mut granted = 0.0;
+        for s in 0..k {
+            // Back to the proportional split, so repetitions of a run are
+            // reproducible regardless of where the allocator had drifted.
+            let g = if s + 1 == k {
+                self.total_budget - granted
+            } else {
+                self.total_budget * self.spans[s].units() as f64 / self.num_units as f64
+            };
+            granted += g;
+            self.shards[s]
+                .set_budget(g)
+                .expect("proportional re-split is always feasible");
+            self.spans[s].grant = g;
+            self.shards[s].reset();
+        }
+        self.prev_demand.fill(0.0);
+        self.deriv_ewma.fill(0.0);
+        self.primed = false;
+        self.weights.fill(0.0);
+        self.new_grants.fill(0.0);
+        self.all_priorities.fill(false);
+        self.active.fill(true);
+        self.trace_cycle = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DpsConfig;
+
+    const LIMITS: UnitLimits = UnitLimits {
+        min_cap: 40.0,
+        max_cap: 165.0,
+    };
+
+    fn sharded(n: usize, budget: Watts, k: usize) -> ShardedManager {
+        ShardedManager::new(
+            n,
+            budget,
+            LIMITS,
+            DpsConfig::default(),
+            k,
+            RngStream::new(11, "sharded-test"),
+        )
+    }
+
+    fn flat(n: usize, budget: Watts) -> DpsManager {
+        DpsManager::new(
+            n,
+            budget,
+            LIMITS,
+            DpsConfig::default(),
+            RngStream::new(11, "sharded-test"),
+        )
+    }
+
+    /// A deterministic demand program with ramps, quiet phases, and (when
+    /// `faults` is set) NaN dropouts on a couple of units.
+    fn demand(t: usize, u: usize, n: usize, faults: bool) -> f64 {
+        if faults && t % 7 == 3 && u.is_multiple_of(5) {
+            return f64::NAN;
+        }
+        let phase = (t / 20) % 3;
+        match phase {
+            0 => 50.0 + 10.0 * ((t % 20) as f64) * ((u % 3) as f64) / 3.0,
+            1 => {
+                if u < n / 2 {
+                    150.0
+                } else {
+                    45.0
+                }
+            }
+            _ => 60.0,
+        }
+    }
+
+    fn drive_both(
+        a: &mut dyn PowerManager,
+        b: &mut dyn PowerManager,
+        n: usize,
+        cycles: usize,
+        faults: bool,
+    ) {
+        let mut caps_a = vec![a.total_budget() / n as f64; n];
+        let mut caps_b = caps_a.clone();
+        for t in 0..cycles {
+            if t == cycles / 2 {
+                // Mid-run churn: unit 1 vacates, then returns two cycles on.
+                let mut mask = vec![true; n];
+                mask[1] = false;
+                a.observe_membership(&mask);
+                b.observe_membership(&mask);
+            }
+            if t == cycles / 2 + 2 {
+                a.observe_membership(&vec![true; n]);
+                b.observe_membership(&vec![true; n]);
+            }
+            let measured: Vec<f64> = (0..n)
+                .map(|u| {
+                    let d = demand(t, u, n, faults);
+                    if d.is_nan() {
+                        d
+                    } else {
+                        d.min(caps_a[u])
+                    }
+                })
+                .collect();
+            a.assign_caps(&measured, &mut caps_a, 1.0);
+            b.assign_caps(&measured, &mut caps_b, 1.0);
+            for u in 0..n {
+                assert_eq!(
+                    caps_a[u].to_bits(),
+                    caps_b[u].to_bits(),
+                    "cycle {t} unit {u}: {} vs {}",
+                    caps_a[u],
+                    caps_b[u]
+                );
+            }
+            assert_eq!(a.priorities(), b.priorities(), "cycle {t} priorities");
+        }
+    }
+
+    #[test]
+    fn one_shard_tree_is_bit_identical_to_flat() {
+        let n = 6;
+        let mut flat_mgr = flat(n, 660.0);
+        let mut tree = sharded(n, 660.0, 1);
+        drive_both(&mut flat_mgr, &mut tree, n, 80, true);
+        // Checkpoints are interchangeable flat-format blobs.
+        let a = flat_mgr.checkpoint().unwrap();
+        let b = tree.checkpoint().unwrap();
+        assert_eq!(a, b, "one-shard checkpoint must be the flat snapshot");
+        // Cross-restore both ways.
+        tree.restore(&a).unwrap();
+        flat_mgr.restore(&b).unwrap();
+    }
+
+    #[test]
+    fn allocator_conserves_budget_and_respects_bounds() {
+        let floors = [80.0, 120.0, 40.0];
+        let ceilings = [330.0, 495.0, 165.0];
+        let mut grants = [0.0; 3];
+        allocate_grants(600.0, &floors, &ceilings, &[1.0, 3.0, 0.0], &mut grants);
+        let total: f64 = grants.iter().sum();
+        assert!((total - 600.0).abs() < 1e-6, "conservation: {total}");
+        for s in 0..3 {
+            assert!(grants[s] >= floors[s] - 1e-9, "floor {s}");
+            assert!(grants[s] <= ceilings[s] + 1e-9, "ceiling {s}");
+        }
+        // The heavy-weight shard got the bigger surplus share.
+        assert!(grants[1] - floors[1] > grants[0] - floors[0]);
+    }
+
+    #[test]
+    fn allocator_spills_past_saturated_shards() {
+        // Shard 0's ceiling is barely above its floor: nearly all of its
+        // weighted claim must spill into shard 1.
+        let floors = [40.0, 40.0];
+        let ceilings = [45.0, 165.0];
+        let mut grants = [0.0; 2];
+        allocate_grants(200.0, &floors, &ceilings, &[100.0, 1.0], &mut grants);
+        assert!((grants[0] - 45.0).abs() < 1e-6);
+        assert!((grants[1] - 155.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn allocator_handles_degenerate_weights() {
+        let floors = [40.0, 40.0];
+        let ceilings = [165.0, 165.0];
+        let mut grants = [0.0; 2];
+        // NaN / zero weights: surplus split equally, nothing stranded.
+        allocate_grants(200.0, &floors, &ceilings, &[f64::NAN, 0.0], &mut grants);
+        let total: f64 = grants.iter().sum();
+        assert!((total - 200.0).abs() < 1e-6);
+        assert!((grants[0] - grants[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multi_shard_budget_safe_at_every_level_every_cycle() {
+        let n = 12;
+        let budget = 12.0 * 110.0;
+        let mut tree = sharded(n, budget, 3);
+        let mut caps = vec![110.0; n];
+        for t in 0..120 {
+            let measured: Vec<f64> = (0..n).map(|u| demand(t, u, n, true).min(caps[u])).collect();
+            tree.assign_caps(&measured, &mut caps, 1.0);
+            let spans = tree.shard_view().unwrap();
+            let mut grant_sum = 0.0;
+            for (s, sp) in spans.iter().enumerate() {
+                let shard_caps: f64 = caps[sp.start..sp.end].iter().sum();
+                assert!(
+                    shard_caps <= sp.grant + BUDGET_EPSILON,
+                    "cycle {t} shard {s}: caps {shard_caps} > grant {}",
+                    sp.grant
+                );
+                assert!(sp.grant.is_finite() && sp.grant >= 0.0);
+                grant_sum += sp.grant;
+            }
+            assert!(
+                grant_sum <= budget + BUDGET_EPSILON,
+                "cycle {t}: grants {grant_sum} > budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn allocator_shifts_budget_toward_the_hot_shard() {
+        let n = 12;
+        let mut tree = sharded(n, 12.0 * 110.0, 3);
+        let mut caps = vec![110.0; n];
+        // Shard 2 (units 8..12) runs hot at its cap; the others idle.
+        for _ in 0..40 {
+            let measured: Vec<f64> = (0..n)
+                .map(|u| {
+                    if u >= 8 {
+                        caps[u]
+                    } else {
+                        45.0_f64.min(caps[u])
+                    }
+                })
+                .collect();
+            tree.assign_caps(&measured, &mut caps, 1.0);
+        }
+        let spans = tree.shard_view().unwrap();
+        assert!(
+            spans[2].grant > spans[0].grant + 20.0,
+            "hot shard grant {} should exceed idle shard grant {}",
+            spans[2].grant,
+            spans[0].grant
+        );
+    }
+
+    #[test]
+    fn sharded_checkpoint_roundtrip_is_bit_exact() {
+        let n = 12;
+        let mut tree = sharded(n, 12.0 * 110.0, 3);
+        let mut caps = vec![110.0; n];
+        for t in 0..40 {
+            let measured: Vec<f64> = (0..n)
+                .map(|u| demand(t, u, n, false).min(caps[u]))
+                .collect();
+            tree.assign_caps(&measured, &mut caps, 1.0);
+        }
+        let snap = tree.checkpoint().unwrap();
+        let mut restored = sharded(n, 12.0 * 110.0, 3);
+        restored.restore(&snap).unwrap();
+        let mut caps_r = caps.clone();
+        for t in 40..80 {
+            let measured: Vec<f64> = (0..n)
+                .map(|u| demand(t, u, n, false).min(caps[u]))
+                .collect();
+            tree.assign_caps(&measured, &mut caps, 1.0);
+            restored.assign_caps(&measured, &mut caps_r, 1.0);
+            for u in 0..n {
+                assert_eq!(caps[u].to_bits(), caps_r[u].to_bits(), "cycle {t} unit {u}");
+            }
+        }
+        assert_eq!(tree.checkpoint().unwrap(), restored.checkpoint().unwrap());
+    }
+
+    #[test]
+    fn cross_shape_restores_rejected_cleanly() {
+        let n = 12;
+        let three = sharded(n, 12.0 * 110.0, 3);
+        let snap3 = three.checkpoint().unwrap();
+
+        // Different shard count.
+        let mut two = sharded(n, 12.0 * 110.0, 2);
+        let err = two.restore(&snap3).unwrap_err();
+        assert!(err.contains("shards"), "{err}");
+
+        // Flat blob into a multi-shard tree.
+        let flat_mgr = flat(n, 12.0 * 110.0);
+        let mut three_mut = sharded(n, 12.0 * 110.0, 3);
+        let err = three_mut
+            .restore(&flat_mgr.checkpoint().unwrap())
+            .unwrap_err();
+        assert!(err.contains("not a sharded"), "{err}");
+
+        // Sharded blob into a flat manager (and a one-shard tree).
+        let mut flat_mut = flat(n, 12.0 * 110.0);
+        assert!(flat_mut.restore(&snap3).is_err());
+        let mut one = sharded(n, 12.0 * 110.0, 1);
+        assert!(one.restore(&snap3).is_err());
+
+        // Rejected restores leave the target untouched: it still runs.
+        let mut caps = vec![110.0; n];
+        two.assign_caps(&vec![60.0; n], &mut caps, 1.0);
+    }
+
+    #[test]
+    fn set_budget_complies_within_one_cycle() {
+        let n = 12;
+        let mut tree = sharded(n, 12.0 * 150.0, 3);
+        let mut caps = vec![150.0; n];
+        for t in 0..20 {
+            let measured: Vec<f64> = (0..n)
+                .map(|u| demand(t, u, n, false).min(caps[u]))
+                .collect();
+            tree.assign_caps(&measured, &mut caps, 1.0);
+        }
+        let shocked = 12.0 * 70.0;
+        tree.set_budget(shocked).unwrap();
+        let measured: Vec<f64> = caps.iter().map(|&c| c.min(120.0)).collect();
+        tree.assign_caps(&measured, &mut caps, 1.0);
+        let total: f64 = caps.iter().sum();
+        assert!(
+            total <= shocked + BUDGET_EPSILON,
+            "caps {total} must respect the shocked budget {shocked} after one cycle"
+        );
+        // Infeasible budgets are rejected without state change.
+        assert!(tree.set_budget(12.0 * 39.0).is_err());
+        assert_eq!(tree.total_budget(), shocked);
+    }
+
+    #[test]
+    fn reset_reproduces_the_run() {
+        let n = 12;
+        let mut tree = sharded(n, 12.0 * 110.0, 4);
+        let run = |tree: &mut ShardedManager| {
+            let mut caps = vec![110.0; n];
+            let mut out = Vec::new();
+            for t in 0..50 {
+                let measured: Vec<f64> =
+                    (0..n).map(|u| demand(t, u, n, true).min(caps[u])).collect();
+                tree.assign_caps(&measured, &mut caps, 1.0);
+                out.extend(caps.iter().map(|c| c.to_bits()));
+            }
+            out
+        };
+        let first = run(&mut tree);
+        tree.reset();
+        let second = run(&mut tree);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn guard_stats_aggregate_across_shards() {
+        let n = 12;
+        let mut tree = ShardedManager::with_guard(
+            n,
+            12.0 * 110.0,
+            LIMITS,
+            DpsConfig::default(),
+            GuardConfig::default(),
+            3,
+            RngStream::new(13, "sharded-guard-test"),
+        );
+        let mut caps = vec![110.0; n];
+        for t in 0..30 {
+            // Unit 0 reports NaN every cycle: its shard's guard racks up
+            // rejected samples.
+            let measured: Vec<f64> = (0..n)
+                .map(|u| {
+                    if u == 0 {
+                        f64::NAN
+                    } else {
+                        demand(t, u, n, false).min(caps[u])
+                    }
+                })
+                .collect();
+            tree.assign_caps(&measured, &mut caps, 1.0);
+        }
+        let stats = tree.guard_stats().expect("guarded tree reports stats");
+        assert!(stats.rejected_samples > 0);
+        assert!(
+            tree.health().is_none(),
+            "multi-shard trees expose no flat health view"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        sharded(4, 440.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn more_shards_than_units_panics() {
+        sharded(2, 220.0, 3);
+    }
+}

@@ -10,7 +10,7 @@
 use dps_cluster::run_pair;
 use dps_core::config::{DpsConfig, StatsMode};
 use dps_core::manager::{ManagerKind, PowerManager, UnitLimits};
-use dps_core::DpsManager;
+use dps_core::{DpsManager, ShardedManager};
 use dps_experiments::{banner, config_from_env, parallel_map, pct, threads_from_env};
 use dps_rapl::Topology;
 use dps_sim_core::rng::RngStream;
@@ -66,7 +66,7 @@ impl Churn {
         }
     }
 
-    fn drive(&mut self, mgr: &mut DpsManager) {
+    fn drive(&mut self, mgr: &mut dyn PowerManager) {
         self.step += 1;
         for (u, m) in self.measured.iter_mut().enumerate() {
             let demand = match self.load {
@@ -99,6 +99,34 @@ fn dps_with_mode(n: usize, history_len: usize, mode: StatsMode) -> DpsManager {
         110.0 * n as f64,
         limits,
         config,
+        RngStream::new(7, "scale/step-bench"),
+    )
+}
+
+/// Shard count for the hierarchical cells.
+const BENCH_SHARDS: usize = 16;
+
+/// The smallest grid size that gets a hierarchical cell alongside the
+/// flat incremental one.
+const SHARDED_FROM_UNITS: usize = 262_144;
+
+fn sharded_dps(n: usize, history_len: usize) -> ShardedManager {
+    let limits = UnitLimits::xeon_gold_6240();
+    let mut config = DpsConfig::default().with_stats_mode(StatsMode::Incremental);
+    config.history_len = history_len;
+    // The same threshold gates both the tree's shard fan-out (compared
+    // against the fleet size) and each shard's internal classify threads
+    // (compared against the shard size). Sitting between the two sizes
+    // means: parallelize across the 16 shards, stay serial inside each —
+    // one thread per shard, no nested oversubscription.
+    config.parallel_threshold = 100_000;
+    assert!(n / BENCH_SHARDS < config.parallel_threshold && config.parallel_threshold <= n);
+    ShardedManager::new(
+        n,
+        110.0 * n as f64,
+        limits,
+        config,
+        BENCH_SHARDS,
         RngStream::new(7, "scale/step-bench"),
     )
 }
@@ -172,18 +200,24 @@ fn step_bench(max_units: Option<usize>) {
             if max_units.is_some_and(|cap| n > cap) {
                 continue;
             }
+            let mut variants: Vec<(&'static str, Box<dyn PowerManager>)> = Vec::new();
             for &(mode, label) in &modes {
                 if !with_rescan && label == "rescan" {
                     continue;
                 }
-                let mut mgr = dps_with_mode(n, cfg.history_len, mode);
+                variants.push((label, Box::new(dps_with_mode(n, cfg.history_len, mode))));
+            }
+            if n >= SHARDED_FROM_UNITS {
+                variants.push(("sharded16", Box::new(sharded_dps(n, cfg.history_len))));
+            }
+            for (label, mut mgr) in variants {
                 let mut churn = Churn::new(n, cfg.load);
                 for _ in 0..(cfg.history_len + 64) {
-                    churn.drive(&mut mgr);
+                    churn.drive(mgr.as_mut());
                 }
                 let start = Instant::now();
                 for _ in 0..cycles {
-                    churn.drive(&mut mgr);
+                    churn.drive(mgr.as_mut());
                 }
                 let wall = start.elapsed().as_secs_f64();
                 let cell = BenchCell {
@@ -230,6 +264,8 @@ fn step_bench(max_units: Option<usize>) {
         "inc ns/unit".into(),
         "rescan us/cycle".into(),
         "speedup".into(),
+        "sharded16 us/cycle".into(),
+        "tree speedup".into(),
     ]);
     let mut speedups: Vec<(&'static str, usize, f64)> = Vec::new();
     for &(config, units) in &keys {
@@ -245,6 +281,15 @@ fn step_bench(max_units: Option<usize>) {
             }
             None => ("-".to_string(), "-".to_string()),
         };
+        // The hierarchical cells: same decision core, budget split across
+        // a 16-shard tree (threaded shard fan-out under `parallel`).
+        let (shd_text, tree_text) = match find_cell(config, units, "sharded16") {
+            Some(shd) => (
+                format!("{:.1}", shd.per_cycle_us),
+                format!("{:.2}x", inc.per_cycle_us / shd.per_cycle_us),
+            ),
+            None => ("-".to_string(), "-".to_string()),
+        };
         table.row(vec![
             config.to_string(),
             units.to_string(),
@@ -252,6 +297,8 @@ fn step_bench(max_units: Option<usize>) {
             format!("{:.1}", inc.per_cycle_us * 1e3 / units as f64),
             res_text,
             speedup_text,
+            shd_text,
+            tree_text,
         ]);
     }
     println!("DPS decision-cycle cost, incremental vs full-window rescan:");

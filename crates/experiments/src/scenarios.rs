@@ -21,7 +21,7 @@
 
 use dps_cluster::{BudgetSchedule, ChaosSchedule, ChaosWindow, ClusterSim, SimConfig};
 use dps_core::manager::{PowerManager, UnitLimits};
-use dps_core::{DpsConfig, DpsManager, GuardConfig};
+use dps_core::{DpsConfig, DpsManager, GuardConfig, ShardedManager};
 use dps_idle::{IdleConfig, IdlePolicy};
 use dps_obs::SinkHandle;
 use dps_rapl::{
@@ -73,17 +73,26 @@ pub enum GoldenScenario {
     /// edges, and the always-on invariant monitor (which must stay
     /// silent: zero violations is part of the golden contract).
     ChaosBrownout,
+    /// Traffic mode under the hierarchical sharded manager: the
+    /// [`GoldenScenario::ElasticTraffic`] flash crowd, but the fleet is
+    /// split into four shards whose grants the top-level allocator trades
+    /// as the crowd ramps and the provisioner churns membership.
+    /// Exercises inter-shard grant events, global-index membership flips
+    /// from a multi-shard tree, and the invariant monitor's per-level
+    /// tree checks (silent, as everywhere).
+    ShardedElastic,
 }
 
 impl GoldenScenario {
     /// Every scenario, in golden-file order.
-    pub const ALL: [GoldenScenario; 6] = [
+    pub const ALL: [GoldenScenario; 7] = [
         GoldenScenario::PaperDefault,
         GoldenScenario::SensorFault,
         GoldenScenario::SchedulerChurn,
         GoldenScenario::ElasticTraffic,
         GoldenScenario::IdleElastic,
         GoldenScenario::ChaosBrownout,
+        GoldenScenario::ShardedElastic,
     ];
 
     /// Stable scenario name (also the golden file stem).
@@ -95,6 +104,7 @@ impl GoldenScenario {
             GoldenScenario::ElasticTraffic => "elastic_traffic",
             GoldenScenario::IdleElastic => "idle_elastic",
             GoldenScenario::ChaosBrownout => "chaos_brownout",
+            GoldenScenario::ShardedElastic => "sharded_elastic",
         }
     }
 
@@ -124,6 +134,19 @@ impl GoldenScenario {
         sink.export().expect("recording sink exports")
     }
 
+    /// Re-records the scenario with every flat DPS manager replaced by a
+    /// `num_shards`-shard [`ShardedManager`] built from the *same* RNG
+    /// stream. With `num_shards == 1` the tree must be trace-byte-identical
+    /// to [`GoldenScenario::record_with`] — `tests/sharded_equivalence.rs`
+    /// asserts exactly that against the committed golden files. The
+    /// [`GoldenScenario::ShardedElastic`] scenario is a tree already and
+    /// records itself unchanged.
+    pub fn record_with_shards(&self, dps: DpsConfig, num_shards: usize) -> Vec<u8> {
+        let sink = SinkHandle::recording(RING_CAPACITY);
+        self.drive_flavored(dps, &sink, ManagerFlavor::Sharded(num_shards));
+        sink.export().expect("recording sink exports")
+    }
+
     /// Drives the scenario's pinned run against a caller-provided sink —
     /// the hook for recording a scenario through a
     /// [`dps_obs::SegmentSink`] (or any other [`dps_obs::TraceSink`])
@@ -132,15 +155,33 @@ impl GoldenScenario {
     /// two recordings of the same scenario through different sinks must
     /// replay identically.
     pub fn drive(&self, dps: DpsConfig, sink: &SinkHandle) {
+        self.drive_flavored(dps, sink, ManagerFlavor::Flat)
+    }
+
+    fn drive_flavored(&self, dps: DpsConfig, sink: &SinkHandle, flavor: ManagerFlavor) {
         match self {
-            GoldenScenario::PaperDefault => drive_paper_default(dps, sink),
-            GoldenScenario::SensorFault => drive_sensor_fault(dps, sink),
-            GoldenScenario::SchedulerChurn => drive_scheduler_churn(dps, sink),
-            GoldenScenario::ElasticTraffic => drive_elastic_traffic(dps, sink),
-            GoldenScenario::IdleElastic => drive_idle_elastic(dps, sink),
-            GoldenScenario::ChaosBrownout => drive_chaos_brownout(dps, sink),
+            GoldenScenario::PaperDefault => drive_paper_default(dps, sink, flavor),
+            GoldenScenario::SensorFault => drive_sensor_fault(dps, sink, flavor),
+            GoldenScenario::SchedulerChurn => drive_scheduler_churn(dps, sink, flavor),
+            GoldenScenario::ElasticTraffic => drive_elastic_traffic(dps, sink, flavor),
+            GoldenScenario::IdleElastic => drive_idle_elastic(dps, sink, flavor),
+            GoldenScenario::ChaosBrownout => drive_chaos_brownout(dps, sink, flavor),
+            GoldenScenario::ShardedElastic => drive_sharded_elastic(dps, sink),
         }
     }
+}
+
+/// Which decision core the flat scenarios run: the golden files are
+/// recorded under [`ManagerFlavor::Flat`]; the differential harness
+/// re-records with a sharded tree from the same RNG stream and demands
+/// byte-identity at one shard.
+#[derive(Debug, Clone, Copy)]
+enum ManagerFlavor {
+    /// The flat [`DpsManager`] the committed golden traces were made with.
+    Flat,
+    /// A [`ShardedManager`] with the given shard count (a one-shard tree
+    /// consumes the RNG stream exactly like the flat manager).
+    Sharded(usize),
 }
 
 /// 2 clusters × 2 nodes × 2 sockets with the paper's power numbers — big
@@ -160,34 +201,67 @@ fn limits(cfg: &SimConfig) -> UnitLimits {
     }
 }
 
-fn plain_dps(cfg: &SimConfig, dps: DpsConfig, rng: &RngStream) -> Box<dyn PowerManager> {
-    Box::new(DpsManager::new(
-        cfg.topology.total_units(),
-        cfg.total_budget(),
-        limits(cfg),
-        dps,
-        rng.child("mgr"),
-    ))
+fn plain_dps(
+    cfg: &SimConfig,
+    dps: DpsConfig,
+    rng: &RngStream,
+    flavor: ManagerFlavor,
+) -> Box<dyn PowerManager> {
+    let n = cfg.topology.total_units();
+    match flavor {
+        ManagerFlavor::Flat => Box::new(DpsManager::new(
+            n,
+            cfg.total_budget(),
+            limits(cfg),
+            dps,
+            rng.child("mgr"),
+        )),
+        ManagerFlavor::Sharded(k) => Box::new(ShardedManager::new(
+            n,
+            cfg.total_budget(),
+            limits(cfg),
+            dps,
+            k,
+            rng.child("mgr"),
+        )),
+    }
 }
 
-fn guarded_dps(cfg: &SimConfig, dps: DpsConfig, rng: &RngStream) -> Box<dyn PowerManager> {
-    Box::new(DpsManager::with_guard(
-        cfg.topology.total_units(),
-        cfg.total_budget(),
-        limits(cfg),
-        dps,
-        GuardConfig {
-            // Noise-free telemetry trips the zero-variance detector; the
-            // fault scenario runs without noise so the value gates do the
-            // detecting.
-            stuck_window: 0,
-            quarantine_after: 2,
-            probation_after: 3,
-            readmit_after: 4,
-            ..Default::default()
-        },
-        rng.child("mgr"),
-    ))
+fn guarded_dps(
+    cfg: &SimConfig,
+    dps: DpsConfig,
+    rng: &RngStream,
+    flavor: ManagerFlavor,
+) -> Box<dyn PowerManager> {
+    // Noise-free telemetry trips the zero-variance detector; the fault
+    // scenarios run without noise so the value gates do the detecting.
+    let guard = GuardConfig {
+        stuck_window: 0,
+        quarantine_after: 2,
+        probation_after: 3,
+        readmit_after: 4,
+        ..Default::default()
+    };
+    let n = cfg.topology.total_units();
+    match flavor {
+        ManagerFlavor::Flat => Box::new(DpsManager::with_guard(
+            n,
+            cfg.total_budget(),
+            limits(cfg),
+            dps,
+            guard,
+            rng.child("mgr"),
+        )),
+        ManagerFlavor::Sharded(k) => Box::new(ShardedManager::with_guard(
+            n,
+            cfg.total_budget(),
+            limits(cfg),
+            dps,
+            guard,
+            k,
+            rng.child("mgr"),
+        )),
+    }
 }
 
 fn run_with(mut sim: ClusterSim, cycles: u64, sink: &SinkHandle) {
@@ -197,7 +271,7 @@ fn run_with(mut sim: ClusterSim, cycles: u64, sink: &SinkHandle) {
     }
 }
 
-fn drive_paper_default(dps: DpsConfig, sink: &SinkHandle) {
+fn drive_paper_default(dps: DpsConfig, sink: &SinkHandle, flavor: ManagerFlavor) {
     let cfg = small_testbed();
     let rng = RngStream::new(0xD50_001, "golden/paper-default");
     // A hot ramping cluster against a mostly-quiet one: drives MIMD raises,
@@ -212,12 +286,12 @@ fn drive_paper_default(dps: DpsConfig, sink: &SinkHandle) {
         Phase::ramp(20.0, 30.0, 120.0),
         Phase::constant(40.0, 45.0),
     ]);
-    let manager = plain_dps(&cfg, dps, &rng);
+    let manager = plain_dps(&cfg, dps, &rng, flavor);
     let sim = ClusterSim::new(cfg, vec![hot, quiet], manager, &rng);
     run_with(sim, 90, sink)
 }
 
-fn drive_sensor_fault(dps: DpsConfig, sink: &SinkHandle) {
+fn drive_sensor_fault(dps: DpsConfig, sink: &SinkHandle, flavor: ManagerFlavor) {
     let mut cfg = small_testbed();
     cfg.noise = NoiseModel::None;
     cfg.sensor_faults = UnitFaultSchedule::new(vec![
@@ -227,7 +301,7 @@ fn drive_sensor_fault(dps: DpsConfig, sink: &SinkHandle) {
     let rng = RngStream::new(0xD50_002, "golden/sensor-fault");
     let hot = DemandProgram::new(vec![Phase::constant(200.0, 160.0)]);
     let busy = DemandProgram::new(vec![Phase::constant(200.0, 140.0)]);
-    let manager = guarded_dps(&cfg, dps, &rng);
+    let manager = guarded_dps(&cfg, dps, &rng, flavor);
     let mut sim = ClusterSim::new(cfg, vec![hot, busy], manager, &rng);
     sim.enable_watchdog(16);
     run_with(sim, 100, sink)
@@ -250,7 +324,7 @@ fn short_spec(name: &'static str, duration: f64, class: PowerClass) -> WorkloadS
     }
 }
 
-fn drive_scheduler_churn(dps: DpsConfig, sink: &SinkHandle) {
+fn drive_scheduler_churn(dps: DpsConfig, sink: &SinkHandle, flavor: ManagerFlavor) {
     // The generated job specs need whole-cluster headroom; the 16-unit
     // testbed (2 clusters × 4 nodes × 2 sockets) fits them comfortably.
     let mut cfg = SimConfig {
@@ -310,7 +384,7 @@ fn drive_scheduler_churn(dps: DpsConfig, sink: &SinkHandle) {
         slowdown_bound: 10.0,
     });
     let rng = RngStream::new(0xD50_003, "golden/scheduler-churn");
-    let manager = plain_dps(&cfg, dps, &rng);
+    let manager = plain_dps(&cfg, dps, &rng, flavor);
     let mut sim = ClusterSim::with_scheduler(cfg, manager, &rng);
     sim.set_trace_sink(sink.clone());
     // Run to queue drain (bounded), then a short idle tail so the trace
@@ -327,7 +401,7 @@ fn drive_scheduler_churn(dps: DpsConfig, sink: &SinkHandle) {
     }
 }
 
-fn drive_elastic_traffic(dps: DpsConfig, sink: &SinkHandle) {
+fn drive_elastic_traffic(dps: DpsConfig, sink: &SinkHandle, flavor: ManagerFlavor) {
     // 4 nodes × 2 sockets: small enough for a compact trace, big enough
     // for the reactive provisioner to walk the fleet up and back down.
     let mut cfg = SimConfig {
@@ -356,12 +430,12 @@ fn drive_elastic_traffic(dps: DpsConfig, sink: &SinkHandle) {
     traffic.milestone_every = 10_000;
     cfg.traffic = Some(traffic);
     let rng = RngStream::new(0xD50_004, "golden/elastic-traffic");
-    let manager = plain_dps(&cfg, dps, &rng);
+    let manager = plain_dps(&cfg, dps, &rng, flavor);
     let sim = ClusterSim::with_traffic(cfg, manager, &rng);
     run_with(sim, 220, sink)
 }
 
-fn drive_idle_elastic(dps: DpsConfig, sink: &SinkHandle) {
+fn drive_idle_elastic(dps: DpsConfig, sink: &SinkHandle, flavor: ManagerFlavor) {
     // Same fleet and flash-crowd shape as `elastic_traffic`, but with the
     // sleep ladder between the provisioner and the power switch: shrink
     // decisions demote down the C-state cascade (learning-augmented, so
@@ -396,12 +470,53 @@ fn drive_idle_elastic(dps: DpsConfig, sink: &SinkHandle) {
         ..IdleConfig::default()
     });
     let rng = RngStream::new(0xD50_006, "golden/idle-elastic");
-    let manager = plain_dps(&cfg, dps, &rng);
+    let manager = plain_dps(&cfg, dps, &rng, flavor);
     let sim = ClusterSim::with_traffic(cfg, manager, &rng);
     run_with(sim, 260, sink)
 }
 
-fn drive_chaos_brownout(dps: DpsConfig, sink: &SinkHandle) {
+fn drive_sharded_elastic(dps: DpsConfig, sink: &SinkHandle) {
+    // The elastic-traffic fleet shape and flash crowd, managed by a 4-shard
+    // hierarchical tree (2 units per shard): the crowd's ramp skews demand
+    // across shards so the allocator actually regrants, and the reactive
+    // provisioner's node churn lands as global-index membership flips
+    // emitted by the tree's top level.
+    let mut cfg = SimConfig {
+        topology: Topology::new(2, 2, 2),
+        ..SimConfig::paper_default()
+    };
+    let total_sockets = cfg.topology.total_units();
+    let mut traffic = TrafficConfig::default_diurnal(total_sockets, 100.0);
+    traffic.pattern = TrafficPattern::FlashCrowd {
+        base_rps: 100.0,
+        peak_rps: 0.9 * total_sockets as f64 * 100.0,
+        start: 20.0,
+        ramp: 10.0,
+        hold: 60.0,
+        decay: 10.0,
+    };
+    traffic.provisioner = ProvisionerMode::Reactive(ProvisionerConfig {
+        target_utilization: 0.7,
+        headroom_nodes: 0,
+        power_off_after: 15.0,
+        min_nodes: 1,
+    });
+    traffic.milestone_every = 10_000;
+    cfg.traffic = Some(traffic);
+    let rng = RngStream::new(0xD50_007, "golden/sharded-elastic");
+    let manager: Box<dyn PowerManager> = Box::new(ShardedManager::new(
+        total_sockets,
+        cfg.total_budget(),
+        limits(&cfg),
+        dps,
+        4,
+        rng.child("mgr"),
+    ));
+    let sim = ClusterSim::with_traffic(cfg, manager, &rng);
+    run_with(sim, 220, sink)
+}
+
+fn drive_chaos_brownout(dps: DpsConfig, sink: &SinkHandle, flavor: ManagerFlavor) {
     // Guarded DPS on the framed plane under a correlated incident: rack 1
     // (units 4..8 — half the fleet, enough to cross the 0.35 Degraded
     // threshold but not the 0.6 SafeMode one) loses its sensors to a
@@ -421,7 +536,7 @@ fn drive_chaos_brownout(dps: DpsConfig, sink: &SinkHandle) {
     let rng = RngStream::new(0xD50_005, "golden/chaos-brownout");
     let hot = DemandProgram::new(vec![Phase::constant(200.0, 160.0)]);
     let busy = DemandProgram::new(vec![Phase::constant(200.0, 140.0)]);
-    let manager = guarded_dps(&cfg, dps, &rng);
+    let manager = guarded_dps(&cfg, dps, &rng, flavor);
     let mut sim = ClusterSim::new(cfg, vec![hot, busy], manager, &rng);
     sim.enable_watchdog(16);
     run_with(sim, 160, sink)

@@ -375,6 +375,17 @@ fn write_event(w: &mut Writer, e: &Event) {
             w.f64(predicted_s);
             w.f64(actual_s);
         }
+        Event::ShardGrant {
+            cycle,
+            shard,
+            units,
+            grant_w,
+        } => {
+            w.u64(cycle);
+            w.u32(shard);
+            w.u32(units);
+            w.f64(grant_w);
+        }
     }
 }
 
@@ -539,6 +550,12 @@ fn read_event(r: &mut Reader<'_>) -> Result<Event, String> {
             unit: r.u32("unit")?,
             predicted_s: r.f64("predicted_s")?,
             actual_s: r.f64("actual_s")?,
+        },
+        24 => Event::ShardGrant {
+            cycle: r.u64("cycle")?,
+            shard: r.u32("shard")?,
+            units: r.u32("units")?,
+            grant_w: r.f64("grant_w")?,
         },
         t => return Err(format!("unknown event tag {t}")),
     };
@@ -802,6 +819,16 @@ fn json_event(out: &mut String, e: &Event) {
             fl(out, "predicted_s", predicted_s);
             fl(out, "actual_s", actual_s);
         }
+        Event::ShardGrant {
+            shard,
+            units,
+            grant_w,
+            ..
+        } => {
+            num(out, "shard", shard as u64);
+            num(out, "units", units as u64);
+            fl(out, "grant_w", grant_w);
+        }
     }
     out.push('}');
 }
@@ -953,6 +980,12 @@ pub mod tests_support {
                 unit: 6,
                 predicted_s: 28.5,
                 actual_s: 31.0,
+            },
+            Event::ShardGrant {
+                cycle: 25,
+                shard: 3,
+                units: 4096,
+                grant_w: 450_560.0,
             },
         ]
     }

@@ -109,6 +109,9 @@ pub enum InvariantKind {
     AppliedBudget,
     /// A guard-isolated unit held a cap above its fallback pin.
     GuardConsistency,
+    /// A shard's caps summed past its grant, or the grants summed past the
+    /// cluster budget (hierarchical tree invariant).
+    ShardBudget,
 }
 
 /// One structured observability event.
@@ -356,6 +359,20 @@ pub enum Event {
         /// Realised idle-gap length (seconds).
         actual_s: f64,
     },
+    /// The sharded manager's top-level allocator (re)granted a shard its
+    /// slice of the cluster budget. Emitted once per shard per cycle, only
+    /// when the tree has more than one shard — a one-shard tree must stay
+    /// byte-identical to the flat manager.
+    ShardGrant {
+        /// Decision-cycle index.
+        cycle: u64,
+        /// Shard index within the tree.
+        shard: u32,
+        /// Units currently assigned to the shard.
+        units: u32,
+        /// Budget granted to the shard this cycle (W).
+        grant_w: f64,
+    },
 }
 
 impl Event {
@@ -385,7 +402,8 @@ impl Event {
             | Event::SleepTransition { cycle, .. }
             | Event::WakeStart { cycle, .. }
             | Event::WakeDone { cycle, .. }
-            | Event::PredictorSample { cycle, .. } => cycle,
+            | Event::PredictorSample { cycle, .. }
+            | Event::ShardGrant { cycle, .. } => cycle,
         }
     }
 
@@ -416,6 +434,7 @@ impl Event {
             Event::WakeStart { .. } => 21,
             Event::WakeDone { .. } => 22,
             Event::PredictorSample { .. } => 23,
+            Event::ShardGrant { .. } => 24,
         }
     }
 
@@ -484,6 +503,7 @@ enum_codes!(InvariantKind,
     CapBounds => "cap_bounds",
     AppliedBudget => "applied_budget",
     GuardConsistency => "guard_consistency",
+    ShardBudget => "shard_budget",
 );
 
 /// The static event schema the binary codec embeds in every trace header.
@@ -714,6 +734,15 @@ pub mod schema {
                 ("unit", U32),
                 ("predicted_s", F64),
                 ("actual_s", F64),
+            ],
+        },
+        EventSchema {
+            name: "shard_grant",
+            fields: &[
+                ("cycle", U64),
+                ("shard", U32),
+                ("units", U32),
+                ("grant_w", F64),
             ],
         },
     ];

@@ -209,6 +209,8 @@ counters!(
     wake_dones,
     /// Idle-gap predictor samples recorded.
     predictor_samples,
+    /// Inter-shard budget grants from the sharded manager's allocator.
+    shard_grants,
 );
 
 /// Live counters plus histograms for the quantities worth distributions.
@@ -301,6 +303,7 @@ impl ObsRegistry {
             Event::WakeStart { .. } => bump(&c.wake_starts),
             Event::WakeDone { .. } => bump(&c.wake_dones),
             Event::PredictorSample { .. } => bump(&c.predictor_samples),
+            Event::ShardGrant { .. } => bump(&c.shard_grants),
         }
     }
 
@@ -379,7 +382,8 @@ impl ObsRegistry {
             sleep_transitions,
             wake_starts,
             wake_dones,
-            predictor_samples
+            predictor_samples,
+            shard_grants
         );
         self.ring_overflows.set(0);
         self.budget_slack_w.reset();
@@ -427,6 +431,7 @@ impl ObsRegistry {
         line("wake_starts", self.wake_starts());
         line("wake_dones", self.wake_dones());
         line("predictor_samples", self.predictor_samples());
+        line("shard_grants", self.shard_grants());
         let mut hist = |k: &str, h: &Histogram| {
             if h.count() > 0 {
                 out.push_str(&format!("  {k:<22} {}\n", h.summary_line()));
@@ -478,7 +483,7 @@ mod tests {
     #[test]
     fn registry_folds_every_counter() {
         let reg = ObsRegistry::from_events(&crate::codec::tests_support::one_of_each());
-        assert_eq!(reg.events(), 24);
+        assert_eq!(reg.events(), 25);
         assert_eq!(reg.cap_deltas(), 1);
         assert_eq!(reg.priority_flips(), 1);
         assert_eq!(reg.restores(), 1);
@@ -504,6 +509,7 @@ mod tests {
         assert_eq!(reg.wake_starts(), 1);
         assert_eq!(reg.wake_dones(), 1);
         assert_eq!(reg.predictor_samples(), 1);
+        assert_eq!(reg.shard_grants(), 1);
         assert_eq!(reg.budget_slack_w().count(), 1);
         assert_eq!(reg.cap_churn().count(), 1);
         // one_of_each's PhaseEnd is ObserveClassify, not SimCycle.

@@ -2,12 +2,18 @@
 //!
 //! `tests/fixtures/checkpoint_v2.bin` was written by the pre-refactor
 //! `DpsManager` (per-unit `Vec<UnitState>` storage) via the committed
-//! recipe below; `checkpoint_v2_expected.txt` holds the cap trajectories
-//! (as f64 bit patterns) that same pre-refactor build produced after
-//! restoring the snapshot. The struct-of-arrays manager must restore the
-//! identical bytes into its column store and reproduce every cap
-//! bit-for-bit — the checkpoint codec is a stable wire format, not an
-//! internal detail of the storage layout.
+//! recipe in `tests/support/fixture_recipe.rs`;
+//! `checkpoint_v2_expected.txt` holds the cap trajectories (as f64 bit
+//! patterns) that same pre-refactor build produced after restoring the
+//! snapshot. The struct-of-arrays manager must restore the identical
+//! bytes into its column store and reproduce every cap bit-for-bit —
+//! the checkpoint codec is a stable wire format, not an internal detail
+//! of the storage layout.
+//!
+//! `tests/fixtures/checkpoint_sharded_v1.bin` is the hierarchical
+//! counterpart: a 4-shard tree's snapshot (versioned `SHRD` framing with
+//! the flat per-shard blobs nested inside) plus its continuation
+//! trajectory, pinning the sharded wire format the same way.
 //!
 //! Regenerate (only with a build whose behaviour is the accepted baseline):
 //!
@@ -16,103 +22,67 @@
 //! ```
 
 use dps_suite::core::manager::{PowerManager, UnitLimits};
-use dps_suite::core::{DpsConfig, DpsManager, GuardConfig};
+use dps_suite::core::{DpsManager, ShardedManager};
 use dps_suite::sim_core::RngStream;
 
-const N: usize = 4;
-const BUDGET: f64 = 440.0;
-const WARMUP_CYCLES: usize = 30;
-const CONTINUATION_CYCLES: usize = 12;
-const FIXTURE: &str = "tests/fixtures/checkpoint_v2.bin";
-const EXPECTED: &str = "tests/fixtures/checkpoint_v2_expected.txt";
+#[path = "support/fixture_recipe.rs"]
+mod recipe;
 
-/// The pinned manager shape the fixture was checkpointed from.
+/// The pinned manager shape the flat fixture was checkpointed from.
 fn fixture_manager() -> DpsManager {
     DpsManager::with_guard(
-        N,
-        BUDGET,
-        UnitLimits::xeon_gold_6240(),
-        DpsConfig::default(),
-        GuardConfig {
-            stuck_window: 5,
-            quarantine_after: 2,
-            probation_after: 3,
-            readmit_after: 4,
-            ..GuardConfig::default()
-        },
-        RngStream::new(0xF1D0, "fixture/checkpoint-v2"),
+        recipe::N,
+        recipe::BUDGET,
+        recipe::limits(),
+        recipe::dps_config(),
+        recipe::guard(),
+        recipe::rng(),
     )
-}
-
-/// Deterministic demand with a unit-0 sensor dropout window, so the
-/// snapshot carries non-trivial guard state (quarantine, held samples)
-/// alongside the Kalman/history/moments internals.
-fn demand(t: usize, u: usize) -> f64 {
-    if u == 0 && (12..18).contains(&t) {
-        return f64::NAN;
-    }
-    let base = [120.0, 60.0, 95.0, 140.0][u];
-    base + 0.4 * (((t + 3 * u) % 7) as f64 - 3.0)
-}
-
-fn drive_cycle(m: &mut DpsManager, caps: &mut [f64], t: usize) {
-    let z: Vec<f64> = (0..N).map(|u| demand(t, u).min(caps[u])).collect();
-    m.assign_caps(&z, caps, 1.0);
-}
-
-fn caps_to_hex(caps: &[f64]) -> String {
-    caps.iter()
-        .map(|c| format!("{:016x}", c.to_bits()))
-        .collect::<Vec<_>>()
-        .join(" ")
 }
 
 #[test]
 fn v2_snapshot_fixture_restores_bit_exactly() {
     if std::env::var("DPS_REGEN_FIXTURE").is_ok() {
         let mut m = fixture_manager();
-        let mut caps = vec![110.0; N];
-        for t in 0..WARMUP_CYCLES {
-            drive_cycle(&mut m, &mut caps, t);
+        let mut caps = vec![110.0; recipe::N];
+        for t in 0..recipe::WARMUP_CYCLES {
+            recipe::drive_cycle(&mut m, &mut caps, t);
         }
         let snap = m.checkpoint().unwrap();
-        let mut lines = vec![caps_to_hex(&caps)];
-        for t in WARMUP_CYCLES..WARMUP_CYCLES + CONTINUATION_CYCLES {
-            drive_cycle(&mut m, &mut caps, t);
-            lines.push(caps_to_hex(&caps));
+        let mut lines = vec![recipe::caps_to_hex(&caps)];
+        for t in recipe::WARMUP_CYCLES..recipe::WARMUP_CYCLES + recipe::CONTINUATION_CYCLES {
+            recipe::drive_cycle(&mut m, &mut caps, t);
+            lines.push(recipe::caps_to_hex(&caps));
         }
         std::fs::create_dir_all("tests/fixtures").unwrap();
-        std::fs::write(FIXTURE, &snap).unwrap();
-        std::fs::write(EXPECTED, lines.join("\n") + "\n").unwrap();
+        std::fs::write(recipe::FIXTURE, &snap).unwrap();
+        std::fs::write(recipe::EXPECTED, lines.join("\n") + "\n").unwrap();
         eprintln!(
-            "regenerated {FIXTURE} ({} bytes) and {EXPECTED}",
-            snap.len()
+            "regenerated {} ({} bytes) and {}",
+            recipe::FIXTURE,
+            snap.len(),
+            recipe::EXPECTED
         );
         return;
     }
 
-    let snap = std::fs::read(FIXTURE).expect("committed v2 snapshot fixture");
-    let expected: Vec<String> = std::fs::read_to_string(EXPECTED)
-        .expect("committed expected-caps fixture")
-        .lines()
-        .map(str::to_string)
-        .collect();
-    assert_eq!(expected.len(), 1 + CONTINUATION_CYCLES);
+    let snap = std::fs::read(recipe::FIXTURE).expect("committed v2 snapshot fixture");
+    let expected = recipe::expected_lines();
+    assert_eq!(expected.len(), 1 + recipe::CONTINUATION_CYCLES);
 
     let mut m = fixture_manager();
     m.restore(&snap).expect("v2 snapshot restores");
-    assert_eq!(m.total_budget(), BUDGET);
+    assert_eq!(m.total_budget(), recipe::BUDGET);
 
     // The caps in force at checkpoint time are the first expected line.
-    let mut caps: Vec<f64> = expected[0]
-        .split_whitespace()
-        .map(|h| f64::from_bits(u64::from_str_radix(h, 16).unwrap()))
-        .collect();
+    let mut caps = recipe::caps_from_hex(&expected[0]);
 
-    for (i, t) in (WARMUP_CYCLES..WARMUP_CYCLES + CONTINUATION_CYCLES).enumerate() {
-        drive_cycle(&mut m, &mut caps, t);
+    for (i, t) in
+        (recipe::WARMUP_CYCLES..recipe::WARMUP_CYCLES + recipe::CONTINUATION_CYCLES).enumerate()
+    {
+        recipe::drive_cycle(&mut m, &mut caps, t);
         assert_eq!(
-            caps_to_hex(&caps),
+            recipe::caps_to_hex(&caps),
             expected[i + 1],
             "restored trajectory diverged from the pre-refactor build at cycle {t}"
         );
@@ -124,7 +94,7 @@ fn membership_churn_immediately_after_restore() {
     if std::env::var("DPS_REGEN_FIXTURE").is_ok() {
         return; // the sibling test is rewriting the fixture under us
     }
-    let snap = std::fs::read(FIXTURE).expect("committed v2 snapshot fixture");
+    let snap = std::fs::read(recipe::FIXTURE).expect("committed v2 snapshot fixture");
     let mut m = fixture_manager();
     m.restore(&snap).expect("v2 snapshot restores");
 
@@ -143,10 +113,126 @@ fn membership_churn_immediately_after_restore() {
     assert!(!m.unit_state(3).power_history.is_empty());
 
     // The post-churn controller still runs under budget discipline.
-    let mut caps = vec![110.0; N];
+    let mut caps = vec![110.0; recipe::N];
     for t in 0..20 {
-        drive_cycle(&mut m, &mut caps, WARMUP_CYCLES + t);
+        recipe::drive_cycle(&mut m, &mut caps, recipe::WARMUP_CYCLES + t);
         let sum: f64 = caps.iter().sum();
-        assert!(sum <= BUDGET + 1e-6, "budget violated after churn: {sum}");
+        assert!(
+            sum <= recipe::BUDGET + 1e-6,
+            "budget violated after churn: {sum}"
+        );
     }
+}
+
+// ---------------------------------------------------------------------
+// Sharded fixture: the hierarchical wire format, pinned the same way.
+// ---------------------------------------------------------------------
+
+const SHARDED_N: usize = 8;
+const SHARDED_BUDGET: f64 = 880.0;
+const SHARDED_SHARDS: usize = 4;
+const SHARDED_WARMUP: usize = 40;
+const SHARDED_FIXTURE: &str = "tests/fixtures/checkpoint_sharded_v1.bin";
+const SHARDED_EXPECTED: &str = "tests/fixtures/checkpoint_sharded_v1_expected.txt";
+
+/// The pinned tree the sharded fixture was checkpointed from.
+fn sharded_fixture_manager(num_shards: usize) -> ShardedManager {
+    ShardedManager::with_guard(
+        SHARDED_N,
+        SHARDED_BUDGET,
+        UnitLimits::xeon_gold_6240(),
+        recipe::dps_config(),
+        recipe::guard(),
+        num_shards,
+        RngStream::new(0x5A4D, "fixture/checkpoint-sharded-v1"),
+    )
+}
+
+/// Skewed per-unit demand (hot and cold shards, one NaN dropout window)
+/// so the snapshot carries real allocator state: unequal grants, primed
+/// derivative EWMAs, guard holds.
+fn sharded_demand(t: usize, u: usize) -> f64 {
+    if u == 1 && (10..16).contains(&t) {
+        return f64::NAN;
+    }
+    let base = [120.0, 60.0, 95.0, 140.0, 80.0, 130.0, 70.0, 110.0][u];
+    base + 0.4 * (((t + 3 * u) % 7) as f64 - 3.0)
+}
+
+fn sharded_drive_cycle(m: &mut dyn PowerManager, caps: &mut [f64], t: usize) {
+    let z: Vec<f64> = (0..SHARDED_N)
+        .map(|u| sharded_demand(t, u).min(caps[u]))
+        .collect();
+    m.assign_caps(&z, caps, 1.0);
+}
+
+#[test]
+fn sharded_v1_snapshot_fixture_restores_bit_exactly() {
+    if std::env::var("DPS_REGEN_FIXTURE").is_ok() {
+        let mut m = sharded_fixture_manager(SHARDED_SHARDS);
+        let mut caps = vec![110.0; SHARDED_N];
+        for t in 0..SHARDED_WARMUP {
+            sharded_drive_cycle(&mut m, &mut caps, t);
+        }
+        let snap = m.checkpoint().unwrap();
+        let mut lines = vec![recipe::caps_to_hex(&caps)];
+        for t in SHARDED_WARMUP..SHARDED_WARMUP + recipe::CONTINUATION_CYCLES {
+            sharded_drive_cycle(&mut m, &mut caps, t);
+            lines.push(recipe::caps_to_hex(&caps));
+        }
+        std::fs::create_dir_all("tests/fixtures").unwrap();
+        std::fs::write(SHARDED_FIXTURE, &snap).unwrap();
+        std::fs::write(SHARDED_EXPECTED, lines.join("\n") + "\n").unwrap();
+        eprintln!(
+            "regenerated {SHARDED_FIXTURE} ({} bytes) and {SHARDED_EXPECTED}",
+            snap.len()
+        );
+        return;
+    }
+
+    let snap = std::fs::read(SHARDED_FIXTURE).expect("committed sharded snapshot fixture");
+    let expected: Vec<String> = std::fs::read_to_string(SHARDED_EXPECTED)
+        .expect("committed sharded expected-caps fixture")
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert_eq!(expected.len(), 1 + recipe::CONTINUATION_CYCLES);
+
+    let mut m = sharded_fixture_manager(SHARDED_SHARDS);
+    m.restore(&snap).expect("sharded v1 snapshot restores");
+    assert_eq!(m.total_budget(), SHARDED_BUDGET);
+
+    let mut caps = recipe::caps_from_hex(&expected[0]);
+    for (i, t) in (SHARDED_WARMUP..SHARDED_WARMUP + recipe::CONTINUATION_CYCLES).enumerate() {
+        sharded_drive_cycle(&mut m, &mut caps, t);
+        assert_eq!(
+            recipe::caps_to_hex(&caps),
+            expected[i + 1],
+            "restored sharded trajectory diverged at cycle {t}"
+        );
+    }
+}
+
+#[test]
+fn sharded_fixture_rejects_mismatched_tree_shapes() {
+    if std::env::var("DPS_REGEN_FIXTURE").is_ok() {
+        return; // the sibling test is rewriting the fixture under us
+    }
+    let snap = std::fs::read(SHARDED_FIXTURE).expect("committed sharded snapshot fixture");
+
+    // A tree with a different shard count must refuse cleanly (versioned
+    // header), not misassemble the nested blobs.
+    let mut two = sharded_fixture_manager(2);
+    let err = two.restore(&snap).expect_err("cross-shard-count restore");
+    assert!(
+        err.contains("shard"),
+        "error does not name the shard mismatch: {err}"
+    );
+
+    // The flat manager must also refuse the sharded framing outright.
+    let mut flat = fixture_manager();
+    assert!(
+        flat.restore(&snap).is_err(),
+        "flat manager accepted a sharded snapshot"
+    );
 }

@@ -156,6 +156,28 @@ fn chaos_brownout_matches_golden() {
 }
 
 #[test]
+fn sharded_elastic_matches_golden() {
+    let bytes = check_against_golden(GoldenScenario::ShardedElastic);
+    let trace = codec::decode(&bytes).expect("golden trace decodes");
+    let reg = dps_suite::obs::ObsRegistry::from_events(&trace.events);
+    // The tree must actually behave like a tree: the allocator regrants
+    // as the flash crowd skews demand across shards, the provisioner's
+    // churn reaches the top level as (global-index) membership flips,
+    // and the monitor's per-level budget checks stay silent throughout.
+    assert!(reg.shard_grants() > 0, "the allocator never regranted");
+    assert!(
+        reg.membership_flips() > 0,
+        "provisioning never reached the tree"
+    );
+    assert!(reg.provision_power_ons() > 0, "no power-ons recorded");
+    assert_eq!(
+        reg.invariant_violations(),
+        0,
+        "the tree violated a budget invariant"
+    );
+}
+
+#[test]
 fn recording_twice_is_byte_stable() {
     for scenario in GoldenScenario::ALL {
         let a = scenario.record();

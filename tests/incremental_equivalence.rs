@@ -11,6 +11,12 @@
 //! deltas, priority flips, readjusts, guard transitions) with its cycle
 //! index, so two runs that happen to land on the same caps via different
 //! intermediate decisions still fail the suite.
+//!
+//! The matrix is three-way: a one-shard hierarchical tree
+//! ([`ManagerKind::Sharded`] with `shards = 1`) rides in the same
+//! lockstep, because the degenerate tree is specified to be the flat
+//! incremental manager — same caps, same trace bytes — not an
+//! approximation of it.
 
 use dps_suite::cluster::{ClusterSim, ExperimentConfig};
 use dps_suite::core::config::StatsMode;
@@ -61,11 +67,14 @@ fn programs(cfg: &ExperimentConfig) -> Vec<DemandProgram> {
     ]
 }
 
-/// Builds the two sims (identical except for `stats_mode`), drives them in
-/// lockstep, and demands exact cap equality on every cycle.
+/// Builds the three sims (flat Incremental, flat Rescan, one-shard tree
+/// on Incremental — identical otherwise), drives them in lockstep, and
+/// demands exact cap equality on every cycle plus byte-equal traces.
 fn assert_lockstep(base: &ExperimentConfig, label: &str, cycles: usize) {
     let inc_cfg = with_mode(base, StatsMode::Incremental);
     let res_cfg = with_mode(base, StatsMode::Rescan);
+    let mut shd_cfg = with_mode(base, StatsMode::Incremental);
+    shd_cfg.shards = 1;
     let rng = RngStream::new(base.seed, label);
     let mut inc = ClusterSim::new(
         inc_cfg.sim.clone(),
@@ -79,18 +88,32 @@ fn assert_lockstep(base: &ExperimentConfig, label: &str, cycles: usize) {
         res_cfg.build_manager(ManagerKind::Dps),
         &rng,
     );
+    let mut shd = ClusterSim::new(
+        shd_cfg.sim.clone(),
+        programs(&shd_cfg),
+        shd_cfg.build_manager(ManagerKind::Sharded),
+        &rng,
+    );
     let inc_sink = recording(&mut inc);
     let res_sink = recording(&mut res);
+    let shd_sink = recording(&mut shd);
     for step in 0..cycles {
         inc.cycle();
         res.cycle();
+        shd.cycle();
         assert_eq!(
             inc.caps(),
             res.caps(),
             "{label}: incremental and rescan caps diverged at step {step}"
         );
+        assert_eq!(
+            inc.caps(),
+            shd.caps(),
+            "{label}: one-shard tree caps diverged from flat at step {step}"
+        );
     }
     assert_traces_match(&inc_sink, &res_sink, label);
+    assert_traces_match(&inc_sink, &shd_sink, &format!("{label}/sharded1"));
 }
 
 /// Paper-default configuration: noisy telemetry, the GMM+EP contended pair.
@@ -165,6 +188,8 @@ fn incremental_matches_rescan_under_scheduler_churn() {
     base.sim.scheduler = Some(SchedConfig::default_poisson(10, 200.0));
     let inc_cfg = with_mode(&base, StatsMode::Incremental);
     let res_cfg = with_mode(&base, StatsMode::Rescan);
+    let mut shd_cfg = with_mode(&base, StatsMode::Incremental);
+    shd_cfg.shards = 1;
     let rng = RngStream::new(base.seed, "equiv-sched");
     let mut inc = ClusterSim::with_scheduler(
         inc_cfg.sim.clone(),
@@ -176,16 +201,30 @@ fn incremental_matches_rescan_under_scheduler_churn() {
         res_cfg.build_manager(ManagerKind::Dps),
         &rng,
     );
+    // The one-shard tree sees the same churn: `observe_membership` resets
+    // must flow through the top level identically to the flat manager.
+    let mut shd = ClusterSim::with_scheduler(
+        shd_cfg.sim.clone(),
+        shd_cfg.build_manager(ManagerKind::Sharded),
+        &rng,
+    );
     let inc_sink = recording(&mut inc);
     let res_sink = recording(&mut res);
+    let shd_sink = recording(&mut shd);
     let mut drained_at = None;
     for step in 0..base.max_steps {
         inc.cycle();
         res.cycle();
+        shd.cycle();
         assert_eq!(
             inc.caps(),
             res.caps(),
             "scheduler churn: caps diverged at step {step}"
+        );
+        assert_eq!(
+            inc.caps(),
+            shd.caps(),
+            "scheduler churn: one-shard tree diverged at step {step}"
         );
         assert_eq!(
             inc.occupied_units(),
@@ -200,6 +239,7 @@ fn incremental_matches_rescan_under_scheduler_churn() {
     let drained_at = drained_at.expect("queue drained");
     assert!(drained_at > 50, "trace too short to exercise churn");
     assert_traces_match(&inc_sink, &res_sink, "equiv-sched");
+    assert_traces_match(&inc_sink, &shd_sink, "equiv-sched/sharded1");
 }
 
 /// The struct-of-arrays decision core against the per-unit-struct oracle:

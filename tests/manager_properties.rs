@@ -6,7 +6,8 @@ use dps_suite::core::budget::check_budget;
 use dps_suite::core::manager::{ManagerKind, PowerManager, UnitLimits};
 use dps_suite::core::{
     ConstantManager, DpsConfig, DpsManager, FeedbackConfig, FeedbackManager, MimdConfig,
-    PredictiveConfig, PredictiveManager, QdpmConfig, QdpmManager, SlurmManager, TwoLevelManager,
+    PredictiveConfig, PredictiveManager, QdpmConfig, QdpmManager, ShardedManager, SlurmManager,
+    TwoLevelManager,
 };
 use dps_suite::sim_core::RngStream;
 use proptest::prelude::*;
@@ -62,12 +63,22 @@ fn build(kind: ManagerKind, n: usize, budget: f64, seed: u64) -> Box<dyn PowerMa
             MimdConfig::default(),
             rng,
         )),
+        // Two shards wherever the fleet can be split; the single-unit
+        // degenerate tree otherwise.
+        ManagerKind::Sharded => Box::new(ShardedManager::new(
+            n,
+            budget,
+            LIMITS,
+            DpsConfig::default(),
+            2.min(n),
+            rng,
+        )),
         ManagerKind::Oracle => unreachable!("oracle needs demand feeds"),
     }
 }
 
 /// Managers exercised by the arbitrary-measurement invariant harness.
-const REALISTIC: [ManagerKind; 7] = [
+const REALISTIC: [ManagerKind; 8] = [
     ManagerKind::Constant,
     ManagerKind::Slurm,
     ManagerKind::Dps,
@@ -75,6 +86,7 @@ const REALISTIC: [ManagerKind; 7] = [
     ManagerKind::Predictive,
     ManagerKind::Qdpm,
     ManagerKind::TwoLevel,
+    ManagerKind::Sharded,
 ];
 
 proptest! {

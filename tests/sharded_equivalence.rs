@@ -1,0 +1,278 @@
+//! Differential harness for the hierarchical sharded manager.
+//!
+//! The contract under test has two halves:
+//!
+//! * **Degenerate tree ≡ flat.** A one-shard [`ShardedManager`] is not
+//!   "approximately" the flat [`DpsManager`] — it must be bit-identical:
+//!   same cap bits through a live side-by-side gauntlet of NaN dropouts,
+//!   membership churn, and budget shocks; same recorded decision-trace
+//!   bytes on every flat golden scenario; interchangeable checkpoint
+//!   bytes, including the committed pre-refactor fixture.
+//! * **Real trees stay budget-safe at every level.** Under chaos and
+//!   traffic schedules an N-shard tree must satisfy the hierarchical
+//!   invariant on *every* cycle: shard cap sums within their grants,
+//!   grants within the cluster budget — checked both by the simulator's
+//!   always-on monitor (fail-fast here) and independently by this
+//!   harness through [`ClusterSim::shard_view`].
+//!
+//! The scripted gauntlet and tree checks live in
+//! `tests/support/sharded_oracle.rs` so other harnesses can reuse them.
+
+use dps_experiments::scenarios::GoldenScenario;
+use dps_suite::cluster::{BudgetSchedule, ChaosSchedule, ChaosWindow, ClusterSim, SimConfig};
+use dps_suite::core::manager::{PowerManager, UnitLimits};
+use dps_suite::core::{DpsConfig, DpsManager, ShardedManager};
+use dps_suite::rapl::{SensorFault, Topology};
+use dps_suite::sim_core::RngStream;
+use dps_suite::traffic::{ProvisionerConfig, ProvisionerMode, TrafficConfig, TrafficPattern};
+use dps_suite::workloads::{DemandProgram, Phase};
+
+#[path = "support/sharded_oracle.rs"]
+mod oracle;
+#[path = "support/fixture_recipe.rs"]
+mod recipe;
+
+const LIMITS: UnitLimits = UnitLimits {
+    min_cap: 40.0,
+    max_cap: 165.0,
+};
+
+/// Live side-by-side oracle: a one-shard tree and the flat manager walk
+/// 400 cycles of sawtooth demand with NaN dropouts, membership churn,
+/// and budget shocks in bit-exact lockstep; their checkpoints are
+/// byte-identical and interchangeable, and the cross-restored pair stays
+/// in lockstep for another stretch.
+#[test]
+fn one_shard_tree_is_bit_identical_to_flat_live() {
+    let n = 12;
+    let budget = 110.0 * n as f64;
+    let mk_rng = || RngStream::new(0xE0A1, "sharded-equiv/live");
+    let mut tree = ShardedManager::new(n, budget, LIMITS, DpsConfig::default(), 1, mk_rng());
+    let mut flat = DpsManager::new(n, budget, LIMITS, DpsConfig::default(), mk_rng());
+
+    let (snap_tree, snap_flat) =
+        oracle::assert_bitwise_lockstep(&mut tree, &mut flat, 400, "live-oracle");
+    let snap_tree = snap_tree.expect("tree checkpoints");
+    let snap_flat = snap_flat.expect("flat checkpoints");
+    assert!(
+        snap_tree == snap_flat,
+        "one-shard checkpoint bytes differ from flat ({} vs {} bytes)",
+        snap_tree.len(),
+        snap_flat.len()
+    );
+
+    // The snapshots are interchangeable across the two implementations:
+    // restore each into the *other* shape and keep walking in lockstep.
+    let mut tree2 = ShardedManager::new(n, budget, LIMITS, DpsConfig::default(), 1, mk_rng());
+    let mut flat2 = DpsManager::new(n, budget, LIMITS, DpsConfig::default(), mk_rng());
+    tree2.restore(&snap_flat).expect("tree restores flat bytes");
+    flat2.restore(&snap_tree).expect("flat restores tree bytes");
+    oracle::assert_bitwise_lockstep(&mut tree2, &mut flat2, 150, "live-oracle/cross-restored");
+}
+
+/// Every flat golden scenario re-recorded under a one-shard tree (same
+/// RNG streams, same sim) produces the *same trace bytes* as the flat
+/// manager — both against a fresh flat recording and against the
+/// committed golden file.
+#[test]
+fn one_shard_tree_reproduces_every_flat_golden_trace() {
+    if std::env::var("DPS_REGEN_GOLDEN").is_ok() {
+        return; // golden_trace is rewriting the files under us
+    }
+    for s in GoldenScenario::ALL {
+        if s == GoldenScenario::ShardedElastic {
+            continue; // already a (four-shard) tree
+        }
+        let flat = s.record();
+        let one = s.record_with_shards(DpsConfig::default(), 1);
+        assert!(
+            flat == one,
+            "{}: one-shard trace diverged from the flat recording ({} vs {} bytes)",
+            s.name(),
+            flat.len(),
+            one.len()
+        );
+        let committed = std::fs::read(format!("tests/golden/{}", s.file_name()))
+            .unwrap_or_else(|e| panic!("committed golden {} unreadable: {e}", s.file_name()));
+        assert!(
+            committed == one,
+            "{}: one-shard trace diverged from the committed golden file",
+            s.name()
+        );
+    }
+}
+
+/// A one-shard tree restores the committed *flat* pre-refactor fixture
+/// and reproduces the committed continuation trajectory bit for bit —
+/// the degenerate tree speaks the flat wire format, not just its own.
+#[test]
+fn one_shard_tree_restores_the_committed_flat_fixture() {
+    if std::env::var("DPS_REGEN_FIXTURE").is_ok() {
+        return; // checkpoint_fixture is rewriting the files under us
+    }
+    let snap = std::fs::read(recipe::FIXTURE).expect("committed v2 snapshot fixture");
+    let expected = recipe::expected_lines();
+
+    let mut m = ShardedManager::with_guard(
+        recipe::N,
+        recipe::BUDGET,
+        recipe::limits(),
+        recipe::dps_config(),
+        recipe::guard(),
+        1,
+        recipe::rng(),
+    );
+    m.restore(&snap)
+        .expect("one-shard tree restores the flat fixture");
+    assert_eq!(m.total_budget(), recipe::BUDGET);
+
+    let mut caps = recipe::caps_from_hex(&expected[0]);
+    for (i, t) in
+        (recipe::WARMUP_CYCLES..recipe::WARMUP_CYCLES + recipe::CONTINUATION_CYCLES).enumerate()
+    {
+        recipe::drive_cycle(&mut m, &mut caps, t);
+        assert_eq!(
+            recipe::caps_to_hex(&caps),
+            expected[i + 1],
+            "one-shard continuation diverged from the committed trajectory at cycle {t}"
+        );
+    }
+}
+
+/// Four shards under the elastic flash crowd: the provisioner churns
+/// membership and the allocator trades grants, while the per-level
+/// budget invariant holds on every one of the 220 cycles — checked
+/// independently of the (fail-fast) invariant monitor.
+#[test]
+fn multi_shard_tree_is_budget_safe_under_traffic() {
+    let mut cfg = SimConfig {
+        topology: Topology::new(2, 2, 2),
+        ..SimConfig::paper_default()
+    };
+    let total_sockets = cfg.topology.total_units();
+    let mut traffic = TrafficConfig::default_diurnal(total_sockets, 100.0);
+    traffic.pattern = TrafficPattern::FlashCrowd {
+        base_rps: 100.0,
+        peak_rps: 0.9 * total_sockets as f64 * 100.0,
+        start: 20.0,
+        ramp: 10.0,
+        hold: 60.0,
+        decay: 10.0,
+    };
+    traffic.provisioner = ProvisionerMode::Reactive(ProvisionerConfig {
+        target_utilization: 0.7,
+        headroom_nodes: 0,
+        power_off_after: 15.0,
+        min_nodes: 1,
+    });
+    cfg.traffic = Some(traffic);
+    let rng = RngStream::new(0x5EED_07A1, "sharded-equiv/traffic");
+    let limits = UnitLimits {
+        min_cap: cfg.domain_spec.min_cap,
+        max_cap: cfg.domain_spec.tdp,
+    };
+    let manager: Box<dyn PowerManager> = Box::new(ShardedManager::new(
+        total_sockets,
+        cfg.total_budget(),
+        limits,
+        DpsConfig::default(),
+        4,
+        rng.child("mgr"),
+    ));
+    let mut sim = ClusterSim::with_traffic(cfg, manager, &rng);
+    sim.set_invariant_fail_fast(true);
+    for step in 0..220 {
+        sim.cycle();
+        let spans = sim.shard_view().expect("sharded manager exposes its tree");
+        oracle::assert_tree_budget_safe_spans(
+            spans,
+            sim.caps(),
+            sim.current_budget(),
+            &format!("traffic cycle {step}"),
+        );
+    }
+    assert_eq!(sim.invariant_violations(), 0, "monitor saw violations");
+    assert!(
+        sim.request_stats().expect("traffic stats").served > 0.0,
+        "the crowd never arrived — scenario is vacuous"
+    );
+}
+
+/// Four shards through a correlated chaos incident — sensor dropouts on
+/// half the fleet and a budget brownout ramping through — with per-level
+/// budget safety asserted on every cycle while the guard quarantines and
+/// readmits underneath.
+#[test]
+fn multi_shard_tree_is_budget_safe_under_chaos() {
+    let mut cfg = SimConfig {
+        topology: Topology::new(2, 2, 2),
+        ..SimConfig::paper_default()
+    };
+    cfg.chaos = ChaosSchedule::new(vec![ChaosWindow::new(1, 20.0, 60.0)
+        .with_sensor(SensorFault::Dropout)
+        .with_budget_factor(0.9)]);
+    cfg.budget = BudgetSchedule::brownout(30.0, 0.75, 10.0, 30.0);
+    let rng = RngStream::new(0x5EED_07A2, "sharded-equiv/chaos");
+    let limits = UnitLimits {
+        min_cap: cfg.domain_spec.min_cap,
+        max_cap: cfg.domain_spec.tdp,
+    };
+    let n = cfg.topology.total_units();
+    let manager: Box<dyn PowerManager> = Box::new(ShardedManager::with_guard(
+        n,
+        cfg.total_budget(),
+        limits,
+        DpsConfig::default(),
+        recipe::guard(),
+        4,
+        rng.child("mgr"),
+    ));
+    let hot = DemandProgram::new(vec![Phase::constant(200.0, 160.0)]);
+    let busy = DemandProgram::new(vec![Phase::constant(200.0, 140.0)]);
+    let mut sim = ClusterSim::new(cfg, vec![hot, busy], manager, &rng);
+    sim.set_invariant_fail_fast(true);
+    for step in 0..160 {
+        sim.cycle();
+        let spans = sim.shard_view().expect("sharded manager exposes its tree");
+        oracle::assert_tree_budget_safe_spans(
+            spans,
+            sim.caps(),
+            sim.current_budget(),
+            &format!("chaos cycle {step}"),
+        );
+    }
+    assert_eq!(sim.invariant_violations(), 0, "monitor saw violations");
+}
+
+/// The tree's threaded shard fan-out against its serial loop: a 4-shard
+/// manager with `parallel_threshold` forced to 1 must stay bit-identical
+/// to one whose threshold is never reached, through the full scripted
+/// gauntlet (churn, shocks, NaN dropouts) and in its checkpoint bytes.
+#[cfg(feature = "parallel")]
+#[test]
+fn parallel_shard_fanout_matches_serial() {
+    let n = 64;
+    let budget = 110.0 * n as f64;
+    let mk = |threshold: usize| {
+        let cfg = DpsConfig {
+            parallel_threshold: threshold,
+            ..DpsConfig::default()
+        };
+        ShardedManager::new(
+            n,
+            budget,
+            LIMITS,
+            cfg,
+            4,
+            RngStream::new(0xE0A2, "sharded-equiv/parallel"),
+        )
+    };
+    let mut par = mk(1);
+    let mut ser = mk(usize::MAX);
+    let (snap_par, snap_ser) =
+        oracle::assert_bitwise_lockstep(&mut par, &mut ser, 300, "parallel-fanout");
+    assert!(
+        snap_par.expect("checkpoints") == snap_ser.expect("checkpoints"),
+        "parallel and serial trees checkpoint differently"
+    );
+}

@@ -1,0 +1,167 @@
+//! Property tests for the hierarchical shard allocator and the sharded
+//! manager's tree invariant.
+//!
+//! The allocator ([`allocate_grants`]) is pure arithmetic, so it gets
+//! direct property coverage: for arbitrary floors/ceilings/weights and
+//! budgets the grants must conserve the distributable budget exactly,
+//! stay non-negative, and respect every per-shard floor and ceiling.
+//! The manager-level properties then drive whole [`ShardedManager`]
+//! trees through random shard counts, churn masks, NaN dropouts, and
+//! budget shocks, asserting the per-level budget invariant on every
+//! cycle via the shared oracle.
+
+use dps_suite::core::budget::BUDGET_EPSILON;
+use dps_suite::core::manager::{PowerManager, UnitLimits};
+use dps_suite::core::{allocate_grants, DpsConfig, ShardedManager};
+use dps_suite::sim_core::RngStream;
+use proptest::prelude::*;
+
+#[path = "support/sharded_oracle.rs"]
+mod oracle;
+
+const LIMITS: UnitLimits = UnitLimits {
+    min_cap: 40.0,
+    max_cap: 165.0,
+};
+
+/// Per-shard (floor, extra-ceiling-above-floor, weight) triples; the
+/// vector length is the (random) shard count.
+fn shard_params(max_shards: usize) -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
+    prop::collection::vec((10.0f64..200.0, 0.0f64..400.0, 0.0f64..10.0), 1..max_shards)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Grants conserve the distributable budget exactly: they sum to
+    /// `min(budget, Σceilings)` (within float ε), never exceed the
+    /// budget, and each grant sits inside `[floor, ceiling]`.
+    #[test]
+    fn allocator_conserves_budget_and_respects_bounds(
+        params in shard_params(24),
+        slack in 0.0f64..2000.0,
+    ) {
+        let k = params.len();
+        let floors: Vec<f64> = params.iter().map(|p| p.0).collect();
+        let ceilings: Vec<f64> = params.iter().map(|p| p.0 + p.1).collect();
+        let weights: Vec<f64> = params.iter().map(|p| p.2).collect();
+        // Always feasible: at least the floors are fundable.
+        let budget = floors.iter().sum::<f64>() + slack;
+        let mut grants = vec![0.0; k];
+        allocate_grants(budget, &floors, &ceilings, &weights, &mut grants);
+
+        let tol = BUDGET_EPSILON * (k as f64 + 1.0);
+        let mut sum = 0.0;
+        for s in 0..k {
+            prop_assert!(grants[s].is_finite(), "shard {s} grant not finite");
+            prop_assert!(grants[s] >= 0.0, "shard {s} grant negative");
+            prop_assert!(
+                grants[s] >= floors[s] - tol,
+                "shard {s} grant {} under its floor {}",
+                grants[s],
+                floors[s]
+            );
+            prop_assert!(
+                grants[s] <= ceilings[s] + tol,
+                "shard {s} grant {} over its ceiling {}",
+                grants[s],
+                ceilings[s]
+            );
+            sum += grants[s];
+        }
+        prop_assert!(sum <= budget + tol, "grants {sum} exceed budget {budget}");
+        let distributable = budget.min(ceilings.iter().sum::<f64>());
+        prop_assert!(
+            (sum - distributable).abs() <= tol + 1e-9 * distributable.abs(),
+            "grants {sum} strand budget: distributable {distributable}"
+        );
+    }
+
+    /// Degenerate weight vectors (all zero, one NaN, one infinite) must
+    /// not strand budget or produce non-finite grants.
+    #[test]
+    fn allocator_survives_degenerate_weights(
+        params in shard_params(16),
+        poison_idx in 0usize..16,
+        poison_kind in 0usize..4,
+        slack in 0.0f64..800.0,
+    ) {
+        let k = params.len();
+        let poison = [0.0, f64::NAN, f64::INFINITY, -3.0][poison_kind];
+        let floors: Vec<f64> = params.iter().map(|p| p.0).collect();
+        let ceilings: Vec<f64> = params.iter().map(|p| p.0 + p.1).collect();
+        let mut weights: Vec<f64> = params.iter().map(|p| p.2).collect();
+        weights[poison_idx % k] = poison;
+        let budget = floors.iter().sum::<f64>() + slack;
+        let mut grants = vec![0.0; k];
+        allocate_grants(budget, &floors, &ceilings, &weights, &mut grants);
+
+        let tol = BUDGET_EPSILON * (k as f64 + 1.0);
+        let sum: f64 = grants.iter().sum();
+        prop_assert!(grants.iter().all(|g| g.is_finite() && *g >= 0.0));
+        prop_assert!(sum <= budget + tol);
+        let distributable = budget.min(ceilings.iter().sum::<f64>());
+        prop_assert!(
+            (sum - distributable).abs() <= tol + 1e-9 * distributable.abs(),
+            "degenerate weights stranded budget: {sum} vs {distributable}"
+        );
+    }
+
+    /// A whole tree under random shard counts, churn masks, NaN
+    /// dropouts, and budget shocks: the per-level budget invariant holds
+    /// on every cycle, and shocked budgets are honoured from the very
+    /// next cycle.
+    #[test]
+    fn tree_invariant_holds_under_churn_and_shocks(
+        n in 2usize..32,
+        shards in 1usize..8,
+        seed in 0u64..500,
+        trace in prop::collection::vec(0.0f64..200.0, 10..60),
+        churn_mask in prop::collection::vec(any::<bool>(), 32..=32),
+        shock in 0.70f64..1.0,
+        shock_at in 5usize..30,
+    ) {
+        let shards = shards.min(n);
+        let nominal = n as f64 * 110.0;
+        let mut mgr = ShardedManager::new(
+            n,
+            nominal,
+            LIMITS,
+            DpsConfig::default(),
+            shards,
+            RngStream::new(seed, "prop-sharded"),
+        );
+        let mut caps = vec![110.0; n];
+        let mut active = vec![true; n];
+        for (t, &p) in trace.iter().enumerate() {
+            if t == shock_at {
+                let shocked = (nominal * shock).max(LIMITS.min_cap * n as f64);
+                mgr.set_budget(shocked).expect("shock stays feasible");
+            }
+            if t > 0 && t % 7 == 0 {
+                // Apply the random churn mask one unit at a time so both
+                // directions (leave and rejoin) occur along the trace.
+                let u = t % n;
+                active[u] = churn_mask[u % churn_mask.len()];
+                mgr.observe_membership(&active);
+            }
+            let measured: Vec<f64> = (0..n)
+                .map(|u| {
+                    if (t + u) % 13 == 0 {
+                        f64::NAN
+                    } else {
+                        (p + u as f64 * 3.0).min(caps[u])
+                    }
+                })
+                .collect();
+            mgr.assign_caps(&measured, &mut caps, 1.0);
+            oracle::assert_tree_budget_safe(&mgr, &caps, &format!("cycle {t}"));
+            let total: f64 = caps.iter().sum();
+            prop_assert!(
+                total <= mgr.total_budget() + BUDGET_EPSILON * n as f64,
+                "caps {total} exceed the in-force budget {} at cycle {t}",
+                mgr.total_budget()
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The pinned checkpoint-fixture recipe, shared by `checkpoint_fixture.rs`
+//! (flat manager) and `sharded_equivalence.rs` (one-shard tree). Both
+//! harnesses must restore `tests/fixtures/checkpoint_v2.bin` and reproduce
+//! the committed cap trajectory bit for bit, so the recipe — manager
+//! shape, demand script, encoding — lives in one place and cannot drift.
+#![allow(dead_code)] // each including test crate uses a subset
+
+use dps_suite::core::manager::{PowerManager, UnitLimits};
+use dps_suite::core::{DpsConfig, GuardConfig};
+use dps_suite::sim_core::RngStream;
+
+pub const N: usize = 4;
+pub const BUDGET: f64 = 440.0;
+pub const WARMUP_CYCLES: usize = 30;
+pub const CONTINUATION_CYCLES: usize = 12;
+pub const FIXTURE: &str = "tests/fixtures/checkpoint_v2.bin";
+pub const EXPECTED: &str = "tests/fixtures/checkpoint_v2_expected.txt";
+
+pub fn limits() -> UnitLimits {
+    UnitLimits::xeon_gold_6240()
+}
+
+pub fn dps_config() -> DpsConfig {
+    DpsConfig::default()
+}
+
+/// The guard the fixture manager was checkpointed with.
+pub fn guard() -> GuardConfig {
+    GuardConfig {
+        stuck_window: 5,
+        quarantine_after: 2,
+        probation_after: 3,
+        readmit_after: 4,
+        ..GuardConfig::default()
+    }
+}
+
+/// The pinned RNG stream of the fixture manager.
+pub fn rng() -> RngStream {
+    RngStream::new(0xF1D0, "fixture/checkpoint-v2")
+}
+
+/// Deterministic demand with a unit-0 sensor dropout window, so the
+/// snapshot carries non-trivial guard state (quarantine, held samples)
+/// alongside the Kalman/history/moments internals.
+pub fn demand(t: usize, u: usize) -> f64 {
+    if u == 0 && (12..18).contains(&t) {
+        return f64::NAN;
+    }
+    let base = [120.0, 60.0, 95.0, 140.0][u];
+    base + 0.4 * (((t + 3 * u) % 7) as f64 - 3.0)
+}
+
+pub fn drive_cycle(m: &mut dyn PowerManager, caps: &mut [f64], t: usize) {
+    let z: Vec<f64> = (0..N).map(|u| demand(t, u).min(caps[u])).collect();
+    m.assign_caps(&z, caps, 1.0);
+}
+
+pub fn caps_to_hex(caps: &[f64]) -> String {
+    caps.iter()
+        .map(|c| format!("{:016x}", c.to_bits()))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+pub fn caps_from_hex(line: &str) -> Vec<f64> {
+    line.split_whitespace()
+        .map(|h| f64::from_bits(u64::from_str_radix(h, 16).unwrap()))
+        .collect()
+}
+
+/// The committed expected-caps lines: the caps in force at checkpoint
+/// time, then one line per continuation cycle.
+pub fn expected_lines() -> Vec<String> {
+    std::fs::read_to_string(EXPECTED)
+        .expect("committed expected-caps fixture")
+        .lines()
+        .map(str::to_string)
+        .collect()
+}

@@ -1,0 +1,142 @@
+//! Reusable differential oracle for the hierarchical sharded manager.
+//!
+//! Two exports:
+//!
+//! * [`assert_bitwise_lockstep`] drives a candidate manager and a
+//!   reference manager through the same scripted gauntlet — sawtooth
+//!   demand, periodic NaN dropouts, membership churn, budget shocks —
+//!   and demands f64 **bit** equality on every cap and identical
+//!   priority vectors on every cycle. A one-shard tree against the flat
+//!   manager must survive this indefinitely; any hidden divergence in
+//!   RNG consumption, guard state, or accumulator order surfaces as the
+//!   first differing bit.
+//! * [`assert_tree_budget_safe`] checks the hierarchical budget
+//!   invariant at every level of a sharded tree: shard cap sums within
+//!   their grants, grants within the cluster budget, spans contiguous
+//!   and covering.
+#![allow(dead_code)] // each including test crate uses a subset
+
+use dps_suite::core::budget::BUDGET_EPSILON;
+use dps_suite::core::manager::PowerManager;
+
+/// Synthetic demand for `unit` at `step`: a per-unit-staggered sawtooth
+/// with periodic NaN dropouts so the non-finite path stays in play.
+pub fn measurement(step: usize, unit: usize, cap: f64) -> f64 {
+    if (step + 11 * unit).is_multiple_of(47) {
+        return f64::NAN;
+    }
+    let demand = 35.0 + 130.0 * (((3 * step + 7 * unit) % 29) as f64 / 29.0);
+    demand.min(cap)
+}
+
+/// Membership churn script: every 61 cycles one unit flips in or out.
+/// Returns `true` when `active` changed (callers then notify managers).
+pub fn churn_step(step: usize, active: &mut [bool]) -> bool {
+    if step == 0 || !step.is_multiple_of(61) {
+        return false;
+    }
+    let u = (step / 61 * 5) % active.len();
+    active[u] = !active[u];
+    true
+}
+
+/// Budget shock script: alternating 100-cycle windows at 85% and 100%
+/// of the nominal budget.
+pub fn budget_at(step: usize, nominal: f64) -> f64 {
+    if (step / 100) % 2 == 1 {
+        nominal * 0.85
+    } else {
+        nominal
+    }
+}
+
+/// Drives `candidate` and `reference` in lockstep through `cycles` of
+/// the scripted gauntlet and asserts bitwise agreement every cycle.
+/// Returns the two final checkpoints for the caller to compare.
+pub fn assert_bitwise_lockstep(
+    candidate: &mut dyn PowerManager,
+    reference: &mut dyn PowerManager,
+    cycles: usize,
+    label: &str,
+) -> (Option<Vec<u8>>, Option<Vec<u8>>) {
+    let n = reference.num_units();
+    assert_eq!(candidate.num_units(), n, "{label}: unit counts differ");
+    let nominal = reference.total_budget();
+    assert_eq!(
+        candidate.total_budget(),
+        nominal,
+        "{label}: budgets differ before the run"
+    );
+    let mut caps_c = vec![nominal / n as f64; n];
+    let mut caps_r = caps_c.clone();
+    let mut active = vec![true; n];
+    for step in 0..cycles {
+        if churn_step(step, &mut active) {
+            candidate.observe_membership(&active);
+            reference.observe_membership(&active);
+        }
+        let b = budget_at(step, nominal);
+        if b != reference.total_budget() {
+            candidate.set_budget(b).expect("budget shock is feasible");
+            reference.set_budget(b).expect("budget shock is feasible");
+        }
+        let measured: Vec<f64> = (0..n).map(|u| measurement(step, u, caps_r[u])).collect();
+        candidate.assign_caps(&measured, &mut caps_c, 1.0);
+        reference.assign_caps(&measured, &mut caps_r, 1.0);
+        for u in 0..n {
+            assert_eq!(
+                caps_c[u].to_bits(),
+                caps_r[u].to_bits(),
+                "{label}: cap bits diverged at step {step} unit {u}: {} vs {}",
+                caps_c[u],
+                caps_r[u]
+            );
+        }
+        let pc = candidate.priorities().map(<[bool]>::to_vec);
+        let pr = reference.priorities().map(<[bool]>::to_vec);
+        assert_eq!(pc, pr, "{label}: priority vectors diverged at step {step}");
+    }
+    (candidate.checkpoint(), reference.checkpoint())
+}
+
+/// Per-level budget safety of a sharded tree, against the caps actually
+/// in force — convenience wrapper over [`assert_tree_budget_safe_spans`]
+/// for a directly-held manager.
+pub fn assert_tree_budget_safe(mgr: &dyn PowerManager, caps: &[f64], ctx: &str) {
+    let spans = mgr.shard_view().expect("manager exposes a shard tree");
+    assert_tree_budget_safe_spans(spans, caps, mgr.total_budget(), ctx);
+}
+
+/// Per-level budget safety of a shard tree: every shard's caps sum
+/// within its grant (+ε per unit), the grants sum within the cluster
+/// budget (+ε per shard), and the spans tile the fleet exactly.
+pub fn assert_tree_budget_safe_spans(
+    spans: &[dps_suite::core::manager::ShardSpan],
+    caps: &[f64],
+    budget: f64,
+    ctx: &str,
+) {
+    let mut grant_sum = 0.0;
+    let mut covered = 0usize;
+    for (s, sp) in spans.iter().enumerate() {
+        assert_eq!(sp.start, covered, "{ctx}: shard {s} is not contiguous");
+        covered = sp.end;
+        assert!(
+            sp.grant.is_finite() && sp.grant >= 0.0,
+            "{ctx}: shard {s} grant is degenerate: {}",
+            sp.grant
+        );
+        let shard_caps: f64 = caps[sp.start..sp.end].iter().sum();
+        assert!(
+            shard_caps <= sp.grant + BUDGET_EPSILON * sp.units().max(1) as f64,
+            "{ctx}: shard {s} caps {shard_caps} exceed its grant {}",
+            sp.grant
+        );
+        grant_sum += sp.grant;
+    }
+    assert_eq!(covered, caps.len(), "{ctx}: tree does not tile the fleet");
+    assert!(
+        grant_sum <= budget + BUDGET_EPSILON * spans.len() as f64,
+        "{ctx}: shard grants {grant_sum} exceed the cluster budget {budget}"
+    );
+}
